@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner List Netembed_workload Printf String Term Unix

@@ -1,0 +1,1 @@
+bin/netembed_cli.mli:

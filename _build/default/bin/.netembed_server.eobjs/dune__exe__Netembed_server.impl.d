@@ -1,0 +1,1 @@
+bin/netembed_server.ml: Arg Buffer Netembed_rng Netembed_service

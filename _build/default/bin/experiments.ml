@@ -1,0 +1,73 @@
+(* Regenerate the paper's figures.
+
+   Usage:
+     dune exec bin/experiments.exe -- all           # every figure, default scale
+     dune exec bin/experiments.exe -- fig13         # one figure
+     dune exec bin/experiments.exe -- all --full    # paper-scale sweep (slow)
+     dune exec bin/experiments.exe -- fig8 --timeout 10 --seed 3 *)
+
+module Figures = Netembed_workload.Figures
+
+let figures =
+  [
+    ("fig8", Figures.fig8);
+    ("fig9", Figures.fig9);
+    ("fig10", Figures.fig10);
+    ("fig11", Figures.fig11);
+    ("fig12", Figures.fig12);
+    ("fig13", Figures.fig13);
+    ("fig14", Figures.fig14);
+    ("fig15", Figures.fig15);
+    ("all", Figures.all);
+  ]
+
+open Cmdliner
+
+let which =
+  let doc =
+    "Which figure to regenerate: " ^ String.concat ", " (List.map fst figures) ^ "."
+  in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"FIGURE" ~doc)
+
+let full =
+  let doc = "Run at the paper's sweep ranges instead of the reduced defaults." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let timeout =
+  let doc = "Per-search timeout override, in seconds." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let seed =
+  let doc = "Workload seed override." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let out_dir =
+  let doc = "Write figN.txt files under DIR instead of printing (implies all figures)." in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+
+let run which full timeout seed out_dir =
+  match List.assoc_opt which figures with
+  | None ->
+      Printf.eprintf "unknown figure %S; expected one of %s\n" which
+        (String.concat ", " (List.map fst figures));
+      exit 2
+  | Some driver ->
+      let scale = if full then Figures.paper_scale else Figures.default_scale in
+      let scale =
+        match timeout with None -> scale | Some t -> { scale with Figures.timeout = t }
+      in
+      let scale = match seed with None -> scale | Some s -> { scale with Figures.seed = s } in
+      let t0 = Unix.gettimeofday () in
+      (match out_dir with
+      | Some dir -> Figures.save_all ~dir scale
+      | None -> driver scale);
+      Printf.printf "# %s done in %.1f s (scale=%s, timeout=%.0fs, seed=%d)\n" which
+        (Unix.gettimeofday () -. t0)
+        scale.Figures.label scale.Figures.timeout scale.Figures.seed
+
+let cmd =
+  let doc = "Regenerate the NETEMBED paper's evaluation figures" in
+  let info = Cmd.info "experiments" ~doc in
+  Cmd.v info Term.(const run $ which $ full $ timeout $ seed $ out_dir)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,265 @@
+(* The netembed command-line interface.
+
+   Subcommands:
+     generate   synthesize a hosting network and write it as GraphML
+     info       summarize a GraphML network
+     embed      find embeddings of a query network into a hosting network
+
+   Examples:
+     netembed generate --kind planetlab -o host.graphml
+     netembed generate --kind brite-ba -n 500 -o host.graphml
+     netembed info host.graphml
+     netembed embed --host host.graphml --query query.graphml \
+       --constraint 'rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay' \
+       --algorithm lns --mode first --timeout 30 *)
+
+module Graph = Netembed_graph.Graph
+module Metrics = Netembed_graph.Metrics
+module Rng = Netembed_rng.Rng
+module Trace = Netembed_planetlab.Trace
+module Brite = Netembed_topology.Brite
+module Transit_stub = Netembed_topology.Transit_stub
+module Graphml = Netembed_graphml.Graphml
+module Request = Netembed_service.Request
+module Model = Netembed_service.Model
+module Service = Netembed_service.Service
+module Wire = Netembed_service.Wire
+module Engine = Netembed_core.Engine
+module Mapping = Netembed_core.Mapping
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate kind n seed output =
+  let rng = Rng.make seed in
+  let graph =
+    match kind with
+    | `Planetlab -> Trace.generate rng { Trace.default with Trace.sites = n }
+    | `Brite_ba -> Brite.generate rng (Brite.default_barabasi ~n)
+    | `Brite_waxman -> Brite.generate rng (Brite.default_waxman ~n)
+    | `Transit_stub ->
+        let per_stub = max 2 (n / 16) in
+        Transit_stub.generate rng
+          { Transit_stub.default with Transit_stub.stub_size = per_stub }
+  in
+  Graphml.write_file graph output;
+  Format.printf "wrote %a to %s@." Graph.pp_summary graph output
+
+let kind_conv =
+  Arg.enum
+    [
+      ("planetlab", `Planetlab);
+      ("brite-ba", `Brite_ba);
+      ("brite-waxman", `Brite_waxman);
+      ("transit-stub", `Transit_stub);
+    ]
+
+let generate_cmd =
+  let kind =
+    Arg.(value & opt kind_conv `Planetlab & info [ "kind" ] ~docv:"KIND"
+           ~doc:"Topology family: planetlab, brite-ba, brite-waxman or transit-stub.")
+  in
+  let n =
+    Arg.(value & opt int 296 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes/sites.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output GraphML file.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize a hosting network as GraphML")
+    Term.(const generate $ kind $ n $ seed $ output)
+
+(* ------------------------------------------------------------------ *)
+(* convert                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* File formats are chosen by extension: .graphml / .brite. *)
+let load_any path =
+  if Filename.check_suffix path ".brite" then
+    Netembed_topology.Brite_format.read_file path
+  else Graphml.read_file path
+
+let save_any g path =
+  if Filename.check_suffix path ".brite" then
+    Netembed_topology.Brite_format.write_file g path
+  else Graphml.write_file g path
+
+let convert input output =
+  let g = load_any input in
+  save_any g output;
+  Format.printf "converted %a: %s -> %s@." Graph.pp_summary g input output;
+  `Ok ()
+
+let convert_cmd =
+  let input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT"
+           ~doc:"Input topology (.graphml or .brite).")
+  in
+  let output =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT"
+           ~doc:"Output topology (.graphml or .brite).")
+  in
+  Cmd.v
+    (Cmd.info "convert" ~doc:"Convert between GraphML and BRITE topology formats")
+    Term.(ret (const convert $ input $ output))
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let info_run file =
+  let g = load_any file in
+  let stats = Metrics.degree_stats g in
+  Format.printf "%a@." Graph.pp_summary g;
+  Format.printf "density %.4f, %a@." (Graph.density g) Metrics.pp_degree_stats stats;
+  (match Metrics.power_law_exponent g with
+  | Some e -> Format.printf "degree power-law slope %.2f@." e
+  | None -> ());
+  `Ok ()
+
+let info_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"GraphML file.")
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Summarize a GraphML network")
+    Term.(ret (const info_run $ file))
+
+(* ------------------------------------------------------------------ *)
+(* embed                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let algorithm_conv =
+  Arg.enum [ ("ecf", Engine.ECF); ("rwb", Engine.RWB); ("lns", Engine.LNS) ]
+
+let mode_conv =
+  let parse s =
+    match Wire.mode_of_string s with Ok m -> Ok m | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Wire.mode_to_string m))
+
+let embed host_file query_file constraint_arg node_constraint algorithm mode timeout
+    path_hops dedupe optimize_cost =
+  let host = Graphml.read_file host_file in
+  let host =
+    (* --paths K: virtual links may ride host paths of up to K hops
+       (the link-to-path extension, realized as a host closure). *)
+    match path_hops with
+    | None -> host
+    | Some k -> Netembed_core.Path_embed.host (Netembed_core.Path_embed.closure ~max_hops:k host)
+  in
+  let query = Graphml.read_file query_file in
+  (* --constraint is either an inline expression or @file. *)
+  let constraint_text =
+    if String.length constraint_arg > 0 && constraint_arg.[0] = '@' then
+      Request.read_constraint_file
+        (String.sub constraint_arg 1 (String.length constraint_arg - 1))
+    else constraint_arg
+  in
+  let request =
+    Request.make ?node_constraint ~algorithm ~mode ?timeout ~query constraint_text
+  in
+  let service = Service.create (Model.create host) in
+  match Service.submit service request with
+  | Error e -> `Error (false, e)
+  | Ok answer ->
+      let answer =
+        (* --dedupe-symmetry: collapse orbit-equivalent mappings. *)
+        if not dedupe then answer
+        else
+          match Netembed_core.Symmetry.automorphisms query with
+          | None -> answer (* group too large: skip compaction *)
+          | Some auts ->
+              let result = answer.Service.result in
+              { answer with
+                Service.result =
+                  { result with
+                    Engine.mappings = Netembed_core.Symmetry.dedupe auts result.Engine.mappings } }
+      in
+      let answer =
+        (* --optimize METRIC: keep only the cheapest mapping. *)
+        match optimize_cost with
+        | None -> answer
+        | Some cost_name ->
+            let cost =
+              match cost_name with
+              | "total-delay" -> Netembed_core.Optimize.total_avg_delay
+              | "max-delay" -> Netembed_core.Optimize.max_avg_delay
+              | "host-degree" -> Netembed_core.Optimize.total_host_degree
+              | other -> Netembed_core.Optimize.node_attr_sum other
+            in
+            let result = answer.Service.result in
+            let problem =
+              Netembed_core.Problem.make ~host ~query
+                (Netembed_expr.Expr.parse_exn request.Request.constraint_text)
+            in
+            let best =
+              Netembed_core.Optimize.best_of problem ~cost result.Engine.mappings
+            in
+            { answer with
+              Service.result =
+                { result with Engine.mappings = Option.to_list best } }
+      in
+      print_string (Wire.encode_answer answer);
+      `Ok ()
+
+let embed_cmd =
+  let host_file =
+    Arg.(required & opt (some file) None & info [ "host" ] ~docv:"FILE"
+           ~doc:"Hosting network (GraphML).")
+  in
+  let query_file =
+    Arg.(required & opt (some file) None & info [ "query" ] ~docv:"FILE"
+           ~doc:"Query network (GraphML).")
+  in
+  let constraint_arg =
+    Arg.(value & opt string "true" & info [ "constraint" ] ~docv:"EXPR"
+           ~doc:"Constraint expression, or @FILE to load one expression per line.")
+  in
+  let node_constraint =
+    Arg.(value & opt (some string) None & info [ "node-constraint" ] ~docv:"EXPR"
+           ~doc:"Optional per-node constraint over rSource/vSource.")
+  in
+  let algorithm =
+    Arg.(value & opt algorithm_conv Engine.ECF & info [ "algorithm"; "a" ] ~docv:"ALG"
+           ~doc:"Search algorithm: ecf, rwb or lns.")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Engine.First & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Answer mode: first, all or atmost:K.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Search timeout.")
+  in
+  let path_hops =
+    Arg.(value & opt (some int) None & info [ "paths" ] ~docv:"K"
+           ~doc:"Allow virtual links to map onto host paths of up to K hops.")
+  in
+  let dedupe =
+    Arg.(value & flag & info [ "dedupe-symmetry" ]
+           ~doc:"Collapse mappings equivalent under query automorphisms.")
+  in
+  let optimize_cost =
+    Arg.(value & opt (some string) None & info [ "optimize" ] ~docv:"METRIC"
+           ~doc:"Return only the cheapest mapping by METRIC: total-delay, \
+                 max-delay, host-degree, or a numeric node attribute name.")
+  in
+  Cmd.v
+    (Cmd.info "embed" ~doc:"Embed a query network into a hosting network")
+    Term.(
+      ret
+        (const embed $ host_file $ query_file $ constraint_arg $ node_constraint
+        $ algorithm $ mode $ timeout $ path_hops $ dedupe $ optimize_cost))
+
+let main_cmd =
+  let doc = "NETEMBED: a network resource mapping service" in
+  Cmd.group (Cmd.info "netembed" ~doc ~version:"1.0.0")
+    [ generate_cmd; info_cmd; embed_cmd; convert_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,75 @@
+(* A standalone NETEMBED mapping service speaking the text wire
+   protocol over stdin/stdout — the paper's Fig.-1 deployment shape
+   ("applications would submit their queries and get a list of possible
+   mappings"), transport-agnostic: wrap it in inetd/socat/ssh as needed.
+
+   Usage:
+     netembed_server --host host.graphml [--monitor-every N]
+
+   Protocol: frames as defined in Netembed_service.Wire; one answer per
+   request; EOF terminates.  With --monitor-every N, a synthetic
+   monitoring tick refreshes the model between every N requests, so
+   long-running sessions see drifting measurements. *)
+
+module Model = Netembed_service.Model
+module Service = Netembed_service.Service
+module Wire = Netembed_service.Wire
+module Monitor = Netembed_service.Monitor
+module Rng = Netembed_rng.Rng
+
+let read_frame ic =
+  let buf = Buffer.create 1024 in
+  let rec go () =
+    match input_line ic with
+    | "." -> Some (Buffer.contents buf)
+    | line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        go ()
+    | exception End_of_file -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+  in
+  go ()
+
+let () =
+  let host_file = ref "" in
+  let monitor_every = ref 0 in
+  let speclist =
+    [
+      ("--host", Arg.Set_string host_file, "FILE hosting network (GraphML), required");
+      ("--monitor-every", Arg.Set_int monitor_every,
+       "N run a synthetic monitoring tick every N requests (0 = off)");
+    ]
+  in
+  Arg.parse speclist (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "netembed_server --host FILE [--monitor-every N]";
+  if !host_file = "" then begin
+    prerr_endline "netembed_server: --host is required";
+    exit 2
+  end;
+  let model = Model.of_graphml_file !host_file in
+  let service = Service.create model in
+  let monitor =
+    if !monitor_every > 0 then Some (Monitor.create (Rng.make 1) model) else None
+  in
+  let requests = ref 0 in
+  let rec serve () =
+    match read_frame stdin with
+    | None -> ()
+    | Some frame ->
+        incr requests;
+        (match (monitor, !monitor_every) with
+        | Some mon, every when every > 0 && !requests mod every = 0 -> Monitor.tick mon
+        | _ -> ());
+        let reply =
+          match Wire.decode_request frame with
+          | Error e -> Wire.encode_error e
+          | Ok request -> (
+              match Service.submit service request with
+              | Error e -> Wire.encode_error e
+              | Ok answer -> Wire.encode_answer answer)
+        in
+        print_string reply;
+        flush stdout;
+        serve ()
+  in
+  serve ()

@@ -1,0 +1,1 @@
+examples/paths_and_windows.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Engine Format List Mapping Netembed_attr Netembed_core Netembed_expr Netembed_graph Problem Verify

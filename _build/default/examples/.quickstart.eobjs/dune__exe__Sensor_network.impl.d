@@ -1,0 +1,1 @@
+examples/sensor_network.ml: Engine Format Mapping Netembed_attr Netembed_core Netembed_expr Netembed_graph Netembed_rng Netembed_topology Option Printf Problem Verify

@@ -1,0 +1,76 @@
+(** The NETEMBED umbrella: one module aliasing every public component,
+    so applications can [open] or dot into a single namespace.
+
+    {[
+      let host  = Netembed.Graphml.read_file "host.graphml" in
+      let query = Netembed.Graphml.read_file "query.graphml" in
+      let c     = Netembed.Expr.parse_exn "rEdge.avgDelay <= vEdge.maxDelay" in
+      let p     = Netembed.Problem.make ~host ~query c in
+      Netembed.Engine.find_first Netembed.Engine.ECF p
+    ]}
+
+    Grouping mirrors the architecture (see DESIGN.md): substrates, the
+    core engine, the service layer, workloads, baselines and the
+    multicore extension. *)
+
+(* Substrates *)
+module Value = Netembed_attr.Value
+module Attrs = Netembed_attr.Attrs
+module Schema = Netembed_attr.Schema
+module Rng = Netembed_rng.Rng
+module Bitset = Netembed_bitset.Bitset
+module Graph = Netembed_graph.Graph
+module Traversal = Netembed_graph.Traversal
+module Paths = Netembed_graph.Paths
+module Metrics = Netembed_graph.Metrics
+module Sample = Netembed_graph.Sample
+module Xml = Netembed_xml.Xml
+module Graphml = Netembed_graphml.Graphml
+
+(* Topologies *)
+module Regular = Netembed_topology.Regular
+module Brite = Netembed_topology.Brite
+module Transit_stub = Netembed_topology.Transit_stub
+module Composite = Netembed_topology.Composite
+module Overlay = Netembed_topology.Overlay
+module Planetlab = Netembed_planetlab.Trace
+
+(* Constraint language *)
+module Expr = Netembed_expr.Expr
+module Ast = Netembed_expr.Ast
+module Eval = Netembed_expr.Eval
+
+(* Core engine *)
+module Problem = Netembed_core.Problem
+module Mapping = Netembed_core.Mapping
+module Filter = Netembed_core.Filter
+module Budget = Netembed_core.Budget
+module Engine = Netembed_core.Engine
+module Verify = Netembed_core.Verify
+module Optimize = Netembed_core.Optimize
+module Path_embed = Netembed_core.Path_embed
+module Symmetry = Netembed_core.Symmetry
+
+(* Service layer *)
+module Model = Netembed_service.Model
+module Request = Netembed_service.Request
+module Service = Netembed_service.Service
+module Wire = Netembed_service.Wire
+module Monitor = Netembed_service.Monitor
+module Schedule = Netembed_service.Schedule
+
+(* Baselines *)
+module Bruteforce = Netembed_baselines.Bruteforce
+module Annealing = Netembed_baselines.Annealing
+module Genetic = Netembed_baselines.Genetic
+module Sword = Netembed_baselines.Sword
+module Zhu_ammar = Netembed_baselines.Zhu_ammar
+
+(* Multicore & decentralized *)
+module Parallel = Netembed_parallel.Parallel
+module Hierarchical = Netembed_distributed.Hierarchical
+
+(* Workloads & experiments *)
+module Query_gen = Netembed_workload.Query_gen
+module Figures = Netembed_workload.Figures
+module Stats = Netembed_workload.Stats

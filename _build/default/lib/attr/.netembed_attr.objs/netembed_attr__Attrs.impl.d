@@ -1,0 +1,1 @@
+lib/attr/attrs.ml: Format List Map String Value

@@ -1,0 +1,1 @@
+lib/attr/attrs.mli: Format Value

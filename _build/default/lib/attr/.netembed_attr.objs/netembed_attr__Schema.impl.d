@@ -1,0 +1,1 @@
+lib/attr/schema.ml: Attrs Format List Printf Value

@@ -1,0 +1,1 @@
+lib/attr/schema.mli: Attrs Format Value

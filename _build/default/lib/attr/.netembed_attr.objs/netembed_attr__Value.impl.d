@@ -1,0 +1,1 @@
+lib/attr/value.ml: Float Format Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/attr/value.mli: Format

@@ -1,0 +1,68 @@
+type domain = Node | Edge | Graph
+
+type entry = {
+  name : string;
+  domain : domain;
+  ty : [ `Bool | `Int | `Float | `String ];
+  default : Value.t option;
+}
+
+(* Declaration order matters for GraphML output stability, so we keep a
+   reversed list and dedupe on lookup. *)
+type t = entry list
+
+let empty = []
+
+let same_slot a b = a.name = b.name && a.domain = b.domain
+
+let add e t =
+  match List.find_opt (same_slot e) t with
+  | Some prior when prior.ty <> e.ty ->
+      invalid_arg
+        (Printf.sprintf "Schema.add: %s redeclared with a different type" e.name)
+  | Some _ -> t
+  | None -> e :: t
+
+let find domain name t = List.find_opt (fun e -> e.name = name && e.domain = domain) t
+let entries t = List.rev t
+
+let defaults domain t =
+  List.fold_left
+    (fun acc e ->
+      match e.default with
+      | Some v when e.domain = domain -> Attrs.add e.name v acc
+      | Some _ | None -> acc)
+    Attrs.empty t
+
+let type_of_value = function
+  | Value.Bool _ -> `Bool
+  | Value.Int _ -> `Int
+  | Value.Float _ -> `Float
+  | Value.String _ | Value.Range _ -> `String
+
+let infer domain attrs t =
+  Attrs.fold
+    (fun name v acc ->
+      match find domain name acc with
+      | Some _ -> acc
+      | None -> add { name; domain; ty = type_of_value v; default = None } acc)
+    attrs t
+
+let pp_domain ppf = function
+  | Node -> Format.pp_print_string ppf "node"
+  | Edge -> Format.pp_print_string ppf "edge"
+  | Graph -> Format.pp_print_string ppf "graph"
+
+let pp_ty ppf = function
+  | `Bool -> Format.pp_print_string ppf "bool"
+  | `Int -> Format.pp_print_string ppf "int"
+  | `Float -> Format.pp_print_string ppf "float"
+  | `String -> Format.pp_print_string ppf "string"
+
+let pp ppf t =
+  let pp_entry ppf e =
+    Format.fprintf ppf "%s:%a:%a" e.name pp_domain e.domain pp_ty e.ty
+  in
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_entry)
+    (entries t)

@@ -1,0 +1,39 @@
+(** Attribute schemas: typed declarations of the attributes a network
+    carries, mirroring GraphML [<key>] elements.
+
+    A schema entry declares an attribute name, the domain it applies to
+    (nodes, edges or the whole graph), its payload type and an optional
+    default value.  GraphML I/O uses schemas to parse and emit typed
+    [<data>] payloads; the service layer uses them to validate queries
+    against the hosting network's characterization. *)
+
+type domain = Node | Edge | Graph
+
+type entry = {
+  name : string;
+  domain : domain;
+  ty : [ `Bool | `Int | `Float | `String ];
+  default : Value.t option;
+}
+
+type t
+
+val empty : t
+val add : entry -> t -> t
+(** @raise Invalid_argument if an entry with the same name and domain is
+    already declared with a different type. *)
+
+val find : domain -> string -> t -> entry option
+val entries : t -> entry list
+(** Entries in declaration order. *)
+
+val defaults : domain -> t -> Attrs.t
+(** Attribute table holding every declared default for [domain]. *)
+
+val infer : domain -> Attrs.t -> t -> t
+(** [infer domain attrs t] extends [t] with entries for any attribute of
+    [attrs] not yet declared, inferring the type from the value (ranges
+    are declared as two float keys [name ^ "_lo"] is {e not} used —
+    ranges are encoded by GraphML as strings). *)
+
+val pp : Format.formatter -> t -> unit

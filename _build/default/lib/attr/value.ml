@@ -1,0 +1,86 @@
+type t =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Range of float * float
+
+exception Type_error of string
+
+let type_name = function
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+  | Range _ -> "range"
+
+let type_error ~expected v =
+  raise (Type_error (Printf.sprintf "expected %s, got %s" expected (type_name v)))
+
+let equal a b =
+  match a, b with
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Int x, Float y | Float y, Int x -> Float.equal (float_of_int x) y
+  | String x, String y -> String.equal x y
+  | Range (l1, h1), Range (l2, h2) -> Float.equal l1 l2 && Float.equal h1 h2
+  | (Bool _ | Int _ | Float _ | String _ | Range _), _ -> false
+
+let compare a b =
+  match a, b with
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | _ -> Stdlib.compare a b
+
+let pp ppf = function
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | String s -> Format.pp_print_string ppf s
+  | Range (lo, hi) -> Format.fprintf ppf "[%g,%g]" lo hi
+
+let to_string v = Format.asprintf "%a" pp v
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | (Bool _ | String _ | Range _) as v -> type_error ~expected:"number" v
+
+let to_bool = function
+  | Bool b -> b
+  | (Int _ | Float _ | String _ | Range _) as v -> type_error ~expected:"bool" v
+
+let range_lo = function
+  | Range (lo, _) -> lo
+  | Int i -> float_of_int i
+  | Float f -> f
+  | (Bool _ | String _) as v -> type_error ~expected:"number or range" v
+
+let range_hi = function
+  | Range (_, hi) -> hi
+  | Int i -> float_of_int i
+  | Float f -> f
+  | (Bool _ | String _) as v -> type_error ~expected:"number or range" v
+
+let is_numeric = function
+  | Int _ | Float _ | Range _ -> true
+  | Bool _ | String _ -> false
+
+let range lo hi =
+  if Float.is_nan lo || Float.is_nan hi then invalid_arg "Value.range: NaN bound";
+  if lo > hi then invalid_arg "Value.range: lo > hi";
+  Range (lo, hi)
+
+let of_string_as ty s =
+  let fail () = raise (Type_error (Printf.sprintf "cannot parse %S" s)) in
+  match ty with
+  | `String -> String s
+  | `Bool -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "true" | "1" -> Bool true
+      | "false" | "0" -> Bool false
+      | _ -> fail ())
+  | `Int -> ( match int_of_string_opt (String.trim s) with Some i -> Int i | None -> fail ())
+  | `Float -> (
+      match float_of_string_opt (String.trim s) with Some f -> Float f | None -> fail ())

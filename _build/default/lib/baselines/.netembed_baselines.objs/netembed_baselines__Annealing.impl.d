@@ -1,0 +1,1 @@
+lib/baselines/annealing.ml: Array Graph List Netembed_core Netembed_graph Netembed_rng

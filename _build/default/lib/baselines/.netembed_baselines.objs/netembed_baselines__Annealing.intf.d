@@ -1,0 +1,1 @@
+lib/baselines/annealing.mli: Netembed_core Netembed_rng

@@ -1,0 +1,1 @@
+lib/baselines/bruteforce.ml: Array Graph List Netembed_core Netembed_graph

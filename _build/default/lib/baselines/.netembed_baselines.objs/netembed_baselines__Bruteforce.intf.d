@@ -1,0 +1,1 @@
+lib/baselines/bruteforce.mli: Netembed_core

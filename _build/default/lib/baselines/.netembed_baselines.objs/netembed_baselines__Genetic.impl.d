@@ -1,0 +1,1 @@
+lib/baselines/genetic.ml: Array Graph Hashtbl List Netembed_core Netembed_graph Netembed_rng

@@ -1,0 +1,1 @@
+lib/baselines/genetic.mli: Netembed_core Netembed_rng

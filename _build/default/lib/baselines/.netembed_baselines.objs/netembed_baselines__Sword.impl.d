@@ -1,0 +1,1 @@
+lib/baselines/sword.ml: Array Graph List Netembed_core Netembed_graph

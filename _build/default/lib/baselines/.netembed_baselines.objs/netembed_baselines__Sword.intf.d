@@ -1,0 +1,1 @@
+lib/baselines/sword.mli: Netembed_core

@@ -1,0 +1,1 @@
+lib/baselines/zhu_ammar.ml: Array Graph List Netembed_core Netembed_expr Netembed_graph

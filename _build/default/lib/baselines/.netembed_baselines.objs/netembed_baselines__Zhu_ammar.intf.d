@@ -1,0 +1,1 @@
+lib/baselines/zhu_ammar.mli: Netembed_core Netembed_expr Netembed_graph

@@ -1,0 +1,127 @@
+open Netembed_graph
+module Problem = Netembed_core.Problem
+module Mapping = Netembed_core.Mapping
+module Verify = Netembed_core.Verify
+module Rng = Netembed_rng.Rng
+
+type params = {
+  iterations : int;
+  initial_temperature : float;
+  cooling : float;
+  restarts : int;
+}
+
+let default_params =
+  { iterations = 20_000; initial_temperature = 4.0; cooling = 0.9995; restarts = 3 }
+
+let edge_satisfied p qe q_src q_dst r_src r_dst =
+  r_src <> r_dst
+  && List.exists
+       (fun he -> Problem.edge_pair_ok p ~qe ~q_src ~q_dst ~he ~r_src ~r_dst)
+       (Graph.edges_between p.Problem.host r_src r_dst)
+
+let cost p assignment =
+  let violations = ref 0 in
+  Graph.iter_edges
+    (fun qe q_src q_dst ->
+      if not (edge_satisfied p qe q_src q_dst assignment.(q_src) assignment.(q_dst))
+      then incr violations)
+    p.Problem.query;
+  Array.iteri
+    (fun q r -> if not (Problem.node_ok p ~q ~r) then incr violations)
+    assignment;
+  !violations
+
+(* Cost contribution local to query node [q] (its node filter and
+   incident edges), accumulated into [c]; used to compute move deltas. *)
+let local_cost p assignment q c =
+  if not (Problem.node_ok p ~q ~r:assignment.(q)) then incr c;
+  List.iter
+    (fun (w, qe) ->
+      let src, _ = Graph.endpoints p.Problem.query qe in
+      let q_src, q_dst = if src = q then (q, w) else (w, q) in
+      if
+        not
+          (edge_satisfied p qe q_src q_dst assignment.(q_src) assignment.(q_dst))
+      then incr c)
+    (Problem.query_neighbours p q)
+
+let random_injective rng nq nr =
+  Array.sub (Rng.sample_without_replacement rng nq nr) 0 nq
+
+let anneal p ~rng ~params =
+  let nq = Graph.node_count p.Problem.query in
+  let nr = Graph.node_count p.Problem.host in
+  let assignment = random_injective rng nq nr in
+  let in_use = Array.make nr (-1) in
+  Array.iteri (fun q r -> in_use.(r) <- q) assignment;
+  let current_cost = ref (cost p assignment) in
+  let temperature = ref params.initial_temperature in
+  let best = ref (Array.copy assignment) in
+  let best_cost = ref !current_cost in
+  let iteration = ref 0 in
+  while !iteration < params.iterations && !best_cost > 0 do
+    incr iteration;
+    let q = Rng.int rng nq in
+    let r' = Rng.int rng nr in
+    let r = assignment.(q) in
+    if r' <> r then begin
+      let occupant = in_use.(r') in
+      (* Move q to r'; if r' is taken, swap the two assignments. *)
+      let before =
+        let c = ref 0 in
+        local_cost p assignment q c;
+        if occupant >= 0 && occupant <> q then local_cost p assignment occupant c;
+        !c
+      in
+      assignment.(q) <- r';
+      if occupant >= 0 && occupant <> q then assignment.(occupant) <- r;
+      let after =
+        let c = ref 0 in
+        local_cost p assignment q c;
+        if occupant >= 0 && occupant <> q then local_cost p assignment occupant c;
+        !c
+      in
+      let delta = after - before in
+      let accept =
+        delta <= 0
+        || Rng.float rng 1.0 < exp (-.float_of_int delta /. !temperature)
+      in
+      if accept then begin
+        in_use.(r) <- (if occupant >= 0 && occupant <> q then occupant else -1);
+        in_use.(r') <- q;
+        current_cost := !current_cost + delta;
+        (* Swaps double-count the q-occupant edge in the delta; recompute
+           exactly when the tracked cost claims (near-)feasibility. *)
+        if !current_cost <= 0 then current_cost := cost p assignment;
+        if !current_cost < !best_cost then begin
+          best_cost := !current_cost;
+          best := Array.copy assignment
+        end
+      end
+      else begin
+        (* Undo. *)
+        assignment.(q) <- r;
+        if occupant >= 0 && occupant <> q then assignment.(occupant) <- r'
+      end
+    end;
+    temperature := !temperature *. params.cooling
+  done;
+  if !best_cost = 0 then Some !best else None
+
+let find_first ?(params = default_params) ~rng p =
+  let nq = Graph.node_count p.Problem.query in
+  if nq = 0 then Some (Mapping.of_array [||])
+  else begin
+    let rec attempt k =
+      if k >= params.restarts then None
+      else
+        match anneal p ~rng ~params with
+        | Some a ->
+            let m = Mapping.of_array a in
+            (* The cost function mirrors feasibility; double-check. *)
+            if Verify.is_valid p m then Some m else attempt (k + 1)
+        | None -> attempt (k + 1)
+    in
+    attempt 0
+  end

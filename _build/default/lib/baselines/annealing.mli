@@ -1,0 +1,35 @@
+(** Simulated-annealing mapper in the style of Emulab's [assign]
+    (Alfeld, Lepreau, Ricci [13]; paper section II).
+
+    [assign] treats network embedding as an optimization problem:
+    candidate assignments are perturbed by re-mapping a random virtual
+    node, and a simulated-annealing schedule accepts cost-increasing
+    moves with decreasing probability.  Here the cost is the number of
+    violated query edges plus injectivity violations, so a cost of zero
+    is a feasible embedding.
+
+    As the paper notes for this class of techniques, there is {e no
+    guarantee of convergence}: the search can return [None] even when a
+    feasible embedding exists (tests and benches exhibit this). *)
+
+type params = {
+  iterations : int;  (** total proposal count *)
+  initial_temperature : float;
+  cooling : float;  (** per-iteration geometric cooling factor, < 1 *)
+  restarts : int;  (** independent annealing runs *)
+}
+
+val default_params : params
+
+val find_first :
+  ?params:params ->
+  rng:Netembed_rng.Rng.t ->
+  Netembed_core.Problem.t ->
+  Netembed_core.Mapping.t option
+(** Every returned mapping passes {!Netembed_core.Verify.check} (the
+    zero-cost condition is exactly feasibility). *)
+
+val cost : Netembed_core.Problem.t -> int array -> int
+(** The annealing cost of a (possibly infeasible) assignment: number of
+    unsatisfied query edges + number of node-filter violations.
+    Exposed for tests. *)

@@ -1,0 +1,77 @@
+open Netembed_graph
+module Problem = Netembed_core.Problem
+module Budget = Netembed_core.Budget
+module Mapping = Netembed_core.Mapping
+
+exception Stop_search
+
+let search (p : Problem.t) ~budget ~on_solution =
+  let nq = Graph.node_count p.Problem.query in
+  let nr = Graph.node_count p.Problem.host in
+  if nq = 0 then ignore (on_solution (Mapping.of_array [||]))
+  else begin
+    let assignment = Array.make nq (-1) in
+    let used = Array.make nr false in
+    (* Check only edges between q and already-assigned nodes (< q). *)
+    let edges_into_prefix =
+      Array.init nq (fun q ->
+          List.filter_map
+            (fun (w, e) ->
+              if w < q then
+                let src, _ = Graph.endpoints p.Problem.query e in
+                Some (e, w, src = q)
+              else None)
+            (Problem.query_neighbours p q))
+    in
+    let consistent q r =
+      Problem.node_ok p ~q ~r
+      && List.for_all
+           (fun (qe, w, q_is_src) ->
+             let rw = assignment.(w) in
+             let q_src, q_dst = if q_is_src then (q, w) else (w, q) in
+             let r_src, r_dst = if q_is_src then (r, rw) else (rw, r) in
+             List.exists
+               (fun he -> Problem.edge_pair_ok p ~qe ~q_src ~q_dst ~he ~r_src ~r_dst)
+               (Graph.edges_between p.Problem.host r_src r_dst))
+           edges_into_prefix.(q)
+    in
+    let rec go q =
+      Budget.tick budget;
+      if q = nq then begin
+        match on_solution (Mapping.of_array (Array.copy assignment)) with
+        | `Continue -> ()
+        | `Stop -> raise Stop_search
+      end
+      else
+        for r = 0 to nr - 1 do
+          if (not used.(r)) && consistent q r then begin
+            assignment.(q) <- r;
+            used.(r) <- true;
+            go (q + 1);
+            used.(r) <- false;
+            assignment.(q) <- -1
+          end
+        done
+    in
+    match go 0 with () -> () | exception Stop_search -> ()
+  end
+
+let find_all ?timeout p =
+  let budget = Budget.make ?timeout () in
+  let acc = ref [] in
+  (try
+     search p ~budget ~on_solution:(fun m ->
+         acc := m :: !acc;
+         `Continue)
+   with Budget.Exhausted -> ());
+  List.rev !acc
+
+let find_first ?timeout p =
+  let budget = Budget.make ?timeout () in
+  let acc = ref None in
+  (try
+     search p ~budget ~on_solution:(fun m ->
+         acc := Some m;
+         `Stop)
+   with Budget.Exhausted -> ());
+  !acc

@@ -1,0 +1,23 @@
+(** Naive exhaustive search: depth-first over the permutations tree in
+    plain node order, checking each edge constraint only at assignment
+    time — no filter matrix, no candidate ordering, no node-level
+    pruning beyond feasibility of edges into the assigned prefix.
+
+    This is the "brute-force approach" that constraint-satisfaction
+    formulations start from (Considine & Byers [16] before their pruning
+    techniques); NETEMBED's speedup over it is what the filter matrix
+    and Lemma-1 ordering buy.  It is complete and correct, so tests use
+    it as the ground-truth enumerator on small instances. *)
+
+val search :
+  Netembed_core.Problem.t ->
+  budget:Netembed_core.Budget.t ->
+  on_solution:(Netembed_core.Mapping.t -> [ `Continue | `Stop ]) ->
+  unit
+(** @raise Netembed_core.Budget.Exhausted when the budget runs out. *)
+
+val find_all :
+  ?timeout:float -> Netembed_core.Problem.t -> Netembed_core.Mapping.t list
+
+val find_first :
+  ?timeout:float -> Netembed_core.Problem.t -> Netembed_core.Mapping.t option

@@ -1,0 +1,143 @@
+open Netembed_graph
+module Problem = Netembed_core.Problem
+module Mapping = Netembed_core.Mapping
+module Verify = Netembed_core.Verify
+module Rng = Netembed_rng.Rng
+
+type params = {
+  population : int;
+  generations : int;
+  mutation_rate : float;
+  tournament : int;
+  elite : int;
+}
+
+let default_params =
+  { population = 60; generations = 400; mutation_rate = 0.05; tournament = 3; elite = 2 }
+
+let edge_satisfied p qe q_src q_dst r_src r_dst =
+  r_src <> r_dst
+  && List.exists
+       (fun he -> Problem.edge_pair_ok p ~qe ~q_src ~q_dst ~he ~r_src ~r_dst)
+       (Graph.edges_between p.Problem.host r_src r_dst)
+
+let fitness p genome =
+  let score = ref 0 in
+  Graph.iter_edges
+    (fun qe q_src q_dst ->
+      if edge_satisfied p qe q_src q_dst genome.(q_src) genome.(q_dst) then incr score)
+    p.Problem.query;
+  Array.iteri (fun q r -> if Problem.node_ok p ~q ~r then incr score) genome;
+  !score
+
+let max_fitness p =
+  Graph.edge_count p.Problem.query + Graph.node_count p.Problem.query
+
+let random_genome rng nq nr = Array.sub (Rng.sample_without_replacement rng nq nr) 0 nq
+
+(* Injectivity-preserving uniform crossover: copy parent A, then for
+   genes chosen from parent B, swap values within the child so the
+   result stays a partial permutation (PMX-style repair). *)
+let crossover rng a b =
+  let n = Array.length a in
+  let child = Array.copy a in
+  let pos_of = Hashtbl.create n in
+  Array.iteri (fun i r -> Hashtbl.replace pos_of r i) child;
+  for i = 0 to n - 1 do
+    if Rng.bool rng && child.(i) <> b.(i) then begin
+      match Hashtbl.find_opt pos_of b.(i) with
+      | Some j ->
+          let tmp = child.(i) in
+          child.(i) <- child.(j);
+          child.(j) <- tmp;
+          Hashtbl.replace pos_of child.(i) i;
+          Hashtbl.replace pos_of child.(j) j
+      | None ->
+          Hashtbl.remove pos_of child.(i);
+          child.(i) <- b.(i);
+          Hashtbl.replace pos_of child.(i) i
+    end
+  done;
+  child
+
+let mutate rng params nr genome =
+  let n = Array.length genome in
+  let in_use = Hashtbl.create n in
+  Array.iteri (fun i r -> Hashtbl.replace in_use r i) genome;
+  for i = 0 to n - 1 do
+    if Rng.float rng 1.0 < params.mutation_rate then begin
+      let r' = Rng.int rng nr in
+      match Hashtbl.find_opt in_use r' with
+      | Some j when j <> i ->
+          (* Swap with the occupant to preserve injectivity. *)
+          let tmp = genome.(i) in
+          genome.(i) <- genome.(j);
+          genome.(j) <- tmp;
+          Hashtbl.replace in_use genome.(i) i;
+          Hashtbl.replace in_use genome.(j) j
+      | Some _ -> ()
+      | None ->
+          Hashtbl.remove in_use genome.(i);
+          genome.(i) <- r';
+          Hashtbl.replace in_use r' i
+    end
+  done
+
+let find_first ?(params = default_params) ~rng p =
+  let nq = Graph.node_count p.Problem.query in
+  let nr = Graph.node_count p.Problem.host in
+  if nq = 0 then Some (Mapping.of_array [||])
+  else begin
+    let target = max_fitness p in
+    let pop = Array.init params.population (fun _ -> random_genome rng nq nr) in
+    let scores = Array.map (fitness p) pop in
+    let best_index () =
+      let bi = ref 0 in
+      Array.iteri (fun i s -> if s > scores.(!bi) then bi := i) scores;
+      !bi
+    in
+    let tournament_pick () =
+      let best = ref (Rng.int rng params.population) in
+      for _ = 2 to params.tournament do
+        let c = Rng.int rng params.population in
+        if scores.(c) > scores.(!best) then best := c
+      done;
+      pop.(!best)
+    in
+    let generation = ref 0 in
+    let solution = ref None in
+    while !solution = None && !generation < params.generations do
+      incr generation;
+      let bi = best_index () in
+      if scores.(bi) = target then begin
+        let m = Mapping.of_array (Array.copy pop.(bi)) in
+        if Verify.is_valid p m then solution := Some m
+      end;
+      if !solution = None then begin
+        (* Build the next generation: elites + tournament offspring. *)
+        let next = Array.make params.population pop.(bi) in
+        let by_score = Array.init params.population (fun i -> i) in
+        Array.sort (fun i j -> compare scores.(j) scores.(i)) by_score;
+        for e = 0 to min params.elite params.population - 1 do
+          next.(e) <- Array.copy pop.(by_score.(e))
+        done;
+        for i = params.elite to params.population - 1 do
+          let child = crossover rng (tournament_pick ()) (tournament_pick ()) in
+          mutate rng params nr child;
+          next.(i) <- child
+        done;
+        Array.blit next 0 pop 0 params.population;
+        Array.iteri (fun i g -> scores.(i) <- fitness p g) pop
+      end
+    done;
+    (* Final check in case the last generation produced a solution. *)
+    (match !solution with
+    | Some _ -> ()
+    | None ->
+        let bi = best_index () in
+        if scores.(bi) = target then begin
+          let m = Mapping.of_array (Array.copy pop.(bi)) in
+          if Verify.is_valid p m then solution := Some m
+        end);
+    !solution
+  end

@@ -1,0 +1,29 @@
+(** Genetic-algorithm mapper in the style of Netbed's [wanassign]
+    (White, Lepreau, Stoller et al. [10]; paper section II).
+
+    [wanassign] evolves a population of candidate assignments with
+    permutation-preserving crossover and mutation; fitness is the number
+    of satisfied query constraints.  The paper reports it handling only
+    small networks (16 nodes in [10], up to 160 in [14], at tens to
+    hundreds of minutes) with no convergence guarantee — the properties
+    the comparison benchmarks reproduce. *)
+
+type params = {
+  population : int;
+  generations : int;
+  mutation_rate : float;  (** per-gene probability of a random re-map *)
+  tournament : int;  (** tournament selection size *)
+  elite : int;  (** individuals copied unchanged each generation *)
+}
+
+val default_params : params
+
+val find_first :
+  ?params:params ->
+  rng:Netembed_rng.Rng.t ->
+  Netembed_core.Problem.t ->
+  Netembed_core.Mapping.t option
+
+val fitness : Netembed_core.Problem.t -> int array -> int
+(** Satisfied query edges + satisfied node filters; the maximum equals
+    [|EQ| + |VQ|] exactly on feasible embeddings.  Exposed for tests. *)

@@ -1,0 +1,114 @@
+open Netembed_graph
+module Problem = Netembed_core.Problem
+module Mapping = Netembed_core.Mapping
+module Budget = Netembed_core.Budget
+
+type pruning = Top_half | Top_k of int | First_only
+
+type params = { pruning : pruning; phase_timeout : float }
+
+let default_params = { pruning = Top_k 5; phase_timeout = 5.0 }
+
+(* Phase 1: score host [r] for query node [q] by the number of q's
+   incident edges for which at least one edge at r satisfies the
+   constraint (a "non-infinity-penalty" count), then prune. *)
+let phase1_candidates ?(params = default_params) (p : Problem.t) =
+  let nq = Graph.node_count p.Problem.query in
+  let nr = Graph.node_count p.Problem.host in
+  Array.init nq (fun q ->
+      let incident = Problem.query_neighbours p q in
+      let scored = ref [] in
+      for r = 0 to nr - 1 do
+        if Problem.node_ok p ~q ~r then begin
+          let score =
+            List.fold_left
+              (fun acc (w, qe) ->
+                let src, _ = Graph.endpoints p.Problem.query qe in
+                let q_is_src = src = q in
+                let host_side =
+                  (* Outgoing host edges when q is the edge source,
+                     incoming ones when it is the target. *)
+                  if q_is_src then Graph.succ p.Problem.host r
+                  else Graph.pred p.Problem.host r
+                in
+                let satisfiable =
+                  List.exists
+                    (fun (r', he) ->
+                      r' <> r
+                      &&
+                      let q_src, q_dst = if q_is_src then (q, w) else (w, q) in
+                      let r_src, r_dst = if q_is_src then (r, r') else (r', r) in
+                      Problem.edge_pair_ok p ~qe ~q_src ~q_dst ~he ~r_src ~r_dst)
+                    host_side
+                in
+                if satisfiable then acc + 1 else acc)
+              0 incident
+          in
+          if score = List.length incident then scored := (score, r) :: !scored
+        end
+      done;
+      let sorted =
+        List.sort (fun (s1, r1) (s2, r2) -> if s2 <> s1 then compare s2 s1 else compare r1 r2) !scored
+      in
+      let keep =
+        match params.pruning with
+        | Top_half -> max 1 ((List.length sorted + 1) / 2)
+        | Top_k k -> k
+        | First_only -> 1
+      in
+      Array.of_list (List.filteri (fun i _ -> i < keep) (List.map snd sorted)))
+
+(* Phase 2: DFS over the pruned candidate sets only. *)
+let find_first ?(params = default_params) (p : Problem.t) =
+  let nq = Graph.node_count p.Problem.query in
+  if nq = 0 then Some (Mapping.of_array [||])
+  else begin
+    let candidates = phase1_candidates ~params p in
+    let budget = Budget.make ~timeout:params.phase_timeout () in
+    let nr = Graph.node_count p.Problem.host in
+    let assignment = Array.make nq (-1) in
+    let used = Array.make nr false in
+    let edges_into_prefix =
+      Array.init nq (fun q ->
+          List.filter_map
+            (fun (w, e) ->
+              if w < q then
+                let src, _ = Graph.endpoints p.Problem.query e in
+                Some (e, w, src = q)
+              else None)
+            (Problem.query_neighbours p q))
+    in
+    let consistent q r =
+      List.for_all
+        (fun (qe, w, q_is_src) ->
+          let rw = assignment.(w) in
+          let q_src, q_dst = if q_is_src then (q, w) else (w, q) in
+          let r_src, r_dst = if q_is_src then (r, rw) else (rw, r) in
+          List.exists
+            (fun he -> Problem.edge_pair_ok p ~qe ~q_src ~q_dst ~he ~r_src ~r_dst)
+            (Graph.edges_between p.Problem.host r_src r_dst))
+        edges_into_prefix.(q)
+    in
+    let exception Found in
+    let result = ref None in
+    let rec go q =
+      Budget.tick budget;
+      if q = nq then begin
+        result := Some (Mapping.of_array (Array.copy assignment));
+        raise Found
+      end
+      else
+        Array.iter
+          (fun r ->
+            if (not used.(r)) && consistent q r then begin
+              assignment.(q) <- r;
+              used.(r) <- true;
+              go (q + 1);
+              used.(r) <- false;
+              assignment.(q) <- -1
+            end)
+          candidates.(q)
+    in
+    (try go 0 with Found -> () | Budget.Exhausted -> ());
+    !result
+  end

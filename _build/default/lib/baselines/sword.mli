@@ -1,0 +1,36 @@
+(** SWORD-style two-phase matcher with candidate pruning (Oppenheimer,
+    Albrecht, Patterson, Vahdat [17]; paper section II).
+
+    SWORD first matches groups of nodes to candidate sets using
+    per-node requirements, then matches inter-group requirements by
+    trying combinations of candidates.  To scale, it prunes phase-1
+    candidates (top half / top five / first) and times out each phase
+    — heuristics that "may well result in false negatives, i.e., the
+    algorithm returns a 'no match' answer ... whereas in reality a
+    feasible embedding may well exist".
+
+    This implementation reproduces that behaviour: phase 1 scores each
+    host per query node by how many of the node's incident constraints
+    some host edge could satisfy, keeps only [keep] candidates, and
+    phase 2 runs a DFS restricted to those candidates under a timeout.
+    Tests demonstrate the false negatives against ECF's ground truth. *)
+
+type pruning =
+  | Top_half
+  | Top_k of int
+  | First_only
+
+type params = { pruning : pruning; phase_timeout : float }
+
+val default_params : params
+(** [Top_k 5], 5 s per phase — SWORD's published middle setting. *)
+
+val find_first :
+  ?params:params ->
+  Netembed_core.Problem.t ->
+  Netembed_core.Mapping.t option
+(** Complete {e only} relative to the pruned candidate sets: a [None]
+    answer does not prove infeasibility. *)
+
+val phase1_candidates : ?params:params -> Netembed_core.Problem.t -> int array array
+(** The pruned per-query-node candidate sets (exposed for tests). *)

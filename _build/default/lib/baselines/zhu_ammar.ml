@@ -1,0 +1,68 @@
+open Netembed_graph
+module Problem = Netembed_core.Problem
+module Mapping = Netembed_core.Mapping
+
+type t = { host_graph : Graph.t; stress : int array }
+
+let create g = { host_graph = g; stress = Array.make (max 1 (Graph.node_count g)) 0 }
+let host t = t.host_graph
+let node_stress t v = t.stress.(v)
+let total_stress t = Array.fold_left ( + ) 0 t.stress
+let max_stress t = Array.fold_left max 0 t.stress
+
+let embed ?(edge_constraint = Netembed_expr.Expr.always) t query =
+  match Problem.make ~host:t.host_graph ~query edge_constraint with
+  | exception Invalid_argument _ -> None
+  | p ->
+      let nq = Graph.node_count query in
+      let nr = Graph.node_count t.host_graph in
+      if nq = 0 then Some (Mapping.of_array [||])
+      else begin
+        let assignment = Array.make nq (-1) in
+        let used = Array.make nr false in
+        (* Place query nodes in decreasing-degree order. *)
+        let order = Array.init nq (fun q -> q) in
+        Array.sort
+          (fun q1 q2 -> compare (Graph.degree query q2) (Graph.degree query q1))
+          order;
+        let feasible q r =
+          (not used.(r))
+          && Problem.node_ok p ~q ~r
+          && List.for_all
+               (fun (w, qe) ->
+                 if assignment.(w) < 0 then true
+                 else begin
+                   let src, _ = Graph.endpoints query qe in
+                   let q_src, q_dst = if src = q then (q, w) else (w, q) in
+                   let rw = assignment.(w) in
+                   let r_src, r_dst = if src = q then (r, rw) else (rw, r) in
+                   List.exists
+                     (fun he ->
+                       Problem.edge_pair_ok p ~qe ~q_src ~q_dst ~he ~r_src ~r_dst)
+                     (Graph.edges_between t.host_graph r_src r_dst)
+                 end)
+               (Problem.query_neighbours p q)
+        in
+        let ok =
+          Array.for_all
+            (fun q ->
+              (* Minimum-stress feasible host; ties broken by id. *)
+              let best = ref (-1) in
+              for r = 0 to nr - 1 do
+                if feasible q r && (!best = -1 || t.stress.(r) < t.stress.(!best)) then
+                  best := r
+              done;
+              if !best >= 0 then begin
+                assignment.(q) <- !best;
+                used.(!best) <- true;
+                true
+              end
+              else false)
+            order
+        in
+        if ok then begin
+          Array.iter (fun r -> t.stress.(r) <- t.stress.(r) + 1) assignment;
+          Some (Mapping.of_array assignment)
+        end
+        else None
+      end

@@ -1,0 +1,39 @@
+(** Stress-minimizing greedy assignment after Zhu & Ammar [15]
+    (paper section II).
+
+    Zhu and Ammar assign substrate resources to virtual-network
+    components so as to balance {e stress} — the number of virtual
+    components already hosted by each substrate node and link — thereby
+    maximizing how many virtual networks the shared substrate can
+    accommodate.  As the paper notes, the algorithm "can be extended to
+    the constrained version of the problem by filtering out infeasible
+    assignments", which is what this implementation does: query nodes
+    are placed in decreasing-degree order onto the feasible host node of
+    minimum current stress, with no backtracking.
+
+    The allocator is stateful across queries: each successful embedding
+    increments the stress of the hosts it uses, so successive virtual
+    networks spread over the substrate.  Greedy placement is incomplete
+    (it can miss feasible embeddings); tests exhibit that against ECF. *)
+
+type t
+
+val create : Netembed_graph.Graph.t -> t
+(** A fresh allocator over the hosting network (stress all zero). *)
+
+val host : t -> Netembed_graph.Graph.t
+val node_stress : t -> Netembed_graph.Graph.node -> int
+
+val embed :
+  ?edge_constraint:Netembed_expr.Ast.t ->
+  t ->
+  Netembed_graph.Graph.t ->
+  Netembed_core.Mapping.t option
+(** Greedily embed the query (constraint defaults to
+    {!Netembed_expr.Expr.always}); on success the stress of the used
+    hosts is incremented.  Unlike NETEMBED, the same host may be reused
+    by later queries (stress accrues), but within one query the mapping
+    is injective. *)
+
+val total_stress : t -> int
+val max_stress : t -> int

@@ -1,0 +1,168 @@
+type t = { n : int; words : int array }
+
+let bits_per_word = 62 (* OCaml native ints carry 63 bits incl. sign; use 62 so
+                          a full word is exactly [max_int] *)
+
+let word_count n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { n; words = Array.make (max 1 (word_count n)) 0 }
+
+let universe_size t = t.n
+
+(* Mask for the last, possibly partial word so that full/complement style
+   operations never set bits beyond the universe. *)
+let last_word_mask n =
+  let rem = n mod bits_per_word in
+  if rem = 0 then max_int else (1 lsl rem) - 1
+
+let full n =
+  let t = create n in
+  let wc = word_count n in
+  for i = 0 to wc - 1 do
+    t.words.(i) <- max_int
+  done;
+  if n > 0 then t.words.(wc - 1) <- last_word_mask n;
+  t
+
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let check_index t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of universe"
+
+let add t i =
+  check_index t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let remove t i =
+  check_index t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  if i < 0 || i >= t.n then false
+  else
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    t.words.(w) land (1 lsl b) <> 0
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t =
+  let rec go i = i >= Array.length t.words || (t.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let equal a b =
+  a.n = b.n
+  &&
+  let rec go i = i >= Array.length a.words || (a.words.(i) = b.words.(i) && go (i + 1)) in
+  go 0
+
+let check_same a b = if a.n <> b.n then invalid_arg "Bitset: universe mismatch"
+
+let inter_into ~dst src =
+  check_same dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land src.words.(i)
+  done
+
+let union_into ~dst src =
+  check_same dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) lor src.words.(i)
+  done
+
+let diff_into ~dst src =
+  check_same dst src;
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- dst.words.(i) land lnot src.words.(i)
+  done
+
+let inter a b =
+  let r = copy a in
+  inter_into ~dst:r b;
+  r
+
+let union a b =
+  let r = copy a in
+  union_into ~dst:r b;
+  r
+
+let diff a b =
+  let r = copy a in
+  diff_into ~dst:r b;
+  r
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = ref t.words.(w) in
+    while !word <> 0 do
+      let lsb = !word land - !word in
+      let b =
+        (* index of least significant set bit *)
+        let rec go x acc = if x = 1 then acc else go (x lsr 1) (acc + 1) in
+        go lsb 0
+      in
+      f ((w * bits_per_word) + b);
+      word := !word land lnot lsb
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+let to_array t = Array.of_list (elements t)
+
+let of_list n l =
+  let t = create n in
+  List.iter (fun i -> add t i) l;
+  t
+
+exception Found of int
+
+let choose t =
+  try
+    iter (fun i -> raise (Found i)) t;
+    None
+  with Found i -> Some i
+
+let nth t k =
+  if k < 0 then None
+  else
+    (* Skip whole words by popcount, then scan within the word. *)
+    let remaining = ref k in
+    let result = ref None in
+    (try
+       for w = 0 to Array.length t.words - 1 do
+         let c = popcount t.words.(w) in
+         if !remaining < c then begin
+           let word = ref t.words.(w) in
+           for _ = 1 to !remaining do
+             word := !word land (!word - 1)
+           done;
+           let lsb = !word land - !word in
+           let rec bit_index x acc = if x = 1 then acc else bit_index (x lsr 1) (acc + 1) in
+           result := Some ((w * bits_per_word) + bit_index lsb 0);
+           raise Exit
+         end
+         else remaining := !remaining - c
+       done
+     with Exit -> ());
+    !result
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (elements t)

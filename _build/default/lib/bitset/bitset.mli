@@ -1,0 +1,61 @@
+(** Fixed-universe dense bit sets.
+
+    The ECF/RWB filter matrix stores, for every (query edge, host node)
+    pair, the set of candidate host nodes (paper, section V-A).  Hosting
+    networks have a fixed node universe [0 .. n-1], so a packed bit
+    vector gives O(n/63) intersection and difference — the hot loop of
+    the search (expression (2) of the paper). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [\[0, n)]. *)
+
+val universe_size : t -> int
+val full : int -> t
+val copy : t -> t
+
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+val equal : t -> t -> bool
+
+(** {1 Bulk operations}
+
+    All binary operations require both operands to share a universe
+    size and raise [Invalid_argument] otherwise. *)
+
+val inter_into : dst:t -> t -> unit
+(** [inter_into ~dst src] replaces [dst] with [dst ∩ src]. *)
+
+val union_into : dst:t -> t -> unit
+val diff_into : dst:t -> t -> unit
+(** [diff_into ~dst src] replaces [dst] with [dst \ src]. *)
+
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+
+(** {1 Iteration} *)
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val to_array : t -> int array
+val of_list : int -> int list -> t
+
+val choose : t -> int option
+(** Smallest element, if any. *)
+
+val nth : t -> int -> int option
+(** [nth t k] is the [k]-th smallest element (0-based), if it exists.
+    Used by RWB to pick a uniformly random candidate without
+    materializing the set. *)
+
+val pp : Format.formatter -> t -> unit

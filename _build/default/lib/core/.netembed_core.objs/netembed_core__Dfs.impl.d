@@ -1,0 +1,1 @@
+lib/core/dfs.ml: Array Budget Filter Graph List Mapping Netembed_graph Netembed_rng Problem

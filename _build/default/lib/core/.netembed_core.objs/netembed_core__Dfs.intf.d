@@ -1,0 +1,1 @@
+lib/core/dfs.mli: Budget Filter Mapping Netembed_rng Problem

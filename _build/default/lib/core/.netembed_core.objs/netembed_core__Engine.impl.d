@@ -1,0 +1,1 @@
+lib/core/engine.ml: Budget Dfs Filter List Lns Mapping Netembed_rng

@@ -1,0 +1,1 @@
+lib/core/filter.ml: Array Graph Hashtbl List Netembed_attr Netembed_expr Netembed_graph Problem

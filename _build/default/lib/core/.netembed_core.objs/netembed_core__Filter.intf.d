@@ -1,0 +1,1 @@
+lib/core/filter.mli: Graph Netembed_graph Problem

@@ -1,0 +1,1 @@
+lib/core/lns.ml: Array Budget Graph Hashtbl List Mapping Netembed_graph Problem

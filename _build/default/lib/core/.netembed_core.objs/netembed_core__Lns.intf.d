@@ -1,0 +1,1 @@
+lib/core/lns.mli: Budget Mapping Problem

@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Array Engine Float Graph List Mapping Netembed_attr Netembed_graph Option Problem

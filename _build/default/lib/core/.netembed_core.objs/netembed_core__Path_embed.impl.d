@@ -1,0 +1,1 @@
+lib/core/path_embed.ml: Engine Float Graph Hashtbl List Mapping Netembed_attr Netembed_graph Option Problem

@@ -1,0 +1,1 @@
+lib/core/path_embed.mli: Engine Graph Mapping Netembed_expr Netembed_graph Problem

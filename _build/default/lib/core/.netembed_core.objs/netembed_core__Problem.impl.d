@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Graph List Netembed_attr Netembed_expr Netembed_graph

@@ -1,0 +1,1 @@
+lib/core/problem.mli: Graph Netembed_expr Netembed_graph

@@ -1,0 +1,1 @@
+lib/core/symmetry.ml: Array Graph Hashtbl List Mapping Netembed_attr Netembed_graph

@@ -1,0 +1,1 @@
+lib/core/symmetry.mli: Graph Mapping Netembed_graph

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Format Graph List Mapping Netembed_graph Problem Result

@@ -1,0 +1,47 @@
+type t = {
+  started : float;
+  deadline : float option;
+  max_visited : int option;
+  cancelled : (unit -> bool) option;
+  mutable count : int;
+  mutable spent : bool;
+}
+
+exception Exhausted
+
+let make ?timeout ?max_visited ?cancelled () =
+  let started = Unix.gettimeofday () in
+  {
+    started;
+    deadline = Option.map (fun s -> started +. s) timeout;
+    max_visited;
+    cancelled;
+    count = 0;
+    spent = false;
+  }
+
+let unlimited () = make ()
+
+(* gettimeofday is a ~20ns vDSO call: checking every 64 ticks costs
+   well under 1% even at tens of millions of ticks per second, while
+   keeping the timeout overshoot small for searches whose individual
+   ticks are expensive (LNS candidate enumeration). *)
+let clock_check_interval = 64
+
+let tick t =
+  t.count <- t.count + 1;
+  (match t.max_visited with
+  | Some m when t.count > m -> t.spent <- true
+  | Some _ | None -> ());
+  (match t.deadline with
+  | Some d when t.count mod clock_check_interval = 0 && Unix.gettimeofday () > d ->
+      t.spent <- true
+  | Some _ | None -> ());
+  (match t.cancelled with
+  | Some f when t.count mod clock_check_interval = 0 && f () -> t.spent <- true
+  | Some _ | None -> ());
+  if t.spent then raise Exhausted
+
+let visited t = t.count
+let exhausted t = t.spent
+let elapsed t = Unix.gettimeofday () -. t.started

@@ -1,0 +1,32 @@
+(** Search budgets: wall-clock timeout and visited-node cap.
+
+    NETEMBED "allows trading off completeness for timely convergence ...
+    by allowing only a subset of the feasible embeddings to be returned
+    within a given time constraint (timeout)" (paper, contribution 2).
+    Exceeding the budget aborts the search; the engine then classifies
+    the outcome as partial or inconclusive (Fig. 15). *)
+
+type t
+
+val make : ?timeout:float -> ?max_visited:int -> ?cancelled:(unit -> bool) -> unit -> t
+(** [timeout] in seconds of wall-clock time from [make]; [cancelled] is
+    polled alongside the clock and aborts the search when it returns
+    true — the cooperative cancellation hook used by the parallel
+    searchers to stop losers of a race. *)
+
+val unlimited : unit -> t
+
+exception Exhausted
+
+val tick : t -> unit
+(** Count one visited search-tree node.
+    @raise Exhausted when the budget is exceeded.  The wall clock and
+    the cancellation hook are consulted every 64 ticks, keeping both
+    the overhead and the worst-case timeout overshoot negligible. *)
+
+val visited : t -> int
+val exhausted : t -> bool
+(** True once {!Exhausted} has been raised (or the budget found spent). *)
+
+val elapsed : t -> float
+(** Seconds since [make]. *)

@@ -1,0 +1,106 @@
+open Netembed_graph
+module Rng = Netembed_rng.Rng
+
+type candidate_order =
+  | Ascending
+  | Random of Rng.t
+
+exception Stop_search
+
+let search ?root_candidates (p : Problem.t) (f : Filter.t) ~candidate_order ~budget ~on_solution =
+  let nq = Graph.node_count p.query in
+  let nr = Graph.node_count p.host in
+  let order = Filter.order f in
+  let assignment = Array.make (max 1 nq) (-1) in
+  let used = Array.make (max 1 nr) false in
+  (* Position of each query node in the search order, to find which
+     neighbours are already assigned at a given depth. *)
+  let position = Array.make (max 1 nq) 0 in
+  Array.iteri (fun pos q -> position.(q) <- pos) order;
+  (* Per-depth list of (already-assigned neighbour) query nodes. *)
+  let assigned_neighbours =
+    Array.init nq (fun depth ->
+        let q = order.(depth) in
+        List.filter_map
+          (fun (w, _) -> if position.(w) < depth then Some w else None)
+          (Problem.query_neighbours p q)
+        |> List.sort_uniq compare)
+  in
+  (* Candidate set for the node at [depth]: intersect filter cells of
+     assigned neighbours (smallest first), or node-level candidates when
+     none is assigned yet.  [used] is filtered during enumeration. *)
+  let candidates depth =
+    let q = order.(depth) in
+    match assigned_neighbours.(depth) with
+    | [] -> (
+        match root_candidates with
+        | Some roots when depth = 0 -> roots
+        | Some _ | None -> Filter.node_candidates f q)
+    | nbrs ->
+        let cells =
+          List.map
+            (fun w -> Filter.candidates_from f ~q_assigned:w ~r_assigned:assignment.(w) ~q_next:q)
+            nbrs
+        in
+        let cells =
+          List.sort (fun a b -> compare (Array.length a) (Array.length b)) cells
+        in
+        (match cells with
+        | [] -> [||]
+        | first :: rest ->
+            (* Intersect progressively; bail out on empty. *)
+            let acc = ref first in
+            (try
+               List.iter
+                 (fun c ->
+                   if Array.length !acc = 0 then raise Exit;
+                   let out = Array.make (min (Array.length !acc) (Array.length c)) 0 in
+                   let i = ref 0 and j = ref 0 and k = ref 0 in
+                   let la = Array.length !acc and lb = Array.length c in
+                   while !i < la && !j < lb do
+                     let x = !acc.(!i) and y = c.(!j) in
+                     if x = y then begin
+                       out.(!k) <- x;
+                       incr k;
+                       incr i;
+                       incr j
+                     end
+                     else if x < y then incr i
+                     else incr j
+                   done;
+                   acc := Array.sub out 0 !k)
+                 rest
+             with Exit -> ());
+            !acc)
+  in
+  let rec go depth =
+    Budget.tick budget;
+    if depth = nq then begin
+      match on_solution (Mapping.of_array (Array.copy assignment)) with
+      | `Continue -> ()
+      | `Stop -> raise Stop_search
+    end
+    else begin
+      let q = order.(depth) in
+      let cands = candidates depth in
+      (* No unwind protection: on abort (stop / budget) the whole search
+         state is discarded, so it need not be restored. *)
+      let try_candidate r =
+        if not used.(r) then begin
+          assignment.(q) <- r;
+          used.(r) <- true;
+          go (depth + 1);
+          used.(r) <- false;
+          assignment.(q) <- -1
+        end
+      in
+      match candidate_order with
+      | Ascending -> Array.iter try_candidate cands
+      | Random rng ->
+          let shuffled = Array.copy cands in
+          Rng.shuffle_in_place rng shuffled;
+          Array.iter try_candidate shuffled
+    end
+  in
+  if nq = 0 then ignore (on_solution (Mapping.of_array [||]))
+  else match go 0 with () -> () | exception Stop_search -> ()

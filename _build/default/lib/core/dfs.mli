@@ -1,0 +1,33 @@
+(** The shared depth-first search over the permutations tree used by
+    both ECF and RWB (paper, sections V-A and V-B).
+
+    Query nodes are examined in the Lemma-1 order of the filter matrix.
+    The candidate set of the node at each depth is the intersection of
+    the filter cells of its already-assigned query neighbours
+    (expression (2)), within its node-level candidates (expression (1))
+    and minus already-used host nodes.  ECF enumerates candidates in
+    ascending order (deterministic, exhaustive); RWB enumerates them in
+    uniformly random order — "by virtue of the randomness with which
+    candidate mappings are selected, and the backtracking-nature of the
+    search" — and is normally run in first-match mode. *)
+
+type candidate_order =
+  | Ascending
+  | Random of Netembed_rng.Rng.t
+
+val search :
+  ?root_candidates:int array ->
+  Problem.t ->
+  Filter.t ->
+  candidate_order:candidate_order ->
+  budget:Budget.t ->
+  on_solution:(Mapping.t -> [ `Continue | `Stop ]) ->
+  unit
+(** Runs to exhaustion of the (pruned) permutations tree, calling
+    [on_solution] on every feasible mapping found; stops early if the
+    callback answers [`Stop].
+
+    [root_candidates] restricts the candidate set of the {e first} node
+    in the search order (it must be a sorted subset of that node's
+    candidates) — the root-partitioning hook of the parallel searcher.
+    @raise Budget.Exhausted when the budget runs out. *)

@@ -1,0 +1,92 @@
+module Rng = Netembed_rng.Rng
+
+type algorithm = ECF | RWB | LNS
+
+let algorithm_name = function ECF -> "ECF" | RWB -> "RWB" | LNS -> "LNS"
+let all_algorithms = [ ECF; RWB; LNS ]
+
+type mode = First | All | At_most of int
+
+type outcome = Complete | Partial | Inconclusive
+
+let outcome_name = function
+  | Complete -> "complete"
+  | Partial -> "partial"
+  | Inconclusive -> "inconclusive"
+
+type options = {
+  mode : mode;
+  timeout : float option;
+  max_visited : int option;
+  seed : int;
+  collect : bool;
+}
+
+let default_options =
+  { mode = First; timeout = None; max_visited = None; seed = 42; collect = true }
+
+type result = {
+  mappings : Mapping.t list;
+  found : int;
+  outcome : outcome;
+  elapsed : float;
+  time_to_first : float option;
+  visited : int;
+  filter_evals : int;
+}
+
+let run ?(options = default_options) algorithm problem =
+  let budget = Budget.make ?timeout:options.timeout ?max_visited:options.max_visited () in
+  let found = ref [] in
+  let count = ref 0 in
+  let time_to_first = ref None in
+  let limit = match options.mode with First -> 1 | All -> max_int | At_most k -> max k 0 in
+  let on_solution m =
+    if !time_to_first = None then time_to_first := Some (Budget.elapsed budget);
+    if options.collect then found := m :: !found;
+    incr count;
+    if !count >= limit then `Stop else `Continue
+  in
+  let filter_evals = ref 0 in
+  let ran_out =
+    try
+      if limit = 0 then raise Exit;
+      (match algorithm with
+      | ECF | RWB ->
+          let filter = Filter.build problem in
+          filter_evals := Filter.constraint_evaluations filter;
+          let candidate_order =
+            match algorithm with
+            | ECF -> Dfs.Ascending
+            | RWB -> Dfs.Random (Rng.make options.seed)
+            | LNS -> assert false
+          in
+          Dfs.search problem filter ~candidate_order ~budget ~on_solution
+      | LNS -> Lns.search problem ~budget ~on_solution);
+      false
+    with
+    | Budget.Exhausted -> true
+    | Exit -> false (* At_most 0: nothing requested, trivially complete *)
+  in
+  let mappings = List.rev !found in
+  let outcome =
+    if ran_out then if mappings = [] then Inconclusive else Partial
+    else Complete
+  in
+  {
+    mappings;
+    found = !count;
+    outcome;
+    elapsed = Budget.elapsed budget;
+    time_to_first = !time_to_first;
+    visited = Budget.visited budget;
+    filter_evals = !filter_evals;
+  }
+
+let find_first ?timeout algorithm problem =
+  let options = { default_options with mode = First; timeout } in
+  match (run ~options algorithm problem).mappings with [] -> None | m :: _ -> Some m
+
+let find_all ?timeout algorithm problem =
+  let options = { default_options with mode = All; timeout } in
+  (run ~options algorithm problem).mappings

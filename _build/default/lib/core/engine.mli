@@ -1,0 +1,62 @@
+(** The unified NETEMBED search engine: pick an algorithm, a mode and a
+    budget; get mappings plus the Fig.-15 outcome classification. *)
+
+type algorithm =
+  | ECF  (** Exhaustive search with Constraint Filtering (section V-A) *)
+  | RWB  (** Random Walk with Backtracking (section V-B) *)
+  | LNS  (** Lazy Neighborhood Search (section V-C) *)
+
+val algorithm_name : algorithm -> string
+val all_algorithms : algorithm list
+
+type mode =
+  | First  (** stop at the first feasible embedding *)
+  | All  (** enumerate every feasible embedding *)
+  | At_most of int  (** stop after k embeddings *)
+
+type outcome =
+  | Complete
+      (** the search space was exhausted: the returned set is the
+          complete set of feasible embeddings (possibly empty, which
+          proves infeasibility) — or the requested number of embeddings
+          was reached in [First]/[At_most] mode *)
+  | Partial  (** budget ran out after finding >= 1 embedding *)
+  | Inconclusive  (** budget ran out with no embedding found *)
+
+val outcome_name : outcome -> string
+
+type options = {
+  mode : mode;
+  timeout : float option;  (** seconds *)
+  max_visited : int option;
+  seed : int;  (** RWB candidate-shuffle seed *)
+  collect : bool;
+      (** when false, mappings are counted but not retained — for
+          measurement harnesses that only need [found] and timings
+          (an all-matches run can otherwise retain millions of
+          mappings).  Default true. *)
+}
+
+val default_options : options
+(** [First] mode, no timeout, seed 42. *)
+
+type result = {
+  mappings : Mapping.t list;
+      (** in discovery order; empty when [options.collect] is false *)
+  found : int;  (** number of feasible mappings encountered *)
+  outcome : outcome;
+  elapsed : float;  (** seconds, total *)
+  time_to_first : float option;  (** seconds until the first mapping *)
+  visited : int;  (** search-tree nodes visited *)
+  filter_evals : int;  (** constraint evaluations in filter build (0 for LNS) *)
+}
+
+val run : ?options:options -> algorithm -> Problem.t -> result
+(** Every returned mapping satisfies {!Verify.check} (enforced by the
+    algorithms' construction; tests assert it). *)
+
+val find_first : ?timeout:float -> algorithm -> Problem.t -> Mapping.t option
+(** Convenience wrapper: first feasible embedding, if found in time. *)
+
+val find_all : ?timeout:float -> algorithm -> Problem.t -> Mapping.t list
+(** Convenience wrapper around [All] mode. *)

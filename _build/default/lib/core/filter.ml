@@ -1,0 +1,296 @@
+open Netembed_graph
+module Eval = Netembed_expr.Eval
+module Attrs = Netembed_attr.Attrs
+
+type t = {
+  cells : (int, int array) Hashtbl.t;
+      (** key: (q_assigned * nq + q_next) * nr + r_assigned *)
+  nq : int;
+  nr : int;
+  node_cands : int array array;
+  ls_order : int array;
+  mutable evals : int;
+  mutable nonempty_cells : int;
+}
+
+let cell_key t a b r = (((a * t.nq) + b) * t.nr) + r
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Accumulate candidate lists per cell, then freeze to sorted arrays.
+   With parallel query edges between the same pair, every edge must be
+   satisfiable, so per-edge sets are intersected. *)
+
+let sorted_of_tbl tbl =
+  let l = Hashtbl.fold (fun r () acc -> r :: acc) tbl [] in
+  let a = Array.of_list l in
+  Array.sort compare a;
+  a
+
+let intersect_sorted a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (min la lb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < la && !j < lb do
+    let x = a.(!i) and y = b.(!j) in
+    if x = y then begin
+      out.(!k) <- x;
+      incr k;
+      incr i;
+      incr j
+    end
+    else if x < y then incr i
+    else incr j
+  done;
+  Array.sub out 0 !k
+
+type ordering = Connected_lemma1 | Lemma1 | Input_order
+
+let build ?(ordering = Connected_lemma1) (p : Problem.t) =
+  let nq = Graph.node_count p.query and nr = Graph.node_count p.host in
+  let t =
+    {
+      cells = Hashtbl.create 1024;
+      nq;
+      nr;
+      node_cands = Array.make (max 1 nq) [||];
+      ls_order = [||];
+      evals = 0;
+      nonempty_cells = 0;
+    }
+  in
+  let host_edges = Graph.edges p.host in
+  let undirected = Graph.kind p.host = Graph.Undirected in
+  (* Per query edge: evaluate the specialized residual against every host
+     edge (both host orientations when undirected), collecting, for both
+     lookup directions, r_assigned -> candidate list. *)
+  let add_edge_cells qe a b =
+    let residual =
+      Eval.specialize
+        ~v_edge:(Graph.edge_attrs p.query qe)
+        ~v_source:(Graph.node_attrs p.query a)
+        ~v_target:(Graph.node_attrs p.query b)
+        p.edge_constraint
+    in
+    let fwd : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+    let bwd : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+    let record tbl r partner =
+      let inner =
+        match Hashtbl.find_opt tbl r with
+        | Some i -> i
+        | None ->
+            let i = Hashtbl.create 8 in
+            Hashtbl.replace tbl r i;
+            i
+      in
+      Hashtbl.replace inner partner ()
+    in
+    let test he u v =
+      t.evals <- t.evals + 1;
+      let env =
+        Eval.env ~v_edge:Attrs.empty ~r_edge:(Graph.edge_attrs p.host he)
+          ~v_source:Attrs.empty ~v_target:Attrs.empty
+          ~r_source:(Graph.node_attrs p.host u)
+          ~r_target:(Graph.node_attrs p.host v)
+      in
+      Eval.accepts env residual
+    in
+    (* If the residual never touches host-endpoint attributes, its value
+       cannot depend on the orientation of the host edge, so one
+       evaluation decides both. *)
+    let orientation_sensitive =
+      Netembed_expr.Ast.fold_attrs
+        (fun obj _ acc ->
+          acc
+          ||
+          match obj with
+          | Netembed_expr.Ast.R_source | Netembed_expr.Ast.R_target -> true
+          | Netembed_expr.Ast.R_edge | Netembed_expr.Ast.V_edge
+          | Netembed_expr.Ast.V_source | Netembed_expr.Ast.V_target -> false)
+        residual false
+    in
+    Array.iter
+      (fun (he, u, v) ->
+        let fwd_nodes_ok = Problem.node_ok p ~q:a ~r:u && Problem.node_ok p ~q:b ~r:v in
+        let bwd_nodes_ok =
+          undirected && Problem.node_ok p ~q:a ~r:v && Problem.node_ok p ~q:b ~r:u
+        in
+        if orientation_sensitive then begin
+          (* Orientation a->u, b->v. *)
+          if fwd_nodes_ok && test he u v then begin
+            record fwd u v;
+            record bwd v u
+          end;
+          (* Orientation a->v, b->u (undirected hosts only). *)
+          if bwd_nodes_ok && test he v u then begin
+            record fwd v u;
+            record bwd u v
+          end
+        end
+        else if (fwd_nodes_ok || bwd_nodes_ok) && test he u v then begin
+          if fwd_nodes_ok then begin
+            record fwd u v;
+            record bwd v u
+          end;
+          if bwd_nodes_ok then begin
+            record fwd v u;
+            record bwd u v
+          end
+        end)
+      host_edges;
+    (fwd, bwd)
+  in
+  (* Group query edges by unordered endpoint pair to intersect parallel
+     edges. *)
+  let freeze tbl = Hashtbl.fold (fun r inner acc -> (r, sorted_of_tbl inner) :: acc) tbl [] in
+  let pending : (int, int array) Hashtbl.t = Hashtbl.create 1024 in
+  let touched_pairs = Hashtbl.create 64 in
+  Graph.iter_edges
+    (fun qe a b ->
+      let fwd, bwd = add_edge_cells qe a b in
+      let apply dir_a dir_b tbl =
+        List.iter
+          (fun (r, partners) ->
+            let key = cell_key t dir_a dir_b r in
+            let merged =
+              match Hashtbl.find_opt pending key with
+              | None -> partners
+              | Some prior -> intersect_sorted prior partners
+            in
+            Hashtbl.replace pending key merged)
+          (freeze tbl)
+      in
+      (* If this pair was seen before (parallel edge), cells not re-hit by
+         this edge must drop to empty: handled by intersecting only hit
+         cells and clearing the rest afterwards. *)
+      (match Hashtbl.find_opt touched_pairs (min a b, max a b) with
+      | None -> Hashtbl.replace touched_pairs (min a b, max a b) 1
+      | Some k ->
+          Hashtbl.replace touched_pairs (min a b, max a b) (k + 1));
+      apply a b fwd;
+      apply b a bwd)
+    p.query;
+  (* For parallel edges, a cell hit by only some of the edges is not
+     jointly satisfiable; detecting that requires counting hits, which
+     the merge above does not track.  Generators produce simple graphs;
+     for safety, verify parallel pairs the slow way. *)
+  Hashtbl.iter
+    (fun (a, b) hits ->
+      if hits > 1 then begin
+        let edges_ab = Problem.query_edges_between p a b in
+        (* dir_a maps to [r], dir_b maps to [partner]; every parallel
+           query edge needs some satisfying host edge between them. *)
+        let jointly_ok dir_a r partner =
+          List.for_all
+            (fun (qe, forward) ->
+              let q_src, q_dst = if forward then (a, b) else (b, a) in
+              let image q = if q = dir_a then r else partner in
+              let r_src = image q_src and r_dst = image q_dst in
+              List.exists
+                (fun he -> Problem.edge_pair_ok p ~qe ~q_src ~q_dst ~he ~r_src ~r_dst)
+                (Graph.edges_between p.host r_src r_dst))
+            edges_ab
+        in
+        let recheck dir_a dir_b =
+          for r = 0 to t.nr - 1 do
+            match Hashtbl.find_opt pending (cell_key t dir_a dir_b r) with
+            | None -> ()
+            | Some partners ->
+                let kept = Array.of_list (List.filter (jointly_ok dir_a r) (Array.to_list partners)) in
+                Hashtbl.replace pending (cell_key t dir_a dir_b r) kept
+          done
+        in
+        recheck a b;
+        recheck b a
+      end)
+    touched_pairs;
+  Hashtbl.iter
+    (fun key v -> if Array.length v > 0 then Hashtbl.replace t.cells key v)
+    pending;
+  t.nonempty_cells <- Hashtbl.length t.cells;
+  (* Node-level candidates: intersection over incident edges of the
+     sources present in F, within node_ok. *)
+  let all_hosts_ok q =
+    let out = ref [] in
+    for r = t.nr - 1 downto 0 do
+      if Problem.node_ok p ~q ~r then out := r :: !out
+    done;
+    Array.of_list !out
+  in
+  for q = 0 to nq - 1 do
+    let incident = Problem.query_neighbours p q in
+    let sets =
+      List.map
+        (fun (w, _) ->
+          (* sources r for which cell (q, w, r) is non-empty *)
+          let out = ref [] in
+          for r = t.nr - 1 downto 0 do
+            if Hashtbl.mem t.cells (cell_key t q w r) then out := r :: !out
+          done;
+          Array.of_list !out)
+        incident
+    in
+    t.node_cands.(q) <-
+      (match sets with
+      | [] -> all_hosts_ok q
+      | first :: rest -> List.fold_left intersect_sorted first rest)
+  done;
+  (* Search order: Lemma 1 seeds the order with the fewest-candidate
+     node; after that, expression (2) only prunes through edges into the
+     assigned prefix, so each subsequent node is chosen connected to the
+     prefix (most edges into it, ties broken by fewest candidates).
+     Disconnected queries reseed by candidate count. *)
+  let cand_count q = Array.length t.node_cands.(q) in
+  let order =
+    match ordering with
+    | Input_order -> Array.init nq (fun q -> q)
+    | Lemma1 ->
+        let order = Array.init nq (fun q -> q) in
+        Array.sort
+          (fun q1 q2 ->
+            let c = compare (cand_count q1) (cand_count q2) in
+            if c <> 0 then c
+            else compare (Graph.degree p.query q2) (Graph.degree p.query q1))
+          order;
+        order
+    | Connected_lemma1 ->
+        let order = Array.make (max 1 nq) 0 in
+        let placed = Array.make (max 1 nq) false in
+        let links_to_prefix = Array.make (max 1 nq) 0 in
+        for pos = 0 to nq - 1 do
+          let best = ref (-1) in
+          let better q =
+            match !best with
+            | -1 -> true
+            | b ->
+                if links_to_prefix.(q) <> links_to_prefix.(b) then
+                  links_to_prefix.(q) > links_to_prefix.(b)
+                else if cand_count q <> cand_count b then cand_count q < cand_count b
+                else Graph.degree p.query q > Graph.degree p.query b
+          in
+          for q = 0 to nq - 1 do
+            if (not placed.(q)) && better q then best := q
+          done;
+          let q = !best in
+          placed.(q) <- true;
+          order.(pos) <- q;
+          List.iter
+            (fun (w, _) ->
+              if not placed.(w) then links_to_prefix.(w) <- links_to_prefix.(w) + 1)
+            (Problem.query_neighbours p q)
+        done;
+        if nq = 0 then [||] else order
+  in
+  { t with ls_order = order }
+
+let candidates_from t ~q_assigned ~r_assigned ~q_next =
+  match Hashtbl.find_opt t.cells (cell_key t q_assigned q_next r_assigned) with
+  | Some a -> a
+  | None -> [||]
+
+let node_candidates t q = t.node_cands.(q)
+let order t = t.ls_order
+let constraint_evaluations t = t.evals
+let cell_count t = t.nonempty_cells

@@ -1,0 +1,61 @@
+(** The constraint filter matrix of ECF/RWB (paper, section V-A).
+
+    During the first stage, "the constraint expression is applied to
+    each possible pair of virtual and real edges", producing candidate
+    mappings per edge.  The sparse 3-D matrix [F] has cells
+    [(v, r, vs)] holding the candidate set for [vs] when [v] is mapped
+    onto [r].
+
+    Representation: cells are keyed by the oriented query pair [(v,vs)]
+    and the host node [r], and hold a sorted array of candidate host
+    nodes.  The negative filter F̄ of the paper is implicit: candidate
+    sets are intersected, so anything absent from [F] is excluded
+    (equivalent to subtracting the union of F̄ for undirected problems;
+    for directed problems both lookup directions of each tested
+    orientation are stored).
+
+    The matrix also precomputes per-query-node candidate sets (the
+    paper's expression (1), strengthened with the node-level filters of
+    {!Problem.node_ok}) and the Lemma-1 search order [LS]: query nodes
+    ascending by candidate count. *)
+
+open Netembed_graph
+
+type t
+
+type ordering =
+  | Connected_lemma1
+      (** default: Lemma-1 seed, then greedy most-links-to-prefix *)
+  | Lemma1  (** the paper's literal reading: ascending candidate count *)
+  | Input_order  (** no reordering — the ablation baseline *)
+
+val build : ?ordering:ordering -> Problem.t -> t
+
+val candidates_from :
+  t -> q_assigned:Graph.node -> r_assigned:Graph.node -> q_next:Graph.node ->
+  int array
+(** [candidates_from f ~q_assigned ~r_assigned ~q_next] is the cell
+    [F[q_assigned, r_assigned, q_next]]: sorted host candidates for
+    [q_next] given that assignment.  Empty array when no host edge
+    qualifies.  Meaningful only when the query links [q_assigned] to
+    [q_next]. *)
+
+val node_candidates : t -> Graph.node -> int array
+(** Sorted host candidates for a query node irrespective of other
+    assignments (expression (1) ∩ node filters). *)
+
+val order : t -> Graph.node array
+(** The search order [LS].  Lemma 1 calls for ascending candidate
+    count; since expression (2) can only prune a node through edges
+    into the already-assigned prefix, the order is additionally kept
+    connected: seed = fewest candidates, then greedily the node with
+    most edges into the prefix (ties: fewest candidates, then highest
+    degree), reseeding by candidate count across query components. *)
+
+val constraint_evaluations : t -> int
+(** Number of edge-pair constraint evaluations performed by [build] —
+    reported by the benchmarks. *)
+
+val cell_count : t -> int
+(** Number of non-empty cells — the space-cost metric that motivates
+    LNS. *)

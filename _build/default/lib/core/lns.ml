@@ -1,0 +1,153 @@
+open Netembed_graph
+
+exception Stop_search
+
+let search (p : Problem.t) ~budget ~on_solution =
+  let nq = Graph.node_count p.query in
+  let nr = Graph.node_count p.host in
+  if nq = 0 then ignore (on_solution (Mapping.of_array [||]))
+  else begin
+    let assignment = Array.make nq (-1) in
+    let used = Array.make nr false in
+    let covered = Array.make nq false in
+    (* links_to_covered.(q): number of query edges from q into the
+       covered set; q is a Neighbor iff not covered and count > 0. *)
+    let links_to_covered = Array.make nq 0 in
+    let covered_count = ref 0 in
+    (* Total (in + out) degrees so directed queries count every link. *)
+    let q_degree =
+      Array.init nq (fun q ->
+          p.Problem.query_degree.(q)
+          +
+          match Graph.kind p.Problem.query with
+          | Graph.Undirected -> 0
+          | Graph.Directed -> p.Problem.query_in_degree.(q))
+    in
+    let r_degree = p.Problem.host_degree in
+    (* Choose the next node to examine: the neighbour with the most
+       links into Covered (heuristic 2); on a fresh component (no
+       neighbours), the max-degree uncovered node (heuristic 1 /
+       reseed). *)
+    let pick_next () =
+      let best = ref (-1) and best_links = ref 0 in
+      for q = 0 to nq - 1 do
+        if (not covered.(q)) && links_to_covered.(q) > 0 then
+          if
+            links_to_covered.(q) > !best_links
+            || (links_to_covered.(q) = !best_links
+               && (!best = -1 || q_degree.(q) > q_degree.(!best)))
+          then begin
+            best := q;
+            best_links := links_to_covered.(q)
+          end
+      done;
+      if !best >= 0 then Some (`Neighbour !best)
+      else begin
+        (* Reseed: max-degree uncovered node. *)
+        let seed = ref (-1) in
+        for q = 0 to nq - 1 do
+          if (not covered.(q)) && (!seed = -1 || q_degree.(q) > q_degree.(!seed)) then
+            seed := q
+        done;
+        if !seed >= 0 then Some (`Seed !seed) else None
+      end
+    in
+    (* All query edges between q and its covered neighbours, with the
+       orientation flag (true when stored as q -> w). *)
+    let connecting_edges q =
+      List.filter_map
+        (fun (w, e) ->
+          if covered.(w) then
+            let src, _ = Graph.endpoints p.query e in
+            Some (e, w, src = q)
+          else None)
+        (Problem.query_neighbours p q)
+    in
+    (* Does mapping q -> r satisfy every connecting edge?  Host edges are
+       looked up lazily in the host adjacency. *)
+    let edges_ok q r conn =
+      List.for_all
+        (fun (qe, w, q_is_src) ->
+          let rw = assignment.(w) in
+          let q_src, q_dst = if q_is_src then (q, w) else (w, q) in
+          let r_src, r_dst = if q_is_src then (r, rw) else (rw, r) in
+          List.exists
+            (fun he -> Problem.edge_pair_ok p ~qe ~q_src ~q_dst ~he ~r_src ~r_dst)
+            (Graph.edges_between p.host r_src r_dst))
+        conn
+    in
+    let cover q r =
+      assignment.(q) <- r;
+      used.(r) <- true;
+      covered.(q) <- true;
+      incr covered_count;
+      List.iter
+        (fun (w, _) -> links_to_covered.(w) <- links_to_covered.(w) + 1)
+        (Problem.query_neighbours p q)
+    in
+    let uncover q r =
+      List.iter
+        (fun (w, _) -> links_to_covered.(w) <- links_to_covered.(w) - 1)
+        (Problem.query_neighbours p q);
+      decr covered_count;
+      covered.(q) <- false;
+      used.(r) <- false;
+      assignment.(q) <- -1
+    in
+    let rec extend () =
+      Budget.tick budget;
+      if !covered_count = nq then begin
+        match on_solution (Mapping.of_array (Array.copy assignment)) with
+        | `Continue -> ()
+        | `Stop -> raise Stop_search
+      end
+      else
+        match pick_next () with
+        | None -> ()
+        | Some (`Seed q) ->
+            (* Fresh component: any acceptable, unused host node. *)
+            for r = 0 to nr - 1 do
+              if (not used.(r)) && Problem.node_ok p ~q ~r then begin
+                cover q r;
+                extend ();
+                uncover q r
+              end
+            done
+        | Some (`Neighbour q) ->
+            let conn = connecting_edges q in
+            (* Enumerate candidates from the host neighbourhood of the
+               covered neighbour whose image has the smallest degree. *)
+            let anchor =
+              List.fold_left
+                (fun best (_, w, _) ->
+                  let rw = assignment.(w) in
+                  match best with
+                  | None -> Some rw
+                  | Some prior ->
+                      if r_degree.(rw) < r_degree.(prior) then Some rw else best)
+                None conn
+            in
+            (match anchor with
+            | None -> assert false (* a Neighbour has >= 1 covered link *)
+            | Some anchor ->
+                let seen = Hashtbl.create 16 in
+                List.iter
+                  (fun (r, _) ->
+                    if
+                      (not (Hashtbl.mem seen r))
+                      && (not used.(r))
+                      && Problem.node_ok p ~q ~r
+                    then begin
+                      Hashtbl.replace seen r ();
+                      if edges_ok q r conn then begin
+                        cover q r;
+                        extend ();
+                        uncover q r
+                      end
+                    end)
+                  (match Graph.kind p.Problem.host with
+                  | Graph.Undirected -> Graph.succ p.host anchor
+                  | Graph.Directed -> Graph.succ p.host anchor @ Graph.pred p.host anchor))
+    in
+    match extend () with () -> () | exception Stop_search -> ()
+  end

@@ -1,0 +1,29 @@
+(** Lazy Neighborhood Search (paper, section V-C).
+
+    LNS avoids the O(n·|EQ|·|ER|) space of the filter matrices by
+    growing a connected partial match and checking constraints lazily.
+    Three sets are maintained: [Covered] (matched query nodes),
+    [Neighbors] (query nodes adjacent to a covered node) and [External]
+    (the rest).  Heuristics (paper):
+    + the seed is a maximum-degree query node, so the covered set grows
+      into a highly connected region quickly;
+    + the next node examined is the neighbour with the most links into
+      the covered set, forcing "the largest possible conjunction of
+      constraints" and pruning invalid paths early.
+
+    Candidates for the chosen neighbour are enumerated from the
+    host-side adjacency of its mapped covered neighbours only (no
+    precomputed state), and every connecting edge is verified before the
+    node enters the covered set, so covered sets are always valid
+    partial matches (the "promising mappings" of the appendix proof).
+
+    Extension over the paper: disconnected queries are handled by
+    reseeding from [External] when [Neighbors] empties before the query
+    is exhausted. *)
+
+val search :
+  Problem.t ->
+  budget:Budget.t ->
+  on_solution:(Mapping.t -> [ `Continue | `Stop ]) ->
+  unit
+(** @raise Budget.Exhausted when the budget runs out. *)

@@ -1,0 +1,32 @@
+type t = int array
+
+let of_array a = a
+
+let apply m q =
+  if q < 0 || q >= Array.length m then invalid_arg "Mapping.apply: out of range";
+  m.(q)
+
+let size = Array.length
+let to_array = Array.copy
+let to_list m = Array.to_list (Array.mapi (fun q r -> (q, r)) m)
+
+let is_injective m =
+  let seen = Hashtbl.create (Array.length m) in
+  Array.for_all
+    (fun r ->
+      if Hashtbl.mem seen r then false
+      else begin
+        Hashtbl.replace seen r ();
+        true
+      end)
+    m
+
+let equal = ( = )
+let compare = Stdlib.compare
+
+let pp ppf m =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (q, r) -> Format.fprintf ppf "%d->%d" q r))
+    (to_list m)

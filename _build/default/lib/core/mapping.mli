@@ -1,0 +1,25 @@
+(** A mapping (embedding): the one-to-one function [m : Q -> R] of the
+    paper, represented densely as an array indexed by query node. *)
+
+open Netembed_graph
+
+type t
+
+val of_array : Graph.node array -> t
+(** Takes ownership of the array (no copy); element [i] is the host
+    node assigned to query node [i]. *)
+
+val apply : t -> Graph.node -> Graph.node
+(** [apply m q] is [m(q)].  @raise Invalid_argument out of range. *)
+
+val size : t -> int
+val to_array : t -> Graph.node array
+(** Fresh copy. *)
+
+val to_list : t -> (Graph.node * Graph.node) list
+(** [(q, m q)] pairs in query-node order. *)
+
+val is_injective : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,115 @@
+open Netembed_graph
+module Eval = Netembed_expr.Eval
+module Ast = Netembed_expr.Ast
+
+type t = {
+  host : Graph.t;
+  query : Graph.t;
+  edge_constraint : Ast.t;
+  node_constraint : Ast.t option;
+  degree_filter : bool;
+  host_degree : int array;
+  query_degree : int array;
+  host_in_degree : int array;
+  query_in_degree : int array;
+  (* Specialized residuals per (query edge, orientation); index 2*qe for
+     the stored orientation, 2*qe+1 for the reverse.  Filled lazily. *)
+  residuals : Ast.t option array;
+}
+
+let make ?node_constraint ?(degree_filter = true) ~host ~query edge_constraint =
+  if Graph.kind host <> Graph.kind query then
+    invalid_arg "Problem.make: host and query must share directedness";
+  if Graph.node_count query > Graph.node_count host then
+    invalid_arg "Problem.make: query larger than host";
+  {
+    host;
+    query;
+    edge_constraint;
+    node_constraint;
+    degree_filter;
+    host_degree = Array.init (Graph.node_count host) (Graph.degree host);
+    query_degree = Array.init (Graph.node_count query) (Graph.degree query);
+    host_in_degree = Array.init (Graph.node_count host) (Graph.in_degree host);
+    query_in_degree = Array.init (Graph.node_count query) (Graph.in_degree query);
+    residuals = Array.make (max 1 (2 * Graph.edge_count query)) None;
+  }
+
+let residual t qe ~q_src ~q_dst =
+  let stored_src, _ = Graph.endpoints t.query qe in
+  let idx = (2 * qe) + if stored_src = q_src then 0 else 1 in
+  match t.residuals.(idx) with
+  | Some r -> r
+  | None ->
+      let r =
+        Eval.specialize
+          ~v_edge:(Graph.edge_attrs t.query qe)
+          ~v_source:(Graph.node_attrs t.query q_src)
+          ~v_target:(Graph.node_attrs t.query q_dst)
+          t.edge_constraint
+      in
+      t.residuals.(idx) <- Some r;
+      r
+
+let edge_pair_ok t ~qe ~q_src ~q_dst ~he ~r_src ~r_dst =
+  let residual = residual t qe ~q_src ~q_dst in
+  let env =
+    Eval.env ~v_edge:Netembed_attr.Attrs.empty
+      ~r_edge:(Graph.edge_attrs t.host he)
+      ~v_source:Netembed_attr.Attrs.empty ~v_target:Netembed_attr.Attrs.empty
+      ~r_source:(Graph.node_attrs t.host r_src)
+      ~r_target:(Graph.node_attrs t.host r_dst)
+  in
+  Eval.accepts env residual
+
+let node_ok t ~q ~r =
+  (not t.degree_filter
+  || (t.query_degree.(q) <= t.host_degree.(r)
+     && t.query_in_degree.(q) <= t.host_in_degree.(r)))
+  &&
+  match t.node_constraint with
+  | None -> true
+  | Some c ->
+      let attrs_q = Graph.node_attrs t.query q and attrs_r = Graph.node_attrs t.host r in
+      let env =
+        Eval.env ~v_edge:Netembed_attr.Attrs.empty ~r_edge:Netembed_attr.Attrs.empty
+          ~v_source:attrs_q ~v_target:attrs_q ~r_source:attrs_r ~r_target:attrs_r
+      in
+      Eval.accepts env c
+
+let residual_for_edge t ~q_src ~q_dst =
+  match Graph.find_edge t.query q_src q_dst with
+  | None -> invalid_arg "Problem.residual_for_edge: no such query edge"
+  | Some qe ->
+      Eval.specialize
+        ~v_edge:(Graph.edge_attrs t.query qe)
+        ~v_source:(Graph.node_attrs t.query q_src)
+        ~v_target:(Graph.node_attrs t.query q_dst)
+        t.edge_constraint
+
+(* All query edges incident to [q], regardless of direction: for
+   undirected queries [succ] already lists both orientations of each
+   edge once; for directed ones the in-edges must be added. *)
+let query_neighbours t q =
+  match Graph.kind t.query with
+  | Graph.Undirected -> Graph.succ t.query q
+  | Graph.Directed -> Graph.succ t.query q @ Graph.pred t.query q
+
+let query_edges_between t u v =
+  List.filter_map
+    (fun (w, e) ->
+      if w <> v then None
+      else
+        let src, _ = Graph.endpoints t.query e in
+        Some (e, src = u))
+    (query_neighbours t u)
+
+let prepare t =
+  (* Force every lazy cache so the structure can be shared read-only
+     across domains: the residual table and the host pair index. *)
+  Graph.iter_edges
+    (fun qe q_src q_dst ->
+      ignore (residual t qe ~q_src ~q_dst);
+      ignore (residual t qe ~q_src:q_dst ~q_dst:q_src))
+    t.query;
+  if Graph.node_count t.host > 0 then ignore (Graph.edges_between t.host 0 0)

@@ -1,0 +1,67 @@
+(** An embedding problem instance: hosting network, query network and
+    constraint expression (paper, section IV).
+
+    The constraint is evaluated per (query edge, hosting edge) pair with
+    the six Table-I objects in scope.  An optional node constraint (an
+    extension over the paper, which folds node conditions into the edge
+    expression via [vSource]/[vTarget]) is evaluated per (query node,
+    host node) pair with the node tables bound to both source slots. *)
+
+open Netembed_graph
+
+type t = private {
+  host : Graph.t;
+  query : Graph.t;
+  edge_constraint : Netembed_expr.Ast.t;
+  node_constraint : Netembed_expr.Ast.t option;
+  degree_filter : bool;
+      (** prune host candidates with degree < query degree (sound for
+          one-to-one edge-preserving embeddings; on by default) *)
+  host_degree : int array;  (** cached [Graph.degree host] per node *)
+  query_degree : int array;
+  host_in_degree : int array;
+  query_in_degree : int array;
+  residuals : Netembed_expr.Ast.t option array;
+      (** lazy per-(query edge, orientation) specialized constraints *)
+}
+
+val make :
+  ?node_constraint:Netembed_expr.Ast.t ->
+  ?degree_filter:bool ->
+  host:Graph.t ->
+  query:Graph.t ->
+  Netembed_expr.Ast.t ->
+  t
+(** @raise Invalid_argument if the graphs' kinds differ or the query has
+    more nodes than the host (no injective mapping can exist). *)
+
+val edge_pair_ok :
+  t -> qe:Graph.edge -> q_src:Graph.node -> q_dst:Graph.node ->
+  he:Graph.edge -> r_src:Graph.node -> r_dst:Graph.node -> bool
+(** Does mapping query edge [qe] (oriented [q_src]->[q_dst]) onto host
+    edge [he] (oriented [r_src]->[r_dst]) satisfy the constraint?  The
+    orientation of [he] as stored is irrelevant: the caller chooses
+    which endpoint plays source. *)
+
+val node_ok : t -> q:Graph.node -> r:Graph.node -> bool
+(** Node-level acceptability: degree filter plus the node constraint. *)
+
+val residual_for_edge :
+  t -> q_src:Graph.node -> q_dst:Graph.node -> Netembed_expr.Ast.t
+(** The edge constraint specialized to a query edge orientation (see
+    {!Netembed_expr.Eval.specialize}); used by the filter builder. *)
+
+val query_neighbours : t -> Graph.node -> (Graph.node * Graph.edge) list
+(** All (neighbour, edge) pairs incident to a query node in either
+    direction — what constraint propagation must traverse. *)
+
+val query_edges_between :
+  t -> Graph.node -> Graph.node -> (Graph.edge * bool) list
+(** Query edges connecting two nodes; the flag is [true] when the edge
+    is stored as [u]->[v] (orientation matters for directed problems and
+    for asymmetric constraints on undirected ones). *)
+
+val prepare : t -> unit
+(** Force the lazy caches (orientation residuals, host edge index) so
+    the problem can afterwards be shared read-only across domains.
+    Called by the parallel searchers before spawning. *)

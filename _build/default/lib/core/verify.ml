@@ -1,0 +1,49 @@
+open Netembed_graph
+
+type violation =
+  | Wrong_size of { expected : int; got : int }
+  | Out_of_range of { q : int; r : int }
+  | Not_injective of { q1 : int; q2 : int; r : int }
+  | Node_rejected of { q : int; r : int }
+  | Edge_unsatisfied of { qe : int; q_src : int; q_dst : int }
+
+exception Bad of violation
+
+let check (p : Problem.t) m =
+  let nq = Graph.node_count p.query and nr = Graph.node_count p.host in
+  try
+    if Mapping.size m <> nq then
+      raise (Bad (Wrong_size { expected = nq; got = Mapping.size m }));
+    let owner = Array.make (max 1 nr) (-1) in
+    for q = 0 to nq - 1 do
+      let r = Mapping.apply m q in
+      if r < 0 || r >= nr then raise (Bad (Out_of_range { q; r }));
+      if owner.(r) >= 0 then raise (Bad (Not_injective { q1 = owner.(r); q2 = q; r }));
+      owner.(r) <- q;
+      if not (Problem.node_ok p ~q ~r) then raise (Bad (Node_rejected { q; r }))
+    done;
+    Graph.iter_edges
+      (fun qe q_src q_dst ->
+        let r_src = Mapping.apply m q_src and r_dst = Mapping.apply m q_dst in
+        let satisfied =
+          List.exists
+            (fun he -> Problem.edge_pair_ok p ~qe ~q_src ~q_dst ~he ~r_src ~r_dst)
+            (Graph.edges_between p.host r_src r_dst)
+        in
+        if not satisfied then raise (Bad (Edge_unsatisfied { qe; q_src; q_dst })))
+      p.query;
+    Ok ()
+  with Bad v -> Error v
+
+let is_valid p m = Result.is_ok (check p m)
+
+let pp_violation ppf = function
+  | Wrong_size { expected; got } ->
+      Format.fprintf ppf "mapping has %d entries, query has %d nodes" got expected
+  | Out_of_range { q; r } -> Format.fprintf ppf "query node %d mapped to bogus host %d" q r
+  | Not_injective { q1; q2; r } ->
+      Format.fprintf ppf "query nodes %d and %d both mapped to host %d" q1 q2 r
+  | Node_rejected { q; r } ->
+      Format.fprintf ppf "host %d fails the node filter for query node %d" r q
+  | Edge_unsatisfied { qe; q_src; q_dst } ->
+      Format.fprintf ppf "query edge %d (%d-%d) has no satisfying host edge" qe q_src q_dst

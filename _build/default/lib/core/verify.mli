@@ -1,0 +1,19 @@
+(** Independent mapping verification — the correctness oracle.
+
+    [check] revalidates a reported mapping from scratch (injectivity,
+    per-node feasibility, existence of a constraint-satisfying host edge
+    for every query edge) without using any search machinery, so it can
+    be used as an oracle in tests for all algorithms and baselines. *)
+
+type violation =
+  | Wrong_size of { expected : int; got : int }
+  | Out_of_range of { q : int; r : int }
+  | Not_injective of { q1 : int; q2 : int; r : int }
+  | Node_rejected of { q : int; r : int }
+  | Edge_unsatisfied of { qe : int; q_src : int; q_dst : int }
+
+val check : Problem.t -> Mapping.t -> (unit, violation) result
+
+val is_valid : Problem.t -> Mapping.t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,1 @@
+lib/digraph/graph.ml: Array Format Hashtbl List Netembed_attr Option Vec

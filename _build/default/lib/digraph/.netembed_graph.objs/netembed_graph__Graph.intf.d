@@ -1,0 +1,1 @@
+lib/digraph/graph.mli: Format Netembed_attr

@@ -1,0 +1,1 @@
+lib/digraph/metrics.ml: Float Format Graph Hashtbl List Option

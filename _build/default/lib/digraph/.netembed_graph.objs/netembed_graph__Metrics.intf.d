@@ -1,0 +1,1 @@
+lib/digraph/metrics.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/digraph/paths.ml: Array Float Graph List Netembed_rng Queue

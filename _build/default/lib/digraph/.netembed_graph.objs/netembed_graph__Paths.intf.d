@@ -1,0 +1,1 @@
+lib/digraph/paths.mli: Graph Netembed_rng

@@ -1,0 +1,1 @@
+lib/digraph/sample.ml: Array Graph Hashtbl List Netembed_rng

@@ -1,0 +1,1 @@
+lib/digraph/sample.mli: Graph Netembed_rng

@@ -1,0 +1,1 @@
+lib/digraph/traversal.ml: Array Graph List Queue

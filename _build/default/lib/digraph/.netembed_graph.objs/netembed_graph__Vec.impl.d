@@ -1,0 +1,1 @@
+lib/digraph/vec.ml: Array

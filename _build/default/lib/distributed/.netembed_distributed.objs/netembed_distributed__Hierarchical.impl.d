@@ -1,0 +1,1 @@
+lib/distributed/hierarchical.ml: Array Fun Graph Hashtbl List Netembed_attr Netembed_core Netembed_graph Netembed_rng Option Printf Queue Seq

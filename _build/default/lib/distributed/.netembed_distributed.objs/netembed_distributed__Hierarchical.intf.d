@@ -1,0 +1,1 @@
+lib/distributed/hierarchical.mli: Graph Netembed_core Netembed_expr Netembed_graph Netembed_rng

@@ -1,0 +1,135 @@
+open Netembed_graph
+module Attrs = Netembed_attr.Attrs
+module Rng = Netembed_rng.Rng
+module Problem = Netembed_core.Problem
+module Engine = Netembed_core.Engine
+module Mapping = Netembed_core.Mapping
+module Verify = Netembed_core.Verify
+
+type region = {
+  name : string;
+  host : Graph.t;
+  to_global : Graph.node array;
+}
+
+let region_of_nodes g name nodes =
+  let host, to_global = Graph.induced_subgraph g nodes in
+  { name; host; to_global }
+
+let partition_by_attr g attr =
+  let buckets : (string, Graph.node list) Hashtbl.t = Hashtbl.create 8 in
+  Graph.iter_nodes
+    (fun v ->
+      let key =
+        Option.value ~default:"<none>" (Attrs.string attr (Graph.node_attrs g v))
+      in
+      Hashtbl.replace buckets key
+        (v :: Option.value ~default:[] (Hashtbl.find_opt buckets key)))
+    g;
+  Hashtbl.fold
+    (fun name nodes acc ->
+      region_of_nodes g name (Array.of_list (List.rev nodes)) :: acc)
+    buckets []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let partition_balanced rng g ~parts =
+  let n = Graph.node_count g in
+  if parts < 1 then invalid_arg "Hierarchical.partition_balanced: parts < 1";
+  if n < parts then invalid_arg "Hierarchical.partition_balanced: graph too small";
+  let owner = Array.make n (-1) in
+  let seeds = Rng.sample_without_replacement rng parts n in
+  let queues = Array.map (fun s -> Queue.of_seq (Seq.return s)) seeds in
+  Array.iteri (fun i s -> owner.(s) <- i) seeds;
+  let remaining = ref (n - parts) in
+  (* Round-robin BFS growth: each region claims one frontier node per
+     turn, keeping sizes balanced. *)
+  while !remaining > 0 do
+    let progressed = ref false in
+    Array.iteri
+      (fun i q ->
+        let claimed = ref false in
+        while (not !claimed) && not (Queue.is_empty q) do
+          let v = Queue.pop q in
+          List.iter
+            (fun (w, _) ->
+              if owner.(w) = -1 && not !claimed then begin
+                owner.(w) <- i;
+                decr remaining;
+                claimed := true;
+                progressed := true;
+                Queue.push w q
+              end)
+            (Graph.succ g v);
+          (* Re-enqueue v if it may still have free neighbours. *)
+          if List.exists (fun (w, _) -> owner.(w) = -1) (Graph.succ g v) then
+            Queue.push v q
+        done)
+      queues;
+    if not !progressed then begin
+      (* Disconnected leftovers: assign to the smallest region. *)
+      let sizes = Array.make parts 0 in
+      Array.iter (fun o -> if o >= 0 then sizes.(o) <- sizes.(o) + 1) owner;
+      let smallest = ref 0 in
+      Array.iteri (fun i s -> if s < sizes.(!smallest) then smallest := i) sizes;
+      Array.iteri
+        (fun v o ->
+          if o = -1 && !remaining > 0 then begin
+            owner.(v) <- !smallest;
+            decr remaining
+          end)
+        owner
+    end
+  done;
+  List.init parts (fun i ->
+      let nodes =
+        Array.of_list
+          (List.filter (fun v -> owner.(v) = i) (List.init n Fun.id))
+      in
+      region_of_nodes g (Printf.sprintf "part%d" i) nodes)
+
+type answer =
+  | Local of string * Mapping.t
+  | Global of Mapping.t
+  | Not_found_anywhere
+
+let translate region m =
+  Mapping.of_array (Array.map (fun r -> region.to_global.(r)) (Mapping.to_array m))
+
+let embed_first ?(algorithm = Engine.ECF) ?timeout_per_stage g ~regions ~query
+    edge_constraint =
+  let try_region region =
+    if Graph.node_count region.host < Graph.node_count query then None
+    else
+      match Problem.make ~host:region.host ~query edge_constraint with
+      | exception Invalid_argument _ -> None
+      | p -> (
+          match Engine.find_first ?timeout:timeout_per_stage algorithm p with
+          | Some m -> Some (region, m)
+          | None -> None)
+  in
+  let ordered =
+    List.stable_sort
+      (fun a b -> compare (Graph.node_count b.host) (Graph.node_count a.host))
+      regions
+  in
+  let rec stage1 = function
+    | [] -> None
+    | region :: rest -> (
+        match try_region region with
+        | Some hit -> Some hit
+        | None -> stage1 rest)
+  in
+  match stage1 ordered with
+  | Some (region, m) ->
+      let global = translate region m in
+      (* A regional embedding must also verify against the full view. *)
+      let p = Problem.make ~host:g ~query edge_constraint in
+      assert (Verify.is_valid p global);
+      Local (region.name, global)
+  | None -> (
+      match Problem.make ~host:g ~query edge_constraint with
+      | exception Invalid_argument _ -> Not_found_anywhere
+      | p -> (
+          match Engine.find_first ?timeout:timeout_per_stage algorithm p with
+          | Some m -> Global m
+          | None -> Not_found_anywhere))

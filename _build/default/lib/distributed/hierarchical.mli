@@ -1,0 +1,61 @@
+(** Hierarchical (decentralized) embedding.
+
+    The paper closes with: "for truly large-scale networks, a complete
+    view of the network may not be available to a single domain (or
+    authority).  Thus, it is desirable ... for services such as
+    NETEMBED to be implemented in a distributed fashion ...  We are
+    currently looking into a hierarchical approach to a decentralized
+    implementation."
+
+    This module realizes the two-level shape of that approach on a
+    single machine: the hosting network is split into {e regions} (each
+    standing for an authority that only knows its own slice); a query
+    is first offered to every region in parallel — a regional answer
+    uses only that region's nodes and links, so it is exactly what the
+    regional authority could have computed alone — and only if no
+    region can host it does the coordinator fall back to the global
+    view.  Locality is also a quality: intra-region embeddings avoid
+    inter-domain links.
+
+    Regions may come from an existing node attribute (PlanetLab sites
+    carry ["region"]) or from balanced BFS growth over the topology. *)
+
+open Netembed_graph
+
+type region = {
+  name : string;
+  host : Graph.t;  (** the region's induced subgraph *)
+  to_global : Graph.node array;  (** region node id -> global node id *)
+}
+
+val partition_by_attr : Graph.t -> string -> region list
+(** One region per distinct value of the given node attribute (nodes
+    lacking it go to a ["<none>"] region), each the induced subgraph on
+    its nodes.  Regions are sorted by name. *)
+
+val partition_balanced :
+  Netembed_rng.Rng.t -> Graph.t -> parts:int -> region list
+(** [parts] regions of near-equal size grown by parallel BFS from
+    random seeds (named "part0".."partN"); every node lands in exactly
+    one region.  @raise Invalid_argument if [parts < 1] or the graph is
+    smaller than [parts]. *)
+
+type answer =
+  | Local of string * Netembed_core.Mapping.t
+      (** region name + mapping in {e global} node ids *)
+  | Global of Netembed_core.Mapping.t
+      (** only the coordinator's full view could host it *)
+  | Not_found_anywhere
+
+val embed_first :
+  ?algorithm:Netembed_core.Engine.algorithm ->
+  ?timeout_per_stage:float ->
+  Graph.t ->
+  regions:region list ->
+  query:Graph.t ->
+  Netembed_expr.Ast.t ->
+  answer
+(** Stage 1: offer the query to every region (largest first, since
+    bigger regions are likelier hosts); first regional success wins.
+    Stage 2: global fallback.  All returned mappings are in global node
+    ids and verified against the global host. *)

@@ -1,0 +1,1 @@
+lib/expr/ast.ml: Float List Netembed_attr Printf String

@@ -1,0 +1,1 @@
+lib/expr/ast.mli: Netembed_attr

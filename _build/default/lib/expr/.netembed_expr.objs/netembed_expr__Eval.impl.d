@@ -1,0 +1,1 @@
+lib/expr/eval.ml: Ast Float List Netembed_attr Printf String

@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Ast Eval Parser Printf

@@ -1,0 +1,1 @@
+lib/expr/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/expr/parser.ml: Ast Lexer List Printf

@@ -1,0 +1,1 @@
+lib/expr/parser.mli: Ast

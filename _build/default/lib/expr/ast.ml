@@ -1,0 +1,104 @@
+type obj = V_edge | R_edge | V_source | V_target | R_source | R_target
+
+type binop = Or | And | Eq | Neq | Lt | Le | Gt | Ge | Add | Sub | Mul | Div
+type unop = Not | Neg
+
+type t =
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Lit of Netembed_attr.Value.t
+  | Attr of obj * string
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Call of string * t list
+
+let obj_name = function
+  | V_edge -> "vEdge"
+  | R_edge -> "rEdge"
+  | V_source -> "vSource"
+  | V_target -> "vTarget"
+  | R_source -> "rSource"
+  | R_target -> "rTarget"
+
+let obj_of_name = function
+  | "vEdge" -> Some V_edge
+  | "rEdge" -> Some R_edge
+  | "vSource" -> Some V_source
+  | "vTarget" -> Some V_target
+  | "rSource" -> Some R_source
+  | "rTarget" -> Some R_target
+  | _ -> None
+
+let binop_name = function
+  | Or -> "||"
+  | And -> "&&"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+
+let precedence = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Neq -> 3
+  | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div -> 6
+
+let rec to_string_prec outer e =
+  match e with
+  | Bool b -> string_of_bool b
+  | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.0f" f
+      else Printf.sprintf "%g" f
+  | Str s -> Printf.sprintf "'%s'" s
+  | Lit v -> (
+      match v with
+      | Netembed_attr.Value.String s -> Printf.sprintf "'%s'" s
+      | v -> Netembed_attr.Value.to_string v)
+  | Attr (o, name) -> Printf.sprintf "%s.%s" (obj_name o) name
+  | Unop (Not, e) -> "!" ^ to_string_prec 7 e
+  | Unop (Neg, e) -> "-" ^ to_string_prec 7 e
+  | Binop (op, a, b) ->
+      let p = precedence op in
+      (* Left-associative: right operand printed at p+1. *)
+      let s =
+        Printf.sprintf "%s %s %s" (to_string_prec p a) (binop_name op)
+          (to_string_prec (p + 1) b)
+      in
+      if p < outer then "(" ^ s ^ ")" else s
+  | Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map (to_string_prec 0) args))
+
+let to_string e = to_string_prec 0 e
+
+let rec equal a b =
+  match (a, b) with
+  | Bool x, Bool y -> x = y
+  | Num x, Num y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | Lit x, Lit y -> Netembed_attr.Value.equal x y
+  | Attr (o1, n1), Attr (o2, n2) -> o1 = o2 && String.equal n1 n2
+  | Unop (op1, e1), Unop (op2, e2) -> op1 = op2 && equal e1 e2
+  | Binop (op1, a1, b1), Binop (op2, a2, b2) -> op1 = op2 && equal a1 a2 && equal b1 b2
+  | Call (f1, args1), Call (f2, args2) ->
+      String.equal f1 f2
+      && List.length args1 = List.length args2
+      && List.for_all2 equal args1 args2
+  | (Bool _ | Num _ | Str _ | Lit _ | Attr _ | Unop _ | Binop _ | Call _), _ -> false
+
+let rec fold_attrs f e acc =
+  match e with
+  | Bool _ | Num _ | Str _ | Lit _ -> acc
+  | Attr (o, name) -> f o name acc
+  | Unop (_, e) -> fold_attrs f e acc
+  | Binop (_, a, b) -> fold_attrs f b (fold_attrs f a acc)
+  | Call (_, args) -> List.fold_left (fun acc e -> fold_attrs f e acc) acc args

@@ -1,0 +1,24 @@
+(** Tokenizer for the constraint expression language.
+
+    The paper implements this with JFlex; we hand-roll the equivalent
+    scanner.  Tokens carry their source offset for error reporting. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | STRING of string   (** single- or double-quoted literal *)
+  | TRUE | FALSE
+  | AND | OR | NOT
+  | EQ | NEQ | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | SLASH
+  | LPAREN | RPAREN | COMMA | DOT
+  | EOF
+
+exception Lex_error of { pos : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** All tokens with their start offsets, ending with [EOF].
+    @raise Lex_error on an unrecognized character or unterminated
+    string. *)
+
+val token_name : token -> string

@@ -1,0 +1,140 @@
+exception Parse_error of { pos : int; message : string }
+
+type stream = { mutable toks : (Lexer.token * int) list }
+
+let error pos message = raise (Parse_error { pos; message })
+
+let peek s = match s.toks with [] -> (Lexer.EOF, 0) | t :: _ -> t
+
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let expect s tok =
+  let got, pos = peek s in
+  if got = tok then advance s
+  else
+    error pos
+      (Printf.sprintf "expected %s, found %s" (Lexer.token_name tok)
+         (Lexer.token_name got))
+
+(* Grammar (Java precedence):
+     or    := and ( '||' and )*
+     and   := eq  ( '&&' eq )*
+     eq    := rel ( ('=='|'!=') rel )*
+     rel   := add ( ('<'|'<='|'>'|'>=') add )*
+     add   := mul ( ('+'|'-') mul )*
+     mul   := unary ( ('*'|'/') unary )*
+     unary := ('!'|'-') unary | primary
+     primary := literal | ident [ '.' ident | '(' args ')' ] | '(' or ')' *)
+
+let binop_of_token = function
+  | Lexer.OR -> Some Ast.Or
+  | Lexer.AND -> Some Ast.And
+  | Lexer.EQ -> Some Ast.Eq
+  | Lexer.NEQ -> Some Ast.Neq
+  | Lexer.LT -> Some Ast.Lt
+  | Lexer.LE -> Some Ast.Le
+  | Lexer.GT -> Some Ast.Gt
+  | Lexer.GE -> Some Ast.Ge
+  | Lexer.PLUS -> Some Ast.Add
+  | Lexer.MINUS -> Some Ast.Sub
+  | Lexer.STAR -> Some Ast.Mul
+  | Lexer.SLASH -> Some Ast.Div
+  | _ -> None
+
+let rec parse_level s min_prec =
+  let lhs = parse_unary s in
+  let rec loop lhs =
+    let tok, _ = peek s in
+    match binop_of_token tok with
+    | Some op when Ast.precedence op >= min_prec ->
+        advance s;
+        let rhs = parse_level s (Ast.precedence op + 1) in
+        loop (Ast.Binop (op, lhs, rhs))
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+and parse_unary s =
+  match peek s with
+  | Lexer.NOT, _ ->
+      advance s;
+      Ast.Unop (Ast.Not, parse_unary s)
+  | Lexer.MINUS, _ ->
+      advance s;
+      Ast.Unop (Ast.Neg, parse_unary s)
+  | _ -> parse_primary s
+
+and parse_primary s =
+  let tok, pos = peek s in
+  match tok with
+  | Lexer.TRUE ->
+      advance s;
+      Ast.Bool true
+  | Lexer.FALSE ->
+      advance s;
+      Ast.Bool false
+  | Lexer.NUMBER f ->
+      advance s;
+      Ast.Num f
+  | Lexer.STRING str ->
+      advance s;
+      Ast.Str str
+  | Lexer.LPAREN ->
+      advance s;
+      let e = parse_level s 1 in
+      expect s Lexer.RPAREN;
+      e
+  | Lexer.IDENT name -> (
+      advance s;
+      match peek s with
+      | Lexer.DOT, dot_pos -> (
+          advance s;
+          match peek s with
+          | Lexer.IDENT attr, _ -> (
+              advance s;
+              match Ast.obj_of_name name with
+              | Some obj -> Ast.Attr (obj, attr)
+              | None ->
+                  error pos
+                    (Printf.sprintf
+                       "unknown object %S (expected vEdge, rEdge, vSource, vTarget, rSource or rTarget)"
+                       name))
+          | _, _ -> error dot_pos "expected an attribute name after '.'")
+      | Lexer.LPAREN, _ ->
+          advance s;
+          let args =
+            if fst (peek s) = Lexer.RPAREN then []
+            else begin
+              let rec more acc =
+                let arg = parse_level s 1 in
+                match peek s with
+                | Lexer.COMMA, _ ->
+                    advance s;
+                    more (arg :: acc)
+                | _ -> List.rev (arg :: acc)
+              in
+              more []
+            end
+          in
+          expect s Lexer.RPAREN;
+          Ast.Call (name, args)
+      | _ ->
+          error pos
+            (Printf.sprintf "bare identifier %S (attribute access or call expected)" name))
+  | tok -> error pos (Printf.sprintf "unexpected %s" (Lexer.token_name tok))
+
+let parse src =
+  let s = { toks = Lexer.tokenize src } in
+  let e = parse_level s 1 in
+  (match peek s with
+  | Lexer.EOF, _ -> ()
+  | tok, pos -> error pos (Printf.sprintf "trailing %s" (Lexer.token_name tok)));
+  e
+
+let parse_result src =
+  match parse src with
+  | e -> Ok e
+  | exception Parse_error { pos; message } ->
+      Error (Printf.sprintf "parse error at offset %d: %s" pos message)
+  | exception Lexer.Lex_error { pos; message } ->
+      Error (Printf.sprintf "lexical error at offset %d: %s" pos message)

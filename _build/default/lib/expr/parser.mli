@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the constraint language (the paper uses
+    CUP; the grammar is the Java boolean-expression subset with standard
+    precedence). *)
+
+exception Parse_error of { pos : int; message : string }
+
+val parse : string -> Ast.t
+(** @raise Parse_error on syntax errors (with source offset).
+    @raise Lexer.Lex_error on lexical errors. *)
+
+val parse_result : string -> (Ast.t, string) result
+(** Like {!parse} but folding both error kinds into a message. *)

@@ -1,0 +1,1 @@
+lib/graphml/graphml.ml: Array Filename Fun Graph Hashtbl List Netembed_attr Netembed_graph Netembed_xml Option Printf

@@ -1,0 +1,1 @@
+lib/graphml/graphml.mli: Netembed_graph

@@ -1,0 +1,255 @@
+module Xml = Netembed_xml.Xml
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+module Schema = Netembed_attr.Schema
+open Netembed_graph
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type key = { attr_name : string; domain : Schema.domain; ty : [ `Bool | `Int | `Float | `String ] }
+
+let parse_key el =
+  let id = match Xml.attr "id" el with Some v -> v | None -> fail "<key> without id" in
+  let attr_name = Option.value ~default:id (Xml.attr "attr.name" el) in
+  let domain =
+    match Xml.attr "for" el with
+    | Some "node" -> Schema.Node
+    | Some "edge" -> Schema.Edge
+    | Some "graph" | Some "all" | None -> Schema.Graph
+    | Some other -> fail "unsupported key domain %S" other
+  in
+  let ty =
+    match Xml.attr "attr.type" el with
+    | Some "boolean" -> `Bool
+    | Some ("int" | "long") -> `Int
+    | Some ("float" | "double") -> `Float
+    | Some "string" | None -> `String
+    | Some other -> fail "unsupported attr.type %S" other
+  in
+  (id, { attr_name; domain; ty })
+
+let parse_value (k : key) payload =
+  try Value.of_string_as k.ty payload
+  with Value.Type_error m -> fail "bad <data> for key %s: %s" k.attr_name m
+
+(* Fuse the "_lo"/"_hi" float pairs written by [write] back into ranges. *)
+let fuse_ranges attrs =
+  Attrs.fold
+    (fun name v acc ->
+      match v with
+      | Value.Float lo when Filename.check_suffix name "_lo" -> (
+          let base = Filename.chop_suffix name "_lo" in
+          match Attrs.float (base ^ "_hi") acc with
+          | Some hi when hi >= lo ->
+              acc
+              |> Attrs.remove (base ^ "_lo")
+              |> Attrs.remove (base ^ "_hi")
+              |> Attrs.add base (Value.range lo hi)
+          | Some _ | None -> acc)
+      | _ -> acc)
+    attrs attrs
+
+let data_attrs keys el =
+  List.fold_left
+    (fun acc data ->
+      match Xml.attr "key" data with
+      | None -> fail "<data> without key"
+      | Some id -> (
+          match Hashtbl.find_opt keys id with
+          | None -> fail "undeclared key %S" id
+          | Some k -> Attrs.add k.attr_name (parse_value k (Xml.text_content data)) acc))
+    Attrs.empty
+    (Xml.find_children "data" el)
+  |> fuse_ranges
+
+let read_root root =
+  if Xml.tag root <> "graphml" then fail "root element is <%s>, expected <graphml>" (Xml.tag root);
+  let keys = Hashtbl.create 16 in
+  List.iter
+    (fun el ->
+      let id, k = parse_key el in
+      Hashtbl.replace keys id k)
+    (Xml.find_children "key" root);
+  let graph_el =
+    match Xml.first_child "graph" root with
+    | Some g -> g
+    | None -> fail "no <graph> element"
+  in
+  let kind =
+    match Xml.attr "edgedefault" graph_el with
+    | Some "directed" -> Graph.Directed
+    | Some "undirected" | None -> Graph.Undirected
+    | Some other -> fail "unsupported edgedefault %S" other
+  in
+  let name = Option.value ~default:"" (Xml.attr "id" graph_el) in
+  let g = Graph.create ~kind ~name () in
+  let node_ids = Hashtbl.create 64 in
+  List.iter
+    (fun el ->
+      let id = match Xml.attr "id" el with Some v -> v | None -> fail "<node> without id" in
+      let attrs = data_attrs keys el in
+      let attrs =
+        if Attrs.mem "id" attrs then attrs else Attrs.add "id" (Value.String id) attrs
+      in
+      let v = Graph.add_node g attrs in
+      if Hashtbl.mem node_ids id then fail "duplicate node id %S" id;
+      Hashtbl.replace node_ids id v)
+    (Xml.find_children "node" graph_el);
+  List.iter
+    (fun el ->
+      let endpoint which =
+        match Xml.attr which el with
+        | Some v -> (
+            match Hashtbl.find_opt node_ids v with
+            | Some n -> n
+            | None -> fail "edge endpoint %S is not a node" v)
+        | None -> fail "<edge> without %s" which
+      in
+      let u = endpoint "source" and v = endpoint "target" in
+      ignore (Graph.add_edge g u v (data_attrs keys el)))
+    (Xml.find_children "edge" graph_el);
+  (match Xml.find_children "data" graph_el with
+  | [] -> ()
+  | _ -> Graph.set_graph_attrs g (data_attrs keys graph_el));
+  g
+
+let read_string s =
+  match Xml.parse_string s with
+  | root -> read_root root
+  | exception Xml.Parse_error { line; message } ->
+      fail "XML parse error at line %d: %s" line message
+
+let read_file path =
+  match Xml.parse_file path with
+  | root -> read_root root
+  | exception Xml.Parse_error { line; message } ->
+      fail "XML parse error in %s at line %d: %s" path line message
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Ranges have no native GraphML type: encode [Range (lo, hi)] under
+   attribute "d" as two float keys "d_lo" / "d_hi". *)
+let flatten_ranges attrs =
+  Attrs.fold
+    (fun name v acc ->
+      match v with
+      | Value.Range (lo, hi) ->
+          acc |> Attrs.remove name
+          |> Attrs.add (name ^ "_lo") (Value.Float lo)
+          |> Attrs.add (name ^ "_hi") (Value.Float hi)
+      | _ -> acc)
+    attrs attrs
+
+let graphml_type = function
+  | Value.Bool _ -> "boolean"
+  | Value.Int _ -> "int"
+  | Value.Float _ -> "float"
+  | Value.String _ -> "string"
+  | Value.Range _ -> assert false (* flattened before use *)
+
+let payload = function
+  | Value.Bool b -> string_of_bool b
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%.17g" f
+  | Value.String s -> s
+  | Value.Range _ -> assert false
+
+let write_string g =
+  (* Collect key declarations per (domain, name) with their type.  A
+     GraphML key has exactly one type; if the same attribute name holds
+     differently-typed values on different elements, widen the declared
+     type (int+float -> float, anything else -> string) so every
+     payload stays parseable. *)
+  let keys : (string * string, string * string) Hashtbl.t = Hashtbl.create 32 in
+  let key_order = ref [] in
+  let widen declared fresh =
+    if declared = fresh then declared
+    else
+      match (declared, fresh) with
+      | ("int" | "float"), ("int" | "float") -> "float"
+      | _ -> "string"
+  in
+  let declare domain attrs =
+    Attrs.iter
+      (fun name v ->
+        let slot = (domain, name) in
+        match Hashtbl.find_opt keys slot with
+        | None ->
+            let id = Printf.sprintf "k%d" (Hashtbl.length keys) in
+            Hashtbl.replace keys slot (id, graphml_type v);
+            key_order := slot :: !key_order
+        | Some (id, declared) ->
+            Hashtbl.replace keys slot (id, widen declared (graphml_type v)))
+      attrs
+  in
+  let node_attrs = Array.init (Graph.node_count g) (fun v -> flatten_ranges (Graph.node_attrs g v)) in
+  let edge_attrs = Array.init (Graph.edge_count g) (fun e -> flatten_ranges (Graph.edge_attrs g e)) in
+  Array.iter (declare "node") node_attrs;
+  Array.iter (declare "edge") edge_attrs;
+  let graph_attrs = flatten_ranges (Graph.graph_attrs g) in
+  declare "graph" graph_attrs;
+  let key_elements =
+    List.rev_map
+      (fun ((domain, name) as slot) ->
+        let id, ty = Hashtbl.find keys slot in
+        Xml.Element
+          ( "key",
+            [ ("id", id); ("for", domain); ("attr.name", name); ("attr.type", ty) ],
+            [] ))
+      !key_order
+  in
+  let data_of domain attrs =
+    List.map
+      (fun (name, v) ->
+        let id, _ = Hashtbl.find keys (domain, name) in
+        Xml.Element ("data", [ ("key", id) ], [ Xml.Text (payload v) ]))
+      (Attrs.to_list attrs)
+  in
+  let node_id v =
+    match Attrs.string "id" (Graph.node_attrs g v) with
+    | Some id -> id
+    | None -> Printf.sprintf "n%d" v
+  in
+  let nodes =
+    List.init (Graph.node_count g) (fun v ->
+        Xml.Element ("node", [ ("id", node_id v) ], data_of "node" node_attrs.(v)))
+  in
+  let edges =
+    List.init (Graph.edge_count g) (fun e ->
+        let u, v = Graph.endpoints g e in
+        Xml.Element
+          ( "edge",
+            [ ("id", Printf.sprintf "e%d" e); ("source", node_id u); ("target", node_id v) ],
+            data_of "edge" edge_attrs.(e) ))
+  in
+  let graph_el =
+    Xml.Element
+      ( "graph",
+        [
+          ("id", if Graph.name g = "" then "G" else Graph.name g);
+          ( "edgedefault",
+            match Graph.kind g with
+            | Graph.Directed -> "directed"
+            | Graph.Undirected -> "undirected" );
+        ],
+        data_of "graph" graph_attrs @ nodes @ edges )
+  in
+  let root =
+    Xml.Element
+      ( "graphml",
+        [ ("xmlns", "http://graphml.graphdrawing.org/xmlns") ],
+        key_elements @ [ graph_el ] )
+  in
+  "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" ^ Xml.to_string root ^ "\n"
+
+let write_file g path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (write_string g))

@@ -1,0 +1,27 @@
+(** GraphML import/export — the paper's network representation
+    (section VI-A): "we have adopted the GraphML standard as a more
+    general way to describe the networks ... the top-level element is
+    the graph and its children are the node and edge elements", with
+    arbitrary typed attributes declared by [<key>] elements.
+
+    Mapping rules:
+    - [<key attr.type>] of [boolean|int|long|float|double|string]
+      becomes the corresponding {!Netembed_attr.Value.t}; [long] maps to
+      [Int], [double] to [Float].
+    - [<data>] payloads of the form ["[lo,hi]"] under string keys whose
+      name ends in ["Range"] stay strings; true range values are
+      written as two float keys by {!write} using the ["_lo"]/["_hi"]
+      suffix convention and re-fused by {!read}.
+    - [edgedefault] selects {!Netembed_graph.Graph.kind}.
+    - node ids are preserved in a ["id"] node attribute on import and
+      re-used on export when present. *)
+
+exception Error of string
+
+val read_string : string -> Netembed_graph.Graph.t
+(** @raise Error on malformed GraphML. *)
+
+val read_file : string -> Netembed_graph.Graph.t
+
+val write_string : Netembed_graph.Graph.t -> string
+val write_file : Netembed_graph.Graph.t -> string -> unit

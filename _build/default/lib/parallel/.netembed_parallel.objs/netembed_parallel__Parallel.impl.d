@@ -1,0 +1,1 @@
+lib/parallel/parallel.ml: Array Atomic Domain List Netembed_core Netembed_rng Unix

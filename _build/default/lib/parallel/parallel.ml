@@ -1,0 +1,90 @@
+module Problem = Netembed_core.Problem
+module Filter = Netembed_core.Filter
+module Dfs = Netembed_core.Dfs
+module Budget = Netembed_core.Budget
+module Mapping = Netembed_core.Mapping
+module Engine = Netembed_core.Engine
+module Rng = Netembed_rng.Rng
+
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Round-robin partition of a sorted candidate array into [k] sorted
+   shares. *)
+let partition k roots =
+  let shares = Array.make k [] in
+  Array.iteri (fun i r -> shares.(i mod k) <- r :: shares.(i mod k)) roots;
+  Array.map (fun l -> Array.of_list (List.rev l)) shares
+
+let ecf_all ?domains ?timeout ?filter problem =
+  let k = match domains with Some d -> max 1 d | None -> default_domains () in
+  Problem.prepare problem;
+  let filter = match filter with Some f -> f | None -> Filter.build problem in
+  let order = Filter.order filter in
+  if Array.length order = 0 then ([ Mapping.of_array [||] ], Engine.Complete)
+  else begin
+    let roots = Filter.node_candidates filter order.(0) in
+    let shares = partition k roots in
+    let run share () =
+      let acc = ref [] in
+      let budget = Budget.make ?timeout () in
+      let exhausted =
+        try
+          Dfs.search ~root_candidates:share problem filter
+            ~candidate_order:Dfs.Ascending ~budget
+            ~on_solution:(fun m ->
+              acc := m :: !acc;
+              `Continue);
+          false
+        with Budget.Exhausted -> true
+      in
+      (List.rev !acc, exhausted)
+    in
+    let handles =
+      Array.map (fun share -> Domain.spawn (run share)) shares
+    in
+    let results = Array.map Domain.join handles in
+    let mappings = List.concat_map fst (Array.to_list results) in
+    let any_exhausted = Array.exists snd results in
+    let outcome =
+      if not any_exhausted then Engine.Complete
+      else if mappings = [] then Engine.Inconclusive
+      else Engine.Partial
+    in
+    (mappings, outcome)
+  end
+
+let rwb_race ?domains ?timeout ?(seed = 42) problem =
+  let k = match domains with Some d -> max 1 d | None -> default_domains () in
+  Problem.prepare problem;
+  let filter = Filter.build problem in
+  let winner : Mapping.t option Atomic.t = Atomic.make None in
+  let run i () =
+    let budget =
+      Budget.make ?timeout ~cancelled:(fun () -> Atomic.get winner <> None) ()
+    in
+    try
+      Dfs.search problem filter
+        ~candidate_order:(Dfs.Random (Rng.make (seed + (1000 * i))))
+        ~budget
+        ~on_solution:(fun m ->
+          ignore (Atomic.compare_and_set winner None (Some m));
+          `Stop)
+    with Budget.Exhausted -> ()
+  in
+  let handles = Array.init k (fun i -> Domain.spawn (run i)) in
+  Array.iter Domain.join handles;
+  Atomic.get winner
+
+let speedup_probe ?domains problem =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let seq =
+    time (fun () ->
+        Engine.run ~options:{ Engine.default_options with Engine.mode = Engine.All }
+          Engine.ECF problem)
+  in
+  let par = time (fun () -> ecf_all ?domains problem) in
+  (seq, par)

@@ -1,0 +1,51 @@
+(** Multicore search — a realization of the paper's future-work remark
+    that NETEMBED can be "implemented in a distributed fashion, which
+    would be advantageous for both service scalability", scaled down to
+    the shared-memory case on OCaml 5 domains.
+
+    Two strategies are provided:
+
+    - {!ecf_all}: the permutations tree is split at the root — the
+      candidate set of the first query node in the search order is
+      partitioned round-robin across domains, each of which runs the
+      ordinary (sequential, exhaustive) ECF on its share.  The union of
+      the per-domain results equals sequential ECF's result set, because
+      subtrees under distinct root assignments are disjoint.
+
+    - {!rwb_race}: independent RWB searches with different seeds race;
+      the first solution cancels the rest (cooperatively, through the
+      budget's cancellation hook).
+
+    Both force the problem's lazy caches before spawning
+    ({!Netembed_core.Problem.prepare}) and share the problem and filter
+    read-only. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1. *)
+
+val ecf_all :
+  ?domains:int ->
+  ?timeout:float ->
+  ?filter:Netembed_core.Filter.t ->
+  Netembed_core.Problem.t ->
+  Netembed_core.Mapping.t list * Netembed_core.Engine.outcome
+(** All feasible embeddings (order unspecified).  Outcome is [Complete]
+    when every domain exhausted its share, [Partial]/[Inconclusive] on
+    timeout, as in the sequential engine.
+
+    Filter construction is sequential (it is the dominant cost on
+    filter-heavy instances — Amdahl applies); pass a prebuilt [filter]
+    to amortize it across runs or to measure pure search scaling. *)
+
+val rwb_race :
+  ?domains:int ->
+  ?timeout:float ->
+  ?seed:int ->
+  Netembed_core.Problem.t ->
+  Netembed_core.Mapping.t option
+(** First feasible embedding found by any racer, if any. *)
+
+val speedup_probe :
+  ?domains:int -> Netembed_core.Problem.t -> float * float
+(** [(sequential_seconds, parallel_seconds)] for an all-matches ECF run
+    — the measurement behind the parallel-ablation bench. *)

@@ -1,0 +1,1 @@
+lib/planetlab/trace.ml: Array Filename Float Fun Graph Netembed_attr Netembed_graph Netembed_rng Option Printf String

@@ -1,0 +1,1 @@
+lib/planetlab/trace.mli: Netembed_graph Netembed_rng

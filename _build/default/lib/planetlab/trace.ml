@@ -1,0 +1,171 @@
+open Netembed_graph
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+module Rng = Netembed_rng.Rng
+
+type params = { sites : int; down_fraction : float; pair_success : float }
+
+(* 296 live-fraction^2 * success * C(296,2) = 28,996:
+   with 3% down, C(287,2) = 41,041 measured candidates, so success ~ 0.7065. *)
+let default = { sites = 296; down_fraction = 0.03; pair_success = 0.7065 }
+
+type region = NA | EU | AS | OC
+
+let regions = [| NA; EU; AS; OC |]
+let region_weight = function NA -> 0.40 | EU -> 0.35 | AS -> 0.20 | OC -> 0.05
+let region_name = function NA -> "na" | EU -> "eu" | AS -> "as" | OC -> "oc"
+
+let pick_region rng =
+  let x = Rng.float rng 1.0 in
+  let rec go i acc =
+    if i = Array.length regions - 1 then regions.(i)
+    else
+      let acc = acc +. region_weight regions.(i) in
+      if x < acc then regions.(i) else go (i + 1) acc
+  in
+  go 0 0.0
+
+(* Cluster-pair avg-delay bands (ms), tuned to the paper's quantiles:
+   ~23% of links in [10,100], ~70% in [25,175]. *)
+let delay_band a b =
+  match if a <= b then (a, b) else (b, a) with
+  | NA, NA | EU, EU -> (20.0, 115.0)
+  | AS, AS | OC, OC -> (25.0, 130.0)
+  | NA, EU -> (90.0, 170.0)
+  | NA, AS -> (140.0, 230.0)
+  | EU, AS -> (150.0, 240.0)
+  | NA, OC | EU, OC | AS, OC -> (170.0, 290.0)
+  | EU, NA | AS, NA | AS, EU | OC, NA | OC, EU | OC, AS ->
+      assert false (* normalized above *)
+
+let os_types = [| "linux-2.4"; "linux-2.6"; "linux-2.6-64" |]
+
+let site_attrs rng idx region =
+  let cpu = 1000 + (200 * Rng.int rng 11) in
+  let mem = 512 * (1 + Rng.int rng 8) in
+  Attrs.of_list
+    [
+      ("name", Value.String (Printf.sprintf "planetlab%d.site%03d.%s" (1 + Rng.int rng 4) idx (region_name region)));
+      ("region", Value.String (region_name region));
+      ("osType", Value.String (Rng.pick rng os_types));
+      ("cpuMhz", Value.Int cpu);
+      ("memMB", Value.Int mem);
+    ]
+
+let edge_attrs rng band =
+  let lo, hi = band in
+  let avg = Rng.uniform rng ~lo ~hi in
+  (* Ping min/max sit close to the average on healthy paths (the paper's
+     range-containment constraint is near-discriminating: each measured
+     link's band fits inside few other links' bands); a small fraction
+     of paths show congestion spikes on the max. *)
+  let mn = avg *. (1.0 -. 0.01 -. (0.02 *. Rng.float rng 1.0)) in
+  let spike =
+    if Rng.float rng 1.0 < 0.02 then 0.3 *. Rng.exponential rng ~mean:1.0 else 0.0
+  in
+  let mx = avg *. (1.0 +. 0.01 +. (0.02 *. Rng.float rng 1.0) +. Float.min spike 1.0) in
+  Attrs.of_list
+    [
+      ("minDelay", Value.Float mn);
+      ("avgDelay", Value.Float avg);
+      ("maxDelay", Value.Float mx);
+    ]
+
+let generate rng p =
+  if p.sites < 2 then invalid_arg "Trace.generate: sites < 2";
+  let g = Graph.create ~name:(Printf.sprintf "planetlab-%d" p.sites) () in
+  let region = Array.make p.sites NA in
+  let up = Array.make p.sites true in
+  for i = 0 to p.sites - 1 do
+    let r = pick_region rng in
+    region.(i) <- r;
+    up.(i) <- Rng.float rng 1.0 >= p.down_fraction;
+    ignore (Graph.add_node g (site_attrs rng i r))
+  done;
+  for i = 0 to p.sites - 1 do
+    for j = i + 1 to p.sites - 1 do
+      if up.(i) && up.(j) && Rng.float rng 1.0 < p.pair_success then
+        ignore (Graph.add_edge g i j (edge_attrs rng (delay_band region.(i) region.(j))))
+    done
+  done;
+  g
+
+let delay_fraction_in g ~lo ~hi =
+  let m = Graph.edge_count g in
+  if m = 0 then 0.0
+  else begin
+    let hits = ref 0 in
+    Graph.iter_edges
+      (fun e _ _ ->
+        match Attrs.float "avgDelay" (Graph.edge_attrs g e) with
+        | Some d when d >= lo && d <= hi -> incr hits
+        | Some _ | None -> ())
+      g;
+    float_of_int !hits /. float_of_int m
+  end
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "#sites %d\n" (Graph.node_count g);
+      Graph.iter_nodes
+        (fun v ->
+          let a = Graph.node_attrs g v in
+          let str k = Option.value ~default:"?" (Attrs.string k a) in
+          let num k = match Attrs.float k a with Some f -> int_of_float f | None -> 0 in
+          Printf.fprintf oc "site %d %s %s %s %d %d\n" v (str "name") (str "region")
+            (str "osType") (num "cpuMhz") (num "memMB"))
+        g;
+      Graph.iter_edges
+        (fun e u v ->
+          let a = Graph.edge_attrs g e in
+          let num k = Option.value ~default:0.0 (Attrs.float k a) in
+          Printf.fprintf oc "%d %d %.3f %.3f %.3f\n" u v (num "minDelay")
+            (num "avgDelay") (num "maxDelay"))
+        g)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let g = Graph.create ~name:(Filename.basename path) () in
+      let fail line = failwith (Printf.sprintf "Trace.load: malformed line %S" line) in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ' ' (String.trim line) with
+           | [] | [ "" ] -> ()
+           | [ "#sites"; n ] ->
+               let n = try int_of_string n with Failure _ -> fail line in
+               for _ = 1 to n do
+                 ignore (Graph.add_node g Attrs.empty)
+               done
+           | [ "site"; id; name; region; os; cpu; mem ] ->
+               let id = try int_of_string id with Failure _ -> fail line in
+               Graph.set_node_attrs g id
+                 (Attrs.of_list
+                    [
+                      ("name", Value.String name);
+                      ("region", Value.String region);
+                      ("osType", Value.String os);
+                      ("cpuMhz", Value.Int (try int_of_string cpu with Failure _ -> fail line));
+                      ("memMB", Value.Int (try int_of_string mem with Failure _ -> fail line));
+                    ])
+           | [ u; v; mn; avg; mx ] ->
+               let int s = try int_of_string s with Failure _ -> fail line in
+               let flt s = try float_of_string s with Failure _ -> fail line in
+               ignore
+                 (Graph.add_edge g (int u) (int v)
+                    (Attrs.of_list
+                       [
+                         ("minDelay", Value.Float (flt mn));
+                         ("avgDelay", Value.Float (flt avg));
+                         ("maxDelay", Value.Float (flt mx));
+                       ]))
+           | _ -> fail line
+         done
+       with End_of_file -> ());
+      g)

@@ -1,0 +1,125 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand seeds into xoshiro state words. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let make seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  (* xoshiro must not be seeded with the all-zero state. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Rejection sampling over the top 62 bits to avoid modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFFL in
+  let bound64 = Int64.of_int bound in
+  let limit = Int64.sub mask (Int64.rem mask bound64) in
+  let rec draw () =
+    let v = Int64.logand (bits64 t) mask in
+    if v > limit then draw () else Int64.to_int (Int64.rem v bound64)
+  in
+  draw ()
+
+let float t bound =
+  (* 53 random bits mapped to [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let uniform t ~lo ~hi = lo +. float t (hi -. lo)
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  -.mean *. log (1.0 -. u)
+
+let normal t ~mean ~stddev =
+  (* Box-Muller; one draw discarded for simplicity of state handling. *)
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u <= 0.0 then nonzero () else u
+  in
+  let u1 = nonzero () in
+  let u2 = float t 1.0 in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let pareto t ~shape ~scale =
+  let u = float t 1.0 in
+  scale /. ((1.0 -. u) ** (1.0 /. shape))
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n <= 0";
+  (* Inverse-CDF over the (small) support; fine for workload generation. *)
+  let total = ref 0.0 in
+  for k = 1 to n do
+    total := !total +. (1.0 /. (float_of_int k ** s))
+  done;
+  let target = float t !total in
+  let rec find k acc =
+    if k >= n then n
+    else
+      let acc = acc +. (1.0 /. (float_of_int k ** s)) in
+      if acc >= target then k else find (k + 1) acc
+  in
+  find 1 0.0
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Partial Fisher-Yates over an index array. *)
+  let idx = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.sub idx 0 k

@@ -1,0 +1,59 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the reproduction (topology generators,
+    the synthetic PlanetLab trace, query sampling, RWB's random candidate
+    order, the annealing/genetic baselines) draws from an explicit
+    generator state so that experiments are replayable from a seed.
+
+    The generator is xoshiro256** (Blackman & Vigna) seeded through
+    splitmix64, both implemented here; states are splittable so parallel
+    domains get independent streams. *)
+
+type t
+
+val make : int -> t
+(** [make seed] builds a fresh generator from a 63-bit seed. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    independent of [t]'s subsequent output. *)
+
+val copy : t -> t
+
+(** {1 Raw draws} *)
+
+val bits64 : t -> int64
+(** Next 64 uniformly random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+(** {1 Distributions} *)
+
+val uniform : t -> lo:float -> hi:float -> float
+val exponential : t -> mean:float -> float
+val normal : t -> mean:float -> stddev:float -> float
+val pareto : t -> shape:float -> scale:float -> float
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] draws a rank in [\[1, n\]] with P(k) proportional to
+    [1 / k**s]. *)
+
+(** {1 Collections} *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.  @raise Invalid_argument on
+    empty input. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] is [k] distinct values drawn
+    uniformly from [\[0, n)], in random order.
+    @raise Invalid_argument if [k > n] or [k < 0]. *)

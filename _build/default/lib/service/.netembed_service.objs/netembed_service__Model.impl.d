@@ -1,0 +1,1 @@
+lib/service/model.ml: Graph Hashtbl List Netembed_attr Netembed_graph Netembed_graphml

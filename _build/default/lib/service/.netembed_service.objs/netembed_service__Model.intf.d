@@ -1,0 +1,1 @@
+lib/service/model.mli: Graph Netembed_attr Netembed_graph

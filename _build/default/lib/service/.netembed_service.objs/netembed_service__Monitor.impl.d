@@ -1,0 +1,1 @@
+lib/service/monitor.ml: Array Float Graph Hashtbl List Model Netembed_attr Netembed_expr Netembed_graph Netembed_rng Option

@@ -1,0 +1,1 @@
+lib/service/monitor.mli: Model Netembed_expr Netembed_graph Netembed_rng

@@ -1,0 +1,1 @@
+lib/service/request.ml: Fun List Netembed_attr Netembed_core Netembed_expr Netembed_graph Netembed_graphml String

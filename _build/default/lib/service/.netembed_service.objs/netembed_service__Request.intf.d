@@ -1,0 +1,1 @@
+lib/service/request.mli: Netembed_core Netembed_expr Netembed_graph

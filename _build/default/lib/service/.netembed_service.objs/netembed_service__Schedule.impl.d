@@ -1,0 +1,1 @@
+lib/service/schedule.ml: Float Graph List Netembed_attr Netembed_core Netembed_expr Netembed_graph

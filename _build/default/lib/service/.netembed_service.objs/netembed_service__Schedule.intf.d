@@ -1,0 +1,1 @@
+lib/service/schedule.mli: Graph Netembed_core Netembed_expr Netembed_graph

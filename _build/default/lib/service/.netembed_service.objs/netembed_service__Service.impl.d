@@ -1,0 +1,1 @@
+lib/service/service.ml: List Logs Model Netembed_core Netembed_expr Netembed_graph Printf Request

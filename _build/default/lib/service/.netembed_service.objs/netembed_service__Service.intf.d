@@ -1,0 +1,1 @@
+lib/service/service.mli: Model Netembed_core Request

@@ -1,0 +1,1 @@
+lib/service/wire.ml: Buffer List Netembed_core Netembed_graphml Option Printf Request Result Scanf Service String

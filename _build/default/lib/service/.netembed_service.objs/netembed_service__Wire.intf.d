@@ -1,0 +1,1 @@
+lib/service/wire.mli: Netembed_core Request Service

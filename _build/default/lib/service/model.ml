@@ -1,0 +1,60 @@
+open Netembed_graph
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+
+type t = {
+  graph : Graph.t;
+  mutable rev : int;
+  reserved_set : (Graph.node, unit) Hashtbl.t;
+}
+
+let create g =
+  let graph = Graph.copy g in
+  (* Every node carries an explicit reservation flag so the standard
+     node constraint ["!rSource.reserved"] is total. *)
+  Graph.iter_nodes
+    (fun v ->
+      if not (Attrs.mem "reserved" (Graph.node_attrs graph v)) then
+        Graph.set_node_attrs graph v
+          (Attrs.add "reserved" (Value.Bool false) (Graph.node_attrs graph v)))
+    graph;
+  { graph; rev = 0; reserved_set = Hashtbl.create 16 }
+let of_graphml_file path = create (Netembed_graphml.Graphml.read_file path)
+let snapshot t = t.graph
+let revision t = t.rev
+
+let update_edge_attrs t e fresh =
+  Graph.set_edge_attrs t.graph e (Attrs.union (Graph.edge_attrs t.graph e) fresh);
+  t.rev <- t.rev + 1
+
+let update_node_attrs t v fresh =
+  Graph.set_node_attrs t.graph v (Attrs.union (Graph.node_attrs t.graph v) fresh);
+  t.rev <- t.rev + 1
+
+exception Conflict of Graph.node
+
+let set_reserved_attr t v flag =
+  Graph.set_node_attrs t.graph v
+    (Attrs.add "reserved" (Value.Bool flag) (Graph.node_attrs t.graph v))
+
+let reserve t nodes =
+  List.iter (fun v -> if Hashtbl.mem t.reserved_set v then raise (Conflict v)) nodes;
+  List.iter
+    (fun v ->
+      Hashtbl.replace t.reserved_set v ();
+      set_reserved_attr t v true)
+    nodes;
+  if nodes <> [] then t.rev <- t.rev + 1
+
+let release t nodes =
+  List.iter
+    (fun v ->
+      if Hashtbl.mem t.reserved_set v then begin
+        Hashtbl.remove t.reserved_set v;
+        set_reserved_attr t v false
+      end)
+    nodes;
+  if nodes <> [] then t.rev <- t.rev + 1
+
+let reserved t = List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) t.reserved_set [])
+let is_reserved t v = Hashtbl.mem t.reserved_set v

@@ -1,0 +1,48 @@
+(** The network model: the service-side characterization of the hosting
+    infrastructure (paper, section III component 1 — "a model of the
+    real network that characterizes the resources available.  Such model
+    could be maintained either by a monitoring service, a resource
+    manager, or a combination of both").
+
+    The model wraps the hosting graph with revisioned updates (a
+    monitoring feed refreshing measured attributes) and reservations (an
+    optional resource-reservation layer marking nodes as allocated,
+    section III component 3). *)
+
+open Netembed_graph
+
+type t
+
+val create : Graph.t -> t
+(** Wrap a hosting network; the graph is copied so later monitor updates
+    do not alias the caller's graph. *)
+
+val of_graphml_file : string -> t
+(** @raise Netembed_graphml.Graphml.Error on malformed input. *)
+
+val snapshot : t -> Graph.t
+(** The current hosting graph including reservation state.  Reserved
+    nodes carry the ["reserved"] boolean attribute; embedding queries
+    exclude them via the standard node filter used by {!Service}. *)
+
+val revision : t -> int
+(** Bumped on every update or reservation change. *)
+
+(** {1 Monitoring updates} *)
+
+val update_edge_attrs : t -> Graph.edge -> Netembed_attr.Attrs.t -> unit
+(** Merge fresh measurements into an edge (new values win). *)
+
+val update_node_attrs : t -> Graph.node -> Netembed_attr.Attrs.t -> unit
+
+(** {1 Reservations} *)
+
+exception Conflict of Graph.node
+
+val reserve : t -> Graph.node list -> unit
+(** Mark the nodes reserved.  @raise Conflict (naming the first already-
+    reserved node) without reserving anything. *)
+
+val release : t -> Graph.node list -> unit
+val reserved : t -> Graph.node list
+val is_reserved : t -> Graph.node -> bool

@@ -1,0 +1,94 @@
+open Netembed_graph
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+module Rng = Netembed_rng.Rng
+
+type params = {
+  sample_fraction : float;
+  drift : float;
+  spike_probability : float;
+  spike_factor : float;
+  flap_probability : float;
+}
+
+let default =
+  {
+    sample_fraction = 0.10;
+    drift = 0.05;
+    spike_probability = 0.02;
+    spike_factor = 3.0;
+    flap_probability = 0.005;
+  }
+
+type t = {
+  params : params;
+  rng : Rng.t;
+  model : Model.t;
+  mutable rounds : int;
+  down : (Graph.node, unit) Hashtbl.t;
+}
+
+let create ?(params = default) rng model =
+  let t = { params; rng; model; rounds = 0; down = Hashtbl.create 8 } in
+  (* Stamp initial liveness so the guard is total. *)
+  let g = Model.snapshot model in
+  Graph.iter_nodes
+    (fun v ->
+      if not (Attrs.mem "up" (Graph.node_attrs g v)) then
+        Model.update_node_attrs model v (Attrs.of_list [ ("up", Value.Bool true) ]))
+    g;
+  t
+
+let remeasure t e =
+  let g = Model.snapshot t.model in
+  let attrs = Graph.edge_attrs g e in
+  match Attrs.float "avgDelay" attrs with
+  | None -> ()
+  | Some avg ->
+      (* Multiplicative drift bounded away from zero. *)
+      let factor = 1.0 +. (t.params.drift *. (Rng.float t.rng 2.0 -. 1.0)) in
+      let avg = Float.max 0.1 (avg *. factor) in
+      let mn =
+        Float.max 0.05 (Float.min avg (Option.value ~default:avg (Attrs.float "minDelay" attrs) *. factor))
+      in
+      let base_max = Float.max avg (Option.value ~default:avg (Attrs.float "maxDelay" attrs) *. factor) in
+      let mx =
+        if Rng.float t.rng 1.0 < t.params.spike_probability then
+          base_max *. t.params.spike_factor
+        else base_max
+      in
+      Model.update_edge_attrs t.model e
+        (Attrs.of_list
+           [
+             ("minDelay", Value.Float mn);
+             ("avgDelay", Value.Float avg);
+             ("maxDelay", Value.Float mx);
+           ])
+
+let flap t v =
+  if Hashtbl.mem t.down v then begin
+    Hashtbl.remove t.down v;
+    Model.update_node_attrs t.model v (Attrs.of_list [ ("up", Value.Bool true) ])
+  end
+  else begin
+    Hashtbl.replace t.down v ();
+    Model.update_node_attrs t.model v (Attrs.of_list [ ("up", Value.Bool false) ])
+  end
+
+let tick t =
+  t.rounds <- t.rounds + 1;
+  let g = Model.snapshot t.model in
+  let m = Graph.edge_count g in
+  let sample = max 1 (int_of_float (t.params.sample_fraction *. float_of_int m)) in
+  if m > 0 then
+    Array.iter (remeasure t) (Rng.sample_without_replacement t.rng (min sample m) m);
+  Graph.iter_nodes
+    (fun v -> if Rng.float t.rng 1.0 < t.params.flap_probability then flap t v)
+    g
+
+let ticks t = t.rounds
+
+let down_nodes t =
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) t.down [])
+
+let liveness_guard = Netembed_expr.Expr.parse_exn "rSource.up"

@@ -1,0 +1,42 @@
+(** Synthetic monitoring feed — the first component of the service
+    architecture (paper, Fig. 1): "a model of the real network that
+    characterizes the resources available.  Such model could be
+    maintained either by a monitoring service, a resource manager, or a
+    combination of both."  The paper's evaluation uses the PlanetLab
+    all-pairs ping daemon; this module simulates such a daemon against
+    a {!Model}: each tick re-measures a sample of links (delays drift
+    multiplicatively and occasionally spike), flaps a few nodes up or
+    down, and pushes the updates into the model.
+
+    The simulation is deterministic in its RNG, so service tests can
+    replay monitoring histories. *)
+
+type params = {
+  sample_fraction : float;  (** links re-measured per tick *)
+  drift : float;  (** relative delay drift per measurement, e.g. 0.05 *)
+  spike_probability : float;  (** chance a measured link spikes *)
+  spike_factor : float;  (** multiplicative spike on maxDelay *)
+  flap_probability : float;  (** chance a node changes up/down per tick *)
+}
+
+val default : params
+
+type t
+
+val create : ?params:params -> Netembed_rng.Rng.t -> Model.t -> t
+
+val tick : t -> unit
+(** Run one monitoring round against the model (bumps its revision when
+    anything changed). *)
+
+val ticks : t -> int
+(** Rounds executed so far. *)
+
+val down_nodes : t -> Netembed_graph.Graph.node list
+(** Nodes currently marked down (their ["up"] attribute is false; the
+    standard liveness guard ["rSource.up"] excludes them from
+    embeddings). *)
+
+val liveness_guard : Netembed_expr.Ast.t
+(** The node constraint ["rSource.up"] to conjoin into requests that
+    must avoid down nodes. *)

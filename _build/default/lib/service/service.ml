@@ -1,0 +1,79 @@
+module Engine = Netembed_core.Engine
+module Problem = Netembed_core.Problem
+module Mapping = Netembed_core.Mapping
+module Expr = Netembed_expr.Expr
+module Ast = Netembed_expr.Ast
+
+type t = { model : Model.t }
+
+let create model = { model }
+let model t = t.model
+
+type answer = {
+  request : Request.t;
+  result : Engine.result;
+  model_revision : int;
+}
+
+let src = Logs.Src.create "netembed.service" ~doc:"NETEMBED mapping service"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Reserved hosts are excluded by conjoining the reservation guard to
+   the user's node constraint. *)
+let reservation_guard = Expr.parse_exn "!rSource.reserved"
+
+let submit t (request : Request.t) =
+  match Request.parse_constraints request with
+  | Error m -> Error m
+  | Ok (edge_constraint, node_constraint) -> (
+      let node_constraint =
+        match node_constraint with
+        | None -> reservation_guard
+        | Some c -> Ast.Binop (Ast.And, reservation_guard, c)
+      in
+      let host = Model.snapshot t.model in
+      match
+        Problem.make ~node_constraint ~host ~query:request.Request.query edge_constraint
+      with
+      | exception Invalid_argument m -> Error m
+      | problem ->
+          let options =
+            {
+              Engine.default_options with
+              Engine.mode = request.Request.mode;
+              timeout = request.Request.timeout;
+            }
+          in
+          let result = Engine.run ~options request.Request.algorithm problem in
+          Log.debug (fun m ->
+              m "query %d nodes via %s: %d mapping(s), %s"
+                (Netembed_graph.Graph.node_count request.Request.query)
+                (Engine.algorithm_name request.Request.algorithm)
+                (List.length result.Engine.mappings)
+                (Engine.outcome_name result.Engine.outcome));
+          Ok { request; result; model_revision = Model.revision t.model })
+
+let submit_with_relaxation t request ~steps ~factor =
+  let rec go request round =
+    match submit t request with
+    | Error m -> Error m
+    | Ok answer ->
+        if answer.result.Engine.mappings <> [] || round >= steps then
+          Ok (answer, round)
+        else go (Request.relax request factor) (round + 1)
+  in
+  go request 0
+
+let allocate t answer mapping =
+  if Model.revision t.model <> answer.model_revision then
+    Error "model changed since the answer was computed; re-submit the query"
+  else begin
+    let hosts = List.map snd (Mapping.to_list mapping) in
+    match Model.reserve t.model hosts with
+    | () -> Ok ()
+    | exception Model.Conflict v -> Error (Printf.sprintf "host node %d already reserved" v)
+  end
+
+let release_mapping t mapping =
+  Model.release t.model (List.map snd (Mapping.to_list mapping))

@@ -1,0 +1,37 @@
+(** The NETEMBED mapping service front-end (paper, Fig. 1): applications
+    submit resource-requirement queries against the network model and
+    receive lists of possible resource assignments.
+
+    The service excludes reserved hosting nodes automatically, supports
+    the interactive negotiate-and-relax loop, and can allocate a
+    returned mapping (reserving its hosts in the model). *)
+
+type t
+
+val create : Model.t -> t
+val model : t -> Model.t
+
+type answer = {
+  request : Request.t;
+  result : Netembed_core.Engine.result;
+  model_revision : int;  (** model revision the answer was computed against *)
+}
+
+val submit : t -> Request.t -> (answer, string) result
+(** Run the request against the current model snapshot.  [Error] is
+    returned for malformed constraint expressions or an impossible
+    query (larger than the hosting network). *)
+
+val submit_with_relaxation :
+  t -> Request.t -> steps:int -> factor:float -> (answer * int, string) result
+(** Interactive negotiation: try the request; while no mapping is found
+    and fewer than [steps] relaxations were applied, widen the delay
+    constraints by [factor] and retry.  Returns the answer together with
+    the number of relaxation rounds used. *)
+
+val allocate : t -> answer -> Netembed_core.Mapping.t -> (unit, string) result
+(** Reserve the hosts used by the mapping.  Fails (without reserving
+    anything) if the model changed since the answer was computed or if
+    any host is already reserved. *)
+
+val release_mapping : t -> Netembed_core.Mapping.t -> unit

@@ -1,0 +1,201 @@
+module Engine = Netembed_core.Engine
+module Mapping = Netembed_core.Mapping
+
+let mode_to_string = function
+  | Engine.First -> "first"
+  | Engine.All -> "all"
+  | Engine.At_most k -> Printf.sprintf "atmost:%d" k
+
+let mode_of_string s =
+  match String.lowercase_ascii s with
+  | "first" -> Ok Engine.First
+  | "all" -> Ok Engine.All
+  | s when String.length s > 7 && String.sub s 0 7 = "atmost:" -> (
+      match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+      | Some k when k >= 0 -> Ok (Engine.At_most k)
+      | Some _ | None -> Error (Printf.sprintf "bad mode %S" s))
+  | s -> Error (Printf.sprintf "bad mode %S" s)
+
+let algorithm_of_string s =
+  match String.uppercase_ascii s with
+  | "ECF" -> Ok Engine.ECF
+  | "RWB" -> Ok Engine.RWB
+  | "LNS" -> Ok Engine.LNS
+  | s -> Error (Printf.sprintf "unknown algorithm %S" s)
+
+let encode_request (r : Request.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "EMBED alg=%s mode=%s%s\n"
+       (Engine.algorithm_name r.Request.algorithm)
+       (mode_to_string r.Request.mode)
+       (match r.Request.timeout with
+       | None -> ""
+       | Some s -> Printf.sprintf " timeout=%g" s));
+  Buffer.add_string buf (Printf.sprintf "CONSTRAINT %s\n" r.Request.constraint_text);
+  (match r.Request.node_constraint_text with
+  | None -> ()
+  | Some c -> Buffer.add_string buf (Printf.sprintf "NODECONSTRAINT %s\n" c));
+  Buffer.add_string buf "GRAPHML\n";
+  Buffer.add_string buf (Netembed_graphml.Graphml.write_string r.Request.query);
+  Buffer.add_string buf ".\n";
+  Buffer.contents buf
+
+let split_kv token =
+  match String.index_opt token '=' with
+  | None -> (token, "")
+  | Some i ->
+      (String.sub token 0 i, String.sub token (i + 1) (String.length token - i - 1))
+
+let ( let* ) = Result.bind
+
+let decode_request text =
+  let lines = String.split_on_char '\n' text in
+  let rec drop_terminator acc = function
+    | [] -> List.rev acc
+    | [ "" ] -> List.rev acc
+    | "." :: _ -> List.rev acc
+    | l :: rest -> drop_terminator (l :: acc) rest
+  in
+  match drop_terminator [] lines with
+  | [] -> Error "empty request"
+  | header :: rest -> (
+      let tokens = String.split_on_char ' ' (String.trim header) in
+      match tokens with
+      | "EMBED" :: params ->
+          let* algorithm, mode, timeout =
+            List.fold_left
+              (fun acc token ->
+                let* alg, mode, timeout = acc in
+                match split_kv token with
+                | "alg", v ->
+                    let* a = algorithm_of_string v in
+                    Ok (Some a, mode, timeout)
+                | "mode", v ->
+                    let* m = mode_of_string v in
+                    Ok (alg, Some m, timeout)
+                | "timeout", v -> (
+                    match float_of_string_opt v with
+                    | Some f -> Ok (alg, mode, Some f)
+                    | None -> Error (Printf.sprintf "bad timeout %S" v))
+                | k, _ -> Error (Printf.sprintf "unknown parameter %S" k))
+              (Ok (None, None, None))
+              params
+          in
+          let algorithm = Option.value ~default:Engine.ECF algorithm in
+          let mode = Option.value ~default:Engine.First mode in
+          let rec scan lines constraint_text node_constraint =
+            match lines with
+            | [] -> Error "missing GRAPHML section"
+            | line :: rest -> (
+                let line_trim = String.trim line in
+                if line_trim = "GRAPHML" then
+                  match constraint_text with
+                  | None -> Error "missing CONSTRAINT line"
+                  | Some c -> Ok (c, node_constraint, String.concat "\n" rest)
+                else
+                  match String.index_opt line_trim ' ' with
+                  | None -> Error (Printf.sprintf "malformed line %S" line_trim)
+                  | Some i -> (
+                      let keyword = String.sub line_trim 0 i in
+                      let payload =
+                        String.sub line_trim (i + 1) (String.length line_trim - i - 1)
+                      in
+                      match keyword with
+                      | "CONSTRAINT" -> scan rest (Some payload) node_constraint
+                      | "NODECONSTRAINT" -> scan rest constraint_text (Some payload)
+                      | k -> Error (Printf.sprintf "unknown keyword %S" k)))
+          in
+          let* constraint_text, node_constraint, graphml = scan rest None None in
+          let* query =
+            match Netembed_graphml.Graphml.read_string graphml with
+            | g -> Ok g
+            | exception Netembed_graphml.Graphml.Error m -> Error m
+          in
+          Ok
+            (Request.make ?node_constraint ~algorithm ~mode ?timeout ~query
+               constraint_text)
+      | _ -> Error "request must start with EMBED")
+
+let encode_answer (a : Service.answer) =
+  let buf = Buffer.create 256 in
+  let r = a.Service.result in
+  Buffer.add_string buf
+    (Printf.sprintf "OK outcome=%s count=%d elapsed=%.3f\n"
+       (Engine.outcome_name r.Engine.outcome)
+       (List.length r.Engine.mappings)
+       (r.Engine.elapsed *. 1000.0));
+  List.iter
+    (fun m ->
+      Buffer.add_string buf "MAPPING";
+      List.iter
+        (fun (q, r) -> Buffer.add_string buf (Printf.sprintf " q%d->r%d" q r))
+        (Mapping.to_list m);
+      Buffer.add_char buf '\n')
+    r.Engine.mappings;
+  Buffer.add_string buf ".\n";
+  Buffer.contents buf
+
+let encode_error m = Printf.sprintf "ERR %s\n.\n" m
+
+type decoded_answer = {
+  outcome : Engine.outcome;
+  elapsed_ms : float;
+  mappings : (int * int) list list;
+}
+
+let outcome_of_string = function
+  | "complete" -> Ok Engine.Complete
+  | "partial" -> Ok Engine.Partial
+  | "inconclusive" -> Ok Engine.Inconclusive
+  | s -> Error (Printf.sprintf "unknown outcome %S" s)
+
+let decode_answer text =
+  let lines =
+    List.filter (fun l -> l <> "" && l <> ".") (String.split_on_char '\n' text)
+  in
+  match lines with
+  | [] -> Error "empty answer"
+  | header :: rest -> (
+      match String.split_on_char ' ' (String.trim header) with
+      | "ERR" :: msg -> Error (String.concat " " msg)
+      | "OK" :: params ->
+          let* outcome, elapsed =
+            List.fold_left
+              (fun acc token ->
+                let* outcome, elapsed = acc in
+                match split_kv token with
+                | "outcome", v ->
+                    let* o = outcome_of_string v in
+                    Ok (Some o, elapsed)
+                | "elapsed", v -> (
+                    match float_of_string_opt v with
+                    | Some f -> Ok (outcome, f)
+                    | None -> Error "bad elapsed")
+                | "count", _ -> acc
+                | k, _ -> Error (Printf.sprintf "unknown parameter %S" k))
+              (Ok (None, 0.0))
+              params
+          in
+          let* outcome =
+            match outcome with Some o -> Ok o | None -> Error "missing outcome"
+          in
+          let parse_mapping line =
+            let pairs = String.split_on_char ' ' (String.trim line) in
+            List.filter_map
+              (fun tok ->
+                match Scanf.sscanf_opt tok "q%d->r%d" (fun q r -> (q, r)) with
+                | Some p -> Some p
+                | None -> None)
+              pairs
+          in
+          let mappings =
+            List.filter_map
+              (fun line ->
+                if String.length line >= 7 && String.sub line 0 7 = "MAPPING" then
+                  Some (parse_mapping (String.sub line 7 (String.length line - 7)))
+                else None)
+              rest
+          in
+          Ok { outcome; elapsed_ms = elapsed; mappings }
+      | _ -> Error "answer must start with OK or ERR")

@@ -1,0 +1,42 @@
+(** Plain-text wire protocol for a standalone NETEMBED service.
+
+    NETEMBED "can be integrated as a service and implemented in a
+    distributed fashion"; this module defines the request/response
+    framing used by the CLI and by the line-oriented server loop, so a
+    deployment can put the engine behind any transport.
+
+    Request frame (text, terminated by a line containing only [.]):
+    {v
+    EMBED alg=<ECF|RWB|LNS> mode=<first|all|atmost:k> [timeout=<sec>]
+    CONSTRAINT <expression>
+    [NODECONSTRAINT <expression>]
+    GRAPHML
+    <graphml document for the query network>
+    .
+    v}
+
+    Response frame:
+    {v
+    OK outcome=<complete|partial|inconclusive> count=<n> elapsed=<ms>
+    MAPPING q0->r17 q1->r4 ...       (one line per mapping)
+    .
+    v}
+    or [ERR <message>] followed by [.]. *)
+
+val mode_to_string : Netembed_core.Engine.mode -> string
+val mode_of_string : string -> (Netembed_core.Engine.mode, string) result
+val algorithm_of_string : string -> (Netembed_core.Engine.algorithm, string) result
+
+val encode_request : Request.t -> string
+val decode_request : string -> (Request.t, string) result
+
+val encode_answer : Service.answer -> string
+val encode_error : string -> string
+
+type decoded_answer = {
+  outcome : Netembed_core.Engine.outcome;
+  elapsed_ms : float;
+  mappings : (int * int) list list;  (** association lists per mapping *)
+}
+
+val decode_answer : string -> (decoded_answer, string) result

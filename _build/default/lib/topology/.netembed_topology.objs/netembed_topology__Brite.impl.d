@@ -1,0 +1,1 @@
+lib/topology/brite.ml: Float Graph Hashtbl List Netembed_attr Netembed_graph Netembed_rng Printf

@@ -1,0 +1,1 @@
+lib/topology/brite_format.ml: Buffer Char Fun Graph Hashtbl List Netembed_attr Netembed_graph Option Printf Seq String

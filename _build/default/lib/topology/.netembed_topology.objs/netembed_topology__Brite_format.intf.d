@@ -1,0 +1,1 @@
+lib/topology/brite_format.mli: Netembed_graph

@@ -1,0 +1,1 @@
+lib/topology/composite.ml: Array Graph Netembed_attr Netembed_graph Printf Regular

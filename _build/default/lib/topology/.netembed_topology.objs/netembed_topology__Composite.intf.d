@@ -1,0 +1,1 @@
+lib/topology/composite.mli: Netembed_attr Netembed_graph Regular

@@ -1,0 +1,1 @@
+lib/topology/overlay.ml: Array Float Graph Hashtbl Netembed_attr Netembed_graph Netembed_rng Option Printf

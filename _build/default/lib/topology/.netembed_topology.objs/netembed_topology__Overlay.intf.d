@@ -1,0 +1,1 @@
+lib/topology/overlay.mli: Graph Netembed_graph Netembed_rng

@@ -1,0 +1,1 @@
+lib/topology/regular.ml: Array Float Graph Netembed_attr Netembed_graph Printf

@@ -1,0 +1,1 @@
+lib/topology/regular.mli: Graph Netembed_attr Netembed_graph

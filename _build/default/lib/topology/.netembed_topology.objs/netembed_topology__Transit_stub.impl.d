@@ -1,0 +1,1 @@
+lib/topology/transit_stub.ml: Array Float Graph Netembed_attr Netembed_graph Netembed_rng

@@ -1,0 +1,136 @@
+open Netembed_graph
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+module Rng = Netembed_rng.Rng
+
+type model =
+  | Waxman of { alpha : float; beta : float }
+  | Barabasi_albert
+
+type params = {
+  n : int;
+  m : int;
+  model : model;
+  plane_size : float;
+  delay_per_km : float;
+  jitter : float;
+}
+
+let default_waxman ~n =
+  {
+    n;
+    m = 2;
+    model = Waxman { alpha = 0.15; beta = 0.2 };
+    plane_size = 1000.0;
+    delay_per_km = 0.02;
+    jitter = 0.25;
+  }
+
+let default_barabasi ~n = { (default_waxman ~n) with model = Barabasi_albert }
+
+let node_xy g v =
+  let attrs = Graph.node_attrs g v in
+  match (Attrs.float "x" attrs, Attrs.float "y" attrs) with
+  | Some x, Some y -> (x, y)
+  | _ -> invalid_arg "Brite: node lacks coordinates"
+
+let distance g u v =
+  let xu, yu = node_xy g u and xv, yv = node_xy g v in
+  Float.hypot (xu -. xv) (yu -. yv)
+
+let edge_distance g e =
+  let u, v = Graph.endpoints g e in
+  distance g u v
+
+let edge_attrs_for rng p dist =
+  let avg = (dist *. p.delay_per_km) +. Rng.exponential rng ~mean:1.0 in
+  let half = p.jitter *. avg in
+  let lo = Float.max 0.05 (avg -. (half *. Rng.float rng 1.0)) in
+  let hi = avg +. (half *. Rng.float rng 1.0) in
+  let bandwidth = Rng.pareto rng ~shape:1.2 ~scale:10.0 in
+  Attrs.of_list
+    [
+      ("minDelay", Value.Float lo);
+      ("avgDelay", Value.Float avg);
+      ("maxDelay", Value.Float hi);
+      ("bandwidth", Value.Float (Float.min bandwidth 10_000.0));
+    ]
+
+let place_node rng p g =
+  let x = Rng.float rng p.plane_size and y = Rng.float rng p.plane_size in
+  Graph.add_node g (Attrs.of_list [ ("x", Value.Float x); ("y", Value.Float y) ])
+
+(* Pick [m] distinct attachment targets among nodes [0 .. limit-1]
+   according to the model, never failing: if probabilistic rounds stall,
+   fall back to uniform choice among the remaining nodes. *)
+let pick_targets rng p g ~limit ~v =
+  let chosen = Hashtbl.create p.m in
+  let want = min p.m limit in
+  let l = p.plane_size *. sqrt 2.0 in
+  (match p.model with
+  | Waxman { alpha; beta } ->
+      let attempts = ref 0 in
+      let max_attempts = 50 * limit in
+      while Hashtbl.length chosen < want && !attempts < max_attempts do
+        incr attempts;
+        let u = Rng.int rng limit in
+        if not (Hashtbl.mem chosen u) then begin
+          let d = distance g u v in
+          let prob = alpha *. exp (-.d /. (beta *. l)) in
+          if Rng.float rng 1.0 < prob then Hashtbl.replace chosen u ()
+        end
+      done
+  | Barabasi_albert ->
+      (* Roulette over degrees; degree-0 impossible after the seed edge. *)
+      let attempts = ref 0 in
+      let max_attempts = 50 * limit in
+      while Hashtbl.length chosen < want && !attempts < max_attempts do
+        incr attempts;
+        let total =
+          let sum = ref 0 in
+          for u = 0 to limit - 1 do
+            sum := !sum + Graph.degree g u + 1
+          done;
+          !sum
+        in
+        let target = Rng.int rng total in
+        let acc = ref 0 and found = ref (-1) in
+        (try
+           for u = 0 to limit - 1 do
+             acc := !acc + Graph.degree g u + 1;
+             if !acc > target then begin
+               found := u;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !found >= 0 && not (Hashtbl.mem chosen !found) then
+          Hashtbl.replace chosen !found ()
+      done);
+  (* Fallback: ensure we return exactly [want] targets. *)
+  while Hashtbl.length chosen < want do
+    let u = Rng.int rng limit in
+    if not (Hashtbl.mem chosen u) then Hashtbl.replace chosen u ()
+  done;
+  Hashtbl.fold (fun u () acc -> u :: acc) chosen []
+
+let generate rng p =
+  if p.n < 2 then invalid_arg "Brite.generate: n < 2";
+  if p.m < 1 then invalid_arg "Brite.generate: m < 1";
+  let model_name =
+    match p.model with Waxman _ -> "waxman" | Barabasi_albert -> "ba"
+  in
+  let g = Graph.create ~name:(Printf.sprintf "brite-%s-%d" model_name p.n) () in
+  (* Seed: two connected nodes. *)
+  let v0 = place_node rng p g in
+  let v1 = place_node rng p g in
+  ignore (Graph.add_edge g v0 v1 (edge_attrs_for rng p (distance g v0 v1)));
+  for _ = 2 to p.n - 1 do
+    let limit = Graph.node_count g in
+    let v = place_node rng p g in
+    let targets = pick_targets rng p g ~limit ~v in
+    List.iter
+      (fun u -> ignore (Graph.add_edge g u v (edge_attrs_for rng p (distance g u v))))
+      targets
+  done;
+  g

@@ -1,0 +1,48 @@
+(** BRITE-style synthetic Internet topologies (Medina, Lakhina, Matta,
+    Byers — the generator the paper uses for its large hosting
+    networks, section VII-C).
+
+    BRITE's router-level models place nodes on a square plane and grow
+    the graph incrementally, attaching each new node with [m] links
+    chosen either by Waxman distance probability or by Barabási-Albert
+    preferential connectivity ("based on the power-law models of node
+    connectivity of the Internet", as the paper puts it).  With [m = 2]
+    this yields E ≈ 2·N, matching the paper's hosting networks
+    (N=1500 E=3030, N=2000 E=4040, N=2500 E=5020).
+
+    Produced attributes:
+    - node: ["x"], ["y"] (plane coordinates, floats)
+    - edge: ["minDelay"], ["avgDelay"], ["maxDelay"] (ms; propagation
+      delay proportional to Euclidean distance plus queueing jitter),
+      ["bandwidth"] (Mbps, heavy-tailed). *)
+
+type model =
+  | Waxman of { alpha : float; beta : float }
+      (** Connection probability [alpha * exp (-d / (beta * l))] where
+          [d] is Euclidean distance and [l] the plane diagonal.
+          BRITE defaults: alpha = 0.15, beta = 0.2. *)
+  | Barabasi_albert
+      (** Preferential attachment: new nodes connect to existing node
+          [i] with probability proportional to [degree i]. *)
+
+type params = {
+  n : int;  (** number of nodes *)
+  m : int;  (** links added per new node (>= 1) *)
+  model : model;
+  plane_size : float;  (** side of the placement square, km *)
+  delay_per_km : float;  (** propagation delay, ms/km *)
+  jitter : float;  (** relative half-width of the min..max delay band *)
+}
+
+val default_waxman : n:int -> params
+(** BRITE Waxman defaults (alpha 0.15, beta 0.2, m = 2, 1000 km plane). *)
+
+val default_barabasi : n:int -> params
+(** BA model with m = 2 — the paper's hosting-network shape. *)
+
+val generate : Netembed_rng.Rng.t -> params -> Netembed_graph.Graph.t
+(** Always connected (each new node attaches to >= 1 existing node).
+    @raise Invalid_argument if [n < 2] or [m < 1]. *)
+
+val edge_distance : Netembed_graph.Graph.t -> Netembed_graph.Graph.edge -> float
+(** Euclidean length of an edge from the endpoint coordinates. *)

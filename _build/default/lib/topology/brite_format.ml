@@ -1,0 +1,142 @@
+open Netembed_graph
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let tokens line =
+  String.split_on_char ' ' (String.trim line)
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse_int what s =
+  match int_of_string_opt s with Some v -> v | None -> fail "bad %s %S" what s
+
+let parse_float what s =
+  match float_of_string_opt s with Some v -> v | None -> fail "bad %s %S" what s
+
+(* Extract the first integer appearing in a header line such as
+   "Nodes: ( 100 )". *)
+let header_count line =
+  let digits =
+    String.to_seq line
+    |> Seq.fold_left
+         (fun (acc, in_num) c ->
+           if c >= '0' && c <= '9' then
+             match acc with
+             | cur :: rest when in_num -> (((cur * 10) + Char.code c - 48) :: rest, true)
+             | _ -> ((Char.code c - 48) :: acc, true)
+           else (acc, false))
+         ([], false)
+    |> fst |> List.rev
+  in
+  match digits with [] -> fail "no count in header %S" line | n :: _ -> n
+
+let read_string text =
+  let lines = String.split_on_char '\n' text in
+  (* Split into sections on the "Nodes:" / "Edges:" headers. *)
+  let rec scan lines nodes edges state =
+    match lines with
+    | [] -> (List.rev nodes, List.rev edges)
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" then scan rest nodes edges state
+        else if String.length trimmed >= 6 && String.sub trimmed 0 6 = "Nodes:" then
+          scan rest nodes edges (`Nodes (header_count trimmed))
+        else if String.length trimmed >= 6 && String.sub trimmed 0 6 = "Edges:" then
+          scan rest nodes edges (`Edges (header_count trimmed))
+        else begin
+          match state with
+          | `Preamble -> scan rest nodes edges state
+          | `Nodes _ -> scan rest (trimmed :: nodes) edges state
+          | `Edges _ -> scan rest nodes (trimmed :: edges) state
+        end
+  in
+  let node_lines, edge_lines = scan lines [] [] `Preamble in
+  if node_lines = [] then fail "no Nodes section";
+  let g = Graph.create ~name:"brite-import" () in
+  (* BRITE node ids may be arbitrary; remap densely. *)
+  let id_map = Hashtbl.create (List.length node_lines) in
+  List.iter
+    (fun line ->
+      match tokens line with
+      | id :: x :: y :: rest ->
+          let node_type =
+            match List.rev rest with t :: _ when int_of_string_opt t = None -> Some t | _ -> None
+          in
+          let attrs =
+            Attrs.of_list
+              ([
+                 ("x", Value.Float (parse_float "x" x));
+                 ("y", Value.Float (parse_float "y" y));
+               ]
+              @ match node_type with Some t -> [ ("nodeType", Value.String t) ] | None -> [])
+          in
+          let v = Graph.add_node g attrs in
+          Hashtbl.replace id_map (parse_int "node id" id) v
+      | _ -> fail "malformed node line %S" line)
+    node_lines;
+  List.iter
+    (fun line ->
+      match tokens line with
+      | _id :: from_ :: to_ :: length :: delay :: bandwidth :: _rest ->
+          let resolve what s =
+            match Hashtbl.find_opt id_map (parse_int what s) with
+            | Some v -> v
+            | None -> fail "edge references unknown node %s" s
+          in
+          let u = resolve "edge source" from_ and v = resolve "edge target" to_ in
+          let d = parse_float "delay" delay in
+          let attrs =
+            Attrs.of_list
+              [
+                ("length", Value.Float (parse_float "length" length));
+                ("minDelay", Value.Float d);
+                ("avgDelay", Value.Float d);
+                ("maxDelay", Value.Float d);
+                ("bandwidth", Value.Float (parse_float "bandwidth" bandwidth));
+              ]
+          in
+          ignore (Graph.add_edge g u v attrs)
+      | _ -> fail "malformed edge line %S" line)
+    edge_lines;
+  g
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> read_string (really_input_string ic (in_channel_length ic)))
+
+let write_string g =
+  let buf = Buffer.create 4096 in
+  let n = Graph.node_count g and m = Graph.edge_count g in
+  Buffer.add_string buf (Printf.sprintf "Topology: ( %d Nodes, %d Edges )\n" n m);
+  Buffer.add_string buf "Model ( 1 ): netembed export\n\n";
+  Buffer.add_string buf (Printf.sprintf "Nodes: ( %d )\n" n);
+  Graph.iter_nodes
+    (fun v ->
+      let attrs = Graph.node_attrs g v in
+      let coord k = Option.value ~default:0.0 (Attrs.float k attrs) in
+      Buffer.add_string buf
+        (Printf.sprintf "%d %.2f %.2f %d %d -1 %s\n" v (coord "x") (coord "y")
+           (Graph.in_degree g v) (Graph.out_degree g v)
+           (Option.value ~default:"RT_NODE" (Attrs.string "nodeType" attrs))))
+    g;
+  Buffer.add_string buf (Printf.sprintf "\nEdges: ( %d )\n" m);
+  let direction = match Graph.kind g with Graph.Directed -> "D" | Graph.Undirected -> "U" in
+  Graph.iter_edges
+    (fun e u v ->
+      let attrs = Graph.edge_attrs g e in
+      let num k = Option.value ~default:0.0 (Attrs.float k attrs) in
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d %.3f %.3f %.3f -1 -1 E_RT %s\n" e u v (num "length")
+           (num "avgDelay") (num "bandwidth") direction))
+    g;
+  Buffer.contents buf
+
+let write_file g path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (write_string g))

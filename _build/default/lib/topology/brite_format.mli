@@ -1,0 +1,39 @@
+(** Reader/writer for BRITE's native topology file format.
+
+    The paper points out that "topology generators like BRITE or GT-ITM
+    feature their own, different network description language"
+    (section VI-A) — this module speaks BRITE's, so topologies produced
+    by the original Java/C++ BRITE tool can be loaded as hosting
+    networks, and our synthetic graphs can be fed to tools that consume
+    BRITE output.
+
+    Format (as produced by BRITE 2.x):
+    {v
+    Topology: ( <n> Nodes, <m> Edges )
+    Model ( <id> ): <free text>
+
+    Nodes: ( <n> )
+    <id> <x> <y> <inDegree> <outDegree> <ASid> <type>
+
+    Edges: ( <m> )
+    <id> <from> <to> <length> <delay> <bandwidth> <ASfrom> <ASto> <type> <direction>
+    v}
+
+    Mapping: node [x]/[y] become float attributes; edge [delay] (ms)
+    becomes ["avgDelay"] (with a degenerate min/max band so the stock
+    constraints work), [length] -> ["length"], [bandwidth] ->
+    ["bandwidth"].  Unknown [type] strings are kept as attributes. *)
+
+exception Error of string
+
+val read_string : string -> Netembed_graph.Graph.t
+(** @raise Error on malformed input. *)
+
+val read_file : string -> Netembed_graph.Graph.t
+
+val write_string : Netembed_graph.Graph.t -> string
+(** Nodes lacking coordinates are written at (0,0); edges lacking
+    delay/bandwidth get 0 entries.  Undirected graphs are emitted with
+    [direction] U, directed ones with D. *)
+
+val write_file : Netembed_graph.Graph.t -> string -> unit

@@ -1,0 +1,64 @@
+open Netembed_graph
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+
+type spec = {
+  root : Regular.shape;
+  groups : int;
+  group : Regular.shape;
+  group_size : int;
+}
+
+let with_level level attrs = Attrs.add "level" (Value.String level) attrs
+
+let generate ?(node = Attrs.empty) ?(root_edge = Attrs.empty)
+    ?(group_edge = Attrs.empty) spec =
+  if spec.groups < 2 then invalid_arg "Composite.generate: groups < 2";
+  if spec.group_size < 1 then invalid_arg "Composite.generate: group_size < 1";
+  let g =
+    Graph.create
+      ~name:
+        (Printf.sprintf "composite-%s(%d)-of-%s(%d)"
+           (Regular.shape_name spec.root) spec.groups
+           (Regular.shape_name spec.group) spec.group_size)
+      ()
+  in
+  (* Build every group by instantiating the regular template and copying
+     it into [g]; node 0 of each template is the gateway. *)
+  let gateways = Array.make spec.groups (-1) in
+  for gi = 0 to spec.groups - 1 do
+    if spec.group_size = 1 then
+      gateways.(gi) <- Graph.add_node g (with_level "root" node)
+    else begin
+      let template =
+        Regular.of_shape ~node ~edge:(with_level "group" group_edge) spec.group
+          spec.group_size
+      in
+      let base = Graph.node_count g in
+      Graph.iter_nodes
+        (fun v ->
+          let level = if v = 0 then "root" else "leaf" in
+          ignore (Graph.add_node g (with_level level (Graph.node_attrs template v))))
+        template;
+      Graph.iter_edges
+        (fun e u v -> ignore (Graph.add_edge g (base + u) (base + v) (Graph.edge_attrs template e)))
+        template;
+      gateways.(gi) <- base
+    end
+  done;
+  (* Root level: instantiate the root template on the gateways. *)
+  let root_template =
+    Regular.of_shape ~edge:(with_level "root" root_edge) spec.root spec.groups
+  in
+  Graph.iter_edges
+    (fun e u v ->
+      if u < spec.groups && v < spec.groups then
+        ignore (Graph.add_edge g gateways.(u) gateways.(v) (Graph.edge_attrs root_template e)))
+    root_template;
+  g
+
+let node_count spec =
+  if spec.group_size = 1 then spec.groups
+  else
+    let template = Regular.of_shape spec.group spec.group_size in
+    spec.groups * Graph.node_count template

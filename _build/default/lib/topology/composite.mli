@@ -1,0 +1,33 @@
+(** Composite two-level query topologies (paper, section VII-D last
+    experiment set): "a two-level hierarchical topology, where both
+    levels have regular structures.  So for example the root level could
+    be a ring, a star, or a clique, and each vertex of the root level is
+    also a regular structure.  Many practical applications follow these
+    kinds of structures, including multicast trees, distributed hash
+    tables, and rings."
+
+    The root level connects one designated {e gateway} node of each
+    group; [root_edge] attributes are stamped on root-level (inter-group)
+    links and [group_edge] on intra-group links, so the paper's
+    per-level delay constraints (75-350 ms wide-area vs 1-75 ms
+    intra-site) can be expressed. *)
+
+type attrs := Netembed_attr.Attrs.t
+
+type spec = {
+  root : Regular.shape;
+  groups : int;  (** number of root-level vertices (>= 2) *)
+  group : Regular.shape;
+  group_size : int;  (** nodes per group (>= 1) *)
+}
+
+val generate :
+  ?node:attrs -> ?root_edge:attrs -> ?group_edge:attrs ->
+  spec -> Netembed_graph.Graph.t
+(** Nodes carry ["level"] = "root" (gateways) or "leaf"; edges carry
+    ["level"] = "root" or "group" in addition to the supplied
+    attributes.  Group shapes of size 1 degenerate to a bare gateway. *)
+
+val node_count : spec -> int
+(** Exact size of the generated graph ([groups * group_size] except for
+    shapes that round, e.g. hypercubes). *)

@@ -1,0 +1,34 @@
+(** Overlay networks derived from an underlay — the hosting-network
+    shape the paper singles out as hard: "if the hosting network is
+    dense (as with overlays, in which there is an overlay link between
+    every two nodes), then the topological constraints implied by the
+    virtual network do not help much" (section V-C footnote).
+
+    Given a router-level underlay (e.g. a BRITE graph), an overlay
+    places application nodes on a subset of the routers and connects
+    either every pair ([Full_mesh]) or each node to its [k] lowest-
+    latency peers ([Nearest of k]).  Overlay link delays are the
+    underlay shortest-path delays (sum of ["avgDelay"] along the path),
+    matching how all-pairs ping characterizes PlanetLab. *)
+
+open Netembed_graph
+
+type mesh =
+  | Full_mesh
+  | Nearest of int  (** connect each overlay node to its k closest peers *)
+
+val build :
+  Netembed_rng.Rng.t ->
+  underlay:Graph.t ->
+  nodes:int ->
+  mesh:mesh ->
+  Graph.t
+(** Sample [nodes] distinct underlay routers (uniformly among routers
+    reachable from the first sample) and build the overlay.  Overlay
+    node attributes copy the underlying router's and add ["router"]
+    (the underlay node id); edges carry ["minDelay"]/["avgDelay"]/
+    ["maxDelay"] = path delay with a ±10% band and ["hops"] (underlay
+    path length).
+
+    @raise Invalid_argument if [nodes] exceeds the underlay size, is
+    < 2, or [Nearest k] has [k < 1]. *)

@@ -1,0 +1,135 @@
+open Netembed_graph
+module Attrs = Netembed_attr.Attrs
+
+let make_nodes g node_attrs n =
+  Array.init n (fun _ -> Graph.add_node g node_attrs)
+
+let ring ?(node = Attrs.empty) ?(edge = Attrs.empty) n =
+  if n < 3 then invalid_arg "Regular.ring: n < 3";
+  let g = Graph.create ~name:(Printf.sprintf "ring-%d" n) () in
+  let vs = make_nodes g node n in
+  for i = 0 to n - 1 do
+    ignore (Graph.add_edge g vs.(i) vs.((i + 1) mod n) edge)
+  done;
+  g
+
+let star ?(node = Attrs.empty) ?(edge = Attrs.empty) n =
+  if n < 2 then invalid_arg "Regular.star: n < 2";
+  let g = Graph.create ~name:(Printf.sprintf "star-%d" n) () in
+  let vs = make_nodes g node n in
+  for i = 1 to n - 1 do
+    ignore (Graph.add_edge g vs.(0) vs.(i) edge)
+  done;
+  g
+
+let clique ?(node = Attrs.empty) ?(edge = Attrs.empty) n =
+  if n < 1 then invalid_arg "Regular.clique: n < 1";
+  let g = Graph.create ~name:(Printf.sprintf "clique-%d" n) () in
+  let vs = make_nodes g node n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      ignore (Graph.add_edge g vs.(i) vs.(j) edge)
+    done
+  done;
+  g
+
+let line ?(node = Attrs.empty) ?(edge = Attrs.empty) n =
+  if n < 1 then invalid_arg "Regular.line: n < 1";
+  let g = Graph.create ~name:(Printf.sprintf "line-%d" n) () in
+  let vs = make_nodes g node n in
+  for i = 0 to n - 2 do
+    ignore (Graph.add_edge g vs.(i) vs.(i + 1) edge)
+  done;
+  g
+
+let balanced_tree ?(node = Attrs.empty) ?(edge = Attrs.empty) ~arity depth =
+  if arity < 1 || depth < 0 then invalid_arg "Regular.balanced_tree";
+  let g = Graph.create ~name:(Printf.sprintf "tree-%d-%d" arity depth) () in
+  let root = Graph.add_node g node in
+  let rec expand parent level =
+    if level < depth then
+      for _ = 1 to arity do
+        let child = Graph.add_node g node in
+        ignore (Graph.add_edge g parent child edge);
+        expand child (level + 1)
+      done
+  in
+  expand root 0;
+  g
+
+let grid ?(node = Attrs.empty) ?(edge = Attrs.empty) ~rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Regular.grid";
+  let g = Graph.create ~name:(Printf.sprintf "grid-%dx%d" rows cols) () in
+  let vs = Array.init rows (fun _ -> make_nodes g node cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then ignore (Graph.add_edge g vs.(r).(c) vs.(r).(c + 1) edge);
+      if r + 1 < rows then ignore (Graph.add_edge g vs.(r).(c) vs.(r + 1).(c) edge)
+    done
+  done;
+  g
+
+let torus ?(node = Attrs.empty) ?(edge = Attrs.empty) ~rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Regular.torus: needs rows, cols >= 3";
+  let g = Graph.create ~name:(Printf.sprintf "torus-%dx%d" rows cols) () in
+  let vs = Array.init rows (fun _ -> make_nodes g node cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      ignore (Graph.add_edge g vs.(r).(c) vs.(r).((c + 1) mod cols) edge);
+      ignore (Graph.add_edge g vs.(r).(c) vs.((r + 1) mod rows).(c) edge)
+    done
+  done;
+  g
+
+let hypercube ?(node = Attrs.empty) ?(edge = Attrs.empty) d =
+  if d < 1 then invalid_arg "Regular.hypercube: d < 1";
+  let n = 1 lsl d in
+  let g = Graph.create ~name:(Printf.sprintf "hypercube-%d" d) () in
+  let vs = make_nodes g node n in
+  for v = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      let w = v lxor (1 lsl bit) in
+      if v < w then ignore (Graph.add_edge g vs.(v) vs.(w) edge)
+    done
+  done;
+  g
+
+type shape = Ring | Star | Clique | Line | Tree of int | Grid | Torus | Hypercube
+
+let shape_name = function
+  | Ring -> "ring"
+  | Star -> "star"
+  | Clique -> "clique"
+  | Line -> "line"
+  | Tree a -> Printf.sprintf "tree%d" a
+  | Grid -> "grid"
+  | Torus -> "torus"
+  | Hypercube -> "hypercube"
+
+(* Squarest rows x cols factorization covering at least n nodes. *)
+let squarest n =
+  let r = int_of_float (Float.round (sqrt (float_of_int n))) in
+  let r = max 1 r in
+  let c = (n + r - 1) / r in
+  (r, c)
+
+let of_shape ?(node = Attrs.empty) ?(edge = Attrs.empty) shape n =
+  match shape with
+  | Ring -> ring ~node ~edge (max 3 n)
+  | Star -> star ~node ~edge (max 2 n)
+  | Clique -> clique ~node ~edge (max 1 n)
+  | Line -> line ~node ~edge (max 1 n)
+  | Tree arity ->
+      let rec depth_for d count =
+        if count >= n then d else depth_for (d + 1) ((count * arity) + 1)
+      in
+      balanced_tree ~node ~edge ~arity (depth_for 0 1)
+  | Grid ->
+      let rows, cols = squarest (max 1 n) in
+      grid ~node ~edge ~rows cols
+  | Torus ->
+      let rows, cols = squarest (max 9 n) in
+      torus ~node ~edge ~rows:(max 3 rows) (max 3 cols)
+  | Hypercube ->
+      let rec log2 d cap = if cap * 2 > n then d else log2 (d + 1) (cap * 2) in
+      hypercube ~node ~edge (max 1 (log2 0 1))

@@ -1,0 +1,45 @@
+(** Regular query topologies (paper, section VII-A second approach:
+    "regular topologies that are synthetically generated (e.g., rings,
+    stars, cliques, etc.)" — typical of applications with a regular
+    communication structure such as grid computations).
+
+    Every generator takes the per-node and per-edge attribute tables to
+    stamp on the produced elements (commonly delay-range constraints),
+    and produces an undirected graph. *)
+
+open Netembed_graph
+
+type attrs := Netembed_attr.Attrs.t
+
+val ring : ?node:attrs -> ?edge:attrs -> int -> Graph.t
+(** [ring n] for [n >= 3]; @raise Invalid_argument below that. *)
+
+val star : ?node:attrs -> ?edge:attrs -> int -> Graph.t
+(** [star n] is one hub plus [n - 1] leaves; [n >= 2]. *)
+
+val clique : ?node:attrs -> ?edge:attrs -> int -> Graph.t
+(** [clique n] is the complete graph K_n; [n >= 1]. *)
+
+val line : ?node:attrs -> ?edge:attrs -> int -> Graph.t
+(** Path graph; [n >= 1]. *)
+
+val balanced_tree : ?node:attrs -> ?edge:attrs -> arity:int -> int -> Graph.t
+(** Complete [arity]-ary tree with the given depth ([depth = 0] is a
+    single node). *)
+
+val grid : ?node:attrs -> ?edge:attrs -> rows:int -> int -> Graph.t
+val torus : ?node:attrs -> ?edge:attrs -> rows:int -> int -> Graph.t
+(** [torus] requires [rows >= 3] and [cols >= 3] so wrap-around edges
+    never duplicate grid edges. *)
+
+val hypercube : ?node:attrs -> ?edge:attrs -> int -> Graph.t
+(** [hypercube d] is the d-dimensional cube on [2^d] nodes; [d >= 1]. *)
+
+type shape = Ring | Star | Clique | Line | Tree of int | Grid | Torus | Hypercube
+
+val shape_name : shape -> string
+
+val of_shape : ?node:attrs -> ?edge:attrs -> shape -> int -> Graph.t
+(** [of_shape s n] builds shape [s] with (approximately) [n] nodes:
+    trees round up to a complete tree, grids/tori use the squarest
+    factorization, hypercubes round [n] down to a power of two. *)

@@ -1,0 +1,77 @@
+open Netembed_graph
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+module Rng = Netembed_rng.Rng
+
+type params = {
+  transit_nodes : int;
+  stubs_per_transit : int;
+  stub_size : int;
+  transit_edge_prob : float;
+  stub_edge_prob : float;
+  transit_delay : float * float;
+  stub_delay : float * float;
+}
+
+let default =
+  {
+    transit_nodes = 4;
+    stubs_per_transit = 3;
+    stub_size = 8;
+    transit_edge_prob = 0.4;
+    stub_edge_prob = 0.3;
+    transit_delay = (20.0, 120.0);
+    stub_delay = (0.5, 8.0);
+  }
+
+let delay_attrs rng (lo, hi) =
+  let avg = Rng.uniform rng ~lo ~hi in
+  let spread = 0.15 *. avg in
+  Attrs.of_list
+    [
+      ("minDelay", Value.Float (Float.max 0.01 (avg -. spread)));
+      ("avgDelay", Value.Float avg);
+      ("maxDelay", Value.Float (avg +. spread));
+    ]
+
+let tier_attrs tier = Attrs.of_list [ ("tier", Value.String tier) ]
+
+(* Connected random graph on [vs]: random spanning tree (each node links
+   to a random predecessor) plus Bernoulli extra edges. *)
+let connect_randomly rng g vs prob delay_range =
+  let n = Array.length vs in
+  for i = 1 to n - 1 do
+    let j = Rng.int rng i in
+    ignore (Graph.add_edge g vs.(j) vs.(i) (delay_attrs rng delay_range))
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if
+        (not (Graph.mem_edge g vs.(i) vs.(j)))
+        && Rng.float rng 1.0 < prob
+      then ignore (Graph.add_edge g vs.(i) vs.(j) (delay_attrs rng delay_range))
+    done
+  done
+
+let generate rng p =
+  if p.transit_nodes < 2 then invalid_arg "Transit_stub.generate: transit_nodes < 2";
+  if p.stubs_per_transit < 1 || p.stub_size < 1 then
+    invalid_arg "Transit_stub.generate: empty stubs";
+  let g = Graph.create ~name:"transit-stub" () in
+  let transit =
+    Array.init p.transit_nodes (fun _ -> Graph.add_node g (tier_attrs "transit"))
+  in
+  connect_randomly rng g transit p.transit_edge_prob p.transit_delay;
+  Array.iter
+    (fun t ->
+      for _ = 1 to p.stubs_per_transit do
+        let stub =
+          Array.init p.stub_size (fun _ -> Graph.add_node g (tier_attrs "stub"))
+        in
+        connect_randomly rng g stub p.stub_edge_prob p.stub_delay;
+        (* Gateway link from a random stub node up to the transit node. *)
+        let gw = Rng.pick rng stub in
+        ignore (Graph.add_edge g t gw (delay_attrs rng p.transit_delay))
+      done)
+    transit;
+  g

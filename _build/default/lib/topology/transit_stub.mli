@@ -1,0 +1,28 @@
+(** GT-ITM-style transit–stub hierarchical topologies (Zegura, Calvert,
+    Bhattacharjee — referenced by the paper among Internet topology
+    models).
+
+    A transit–stub graph has a small random transit core; each transit
+    node anchors several stub domains, each itself a small random graph.
+    Stub links get short delays, transit links long ones — the
+    hierarchical delay structure that the paper's composite queries
+    (section VII-D) are designed to match. *)
+
+type params = {
+  transit_nodes : int;  (** nodes in the transit core (>= 2) *)
+  stubs_per_transit : int;  (** stub domains per transit node (>= 1) *)
+  stub_size : int;  (** nodes per stub domain (>= 1) *)
+  transit_edge_prob : float;  (** extra-edge probability in the core *)
+  stub_edge_prob : float;  (** extra-edge probability inside a stub *)
+  transit_delay : float * float;  (** avgDelay range for core links, ms *)
+  stub_delay : float * float;  (** avgDelay range for stub links, ms *)
+}
+
+val default : params
+(** 4 transit nodes, 3 stubs each, 8 nodes per stub. *)
+
+val generate : Netembed_rng.Rng.t -> params -> Netembed_graph.Graph.t
+(** Connected by construction: the core is a connected random graph,
+    every stub domain is connected and attached to its transit node.
+    Nodes carry a ["tier"] attribute ("transit" | "stub"); edges carry
+    min/avg/maxDelay like {!Brite.generate}. *)

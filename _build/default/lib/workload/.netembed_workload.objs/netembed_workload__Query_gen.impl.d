@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Array Graph Netembed_attr Netembed_expr Netembed_graph Netembed_rng Netembed_topology Option Printf

@@ -1,0 +1,1 @@
+lib/workload/query_gen.mli: Graph Netembed_expr Netembed_graph Netembed_rng Netembed_topology

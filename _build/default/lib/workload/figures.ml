@@ -1,0 +1,582 @@
+module Graph = Netembed_graph.Graph
+module Rng = Netembed_rng.Rng
+module Trace = Netembed_planetlab.Trace
+module Brite = Netembed_topology.Brite
+module Regular = Netembed_topology.Regular
+module Problem = Netembed_core.Problem
+module Engine = Netembed_core.Engine
+
+type scale = {
+  label : string;
+  seed : int;
+  timeout : float;
+  pl_query_sizes : int list;
+  pl_reps : int;
+  brite_hosts : int list;
+  brite_query_fractions : float list;
+  brite_reps : int;
+  clique_sizes : int list;
+  composite_groups : int list;
+  composite_group_size : int;
+  composite_reps : int;
+}
+
+let default_scale =
+  {
+    label = "default";
+    seed = 7;
+    timeout = 5.0;
+    pl_query_sizes = [ 20; 40; 60; 80; 100; 120 ];
+    pl_reps = 3;
+    brite_hosts = [ 300; 400; 500 ];
+    brite_query_fractions = [ 0.2; 0.4; 0.6 ];
+    brite_reps = 2;
+    clique_sizes = [ 2; 3; 4; 5; 6; 8; 10; 12 ];
+    composite_groups = [ 2; 3; 4; 6; 8 ];
+    composite_group_size = 5;
+    composite_reps = 3;
+  }
+
+let paper_scale =
+  {
+    label = "paper";
+    seed = 7;
+    timeout = 120.0;
+    pl_query_sizes = [ 20; 40; 60; 80; 100; 120; 140; 160; 180; 200; 220 ];
+    pl_reps = 5;
+    brite_hosts = [ 1500; 2000; 2500 ];
+    brite_query_fractions = [ 0.2; 0.4; 0.6; 0.8 ];
+    brite_reps = 5;
+    clique_sizes = [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ];
+    composite_groups = [ 2; 3; 4; 6; 8; 10; 12 ];
+    composite_group_size = 5;
+    composite_reps = 5;
+  }
+
+let planetlab_host scale = Trace.generate (Rng.make scale.seed) Trace.default
+
+(* ------------------------------------------------------------------ *)
+(* Measurement helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type run = {
+  algorithm : Engine.algorithm;
+  case : Query_gen.case;
+  result : Engine.result;  (** with [mappings] stripped — see below *)
+  mapping_count : int;
+}
+
+(* Sweeps are cached across figures; retaining every mapping list would
+   pin gigabytes (an all-matches run can return tens of thousands of
+   mappings), so runs keep only the count. *)
+let run_case ~mode ~timeout ~host algorithm (case : Query_gen.case) =
+  let problem =
+    Problem.make ~host ~query:case.Query_gen.query case.Query_gen.edge_constraint
+  in
+  let options =
+    { Engine.default_options with Engine.mode; timeout = Some timeout; collect = false }
+  in
+  let result = Engine.run ~options algorithm problem in
+  { algorithm; case; result; mapping_count = result.Engine.found }
+
+(* Mean over runs that actually produced the quantity; [None] when no
+   run qualifies (rendered as "-"). *)
+let mean_of runs extract =
+  match List.filter_map extract runs with
+  | [] -> None
+  | xs -> Some (Stats.summarize xs)
+
+let cell_opt f = function None -> "-" | Some (s : Stats.summary) -> f s
+
+let ms_mean = cell_opt (fun s -> Table.cell_ms s.Stats.mean)
+let ms_ci = cell_opt (fun s -> Table.cell_ms s.Stats.ci95)
+
+let total_time r = Some r.result.Engine.elapsed
+let first_time r = r.result.Engine.time_to_first
+
+let completed_total r =
+  if r.result.Engine.outcome = Engine.Complete then Some r.result.Engine.elapsed
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* PlanetLab subgraph sweep (figs 8, 9)                                *)
+(* ------------------------------------------------------------------ *)
+
+type pl_point = { n : int; by_algorithm : (Engine.algorithm * run list) list }
+
+(* fig8/fig9 (and fig11/fig12) render different views of one sweep;
+   cache per scale label so `all` computes each sweep once. *)
+let sweep_cache : (string, pl_point list) Hashtbl.t = Hashtbl.create 4
+
+let planetlab_sweep_uncached scale =
+  let host = planetlab_host scale in
+  let rng = Rng.make (scale.seed + 1) in
+  List.map
+    (fun n ->
+      let cases =
+        List.init scale.pl_reps (fun i ->
+            (* Vary the edge count across reps, as the paper does. *)
+            let extra = (i + 1) * n / 4 in
+            Query_gen.subgraph rng ~host ~n ~extra_edges:extra ())
+      in
+      let by_algorithm =
+        List.map
+          (fun alg ->
+            let mode =
+              (* RWB terminates at the first solution by design. *)
+              match alg with Engine.RWB -> Engine.First | _ -> Engine.All
+            in
+            (alg, List.map (run_case ~mode ~timeout:scale.timeout ~host alg) cases))
+          Engine.all_algorithms
+      in
+      { n; by_algorithm })
+    scale.pl_query_sizes
+
+let planetlab_sweep scale =
+  match Hashtbl.find_opt sweep_cache ("pl-" ^ scale.label) with
+  | Some sweep -> sweep
+  | None ->
+      let sweep = planetlab_sweep_uncached scale in
+      Hashtbl.replace sweep_cache ("pl-" ^ scale.label) sweep;
+      sweep
+
+let fig8 ?(out = stdout) scale =
+  let sweep = planetlab_sweep scale in
+  List.iter
+    (fun alg ->
+      let rows =
+        List.map
+          (fun { n; by_algorithm } ->
+            let runs = List.assoc alg by_algorithm in
+            [
+              string_of_int n;
+              ms_mean (mean_of runs total_time);
+              ms_ci (mean_of runs total_time);
+              ms_mean (mean_of runs first_time);
+            ])
+          sweep
+      in
+      Table.print_series ~out
+        ~title:
+          (Printf.sprintf
+             "Fig 8 (%s): %s on PlanetLab subgraph queries (host N=296-like)"
+             scale.label (Engine.algorithm_name alg))
+        ~header:[ "nodes"; "all_ms"; "ci95_ms"; "first_ms" ]
+        rows)
+    Engine.all_algorithms
+
+let fig9 ?(out = stdout) scale =
+  let sweep = planetlab_sweep scale in
+  let row extract { n; by_algorithm } =
+    string_of_int n
+    :: List.map
+         (fun alg -> ms_mean (mean_of (List.assoc alg by_algorithm) extract))
+         Engine.all_algorithms
+  in
+  Table.print_series ~out
+    ~title:(Printf.sprintf "Fig 9a (%s): mean search time, all matches" scale.label)
+    ~header:[ "nodes"; "ECF_ms"; "RWB_ms"; "LNS_ms" ]
+    (List.map (row total_time) sweep);
+  Table.print_series ~out
+    ~title:(Printf.sprintf "Fig 9b (%s): time to find first match" scale.label)
+    ~header:[ "nodes"; "ECF_ms"; "RWB_ms"; "LNS_ms" ]
+    (List.map (row first_time) sweep)
+
+(* ------------------------------------------------------------------ *)
+(* Fig 10: feasible vs infeasible                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 ?(out = stdout) scale =
+  let host = planetlab_host scale in
+  let rng = Rng.make (scale.seed + 2) in
+  (* A prefix of the fig-8 sizes: no-match runs pay the full timeout for
+     LNS, so the sweep is kept shorter. *)
+  let sizes = List.filteri (fun i _ -> i < 4) scale.pl_query_sizes in
+  let points =
+    List.map
+      (fun n ->
+        let feasible =
+          List.init scale.pl_reps (fun _ -> Query_gen.subgraph rng ~host ~n ())
+        in
+        let infeasible = List.map (Query_gen.make_infeasible rng) feasible in
+        (n, feasible, infeasible))
+      sizes
+  in
+  List.iter
+    (fun alg ->
+      let mode = match alg with Engine.RWB -> Engine.First | _ -> Engine.All in
+      let rows =
+        List.map
+          (fun (n, feasible, infeasible) ->
+            let run = run_case ~mode ~timeout:scale.timeout ~host alg in
+            let fr = List.map run feasible and ir = List.map run infeasible in
+            [
+              string_of_int n;
+              ms_mean (mean_of fr total_time);
+              ms_mean (mean_of ir total_time);
+            ])
+          points
+      in
+      Table.print_series ~out
+        ~title:
+          (Printf.sprintf "Fig 10 (%s): %s, matching vs non-matching queries"
+             scale.label (Engine.algorithm_name alg))
+        ~header:[ "nodes"; "match_ms"; "nomatch_ms" ]
+        rows)
+    Engine.all_algorithms
+
+(* ------------------------------------------------------------------ *)
+(* Figs 11, 12: BRITE hosts                                            *)
+(* ------------------------------------------------------------------ *)
+
+let brite_cache : (string, (Graph.t * pl_point list) list) Hashtbl.t = Hashtbl.create 4
+
+let brite_sweep_uncached scale =
+  List.map
+    (fun host_n ->
+      let host = Brite.generate (Rng.make (scale.seed + host_n)) (Brite.default_barabasi ~n:host_n) in
+      let rng = Rng.make (scale.seed + (2 * host_n) + 1) in
+      let points =
+        List.map
+          (fun fraction ->
+            let n = max 4 (int_of_float (fraction *. float_of_int host_n)) in
+            let cases =
+              List.init scale.brite_reps (fun _ -> Query_gen.brite_query rng ~host ~n)
+            in
+            let by_algorithm =
+              List.map
+                (fun alg ->
+                  let mode =
+                    match alg with Engine.RWB -> Engine.First | _ -> Engine.All
+                  in
+                  ( alg,
+                    List.map (run_case ~mode ~timeout:scale.timeout ~host alg) cases ))
+                Engine.all_algorithms
+            in
+            { n; by_algorithm })
+          scale.brite_query_fractions
+      in
+      (host, points))
+    scale.brite_hosts
+
+let brite_sweep scale =
+  match Hashtbl.find_opt brite_cache ("brite-" ^ scale.label) with
+  | Some sweep -> sweep
+  | None ->
+      let sweep = brite_sweep_uncached scale in
+      Hashtbl.replace brite_cache ("brite-" ^ scale.label) sweep;
+      sweep
+
+let brite_figure ?(out = stdout) ~title_prefix ~extract scale =
+  List.iter
+    (fun (host, points) ->
+      let rows =
+        List.map
+          (fun { n; by_algorithm } ->
+            string_of_int n
+            :: List.map
+                 (fun alg -> ms_mean (mean_of (List.assoc alg by_algorithm) extract))
+                 Engine.all_algorithms)
+          points
+      in
+      Table.print_series ~out
+        ~title:
+          (Printf.sprintf "%s (%s): BRITE host N=%d E=%d" title_prefix scale.label
+             (Graph.node_count host) (Graph.edge_count host))
+        ~header:[ "nodes"; "ECF_ms"; "RWB_ms"; "LNS_ms" ]
+        rows)
+    (brite_sweep scale)
+
+let fig11 ?out scale = brite_figure ?out ~title_prefix:"Fig 11: mean search time" ~extract:total_time scale
+let fig12 ?out scale = brite_figure ?out ~title_prefix:"Fig 12: time to first match" ~extract:first_time scale
+
+(* ------------------------------------------------------------------ *)
+(* Fig 13: cliques in PlanetLab                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 ?(out = stdout) scale =
+  let host = planetlab_host scale in
+  let points =
+    List.map
+      (fun k ->
+        let case = Query_gen.clique ~k ~delay_lo:10.0 ~delay_hi:100.0 in
+        let by_algorithm =
+          List.map
+            (fun alg ->
+              let mode =
+                match alg with Engine.RWB -> Engine.First | _ -> Engine.All
+              in
+              (alg, [ run_case ~mode ~timeout:scale.timeout ~host alg case ]))
+            Engine.all_algorithms
+        in
+        { n = k; by_algorithm })
+      scale.clique_sizes
+  in
+  let row extract { n; by_algorithm } =
+    string_of_int n
+    :: List.map
+         (fun alg -> ms_mean (mean_of (List.assoc alg by_algorithm) extract))
+         Engine.all_algorithms
+  in
+  (* Paper: "cases in which no solutions were found, or in which the
+     algorithm timed out before returning any solution are excluded". *)
+  Table.print_series ~out
+    ~title:
+      (Printf.sprintf
+         "Fig 13a (%s): clique mean search time, all matches (timeouts excluded)"
+         scale.label)
+    ~header:[ "clique"; "ECF_ms"; "RWB_ms"; "LNS_ms" ]
+    (List.map (row completed_total) points);
+  Table.print_series ~out
+    ~title:(Printf.sprintf "Fig 13b (%s): time to find first clique match" scale.label)
+    ~header:[ "clique"; "ECF_ms"; "RWB_ms"; "LNS_ms" ]
+    (List.map (row first_time) points)
+
+(* ------------------------------------------------------------------ *)
+(* Fig 14: composite queries                                           *)
+(* ------------------------------------------------------------------ *)
+
+let composite_cases rng scale constraints =
+  (* Rotate root/group shapes across sizes as the paper mixes rings,
+     stars and cliques at both levels. *)
+  let shapes = [| Regular.Ring; Regular.Star; Regular.Clique |] in
+  List.concat_map
+    (fun groups ->
+      List.init scale.composite_reps (fun i ->
+          let root = shapes.(i mod Array.length shapes) in
+          let group = shapes.((i + 1) mod Array.length shapes) in
+          Query_gen.composite rng ~root ~groups ~group
+            ~group_size:scale.composite_group_size ~constraints))
+    scale.composite_groups
+
+let fig14 ?(out = stdout) scale =
+  let host = planetlab_host scale in
+  let sub_figure tag constraints seed_offset =
+    let rng = Rng.make (scale.seed + seed_offset) in
+    let cases = composite_cases rng scale constraints in
+    (* Group by query size. *)
+    let by_size = Hashtbl.create 16 in
+    List.iter
+      (fun (case : Query_gen.case) ->
+        let n = Graph.node_count case.Query_gen.query in
+        Hashtbl.replace by_size n
+          (case :: Option.value ~default:[] (Hashtbl.find_opt by_size n)))
+      cases;
+    let sizes = List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) by_size []) in
+    let rows =
+      List.map
+        (fun n ->
+          let cases = Hashtbl.find by_size n in
+          string_of_int n
+          :: List.map
+               (fun alg ->
+                 let runs =
+                   List.map
+                     (run_case ~mode:Engine.First ~timeout:scale.timeout ~host alg)
+                     cases
+                 in
+                 ms_mean (mean_of runs first_time))
+               Engine.all_algorithms)
+        sizes
+    in
+    Table.print_series ~out
+      ~title:
+        (Printf.sprintf "Fig 14%s (%s): composite queries, time to first match" tag
+           scale.label)
+      ~header:[ "nodes"; "ECF_ms"; "RWB_ms"; "LNS_ms" ]
+      rows
+  in
+  sub_figure "a-regular" Query_gen.Regular_bands 3;
+  sub_figure "b-irregular" Query_gen.Irregular_bands 4
+
+(* ------------------------------------------------------------------ *)
+(* Fig 15: outcome census                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig15 ?(out = stdout) scale =
+  let host = planetlab_host scale in
+  let rng = Rng.make (scale.seed + 5) in
+  let mid_size =
+    let sizes = scale.pl_query_sizes in
+    List.nth sizes (List.length sizes / 2)
+  in
+  let families =
+    [
+      ( "subgraph",
+        List.init scale.pl_reps (fun _ ->
+            Query_gen.subgraph rng ~host ~n:mid_size ()) );
+      ( "infeasible",
+        List.init scale.pl_reps (fun _ ->
+            Query_gen.make_infeasible rng (Query_gen.subgraph rng ~host ~n:mid_size ())) );
+      ( "clique",
+        (* Mid-range cliques: k < 4 is trivial, large k saturates the
+           timeout for every algorithm and adds nothing to the census. *)
+        List.filter_map
+          (fun k ->
+            if k >= 4 && k <= 8 then Some (Query_gen.clique ~k ~delay_lo:10.0 ~delay_hi:100.0)
+            else None)
+          scale.clique_sizes );
+      ( "composite",
+        composite_cases rng
+          {
+            scale with
+            composite_reps = 1;
+            composite_groups =
+              List.filteri (fun i _ -> i < 3) scale.composite_groups;
+          }
+          Query_gen.Regular_bands );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (family, cases) ->
+        List.map
+          (fun alg ->
+            let runs =
+              List.map (run_case ~mode:Engine.All ~timeout:scale.timeout ~host alg) cases
+            in
+            let frac pred = Table.cell_pct (Stats.fraction pred runs) in
+            [
+              family;
+              Engine.algorithm_name alg;
+              frac (fun r ->
+                  r.result.Engine.outcome = Engine.Complete && r.mapping_count > 0);
+              frac (fun r -> r.result.Engine.outcome = Engine.Partial);
+              frac (fun r -> r.result.Engine.outcome = Engine.Inconclusive);
+              frac (fun r ->
+                  r.result.Engine.outcome = Engine.Complete && r.mapping_count = 0);
+            ])
+          Engine.all_algorithms)
+      families
+  in
+  Table.print_series ~out
+    ~title:
+      (Printf.sprintf
+         "Fig 15 (%s): outcome probabilities per query family (%% of runs)"
+         scale.label)
+    ~header:[ "family"; "alg"; "all%"; "some%"; "inconcl%"; "none%" ]
+    rows
+
+(* Not a figure from the paper: search-effort profile (mean visited
+   permutation-tree nodes and filter-construction constraint
+   evaluations) over the fig-8 sweep — the machine-independent
+   counterpart of the timing curves. *)
+let effort_profile ?(out = stdout) scale =
+  let sweep = planetlab_sweep scale in
+  let mean_int runs extract =
+    match runs with
+    | [] -> "-"
+    | _ ->
+        Printf.sprintf "%.0f"
+          (Stats.mean (List.map (fun r -> float_of_int (extract r)) runs))
+  in
+  let rows =
+    List.map
+      (fun { n; by_algorithm } ->
+        string_of_int n
+        :: List.concat_map
+             (fun alg ->
+               let runs = List.assoc alg by_algorithm in
+               [
+                 mean_int runs (fun r -> r.result.Engine.visited);
+                 mean_int runs (fun r -> r.result.Engine.filter_evals);
+               ])
+             Engine.all_algorithms)
+      sweep
+  in
+  Table.print_series ~out
+    ~title:
+      (Printf.sprintf
+         "Search effort (%s): mean visited nodes / filter evals (not a paper figure)"
+         scale.label)
+    ~header:
+      [ "nodes"; "ECF_vis"; "ECF_evals"; "RWB_vis"; "RWB_evals"; "LNS_vis"; "LNS_evals" ]
+    rows
+
+(* Not a paper figure: the section V-C density claim made concrete.
+   "If the hosting network is dense (as with overlays, in which there
+   is an overlay link between every two nodes), then the topological
+   constraints implied by the virtual network do not help much" — so
+   LNS should dominate first-match search on a full-mesh overlay host,
+   while the sparse underlay favours the filtered searches. *)
+let overlay_density ?(out = stdout) scale =
+  let rng = Rng.make (scale.seed + 9) in
+  let underlay = Brite.generate (Rng.make (scale.seed + 8)) (Brite.default_barabasi ~n:200) in
+  let overlay =
+    Netembed_topology.Overlay.build rng ~underlay ~nodes:60
+      ~mesh:Netembed_topology.Overlay.Full_mesh
+  in
+  let hosts = [ ("sparse-underlay", underlay); ("dense-overlay", overlay) ] in
+  let rows =
+    List.concat_map
+      (fun (label, host) ->
+        (* Ring query with a loose latency band relative to the host's
+           own delay scale. *)
+        let delays =
+          Graph.fold_edges
+            (fun e _ _ acc ->
+              match Netembed_attr.Attrs.float "avgDelay" (Graph.edge_attrs host e) with
+              | Some d -> d :: acc
+              | None -> acc)
+            host []
+        in
+        let hi = Stats.percentile 0.7 delays in
+        let case =
+          {
+            Query_gen.name = "ring10";
+            query =
+              Regular.ring
+                ~edge:
+                  (Netembed_attr.Attrs.of_list
+                     [
+                       ("minDelay", Netembed_attr.Value.Float 0.0);
+                       ("maxDelay", Netembed_attr.Value.Float hi);
+                     ])
+                10;
+            edge_constraint = Netembed_expr.Expr.avg_delay_within;
+            feasible_hint = None;
+          }
+        in
+        List.map
+          (fun alg ->
+            let r = run_case ~mode:Engine.First ~timeout:scale.timeout ~host alg case in
+            [
+              label;
+              Engine.algorithm_name alg;
+              ms_mean (mean_of [ r ] first_time);
+              string_of_int r.result.Engine.visited;
+            ])
+          Engine.all_algorithms)
+      hosts
+  in
+  Table.print_series ~out
+    ~title:
+      (Printf.sprintf
+         "Host density ablation (%s): ring-10 first match, sparse underlay vs full-mesh overlay (not a paper figure)"
+         scale.label)
+    ~header:[ "host"; "alg"; "first_ms"; "visited" ]
+    rows
+
+let all ?out scale =
+  fig8 ?out scale;
+  fig9 ?out scale;
+  fig10 ?out scale;
+  fig11 ?out scale;
+  fig12 ?out scale;
+  fig13 ?out scale;
+  fig14 ?out scale;
+  fig15 ?out scale;
+  effort_profile ?out scale;
+  overlay_density ?out scale
+
+let save_all ~dir scale =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let drivers =
+    [ ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
+      ("fig12", fig12); ("fig13", fig13); ("fig14", fig14); ("fig15", fig15) ]
+  in
+  List.iter
+    (fun (name, driver) ->
+      let oc = open_out (Filename.concat dir (name ^ ".txt")) in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> driver ?out:(Some oc) scale))
+    drivers

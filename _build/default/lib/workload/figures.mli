@@ -1,0 +1,80 @@
+(** Experiment drivers: one function per figure of the paper's
+    evaluation (section VII).  Each prints gnuplot-style series via
+    {!Table} and returns nothing; the printed rows are the reproduction
+    artifact recorded in EXPERIMENTS.md.
+
+    All drivers are parameterized by a {!scale} so the same code runs
+    both container-friendly defaults and the paper-scale sweep
+    ([--full] in bin/experiments). *)
+
+type scale = {
+  label : string;
+  seed : int;
+  timeout : float;  (** per-search timeout, seconds *)
+  pl_query_sizes : int list;  (** Fig. 8-10 query sizes (paper: 20-220) *)
+  pl_reps : int;  (** queries per (N,E) point (paper: 5) *)
+  brite_hosts : int list;  (** BRITE host sizes (paper: 1500/2000/2500) *)
+  brite_query_fractions : float list;  (** query size as host fraction *)
+  brite_reps : int;
+  clique_sizes : int list;  (** Fig. 13 (paper: 2-20) *)
+  composite_groups : int list;  (** Fig. 14 root-level sizes *)
+  composite_group_size : int;
+  composite_reps : int;
+}
+
+val default_scale : scale
+(** Container-friendly: finishes in minutes. *)
+
+val paper_scale : scale
+(** The sweep ranges of the paper (hours of compute). *)
+
+val planetlab_host : scale -> Netembed_graph.Graph.t
+(** The synthetic PlanetLab hosting network used by figs. 8-10, 13-15
+    (deterministic in [scale.seed]). *)
+
+val fig8 : ?out:out_channel -> scale -> unit
+(** Fig. 8: mean search time (all matches and first match) per
+    algorithm for PlanetLab subgraph queries vs query size. *)
+
+val fig9 : ?out:out_channel -> scale -> unit
+(** Fig. 9: the three algorithms overlaid — (a) all-matches mean time,
+    (b) first-match mean time.  Same workload as fig. 8. *)
+
+val fig10 : ?out:out_channel -> scale -> unit
+(** Fig. 10: feasible vs infeasible query search times per algorithm. *)
+
+val fig11 : ?out:out_channel -> scale -> unit
+(** Fig. 11: mean search time on BRITE hosts of increasing size. *)
+
+val fig12 : ?out:out_channel -> scale -> unit
+(** Fig. 12: first-match time on the same BRITE hosts. *)
+
+val fig13 : ?out:out_channel -> scale -> unit
+(** Fig. 13: clique queries on PlanetLab — (a) mean time to find all
+    embeddings (timeouts excluded, as in the paper), (b) time to first
+    match. *)
+
+val fig14 : ?out:out_channel -> scale -> unit
+(** Fig. 14: composite two-level queries — first-match times under (a)
+    regular per-level delay bands, (b) random 25-175 ms bands. *)
+
+val fig15 : ?out:out_channel -> scale -> unit
+(** Fig. 15: probability of result types (all matches / some matches /
+    inconclusive / proved infeasible) per algorithm and query family. *)
+
+val effort_profile : ?out:out_channel -> scale -> unit
+(** Not a paper figure: mean visited search-tree nodes and filter
+    constraint evaluations per algorithm over the Fig.-8 sweep — a
+    machine-independent view of search effort. *)
+
+val overlay_density : ?out:out_channel -> scale -> unit
+(** Not a paper figure: first-match times on a sparse underlay vs a
+    full-mesh overlay built on it — the section V-C density claim
+    (dense hosts defeat the filter, favouring LNS) made measurable. *)
+
+val all : ?out:out_channel -> scale -> unit
+(** Run every figure in order. *)
+
+val save_all : dir:string -> scale -> unit
+(** Run every figure, writing [figN.txt] files under [dir] (created if
+    missing) — the reference-run layout of [results/]. *)

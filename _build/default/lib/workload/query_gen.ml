@@ -1,0 +1,110 @@
+open Netembed_graph
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+module Expr = Netembed_expr.Expr
+module Rng = Netembed_rng.Rng
+module Regular = Netembed_topology.Regular
+module Composite = Netembed_topology.Composite
+module Sample = Netembed_graph.Sample
+
+type case = {
+  name : string;
+  query : Graph.t;
+  edge_constraint : Netembed_expr.Ast.t;
+  feasible_hint : bool option;
+}
+
+let range_attrs ~lo ~hi =
+  Attrs.of_list [ ("minDelay", Value.Float lo); ("maxDelay", Value.Float hi) ]
+
+let subgraph rng ~host ~n ?extra_edges ?(widen = 0.0) () =
+  let extra_edges = Option.value ~default:(n / 2) extra_edges in
+  let sub, _orig = Sample.random_connected_subgraph rng host ~n ~extra_edges in
+  let query = Graph.create ~name:(Printf.sprintf "subgraph-%d" n) () in
+  Graph.iter_nodes (fun v -> ignore (Graph.add_node query (Graph.node_attrs sub v))) sub;
+  Graph.iter_edges
+    (fun e u v ->
+      let attrs = Graph.edge_attrs sub e in
+      let mn = Option.value ~default:0.0 (Attrs.float "minDelay" attrs) in
+      let mx = Option.value ~default:1000.0 (Attrs.float "maxDelay" attrs) in
+      ignore
+        (Graph.add_edge query u v
+           (range_attrs ~lo:(mn *. (1.0 -. widen)) ~hi:(mx *. (1.0 +. widen)))))
+    sub;
+  {
+    name = Printf.sprintf "subgraph(n=%d,e=%d)" n (Graph.edge_count query);
+    query;
+    edge_constraint = Expr.delay_range_within;
+    feasible_hint = Some true;
+  }
+
+let make_infeasible rng ?(fraction = 0.25) case =
+  let query = Graph.copy case.query in
+  let m = Graph.edge_count query in
+  if m = 0 then { case with feasible_hint = None }
+  else begin
+    let k = max 1 (int_of_float (fraction *. float_of_int m)) in
+    let victims = Rng.sample_without_replacement rng k m in
+    Array.iter
+      (fun e ->
+        (* No physical link has a negative delay band. *)
+        Graph.set_edge_attrs query e (range_attrs ~lo:(-2.0) ~hi:(-1.0)))
+      victims;
+    {
+      case with
+      name = case.name ^ "-infeasible";
+      query;
+      feasible_hint = Some false;
+    }
+  end
+
+let clique ~k ~delay_lo ~delay_hi =
+  let query =
+    Regular.clique ~edge:(range_attrs ~lo:delay_lo ~hi:delay_hi) k
+  in
+  {
+    name = Printf.sprintf "clique(%d)" k;
+    query;
+    edge_constraint = Expr.avg_delay_within;
+    feasible_hint = None;
+  }
+
+type composite_constraints = Regular_bands | Irregular_bands
+
+let composite rng ~root ~groups ~group ~group_size ~constraints =
+  let root_edge, group_edge, tag =
+    match constraints with
+    | Regular_bands -> (range_attrs ~lo:75.0 ~hi:350.0, range_attrs ~lo:1.0 ~hi:75.0, "regular")
+    | Irregular_bands ->
+        (* Placeholder; Irregular re-stamps every edge below. *)
+        (range_attrs ~lo:25.0 ~hi:175.0, range_attrs ~lo:25.0 ~hi:175.0, "irregular")
+  in
+  let query =
+    Composite.generate ~root_edge ~group_edge
+      { Composite.root; groups; group; group_size }
+  in
+  (match constraints with
+  | Regular_bands -> ()
+  | Irregular_bands ->
+      (* Random per-link bands within 25-175 ms, width >= 25 ms so the
+         query stays under-constrained as in the paper. *)
+      Graph.iter_edges
+        (fun e _ _ ->
+          let a = Rng.uniform rng ~lo:25.0 ~hi:150.0 in
+          let b = Rng.uniform rng ~lo:(a +. 25.0) ~hi:175.0 in
+          let attrs =
+            Attrs.union (Graph.edge_attrs query e) (range_attrs ~lo:a ~hi:b)
+          in
+          Graph.set_edge_attrs query e attrs)
+        query);
+  {
+    name =
+      Printf.sprintf "composite-%s(%s(%d) of %s(%d))" tag (Regular.shape_name root)
+        groups (Regular.shape_name group) group_size;
+    query;
+    edge_constraint = Expr.avg_delay_within;
+    feasible_hint = None;
+  }
+
+let brite_query rng ~host ~n =
+  subgraph rng ~host ~n ~extra_edges:(n / 3) ~widen:0.02 ()

@@ -1,0 +1,64 @@
+(** Query-network generators — the paper's three query families
+    (section VII-A) plus the infeasible mutation of section VII-B.
+
+    Each generator returns the query graph together with the constraint
+    expression the paper pairs it with, packaged as a {!case}. *)
+
+open Netembed_graph
+
+type case = {
+  name : string;
+  query : Graph.t;
+  edge_constraint : Netembed_expr.Ast.t;
+  feasible_hint : bool option;
+      (** [Some true] when an embedding is guaranteed by construction,
+          [Some false] when impossible by construction, [None] unknown *)
+}
+
+val subgraph : Netembed_rng.Rng.t -> host:Graph.t -> n:int -> ?extra_edges:int ->
+  ?widen:float -> unit -> case
+(** The paper's first approach: "the query network is a (typically
+    small) subgraph selected at random from the hosting network ...
+    since the query is sampled from the hosting network, we know that
+    an embedding exists."  Query links copy the host link's
+    min/maxDelay, widened by [widen] (default 0, i.e. the exact measured range) on each side; the
+    constraint is {!Netembed_expr.Expr.delay_range_within}.
+    [extra_edges] defaults to [n/2] beyond the spanning tree. *)
+
+val make_infeasible : Netembed_rng.Rng.t -> ?fraction:float -> case -> case
+(** The section-VII-B no-match experiment: "the infeasible queries were
+    generated from the feasible queries by changing some of their link
+    attributes (e.g., delays) to some infeasible values.  Notice that
+    doing so does not change the topology of the query network."  A
+    [fraction] (default 0.25, at least one) of the links get an
+    unsatisfiable delay range. *)
+
+val clique : k:int -> delay_lo:float -> delay_hi:float -> case
+(** The section-VII-D worst case: "a series of cliques of increasing
+    size, whose only constraint was to have an end-to-end delay between
+    10 and 100 ms" — under-constrained and fully regular.  Constraint:
+    {!Netembed_expr.Expr.avg_delay_within}. *)
+
+type composite_constraints =
+  | Regular_bands
+      (** root links 75-350 ms (inter-site), group links 1-75 ms
+          (intra-site) — the paper's first composite set *)
+  | Irregular_bands
+      (** per-link random bands within 25-175 ms (~70% of PlanetLab
+          links) — the second set *)
+
+val composite :
+  Netembed_rng.Rng.t ->
+  root:Netembed_topology.Regular.shape ->
+  groups:int ->
+  group:Netembed_topology.Regular.shape ->
+  group_size:int ->
+  constraints:composite_constraints ->
+  case
+(** Two-level composite queries (multicast trees, DHTs, rings...). *)
+
+val brite_query :
+  Netembed_rng.Rng.t -> host:Graph.t -> n:int -> case
+(** The BRITE-host experiments: a random connected subgraph of the
+    BRITE hosting network with the standard delay-range constraint
+    (section VII-C). *)

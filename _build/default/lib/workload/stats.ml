@@ -1,0 +1,55 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  ci95 : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let summarize = function
+  | [] -> invalid_arg "Stats.summarize: empty sample"
+  | xs ->
+      let n = List.length xs in
+      let nf = float_of_int n in
+      let m = mean xs in
+      let var =
+        if n < 2 then 0.0
+        else
+          List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+          /. (nf -. 1.0)
+      in
+      let stddev = sqrt var in
+      let sorted = List.sort compare xs in
+      let median =
+        let a = Array.of_list sorted in
+        if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+      in
+      {
+        n;
+        mean = m;
+        stddev;
+        ci95 = 1.96 *. stddev /. sqrt nf;
+        min = List.nth sorted 0;
+        max = List.nth sorted (n - 1);
+        median;
+      }
+
+let fraction pred = function
+  | [] -> 0.0
+  | xs ->
+      float_of_int (List.length (List.filter pred xs)) /. float_of_int (List.length xs)
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty sample"
+  | xs ->
+      if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p outside [0,1]";
+      let sorted = Array.of_list (List.sort compare xs) in
+      let n = Array.length sorted in
+      let rank = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+      sorted.(rank)

@@ -1,0 +1,24 @@
+(** Summary statistics for experiment timings ("for each data point, the
+    average and the confidence interval are shown" — paper Fig. 8). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  ci95 : float;  (** half-width of the normal-approximation 95% CI *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on the empty list. *)
+
+val mean : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile 0.95 xs] by nearest-rank on the sorted sample.
+    @raise Invalid_argument on an empty list or p outside [0,1]. *)
+
+val fraction : ('a -> bool) -> 'a list -> float
+(** Fraction of elements satisfying the predicate; 0 on empty input. *)

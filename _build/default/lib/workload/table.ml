@@ -1,0 +1,32 @@
+let cell_f x = Printf.sprintf "%.1f" x
+let cell_ms seconds = Printf.sprintf "%.1f" (seconds *. 1000.0)
+let cell_pct fraction = Printf.sprintf "%.1f" (fraction *. 100.0)
+
+let print_series ?(out = stdout) ~title ~header rows =
+  let all = header :: rows in
+  let columns =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let widths = Array.make (max 1 columns) 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let pad i cell = Printf.sprintf "%-*s" widths.(i) cell in
+  Printf.fprintf out "# %s\n" title;
+  Printf.fprintf out "# %s\n" (String.concat "  " (List.mapi pad header));
+  List.iter
+    (fun row -> Printf.fprintf out "  %s\n" (String.concat "  " (List.mapi pad row)))
+    rows;
+  Printf.fprintf out "\n%!"
+
+let csv_cell c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let print_csv ?(out = stdout) ~header rows =
+  List.iter
+    (fun row -> Printf.fprintf out "%s\n" (String.concat "," (List.map csv_cell row)))
+    (header :: rows);
+  flush out

@@ -1,0 +1,21 @@
+(** Plain-text series/table output for the experiment harness: aligned
+    columns with a [#]-prefixed header, the gnuplot-friendly format the
+    paper's figures were plotted from. *)
+
+val print_series :
+  ?out:out_channel -> title:string -> header:string list -> string list list -> unit
+(** Print a title comment, a header comment and the aligned rows. *)
+
+val print_csv :
+  ?out:out_channel -> header:string list -> string list list -> unit
+(** Comma-separated output (cells containing commas or quotes are
+    quoted), for downstream plotting tools. *)
+
+val cell_f : float -> string
+(** Format a float cell with 1 decimal. *)
+
+val cell_ms : float -> string
+(** Seconds rendered as milliseconds with 1 decimal. *)
+
+val cell_pct : float -> string
+(** Fraction rendered as a percentage with 1 decimal. *)

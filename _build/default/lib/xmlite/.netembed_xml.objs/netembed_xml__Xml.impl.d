@@ -1,0 +1,1 @@
+lib/xmlite/xml.ml: Buffer Fun List Printf String Uchar

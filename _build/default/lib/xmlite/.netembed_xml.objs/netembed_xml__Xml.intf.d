@@ -1,0 +1,1 @@
+lib/xmlite/xml.mli:

@@ -1,0 +1,323 @@
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+
+exception Parse_error of { line : int; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type state = { src : string; mutable pos : int; mutable line : int }
+
+let error st message = raise (Parse_error { line = st.line; message })
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (if st.pos < String.length st.src && st.src.[st.pos] = '\n' then
+     st.line <- st.line + 1);
+  st.pos <- st.pos + 1
+
+let next st =
+  match peek st with
+  | Some c ->
+      advance st;
+      c
+  | None -> error st "unexpected end of input"
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let expect st s =
+  if looking_at st s then
+    for _ = 1 to String.length s do
+      advance st
+    done
+  else error st (Printf.sprintf "expected %S" s)
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while (match peek st with Some c -> is_space c | None -> false) do
+    advance st
+  done
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let read_name st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_name_char c | None -> false) do
+    advance st
+  done;
+  if st.pos = start then error st "expected a name";
+  String.sub st.src start (st.pos - start)
+
+let decode_entity st ent =
+  match ent with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "apos" -> "'"
+  | "quot" -> "\""
+  | _ ->
+      if String.length ent > 1 && ent.[0] = '#' then begin
+        let code =
+          try
+            if ent.[1] = 'x' || ent.[1] = 'X' then
+              int_of_string ("0x" ^ String.sub ent 2 (String.length ent - 2))
+            else int_of_string (String.sub ent 1 (String.length ent - 1))
+          with Failure _ -> error st (Printf.sprintf "bad character reference &%s;" ent)
+        in
+        (* Encode the code point as UTF-8. *)
+        let b = Buffer.create 4 in
+        Buffer.add_utf_8_uchar b (Uchar.of_int code);
+        Buffer.contents b
+      end
+      else error st (Printf.sprintf "unknown entity &%s;" ent)
+
+let read_until st stop =
+  (* Accumulate text until the [stop] character, decoding entities. *)
+  let buf = Buffer.create 32 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unexpected end of input in text"
+    | Some c when c = stop -> Buffer.contents buf
+    | Some '&' ->
+        advance st;
+        let ent = Buffer.create 8 in
+        let rec ent_loop () =
+          match next st with
+          | ';' -> ()
+          | c ->
+              Buffer.add_char ent c;
+              if Buffer.length ent > 10 then error st "entity too long" else ent_loop ()
+        in
+        ent_loop ();
+        Buffer.add_string buf (decode_entity st (Buffer.contents ent));
+        go ()
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let read_attribute st =
+  let name = read_name st in
+  skip_spaces st;
+  expect st "=";
+  skip_spaces st;
+  let quote =
+    match next st with
+    | ('"' | '\'') as q -> q
+    | _ -> error st "expected quoted attribute value"
+  in
+  let value = read_until st quote in
+  expect st (String.make 1 quote);
+  (name, value)
+
+let rec skip_misc st =
+  skip_spaces st;
+  if looking_at st "<?" then begin
+    while not (looking_at st "?>") do
+      ignore (next st)
+    done;
+    expect st "?>";
+    skip_misc st
+  end
+  else if looking_at st "<!--" then begin
+    while not (looking_at st "-->") do
+      ignore (next st)
+    done;
+    expect st "-->";
+    skip_misc st
+  end
+  else if looking_at st "<!DOCTYPE" then begin
+    (* Skip to the closing '>' of the doctype; internal subsets with
+       brackets are rejected for simplicity. *)
+    let rec go () =
+      match next st with
+      | '[' -> error st "DTD internal subsets are not supported"
+      | '>' -> ()
+      | _ -> go ()
+    in
+    go ();
+    skip_misc st
+  end
+
+let rec parse_element st =
+  expect st "<";
+  let tag = read_name st in
+  let rec attrs acc =
+    skip_spaces st;
+    match peek st with
+    | Some '/' ->
+        expect st "/>";
+        Element (tag, List.rev acc, [])
+    | Some '>' ->
+        advance st;
+        let children = parse_content st tag in
+        Element (tag, List.rev acc, children)
+    | Some _ -> attrs (read_attribute st :: acc)
+    | None -> error st "unexpected end of input in tag"
+  in
+  attrs []
+
+and parse_content st tag =
+  let items = ref [] in
+  let rec go () =
+    if looking_at st "</" then begin
+      expect st "</";
+      let closing = read_name st in
+      if closing <> tag then
+        error st (Printf.sprintf "mismatched closing tag </%s> for <%s>" closing tag);
+      skip_spaces st;
+      expect st ">"
+    end
+    else if looking_at st "<!--" then begin
+      while not (looking_at st "-->") do
+        ignore (next st)
+      done;
+      expect st "-->";
+      go ()
+    end
+    else if looking_at st "<![CDATA[" then begin
+      expect st "<![CDATA[";
+      let buf = Buffer.create 32 in
+      while not (looking_at st "]]>") do
+        Buffer.add_char buf (next st)
+      done;
+      expect st "]]>";
+      items := Text (Buffer.contents buf) :: !items;
+      go ()
+    end
+    else if looking_at st "<?" then begin
+      while not (looking_at st "?>") do
+        ignore (next st)
+      done;
+      expect st "?>";
+      go ()
+    end
+    else if looking_at st "<" then begin
+      items := parse_element st :: !items;
+      go ()
+    end
+    else begin
+      let text = read_until st '<' in
+      if String.trim text <> "" then items := Text text :: !items;
+      go ()
+    end
+  in
+  go ();
+  List.rev !items
+
+let parse_string src =
+  let st = { src; pos = 0; line = 1 } in
+  skip_misc st;
+  if not (looking_at st "<") then error st "expected a root element";
+  let root = parse_element st in
+  skip_misc st;
+  root
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(indent = true) t =
+  let buf = Buffer.create 1024 in
+  let rec emit depth t =
+    let pad () =
+      if indent then begin
+        if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (2 * depth) ' ')
+      end
+    in
+    match t with
+    | Text s -> Buffer.add_string buf (escape s)
+    | Element (tag, attrs, children) ->
+        pad ();
+        Buffer.add_char buf '<';
+        Buffer.add_string buf tag;
+        List.iter
+          (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" k (escape v)))
+          attrs;
+        if children = [] then Buffer.add_string buf "/>"
+        else begin
+          Buffer.add_char buf '>';
+          let only_elements = List.for_all (function Element _ -> true | Text _ -> false) children in
+          List.iter (fun c -> emit (depth + 1) c) children;
+          if indent && only_elements then begin
+            Buffer.add_char buf '\n';
+            Buffer.add_string buf (String.make (2 * depth) ' ')
+          end;
+          Buffer.add_string buf (Printf.sprintf "</%s>" tag)
+        end
+  in
+  emit 0 t;
+  Buffer.contents buf
+
+let write_file ?indent path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+      output_string oc (to_string ?indent t);
+      output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tag = function
+  | Element (t, _, _) -> t
+  | Text _ -> invalid_arg "Xml.tag: text node"
+
+let attr name = function
+  | Element (_, attrs, _) -> List.assoc_opt name attrs
+  | Text _ -> None
+
+let attr_exn name t = match attr name t with Some v -> v | None -> raise Not_found
+
+let children = function Element (_, _, c) -> c | Text _ -> []
+
+let child_elements t =
+  List.filter (function Element _ -> true | Text _ -> false) (children t)
+
+let find_children name t =
+  List.filter (function Element (tag, _, _) -> tag = name | Text _ -> false) (children t)
+
+let first_child name t = match find_children name t with [] -> None | c :: _ -> Some c
+
+let rec text_content t =
+  match t with
+  | Text s -> s
+  | Element (_, _, children) -> String.concat "" (List.map text_content children)
+
+let text_content t = String.trim (text_content t)

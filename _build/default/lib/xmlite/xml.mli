@@ -1,0 +1,48 @@
+(** Minimal XML 1.0 reader/writer — just enough to carry GraphML.
+
+    Supported: elements, attributes (single- or double-quoted), text
+    nodes, comments, processing instructions and CDATA (skipped or
+    captured as text), the five predefined entities and numeric
+    character references.  Not supported (rejected): DTDs with internal
+    subsets, namespaces beyond treating prefixed names as opaque
+    strings.  This is a substrate, not a general XML library. *)
+
+type t =
+  | Element of string * (string * string) list * t list
+      (** tag, attributes in document order, children *)
+  | Text of string
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> t
+(** Parses a document and returns the root element.
+    @raise Parse_error on malformed input. *)
+
+val parse_file : string -> t
+
+val to_string : ?indent:bool -> t -> string
+(** Serialize with escaping; [indent] (default true) pretty-prints
+    element-only content. *)
+
+val write_file : ?indent:bool -> string -> t -> unit
+
+(** {1 Convenience accessors} *)
+
+val tag : t -> string
+(** @raise Invalid_argument on a text node. *)
+
+val attr : string -> t -> string option
+val attr_exn : string -> t -> string
+(** @raise Not_found when absent. *)
+
+val children : t -> t list
+val child_elements : t -> t list
+val find_children : string -> t -> t list
+(** Child elements with the given tag, in order. *)
+
+val first_child : string -> t -> t option
+val text_content : t -> string
+(** Concatenated text descendants, trimmed. *)
+
+val escape : string -> string
+(** Entity-escape a string for use as attribute or text content. *)

@@ -1,0 +1,1 @@
+test/test_attr.ml: Alcotest Float Gen List Netembed_attr QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Fun List Netembed_bitset Printf QCheck QCheck_alcotest String

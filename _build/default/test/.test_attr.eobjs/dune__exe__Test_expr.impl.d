@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Array List Netembed_attr Netembed_expr QCheck QCheck_alcotest

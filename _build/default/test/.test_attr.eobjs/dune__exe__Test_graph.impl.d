@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fun List Netembed_attr Netembed_graph Netembed_rng Netembed_topology Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graphml.ml: Alcotest Filename Float Fun List Netembed_attr Netembed_graph Netembed_graphml Option QCheck QCheck_alcotest String Sys

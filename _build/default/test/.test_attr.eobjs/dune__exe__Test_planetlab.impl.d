@@ -1,0 +1,1 @@
+test/test_planetlab.ml: Alcotest Filename Float Fun Netembed_attr Netembed_graph Netembed_planetlab Netembed_rng Option Sys

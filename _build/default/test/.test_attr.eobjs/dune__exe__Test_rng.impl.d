@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float List Netembed_rng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_service.ml: Alcotest Array Filename Fun List Netembed_attr Netembed_core Netembed_expr Netembed_graph Netembed_graphml Netembed_rng Netembed_service Option QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Float List Netembed_attr Netembed_graph Netembed_rng Netembed_topology Option

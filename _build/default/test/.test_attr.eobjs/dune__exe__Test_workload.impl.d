@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Engine Filename Fun List Netembed_attr Netembed_core Netembed_graph Netembed_planetlab Netembed_rng Netembed_topology Netembed_workload Option Problem Sys

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Char Filename Fun List Netembed_xml QCheck QCheck_alcotest String Sys

@@ -1,0 +1,36 @@
+  $ ../../bin/netembed_cli.exe generate --kind planetlab -n 40 --seed 2 -o host.graphml
+  $ ../../bin/netembed_cli.exe info host.graphml | head -1
+  $ cat > query.graphml <<'XML'
+  > <graphml>
+  >   <key id="d0" for="edge" attr.name="maxDelay" attr.type="double"/>
+  >   <graph id="Q" edgedefault="undirected">
+  >     <node id="a"/><node id="b"/><node id="c"/>
+  >     <edge source="a" target="b"><data key="d0">400</data></edge>
+  >     <edge source="b" target="c"><data key="d0">400</data></edge>
+  >   </graph>
+  > </graphml>
+  > XML
+  $ ../../bin/netembed_cli.exe embed --host host.graphml --query query.graphml \
+  >   --constraint 'rEdge.avgDelay <= vEdge.maxDelay' --algorithm ecf --mode atmost:1 \
+  >   | head -1 | sed 's/elapsed=[0-9.]*/elapsed=MS/'
+  $ ../../bin/netembed_cli.exe embed --host host.graphml --query query.graphml \
+  >   --constraint 'rEdge.>>>' 2>&1 | head -1; echo "exit=$?"
+  $ cat > frame.txt <<'TXT'
+  > EMBED alg=LNS mode=first timeout=5
+  > CONSTRAINT rEdge.avgDelay < 500
+  > GRAPHML
+  > <graphml><graph edgedefault="undirected">
+  > <node id="x"/><node id="y"/>
+  > <edge source="x" target="y"/>
+  > </graph></graphml>
+  > .
+  > TXT
+  $ ../../bin/netembed_server.exe --host host.graphml < frame.txt | head -1 | sed 's/elapsed=[0-9.]*/elapsed=MS/'
+  $ ../../bin/netembed_cli.exe generate --kind brite-ba -n 20 --seed 4 -o ba.graphml
+  $ ../../bin/netembed_cli.exe convert ba.graphml ba.brite
+  $ ../../bin/netembed_cli.exe convert ba.brite back.graphml
+  $ head -1 ba.brite
+  $ ../../bin/netembed_cli.exe embed --host host.graphml --query query.graphml \
+  >   --constraint 'rEdge.avgDelay <= vEdge.maxDelay' --mode atmost:20 \
+  >   --dedupe-symmetry --optimize total-delay \
+  >   | head -1 | sed 's/elapsed=[0-9.]*/elapsed=MS/'

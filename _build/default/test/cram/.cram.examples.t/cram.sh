@@ -1,0 +1,1 @@
+  $ ../../examples/quickstart.exe | sed 's/[0-9.]* ms/T ms/' | head -8

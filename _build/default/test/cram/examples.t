@@ -1,0 +1,11 @@
+The quickstart example is deterministic apart from timings:
+
+  $ ../../examples/quickstart.exe | sed 's/[0-9.]* ms/T ms/' | head -8
+  Host:  demo-host: 5 nodes, 6 edges (undirected)
+  Query: demo-query: 3 nodes, 2 edges (undirected)
+  Constraint: rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay
+  
+  ECF: 4 embedding(s), outcome complete, T ms
+     {0->0, 1->1,
+  2->2}
+     {0->3, 1->2,

@@ -1,0 +1,166 @@
+module Value = Netembed_attr.Value
+module Attrs = Netembed_attr.Attrs
+module Schema = Netembed_attr.Schema
+
+let check = Alcotest.check
+let fail_with = Alcotest.check_raises
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_equal () =
+  check Alcotest.bool "int = int" true (Value.equal (Value.Int 3) (Value.Int 3));
+  check Alcotest.bool "int = float cross" true (Value.equal (Value.Int 3) (Value.Float 3.0));
+  check Alcotest.bool "float = int cross" true (Value.equal (Value.Float 3.0) (Value.Int 3));
+  check Alcotest.bool "int <> float" false (Value.equal (Value.Int 3) (Value.Float 3.5));
+  check Alcotest.bool "string" true (Value.equal (Value.String "a") (Value.String "a"));
+  check Alcotest.bool "bool <> int" false (Value.equal (Value.Bool true) (Value.Int 1));
+  check Alcotest.bool "range" true
+    (Value.equal (Value.range 1.0 2.0) (Value.range 1.0 2.0))
+
+let test_value_compare () =
+  check Alcotest.bool "3 < 3.5" true (Value.compare (Value.Int 3) (Value.Float 3.5) < 0);
+  check Alcotest.bool "3.5 > 3" true (Value.compare (Value.Float 3.5) (Value.Int 3) > 0);
+  check Alcotest.int "3 = 3.0" 0 (Value.compare (Value.Int 3) (Value.Float 3.0))
+
+let test_value_coercions () =
+  check (Alcotest.float 0.0) "int to float" 4.0 (Value.to_float (Value.Int 4));
+  check (Alcotest.float 0.0) "float to float" 2.5 (Value.to_float (Value.Float 2.5));
+  check Alcotest.bool "bool" true (Value.to_bool (Value.Bool true));
+  fail_with "to_float of string" (Value.Type_error "expected number, got string")
+    (fun () -> ignore (Value.to_float (Value.String "x")));
+  fail_with "to_bool of int" (Value.Type_error "expected bool, got int") (fun () ->
+      ignore (Value.to_bool (Value.Int 1)))
+
+let test_value_range () =
+  let r = Value.range 1.5 9.0 in
+  check (Alcotest.float 0.0) "lo" 1.5 (Value.range_lo r);
+  check (Alcotest.float 0.0) "hi" 9.0 (Value.range_hi r);
+  (* Degenerate ranges from plain numbers. *)
+  check (Alcotest.float 0.0) "scalar lo" 4.0 (Value.range_lo (Value.Int 4));
+  check (Alcotest.float 0.0) "scalar hi" 4.0 (Value.range_hi (Value.Float 4.0));
+  Alcotest.check_raises "inverted" (Invalid_argument "Value.range: lo > hi") (fun () ->
+      ignore (Value.range 2.0 1.0));
+  Alcotest.check_raises "nan" (Invalid_argument "Value.range: NaN bound") (fun () ->
+      ignore (Value.range Float.nan 1.0))
+
+let test_value_parse () =
+  check Alcotest.bool "bool true" true
+    (Value.equal (Value.of_string_as `Bool "true") (Value.Bool true));
+  check Alcotest.bool "bool 0" true
+    (Value.equal (Value.of_string_as `Bool "0") (Value.Bool false));
+  check Alcotest.bool "int" true (Value.equal (Value.of_string_as `Int " 42 ") (Value.Int 42));
+  check Alcotest.bool "float" true
+    (Value.equal (Value.of_string_as `Float "2.5") (Value.Float 2.5));
+  check Alcotest.bool "string" true
+    (Value.equal (Value.of_string_as `String "x y") (Value.String "x y"));
+  (match Value.of_string_as `Int "nope" with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected Type_error")
+
+let test_value_pp () =
+  check Alcotest.string "int" "7" (Value.to_string (Value.Int 7));
+  check Alcotest.string "float" "2.5" (Value.to_string (Value.Float 2.5));
+  check Alcotest.string "range" "[1,2]" (Value.to_string (Value.range 1.0 2.0))
+
+(* ------------------------------------------------------------------ *)
+(* Attrs                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_attrs_basic () =
+  let a = Attrs.empty |> Attrs.add "x" (Value.Int 1) |> Attrs.add "y" (Value.Float 2.0) in
+  check Alcotest.int "cardinal" 2 (Attrs.cardinal a);
+  check Alcotest.bool "mem" true (Attrs.mem "x" a);
+  check (Alcotest.option (Alcotest.float 0.0)) "float widens int" (Some 1.0) (Attrs.float "x" a);
+  check (Alcotest.option (Alcotest.float 0.0)) "float" (Some 2.0) (Attrs.float "y" a);
+  check (Alcotest.option Alcotest.string) "string miss" None (Attrs.string "x" a);
+  let a = Attrs.remove "x" a in
+  check Alcotest.bool "removed" false (Attrs.mem "x" a);
+  check Alcotest.bool "find_exn raises" true
+    (match Attrs.find_exn "x" a with exception Not_found -> true | _ -> false)
+
+let test_attrs_union () =
+  let a = Attrs.of_list [ ("x", Value.Int 1); ("y", Value.Int 2) ] in
+  let b = Attrs.of_list [ ("y", Value.Int 9); ("z", Value.Int 3) ] in
+  let u = Attrs.union a b in
+  check (Alcotest.option (Alcotest.float 0.0)) "b wins" (Some 9.0) (Attrs.float "y" u);
+  check Alcotest.int "all keys" 3 (Attrs.cardinal u)
+
+let test_attrs_roundtrip =
+  QCheck.Test.make ~name:"attrs of_list/to_list roundtrip" ~count:200
+    QCheck.(small_list (pair (string_of_size (Gen.int_range 1 8)) small_int))
+    (fun kvs ->
+      let kvs = List.map (fun (k, v) -> (k, Value.Int v)) kvs in
+      let attrs = Netembed_attr.Attrs.of_list kvs in
+      (* Last binding per key wins; to_list is sorted and deduped. *)
+      let expected =
+        List.fold_left
+          (fun acc (k, v) -> (k, v) :: List.remove_assoc k acc)
+          [] kvs
+        |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+      in
+      List.length (Netembed_attr.Attrs.to_list attrs) = List.length expected
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> k1 = k2 && Netembed_attr.Value.equal v1 v2)
+           (Netembed_attr.Attrs.to_list attrs)
+           expected)
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_schema () =
+  let e1 = { Schema.name = "delay"; domain = Schema.Edge; ty = `Float; default = None } in
+  let e2 =
+    {
+      Schema.name = "os";
+      domain = Schema.Node;
+      ty = `String;
+      default = Some (Value.String "linux");
+    }
+  in
+  let s = Schema.empty |> Schema.add e1 |> Schema.add e2 in
+  check Alcotest.int "entries" 2 (List.length (Schema.entries s));
+  check Alcotest.bool "find edge key" true (Schema.find Schema.Edge "delay" s <> None);
+  check Alcotest.bool "domain distinguishes" true (Schema.find Schema.Node "delay" s = None);
+  let d = Schema.defaults Schema.Node s in
+  check (Alcotest.option Alcotest.string) "default" (Some "linux") (Attrs.string "os" d);
+  (* Re-adding the same entry is idempotent; conflicting type rejected. *)
+  check Alcotest.int "idempotent" 2 (List.length (Schema.entries (Schema.add e1 s)));
+  (match Schema.add { e1 with ty = `Int } s with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected type-conflict rejection")
+
+let test_schema_infer () =
+  let attrs = Attrs.of_list [ ("a", Value.Int 1); ("b", Value.String "s") ] in
+  let s = Schema.infer Schema.Node attrs Schema.empty in
+  check Alcotest.int "two inferred" 2 (List.length (Schema.entries s));
+  match Schema.find Schema.Node "a" s with
+  | Some e -> check Alcotest.bool "int type" true (e.Schema.ty = `Int)
+  | None -> Alcotest.fail "missing inferred entry"
+
+let () =
+  Alcotest.run "attr"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "equal" `Quick test_value_equal;
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "coercions" `Quick test_value_coercions;
+          Alcotest.test_case "range" `Quick test_value_range;
+          Alcotest.test_case "parse" `Quick test_value_parse;
+          Alcotest.test_case "pp" `Quick test_value_pp;
+        ] );
+      ( "attrs",
+        [
+          Alcotest.test_case "basic" `Quick test_attrs_basic;
+          Alcotest.test_case "union" `Quick test_attrs_union;
+          QCheck_alcotest.to_alcotest test_attrs_roundtrip;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "declare" `Quick test_schema;
+          Alcotest.test_case "infer" `Quick test_schema_infer;
+        ] );
+    ]

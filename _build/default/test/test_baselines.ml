@@ -1,0 +1,234 @@
+module Graph = Netembed_graph.Graph
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+module Expr = Netembed_expr.Expr
+module Rng = Netembed_rng.Rng
+module Regular = Netembed_topology.Regular
+open Netembed_core
+open Netembed_baselines
+
+let check = Alcotest.check
+
+let delay d = Attrs.of_list [ ("avgDelay", Value.Float d) ]
+let band lo hi = Attrs.of_list [ ("minDelay", Value.Float lo); ("maxDelay", Value.Float hi) ]
+
+let small_host () =
+  let g = Graph.create () in
+  let v = Array.init 6 (fun _ -> Graph.add_node g Attrs.empty) in
+  ignore (Graph.add_edge g v.(0) v.(1) (delay 10.0));
+  ignore (Graph.add_edge g v.(1) v.(2) (delay 20.0));
+  ignore (Graph.add_edge g v.(2) v.(3) (delay 10.0));
+  ignore (Graph.add_edge g v.(3) v.(4) (delay 20.0));
+  ignore (Graph.add_edge g v.(4) v.(5) (delay 10.0));
+  ignore (Graph.add_edge g v.(5) v.(0) (delay 20.0));
+  ignore (Graph.add_edge g v.(0) v.(3) (delay 15.0));
+  g
+
+let path_query k lo hi =
+  let g = Graph.create () in
+  let q = Array.init k (fun _ -> Graph.add_node g Attrs.empty) in
+  for i = 0 to k - 2 do
+    ignore (Graph.add_edge g q.(i) q.(i + 1) (band lo hi))
+  done;
+  g
+
+let easy_problem () =
+  Problem.make ~host:(small_host ()) ~query:(path_query 3 5.0 25.0) Expr.avg_delay_within
+
+let infeasible_problem () =
+  Problem.make ~host:(small_host ()) ~query:(path_query 3 100.0 200.0) Expr.avg_delay_within
+
+(* ------------------------------------------------------------------ *)
+(* Brute force                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_bruteforce_matches_ecf () =
+  let p = easy_problem () in
+  let brute = List.sort_uniq Mapping.compare (Bruteforce.find_all p) in
+  let ecf = List.sort_uniq Mapping.compare (Engine.find_all Engine.ECF p) in
+  check Alcotest.int "same count" (List.length ecf) (List.length brute);
+  check Alcotest.bool "same set" true (List.for_all2 Mapping.equal brute ecf);
+  List.iter (fun m -> assert (Verify.is_valid p m)) brute
+
+let test_bruteforce_first () =
+  match Bruteforce.find_first (easy_problem ()) with
+  | Some m -> check Alcotest.bool "valid" true (Verify.is_valid (easy_problem ()) m)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_bruteforce_infeasible () =
+  check Alcotest.int "none" 0 (List.length (Bruteforce.find_all (infeasible_problem ())));
+  check Alcotest.bool "first none" true (Bruteforce.find_first (infeasible_problem ()) = None)
+
+let test_bruteforce_timeout () =
+  (* A large loose instance with a tiny timeout returns a partial set
+     without hanging. *)
+  let host = Regular.clique 12 in
+  let query = Regular.clique 9 in
+  let p = Problem.make ~host ~query Expr.always in
+  let t0 = Unix.gettimeofday () in
+  ignore (Bruteforce.find_all ~timeout:0.2 p);
+  check Alcotest.bool "respected timeout" true (Unix.gettimeofday () -. t0 < 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Annealing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_annealing_finds_easy () =
+  let p = easy_problem () in
+  match Annealing.find_first ~rng:(Rng.make 1) p with
+  | Some m -> check Alcotest.bool "valid" true (Verify.is_valid p m)
+  | None -> Alcotest.fail "annealing failed on an easy instance"
+
+let test_annealing_cost () =
+  let p = easy_problem () in
+  (* Identity assignment 0,1,2 is feasible -> cost 0. *)
+  check Alcotest.int "feasible cost" 0 (Annealing.cost p [| 0; 1; 2 |]);
+  (* Mapping q0,q1 to non-adjacent hosts violates an edge. *)
+  check Alcotest.bool "violations counted" true (Annealing.cost p [| 0; 2; 4 |] > 0)
+
+let test_annealing_never_invalid () =
+  (* Whatever it returns must be verified; on infeasible instances it
+     must return None (no convergence guarantee, but no false
+     positives). *)
+  let p = infeasible_problem () in
+  check Alcotest.bool "no false positive" true
+    (Annealing.find_first ~rng:(Rng.make 2) p = None)
+
+(* ------------------------------------------------------------------ *)
+(* Genetic                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_genetic_finds_easy () =
+  let p = easy_problem () in
+  match Genetic.find_first ~rng:(Rng.make 3) p with
+  | Some m -> check Alcotest.bool "valid" true (Verify.is_valid p m)
+  | None -> Alcotest.fail "genetic failed on an easy instance"
+
+let test_genetic_fitness () =
+  let p = easy_problem () in
+  (* Feasible assignment reaches max fitness |EQ| + |VQ| = 2 + 3. *)
+  check Alcotest.int "max fitness" 5 (Genetic.fitness p [| 0; 1; 2 |]);
+  check Alcotest.bool "partial fitness" true (Genetic.fitness p [| 0; 2; 4 |] < 5)
+
+let test_genetic_no_false_positive () =
+  let p = infeasible_problem () in
+  check Alcotest.bool "no false positive" true
+    (Genetic.find_first ~rng:(Rng.make 4) p = None)
+
+(* ------------------------------------------------------------------ *)
+(* SWORD                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sword_finds_easy () =
+  let p = easy_problem () in
+  match Sword.find_first p with
+  | Some m -> check Alcotest.bool "valid" true (Verify.is_valid p m)
+  | None -> Alcotest.fail "sword failed on an easy instance"
+
+let test_sword_phase1 () =
+  let p = easy_problem () in
+  let cands = Sword.phase1_candidates ~params:{ Sword.pruning = Sword.Top_k 3; phase_timeout = 1.0 } p in
+  check Alcotest.int "per query node" 3 (Array.length cands);
+  Array.iter (fun c -> check Alcotest.bool "pruned to k" true (Array.length c <= 3)) cands
+
+let test_sword_false_negative () =
+  (* Demonstrate the paper's point: pruning can cause false negatives.
+     Host: hub 0 with high score for every query node, but the only
+     feasible embedding avoids the hub.  With First_only pruning each
+     query node keeps exactly one candidate, making a match impossible
+     while ECF still finds one. *)
+  let host = small_host () in
+  let query = path_query 4 5.0 25.0 in
+  let p = Problem.make ~host ~query Expr.avg_delay_within in
+  let ecf = Engine.find_first Engine.ECF p in
+  check Alcotest.bool "ECF finds it" true (ecf <> None);
+  let strict = { Sword.pruning = Sword.First_only; phase_timeout = 1.0 } in
+  (* With one candidate per node, all query nodes may collide on the
+     same host or fail edges; across this fixture it must miss. *)
+  match Sword.find_first ~params:strict p with
+  | None -> () (* false negative exhibited *)
+  | Some m ->
+      (* If it happens to find one, it must at least be valid. *)
+      check Alcotest.bool "valid anyway" true (Verify.is_valid p m)
+
+(* ------------------------------------------------------------------ *)
+(* Zhu-Ammar                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_zhu_ammar_embeds () =
+  let t = Zhu_ammar.create (small_host ()) in
+  match Zhu_ammar.embed ~edge_constraint:Expr.avg_delay_within t (path_query 3 5.0 25.0) with
+  | Some m ->
+      let p = Problem.make ~host:(small_host ()) ~query:(path_query 3 5.0 25.0) Expr.avg_delay_within in
+      check Alcotest.bool "valid" true (Verify.is_valid p m);
+      check Alcotest.int "stress accrued" 3 (Zhu_ammar.total_stress t)
+  | None -> Alcotest.fail "zhu-ammar failed on an easy instance"
+
+let test_zhu_ammar_balances_stress () =
+  let t = Zhu_ammar.create (Regular.clique ~edge:(delay 10.0) 8) in
+  let q () = path_query 2 5.0 15.0 in
+  for _ = 1 to 4 do
+    match Zhu_ammar.embed ~edge_constraint:Expr.avg_delay_within t (q ()) with
+    | Some _ -> ()
+    | None -> Alcotest.fail "embedding failed"
+  done;
+  (* 4 queries x 2 nodes over 8 hosts: stress spreads to 1 each. *)
+  check Alcotest.int "total stress" 8 (Zhu_ammar.total_stress t);
+  check Alcotest.int "max stress balanced" 1 (Zhu_ammar.max_stress t)
+
+let test_zhu_ammar_incomplete () =
+  (* Greedy no-backtracking placement misses embeddings ECF finds:
+     host is a path a-b-c with a "tempting" low-stress wrong choice.
+     Query: path of 3 with tight bands forcing the exact host path.
+     Force wrong greedy start by pre-stressing. *)
+  let host = Graph.create () in
+  let v = Array.init 4 (fun _ -> Graph.add_node host Attrs.empty) in
+  ignore (Graph.add_edge host v.(0) v.(1) (delay 10.0));
+  ignore (Graph.add_edge host v.(1) v.(2) (delay 10.0));
+  ignore (Graph.add_edge host v.(1) v.(3) (delay 50.0));
+  let query = path_query 3 5.0 15.0 in
+  let p = Problem.make ~host ~query Expr.avg_delay_within in
+  check Alcotest.bool "ECF finds it" true (Engine.find_first Engine.ECF p <> None);
+  (* Zhu-Ammar places the degree-2 middle node first (onto min-stress
+     feasible host); whether it succeeds depends on tie-breaking.  The
+     guarantee tested: a returned mapping is always valid. *)
+  let t = Zhu_ammar.create host in
+  match Zhu_ammar.embed ~edge_constraint:Expr.avg_delay_within t query with
+  | Some m -> check Alcotest.bool "valid" true (Verify.is_valid p m)
+  | None -> () (* incompleteness exhibited *)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "bruteforce",
+        [
+          Alcotest.test_case "matches ECF" `Quick test_bruteforce_matches_ecf;
+          Alcotest.test_case "first" `Quick test_bruteforce_first;
+          Alcotest.test_case "infeasible" `Quick test_bruteforce_infeasible;
+          Alcotest.test_case "timeout" `Quick test_bruteforce_timeout;
+        ] );
+      ( "annealing",
+        [
+          Alcotest.test_case "finds easy" `Quick test_annealing_finds_easy;
+          Alcotest.test_case "cost" `Quick test_annealing_cost;
+          Alcotest.test_case "no false positives" `Quick test_annealing_never_invalid;
+        ] );
+      ( "genetic",
+        [
+          Alcotest.test_case "finds easy" `Quick test_genetic_finds_easy;
+          Alcotest.test_case "fitness" `Quick test_genetic_fitness;
+          Alcotest.test_case "no false positives" `Quick test_genetic_no_false_positive;
+        ] );
+      ( "sword",
+        [
+          Alcotest.test_case "finds easy" `Quick test_sword_finds_easy;
+          Alcotest.test_case "phase 1 pruning" `Quick test_sword_phase1;
+          Alcotest.test_case "false negatives possible" `Quick test_sword_false_negative;
+        ] );
+      ( "zhu-ammar",
+        [
+          Alcotest.test_case "embeds" `Quick test_zhu_ammar_embeds;
+          Alcotest.test_case "balances stress" `Quick test_zhu_ammar_balances_stress;
+          Alcotest.test_case "incomplete but sound" `Quick test_zhu_ammar_incomplete;
+        ] );
+    ]

@@ -1,0 +1,138 @@
+module Bitset = Netembed_bitset.Bitset
+
+let check = Alcotest.check
+
+let test_empty () =
+  let s = Bitset.create 100 in
+  check Alcotest.bool "empty" true (Bitset.is_empty s);
+  check Alcotest.int "cardinal" 0 (Bitset.cardinal s);
+  check Alcotest.bool "mem" false (Bitset.mem s 5);
+  check (Alcotest.option Alcotest.int) "choose" None (Bitset.choose s)
+
+let test_add_remove () =
+  let s = Bitset.create 200 in
+  Bitset.add s 0;
+  Bitset.add s 61;
+  Bitset.add s 62;
+  Bitset.add s 63;
+  Bitset.add s 199;
+  check Alcotest.int "cardinal" 5 (Bitset.cardinal s);
+  check Alcotest.bool "mem 62 (word boundary)" true (Bitset.mem s 62);
+  check Alcotest.bool "mem 199" true (Bitset.mem s 199);
+  check Alcotest.bool "not mem 100" false (Bitset.mem s 100);
+  Bitset.remove s 62;
+  check Alcotest.bool "removed" false (Bitset.mem s 62);
+  check Alcotest.int "cardinal after remove" 4 (Bitset.cardinal s);
+  (* Idempotent add. *)
+  Bitset.add s 0;
+  check Alcotest.int "idempotent" 4 (Bitset.cardinal s);
+  Alcotest.check_raises "out of universe"
+    (Invalid_argument "Bitset: index out of universe") (fun () -> Bitset.add s 200)
+
+let test_full () =
+  List.iter
+    (fun n ->
+      let s = Bitset.full n in
+      check Alcotest.int (Printf.sprintf "full %d" n) n (Bitset.cardinal s);
+      if n > 0 then begin
+        check Alcotest.bool "first" true (Bitset.mem s 0);
+        check Alcotest.bool "last" true (Bitset.mem s (n - 1))
+      end)
+    [ 0; 1; 61; 62; 63; 124; 300 ]
+
+let test_elements_ordered () =
+  let s = Bitset.of_list 150 [ 149; 3; 77; 0; 62 ] in
+  check Alcotest.(list int) "ascending" [ 0; 3; 62; 77; 149 ] (Bitset.elements s)
+
+let test_nth () =
+  let s = Bitset.of_list 150 [ 5; 62; 63; 130 ] in
+  check (Alcotest.option Alcotest.int) "0th" (Some 5) (Bitset.nth s 0);
+  check (Alcotest.option Alcotest.int) "1st" (Some 62) (Bitset.nth s 1);
+  check (Alcotest.option Alcotest.int) "2nd" (Some 63) (Bitset.nth s 2);
+  check (Alcotest.option Alcotest.int) "3rd" (Some 130) (Bitset.nth s 3);
+  check (Alcotest.option Alcotest.int) "4th" None (Bitset.nth s 4);
+  check (Alcotest.option Alcotest.int) "negative" None (Bitset.nth s (-1))
+
+let test_universe_mismatch () =
+  let a = Bitset.create 10 and b = Bitset.create 20 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bitset: universe mismatch")
+    (fun () -> Bitset.inter_into ~dst:a b)
+
+(* Model-based property tests: compare against sorted-int-list sets. *)
+
+let gen_set n =
+  QCheck.Gen.(
+    map
+      (fun l -> List.sort_uniq compare (List.filter (fun x -> x >= 0 && x < n) l))
+      (small_list (int_range 0 (n - 1))))
+
+let arbitrary_pair n =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Printf.sprintf "(%s, %s)"
+        (String.concat "," (List.map string_of_int a))
+        (String.concat "," (List.map string_of_int b)))
+    QCheck.Gen.(pair (gen_set n) (gen_set n))
+
+let model_test name op list_op =
+  QCheck.Test.make ~name ~count:500 (arbitrary_pair 130) (fun (la, lb) ->
+      let a = Bitset.of_list 130 la and b = Bitset.of_list 130 lb in
+      let result = op a b in
+      Bitset.elements result = list_op la lb)
+
+let list_inter a b = List.filter (fun x -> List.mem x b) a
+let list_union a b = List.sort_uniq compare (a @ b)
+let list_diff a b = List.filter (fun x -> not (List.mem x b)) a
+
+let prop_inter = model_test "inter matches model" Bitset.inter list_inter
+let prop_union = model_test "union matches model" Bitset.union list_union
+let prop_diff = model_test "diff matches model" Bitset.diff list_diff
+
+let prop_cardinal =
+  QCheck.Test.make ~name:"cardinal = |elements|" ~count:500
+    (QCheck.make (gen_set 130))
+    (fun l ->
+      let s = Bitset.of_list 130 l in
+      Bitset.cardinal s = List.length l && Bitset.elements s = l)
+
+let prop_inplace_agree =
+  QCheck.Test.make ~name:"in-place ops agree with pure ops" ~count:300
+    (arbitrary_pair 130) (fun (la, lb) ->
+      let a = Bitset.of_list 130 la and b = Bitset.of_list 130 lb in
+      let i = Bitset.copy a in
+      Bitset.inter_into ~dst:i b;
+      let u = Bitset.copy a in
+      Bitset.union_into ~dst:u b;
+      let d = Bitset.copy a in
+      Bitset.diff_into ~dst:d b;
+      Bitset.equal i (Bitset.inter a b)
+      && Bitset.equal u (Bitset.union a b)
+      && Bitset.equal d (Bitset.diff a b))
+
+let prop_nth_total =
+  QCheck.Test.make ~name:"nth enumerates elements" ~count:300
+    (QCheck.make (gen_set 130))
+    (fun l ->
+      let s = Bitset.of_list 130 l in
+      List.for_all2
+        (fun i x -> Bitset.nth s i = Some x)
+        (List.init (List.length l) Fun.id)
+        l)
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/remove" `Quick test_add_remove;
+          Alcotest.test_case "full" `Quick test_full;
+          Alcotest.test_case "elements ordered" `Quick test_elements_ordered;
+          Alcotest.test_case "nth" `Quick test_nth;
+          Alcotest.test_case "universe mismatch" `Quick test_universe_mismatch;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_inter; prop_union; prop_diff; prop_cardinal; prop_inplace_agree; prop_nth_total ]
+      );
+    ]

@@ -1,0 +1,141 @@
+module Graph = Netembed_graph.Graph
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+module Expr = Netembed_expr.Expr
+module Rng = Netembed_rng.Rng
+module Hierarchical = Netembed_distributed.Hierarchical
+module Trace = Netembed_planetlab.Trace
+open Netembed_core
+
+let check = Alcotest.check
+
+let delay d = Attrs.of_list [ ("avgDelay", Value.Float d) ]
+let band lo hi = Attrs.of_list [ ("minDelay", Value.Float lo); ("maxDelay", Value.Float hi) ]
+
+(* Host with two labelled regions: a triangle in "west" (short links),
+   a triangle in "east" (short links), joined by one long link. *)
+let two_region_host () =
+  let g = Graph.create () in
+  let node region = Graph.add_node g (Attrs.of_list [ ("region", Value.String region) ]) in
+  let w = Array.init 3 (fun _ -> node "west") in
+  let e = Array.init 3 (fun _ -> node "east") in
+  let triangle v =
+    ignore (Graph.add_edge g v.(0) v.(1) (delay 5.0));
+    ignore (Graph.add_edge g v.(1) v.(2) (delay 5.0));
+    ignore (Graph.add_edge g v.(0) v.(2) (delay 5.0))
+  in
+  triangle w;
+  triangle e;
+  ignore (Graph.add_edge g w.(0) e.(0) (delay 100.0));
+  g
+
+let path_query k lo hi =
+  let g = Graph.create () in
+  let q = Array.init k (fun _ -> Graph.add_node g Attrs.empty) in
+  for i = 0 to k - 2 do
+    ignore (Graph.add_edge g q.(i) q.(i + 1) (band lo hi))
+  done;
+  g
+
+let test_partition_by_attr () =
+  let g = two_region_host () in
+  let regions = Hierarchical.partition_by_attr g "region" in
+  check Alcotest.int "two regions" 2 (List.length regions);
+  check Alcotest.(list string) "names sorted" [ "east"; "west" ]
+    (List.map (fun r -> r.Hierarchical.name) regions);
+  List.iter
+    (fun r ->
+      check Alcotest.int "three nodes each" 3 (Graph.node_count r.Hierarchical.host);
+      check Alcotest.int "intra-region edges only" 3 (Graph.edge_count r.Hierarchical.host))
+    regions;
+  (* Partition covers all nodes disjointly. *)
+  let all =
+    List.concat_map (fun r -> Array.to_list r.Hierarchical.to_global) regions
+  in
+  check Alcotest.(list int) "cover" [ 0; 1; 2; 3; 4; 5 ] (List.sort compare all)
+
+let test_partition_missing_attr () =
+  let g = two_region_host () in
+  Graph.set_node_attrs g 0 Attrs.empty;
+  let regions = Hierarchical.partition_by_attr g "region" in
+  check Alcotest.int "extra <none> region" 3 (List.length regions)
+
+let test_partition_balanced () =
+  let g = Trace.generate (Rng.make 2) { Trace.default with Trace.sites = 60 } in
+  let regions = Hierarchical.partition_balanced (Rng.make 3) g ~parts:4 in
+  check Alcotest.int "four parts" 4 (List.length regions);
+  let sizes = List.map (fun r -> Graph.node_count r.Hierarchical.host) regions in
+  check Alcotest.int "cover all" 60 (List.fold_left ( + ) 0 sizes);
+  List.iter
+    (fun s -> if s < 5 then Alcotest.failf "region too small: %d" s)
+    sizes;
+  (* Disjoint. *)
+  let all = List.concat_map (fun r -> Array.to_list r.Hierarchical.to_global) regions in
+  check Alcotest.int "no overlap" 60 (List.length (List.sort_uniq compare all))
+
+let test_embed_local () =
+  let g = two_region_host () in
+  let regions = Hierarchical.partition_by_attr g "region" in
+  (* A short-delay triangle fits inside one region. *)
+  let query = path_query 3 1.0 10.0 in
+  match Hierarchical.embed_first g ~regions ~query Expr.avg_delay_within with
+  | Hierarchical.Local (name, m) ->
+      check Alcotest.bool "a real region" true (name = "west" || name = "east");
+      let p = Problem.make ~host:g ~query Expr.avg_delay_within in
+      check Alcotest.bool "valid globally" true (Verify.is_valid p m)
+  | Hierarchical.Global _ -> Alcotest.fail "should embed locally"
+  | Hierarchical.Not_found_anywhere -> Alcotest.fail "should embed"
+
+let test_embed_global_fallback () =
+  let g = two_region_host () in
+  let regions = Hierarchical.partition_by_attr g "region" in
+  (* Requires the 100ms inter-region link: no single region has it. *)
+  let query = path_query 2 50.0 150.0 in
+  match Hierarchical.embed_first g ~regions ~query Expr.avg_delay_within with
+  | Hierarchical.Global m ->
+      let p = Problem.make ~host:g ~query Expr.avg_delay_within in
+      check Alcotest.bool "valid" true (Verify.is_valid p m)
+  | Hierarchical.Local (name, _) -> Alcotest.failf "region %s cannot host this" name
+  | Hierarchical.Not_found_anywhere -> Alcotest.fail "global view hosts it"
+
+let test_embed_nowhere () =
+  let g = two_region_host () in
+  let regions = Hierarchical.partition_by_attr g "region" in
+  let query = path_query 2 500.0 600.0 in
+  match Hierarchical.embed_first g ~regions ~query Expr.avg_delay_within with
+  | Hierarchical.Not_found_anywhere -> ()
+  | _ -> Alcotest.fail "expected failure"
+
+let test_embed_planetlab_regions () =
+  (* End-to-end: the synthetic PlanetLab trace carries a region
+     attribute; intra-continent queries should resolve locally. *)
+  let g = Trace.generate (Rng.make 5) { Trace.default with Trace.sites = 80 } in
+  let regions = Hierarchical.partition_by_attr g "region" in
+  check Alcotest.bool "several continents" true (List.length regions >= 3);
+  let query = path_query 3 1.0 120.0 in
+  match
+    Hierarchical.embed_first ~timeout_per_stage:5.0 g ~regions ~query
+      Expr.avg_delay_within
+  with
+  | Hierarchical.Local (_, m) | Hierarchical.Global m ->
+      let p = Problem.make ~host:g ~query Expr.avg_delay_within in
+      check Alcotest.bool "valid" true (Verify.is_valid p m)
+  | Hierarchical.Not_found_anywhere -> Alcotest.fail "should embed somewhere"
+
+let () =
+  Alcotest.run "distributed"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "by attribute" `Quick test_partition_by_attr;
+          Alcotest.test_case "missing attribute" `Quick test_partition_missing_attr;
+          Alcotest.test_case "balanced" `Quick test_partition_balanced;
+        ] );
+      ( "embed",
+        [
+          Alcotest.test_case "local" `Quick test_embed_local;
+          Alcotest.test_case "global fallback" `Quick test_embed_global_fallback;
+          Alcotest.test_case "nowhere" `Quick test_embed_nowhere;
+          Alcotest.test_case "planetlab regions" `Quick test_embed_planetlab_regions;
+        ] );
+    ]

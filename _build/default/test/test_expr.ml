@@ -1,0 +1,401 @@
+module Ast = Netembed_expr.Ast
+module Lexer = Netembed_expr.Lexer
+module Parser = Netembed_expr.Parser
+module Eval = Netembed_expr.Eval
+module Expr = Netembed_expr.Expr
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+
+let check = Alcotest.check
+
+let env ?(v_edge = []) ?(r_edge = []) ?(v_source = []) ?(v_target = [])
+    ?(r_source = []) ?(r_target = []) () =
+  Eval.env ~v_edge:(Attrs.of_list v_edge) ~r_edge:(Attrs.of_list r_edge)
+    ~v_source:(Attrs.of_list v_source) ~v_target:(Attrs.of_list v_target)
+    ~r_source:(Attrs.of_list r_source) ~r_target:(Attrs.of_list r_target)
+
+let parse = Expr.parse_exn
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_tokens () =
+  let toks = List.map fst (Lexer.tokenize "a && b1 || !(x <= 2.5e2) != 'str'") in
+  check Alcotest.int "count" 13 (List.length toks);
+  check Alcotest.bool "first ident" true (List.nth toks 0 = Lexer.IDENT "a");
+  check Alcotest.bool "and" true (List.nth toks 1 = Lexer.AND);
+  check Alcotest.bool "number" true (List.exists (fun t -> t = Lexer.NUMBER 250.0) toks);
+  check Alcotest.bool "string" true (List.exists (fun t -> t = Lexer.STRING "str") toks);
+  check Alcotest.bool "eof last" true (List.nth toks 12 = Lexer.EOF)
+
+let test_lexer_errors () =
+  (match Lexer.tokenize "a # b" with
+  | exception Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "expected Lex_error on #");
+  match Lexer.tokenize "'unterminated" with
+  | exception Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "expected Lex_error on unterminated string"
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_precedence () =
+  (* * binds over +, relational over &&, && over ||. *)
+  let e = parse "1 + 2 * 3 < 8 && true || false" in
+  check Alcotest.bool "structure" true
+    (Ast.equal e
+       (Ast.Binop
+          ( Ast.Or,
+            Ast.Binop
+              ( Ast.And,
+                Ast.Binop
+                  ( Ast.Lt,
+                    Ast.Binop
+                      (Ast.Add, Ast.Num 1.0, Ast.Binop (Ast.Mul, Ast.Num 2.0, Ast.Num 3.0)),
+                    Ast.Num 8.0 ),
+                Ast.Bool true ),
+            Ast.Bool false )))
+
+let test_left_assoc () =
+  let e = parse "10 - 4 - 3" in
+  check Alcotest.bool "left assoc" true
+    (Ast.equal e
+       (Ast.Binop (Ast.Sub, Ast.Binop (Ast.Sub, Ast.Num 10.0, Ast.Num 4.0), Ast.Num 3.0)))
+
+let test_attr_access () =
+  check Alcotest.bool "vEdge.avgDelay" true
+    (Ast.equal (parse "vEdge.avgDelay") (Ast.Attr (Ast.V_edge, "avgDelay")));
+  check Alcotest.bool "rTarget.osType" true
+    (Ast.equal (parse "rTarget.osType") (Ast.Attr (Ast.R_target, "osType")))
+
+let test_call_parse () =
+  check Alcotest.bool "two args" true
+    (Ast.equal
+       (parse "isBoundTo(vSource.osType, rSource.osType)")
+       (Ast.Call
+          ( "isBoundTo",
+            [ Ast.Attr (Ast.V_source, "osType"); Ast.Attr (Ast.R_source, "osType") ] )))
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Expr.parse src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse failure for %S" src)
+    [ "vEdge."; "bogusObj.x < 1"; "1 +"; "(1 < 2"; "1 2"; "justAnIdent"; "" ]
+
+let test_roundtrip_paper_fragments () =
+  (* The exact fragments from section VI-B must parse and round-trip. *)
+  List.iter
+    (fun src ->
+      let e = parse src in
+      let e' = parse (Ast.to_string e) in
+      if not (Ast.equal e e') then Alcotest.failf "round trip failed for %S" src)
+    [
+      "vEdge.avgDelay>=0.90*rEdge.avgDelay && vEdge.avgDelay<=1.10*rEdge.avgDelay";
+      "vEdge.avgDelay>=rEdge.minDelay && vEdge.avgDelay<=rEdge.maxDelay";
+      "isBoundTo(vSource.osType, rSource.osType)";
+      "isBoundTo(vSource.bindTo, rSource.name)";
+      "sqrt( (vSource.x-vTarget.x)*(vSource.x-vTarget.x) + \
+       (vSource.y-vTarget.y)*(vSource.y-vTarget.y) ) < 100.0";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let accepts ?v_edge ?r_edge ?v_source ?v_target ?r_source ?r_target src =
+  Eval.accepts (env ?v_edge ?r_edge ?v_source ?v_target ?r_source ?r_target ()) (parse src)
+
+let test_eval_arith () =
+  check Alcotest.bool "arith" true (accepts "1 + 2 * 3 == 7");
+  check Alcotest.bool "div" true (accepts "10 / 4 == 2.5");
+  check Alcotest.bool "neg" true (accepts "-3 + 5 == 2");
+  check Alcotest.bool "abs" true (accepts "abs(0 - 4) == 4");
+  check Alcotest.bool "sqrt" true (accepts "sqrt(9) == 3");
+  check Alcotest.bool "min/max" true (accepts "min(2, 5) == 2 && max(2, 5) == 5");
+  check Alcotest.bool "floor/ceil" true (accepts "floor(2.7) == 2 && ceil(2.1) == 3")
+
+let test_eval_bool () =
+  check Alcotest.bool "not" true (accepts "!(1 > 2)");
+  check Alcotest.bool "and short-circuit" false (accepts "false && 1 / 0 == 1");
+  check Alcotest.bool "or short-circuit" true (accepts "true || 1 / 0 == 1")
+
+let test_eval_strings () =
+  check Alcotest.bool "eq" true (accepts "'abc' == 'abc'");
+  check Alcotest.bool "neq" true (accepts "'abc' != 'abd'");
+  check Alcotest.bool "order" true (accepts "'abc' < 'abd'")
+
+let test_eval_attrs () =
+  check Alcotest.bool "attr read" true
+    (accepts ~v_edge:[ ("avgDelay", Value.Float 50.0) ]
+       ~r_edge:[ ("avgDelay", Value.Float 52.0) ]
+       "vEdge.avgDelay >= 0.90 * rEdge.avgDelay && vEdge.avgDelay <= 1.10 * rEdge.avgDelay");
+  check Alcotest.bool "int attr mixes with float" true
+    (accepts ~r_source:[ ("cpuMhz", Value.Int 2000) ] "rSource.cpuMhz / 2 == 1000")
+
+let test_missing_attr_is_false () =
+  check Alcotest.bool "missing rejects" false (accepts "rEdge.nonexistent < 5");
+  (* ... but short-circuiting can avoid touching it. *)
+  check Alcotest.bool "short-circuit avoids missing" true
+    (accepts "true || rEdge.nonexistent < 5")
+
+let test_is_bound_to () =
+  let bound = "isBoundTo(vSource.osType, rSource.osType)" in
+  check Alcotest.bool "both present equal" true
+    (accepts
+       ~v_source:[ ("osType", Value.String "linux") ]
+       ~r_source:[ ("osType", Value.String "linux") ]
+       bound);
+  check Alcotest.bool "both present different" false
+    (accepts
+       ~v_source:[ ("osType", Value.String "linux") ]
+       ~r_source:[ ("osType", Value.String "bsd") ]
+       bound);
+  (* Query side lacks the attribute: unconstrained. *)
+  check Alcotest.bool "query side missing -> true" true
+    (accepts ~r_source:[ ("osType", Value.String "bsd") ] bound);
+  check Alcotest.bool "query side missing, host missing too" true (accepts bound);
+  (* Query side present but host lacks it: no match. *)
+  check Alcotest.bool "host side missing -> false" false
+    (accepts ~v_source:[ ("osType", Value.String "linux") ] bound)
+
+let test_eval_errors () =
+  let expect_error src =
+    match Eval.eval (env ()) (parse src) with
+    | exception Eval.Eval_error _ -> ()
+    | _ -> Alcotest.failf "expected Eval_error for %S" src
+  in
+  expect_error "1 / 0 == 1";
+  expect_error "sqrt(0 - 1) == 1";
+  expect_error "'a' + 1 == 2";
+  expect_error "!5 == 1";
+  expect_error "unknownFun(1) == 1";
+  expect_error "abs(1, 2) == 1";
+  expect_error "true < false";
+  (* Non-boolean top level rejected by accepts. *)
+  match Eval.accepts (env ()) (parse "1 + 1") with
+  | exception Eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "expected Eval_error for non-bool constraint"
+
+let test_swap_orientation () =
+  let e = env ~r_source:[ ("x", Value.Float 1.0) ] ~r_target:[ ("x", Value.Float 2.0) ] () in
+  check Alcotest.bool "forward" true (Eval.accepts e (parse "rSource.x < rTarget.x"));
+  check Alcotest.bool "swapped" false
+    (Eval.accepts (Eval.swap_r_orientation e) (parse "rSource.x < rTarget.x"))
+
+(* ------------------------------------------------------------------ *)
+(* Specializer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_specialize_agrees () =
+  let v_edge = Attrs.of_list [ ("minDelay", Value.Float 10.0); ("maxDelay", Value.Float 20.0) ] in
+  let v_source = Attrs.of_list [ ("osType", Value.String "linux") ] in
+  let exprs =
+    [
+      "rEdge.minDelay >= vEdge.minDelay && rEdge.maxDelay <= vEdge.maxDelay";
+      "isBoundTo(vSource.osType, rSource.osType)";
+      "isBoundTo(vSource.city, rSource.city)";
+      "vEdge.minDelay * 2 < rEdge.avgDelay || rEdge.avgDelay < 1";
+      "true || vEdge.absent > 1";
+      "vEdge.absent > 1 || rEdge.avgDelay > 0";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let e = parse src in
+      let residual = Eval.specialize ~v_edge ~v_source ~v_target:Attrs.empty e in
+      (* Against several host-side environments the residual must agree
+         with the unspecialized expression. *)
+      List.iter
+        (fun (r_edge, r_source) ->
+          let full =
+            Eval.env ~v_edge ~v_source ~v_target:Attrs.empty
+              ~r_edge:(Attrs.of_list r_edge) ~r_source:(Attrs.of_list r_source)
+              ~r_target:Attrs.empty
+          in
+          let got = Eval.accepts full residual in
+          let want = Eval.accepts full e in
+          if got <> want then
+            Alcotest.failf "specialize disagrees on %S (want %b, got %b)" src want got)
+        [
+          ([ ("minDelay", Value.Float 12.0); ("maxDelay", Value.Float 18.0); ("avgDelay", Value.Float 15.0) ],
+           [ ("osType", Value.String "linux"); ("city", Value.String "bos") ]);
+          ([ ("minDelay", Value.Float 5.0); ("maxDelay", Value.Float 30.0); ("avgDelay", Value.Float 0.5) ],
+           [ ("osType", Value.String "bsd") ]);
+          ([], []);
+        ])
+    exprs
+
+let test_specialize_folds () =
+  (* Constant subtrees collapse: the residual of a fully-v-side
+     constraint is a literal. *)
+  let v_edge = Attrs.of_list [ ("minDelay", Value.Float 10.0) ] in
+  let residual =
+    Eval.specialize ~v_edge ~v_source:Attrs.empty ~v_target:Attrs.empty
+      (parse "vEdge.minDelay * 2 == 20")
+  in
+  check Alcotest.bool "folded to literal" true
+    (match residual with Ast.Lit (Value.Bool true) -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Stock constraints                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_stock_constraints () =
+  let e =
+    env
+      ~v_edge:[ ("minDelay", Value.Float 10.0); ("maxDelay", Value.Float 20.0) ]
+      ~r_edge:
+        [ ("minDelay", Value.Float 11.0); ("avgDelay", Value.Float 15.0);
+          ("maxDelay", Value.Float 19.0) ]
+      ()
+  in
+  check Alcotest.bool "range within" true (Expr.accepts e Expr.delay_range_within);
+  check Alcotest.bool "avg within" true (Expr.accepts e Expr.avg_delay_within);
+  check Alcotest.bool "always" true (Expr.accepts e Expr.always);
+  let tol =
+    env
+      ~v_edge:[ ("avgDelay", Value.Float 100.0) ]
+      ~r_edge:[ ("avgDelay", Value.Float 105.0) ]
+      ()
+  in
+  check Alcotest.bool "10%% tolerance ok" true (Expr.accepts tol (Expr.delay_tolerance 0.10));
+  check Alcotest.bool "3%% tolerance fails" false (Expr.accepts tol (Expr.delay_tolerance 0.03))
+
+(* Random-expression property: printing and reparsing preserves meaning. *)
+
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun b -> Ast.Bool b) bool;
+        map (fun n -> Ast.Num (float_of_int n)) (int_range 0 20);
+        return (Ast.Attr (Ast.R_edge, "x"));
+        return (Ast.Attr (Ast.V_edge, "y"));
+      ]
+  in
+  let rec expr depth =
+    if depth = 0 then leaf
+    else
+      oneof
+        [
+          leaf;
+          map2 (fun a b -> Ast.Binop (Ast.Add, a, b)) (expr (depth - 1)) (expr (depth - 1));
+          map2 (fun a b -> Ast.Binop (Ast.Mul, a, b)) (expr (depth - 1)) (expr (depth - 1));
+          map2 (fun a b -> Ast.Binop (Ast.Lt, a, b)) (expr (depth - 1)) (expr (depth - 1));
+          map (fun a -> Ast.Unop (Ast.Neg, a)) (expr (depth - 1));
+        ]
+  in
+  expr 4
+
+(* Property: specialization never changes `accepts` semantics, for any
+   split of attributes between query and host sides. *)
+let gen_env_expr =
+  let open QCheck.Gen in
+  let names = [| "a"; "b"; "c" |] in
+  let gen_obj =
+    oneofl [ Ast.V_edge; Ast.V_source; Ast.V_target; Ast.R_edge; Ast.R_source; Ast.R_target ]
+  in
+  let leaf =
+    oneof
+      [
+        map (fun b -> Ast.Bool b) bool;
+        map (fun n -> Ast.Num (float_of_int n)) (int_range 0 9);
+        map2 (fun o i -> Ast.Attr (o, names.(i))) gen_obj (int_range 0 2);
+      ]
+  in
+  let rec expr depth =
+    if depth = 0 then leaf
+    else
+      oneof
+        [
+          leaf;
+          map2 (fun a b -> Ast.Binop (Ast.Add, a, b)) (expr (depth - 1)) (expr (depth - 1));
+          map2 (fun a b -> Ast.Binop (Ast.Lt, a, b)) (expr (depth - 1)) (expr (depth - 1));
+          map2 (fun a b -> Ast.Binop (Ast.And, a, b)) (expr (depth - 1)) (expr (depth - 1));
+          map2 (fun a b -> Ast.Binop (Ast.Or, a, b)) (expr (depth - 1)) (expr (depth - 1));
+          map2
+            (fun a b -> Ast.Call ("isBoundTo", [ a; b ]))
+            (expr (depth - 1)) (expr (depth - 1));
+        ]
+  in
+  let gen_table =
+    (* Each of a,b,c present with probability 2/3, with small numbers. *)
+    map
+      (fun vals ->
+        List.fold_left
+          (fun acc (name, v) ->
+            match v with Some x -> Attrs.add name (Value.Float (float_of_int x)) acc | None -> acc)
+          Attrs.empty
+          (List.combine [ "a"; "b"; "c" ] vals))
+      (list_repeat 3 (opt (int_range 0 9)))
+  in
+  tup4 (expr 3) gen_table gen_table gen_table
+
+let prop_specialize_equivalent =
+  QCheck.Test.make ~name:"specialize preserves accepts on random exprs" ~count:500
+    (QCheck.make gen_env_expr)
+    (fun (e, v_edge, v_source, r_edge) ->
+      let env =
+        Eval.env ~v_edge ~v_source ~v_target:Attrs.empty ~r_edge ~r_source:r_edge
+          ~r_target:Attrs.empty
+      in
+      let residual = Eval.specialize ~v_edge ~v_source ~v_target:Attrs.empty e in
+      let run expr = match Eval.accepts env expr with b -> Some b | exception Eval.Eval_error _ -> None in
+      run e = run residual)
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip preserves AST" ~count:500
+    (QCheck.make ~print:Ast.to_string gen_expr)
+    (fun e ->
+      match Expr.parse (Ast.to_string e) with
+      | Ok e' -> Ast.equal e e'
+      | Error _ -> false)
+
+let prop_parser_total =
+  QCheck.Test.make ~name:"parse_result is total on arbitrary strings" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 60))
+    (fun s -> match Expr.parse s with Ok _ | Error _ -> true)
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "left associativity" `Quick test_left_assoc;
+          Alcotest.test_case "attr access" `Quick test_attr_access;
+          Alcotest.test_case "calls" `Quick test_call_parse;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "paper fragments" `Quick test_roundtrip_paper_fragments;
+          QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
+          QCheck_alcotest.to_alcotest prop_parser_total;
+          QCheck_alcotest.to_alcotest prop_specialize_equivalent;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_eval_arith;
+          Alcotest.test_case "booleans" `Quick test_eval_bool;
+          Alcotest.test_case "strings" `Quick test_eval_strings;
+          Alcotest.test_case "attributes" `Quick test_eval_attrs;
+          Alcotest.test_case "missing attrs" `Quick test_missing_attr_is_false;
+          Alcotest.test_case "isBoundTo" `Quick test_is_bound_to;
+          Alcotest.test_case "errors" `Quick test_eval_errors;
+          Alcotest.test_case "orientation swap" `Quick test_swap_orientation;
+        ] );
+      ( "specialize",
+        [
+          Alcotest.test_case "agrees with eval" `Quick test_specialize_agrees;
+          Alcotest.test_case "constant folding" `Quick test_specialize_folds;
+        ] );
+      ( "stock", [ Alcotest.test_case "constraints" `Quick test_stock_constraints ] );
+    ]

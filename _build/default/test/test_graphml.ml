@@ -1,0 +1,205 @@
+module Graph = Netembed_graph.Graph
+module Graphml = Netembed_graphml.Graphml
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+
+let check = Alcotest.check
+
+let sample_graph () =
+  let g = Graph.create ~name:"sample" () in
+  let a =
+    Graph.add_node g
+      (Attrs.of_list
+         [ ("osType", Value.String "linux-2.6"); ("cpuMhz", Value.Int 2000) ])
+  in
+  let b = Graph.add_node g (Attrs.of_list [ ("osType", Value.String "linux-2.4") ]) in
+  let c = Graph.add_node g Attrs.empty in
+  ignore
+    (Graph.add_edge g a b
+       (Attrs.of_list [ ("avgDelay", Value.Float 12.5); ("up", Value.Bool true) ]));
+  ignore (Graph.add_edge g b c (Attrs.of_list [ ("band", Value.range 1.0 9.0) ]));
+  g
+
+let test_roundtrip () =
+  let g = sample_graph () in
+  let h = Graphml.read_string (Graphml.write_string g) in
+  check Alcotest.int "nodes" 3 (Graph.node_count h);
+  check Alcotest.int "edges" 2 (Graph.edge_count h);
+  check (Alcotest.option Alcotest.string) "node attr" (Some "linux-2.6")
+    (Attrs.string "osType" (Graph.node_attrs h 0));
+  check (Alcotest.option (Alcotest.float 0.0)) "int attr" (Some 2000.0)
+    (Attrs.float "cpuMhz" (Graph.node_attrs h 0));
+  check (Alcotest.option (Alcotest.float 0.0)) "edge float" (Some 12.5)
+    (Attrs.float "avgDelay" (Graph.edge_attrs h 0));
+  check Alcotest.bool "bool attr" true
+    (Value.equal (Attrs.find_exn "up" (Graph.edge_attrs h 0)) (Value.Bool true));
+  (* Range values survive through the _lo/_hi convention. *)
+  check Alcotest.bool "range attr" true
+    (Value.equal (Attrs.find_exn "band" (Graph.edge_attrs h 1)) (Value.range 1.0 9.0))
+
+let test_directed_roundtrip () =
+  let g = Graph.create ~kind:Graph.Directed () in
+  let a = Graph.add_node g Attrs.empty and b = Graph.add_node g Attrs.empty in
+  ignore (Graph.add_edge g a b Attrs.empty);
+  let h = Graphml.read_string (Graphml.write_string g) in
+  check Alcotest.bool "directed" true (Graph.kind h = Graph.Directed);
+  check Alcotest.bool "a->b" true (Graph.mem_edge h 0 1);
+  check Alcotest.bool "not b->a" false (Graph.mem_edge h 1 0)
+
+let test_read_handwritten () =
+  let doc =
+    {|<?xml version="1.0"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key id="d0" for="edge" attr.name="avgDelay" attr.type="double"/>
+  <key id="d1" for="node" attr.name="osType" attr.type="string"/>
+  <graph id="G" edgedefault="undirected">
+    <node id="alpha"><data key="d1">linux</data></node>
+    <node id="beta"/>
+    <edge id="e0" source="alpha" target="beta"><data key="d0">42.0</data></edge>
+  </graph>
+</graphml>|}
+  in
+  let g = Graphml.read_string doc in
+  check Alcotest.int "nodes" 2 (Graph.node_count g);
+  check Alcotest.string "graph name" "G" (Graph.name g);
+  (* Node ids preserved as an attribute. *)
+  check (Alcotest.option Alcotest.string) "id attr" (Some "alpha")
+    (Attrs.string "id" (Graph.node_attrs g 0));
+  check (Alcotest.option (Alcotest.float 0.0)) "edge data" (Some 42.0)
+    (Attrs.float "avgDelay" (Graph.edge_attrs g 0))
+
+let expect_error doc name =
+  match Graphml.read_string doc with
+  | exception Graphml.Error _ -> ()
+  | _ -> Alcotest.failf "%s: expected Graphml.Error" name
+
+let test_errors () =
+  expect_error "<graphml><graph><node/></graph></graphml>" "node without id";
+  expect_error
+    "<graphml><graph><node id=\"a\"/><node id=\"a\"/></graph></graphml>"
+    "duplicate node id";
+  expect_error
+    "<graphml><graph><node id=\"a\"/><edge source=\"a\" target=\"zz\"/></graph></graphml>"
+    "dangling endpoint";
+  expect_error
+    "<graphml><graph><node id=\"a\"><data key=\"nope\">1</data></node></graph></graphml>"
+    "undeclared key";
+  expect_error "<notgraphml/>" "wrong root";
+  expect_error "<graphml></graphml>" "no graph";
+  expect_error "not xml at all" "not xml"
+
+let test_file_io () =
+  let g = sample_graph () in
+  let path = Filename.temp_file "netembed" ".graphml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Graphml.write_file g path;
+      let h = Graphml.read_file path in
+      check Alcotest.int "nodes" (Graph.node_count g) (Graph.node_count h);
+      check Alcotest.int "edges" (Graph.edge_count g) (Graph.edge_count h))
+
+let test_node_id_reuse () =
+  (* Ids read from a file are reused on write. *)
+  let doc =
+    {|<graphml><graph edgedefault="undirected">
+      <node id="custom-name"/><node id="other"/>
+      <edge source="custom-name" target="other"/>
+    </graph></graphml>|}
+  in
+  let g = Graphml.read_string doc in
+  let out = Graphml.write_string g in
+  let contains hay needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "id preserved" true (contains out "custom-name")
+
+(* Property: random attributed graphs survive a write/read cycle. *)
+
+let gen_graph =
+  let open QCheck.Gen in
+  (* Each key name has a fixed type (as a real schema would); the
+     mixed-type case is covered by the widening unit test below. *)
+  let gen_attrs =
+    let* i = opt (int_range (-100) 100) in
+    let* f = opt (map (fun f -> Float.of_int f /. 4.0) (int_range 0 1000)) in
+    let* b = opt bool in
+    let* s = opt (map (fun s -> "s" ^ string_of_int s) (int_range 0 50)) in
+    return
+      (Attrs.of_list
+         (List.filter_map Fun.id
+            [
+              Option.map (fun v -> ("ki", Value.Int v)) i;
+              Option.map (fun v -> ("kf", Value.Float v)) f;
+              Option.map (fun v -> ("kb", Value.Bool v)) b;
+              Option.map (fun v -> ("ks", Value.String v)) s;
+            ]))
+  in
+  let* n = int_range 1 12 in
+  let* node_attrs = list_repeat n gen_attrs in
+  let* extra = int_range 0 20 in
+  let* edge_ends = list_repeat extra (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
+  let* edge_attrs = list_repeat extra gen_attrs in
+  let g = Graph.create ~name:"rand" () in
+  List.iter (fun a -> ignore (Graph.add_node g a)) node_attrs;
+  List.iter2
+    (fun (u, v) a -> if u <> v then ignore (Graph.add_edge g u v a))
+    edge_ends edge_attrs;
+  return g
+
+let attrs_equal_modulo_id a b =
+  (* Import adds an "id" node attribute; ignore it. *)
+  Attrs.equal (Attrs.remove "id" a) (Attrs.remove "id" b)
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"graphml roundtrip on random graphs" ~count:200
+    (QCheck.make gen_graph)
+    (fun g ->
+      let h = Graphml.read_string (Graphml.write_string g) in
+      Graph.node_count g = Graph.node_count h
+      && Graph.edge_count g = Graph.edge_count h
+      && List.for_all
+           (fun v -> attrs_equal_modulo_id (Graph.node_attrs g v) (Graph.node_attrs h v))
+           (List.init (Graph.node_count g) Fun.id)
+      && List.for_all
+           (fun e ->
+             Graph.endpoints g e = Graph.endpoints h e
+             && Attrs.equal (Graph.edge_attrs g e) (Graph.edge_attrs h e))
+           (List.init (Graph.edge_count g) Fun.id))
+
+let test_type_widening () =
+  (* The same attribute name with conflicting types must still produce
+     a readable document: int+float widens to float, others to string. *)
+  let g = Graph.create () in
+  let a = Graph.add_node g (Attrs.of_list [ ("n", Value.Int 3); ("m", Value.Int 1) ]) in
+  let b = Graph.add_node g (Attrs.of_list [ ("n", Value.Float 2.5); ("m", Value.Bool true) ]) in
+  ignore (Graph.add_edge g a b Attrs.empty);
+  let h = Graphml.read_string (Graphml.write_string g) in
+  (* int+float -> float: numeric equality preserved. *)
+  check (Alcotest.option (Alcotest.float 1e-9)) "n on a" (Some 3.0)
+    (Attrs.float "n" (Graph.node_attrs h a));
+  check (Alcotest.option (Alcotest.float 1e-9)) "n on b" (Some 2.5)
+    (Attrs.float "n" (Graph.node_attrs h b));
+  (* int+bool -> string: stringified but readable. *)
+  check (Alcotest.option Alcotest.string) "m on a" (Some "1")
+    (Attrs.string "m" (Graph.node_attrs h a));
+  check (Alcotest.option Alcotest.string) "m on b" (Some "true")
+    (Attrs.string "m" (Graph.node_attrs h b))
+
+let () =
+  Alcotest.run "graphml"
+    [
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "directed" `Quick test_directed_roundtrip;
+          Alcotest.test_case "handwritten" `Quick test_read_handwritten;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "file io" `Quick test_file_io;
+          Alcotest.test_case "node id reuse" `Quick test_node_id_reuse;
+          QCheck_alcotest.to_alcotest prop_roundtrip_random;
+          Alcotest.test_case "type widening" `Quick test_type_widening;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+module Graph = Netembed_graph.Graph
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+module Expr = Netembed_expr.Expr
+module Rng = Netembed_rng.Rng
+module Parallel = Netembed_parallel.Parallel
+open Netembed_core
+
+let check = Alcotest.check
+
+let delay d = Attrs.of_list [ ("avgDelay", Value.Float d) ]
+let band lo hi = Attrs.of_list [ ("minDelay", Value.Float lo); ("maxDelay", Value.Float hi) ]
+
+let instance seed ~host_n ~query_n =
+  let rng = Rng.make seed in
+  let host = Graph.create () in
+  let hv = Array.init host_n (fun _ -> Graph.add_node host Attrs.empty) in
+  for i = 1 to host_n - 1 do
+    let j = Rng.int rng i in
+    ignore (Graph.add_edge host hv.(j) hv.(i) (delay (Rng.uniform rng ~lo:5.0 ~hi:50.0)))
+  done;
+  for _ = 1 to host_n * 2 do
+    let u = Rng.int rng host_n and v = Rng.int rng host_n in
+    if u <> v && not (Graph.mem_edge host hv.(u) hv.(v)) then
+      ignore (Graph.add_edge host hv.(u) hv.(v) (delay (Rng.uniform rng ~lo:5.0 ~hi:50.0)))
+  done;
+  let query = Graph.create () in
+  let qv = Array.init query_n (fun _ -> Graph.add_node query Attrs.empty) in
+  for i = 1 to query_n - 1 do
+    let j = Rng.int rng i in
+    let center = Rng.uniform rng ~lo:5.0 ~hi:50.0 in
+    ignore (Graph.add_edge query qv.(j) qv.(i) (band (center -. 10.0) (center +. 10.0)))
+  done;
+  Problem.make ~host ~query Expr.avg_delay_within
+
+let test_ecf_all_equals_sequential () =
+  for seed = 1 to 8 do
+    let p = instance seed ~host_n:14 ~query_n:5 in
+    let seq = List.sort_uniq Mapping.compare (Engine.find_all Engine.ECF p) in
+    let par, outcome = Parallel.ecf_all ~domains:3 p in
+    let par = List.sort_uniq Mapping.compare par in
+    check Alcotest.bool "complete" true (outcome = Engine.Complete);
+    if List.length seq <> List.length par then
+      Alcotest.failf "seed %d: sequential %d, parallel %d" seed (List.length seq)
+        (List.length par);
+    check Alcotest.bool "same set" true (List.for_all2 Mapping.equal seq par)
+  done
+
+let test_ecf_all_single_domain () =
+  let p = instance 20 ~host_n:12 ~query_n:4 in
+  let seq = List.sort_uniq Mapping.compare (Engine.find_all Engine.ECF p) in
+  let par, _ = Parallel.ecf_all ~domains:1 p in
+  check Alcotest.int "one-domain parity" (List.length seq)
+    (List.length (List.sort_uniq Mapping.compare par))
+
+let test_rwb_race () =
+  let p = instance 5 ~host_n:16 ~query_n:5 in
+  let has_solution = Engine.find_first Engine.ECF p <> None in
+  match Parallel.rwb_race ~domains:3 ~timeout:10.0 p with
+  | Some m ->
+      check Alcotest.bool "instance solvable" true has_solution;
+      check Alcotest.bool "valid" true (Verify.is_valid p m)
+  | None -> check Alcotest.bool "no solution exists" false has_solution
+
+let test_rwb_race_infeasible () =
+  let host = Netembed_topology.Regular.ring ~edge:(delay 10.0) 6 in
+  let query = Graph.create () in
+  let a = Graph.add_node query Attrs.empty and b = Graph.add_node query Attrs.empty in
+  ignore (Graph.add_edge query a b (band 100.0 200.0));
+  let p = Problem.make ~host ~query Expr.avg_delay_within in
+  check Alcotest.bool "no winner" true (Parallel.rwb_race ~domains:2 ~timeout:5.0 p = None)
+
+let test_empty_query_parallel () =
+  let host = Netembed_topology.Regular.ring 4 in
+  let p = Problem.make ~host ~query:(Graph.create ()) Expr.always in
+  let mappings, outcome = Parallel.ecf_all ~domains:2 p in
+  check Alcotest.int "one empty mapping" 1 (List.length mappings);
+  check Alcotest.bool "complete" true (outcome = Engine.Complete)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "ecf_all",
+        [
+          Alcotest.test_case "equals sequential (8 seeds)" `Quick test_ecf_all_equals_sequential;
+          Alcotest.test_case "single domain" `Quick test_ecf_all_single_domain;
+          Alcotest.test_case "empty query" `Quick test_empty_query_parallel;
+        ] );
+      ( "rwb_race",
+        [
+          Alcotest.test_case "finds valid winner" `Quick test_rwb_race;
+          Alcotest.test_case "infeasible" `Quick test_rwb_race_infeasible;
+        ] );
+    ]

@@ -1,0 +1,142 @@
+module Graph = Netembed_graph.Graph
+module Trace = Netembed_planetlab.Trace
+module Attrs = Netembed_attr.Attrs
+module Rng = Netembed_rng.Rng
+
+let check = Alcotest.check
+
+let generate seed = Trace.generate (Rng.make seed) Trace.default
+
+let test_size () =
+  let g = generate 1 in
+  check Alcotest.int "296 sites" 296 (Graph.node_count g);
+  (* Paper: 28,996 measured edges; the calibrated generator should land
+     within a few percent. *)
+  let edges = Graph.edge_count g in
+  if edges < 26_000 || edges > 32_000 then
+    Alcotest.failf "edge count %d too far from 28,996" edges
+
+let test_delay_invariants () =
+  let g = generate 2 in
+  Graph.iter_edges
+    (fun e _ _ ->
+      let a = Graph.edge_attrs g e in
+      let mn = Option.get (Attrs.float "minDelay" a) in
+      let avg = Option.get (Attrs.float "avgDelay" a) in
+      let mx = Option.get (Attrs.float "maxDelay" a) in
+      if not (0.0 < mn && mn <= avg && avg <= mx) then
+        Alcotest.failf "delay band violated: %g %g %g" mn avg mx)
+    g
+
+let test_delay_calibration () =
+  let g = generate 3 in
+  (* Paper quantiles: ~23% of links in [10,100] ms (6,700 of 28,996),
+     ~70% in [25,175] ms.  Accept generous windows. *)
+  let f1 = Trace.delay_fraction_in g ~lo:10.0 ~hi:100.0 in
+  let f2 = Trace.delay_fraction_in g ~lo:25.0 ~hi:175.0 in
+  if f1 < 0.15 || f1 > 0.40 then Alcotest.failf "[10,100] fraction %.3f off" f1;
+  if f2 < 0.60 || f2 > 0.80 then Alcotest.failf "[25,175] fraction %.3f off" f2
+
+let test_site_metadata () =
+  let g = generate 4 in
+  Graph.iter_nodes
+    (fun v ->
+      let a = Graph.node_attrs g v in
+      if Attrs.string "name" a = None then Alcotest.fail "missing name";
+      (match Attrs.string "region" a with
+      | Some ("na" | "eu" | "as" | "oc") -> ()
+      | Some r -> Alcotest.failf "unknown region %s" r
+      | None -> Alcotest.fail "missing region");
+      if Attrs.string "osType" a = None then Alcotest.fail "missing osType";
+      if Attrs.float "cpuMhz" a = None then Alcotest.fail "missing cpuMhz")
+    g
+
+let test_down_sites () =
+  let g = generate 5 in
+  (* Some sites are down: they have no edges but still exist. *)
+  let isolated = Graph.fold_nodes (fun v acc -> if Graph.degree g v = 0 then acc + 1 else acc) g 0 in
+  check Alcotest.bool "some sites down" true (isolated > 0);
+  check Alcotest.bool "most sites up" true (isolated < 30)
+
+let test_not_a_clique () =
+  let g = generate 6 in
+  (* "the underlying graph is not a clique" *)
+  check Alcotest.bool "density < 1" true (Graph.density g < 0.9);
+  check Alcotest.bool "but dense" true (Graph.density g > 0.4)
+
+let test_determinism () =
+  let g1 = generate 7 and g2 = generate 7 in
+  check Alcotest.int "same edge count" (Graph.edge_count g1) (Graph.edge_count g2);
+  check Alcotest.bool "same first-edge attrs" true
+    (Attrs.equal (Graph.edge_attrs g1 0) (Graph.edge_attrs g2 0))
+
+let test_save_load_roundtrip () =
+  let g = Trace.generate (Rng.make 8) { Trace.default with Trace.sites = 40 } in
+  let path = Filename.temp_file "netembed" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save g path;
+      let h = Trace.load path in
+      check Alcotest.int "nodes" (Graph.node_count g) (Graph.node_count h);
+      check Alcotest.int "edges" (Graph.edge_count g) (Graph.edge_count h);
+      (* Spot-check attrs survive (delays rounded to 3 decimals). *)
+      Graph.iter_edges
+        (fun e _ _ ->
+          let a = Graph.edge_attrs g e and b = Graph.edge_attrs h e in
+          let close k =
+            match (Attrs.float k a, Attrs.float k b) with
+            | Some x, Some y -> Float.abs (x -. y) < 0.001
+            | _ -> false
+          in
+          if not (close "minDelay" && close "avgDelay" && close "maxDelay") then
+            Alcotest.fail "delays not preserved")
+        g;
+      (* Site metadata preserved. *)
+      Graph.iter_nodes
+        (fun v ->
+          if
+            Attrs.string "region" (Graph.node_attrs g v)
+            <> Attrs.string "region" (Graph.node_attrs h v)
+          then Alcotest.fail "region not preserved")
+        g)
+
+let test_load_malformed () =
+  let path = Filename.temp_file "netembed" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "#sites 2\nnot a valid line at all\n";
+      close_out oc;
+      match Trace.load path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected Failure")
+
+let test_small_params () =
+  let g = Trace.generate (Rng.make 9) { Trace.sites = 10; down_fraction = 0.0; pair_success = 1.0 } in
+  check Alcotest.int "clique when all up+measured" 45 (Graph.edge_count g);
+  match Trace.generate (Rng.make 9) { Trace.default with Trace.sites = 1 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let () =
+  Alcotest.run "planetlab"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "size" `Quick test_size;
+          Alcotest.test_case "delay invariants" `Quick test_delay_invariants;
+          Alcotest.test_case "delay calibration" `Quick test_delay_calibration;
+          Alcotest.test_case "site metadata" `Quick test_site_metadata;
+          Alcotest.test_case "down sites" `Quick test_down_sites;
+          Alcotest.test_case "not a clique" `Quick test_not_a_clique;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
+          Alcotest.test_case "malformed input" `Quick test_load_malformed;
+          Alcotest.test_case "small params" `Quick test_small_params;
+        ] );
+    ]

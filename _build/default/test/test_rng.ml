@@ -1,0 +1,182 @@
+module Rng = Netembed_rng.Rng
+
+let check = Alcotest.check
+
+let test_determinism () =
+  let a = Rng.make 123 and b = Rng.make 123 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.make 1 and b = Rng.make 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check Alcotest.bool "streams differ" true (!same < 4)
+
+let test_copy () =
+  let a = Rng.make 9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "copy tracks" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_split () =
+  let a = Rng.make 5 in
+  let b = Rng.split a in
+  (* Parent and child produce different streams. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check Alcotest.bool "split independent" true (!same < 4)
+
+let test_int_bounds () =
+  let rng = Rng.make 77 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of bounds"
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound <= 0") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_int_uniformity () =
+  let rng = Rng.make 3 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d has %d, expected ~%d" i c expected)
+    buckets
+
+let test_float_bounds () =
+  let rng = Rng.make 11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 3.0 in
+    if v < 0.0 || v >= 3.0 then Alcotest.fail "float out of bounds"
+  done
+
+let test_exponential_mean () =
+  let rng = Rng.make 21 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:4.0
+  done;
+  let m = !sum /. float_of_int n in
+  check Alcotest.bool "mean ~4" true (m > 3.8 && m < 4.2)
+
+let test_normal_moments () =
+  let rng = Rng.make 31 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.normal rng ~mean:10.0 ~stddev:2.0 in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let m = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (m *. m) in
+  check Alcotest.bool "mean ~10" true (Float.abs (m -. 10.0) < 0.1);
+  check Alcotest.bool "var ~4" true (Float.abs (var -. 4.0) < 0.3)
+
+let test_pareto_support () =
+  let rng = Rng.make 41 in
+  for _ = 1 to 10_000 do
+    if Rng.pareto rng ~shape:1.5 ~scale:2.0 < 2.0 then
+      Alcotest.fail "pareto below scale"
+  done
+
+let test_zipf () =
+  let rng = Rng.make 51 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to 20_000 do
+    let k = Rng.zipf rng ~n:10 ~s:1.0 in
+    if k < 1 || k > 10 then Alcotest.fail "zipf out of range";
+    counts.(k) <- counts.(k) + 1
+  done;
+  check Alcotest.bool "rank 1 most frequent" true (counts.(1) > counts.(2));
+  check Alcotest.bool "rank 2 beats rank 8" true (counts.(2) > counts.(8))
+
+let test_shuffle_permutation () =
+  let rng = Rng.make 61 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle_in_place rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "same multiset" (Array.init 50 (fun i -> i)) sorted;
+  (* Overwhelmingly likely to differ from identity. *)
+  check Alcotest.bool "actually shuffled" true (arr <> Array.init 50 (fun i -> i))
+
+let test_sample_without_replacement () =
+  let rng = Rng.make 71 in
+  for _ = 1 to 200 do
+    let s = Rng.sample_without_replacement rng 10 30 in
+    check Alcotest.int "size" 10 (Array.length s);
+    let sorted = Array.copy s in
+    Array.sort compare sorted;
+    let distinct = Array.to_list sorted |> List.sort_uniq compare in
+    check Alcotest.int "distinct" 10 (List.length distinct);
+    Array.iter (fun v -> if v < 0 || v >= 30 then Alcotest.fail "out of range") s
+  done;
+  Alcotest.check_raises "k > n" (Invalid_argument "Rng.sample_without_replacement")
+    (fun () -> ignore (Rng.sample_without_replacement rng 5 3))
+
+let test_pick () =
+  let rng = Rng.make 81 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    let v = Rng.pick rng arr in
+    if not (Array.mem v arr) then Alcotest.fail "pick outside array"
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick rng [||]))
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"int always in bounds" ~count:1000
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.make seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "stream",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "split" `Quick test_split;
+        ] );
+      ( "draws",
+        [
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          QCheck_alcotest.to_alcotest prop_int_in_bounds;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "normal moments" `Quick test_normal_moments;
+          Alcotest.test_case "pareto support" `Quick test_pareto_support;
+          Alcotest.test_case "zipf" `Quick test_zipf;
+        ] );
+      ( "collections",
+        [
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+          Alcotest.test_case "sample w/o replacement" `Quick test_sample_without_replacement;
+          Alcotest.test_case "pick" `Quick test_pick;
+        ] );
+    ]

@@ -1,0 +1,329 @@
+module Graph = Netembed_graph.Graph
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+module Model = Netembed_service.Model
+module Request = Netembed_service.Request
+module Service = Netembed_service.Service
+module Wire = Netembed_service.Wire
+module Engine = Netembed_core.Engine
+module Mapping = Netembed_core.Mapping
+module Rng = Netembed_rng.Rng
+
+let check = Alcotest.check
+
+let delay d = Attrs.of_list [ ("avgDelay", Value.Float d) ]
+let band lo hi = Attrs.of_list [ ("minDelay", Value.Float lo); ("maxDelay", Value.Float hi) ]
+
+let host () =
+  let g = Graph.create ~name:"host" () in
+  let v = Array.init 5 (fun _ -> Graph.add_node g Attrs.empty) in
+  ignore (Graph.add_edge g v.(0) v.(1) (delay 10.0));
+  ignore (Graph.add_edge g v.(1) v.(2) (delay 20.0));
+  ignore (Graph.add_edge g v.(2) v.(3) (delay 10.0));
+  ignore (Graph.add_edge g v.(3) v.(4) (delay 20.0));
+  ignore (Graph.add_edge g v.(4) v.(0) (delay 30.0));
+  g
+
+let path_query lo hi =
+  let g = Graph.create ~name:"q" () in
+  let q0 = Graph.add_node g Attrs.empty and q1 = Graph.add_node g Attrs.empty in
+  ignore (Graph.add_edge g q0 q1 (band lo hi));
+  g
+
+let standard_constraint = "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay"
+
+(* ------------------------------------------------------------------ *)
+(* Model                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_model_snapshot_isolated () =
+  let g = host () in
+  let m = Model.create g in
+  (* Updating the model must not touch the caller's graph. *)
+  Model.update_edge_attrs m 0 (delay 99.0);
+  check (Alcotest.option (Alcotest.float 0.0)) "caller graph untouched" (Some 10.0)
+    (Attrs.float "avgDelay" (Graph.edge_attrs g 0));
+  check (Alcotest.option (Alcotest.float 0.0)) "model updated" (Some 99.0)
+    (Attrs.float "avgDelay" (Graph.edge_attrs (Model.snapshot m) 0))
+
+let test_model_revision () =
+  let m = Model.create (host ()) in
+  let r0 = Model.revision m in
+  Model.update_node_attrs m 0 (Attrs.of_list [ ("load", Value.Float 0.5) ]);
+  check Alcotest.bool "bumped" true (Model.revision m > r0);
+  Model.reserve m [ 1; 2 ];
+  check Alcotest.bool "bumped again" true (Model.revision m > r0 + 1)
+
+let test_model_reserve () =
+  let m = Model.create (host ()) in
+  Model.reserve m [ 1; 3 ];
+  check Alcotest.(list int) "reserved" [ 1; 3 ] (Model.reserved m);
+  check Alcotest.bool "is_reserved" true (Model.is_reserved m 1);
+  (match Model.reserve m [ 2; 1 ] with
+  | exception Model.Conflict 1 -> ()
+  | _ -> Alcotest.fail "expected Conflict 1");
+  (* The failed call must not have reserved node 2. *)
+  check Alcotest.bool "atomic failure" false (Model.is_reserved m 2);
+  Model.release m [ 1 ];
+  check Alcotest.(list int) "after release" [ 3 ] (Model.reserved m)
+
+let test_model_reserved_attr () =
+  let m = Model.create (host ()) in
+  check Alcotest.bool "reserved attr stamped false" true
+    (Value.equal
+       (Attrs.find_exn "reserved" (Graph.node_attrs (Model.snapshot m) 0))
+       (Value.Bool false));
+  Model.reserve m [ 0 ];
+  check Alcotest.bool "reserved attr true" true
+    (Value.equal
+       (Attrs.find_exn "reserved" (Graph.node_attrs (Model.snapshot m) 0))
+       (Value.Bool true))
+
+(* ------------------------------------------------------------------ *)
+(* Service                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_submit_end_to_end () =
+  let svc = Service.create (Model.create (host ())) in
+  let request = Request.make ~mode:Engine.All ~query:(path_query 5.0 15.0) standard_constraint in
+  match Service.submit svc request with
+  | Error m -> Alcotest.fail m
+  | Ok answer ->
+      let r = answer.Service.result in
+      check Alcotest.bool "complete" true (r.Engine.outcome = Engine.Complete);
+      (* Host edges with delay in [5,15]: 0-1 (10) and 2-3 (10), both
+         orientations each. *)
+      check Alcotest.int "four mappings" 4 (List.length r.Engine.mappings)
+
+let test_submit_bad_constraint () =
+  let svc = Service.create (Model.create (host ())) in
+  let request = Request.make ~query:(path_query 5.0 15.0) "vEdge.>>>" in
+  match Service.submit svc request with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected constraint parse error"
+
+let test_reservation_excludes () =
+  let model = Model.create (host ()) in
+  let svc = Service.create model in
+  (* Reserve hosts 0 and 1: the only remaining in-band edge is 2-3. *)
+  Model.reserve model [ 0; 1 ];
+  let request = Request.make ~mode:Engine.All ~query:(path_query 5.0 15.0) standard_constraint in
+  match Service.submit svc request with
+  | Error m -> Alcotest.fail m
+  | Ok answer ->
+      check Alcotest.int "two mappings left" 2
+        (List.length answer.Service.result.Engine.mappings);
+      List.iter
+        (fun m ->
+          List.iter
+            (fun (_, r) ->
+              if r = 0 || r = 1 then Alcotest.fail "reserved host used")
+            (Mapping.to_list m))
+        answer.Service.result.Engine.mappings
+
+let test_allocate_and_conflict () =
+  let model = Model.create (host ()) in
+  let svc = Service.create model in
+  let request = Request.make ~query:(path_query 5.0 15.0) standard_constraint in
+  match Service.submit svc request with
+  | Error m -> Alcotest.fail m
+  | Ok answer -> (
+      match answer.Service.result.Engine.mappings with
+      | [] -> Alcotest.fail "expected a mapping"
+      | m :: _ -> (
+          (match Service.allocate svc answer m with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail e);
+          check Alcotest.int "hosts reserved" 2 (List.length (Model.reserved model));
+          (* Re-allocating from the now-stale answer must fail. *)
+          match Service.allocate svc answer m with
+          | Error _ -> Service.release_mapping svc m
+          | Ok () -> Alcotest.fail "expected stale-revision failure"))
+
+let test_relaxation () =
+  let svc = Service.create (Model.create (host ())) in
+  (* Band [1,2] matches nothing; three 20% relaxations widen it
+     enough to catch the 10 ms links? 2 * 1.2^k >= 10 needs k ~ 9, so
+     use a band that needs exactly two rounds: [5,7] -> 7*1.44 > 10. *)
+  let request =
+    Request.make ~mode:Engine.First ~query:(path_query 5.0 7.5) standard_constraint
+  in
+  match Service.submit_with_relaxation svc request ~steps:3 ~factor:0.2 with
+  | Error m -> Alcotest.fail m
+  | Ok (answer, rounds) ->
+      check Alcotest.bool "found after relaxing" true
+        (answer.Service.result.Engine.mappings <> []);
+      check Alcotest.bool "took at least one round" true (rounds >= 1)
+
+let test_request_relax () =
+  let r = Request.make ~query:(path_query 10.0 20.0) standard_constraint in
+  let r' = Request.relax r 0.5 in
+  let attrs = Graph.edge_attrs r'.Request.query 0 in
+  check (Alcotest.option (Alcotest.float 1e-9)) "min widened" (Some 5.0)
+    (Attrs.float "minDelay" attrs);
+  check (Alcotest.option (Alcotest.float 1e-9)) "max widened" (Some 30.0)
+    (Attrs.float "maxDelay" attrs);
+  (* Original untouched. *)
+  check (Alcotest.option (Alcotest.float 1e-9)) "original" (Some 10.0)
+    (Attrs.float "minDelay" (Graph.edge_attrs r.Request.query 0))
+
+let test_constraint_file () =
+  let path = Filename.temp_file "netembed" ".constraint" in
+  let qpath = Filename.temp_file "netembed" ".graphml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path; Sys.remove qpath)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# delay band\nrEdge.avgDelay >= vEdge.minDelay\nrEdge.avgDelay <= vEdge.maxDelay\n";
+      close_out oc;
+      Netembed_graphml.Graphml.write_file (path_query 5.0 15.0) qpath;
+      let r = Request.of_files ~query_file:qpath ~constraint_file:path () in
+      match Request.parse_constraints r with
+      | Ok (_, None) -> ()
+      | Ok (_, Some _) -> Alcotest.fail "unexpected node constraint"
+      | Error m -> Alcotest.fail m)
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_request_roundtrip () =
+  let request =
+    Request.make ~algorithm:Engine.LNS ~mode:(Engine.At_most 7) ~timeout:2.5
+      ~query:(path_query 5.0 15.0) standard_constraint
+  in
+  match Wire.decode_request (Wire.encode_request request) with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      check Alcotest.bool "alg" true (r.Request.algorithm = Engine.LNS);
+      check Alcotest.bool "mode" true (r.Request.mode = Engine.At_most 7);
+      check (Alcotest.option (Alcotest.float 1e-9)) "timeout" (Some 2.5) r.Request.timeout;
+      check Alcotest.int "query nodes" 2 (Graph.node_count r.Request.query);
+      check Alcotest.string "constraint" standard_constraint r.Request.constraint_text
+
+let test_wire_answer_roundtrip () =
+  let svc = Service.create (Model.create (host ())) in
+  let request = Request.make ~mode:Engine.All ~query:(path_query 5.0 15.0) standard_constraint in
+  match Service.submit svc request with
+  | Error m -> Alcotest.fail m
+  | Ok answer -> (
+      match Wire.decode_answer (Wire.encode_answer answer) with
+      | Error m -> Alcotest.fail m
+      | Ok decoded ->
+          check Alcotest.bool "outcome" true (decoded.Wire.outcome = Engine.Complete);
+          check Alcotest.int "mapping count" 4 (List.length decoded.Wire.mappings);
+          check Alcotest.int "pairs per mapping" 2
+            (List.length (List.hd decoded.Wire.mappings)))
+
+let test_wire_errors () =
+  (match Wire.decode_request "NOPE" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected decode failure");
+  (match Wire.decode_request "EMBED alg=XYZ\nCONSTRAINT true\nGRAPHML\n<graphml/>" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unknown algorithm");
+  (match Wire.decode_answer (Wire.encode_error "boom") with
+  | Error "boom" -> ()
+  | Error m -> Alcotest.failf "wrong message %S" m
+  | Ok _ -> Alcotest.fail "expected error answer")
+
+module Monitor = Netembed_service.Monitor
+
+let test_monitor_updates () =
+  let model = Model.create (host ()) in
+  let before = Model.revision model in
+  let mon =
+    Monitor.create
+      ~params:{ Monitor.default with Monitor.sample_fraction = 1.0; flap_probability = 0.0 }
+      (Rng.make 5) model
+  in
+  Monitor.tick mon;
+  check Alcotest.int "one tick" 1 (Monitor.ticks mon);
+  check Alcotest.bool "revision bumped" true (Model.revision model > before);
+  (* Delay invariants survive remeasurement. *)
+  let g = Model.snapshot model in
+  Graph.iter_edges
+    (fun e _ _ ->
+      let a = Graph.edge_attrs g e in
+      let mn = Option.get (Attrs.float "minDelay" a) in
+      let avg = Option.get (Attrs.float "avgDelay" a) in
+      let mx = Option.get (Attrs.float "maxDelay" a) in
+      if not (0.0 < mn && mn <= avg && avg <= mx) then
+        Alcotest.failf "band violated after remeasure: %g %g %g" mn avg mx)
+    g
+
+let test_monitor_flaps_and_guard () =
+  let model = Model.create (host ()) in
+  let mon =
+    Monitor.create
+      ~params:{ Monitor.default with Monitor.flap_probability = 0.8; sample_fraction = 0.0 }
+      (Rng.make 6) model
+  in
+  Monitor.tick mon;
+  let down = Monitor.down_nodes mon in
+  check Alcotest.bool "some nodes flapped down" true (down <> []);
+  (* The liveness guard excludes them from embeddings. *)
+  let p =
+    Netembed_core.Problem.make ~node_constraint:Monitor.liveness_guard
+      ~host:(Model.snapshot model) ~query:(path_query 5.0 500.0)
+      (Netembed_expr.Expr.parse_exn standard_constraint)
+  in
+  List.iter
+    (fun v ->
+      if Netembed_core.Problem.node_ok p ~q:0 ~r:v then
+        Alcotest.failf "down node %d still eligible" v)
+    down;
+  (* Flapping is reversible: more ticks can bring nodes back. *)
+  for _ = 1 to 20 do Monitor.tick mon done;
+  check Alcotest.bool "liveness tracked" true (List.length (Monitor.down_nodes mon) <= 5)
+
+let test_monitor_determinism () =
+  let run seed =
+    let model = Model.create (host ()) in
+    let mon = Monitor.create (Rng.make seed) model in
+    for _ = 1 to 10 do Monitor.tick mon done;
+    (Model.revision model, Monitor.down_nodes mon)
+  in
+  check Alcotest.bool "same seed, same history" true (run 3 = run 3)
+
+let prop_wire_decode_total =
+  QCheck.Test.make ~name:"wire decode is total on garbage" ~count:300
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 120))
+    (fun s ->
+      (match Wire.decode_request s with Ok _ | Error _ -> true)
+      && match Wire.decode_answer s with Ok _ | Error _ -> true)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "snapshot isolated" `Quick test_model_snapshot_isolated;
+          Alcotest.test_case "revision" `Quick test_model_revision;
+          Alcotest.test_case "reserve/release" `Quick test_model_reserve;
+          Alcotest.test_case "reserved attribute" `Quick test_model_reserved_attr;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "submit end-to-end" `Quick test_submit_end_to_end;
+          Alcotest.test_case "bad constraint" `Quick test_submit_bad_constraint;
+          Alcotest.test_case "reservation excludes" `Quick test_reservation_excludes;
+          Alcotest.test_case "allocate + stale" `Quick test_allocate_and_conflict;
+          Alcotest.test_case "relaxation loop" `Quick test_relaxation;
+          Alcotest.test_case "request relax" `Quick test_request_relax;
+          Alcotest.test_case "constraint file" `Quick test_constraint_file;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_wire_request_roundtrip;
+          Alcotest.test_case "answer roundtrip" `Quick test_wire_answer_roundtrip;
+          Alcotest.test_case "errors" `Quick test_wire_errors;
+          QCheck_alcotest.to_alcotest prop_wire_decode_total;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "updates model" `Quick test_monitor_updates;
+          Alcotest.test_case "flaps + liveness guard" `Quick test_monitor_flaps_and_guard;
+          Alcotest.test_case "deterministic" `Quick test_monitor_determinism;
+        ] );
+    ]
