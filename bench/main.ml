@@ -189,6 +189,14 @@ let ablation_tests =
         ~budget ~on_solution:(fun _ -> `Stop)
     with Netembed_core.Budget.Exhausted -> ()
   in
+  let rep_first search p () =
+    let filter = Filter.build p in
+    let budget = Netembed_core.Budget.make ~timeout:2.0 () in
+    try
+      search p filter ~candidate_order:Netembed_core.Dfs.Ascending ~budget
+        ~on_solution:(fun _ -> `Stop)
+    with Netembed_core.Budget.Exhausted -> ()
+  in
   let no_degree_filter =
     lazy
       (let p = Lazy.force ablation_problem in
@@ -204,7 +212,167 @@ let ablation_tests =
       (staged (fun () -> dfs_first Filter.Input_order (Lazy.force ablation_problem) ()));
     Test.make ~name:"ablation/degree_filter_off"
       (staged (first Engine.ECF (Lazy.force no_degree_filter)));
+    Test.make ~name:"ablation/rep_bitset_n60"
+      (staged (fun () ->
+           rep_first
+             (fun p f -> Netembed_core.Dfs.search p f)
+             (Lazy.force ablation_problem) ()));
+    Test.make ~name:"ablation/rep_arrays_n60"
+      (staged (fun () ->
+           rep_first
+             (Netembed_core.Dfs.search_arrays ?root_candidates:None)
+             (Lazy.force ablation_problem) ()));
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Gc-aware measurements + JSON emission                               *)
+(*                                                                     *)
+(* Bechamel reports time only; the representation refactor's win is    *)
+(* allocation, so these rows also record Gc minor/promoted words and   *)
+(* land in BENCH_RESULTS.json for cross-PR trajectories.               *)
+(* ------------------------------------------------------------------ *)
+
+type gc_row = {
+  row_name : string;
+  row_ms : float;
+  row_minor_words : float;
+  row_promoted_words : float;
+  row_visited : int;
+  row_found : int;
+}
+
+let gc_rows : gc_row list ref = ref []
+
+let words_per_visit r =
+  if r.row_visited > 0 then r.row_minor_words /. float_of_int r.row_visited else 0.0
+
+(* [f ()] must return (visited search nodes, solutions found). *)
+let measure_gc ~name ?(repeat = 1) f =
+  Gc.full_major ();
+  let s0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let visited = ref 0 and found = ref 0 in
+  for _ = 1 to repeat do
+    let v, c = f () in
+    visited := !visited + v;
+    found := !found + c
+  done;
+  let ms = (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int repeat in
+  let s1 = Gc.quick_stat () in
+  let row =
+    {
+      row_name = name;
+      row_ms = ms;
+      row_minor_words = (s1.Gc.minor_words -. s0.Gc.minor_words) /. float_of_int repeat;
+      row_promoted_words =
+        (s1.Gc.promoted_words -. s0.Gc.promoted_words) /. float_of_int repeat;
+      row_visited = !visited / repeat;
+      row_found = !found / repeat;
+    }
+  in
+  gc_rows := row :: !gc_rows;
+  row
+
+let engine_gc_row name alg mode problem =
+  measure_gc ~name (fun () ->
+      let r =
+        Engine.run
+          ~options:
+            { Engine.default_options with Engine.mode; timeout = Some 2.0; collect = false }
+          alg problem
+      in
+      (r.Engine.visited, r.Engine.found))
+
+let bench_json_file = "BENCH_RESULTS.json"
+
+let write_gc_json () =
+  let rows = List.rev !gc_rows in
+  let oc = open_out bench_json_file in
+  Printf.fprintf oc "{\n  \"benches\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"ms\": %.3f, \"minor_words\": %.0f, \"promoted_words\": \
+         %.0f, \"visited\": %d, \"found\": %d, \"minor_words_per_visit\": %.2f}%s\n"
+        r.row_name r.row_ms r.row_minor_words r.row_promoted_words r.row_visited
+        r.row_found (words_per_visit r)
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "# Gc-aware rows written to %s\n\n" bench_json_file
+
+(* The representation ablation proper: old sorted-array candidate sets
+   vs bitset scratch domains on the same all-matches ECF enumeration.
+   A shared visited-node cap makes both paths do identical work (the
+   ascending search visits the identical tree), so wall time and minor
+   words are directly comparable. *)
+let representation_ablation () =
+  Printf.printf
+    "# Representation ablation (all-matches ECF, shared filter, visited cap)\n%!";
+  let run_case label p ~cap =
+    let filter = Filter.build p in
+    let store =
+      Netembed_core.Domain_store.create
+        ~universe:(Graph.node_count p.Problem.host)
+        ~depths:(Graph.node_count p.Problem.query)
+    in
+    let run_path search () =
+      let budget = Netembed_core.Budget.make ~max_visited:cap () in
+      let found = ref 0 in
+      (try
+         search p filter ~candidate_order:Netembed_core.Dfs.Ascending ~budget
+           ~on_solution:(fun _ ->
+             incr found;
+             `Continue)
+       with Netembed_core.Budget.Exhausted -> ());
+      (Netembed_core.Budget.visited budget, !found)
+    in
+    let arrays =
+      measure_gc
+        ~name:(Printf.sprintf "representation/%s/sorted_arrays" label)
+        ~repeat:3
+        (run_path (Netembed_core.Dfs.search_arrays ?root_candidates:None))
+    in
+    let bitset =
+      measure_gc
+        ~name:(Printf.sprintf "representation/%s/bitset" label)
+        ~repeat:3
+        (run_path (fun p f -> Netembed_core.Dfs.search ~store p f))
+    in
+    let speedup = if bitset.row_ms > 0.0 then arrays.row_ms /. bitset.row_ms else 0.0 in
+    let alloc_ratio =
+      if words_per_visit bitset > 0.0 then words_per_visit arrays /. words_per_visit bitset
+      else infinity
+    in
+    Printf.printf
+      "  %-22s arrays %8.1f ms %10.0f minor w (%6.1f w/visit) | bitset %8.1f ms \
+       %10.0f minor w (%6.1f w/visit) | speedup %.2fx, %.0fx fewer w/visit (%d \
+       visited, %d found)\n%!"
+      label arrays.row_ms arrays.row_minor_words (words_per_visit arrays) bitset.row_ms
+      bitset.row_minor_words (words_per_visit bitset) speedup alloc_ratio
+      bitset.row_visited bitset.row_found
+  in
+  let host = Lazy.force planetlab in
+  (* The headline case: a tight clique band admits many partial
+     assignments but few complete cliques, so the run is pure
+     backtracking and minor words per visited node measure the candidate
+     representation alone, with no per-solution mapping allocation
+     (shared by both paths) diluting the ratio. *)
+  run_case "clique6_tight"
+    (problem_of (Query_gen.clique ~k:6 ~delay_lo:10.0 ~delay_hi:35.0) host)
+    ~cap:120_000;
+  run_case "clique7_tight"
+    (problem_of (Query_gen.clique ~k:7 ~delay_lo:10.0 ~delay_hi:50.0) host)
+    ~cap:120_000;
+  run_case "subgraph_n60"
+    (Lazy.force ablation_problem)
+    ~cap:60_000;
+  run_case "clique5"
+    (problem_of (Query_gen.clique ~k:5 ~delay_lo:10.0 ~delay_hi:100.0) host)
+    ~cap:60_000;
+  Printf.printf "\n"
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -233,6 +401,13 @@ let () =
         analyzed)
     tests;
   Printf.printf "\n";
+  (* Part 1a: the representation ablation and Gc-aware engine rows. *)
+  representation_ablation ();
+  ignore (engine_gc_row "fig8/ecf_all_n20+gc" Engine.ECF Engine.All (Lazy.force pl_subgraph_problem));
+  ignore (engine_gc_row "fig8/rwb_first_n20+gc" Engine.RWB Engine.First (Lazy.force pl_subgraph_problem));
+  ignore (engine_gc_row "fig8/lns_first_n20+gc" Engine.LNS Engine.First (Lazy.force pl_subgraph_problem));
+  ignore (engine_gc_row "fig13/ecf_all_clique6+gc" Engine.ECF Engine.All (Lazy.force clique_problem));
+  write_gc_json ();
   (* Part 1b: multicore speedup table.  The instance must be
      search-dominated for root partitioning to pay: a clique's
      all-matches enumeration is, a subgraph query's filter-heavy run

@@ -28,6 +28,10 @@ let full n =
 
 let copy t = { n = t.n; words = Array.copy t.words }
 
+let blit ~dst src =
+  if dst.n <> src.n then invalid_arg "Bitset: universe mismatch";
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
 let check_index t i =
   if i < 0 || i >= t.n then invalid_arg "Bitset: index out of universe"
 
@@ -85,6 +89,14 @@ let diff_into ~dst src =
     dst.words.(i) <- dst.words.(i) land lnot src.words.(i)
   done
 
+let inter_cardinal a b =
+  check_same a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(i) land b.words.(i))
+  done;
+  !acc
+
 let inter a b =
   let r = copy a in
   inter_into ~dst:r b;
@@ -100,20 +112,85 @@ let diff a b =
   diff_into ~dst:r b;
   r
 
+(* Index of the least significant set bit of a one-bit word: binary
+   search over halving masks — six branches, not a 62-step shift loop.
+   This sits under every candidate enumerated by the search core. *)
+let bit_index lsb =
+  let n = ref 0 in
+  let x = ref lsb in
+  if !x land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    x := !x lsr 32
+  end;
+  if !x land 0xFFFF = 0 then begin
+    n := !n + 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF = 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF = 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0x3 = 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+
 let iter f t =
   for w = 0 to Array.length t.words - 1 do
     let word = ref t.words.(w) in
     while !word <> 0 do
       let lsb = !word land - !word in
-      let b =
-        (* index of least significant set bit *)
-        let rec go x acc = if x = 1 then acc else go (x lsr 1) (acc + 1) in
-        go lsb 0
-      in
-      f ((w * bits_per_word) + b);
+      f ((w * bits_per_word) + bit_index lsb);
       word := !word land lnot lsb
     done
   done
+
+let next_set_bit t i =
+  if i >= t.n then -1
+  else begin
+    let i = max 0 i in
+    let start_w = i / bits_per_word in
+    let first = t.words.(start_w) land lnot ((1 lsl (i mod bits_per_word)) - 1) in
+    if first <> 0 then (start_w * bits_per_word) + bit_index (first land -first)
+    else begin
+      let result = ref (-1) in
+      (try
+         for w = start_w + 1 to Array.length t.words - 1 do
+           let word = t.words.(w) in
+           if word <> 0 then begin
+             result := (w * bits_per_word) + bit_index (word land -word);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+  end
+
+let iter_from f t i =
+  if i < t.n then begin
+    let i = max 0 i in
+    let start_w = i / bits_per_word in
+    for w = start_w to Array.length t.words - 1 do
+      let word =
+        ref
+          (if w = start_w then
+             t.words.(w) land lnot ((1 lsl (i mod bits_per_word)) - 1)
+           else t.words.(w))
+      in
+      while !word <> 0 do
+        let lsb = !word land - !word in
+        f ((w * bits_per_word) + bit_index lsb);
+        word := !word land lnot lsb
+      done
+    done
+  end
 
 let fold f t init =
   let acc = ref init in
@@ -121,7 +198,16 @@ let fold f t init =
   !acc
 
 let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
-let to_array t = Array.of_list (elements t)
+
+let to_array t =
+  let a = Array.make (cardinal t) 0 in
+  let k = ref 0 in
+  iter
+    (fun i ->
+      a.(!k) <- i;
+      incr k)
+    t;
+  a
 
 let of_list n l =
   let t = create n in

@@ -29,6 +29,11 @@ val equal : t -> t -> bool
     All binary operations require both operands to share a universe
     size and raise [Invalid_argument] otherwise. *)
 
+val blit : dst:t -> t -> unit
+(** [blit ~dst src] overwrites [dst] with the contents of [src] without
+    allocating — the load operation of the search core's scratch-domain
+    pool. *)
+
 val inter_into : dst:t -> t -> unit
 (** [inter_into ~dst src] replaces [dst] with [dst ∩ src]. *)
 
@@ -40,10 +45,25 @@ val inter : t -> t -> t
 val union : t -> t -> t
 val diff : t -> t -> t
 
+val inter_cardinal : t -> t -> int
+(** [inter_cardinal a b] is [cardinal (inter a b)] without materializing
+    the intersection. *)
+
 (** {1 Iteration} *)
 
 val iter : (int -> unit) -> t -> unit
 (** Ascending order. *)
+
+val iter_from : (int -> unit) -> t -> int -> unit
+(** [iter_from f t i] applies [f] to every element [>= i], ascending.
+    [i] may lie anywhere (negative values behave like 0; values [>= n]
+    visit nothing). *)
+
+val next_set_bit : t -> int -> int
+(** [next_set_bit t i] is the smallest element [>= i], or [-1] when
+    none exists.  Successive calls with [prev + 1] traverse the set
+    without a closure — the candidate-enumeration primitive of the
+    search core. *)
 
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val elements : t -> int list

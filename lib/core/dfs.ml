@@ -1,5 +1,6 @@
 open Netembed_graph
 module Rng = Netembed_rng.Rng
+module Bitset = Netembed_bitset.Bitset
 
 type candidate_order =
   | Ascending
@@ -7,25 +8,140 @@ type candidate_order =
 
 exception Stop_search
 
-let search ?root_candidates (p : Problem.t) (f : Filter.t) ~candidate_order ~budget ~on_solution =
+(* Position of each query node in the search order, to find which
+   neighbours are already assigned at a given depth; then per depth the
+   list of already-assigned neighbour query nodes. *)
+let assigned_neighbours_table (p : Problem.t) order nq =
+  let position = Array.make (max 1 nq) 0 in
+  Array.iteri (fun pos q -> position.(q) <- pos) order;
+  Array.init nq (fun depth ->
+      let q = order.(depth) in
+      List.filter_map
+        (fun (w, _) -> if position.(w) < depth then Some w else None)
+        (Problem.query_neighbours p q)
+      |> List.sort_uniq compare |> Array.of_list)
+
+let search ?root_candidates ?store (p : Problem.t) (f : Filter.t) ~candidate_order
+    ~budget ~on_solution =
+  let nq = Graph.node_count p.query in
+  let nr = Graph.node_count p.host in
+  let order = Filter.order f in
+  let store =
+    match store with
+    | None -> Domain_store.create ~universe:nr ~depths:nq
+    | Some s ->
+        if Domain_store.universe s <> nr then
+          invalid_arg "Dfs.search: store universe mismatch";
+        if Domain_store.depths s < nq then invalid_arg "Dfs.search: store too shallow";
+        Domain_store.reset s;
+        s
+  in
+  let assignment = Array.make (max 1 nq) (-1) in
+  let assigned_neighbours = assigned_neighbours_table p order nq in
+  (* Candidate domain for the node at [depth], computed into the store's
+     scratch bitset: intersect the filter cells of assigned neighbours
+     (expression (2)) — or load node-level candidates when none is
+     assigned yet (expression (1)) — then subtract used hosts.  All
+     in-place and closure-free: cell lookups go through the exception
+     variant so no [Some] is boxed per lookup, and enumeration below
+     walks [next_set_bit] instead of passing a closure to [iter].  The
+     only steady-state allocation in the whole search is the solution
+     callback's mapping. *)
+  let compute_domain depth =
+    let q = order.(depth) in
+    let nbrs = assigned_neighbours.(depth) in
+    let n_nbrs = Array.length nbrs in
+    if n_nbrs = 0 then (
+      match root_candidates with
+      | Some roots when depth = 0 -> ignore (Domain_store.load_array store ~depth roots)
+      | Some _ | None ->
+          ignore (Domain_store.load store ~depth (Filter.node_candidates_bits f q)))
+    else begin
+      let w0 = nbrs.(0) in
+      match
+        Filter.cell_bits_exn f ~q_assigned:w0 ~r_assigned:assignment.(w0) ~q_next:q
+      with
+      | exception Not_found -> ignore (Domain_store.load_empty store ~depth)
+      | cell ->
+          ignore (Domain_store.load store ~depth cell);
+          (* Intersect progressively; bail out on empty. *)
+          let dom = Domain_store.domain store ~depth in
+          let i = ref 1 in
+          while !i < n_nbrs && not (Bitset.is_empty dom) do
+            let w = nbrs.(!i) in
+            (match
+               Filter.cell_bits_exn f ~q_assigned:w ~r_assigned:assignment.(w) ~q_next:q
+             with
+            | exception Not_found -> ignore (Domain_store.load_empty store ~depth)
+            | cell -> Domain_store.restrict store ~depth cell);
+            incr i
+          done
+    end;
+    Domain_store.exclude_used store ~depth;
+    Domain_store.domain store ~depth
+  in
+  let rec go depth =
+    Budget.tick budget;
+    if depth = nq then begin
+      match on_solution (Mapping.of_array (Array.copy assignment)) with
+      | `Continue -> ()
+      | `Stop -> raise Stop_search
+    end
+    else begin
+      let q = order.(depth) in
+      let dom = compute_domain depth in
+      (* The domain already excludes used hosts, and [used] is restored
+         to its entry state between sibling candidates, so no per-
+         candidate membership check is needed.  The domain bitset at
+         this depth is untouched by deeper recursion (each depth owns
+         its scratch), so [next_set_bit] resumes correctly after the
+         recursive call.  No unwind protection: on abort (stop /
+         budget) the whole search state is discarded. *)
+      match candidate_order with
+      | Ascending ->
+          let r = ref (Bitset.next_set_bit dom 0) in
+          while !r >= 0 do
+            let h = !r in
+            assignment.(q) <- h;
+            Domain_store.mark_used store h;
+            go (depth + 1);
+            Domain_store.release_used store h;
+            assignment.(q) <- -1;
+            r := Bitset.next_set_bit dom (h + 1)
+          done
+      | Random rng ->
+          let buf = Domain_store.order_buffer store ~depth in
+          let count = Domain_store.fill_order_buffer store ~depth in
+          Rng.shuffle_prefix rng buf count;
+          for i = 0 to count - 1 do
+            let h = buf.(i) in
+            assignment.(q) <- h;
+            Domain_store.mark_used store h;
+            go (depth + 1);
+            Domain_store.release_used store h;
+            assignment.(q) <- -1
+          done
+    end
+  in
+  if nq = 0 then ignore (on_solution (Mapping.of_array [||]))
+  else match go 0 with () -> () | exception Stop_search -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Legacy sorted-array path                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The seed implementation, kept verbatim as the reference for the
+   differential tests and the representation-ablation bench: candidate
+   sets are fresh sorted-array merges at every visited node.  Visits the
+   same tree in the same order as [search] with [Ascending]. *)
+let search_arrays ?root_candidates (p : Problem.t) (f : Filter.t) ~candidate_order
+    ~budget ~on_solution =
   let nq = Graph.node_count p.query in
   let nr = Graph.node_count p.host in
   let order = Filter.order f in
   let assignment = Array.make (max 1 nq) (-1) in
   let used = Array.make (max 1 nr) false in
-  (* Position of each query node in the search order, to find which
-     neighbours are already assigned at a given depth. *)
-  let position = Array.make (max 1 nq) 0 in
-  Array.iteri (fun pos q -> position.(q) <- pos) order;
-  (* Per-depth list of (already-assigned neighbour) query nodes. *)
-  let assigned_neighbours =
-    Array.init nq (fun depth ->
-        let q = order.(depth) in
-        List.filter_map
-          (fun (w, _) -> if position.(w) < depth then Some w else None)
-          (Problem.query_neighbours p q)
-        |> List.sort_uniq compare)
-  in
+  let assigned_neighbours = Array.map Array.to_list (assigned_neighbours_table p order nq) in
   (* Candidate set for the node at [depth]: intersect filter cells of
      assigned neighbours (smallest first), or node-level candidates when
      none is assigned yet.  [used] is filtered during enumeration. *)
@@ -83,8 +199,6 @@ let search ?root_candidates (p : Problem.t) (f : Filter.t) ~candidate_order ~bud
     else begin
       let q = order.(depth) in
       let cands = candidates depth in
-      (* No unwind protection: on abort (stop / budget) the whole search
-         state is discarded, so it need not be restored. *)
       let try_candidate r =
         if not used.(r) then begin
           assignment.(q) <- r;

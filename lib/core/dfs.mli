@@ -9,7 +9,13 @@
     ascending order (deterministic, exhaustive); RWB enumerates them in
     uniformly random order — "by virtue of the randomness with which
     candidate mappings are selected, and the backtracking-nature of the
-    search" — and is normally run in first-match mode. *)
+    search" — and is normally run in first-match mode.
+
+    Candidate domains are bitsets over the host universe, computed
+    in-place into a {!Domain_store} scratch pool: one [blit], O(depth)
+    [inter_into]/[diff_into] per visited node, no allocation.  The seed
+    sorted-array implementation is retained as {!search_arrays} for
+    differential testing and the representation-ablation bench. *)
 
 type candidate_order =
   | Ascending
@@ -17,6 +23,7 @@ type candidate_order =
 
 val search :
   ?root_candidates:int array ->
+  ?store:Domain_store.t ->
   Problem.t ->
   Filter.t ->
   candidate_order:candidate_order ->
@@ -30,4 +37,28 @@ val search :
     [root_candidates] restricts the candidate set of the {e first} node
     in the search order (it must be a sorted subset of that node's
     candidates) — the root-partitioning hook of the parallel searcher.
+
+    [store] supplies the scratch-domain pool, amortizing it across
+    repeated searches; it is [reset] on entry.  When omitted, a private
+    store is created.  Parallel searchers must pass one store per
+    domain — stores are single-searcher state.
+    @raise Invalid_argument when [store] has the wrong universe size or
+    fewer depths than query nodes.
     @raise Budget.Exhausted when the budget runs out. *)
+
+val search_arrays :
+  ?root_candidates:int array ->
+  Problem.t ->
+  Filter.t ->
+  candidate_order:candidate_order ->
+  budget:Budget.t ->
+  on_solution:(Mapping.t -> [ `Continue | `Stop ]) ->
+  unit
+(** The seed sorted-array implementation: candidate sets are merged into
+    freshly allocated arrays at every visited node.  Same contract as
+    {!search}; with [Ascending] it visits the same tree in the same
+    order, so answer sets (and budget-limited prefixes) coincide — the
+    property the differential tests assert.  With [Random] the RNG is
+    consumed differently (used hosts are shuffled then skipped rather
+    than excluded first), so individual first matches may differ from
+    {!search}.  Reference only: slower and allocation-heavy. *)

@@ -1,0 +1,95 @@
+module Bitset = Netembed_bitset.Bitset
+
+type t = {
+  universe : int;
+  depths : int;
+  scratch : Bitset.t array;
+  order_bufs : int array array;
+  used : Bitset.t;
+  mutable domains_built : int;
+  mutable intersections : int;
+}
+
+type stats = {
+  universe : int;
+  depths : int;
+  scratch_words : int;
+  domains_built : int;
+  intersections : int;
+}
+
+let create ~universe ~depths : t =
+  if universe < 0 || depths < 0 then invalid_arg "Domain_store.create";
+  {
+    universe;
+    depths;
+    scratch = Array.init depths (fun _ -> Bitset.create universe);
+    order_bufs = Array.init depths (fun _ -> Array.make (max 1 universe) 0);
+    used = Bitset.create universe;
+    domains_built = 0;
+    intersections = 0;
+  }
+
+let universe (t : t) = t.universe
+let depths (t : t) = t.depths
+let used (t : t) = t.used
+let mark_used (t : t) r = Bitset.add t.used r
+let release_used (t : t) r = Bitset.remove t.used r
+let reset (t : t) = Bitset.clear t.used
+let domain (t : t) ~depth = t.scratch.(depth)
+
+let load (t : t) ~depth src =
+  t.domains_built <- t.domains_built + 1;
+  let dst = t.scratch.(depth) in
+  Bitset.blit ~dst src;
+  dst
+
+let load_array (t : t) ~depth a =
+  t.domains_built <- t.domains_built + 1;
+  let dst = t.scratch.(depth) in
+  Bitset.clear dst;
+  Array.iter (Bitset.add dst) a;
+  dst
+
+let load_empty (t : t) ~depth =
+  t.domains_built <- t.domains_built + 1;
+  let dst = t.scratch.(depth) in
+  Bitset.clear dst;
+  dst
+
+let restrict (t : t) ~depth src =
+  t.intersections <- t.intersections + 1;
+  Bitset.inter_into ~dst:t.scratch.(depth) src
+
+let exclude_used (t : t) ~depth = Bitset.diff_into ~dst:t.scratch.(depth) t.used
+
+let order_buffer (t : t) ~depth = t.order_bufs.(depth)
+
+let fill_order_buffer (t : t) ~depth =
+  let buf = t.order_bufs.(depth) in
+  let dom = t.scratch.(depth) in
+  (* next_set_bit walk rather than [Bitset.iter]: no closure allocated
+     per call — this runs once per visited node under Random order. *)
+  let k = ref 0 in
+  let r = ref (Bitset.next_set_bit dom 0) in
+  while !r >= 0 do
+    buf.(!k) <- !r;
+    incr k;
+    r := Bitset.next_set_bit dom (!r + 1)
+  done;
+  !k
+
+let stats (t : t) : stats =
+  let words_of b = (Bitset.universe_size b + 61) / 62 in
+  {
+    universe = t.universe;
+    depths = t.depths;
+    scratch_words =
+      Array.fold_left (fun acc b -> acc + max 1 (words_of b)) (max 1 (words_of t.used)) t.scratch;
+    domains_built = t.domains_built;
+    intersections = t.intersections;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "universe=%d depths=%d scratch_words=%d domains=%d intersections=%d"
+    s.universe s.depths s.scratch_words s.domains_built s.intersections

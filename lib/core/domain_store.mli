@@ -1,0 +1,89 @@
+(** Bitset-backed candidate domains for the search core.
+
+    Expression (2) of the paper — the candidate set of the next query
+    node as an intersection of filter cells, minus already-used host
+    nodes — is the hot loop of ECF/RWB.  A [Domain_store] owns one
+    scratch bitset per search depth over the host-node universe, plus a
+    per-depth index buffer for randomized enumeration and the shared
+    [used] set, so the whole permutations-tree walk performs O(words)
+    in-place set algebra and is allocation-free in steady state.
+
+    A store is single-searcher state: parallel domains share the
+    read-only {!Filter} but must each own a store (see
+    {!Netembed_parallel}). *)
+
+module Bitset = Netembed_bitset.Bitset
+
+type t
+
+val create : universe:int -> depths:int -> t
+(** [create ~universe ~depths] preallocates [depths] scratch domains
+    (and index buffers) over host universe [\[0, universe)].
+    @raise Invalid_argument when either is negative. *)
+
+val universe : t -> int
+val depths : t -> int
+
+val reset : t -> unit
+(** Clear the [used] set (the scratch domains are overwritten by the
+    next [load]).  Cumulative statistics are retained. *)
+
+(** {1 The used-host set} *)
+
+val used : t -> Bitset.t
+(** The set of host nodes currently holding an assignment.  Exposed
+    read-only by convention; mutate through {!mark_used} /
+    {!release_used}. *)
+
+val mark_used : t -> int -> unit
+val release_used : t -> int -> unit
+
+(** {1 Scratch domains}
+
+    The domain at each depth is built by one [load*] call followed by
+    any number of [restrict] calls and usually one [exclude_used];
+    it stays valid until the next [load*] at the same depth. *)
+
+val domain : t -> depth:int -> Bitset.t
+(** The scratch bitset of [depth] in its current state. *)
+
+val load : t -> depth:int -> Bitset.t -> Bitset.t
+(** Overwrite the scratch domain with a copy of the given set (e.g. a
+    filter cell or node-candidate set) and return it. *)
+
+val load_array : t -> depth:int -> int array -> Bitset.t
+(** Overwrite the scratch domain with the elements of the array — the
+    root-partitioning hook of the parallel searcher. *)
+
+val load_empty : t -> depth:int -> Bitset.t
+
+val restrict : t -> depth:int -> Bitset.t -> unit
+(** Intersect the scratch domain with the given set in place. *)
+
+val exclude_used : t -> depth:int -> unit
+(** Subtract the [used] set from the scratch domain in place. *)
+
+(** {1 Randomized enumeration} *)
+
+val order_buffer : t -> depth:int -> int array
+(** The preallocated index buffer of [depth] (length = universe).
+    Meaningful up to the count returned by the latest
+    {!fill_order_buffer}. *)
+
+val fill_order_buffer : t -> depth:int -> int
+(** Write the elements of the scratch domain of [depth] into its index
+    buffer (ascending) and return how many there are.  RWB shuffles
+    that prefix in place instead of copying the candidate set. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  universe : int;
+  depths : int;
+  scratch_words : int;  (** words held by the scratch pool (incl. [used]) *)
+  domains_built : int;  (** [load*] calls — one per visited search node with candidates *)
+  intersections : int;  (** [restrict] calls — filter-cell intersections performed *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

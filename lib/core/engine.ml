@@ -33,6 +33,7 @@ type result = {
   time_to_first : float option;
   visited : int;
   filter_evals : int;
+  domain_stats : Domain_store.stats option;
 }
 
 let run ?(options = default_options) algorithm problem =
@@ -48,6 +49,11 @@ let run ?(options = default_options) algorithm problem =
     if !count >= limit then `Stop else `Continue
   in
   let filter_evals = ref 0 in
+  let store =
+    Domain_store.create
+      ~universe:(Netembed_graph.Graph.node_count problem.Problem.host)
+      ~depths:(Netembed_graph.Graph.node_count problem.Problem.query)
+  in
   let ran_out =
     try
       if limit = 0 then raise Exit;
@@ -61,8 +67,8 @@ let run ?(options = default_options) algorithm problem =
             | RWB -> Dfs.Random (Rng.make options.seed)
             | LNS -> assert false
           in
-          Dfs.search problem filter ~candidate_order ~budget ~on_solution
-      | LNS -> Lns.search problem ~budget ~on_solution);
+          Dfs.search ~store problem filter ~candidate_order ~budget ~on_solution
+      | LNS -> Lns.search ~store problem ~budget ~on_solution);
       false
     with
     | Budget.Exhausted -> true
@@ -81,6 +87,7 @@ let run ?(options = default_options) algorithm problem =
     time_to_first = !time_to_first;
     visited = Budget.visited budget;
     filter_evals = !filter_evals;
+    domain_stats = Some (Domain_store.stats store);
   }
 
 let find_first ?timeout algorithm problem =

@@ -49,6 +49,10 @@ type result = {
   time_to_first : float option;  (** seconds until the first mapping *)
   visited : int;  (** search-tree nodes visited *)
   filter_evals : int;  (** constraint evaluations in filter build (0 for LNS) *)
+  domain_stats : Domain_store.stats option;
+      (** scratch-pool footprint and per-run domain-computation counts
+          of the bitset search core ({!Domain_store.stats}); [None] only
+          when the run was answered without building a store *)
 }
 
 val run : ?options:options -> algorithm -> Problem.t -> result

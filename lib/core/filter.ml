@@ -1,13 +1,19 @@
 open Netembed_graph
 module Eval = Netembed_expr.Eval
 module Attrs = Netembed_attr.Attrs
+module Bitset = Netembed_bitset.Bitset
 
 type t = {
-  cells : (int, int array) Hashtbl.t;
-      (** key: (q_assigned * nq + q_next) * nr + r_assigned *)
+  cells : (int, Bitset.t) Hashtbl.t;
+      (** key: (q_assigned * nq + q_next) * nr + r_assigned; values are
+          non-empty candidate sets over the host universe *)
+  cell_views : (int, int array) Hashtbl.t;
+      (** lazily materialized sorted-array views of [cells] for the
+          legacy array path (differential tests, bench ablation) *)
   nq : int;
   nr : int;
-  node_cands : int array array;
+  node_cands : Bitset.t array;
+  node_cand_views : int array array;
   ls_order : int array;
   mutable evals : int;
   mutable nonempty_cells : int;
@@ -19,32 +25,9 @@ let cell_key t a b r = (((a * t.nq) + b) * t.nr) + r
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Accumulate candidate lists per cell, then freeze to sorted arrays.
-   With parallel query edges between the same pair, every edge must be
+(* Cells accumulate directly into bitsets over the host universe.  With
+   parallel query edges between the same pair, every edge must be
    satisfiable, so per-edge sets are intersected. *)
-
-let sorted_of_tbl tbl =
-  let l = Hashtbl.fold (fun r () acc -> r :: acc) tbl [] in
-  let a = Array.of_list l in
-  Array.sort compare a;
-  a
-
-let intersect_sorted a b =
-  let la = Array.length a and lb = Array.length b in
-  let out = Array.make (min la lb) 0 in
-  let i = ref 0 and j = ref 0 and k = ref 0 in
-  while !i < la && !j < lb do
-    let x = a.(!i) and y = b.(!j) in
-    if x = y then begin
-      out.(!k) <- x;
-      incr k;
-      incr i;
-      incr j
-    end
-    else if x < y then incr i
-    else incr j
-  done;
-  Array.sub out 0 !k
 
 type ordering = Connected_lemma1 | Lemma1 | Input_order
 
@@ -53,9 +36,11 @@ let build ?(ordering = Connected_lemma1) (p : Problem.t) =
   let t =
     {
       cells = Hashtbl.create 1024;
+      cell_views = Hashtbl.create 64;
       nq;
       nr;
-      node_cands = Array.make (max 1 nq) [||];
+      node_cands = Array.make (max 1 nq) (Bitset.create nr);
+      node_cand_views = Array.make (max 1 nq) [||];
       ls_order = [||];
       evals = 0;
       nonempty_cells = 0;
@@ -65,7 +50,7 @@ let build ?(ordering = Connected_lemma1) (p : Problem.t) =
   let undirected = Graph.kind p.host = Graph.Undirected in
   (* Per query edge: evaluate the specialized residual against every host
      edge (both host orientations when undirected), collecting, for both
-     lookup directions, r_assigned -> candidate list. *)
+     lookup directions, r_assigned -> candidate bitset. *)
   let add_edge_cells qe a b =
     let residual =
       Eval.specialize
@@ -74,18 +59,18 @@ let build ?(ordering = Connected_lemma1) (p : Problem.t) =
         ~v_target:(Graph.node_attrs p.query b)
         p.edge_constraint
     in
-    let fwd : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
-    let bwd : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+    let fwd : (int, Bitset.t) Hashtbl.t = Hashtbl.create 64 in
+    let bwd : (int, Bitset.t) Hashtbl.t = Hashtbl.create 64 in
     let record tbl r partner =
       let inner =
         match Hashtbl.find_opt tbl r with
         | Some i -> i
         | None ->
-            let i = Hashtbl.create 8 in
+            let i = Bitset.create nr in
             Hashtbl.replace tbl r i;
             i
       in
-      Hashtbl.replace inner partner ()
+      Bitset.add inner partner
     in
     let test he u v =
       t.evals <- t.evals + 1;
@@ -144,23 +129,19 @@ let build ?(ordering = Connected_lemma1) (p : Problem.t) =
   in
   (* Group query edges by unordered endpoint pair to intersect parallel
      edges. *)
-  let freeze tbl = Hashtbl.fold (fun r inner acc -> (r, sorted_of_tbl inner) :: acc) tbl [] in
-  let pending : (int, int array) Hashtbl.t = Hashtbl.create 1024 in
+  let pending : (int, Bitset.t) Hashtbl.t = Hashtbl.create 1024 in
   let touched_pairs = Hashtbl.create 64 in
   Graph.iter_edges
     (fun qe a b ->
       let fwd, bwd = add_edge_cells qe a b in
       let apply dir_a dir_b tbl =
-        List.iter
-          (fun (r, partners) ->
+        Hashtbl.iter
+          (fun r partners ->
             let key = cell_key t dir_a dir_b r in
-            let merged =
-              match Hashtbl.find_opt pending key with
-              | None -> partners
-              | Some prior -> intersect_sorted prior partners
-            in
-            Hashtbl.replace pending key merged)
-          (freeze tbl)
+            match Hashtbl.find_opt pending key with
+            | None -> Hashtbl.replace pending key partners
+            | Some prior -> Bitset.inter_into ~dst:prior partners)
+          tbl
       in
       (* If this pair was seen before (parallel edge), cells not re-hit by
          this edge must drop to empty: handled by intersecting only hit
@@ -198,8 +179,13 @@ let build ?(ordering = Connected_lemma1) (p : Problem.t) =
             match Hashtbl.find_opt pending (cell_key t dir_a dir_b r) with
             | None -> ()
             | Some partners ->
-                let kept = Array.of_list (List.filter (jointly_ok dir_a r) (Array.to_list partners)) in
-                Hashtbl.replace pending (cell_key t dir_a dir_b r) kept
+                let drop =
+                  Bitset.fold
+                    (fun partner acc ->
+                      if jointly_ok dir_a r partner then acc else partner :: acc)
+                    partners []
+                in
+                List.iter (Bitset.remove partners) drop
           done
         in
         recheck a b;
@@ -207,17 +193,17 @@ let build ?(ordering = Connected_lemma1) (p : Problem.t) =
       end)
     touched_pairs;
   Hashtbl.iter
-    (fun key v -> if Array.length v > 0 then Hashtbl.replace t.cells key v)
+    (fun key v -> if not (Bitset.is_empty v) then Hashtbl.replace t.cells key v)
     pending;
   t.nonempty_cells <- Hashtbl.length t.cells;
   (* Node-level candidates: intersection over incident edges of the
      sources present in F, within node_ok. *)
   let all_hosts_ok q =
-    let out = ref [] in
-    for r = t.nr - 1 downto 0 do
-      if Problem.node_ok p ~q ~r then out := r :: !out
+    let out = Bitset.create nr in
+    for r = 0 to t.nr - 1 do
+      if Problem.node_ok p ~q ~r then Bitset.add out r
     done;
-    Array.of_list !out
+    out
   in
   for q = 0 to nq - 1 do
     let incident = Problem.query_neighbours p q in
@@ -225,24 +211,28 @@ let build ?(ordering = Connected_lemma1) (p : Problem.t) =
       List.map
         (fun (w, _) ->
           (* sources r for which cell (q, w, r) is non-empty *)
-          let out = ref [] in
-          for r = t.nr - 1 downto 0 do
-            if Hashtbl.mem t.cells (cell_key t q w r) then out := r :: !out
+          let out = Bitset.create nr in
+          for r = 0 to t.nr - 1 do
+            if Hashtbl.mem t.cells (cell_key t q w r) then Bitset.add out r
           done;
-          Array.of_list !out)
+          out)
         incident
     in
     t.node_cands.(q) <-
       (match sets with
       | [] -> all_hosts_ok q
-      | first :: rest -> List.fold_left intersect_sorted first rest)
+      | first :: rest ->
+          List.iter (fun s -> Bitset.inter_into ~dst:first s) rest;
+          first);
+    t.node_cand_views.(q) <- Bitset.to_array t.node_cands.(q)
   done;
   (* Search order: Lemma 1 seeds the order with the fewest-candidate
      node; after that, expression (2) only prunes through edges into the
      assigned prefix, so each subsequent node is chosen connected to the
      prefix (most edges into it, ties broken by fewest candidates).
      Disconnected queries reseed by candidate count. *)
-  let cand_count q = Array.length t.node_cands.(q) in
+  let cand_counts = Array.init (max 1 nq) (fun q -> Bitset.cardinal t.node_cands.(q)) in
+  let cand_count q = cand_counts.(q) in
   let order =
     match ordering with
     | Input_order -> Array.init nq (fun q -> q)
@@ -285,12 +275,36 @@ let build ?(ordering = Connected_lemma1) (p : Problem.t) =
   in
   { t with ls_order = order }
 
-let candidates_from t ~q_assigned ~r_assigned ~q_next =
-  match Hashtbl.find_opt t.cells (cell_key t q_assigned q_next r_assigned) with
-  | Some a -> a
-  | None -> [||]
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
 
-let node_candidates t q = t.node_cands.(q)
+let universe t = t.nr
+
+let cell_bits t ~q_assigned ~r_assigned ~q_next =
+  Hashtbl.find_opt t.cells (cell_key t q_assigned q_next r_assigned)
+
+(* Exception variant for the search hot loop: [Hashtbl.find] raises the
+   preallocated [Not_found], so a hit boxes nothing, where [find_opt]
+   allocates a [Some] per lookup — measurable at millions of visited
+   nodes per second. *)
+let cell_bits_exn t ~q_assigned ~r_assigned ~q_next =
+  Hashtbl.find t.cells (cell_key t q_assigned q_next r_assigned)
+
+let candidates_from t ~q_assigned ~r_assigned ~q_next =
+  let key = cell_key t q_assigned q_next r_assigned in
+  match Hashtbl.find_opt t.cell_views key with
+  | Some a -> a
+  | None -> (
+      match Hashtbl.find_opt t.cells key with
+      | None -> [||]
+      | Some bits ->
+          let a = Bitset.to_array bits in
+          Hashtbl.replace t.cell_views key a;
+          a)
+
+let node_candidates_bits t q = t.node_cands.(q)
+let node_candidates t q = t.node_cand_views.(q)
 let order t = t.ls_order
 let constraint_evaluations t = t.evals
 let cell_count t = t.nonempty_cells

@@ -7,12 +7,15 @@
     onto [r].
 
     Representation: cells are keyed by the oriented query pair [(v,vs)]
-    and the host node [r], and hold a sorted array of candidate host
-    nodes.  The negative filter F̄ of the paper is implicit: candidate
-    sets are intersected, so anything absent from [F] is excluded
-    (equivalent to subtracting the union of F̄ for undirected problems;
-    for directed problems both lookup directions of each tested
-    orientation are stored).
+    and the host node [r], and hold a {!Netembed_bitset.Bitset.t} over
+    the host-node universe, so the search core intersects them in
+    O(words) ({!Domain_store}).  Sorted-array views of the same cells
+    are materialized lazily for the legacy array path (differential
+    tests and the representation-ablation bench).  The negative filter
+    F̄ of the paper is implicit: candidate sets are intersected, so
+    anything absent from [F] is excluded (equivalent to subtracting the
+    union of F̄ for undirected problems; for directed problems both
+    lookup directions of each tested orientation are stored).
 
     The matrix also precomputes per-query-node candidate sets (the
     paper's expression (1), strengthened with the node-level filters of
@@ -31,6 +34,27 @@ type ordering =
 
 val build : ?ordering:ordering -> Problem.t -> t
 
+val universe : t -> int
+(** Host-node universe size — the width of every cell bitset. *)
+
+val cell_bits :
+  t -> q_assigned:Graph.node -> r_assigned:Graph.node -> q_next:Graph.node ->
+  Netembed_bitset.Bitset.t option
+(** The cell [F[q_assigned, r_assigned, q_next]] as a bitset over the
+    host universe, or [None] when no host edge qualifies.  The returned
+    set is owned by the filter and must not be mutated — searchers copy
+    it into {!Domain_store} scratch before intersecting. *)
+
+val cell_bits_exn :
+  t -> q_assigned:Graph.node -> r_assigned:Graph.node -> q_next:Graph.node ->
+  Netembed_bitset.Bitset.t
+(** Like {!cell_bits} but raising [Not_found] for a missing cell instead
+    of boxing an option — the allocation-free lookup the search hot loop
+    uses.  Same ownership rule: the returned set is read-only. *)
+
+val node_candidates_bits : t -> Graph.node -> Netembed_bitset.Bitset.t
+(** Bitset form of {!node_candidates}; owned by the filter, read-only. *)
+
 val candidates_from :
   t -> q_assigned:Graph.node -> r_assigned:Graph.node -> q_next:Graph.node ->
   int array
@@ -38,7 +62,9 @@ val candidates_from :
     [F[q_assigned, r_assigned, q_next]]: sorted host candidates for
     [q_next] given that assignment.  Empty array when no host edge
     qualifies.  Meaningful only when the query links [q_assigned] to
-    [q_next]. *)
+    [q_next].  This is the legacy array view of {!cell_bits},
+    materialized (and cached) on first access; the memoization is not
+    thread-safe, so the array path must stay single-domain. *)
 
 val node_candidates : t -> Graph.node -> int array
 (** Sorted host candidates for a query node irrespective of other

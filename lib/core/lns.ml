@@ -1,14 +1,25 @@
 open Netembed_graph
+module Bitset = Netembed_bitset.Bitset
 
 exception Stop_search
 
-let search (p : Problem.t) ~budget ~on_solution =
+let search ?store (p : Problem.t) ~budget ~on_solution =
   let nq = Graph.node_count p.query in
   let nr = Graph.node_count p.host in
   if nq = 0 then ignore (on_solution (Mapping.of_array [||]))
   else begin
+    let store =
+      match store with
+      | None -> Domain_store.create ~universe:nr ~depths:nq
+      | Some s ->
+          if Domain_store.universe s <> nr then
+            invalid_arg "Lns.search: store universe mismatch";
+          if Domain_store.depths s < nq then invalid_arg "Lns.search: store too shallow";
+          Domain_store.reset s;
+          s
+    in
     let assignment = Array.make nq (-1) in
-    let used = Array.make nr false in
+    let used = Domain_store.used store in
     let covered = Array.make nq false in
     (* links_to_covered.(q): number of query edges from q into the
        covered set; q is a Neighbor iff not covered and count > 0. *)
@@ -78,7 +89,7 @@ let search (p : Problem.t) ~budget ~on_solution =
     in
     let cover q r =
       assignment.(q) <- r;
-      used.(r) <- true;
+      Domain_store.mark_used store r;
       covered.(q) <- true;
       incr covered_count;
       List.iter
@@ -91,7 +102,7 @@ let search (p : Problem.t) ~budget ~on_solution =
         (Problem.query_neighbours p q);
       decr covered_count;
       covered.(q) <- false;
-      used.(r) <- false;
+      Domain_store.release_used store r;
       assignment.(q) <- -1
     in
     let rec extend () =
@@ -107,7 +118,7 @@ let search (p : Problem.t) ~budget ~on_solution =
         | Some (`Seed q) ->
             (* Fresh component: any acceptable, unused host node. *)
             for r = 0 to nr - 1 do
-              if (not used.(r)) && Problem.node_ok p ~q ~r then begin
+              if (not (Bitset.mem used r)) && Problem.node_ok p ~q ~r then begin
                 cover q r;
                 extend ();
                 uncover q r
@@ -130,24 +141,27 @@ let search (p : Problem.t) ~budget ~on_solution =
             (match anchor with
             | None -> assert false (* a Neighbour has >= 1 covered link *)
             | Some anchor ->
-                let seen = Hashtbl.create 16 in
+                (* Collect the anchor's unused, node-acceptable host
+                   neighbourhood into the scratch domain of this depth —
+                   deduplication and the used-host subtraction are bitset
+                   operations instead of a per-expansion Hashtbl. *)
+                let depth = !covered_count in
+                let dom = Domain_store.load_empty store ~depth in
                 List.iter
                   (fun (r, _) ->
-                    if
-                      (not (Hashtbl.mem seen r))
-                      && (not used.(r))
-                      && Problem.node_ok p ~q ~r
-                    then begin
-                      Hashtbl.replace seen r ();
-                      if edges_ok q r conn then begin
-                        cover q r;
-                        extend ();
-                        uncover q r
-                      end
-                    end)
+                    if (not (Bitset.mem used r)) && Problem.node_ok p ~q ~r then
+                      Bitset.add dom r)
                   (match Graph.kind p.Problem.host with
                   | Graph.Undirected -> Graph.succ p.host anchor
-                  | Graph.Directed -> Graph.succ p.host anchor @ Graph.pred p.host anchor))
+                  | Graph.Directed -> Graph.succ p.host anchor @ Graph.pred p.host anchor);
+                Bitset.iter
+                  (fun r ->
+                    if edges_ok q r conn then begin
+                      cover q r;
+                      extend ();
+                      uncover q r
+                    end)
+                  dom)
     in
     match extend () with () -> () | exception Stop_search -> ()
   end

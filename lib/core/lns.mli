@@ -16,14 +16,23 @@
     precomputed state), and every connecting edge is verified before the
     node enters the covered set, so covered sets are always valid
     partial matches (the "promising mappings" of the appendix proof).
+    The neighbourhood is collected into a {!Domain_store} scratch
+    bitset (per covered-depth), which both deduplicates it and subtracts
+    used hosts without allocating; candidates come out in ascending
+    host order.
 
     Extension over the paper: disconnected queries are handled by
     reseeding from [External] when [Neighbors] empties before the query
     is exhausted. *)
 
 val search :
+  ?store:Domain_store.t ->
   Problem.t ->
   budget:Budget.t ->
   on_solution:(Mapping.t -> [ `Continue | `Stop ]) ->
   unit
-(** @raise Budget.Exhausted when the budget runs out. *)
+(** [store] supplies the scratch pool (reset on entry) so the engine can
+    report domain statistics; a private one is created when omitted.
+    @raise Invalid_argument when [store] has the wrong universe size or
+    fewer depths than query nodes.
+    @raise Budget.Exhausted when the budget runs out. *)

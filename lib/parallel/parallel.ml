@@ -4,7 +4,17 @@ module Dfs = Netembed_core.Dfs
 module Budget = Netembed_core.Budget
 module Mapping = Netembed_core.Mapping
 module Engine = Netembed_core.Engine
+module Domain_store = Netembed_core.Domain_store
 module Rng = Netembed_rng.Rng
+module Graph = Netembed_graph.Graph
+
+(* Scratch domains are mutable single-searcher state: every spawned
+   domain builds its own store inside the domain, so the read-only
+   problem and filter are shared but scratch never is. *)
+let private_store problem =
+  Domain_store.create
+    ~universe:(Graph.node_count problem.Problem.host)
+    ~depths:(Graph.node_count problem.Problem.query)
 
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
@@ -27,9 +37,10 @@ let ecf_all ?domains ?timeout ?filter problem =
     let run share () =
       let acc = ref [] in
       let budget = Budget.make ?timeout () in
+      let store = private_store problem in
       let exhausted =
         try
-          Dfs.search ~root_candidates:share problem filter
+          Dfs.search ~root_candidates:share ~store problem filter
             ~candidate_order:Dfs.Ascending ~budget
             ~on_solution:(fun m ->
               acc := m :: !acc;
@@ -62,8 +73,9 @@ let rwb_race ?domains ?timeout ?(seed = 42) problem =
     let budget =
       Budget.make ?timeout ~cancelled:(fun () -> Atomic.get winner <> None) ()
     in
+    let store = private_store problem in
     try
-      Dfs.search problem filter
+      Dfs.search ~store problem filter
         ~candidate_order:(Dfs.Random (Rng.make (seed + (1000 * i))))
         ~budget
         ~on_solution:(fun m ->

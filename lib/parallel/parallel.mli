@@ -18,7 +18,10 @@
 
     Both force the problem's lazy caches before spawning
     ({!Netembed_core.Problem.prepare}) and share the problem and filter
-    read-only. *)
+    read-only.  Mutable search state is never shared: each spawned
+    domain allocates its own {!Netembed_core.Domain_store} scratch pool
+    inside the domain, so the bitset filter cells are read concurrently
+    while candidate domains are computed into private scratch. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count () - 1], at least 1. *)

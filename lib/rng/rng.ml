@@ -112,6 +112,15 @@ let shuffle_in_place t arr =
     arr.(j) <- tmp
   done
 
+let shuffle_prefix t arr k =
+  if k < 0 || k > Array.length arr then invalid_arg "Rng.shuffle_prefix";
+  for i = k - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
 let sample_without_replacement t k n =
   if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
   (* Partial Fisher-Yates over an index array. *)

@@ -53,6 +53,12 @@ val pick : t -> 'a array -> 'a
 val shuffle_in_place : t -> 'a array -> unit
 (** Fisher-Yates shuffle. *)
 
+val shuffle_prefix : t -> 'a array -> int -> unit
+(** [shuffle_prefix t arr k] Fisher-Yates-shuffles [arr.(0 .. k-1)] in
+    place, leaving the rest untouched — RWB randomizes the filled
+    prefix of a reused enumeration buffer instead of copying the
+    candidate set.  @raise Invalid_argument when [k] is out of range. *)
+
 val sample_without_replacement : t -> int -> int -> int array
 (** [sample_without_replacement t k n] is [k] distinct values drawn
     uniformly from [\[0, n)], in random order.

@@ -55,8 +55,75 @@ let test_nth () =
 
 let test_universe_mismatch () =
   let a = Bitset.create 10 and b = Bitset.create 20 in
-  Alcotest.check_raises "mismatch" (Invalid_argument "Bitset: universe mismatch")
-    (fun () -> Bitset.inter_into ~dst:a b)
+  let mismatch = Invalid_argument "Bitset: universe mismatch" in
+  Alcotest.check_raises "inter_into" mismatch (fun () -> Bitset.inter_into ~dst:a b);
+  Alcotest.check_raises "blit" mismatch (fun () -> Bitset.blit ~dst:a b);
+  Alcotest.check_raises "inter_cardinal" mismatch (fun () ->
+      ignore (Bitset.inter_cardinal a b))
+
+let test_next_set_bit () =
+  (* Tail-word masking edge cases: universes straddling the 62-bit word
+     size and the conventional 63/64/65 boundaries. *)
+  List.iter
+    (fun n ->
+      let empty = Bitset.create n in
+      check Alcotest.int (Printf.sprintf "empty n=%d" n) (-1) (Bitset.next_set_bit empty 0);
+      let s = Bitset.full n in
+      (* Walking with next_set_bit enumerates exactly [0 .. n-1]. *)
+      let count = ref 0 and i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match Bitset.next_set_bit s !i with
+        | -1 -> continue := false
+        | j ->
+            check Alcotest.int (Printf.sprintf "full n=%d step" n) !count j;
+            incr count;
+            i := j + 1
+      done;
+      check Alcotest.int (Printf.sprintf "full n=%d count" n) n !count;
+      check Alcotest.int (Printf.sprintf "past end n=%d" n) (-1) (Bitset.next_set_bit s n);
+      check Alcotest.int
+        (Printf.sprintf "negative start n=%d" n)
+        (if n = 0 then -1 else 0)
+        (Bitset.next_set_bit s (-5)))
+    [ 0; 1; 61; 62; 63; 64; 65; 124; 130 ];
+  let s = Bitset.of_list 130 [ 3; 61; 62; 63; 129 ] in
+  check Alcotest.int "from 0" 3 (Bitset.next_set_bit s 0);
+  check Alcotest.int "from 3" 3 (Bitset.next_set_bit s 3);
+  check Alcotest.int "from 4 crosses into word tail" 61 (Bitset.next_set_bit s 4);
+  check Alcotest.int "word boundary 62" 62 (Bitset.next_set_bit s 62);
+  check Alcotest.int "from 64" 129 (Bitset.next_set_bit s 64);
+  check Alcotest.int "last element" 129 (Bitset.next_set_bit s 129);
+  check Alcotest.int "exhausted" (-1) (Bitset.next_set_bit s 130)
+
+let test_iter_from () =
+  let s = Bitset.of_list 130 [ 0; 5; 61; 62; 100; 129 ] in
+  let collect i = List.rev (let acc = ref [] in Bitset.iter_from (fun x -> acc := x :: !acc) s i; !acc) in
+  check Alcotest.(list int) "from 0" [ 0; 5; 61; 62; 100; 129 ] (collect 0);
+  check Alcotest.(list int) "from 5" [ 5; 61; 62; 100; 129 ] (collect 5);
+  check Alcotest.(list int) "from 6" [ 61; 62; 100; 129 ] (collect 6);
+  check Alcotest.(list int) "from 62 (word boundary)" [ 62; 100; 129 ] (collect 62);
+  check Alcotest.(list int) "from 130" [] (collect 130);
+  check Alcotest.(list int) "negative behaves like 0" [ 0; 5; 61; 62; 100; 129 ] (collect (-1));
+  (* Empty universes never call f. *)
+  Bitset.iter_from (fun _ -> Alcotest.fail "universe 0 visited") (Bitset.create 0) 0
+
+let test_inter_cardinal_and_blit () =
+  List.iter
+    (fun n ->
+      let evens = Bitset.of_list n (List.filter (fun i -> i mod 2 = 0) (List.init n Fun.id)) in
+      let all = Bitset.full n in
+      check Alcotest.int
+        (Printf.sprintf "inter_cardinal full n=%d" n)
+        (Bitset.cardinal evens)
+        (Bitset.inter_cardinal evens all);
+      let dst = Bitset.create n in
+      Bitset.blit ~dst all;
+      check Alcotest.bool (Printf.sprintf "blit n=%d" n) true (Bitset.equal dst all);
+      (* blit must not smear bits past the universe: a subsequent
+         complement-style op sees a clean tail word. *)
+      check Alcotest.int (Printf.sprintf "blit cardinal n=%d" n) n (Bitset.cardinal dst))
+    [ 0; 1; 63; 64; 65 ]
 
 (* Model-based property tests: compare against sorted-int-list sets. *)
 
@@ -119,6 +186,33 @@ let prop_nth_total =
         (List.init (List.length l) Fun.id)
         l)
 
+let prop_next_set_bit_walk =
+  QCheck.Test.make ~name:"next_set_bit walk = elements" ~count:300
+    (QCheck.make (gen_set 130))
+    (fun l ->
+      let s = Bitset.of_list 130 l in
+      let rec walk i acc =
+        match Bitset.next_set_bit s i with
+        | -1 -> List.rev acc
+        | j -> walk (j + 1) (j :: acc)
+      in
+      walk 0 [] = l)
+
+let prop_inter_cardinal =
+  QCheck.Test.make ~name:"inter_cardinal = |inter|" ~count:300 (arbitrary_pair 130)
+    (fun (la, lb) ->
+      let a = Bitset.of_list 130 la and b = Bitset.of_list 130 lb in
+      Bitset.inter_cardinal a b = Bitset.cardinal (Bitset.inter a b))
+
+let prop_iter_from_suffix =
+  QCheck.Test.make ~name:"iter_from i = elements >= i" ~count:300
+    (QCheck.make QCheck.Gen.(pair (gen_set 130) (int_range 0 131)))
+    (fun (l, i) ->
+      let s = Bitset.of_list 130 l in
+      let acc = ref [] in
+      Bitset.iter_from (fun x -> acc := x :: !acc) s i;
+      List.rev !acc = List.filter (fun x -> x >= i) l)
+
 let () =
   Alcotest.run "bitset"
     [
@@ -130,9 +224,15 @@ let () =
           Alcotest.test_case "elements ordered" `Quick test_elements_ordered;
           Alcotest.test_case "nth" `Quick test_nth;
           Alcotest.test_case "universe mismatch" `Quick test_universe_mismatch;
+          Alcotest.test_case "next_set_bit" `Quick test_next_set_bit;
+          Alcotest.test_case "iter_from" `Quick test_iter_from;
+          Alcotest.test_case "inter_cardinal / blit" `Quick test_inter_cardinal_and_blit;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_inter; prop_union; prop_diff; prop_cardinal; prop_inplace_agree; prop_nth_total ]
-      );
+          [
+            prop_inter; prop_union; prop_diff; prop_cardinal; prop_inplace_agree;
+            prop_nth_total; prop_next_set_bit_walk; prop_inter_cardinal;
+            prop_iter_from_suffix;
+          ] );
     ]
