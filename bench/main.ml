@@ -380,7 +380,21 @@ let representation_ablation () =
 
 let () =
   let micro_only = Array.exists (fun a -> a = "--micro-only") Sys.argv in
+  (* --ablation-only: just the representation ablation + Gc-aware rows
+     and the BENCH_RESULTS.json rewrite — a ~2 s run for perf-regression
+     checks (CI, before/after comparisons) instead of the full suite. *)
+  let ablation_only = Array.exists (fun a -> a = "--ablation-only") Sys.argv in
   let t0 = Unix.gettimeofday () in
+  if ablation_only then begin
+    representation_ablation ();
+    ignore (engine_gc_row "fig8/ecf_all_n20+gc" Engine.ECF Engine.All (Lazy.force pl_subgraph_problem));
+    ignore (engine_gc_row "fig8/rwb_first_n20+gc" Engine.RWB Engine.First (Lazy.force pl_subgraph_problem));
+    ignore (engine_gc_row "fig8/lns_first_n20+gc" Engine.LNS Engine.First (Lazy.force pl_subgraph_problem));
+    ignore (engine_gc_row "fig13/ecf_all_clique6+gc" Engine.ECF Engine.All (Lazy.force clique_problem));
+    write_gc_json ();
+    Printf.printf "# bench complete in %.1f s\n" (Unix.gettimeofday () -. t0);
+    exit 0
+  end;
   (* Part 1: micro benchmarks. *)
   let tests = kernel_tests @ figure_tests @ baseline_tests @ ablation_tests @ symmetry_tests in
   let instances = Instance.[ monotonic_clock ] in

@@ -144,7 +144,23 @@ let mode_conv =
   Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Wire.mode_to_string m))
 
 let embed host_file query_file constraint_arg node_constraint algorithm mode timeout
-    path_hops dedupe optimize_cost =
+    path_hops dedupe optimize_cost stats trace_file =
+  let trace_oc =
+    match trace_file with
+    | None -> None
+    | Some path ->
+        let oc = open_out path in
+        Netembed_telemetry.Telemetry.Span.enable oc;
+        Some oc
+  in
+  let finally_trace () =
+    match trace_oc with
+    | None -> ()
+    | Some oc ->
+        Netembed_telemetry.Telemetry.Span.disable ();
+        close_out oc
+  in
+  Fun.protect ~finally:finally_trace @@ fun () ->
   let host = Graphml.read_file host_file in
   let host =
     (* --paths K: virtual links may ride host paths of up to K hops
@@ -205,6 +221,10 @@ let embed host_file query_file constraint_arg node_constraint algorithm mode tim
               Service.result =
                 { result with Engine.mappings = Option.to_list best } }
       in
+      if stats then
+        prerr_endline
+          (Netembed_telemetry.Telemetry.snapshot_to_json
+             answer.Service.result.Engine.telemetry);
       print_string (Wire.encode_answer answer);
       `Ok ()
 
@@ -250,12 +270,24 @@ let embed_cmd =
            ~doc:"Return only the cheapest mapping by METRIC: total-delay, \
                  max-delay, host-degree, or a numeric node attribute name.")
   in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print the engine telemetry snapshot (visited nodes, constraint \
+                 evaluations, backtracks, depth and domain-size histograms) as \
+                 one JSON line on stderr.")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a JSONL span trace of the run (filter build, descent, \
+                 solutions) to FILE.")
+  in
   Cmd.v
     (Cmd.info "embed" ~doc:"Embed a query network into a hosting network")
     Term.(
       ret
         (const embed $ host_file $ query_file $ constraint_arg $ node_constraint
-        $ algorithm $ mode $ timeout $ path_hops $ dedupe $ optimize_cost))
+        $ algorithm $ mode $ timeout $ path_hops $ dedupe $ optimize_cost $ stats
+        $ trace_file))
 
 let main_cmd =
   let doc = "NETEMBED: a network resource mapping service" in

@@ -5,17 +5,25 @@
 
    Usage:
      netembed_server --host host.graphml [--monitor-every N]
+                     [--metrics-port PORT]
 
    Protocol: frames as defined in Netembed_service.Wire; one answer per
    request; EOF terminates.  With --monitor-every N, a synthetic
    monitoring tick refreshes the model between every N requests, so
-   long-running sessions see drifting measurements. *)
+   long-running sessions see drifting measurements.
+
+   With --metrics-port PORT, a minimal HTTP listener on
+   127.0.0.1:PORT serves the telemetry registry: GET /metrics
+   (Prometheus text exposition), GET /metrics.json, GET /healthz.
+   It runs in its own OCaml domain and reads the live metric cells —
+   safe by the telemetry module's single-writer/racy-reader model. *)
 
 module Model = Netembed_service.Model
 module Service = Netembed_service.Service
 module Wire = Netembed_service.Wire
 module Monitor = Netembed_service.Monitor
 module Rng = Netembed_rng.Rng
+module Telemetry = Netembed_telemetry.Telemetry
 
 let read_frame ic =
   let buf = Buffer.create 1024 in
@@ -30,24 +38,81 @@ let read_frame ic =
   in
   go ()
 
+(* ------------------------------------------------------------------ *)
+(* Metrics exposition (HTTP, one connection at a time)                 *)
+(* ------------------------------------------------------------------ *)
+
+let http_response status content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let route registry path =
+  match path with
+  | "/metrics" ->
+      http_response "200 OK" "text/plain; version=0.0.4; charset=utf-8"
+        (Telemetry.Registry.to_prometheus registry)
+  | "/metrics.json" ->
+      http_response "200 OK" "application/json"
+        (Telemetry.Registry.to_json registry)
+  | "/healthz" -> http_response "200 OK" "text/plain" "ok\n"
+  | _ -> http_response "404 Not Found" "text/plain" "not found\n"
+
+let serve_metrics registry port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 16;
+  let rec loop () =
+    let client, _ = Unix.accept sock in
+    (try
+       let ic = Unix.in_channel_of_descr client in
+       let request_line = try input_line ic with End_of_file -> "" in
+       (* Drain request headers; scrapes have no body. *)
+       (try
+          while String.trim (input_line ic) <> "" do
+            ()
+          done
+        with End_of_file -> ());
+       let path =
+         match String.split_on_char ' ' request_line with
+         | _meth :: p :: _ -> p
+         | _ -> "/"
+       in
+       let response = route registry path in
+       ignore (Unix.write_substring client response 0 (String.length response))
+     with _ -> ());
+    (try Unix.close client with Unix.Unix_error _ -> ());
+    loop ()
+  in
+  loop ()
+
 let () =
   let host_file = ref "" in
   let monitor_every = ref 0 in
+  let metrics_port = ref 0 in
   let speclist =
     [
       ("--host", Arg.Set_string host_file, "FILE hosting network (GraphML), required");
       ("--monitor-every", Arg.Set_int monitor_every,
        "N run a synthetic monitoring tick every N requests (0 = off)");
+      ("--metrics-port", Arg.Set_int metrics_port,
+       "PORT serve GET /metrics on 127.0.0.1:PORT (0 = off)");
     ]
   in
   Arg.parse speclist (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "netembed_server --host FILE [--monitor-every N]";
+    "netembed_server --host FILE [--monitor-every N] [--metrics-port PORT]";
   if !host_file = "" then begin
     prerr_endline "netembed_server: --host is required";
     exit 2
   end;
   let model = Model.of_graphml_file !host_file in
   let service = Service.create model in
+  if !metrics_port > 0 then begin
+    (* A dying scrape connection must not kill the service. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    ignore (Domain.spawn (fun () -> serve_metrics (Service.registry service) !metrics_port))
+  end;
   let monitor =
     if !monitor_every > 0 then Some (Monitor.create (Rng.make 1) model) else None
   in

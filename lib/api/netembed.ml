@@ -51,6 +51,9 @@ module Optimize = Netembed_core.Optimize
 module Path_embed = Netembed_core.Path_embed
 module Symmetry = Netembed_core.Symmetry
 
+(* Observability *)
+module Telemetry = Netembed_telemetry.Telemetry
+
 (* Service layer *)
 module Model = Netembed_service.Model
 module Request = Netembed_service.Request

@@ -51,9 +51,18 @@ let mem t i =
     let w = i / bits_per_word and b = i mod bits_per_word in
     t.words.(w) land (1 lsl b) <> 0
 
+(* Branch-free SWAR popcount: constant ~12 ops per word, where the
+   classic clear-lowest-bit loop costs one iteration per set bit — the
+   difference matters because [diff_into_card] popcounts every word of
+   the candidate domain on every visited search node, and domains near
+   the root are dense.  Masks are the usual 64-bit constants truncated
+   to the 62 payload bits of a word (the top mask bits would exceed
+   OCaml's 63-bit [max_int]). *)
 let popcount x =
-  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
-  go x 0
+  let x = x - ((x lsr 1) land 0x1555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 
@@ -88,6 +97,20 @@ let diff_into ~dst src =
   for i = 0 to Array.length dst.words - 1 do
     dst.words.(i) <- dst.words.(i) land lnot src.words.(i)
   done
+
+(* Fused diff + popcount: the search core observes the candidate-domain
+   size on every visited node, and a separate [cardinal] pass would walk
+   the words a second time on the hottest path in the tree. *)
+let diff_into_card ~dst src =
+  check_same dst src;
+  let dw = dst.words and sw = src.words in
+  let acc = ref 0 in
+  for i = 0 to Array.length dw - 1 do
+    let w = Array.unsafe_get dw i land lnot (Array.unsafe_get sw i) in
+    Array.unsafe_set dw i w;
+    acc := !acc + popcount w
+  done;
+  !acc
 
 let inter_cardinal a b =
   check_same a b;

@@ -41,6 +41,10 @@ val union_into : dst:t -> t -> unit
 val diff_into : dst:t -> t -> unit
 (** [diff_into ~dst src] replaces [dst] with [dst \ src]. *)
 
+val diff_into_card : dst:t -> t -> int
+(** [diff_into_card ~dst src] is [diff_into ~dst src] returning
+    [cardinal dst], in a single pass over the words. *)
+
 val inter : t -> t -> t
 val union : t -> t -> t
 val diff : t -> t -> t

@@ -3,19 +3,21 @@ type t = {
   deadline : float option;
   max_visited : int option;
   cancelled : (unit -> bool) option;
+  depth_counts : int array option;
   mutable count : int;
   mutable spent : bool;
 }
 
 exception Exhausted
 
-let make ?timeout ?max_visited ?cancelled () =
+let make ?timeout ?max_visited ?cancelled ?depth_counts () =
   let started = Unix.gettimeofday () in
   {
     started;
     deadline = Option.map (fun s -> started +. s) timeout;
     max_visited;
     cancelled;
+    depth_counts;
     count = 0;
     spent = false;
   }
@@ -41,6 +43,16 @@ let tick t =
   | Some f when t.count mod clock_check_interval = 0 && f () -> t.spent <- true
   | Some _ | None -> ());
   if t.spent then raise Exhausted
+
+(* The depth-aware tick of the search cores: one extra option match and
+   an array increment over [tick] — no allocation either way.  The
+   counts array is the engine's Domain_store.depth_counts, sized
+   depths + 1, so any depth the cores tick at is in bounds. *)
+let tick_at t ~depth =
+  (match t.depth_counts with
+  | Some c -> c.(depth) <- c.(depth) + 1
+  | None -> ());
+  tick t
 
 let visited t = t.count
 let exhausted t = t.spent

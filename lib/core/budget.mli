@@ -8,11 +8,22 @@
 
 type t
 
-val make : ?timeout:float -> ?max_visited:int -> ?cancelled:(unit -> bool) -> unit -> t
+val make :
+  ?timeout:float ->
+  ?max_visited:int ->
+  ?cancelled:(unit -> bool) ->
+  ?depth_counts:int array ->
+  unit ->
+  t
 (** [timeout] in seconds of wall-clock time from [make]; [cancelled] is
     polled alongside the clock and aborts the search when it returns
     true — the cooperative cancellation hook used by the parallel
-    searchers to stop losers of a race. *)
+    searchers to stop losers of a race.  [depth_counts], when given,
+    receives one increment per {!tick_at} at the visit's search depth —
+    the engine passes the preallocated array owned by its
+    {!Domain_store} (length [depths + 1], covering every depth the
+    cores tick at), so instrumented searches allocate nothing per
+    visited node. *)
 
 val unlimited : unit -> t
 
@@ -23,6 +34,11 @@ val tick : t -> unit
     @raise Exhausted when the budget is exceeded.  The wall clock and
     the cancellation hook are consulted every 64 ticks, keeping both
     the overhead and the worst-case timeout overshoot negligible. *)
+
+val tick_at : t -> depth:int -> unit
+(** {!tick} plus an increment of the attached depth counter (a no-op
+    without one).  The search cores use this so visit ticks feed the
+    depth distribution in one call. *)
 
 val visited : t -> int
 val exhausted : t -> bool

@@ -77,11 +77,11 @@ let search ?root_candidates ?store (p : Problem.t) (f : Filter.t) ~candidate_ord
             incr i
           done
     end;
-    Domain_store.exclude_used store ~depth;
+    Domain_store.exclude_used_observed store ~depth;
     Domain_store.domain store ~depth
   in
   let rec go depth =
-    Budget.tick budget;
+    Budget.tick_at budget ~depth;
     if depth = nq then begin
       match on_solution (Mapping.of_array (Array.copy assignment)) with
       | `Continue -> ()
@@ -108,7 +108,8 @@ let search ?root_candidates ?store (p : Problem.t) (f : Filter.t) ~candidate_ord
             Domain_store.release_used store h;
             assignment.(q) <- -1;
             r := Bitset.next_set_bit dom (h + 1)
-          done
+          done;
+          Domain_store.note_backtrack store ~depth
       | Random rng ->
           let buf = Domain_store.order_buffer store ~depth in
           let count = Domain_store.fill_order_buffer store ~depth in
@@ -120,7 +121,8 @@ let search ?root_candidates ?store (p : Problem.t) (f : Filter.t) ~candidate_ord
             go (depth + 1);
             Domain_store.release_used store h;
             assignment.(q) <- -1
-          done
+          done;
+          Domain_store.note_backtrack store ~depth
     end
   in
   if nq = 0 then ignore (on_solution (Mapping.of_array [||]))

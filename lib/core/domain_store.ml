@@ -1,4 +1,5 @@
 module Bitset = Netembed_bitset.Bitset
+module Telemetry = Netembed_telemetry.Telemetry
 
 type t = {
   universe : int;
@@ -8,6 +9,15 @@ type t = {
   used : Bitset.t;
   mutable domains_built : int;
   mutable intersections : int;
+  (* Telemetry state, preallocated here so instrumented searches stay
+     allocation-free in steady state.  Search depth is bounded by
+     [depths] and domain cardinality by [universe], so both
+     distributions are kept as exact count arrays — one increment per
+     visited node, no histogram call on the hot path — and folded into
+     log-bucketed Telemetry histograms only at snapshot time. *)
+  depth_counts : int array;
+  domain_size_counts : int array;
+  backtracks : int array;
 }
 
 type stats = {
@@ -16,6 +26,7 @@ type stats = {
   scratch_words : int;
   domains_built : int;
   intersections : int;
+  backtracks : int;
 }
 
 let create ~universe ~depths : t =
@@ -28,6 +39,11 @@ let create ~universe ~depths : t =
     used = Bitset.create universe;
     domains_built = 0;
     intersections = 0;
+    (* +1: the search ticks once more at depth = depths when a complete
+       assignment is reached. *)
+    depth_counts = Array.make (depths + 1) 0;
+    domain_size_counts = Array.make (universe + 1) 0;
+    backtracks = Array.make (max 1 depths) 0;
   }
 
 let universe (t : t) = t.universe
@@ -63,6 +79,33 @@ let restrict (t : t) ~depth src =
 
 let exclude_used (t : t) ~depth = Bitset.diff_into ~dst:t.scratch.(depth) t.used
 
+let depth_counts (t : t) = t.depth_counts
+
+let hist_of_counts counts =
+  let h = Telemetry.Histogram.make () in
+  Array.iteri (fun v n -> Telemetry.Histogram.observe_n h v n) counts;
+  h
+
+let depth_hist (t : t) = hist_of_counts t.depth_counts
+let domain_size_hist (t : t) = hist_of_counts t.domain_size_counts
+
+let observe_domain (t : t) ~depth =
+  let card = Bitset.cardinal t.scratch.(depth) in
+  t.domain_size_counts.(card) <- t.domain_size_counts.(card) + 1
+
+(* Fused [exclude_used] + [observe_domain] for the DFS hot path: the
+   diff pass already touches every word, so the domain size falls out of
+   it for free instead of costing a second walk per visited node. *)
+let exclude_used_observed (t : t) ~depth =
+  let card = Bitset.diff_into_card ~dst:t.scratch.(depth) t.used in
+  t.domain_size_counts.(card) <- t.domain_size_counts.(card) + 1
+
+let note_backtrack (t : t) ~depth =
+  t.backtracks.(depth) <- t.backtracks.(depth) + 1
+
+let backtracks_by_depth (t : t) = t.backtracks
+let backtrack_total (t : t) = Array.fold_left ( + ) 0 t.backtracks
+
 let order_buffer (t : t) ~depth = t.order_bufs.(depth)
 
 let fill_order_buffer (t : t) ~depth =
@@ -88,8 +131,10 @@ let stats (t : t) : stats =
       Array.fold_left (fun acc b -> acc + max 1 (words_of b)) (max 1 (words_of t.used)) t.scratch;
     domains_built = t.domains_built;
     intersections = t.intersections;
+    backtracks = backtrack_total t;
   }
 
 let pp_stats ppf s =
-  Format.fprintf ppf "universe=%d depths=%d scratch_words=%d domains=%d intersections=%d"
-    s.universe s.depths s.scratch_words s.domains_built s.intersections
+  Format.fprintf ppf
+    "universe=%d depths=%d scratch_words=%d domains=%d intersections=%d backtracks=%d"
+    s.universe s.depths s.scratch_words s.domains_built s.intersections s.backtracks

@@ -75,6 +75,49 @@ val fill_order_buffer : t -> depth:int -> int
     buffer (ascending) and return how many there are.  RWB shuffles
     that prefix in place instead of copying the candidate set. *)
 
+(** {1 Telemetry}
+
+    All telemetry state is preallocated by {!create}, so the search
+    cores can record into it without allocating in steady state: depth
+    is bounded by [depths] and domain cardinality by [universe], so both
+    distributions live in exact count arrays (one increment per visited
+    node).  The counters survive {!reset} (they are cumulative per
+    store); {!depth_hist} and {!domain_size_hist} fold them into fresh
+    log-bucketed histograms, which parallel searchers merge at join via
+    {!Netembed_telemetry.Telemetry.Histogram.merge_into}. *)
+
+val depth_counts : t -> int array
+(** Per-depth visit counters, length [depths + 1] (a complete
+    assignment ticks once at [depth = depths]) — fed by
+    {!Budget.tick_at} when the engine attaches them to the budget.
+    Owned by the store; read-only by convention. *)
+
+val depth_hist : t -> Netembed_telemetry.Telemetry.Histogram.t
+(** Distribution of search depths over visited nodes: a fresh histogram
+    folded from {!depth_counts} at call time. *)
+
+val domain_size_hist : t -> Netembed_telemetry.Telemetry.Histogram.t
+(** Distribution of candidate-domain cardinalities at build time — fed
+    by {!observe_domain}; a fresh histogram folded at call time. *)
+
+val observe_domain : t -> depth:int -> unit
+(** Record the cardinality of the current scratch domain of [depth]
+    into {!domain_size_hist}. *)
+
+val exclude_used_observed : t -> depth:int -> unit
+(** [exclude_used] and [observe_domain] fused into a single pass over
+    the domain's words — what the DFS hot path calls per visited node. *)
+
+val note_backtrack : t -> depth:int -> unit
+(** Count one exhausted candidate enumeration at [depth] (the searcher
+    returning to its parent). *)
+
+val backtracks_by_depth : t -> int array
+(** The per-depth backtrack counters (owned by the store; read-only by
+    convention). *)
+
+val backtrack_total : t -> int
+
 (** {1 Statistics} *)
 
 type stats = {
@@ -83,6 +126,7 @@ type stats = {
   scratch_words : int;  (** words held by the scratch pool (incl. [used]) *)
   domains_built : int;  (** [load*] calls — one per visited search node with candidates *)
   intersections : int;  (** [restrict] calls — filter-cell intersections performed *)
+  backtracks : int;  (** {!note_backtrack} calls — exhausted enumerations *)
 }
 
 val stats : t -> stats

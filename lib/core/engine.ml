@@ -1,4 +1,5 @@
 module Rng = Netembed_rng.Rng
+module Telemetry = Netembed_telemetry.Telemetry
 
 type algorithm = ECF | RWB | LNS
 
@@ -34,41 +35,72 @@ type result = {
   visited : int;
   filter_evals : int;
   domain_stats : Domain_store.stats option;
+  telemetry : Telemetry.snapshot;
 }
 
+(* Process-wide per-algorithm counters, registered once at module init
+   so the exposition shows all three algorithms from the start.  Each
+   run adds its totals after the search finishes — never from the hot
+   path. *)
+let global_counters =
+  List.map
+    (fun a ->
+      let labels = [ ("algorithm", algorithm_name a) ] in
+      let reg = Telemetry.default_registry in
+      ( a,
+        Telemetry.Registry.counter reg ~labels
+          ~help:"Search-tree nodes visited" "netembed_visited_nodes_total",
+        Telemetry.Registry.counter reg ~labels
+          ~help:"Feasible mappings found" "netembed_mappings_found_total",
+        Telemetry.Registry.counter reg ~labels
+          ~help:"Constraint-expression evaluations (all phases)"
+          "netembed_constraint_evals_total" ))
+    all_algorithms
+
 let run ?(options = default_options) algorithm problem =
-  let budget = Budget.make ?timeout:options.timeout ?max_visited:options.max_visited () in
+  let store =
+    Domain_store.create
+      ~universe:(Netembed_graph.Graph.node_count problem.Problem.host)
+      ~depths:(Netembed_graph.Graph.node_count problem.Problem.query)
+  in
+  let budget =
+    Budget.make ?timeout:options.timeout ?max_visited:options.max_visited
+      ~depth_counts:(Domain_store.depth_counts store) ()
+  in
   let found = ref [] in
   let count = ref 0 in
   let time_to_first = ref None in
   let limit = match options.mode with First -> 1 | All -> max_int | At_most k -> max k 0 in
   let on_solution m =
     if !time_to_first = None then time_to_first := Some (Budget.elapsed budget);
+    Telemetry.Span.event "solution";
     if options.collect then found := m :: !found;
     incr count;
     if !count >= limit then `Stop else `Continue
   in
-  let filter_evals = ref 0 in
-  let store =
-    Domain_store.create
-      ~universe:(Netembed_graph.Graph.node_count problem.Problem.host)
-      ~depths:(Netembed_graph.Graph.node_count problem.Problem.query)
-  in
+  (* The problem's evaluation counter is shared across runs (and across
+     the filter build and the searchers), so per-run figures are
+     deltas. *)
+  let evals_before = Problem.constraint_evals problem in
   let ran_out =
     try
       if limit = 0 then raise Exit;
       (match algorithm with
       | ECF | RWB ->
-          let filter = Filter.build problem in
-          filter_evals := Filter.constraint_evaluations filter;
+          let filter =
+            Telemetry.Span.with_span "filter_build" (fun () -> Filter.build problem)
+          in
           let candidate_order =
             match algorithm with
             | ECF -> Dfs.Ascending
             | RWB -> Dfs.Random (Rng.make options.seed)
             | LNS -> assert false
           in
-          Dfs.search ~store problem filter ~candidate_order ~budget ~on_solution
-      | LNS -> Lns.search ~store problem ~budget ~on_solution);
+          Telemetry.Span.with_span "descent" (fun () ->
+              Dfs.search ~store problem filter ~candidate_order ~budget ~on_solution)
+      | LNS ->
+          Telemetry.Span.with_span "descent" (fun () ->
+              Lns.search ~store problem ~budget ~on_solution));
       false
     with
     | Budget.Exhausted -> true
@@ -79,15 +111,44 @@ let run ?(options = default_options) algorithm problem =
     if ran_out then if mappings = [] then Inconclusive else Partial
     else Complete
   in
+  let constraint_evals = Problem.constraint_evals problem - evals_before in
+  let elapsed = Budget.elapsed budget in
+  let visited = Budget.visited budget in
+  let stats = Domain_store.stats store in
+  let telemetry =
+    {
+      Telemetry.algorithm = algorithm_name algorithm;
+      visited;
+      found = !count;
+      elapsed_s = elapsed;
+      time_to_first_s = !time_to_first;
+      constraint_evals;
+      domains_built = stats.Domain_store.domains_built;
+      intersections = stats.Domain_store.intersections;
+      backtracks = stats.Domain_store.backtracks;
+      (* depth_hist / domain_size_hist fold the store's exact count
+         arrays into fresh histograms, so no copy is needed. *)
+      max_depth = Telemetry.Histogram.max_observed (Domain_store.depth_hist store);
+      depth_histogram = Domain_store.depth_hist store;
+      domain_size_histogram = Domain_store.domain_size_hist store;
+    }
+  in
+  (match List.find_opt (fun (a, _, _, _) -> a = algorithm) global_counters with
+  | Some (_, visited_c, found_c, evals_c) ->
+      Telemetry.Counter.add visited_c visited;
+      Telemetry.Counter.add found_c !count;
+      Telemetry.Counter.add evals_c constraint_evals
+  | None -> ());
   {
     mappings;
     found = !count;
     outcome;
-    elapsed = Budget.elapsed budget;
+    elapsed;
     time_to_first = !time_to_first;
-    visited = Budget.visited budget;
-    filter_evals = !filter_evals;
-    domain_stats = Some (Domain_store.stats store);
+    visited;
+    filter_evals = constraint_evals;
+    domain_stats = Some stats;
+    telemetry;
   }
 
 let find_first ?timeout algorithm problem =

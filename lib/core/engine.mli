@@ -48,11 +48,21 @@ type result = {
   elapsed : float;  (** seconds, total *)
   time_to_first : float option;  (** seconds until the first mapping *)
   visited : int;  (** search-tree nodes visited *)
-  filter_evals : int;  (** constraint evaluations in filter build (0 for LNS) *)
+  filter_evals : int;
+      (** constraint-expression evaluations during this run, all phases:
+          the filter build for ECF/RWB, the lazy edge checks for LNS.
+          (Historically this was the filter-build count only, which read
+          0 for LNS; all evaluation sites now feed one shared counter —
+          {!Problem.eval_counter} — so the algorithms report on the same
+          scale.) *)
   domain_stats : Domain_store.stats option;
       (** scratch-pool footprint and per-run domain-computation counts
           of the bitset search core ({!Domain_store.stats}); [None] only
           when the run was answered without building a store *)
+  telemetry : Netembed_telemetry.Telemetry.snapshot;
+      (** the unified per-run snapshot: the scalar fields above plus
+          depth/domain-size histograms and backtrack counts — what the
+          CLI's [--stats] prints *)
 }
 
 val run : ?options:options -> algorithm -> Problem.t -> result

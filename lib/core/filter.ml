@@ -15,7 +15,6 @@ type t = {
   node_cands : Bitset.t array;
   node_cand_views : int array array;
   ls_order : int array;
-  mutable evals : int;
   mutable nonempty_cells : int;
 }
 
@@ -42,7 +41,6 @@ let build ?(ordering = Connected_lemma1) (p : Problem.t) =
       node_cands = Array.make (max 1 nq) (Bitset.create nr);
       node_cand_views = Array.make (max 1 nq) [||];
       ls_order = [||];
-      evals = 0;
       nonempty_cells = 0;
     }
   in
@@ -73,7 +71,10 @@ let build ?(ordering = Connected_lemma1) (p : Problem.t) =
       Bitset.add inner partner
     in
     let test he u v =
-      t.evals <- t.evals + 1;
+      (* All evaluations flow through the problem's shared telemetry
+         counter, so ECF/RWB filter builds and LNS lazy checks report
+         on the same scale. *)
+      Netembed_telemetry.Telemetry.Counter.incr (Problem.eval_counter p);
       let env =
         Eval.env ~v_edge:Attrs.empty ~r_edge:(Graph.edge_attrs p.host he)
           ~v_source:Attrs.empty ~v_target:Attrs.empty
@@ -306,5 +307,4 @@ let candidates_from t ~q_assigned ~r_assigned ~q_next =
 let node_candidates_bits t q = t.node_cands.(q)
 let node_candidates t q = t.node_cand_views.(q)
 let order t = t.ls_order
-let constraint_evaluations t = t.evals
 let cell_count t = t.nonempty_cells

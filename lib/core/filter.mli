@@ -78,10 +78,6 @@ val order : t -> Graph.node array
     most edges into the prefix (ties: fewest candidates, then highest
     degree), reseeding by candidate count across query components. *)
 
-val constraint_evaluations : t -> int
-(** Number of edge-pair constraint evaluations performed by [build] —
-    reported by the benchmarks. *)
-
 val cell_count : t -> int
 (** Number of non-empty cells — the space-cost metric that motivates
     LNS. *)

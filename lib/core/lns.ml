@@ -106,7 +106,7 @@ let search ?store (p : Problem.t) ~budget ~on_solution =
       assignment.(q) <- -1
     in
     let rec extend () =
-      Budget.tick budget;
+      Budget.tick_at budget ~depth:!covered_count;
       if !covered_count = nq then begin
         match on_solution (Mapping.of_array (Array.copy assignment)) with
         | `Continue -> ()
@@ -117,13 +117,15 @@ let search ?store (p : Problem.t) ~budget ~on_solution =
         | None -> ()
         | Some (`Seed q) ->
             (* Fresh component: any acceptable, unused host node. *)
+            let depth = !covered_count in
             for r = 0 to nr - 1 do
               if (not (Bitset.mem used r)) && Problem.node_ok p ~q ~r then begin
                 cover q r;
                 extend ();
                 uncover q r
               end
-            done
+            done;
+            Domain_store.note_backtrack store ~depth
         | Some (`Neighbour q) ->
             let conn = connecting_edges q in
             (* Enumerate candidates from the host neighbourhood of the
@@ -154,6 +156,7 @@ let search ?store (p : Problem.t) ~budget ~on_solution =
                   (match Graph.kind p.Problem.host with
                   | Graph.Undirected -> Graph.succ p.host anchor
                   | Graph.Directed -> Graph.succ p.host anchor @ Graph.pred p.host anchor);
+                Domain_store.observe_domain store ~depth;
                 Bitset.iter
                   (fun r ->
                     if edges_ok q r conn then begin
@@ -161,7 +164,8 @@ let search ?store (p : Problem.t) ~budget ~on_solution =
                       extend ();
                       uncover q r
                     end)
-                  dom)
+                  dom;
+                Domain_store.note_backtrack store ~depth)
     in
     match extend () with () -> () | exception Stop_search -> ()
   end

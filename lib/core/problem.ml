@@ -1,6 +1,7 @@
 open Netembed_graph
 module Eval = Netembed_expr.Eval
 module Ast = Netembed_expr.Ast
+module Telemetry = Netembed_telemetry.Telemetry
 
 type t = {
   host : Graph.t;
@@ -15,6 +16,7 @@ type t = {
   (* Specialized residuals per (query edge, orientation); index 2*qe for
      the stored orientation, 2*qe+1 for the reverse.  Filled lazily. *)
   residuals : Ast.t option array;
+  evals : Telemetry.Counter.t;
 }
 
 let make ?node_constraint ?(degree_filter = true) ~host ~query edge_constraint =
@@ -33,7 +35,11 @@ let make ?node_constraint ?(degree_filter = true) ~host ~query edge_constraint =
     host_in_degree = Array.init (Graph.node_count host) (Graph.in_degree host);
     query_in_degree = Array.init (Graph.node_count query) (Graph.in_degree query);
     residuals = Array.make (max 1 (2 * Graph.edge_count query)) None;
+    evals = Telemetry.Counter.make ();
   }
+
+let eval_counter t = t.evals
+let constraint_evals t = Telemetry.Counter.value t.evals
 
 let residual t qe ~q_src ~q_dst =
   let stored_src, _ = Graph.endpoints t.query qe in
@@ -52,6 +58,7 @@ let residual t qe ~q_src ~q_dst =
       r
 
 let edge_pair_ok t ~qe ~q_src ~q_dst ~he ~r_src ~r_dst =
+  Telemetry.Counter.incr t.evals;
   let residual = residual t qe ~q_src ~q_dst in
   let env =
     Eval.env ~v_edge:Netembed_attr.Attrs.empty
@@ -70,6 +77,7 @@ let node_ok t ~q ~r =
   match t.node_constraint with
   | None -> true
   | Some c ->
+      Telemetry.Counter.incr t.evals;
       let attrs_q = Graph.node_attrs t.query q and attrs_r = Graph.node_attrs t.host r in
       let env =
         Eval.env ~v_edge:Netembed_attr.Attrs.empty ~r_edge:Netembed_attr.Attrs.empty

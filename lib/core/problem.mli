@@ -23,6 +23,12 @@ type t = private {
   query_in_degree : int array;
   residuals : Netembed_expr.Ast.t option array;
       (** lazy per-(query edge, orientation) specialized constraints *)
+  evals : Netembed_telemetry.Telemetry.Counter.t;
+      (** the shared constraint-evaluation counter: every
+          constraint-expression evaluation against this problem — the
+          filter build of ECF/RWB, the lazy edge checks of LNS and the
+          node-constraint tests — increments it, so the engine reports
+          one number for all three algorithms *)
 }
 
 val make :
@@ -45,6 +51,16 @@ val edge_pair_ok :
 
 val node_ok : t -> q:Graph.node -> r:Graph.node -> bool
 (** Node-level acceptability: degree filter plus the node constraint. *)
+
+val eval_counter : t -> Netembed_telemetry.Telemetry.Counter.t
+(** The shared constraint-evaluation counter (see the [evals] field).
+    Single-writer: concurrent searchers must not share one problem's
+    lazy evaluation path (the parallel searchers only read prebuilt
+    filter state, so this holds). *)
+
+val constraint_evals : t -> int
+(** [Counter.value (eval_counter t)] — cumulative over the problem's
+    lifetime; the engine reports per-run deltas. *)
 
 val residual_for_edge :
   t -> q_src:Graph.node -> q_dst:Graph.node -> Netembed_expr.Ast.t

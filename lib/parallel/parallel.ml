@@ -7,6 +7,7 @@ module Engine = Netembed_core.Engine
 module Domain_store = Netembed_core.Domain_store
 module Rng = Netembed_rng.Rng
 module Graph = Netembed_graph.Graph
+module Telemetry = Netembed_telemetry.Telemetry
 
 (* Scratch domains are mutable single-searcher state: every spawned
    domain builds its own store inside the domain, so the read-only
@@ -18,6 +19,37 @@ let private_store problem =
 
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
+(* Each spawned domain records into a registry it owns (single-writer),
+   filled from its private store and budget after its search returns;
+   the spawner merges them into the caller's registry at join.  Metric
+   names match the sequential engine's, so merged counts accumulate
+   onto the same series. *)
+let domain_registry ~algorithm ~budget ~store ~found =
+  let reg = Telemetry.Registry.create () in
+  let labels = [ ("algorithm", algorithm) ] in
+  let visited =
+    Telemetry.Registry.counter reg ~labels ~help:"Search-tree nodes visited"
+      "netembed_visited_nodes_total"
+  in
+  Telemetry.Counter.add visited (Budget.visited budget);
+  let found_c =
+    Telemetry.Registry.counter reg ~labels ~help:"Feasible mappings found"
+      "netembed_mappings_found_total"
+  in
+  Telemetry.Counter.add found_c found;
+  let depth_h =
+    Telemetry.Registry.histogram reg ~labels
+      ~help:"Visits per search depth" "netembed_search_depth"
+  in
+  Telemetry.Histogram.merge_into ~dst:depth_h (Domain_store.depth_hist store);
+  let size_h =
+    Telemetry.Registry.histogram reg ~labels
+      ~help:"Candidate-domain cardinality per computed domain"
+      "netembed_domain_size"
+  in
+  Telemetry.Histogram.merge_into ~dst:size_h (Domain_store.domain_size_hist store);
+  reg
+
 (* Round-robin partition of a sorted candidate array into [k] sorted
    shares. *)
 let partition k roots =
@@ -25,7 +57,7 @@ let partition k roots =
   Array.iteri (fun i r -> shares.(i mod k) <- r :: shares.(i mod k)) roots;
   Array.map (fun l -> Array.of_list (List.rev l)) shares
 
-let ecf_all ?domains ?timeout ?filter problem =
+let ecf_all ?domains ?timeout ?filter ?(registry = Telemetry.default_registry) problem =
   let k = match domains with Some d -> max 1 d | None -> default_domains () in
   Problem.prepare problem;
   let filter = match filter with Some f -> f | None -> Filter.build problem in
@@ -36,8 +68,10 @@ let ecf_all ?domains ?timeout ?filter problem =
     let shares = partition k roots in
     let run share () =
       let acc = ref [] in
-      let budget = Budget.make ?timeout () in
       let store = private_store problem in
+      let budget =
+        Budget.make ?timeout ~depth_counts:(Domain_store.depth_counts store) ()
+      in
       let exhausted =
         try
           Dfs.search ~root_candidates:share ~store problem filter
@@ -48,14 +82,22 @@ let ecf_all ?domains ?timeout ?filter problem =
           false
         with Budget.Exhausted -> true
       in
-      (List.rev !acc, exhausted)
+      let mappings = List.rev !acc in
+      let reg =
+        domain_registry ~algorithm:"ECF" ~budget ~store
+          ~found:(List.length mappings)
+      in
+      (mappings, exhausted, reg)
     in
     let handles =
       Array.map (fun share -> Domain.spawn (run share)) shares
     in
     let results = Array.map Domain.join handles in
-    let mappings = List.concat_map fst (Array.to_list results) in
-    let any_exhausted = Array.exists snd results in
+    Array.iter
+      (fun (_, _, reg) -> Telemetry.Registry.merge_into ~dst:registry reg)
+      results;
+    let mappings = List.concat_map (fun (m, _, _) -> m) (Array.to_list results) in
+    let any_exhausted = Array.exists (fun (_, e, _) -> e) results in
     let outcome =
       if not any_exhausted then Engine.Complete
       else if mappings = [] then Engine.Inconclusive
@@ -64,27 +106,34 @@ let ecf_all ?domains ?timeout ?filter problem =
     (mappings, outcome)
   end
 
-let rwb_race ?domains ?timeout ?(seed = 42) problem =
+let rwb_race ?domains ?timeout ?(seed = 42) ?(registry = Telemetry.default_registry)
+    problem =
   let k = match domains with Some d -> max 1 d | None -> default_domains () in
   Problem.prepare problem;
   let filter = Filter.build problem in
   let winner : Mapping.t option Atomic.t = Atomic.make None in
   let run i () =
-    let budget =
-      Budget.make ?timeout ~cancelled:(fun () -> Atomic.get winner <> None) ()
-    in
     let store = private_store problem in
-    try
-      Dfs.search ~store problem filter
-        ~candidate_order:(Dfs.Random (Rng.make (seed + (1000 * i))))
-        ~budget
-        ~on_solution:(fun m ->
-          ignore (Atomic.compare_and_set winner None (Some m));
-          `Stop)
-    with Budget.Exhausted -> ()
+    let budget =
+      Budget.make ?timeout
+        ~cancelled:(fun () -> Atomic.get winner <> None)
+        ~depth_counts:(Domain_store.depth_counts store) ()
+    in
+    let found = ref 0 in
+    (try
+       Dfs.search ~store problem filter
+         ~candidate_order:(Dfs.Random (Rng.make (seed + (1000 * i))))
+         ~budget
+         ~on_solution:(fun m ->
+           incr found;
+           ignore (Atomic.compare_and_set winner None (Some m));
+           `Stop)
+     with Budget.Exhausted -> ());
+    domain_registry ~algorithm:"RWB" ~budget ~store ~found:!found
   in
   let handles = Array.init k (fun i -> Domain.spawn (run i)) in
-  Array.iter Domain.join handles;
+  let regs = Array.map Domain.join handles in
+  Array.iter (fun reg -> Telemetry.Registry.merge_into ~dst:registry reg) regs;
   Atomic.get winner
 
 let speedup_probe ?domains problem =

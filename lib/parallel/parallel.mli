@@ -21,7 +21,14 @@
     read-only.  Mutable search state is never shared: each spawned
     domain allocates its own {!Netembed_core.Domain_store} scratch pool
     inside the domain, so the bitset filter cells are read concurrently
-    while candidate domains are computed into private scratch. *)
+    while candidate domains are computed into private scratch.
+
+    Telemetry follows the same single-writer discipline: each spawned
+    domain fills a private {!Netembed_telemetry.Telemetry.Registry}
+    (visited/found counters plus depth and domain-size histograms,
+    labeled by algorithm) and the spawner merges them into [registry]
+    at join — {!Netembed_telemetry.Telemetry.default_registry} unless
+    overridden. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count () - 1], at least 1. *)
@@ -30,6 +37,7 @@ val ecf_all :
   ?domains:int ->
   ?timeout:float ->
   ?filter:Netembed_core.Filter.t ->
+  ?registry:Netembed_telemetry.Telemetry.Registry.t ->
   Netembed_core.Problem.t ->
   Netembed_core.Mapping.t list * Netembed_core.Engine.outcome
 (** All feasible embeddings (order unspecified).  Outcome is [Complete]
@@ -44,6 +52,7 @@ val rwb_race :
   ?domains:int ->
   ?timeout:float ->
   ?seed:int ->
+  ?registry:Netembed_telemetry.Telemetry.Registry.t ->
   Netembed_core.Problem.t ->
   Netembed_core.Mapping.t option
 (** First feasible embedding found by any racer, if any. *)

@@ -3,11 +3,49 @@ module Problem = Netembed_core.Problem
 module Mapping = Netembed_core.Mapping
 module Expr = Netembed_expr.Expr
 module Ast = Netembed_expr.Ast
+module Telemetry = Netembed_telemetry.Telemetry
 
-type t = { model : Model.t }
+type t = {
+  model : Model.t;
+  registry : Telemetry.Registry.t;
+  requests : Telemetry.Counter.t;
+  request_errors : Telemetry.Counter.t;
+  latency_us : Telemetry.Histogram.t;
+  relaxation_rounds : Telemetry.Counter.t;
+  model_revision : Telemetry.Gauge.t;
+}
 
-let create model = { model }
+let create ?(registry = Telemetry.default_registry) model =
+  let t =
+    {
+      model;
+      registry;
+      requests =
+        Telemetry.Registry.counter registry
+          ~help:"Requests submitted to the mapping service" "netembed_requests_total";
+      request_errors =
+        Telemetry.Registry.counter registry
+          ~help:"Requests rejected (malformed constraints or impossible query)"
+          "netembed_request_errors_total";
+      latency_us =
+        Telemetry.Registry.histogram registry
+          ~help:"End-to-end request latency in microseconds"
+          "netembed_request_latency_us";
+      relaxation_rounds =
+        Telemetry.Registry.counter registry
+          ~help:"Constraint-relaxation rounds applied during negotiation"
+          "netembed_relaxation_rounds_total";
+      model_revision =
+        Telemetry.Registry.gauge registry
+          ~help:"Network-model revision the latest answer was computed against"
+          "netembed_model_revision";
+    }
+  in
+  Telemetry.Gauge.set t.model_revision (float_of_int (Model.revision model));
+  t
+
 let model t = t.model
+let registry t = t.registry
 
 type answer = {
   request : Request.t;
@@ -24,8 +62,18 @@ module Log = (val Logs.src_log src : Logs.LOG)
 let reservation_guard = Expr.parse_exn "!rSource.reserved"
 
 let submit t (request : Request.t) =
+  let t0 = Unix.gettimeofday () in
+  Telemetry.Counter.incr t.requests;
+  let finish outcome =
+    let dt_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+    Telemetry.Histogram.observe t.latency_us dt_us;
+    (match outcome with
+    | Error _ -> Telemetry.Counter.incr t.request_errors
+    | Ok _ -> ());
+    outcome
+  in
   match Request.parse_constraints request with
-  | Error m -> Error m
+  | Error m -> finish (Error m)
   | Ok (edge_constraint, node_constraint) -> (
       let node_constraint =
         match node_constraint with
@@ -36,7 +84,7 @@ let submit t (request : Request.t) =
       match
         Problem.make ~node_constraint ~host ~query:request.Request.query edge_constraint
       with
-      | exception Invalid_argument m -> Error m
+      | exception Invalid_argument m -> finish (Error m)
       | problem ->
           let options =
             {
@@ -45,14 +93,19 @@ let submit t (request : Request.t) =
               timeout = request.Request.timeout;
             }
           in
-          let result = Engine.run ~options request.Request.algorithm problem in
+          let result =
+            Telemetry.Span.with_span "service_submit" (fun () ->
+                Engine.run ~options request.Request.algorithm problem)
+          in
           Log.debug (fun m ->
               m "query %d nodes via %s: %d mapping(s), %s"
                 (Netembed_graph.Graph.node_count request.Request.query)
                 (Engine.algorithm_name request.Request.algorithm)
                 (List.length result.Engine.mappings)
                 (Engine.outcome_name result.Engine.outcome));
-          Ok { request; result; model_revision = Model.revision t.model })
+          let revision = Model.revision t.model in
+          Telemetry.Gauge.set t.model_revision (float_of_int revision);
+          finish (Ok { request; result; model_revision = revision }))
 
 let submit_with_relaxation t request ~steps ~factor =
   let rec go request round =
@@ -61,7 +114,10 @@ let submit_with_relaxation t request ~steps ~factor =
     | Ok answer ->
         if answer.result.Engine.mappings <> [] || round >= steps then
           Ok (answer, round)
-        else go (Request.relax request factor) (round + 1)
+        else begin
+          Telemetry.Counter.incr t.relaxation_rounds;
+          go (Request.relax request factor) (round + 1)
+        end
   in
   go request 0
 

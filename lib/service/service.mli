@@ -8,8 +8,20 @@
 
 type t
 
-val create : Model.t -> t
+val create : ?registry:Netembed_telemetry.Telemetry.Registry.t -> Model.t -> t
+(** The service registers its request metrics
+    ([netembed_requests_total], [netembed_request_errors_total], the
+    [netembed_request_latency_us] histogram,
+    [netembed_relaxation_rounds_total] and the [netembed_model_revision]
+    gauge) in [registry] —
+    {!Netembed_telemetry.Telemetry.default_registry} unless overridden
+    (tests pass a private one for isolation). *)
+
 val model : t -> Model.t
+
+val registry : t -> Netembed_telemetry.Telemetry.Registry.t
+(** The registry the service records into — what [GET /metrics]
+    serves. *)
 
 type answer = {
   request : Request.t;
@@ -27,7 +39,8 @@ val submit_with_relaxation :
 (** Interactive negotiation: try the request; while no mapping is found
     and fewer than [steps] relaxations were applied, widen the delay
     constraints by [factor] and retry.  Returns the answer together with
-    the number of relaxation rounds used. *)
+    the number of relaxation rounds used (also accumulated onto the
+    [netembed_relaxation_rounds_total] counter). *)
 
 val allocate : t -> answer -> Netembed_core.Mapping.t -> (unit, string) result
 (** Reserve the hosts used by the mapping.  Fails (without reserving

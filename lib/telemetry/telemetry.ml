@@ -1,0 +1,468 @@
+(* Metrics kernel.  Everything here is allocation-free after creation:
+   counters and gauges are single mutable cells, histogram observation
+   is a table lookup plus a few stores, span enter/exit writes into a
+   preallocated stack.  See telemetry.mli for the contract. *)
+
+module Counter = struct
+  type t = { mutable v : int }
+
+  let make () = { v = 0 }
+  let incr t = t.v <- t.v + 1
+
+  let add t n =
+    if n < 0 then invalid_arg "Telemetry.Counter.add: negative increment";
+    t.v <- t.v + n
+
+  let value t = t.v
+  let reset t = t.v <- 0
+  let merge_into ~dst src = dst.v <- dst.v + src.v
+end
+
+module Gauge = struct
+  type t = { mutable g : float }
+
+  let make () = { g = 0.0 }
+  let set t v = t.g <- v
+  let value t = t.g
+end
+
+module Histogram = struct
+  (* Global bucket layout: inclusive upper bounds growing by
+     max(+1, x6/5), i.e. exact up to 10 and ~base-1.2 beyond, with a
+     catch-all max_int bucket.  Computed once at module init so every
+     histogram is one int array over the same layout and merging is
+     element-wise. *)
+  let uppers =
+    let acc = ref [ 0 ] in
+    let u = ref 0 in
+    (* Grow while u * 6 cannot overflow; the catch-all max_int bucket
+       covers the rest. *)
+    while !u <= max_int / 6 do
+      u := max (!u + 1) (!u * 6 / 5);
+      acc := !u :: !acc
+    done;
+    Array.of_list (List.rev (max_int :: !acc))
+
+  let bucket_count = Array.length uppers
+
+  let bucket_upper i =
+    if i < 0 || i >= bucket_count then invalid_arg "Telemetry.Histogram.bucket_upper";
+    uppers.(i)
+
+  (* Hot-path index: a direct table for small values (search depths and
+     candidate-domain sizes are far below 4096), binary search above. *)
+  let small_limit = 4096
+
+  let small_index =
+    let t = Array.make (small_limit + 1) 0 in
+    let b = ref 0 in
+    for v = 1 to small_limit do
+      if v > uppers.(!b) then incr b;
+      t.(v) <- !b
+    done;
+    t
+
+  let bucket_index v =
+    if v <= 0 then 0
+    else if v <= small_limit then Array.unsafe_get small_index v
+    else begin
+      (* First bucket whose upper bound admits v. *)
+      let lo = ref 0 and hi = ref (bucket_count - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if uppers.(mid) >= v then hi := mid else lo := mid + 1
+      done;
+      !lo
+    end
+
+  type t = {
+    buckets : int array;
+    mutable count : int;
+    mutable sum : int;
+    mutable max_o : int;
+  }
+
+  let make () = { buckets = Array.make bucket_count 0; count = 0; sum = 0; max_o = 0 }
+
+  let observe t v =
+    let v = if v < 0 then 0 else v in
+    let i = bucket_index v in
+    Array.unsafe_set t.buckets i (Array.unsafe_get t.buckets i + 1);
+    t.count <- t.count + 1;
+    t.sum <- t.sum + v;
+    if v > t.max_o then t.max_o <- v
+
+  let observe_n t v n =
+    if n < 0 then invalid_arg "Telemetry.Histogram.observe_n";
+    if n > 0 then begin
+      let v = if v < 0 then 0 else v in
+      let i = bucket_index v in
+      Array.unsafe_set t.buckets i (Array.unsafe_get t.buckets i + n);
+      t.count <- t.count + n;
+      t.sum <- t.sum + (v * n);
+      if v > t.max_o then t.max_o <- v
+    end
+
+  let count t = t.count
+  let sum t = t.sum
+  let max_observed t = t.max_o
+
+  let bucket_value t i =
+    if i < 0 || i >= bucket_count then invalid_arg "Telemetry.Histogram.bucket_value";
+    t.buckets.(i)
+
+  let quantile t q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Telemetry.Histogram.quantile";
+    if t.count = 0 then 0.0
+    else begin
+      (* Nearest-rank, as Stats.percentile: rank in [0, count-1]. *)
+      let rank = int_of_float (Float.round (q *. float_of_int (t.count - 1))) in
+      let i = ref 0 and cum = ref t.buckets.(0) in
+      while !cum <= rank && !i < bucket_count - 1 do
+        incr i;
+        cum := !cum + t.buckets.(!i)
+      done;
+      float_of_int uppers.(!i)
+    end
+
+  let reset t =
+    Array.fill t.buckets 0 bucket_count 0;
+    t.count <- 0;
+    t.sum <- 0;
+    t.max_o <- 0
+
+  let copy t =
+    { buckets = Array.copy t.buckets; count = t.count; sum = t.sum; max_o = t.max_o }
+
+  let merge_into ~dst src =
+    for i = 0 to bucket_count - 1 do
+      dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
+    done;
+    dst.count <- dst.count + src.count;
+    dst.sum <- dst.sum + src.sum;
+    if src.max_o > dst.max_o then dst.max_o <- src.max_o
+
+  let fold_nonzero f t acc =
+    let acc = ref acc in
+    for i = 0 to bucket_count - 1 do
+      if t.buckets.(i) > 0 then acc := f uppers.(i) t.buckets.(i) !acc
+    done;
+    !acc
+end
+
+module Span = struct
+  let max_depth = 64
+
+  type state = {
+    mutable out : out_channel option;
+    mutable t0 : float;
+    mutable depth : int;
+    mutable sample_every : int;
+    mutable events : int;
+    names : string array;
+    starts : float array;
+  }
+
+  let st =
+    {
+      out = None;
+      t0 = 0.0;
+      depth = 0;
+      sample_every = 1;
+      events = 0;
+      names = Array.make max_depth "";
+      starts = Array.make max_depth 0.0;
+    }
+
+  let enable oc =
+    st.out <- Some oc;
+    st.t0 <- Unix.gettimeofday ();
+    st.depth <- 0;
+    st.events <- 0
+
+  let disable () =
+    (match st.out with Some oc -> flush oc | None -> ());
+    st.out <- None;
+    st.depth <- 0
+
+  let enabled () = st.out <> None
+
+  let set_sample_every n =
+    if n < 1 then invalid_arg "Telemetry.Span.set_sample_every";
+    st.sample_every <- n
+
+  let now_us () = (Unix.gettimeofday () -. st.t0) *. 1e6
+
+  (* Span names come from code, not user input, but escape the two JSON
+     metacharacters anyway so a stray quote cannot corrupt the log. *)
+  let escape s =
+    if String.exists (fun c -> c = '"' || c = '\\') s then
+      String.concat ""
+        (List.map
+           (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+           (List.init (String.length s) (String.get s)))
+    else s
+
+  let enter name =
+    match st.out with
+    | None -> ()
+    | Some oc ->
+        let d = st.depth in
+        st.depth <- d + 1;
+        if d < max_depth then begin
+          let t = now_us () in
+          st.names.(d) <- name;
+          st.starts.(d) <- t;
+          Printf.fprintf oc "{\"ev\":\"enter\",\"span\":\"%s\",\"depth\":%d,\"t_us\":%.0f}\n"
+            (escape name) d t
+        end
+
+  let exit () =
+    match st.out with
+    | None -> ()
+    | Some oc ->
+        if st.depth > 0 then begin
+          let d = st.depth - 1 in
+          st.depth <- d;
+          if d < max_depth then begin
+            let t = now_us () in
+            Printf.fprintf oc
+              "{\"ev\":\"exit\",\"span\":\"%s\",\"depth\":%d,\"t_us\":%.0f,\"dur_us\":%.0f}\n"
+              (escape st.names.(d)) d t
+              (t -. st.starts.(d))
+          end
+        end
+
+  let event name =
+    match st.out with
+    | None -> ()
+    | Some oc ->
+        st.events <- st.events + 1;
+        if st.events mod st.sample_every = 0 then
+          Printf.fprintf oc "{\"ev\":\"event\",\"name\":\"%s\",\"t_us\":%.0f}\n"
+            (escape name) (now_us ())
+
+  let with_span name f =
+    enter name;
+    Fun.protect ~finally:exit f
+end
+
+module Registry = struct
+  type metric =
+    | Counter of Counter.t
+    | Gauge of Gauge.t
+    | Histogram of Histogram.t
+
+  type entry = { name : string; labels : (string * string) list; help : string; metric : metric }
+
+  type t = {
+    by_key : (string, entry) Hashtbl.t;
+    mutable order : string list;  (** registration order, newest first *)
+  }
+
+  let create () = { by_key = Hashtbl.create 32; order = [] }
+
+  let valid_name n =
+    n <> ""
+    && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+         n
+
+  let escape_label v =
+    String.concat ""
+      (List.map
+         (function
+           | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+         (List.init (String.length v) (String.get v)))
+
+  let render_labels = function
+    | [] -> ""
+    | labels ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) labels)
+        ^ "}"
+
+  let key name labels = name ^ render_labels labels
+
+  let register t ?(help = "") ?(labels = []) name build describe =
+    if not (valid_name name) then
+      invalid_arg (Printf.sprintf "Telemetry.Registry: bad metric name %S" name);
+    List.iter
+      (fun (k, _) ->
+        if not (valid_name k) then
+          invalid_arg (Printf.sprintf "Telemetry.Registry: bad label name %S" k))
+      labels;
+    let labels = List.sort compare labels in
+    let k = key name labels in
+    match Hashtbl.find_opt t.by_key k with
+    | Some e -> describe e.metric
+    | None ->
+        let metric = build () in
+        Hashtbl.replace t.by_key k { name; labels; help; metric };
+        t.order <- k :: t.order;
+        describe metric
+
+  let counter t ?help ?labels name =
+    register t ?help ?labels name
+      (fun () -> Counter (Counter.make ()))
+      (function
+        | Counter c -> c
+        | _ -> invalid_arg ("Telemetry.Registry: " ^ name ^ " is not a counter"))
+
+  let gauge t ?help ?labels name =
+    register t ?help ?labels name
+      (fun () -> Gauge (Gauge.make ()))
+      (function
+        | Gauge g -> g
+        | _ -> invalid_arg ("Telemetry.Registry: " ^ name ^ " is not a gauge"))
+
+  let histogram t ?help ?labels name =
+    register t ?help ?labels name
+      (fun () -> Histogram (Histogram.make ()))
+      (function
+        | Histogram h -> h
+        | _ -> invalid_arg ("Telemetry.Registry: " ^ name ^ " is not a histogram"))
+
+  let entries t =
+    List.rev_map (fun k -> Hashtbl.find t.by_key k) t.order
+
+  let merge_into ~dst src =
+    List.iter
+      (fun e ->
+        match e.metric with
+        | Counter c ->
+            Counter.merge_into
+              ~dst:(counter dst ~help:e.help ~labels:e.labels e.name)
+              c
+        | Gauge g -> Gauge.set (gauge dst ~help:e.help ~labels:e.labels e.name) (Gauge.value g)
+        | Histogram h ->
+            Histogram.merge_into
+              ~dst:(histogram dst ~help:e.help ~labels:e.labels e.name)
+              h)
+      (entries src)
+
+  (* Prometheus text format 0.0.4.  All samples of a metric family must
+     form one contiguous block, so entries are grouped by name (in
+     first-registration order) with HELP/TYPE emitted once per name —
+     label variants share the header. *)
+  let to_prometheus t =
+    let buf = Buffer.create 1024 in
+    let all = entries t in
+    let names =
+      List.fold_left
+        (fun acc e -> if List.mem e.name acc then acc else e.name :: acc)
+        [] all
+      |> List.rev
+    in
+    let grouped =
+      List.concat_map (fun n -> List.filter (fun e -> e.name = n) all) names
+    in
+    let seen_header = Hashtbl.create 16 in
+    let header e kind =
+      if not (Hashtbl.mem seen_header e.name) then begin
+        Hashtbl.replace seen_header e.name ();
+        if e.help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" e.name e.help);
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" e.name kind)
+      end
+    in
+    List.iter
+      (fun e ->
+        match e.metric with
+        | Counter c ->
+            header e "counter";
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %d\n" e.name (render_labels e.labels) (Counter.value c))
+        | Gauge g ->
+            header e "gauge";
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %.17g\n" e.name (render_labels e.labels) (Gauge.value g))
+        | Histogram h ->
+            header e "histogram";
+            let with_le le =
+              render_labels (List.sort compare (("le", le) :: e.labels))
+            in
+            let cum = ref 0 in
+            Histogram.fold_nonzero
+              (fun upper occupancy () ->
+                cum := !cum + occupancy;
+                if upper < max_int then
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket%s %d\n" e.name (with_le (string_of_int upper)) !cum))
+              h ();
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" e.name (with_le "+Inf") (Histogram.count h));
+            Buffer.add_string buf
+              (Printf.sprintf "%s_sum%s %d\n" e.name (render_labels e.labels) (Histogram.sum h));
+            Buffer.add_string buf
+              (Printf.sprintf "%s_count%s %d\n" e.name (render_labels e.labels)
+                 (Histogram.count h)))
+      grouped;
+    Buffer.contents buf
+
+  let histogram_json h =
+    let buckets =
+      List.rev
+        (Histogram.fold_nonzero
+           (fun upper occupancy acc ->
+             Printf.sprintf "[%s,%d]"
+               (if upper = max_int then "\"+Inf\"" else string_of_int upper)
+               occupancy
+             :: acc)
+           h [])
+    in
+    Printf.sprintf
+      "{\"count\":%d,\"sum\":%d,\"max\":%d,\"p50\":%.0f,\"p90\":%.0f,\"p99\":%.0f,\"buckets\":[%s]}"
+      (Histogram.count h) (Histogram.sum h) (Histogram.max_observed h)
+      (Histogram.quantile h 0.5) (Histogram.quantile h 0.9) (Histogram.quantile h 0.99)
+      (String.concat "," buckets)
+
+  let to_json t =
+    let fields =
+      List.map
+        (fun e ->
+          let k = escape_label (key e.name e.labels) in
+          match e.metric with
+          | Counter c -> Printf.sprintf "\"%s\":%d" k (Counter.value c)
+          | Gauge g -> Printf.sprintf "\"%s\":%.17g" k (Gauge.value g)
+          | Histogram h -> Printf.sprintf "\"%s\":%s" k (histogram_json h))
+        (entries t)
+    in
+    "{" ^ String.concat "," fields ^ "}"
+end
+
+let default_registry = Registry.create ()
+
+type snapshot = {
+  algorithm : string;
+  visited : int;
+  found : int;
+  elapsed_s : float;
+  time_to_first_s : float option;
+  constraint_evals : int;
+  domains_built : int;
+  intersections : int;
+  backtracks : int;
+  max_depth : int;
+  depth_histogram : Histogram.t;
+  domain_size_histogram : Histogram.t;
+}
+
+let snapshot_to_json s =
+  Printf.sprintf
+    "{\"algorithm\":\"%s\",\"visited\":%d,\"found\":%d,\"elapsed_s\":%.6f,%s\"constraint_evals\":%d,\"domains_built\":%d,\"intersections\":%d,\"backtracks\":%d,\"max_depth\":%d,\"depth_histogram\":%s,\"domain_size_histogram\":%s}"
+    s.algorithm s.visited s.found s.elapsed_s
+    (match s.time_to_first_s with
+    | None -> ""
+    | Some t -> Printf.sprintf "\"time_to_first_s\":%.6f," t)
+    s.constraint_evals s.domains_built s.intersections s.backtracks s.max_depth
+    (Registry.histogram_json s.depth_histogram)
+    (Registry.histogram_json s.domain_size_histogram)
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf
+    "%s: visited=%d found=%d elapsed=%.3fs evals=%d domains=%d intersections=%d \
+     backtracks=%d max_depth=%d"
+    s.algorithm s.visited s.found s.elapsed_s s.constraint_evals s.domains_built
+    s.intersections s.backtracks s.max_depth

@@ -1,0 +1,219 @@
+(** Zero-dependency telemetry kernel for the mapping service.
+
+    The paper evaluates ECF/RWB/LNS entirely through observables —
+    nodes visited, time to first mapping, constraint evaluations
+    (Figs. 8-13) — and the ROADMAP's scaling goals need request-level
+    latency and throughput numbers on top.  This module is the one
+    place those observables are defined:
+
+    - {!Counter} / {!Gauge}: monotonic int counters and settable
+      gauges, single mutable cells with no allocation on update.
+    - {!Histogram}: log-bucketed (HDR-style, ~base-1.2 bucket growth)
+      value histograms backed by one preallocated int array per
+      histogram; [observe] is a table lookup plus a handful of stores,
+      so it is safe on the search hot path.
+    - {!Span}: lightweight span tracing ([enter]/[exit] over a
+      preallocated span stack) emitting a structured JSONL event log
+      when enabled, and collapsing to a single branch when disabled.
+    - {!Registry}: named, optionally labeled metrics with Prometheus
+      text ({!Registry.to_prometheus}) and JSON ({!Registry.to_json})
+      expositions, and cross-domain aggregation
+      ({!Registry.merge_into}) for the parallel searchers.
+    - {!type-snapshot}: the unified per-run statistics record the engine
+      returns — one schema for ECF, RWB and LNS, so LNS finally
+      reports constraint evaluations like the filtered algorithms.
+
+    Concurrency: metrics are plain mutable cells, not atomics.  The
+    intended topology is single-writer per instance — each search
+    domain owns its registry/store and the results are merged at join
+    — with any number of racy readers (the /metrics exposition reads
+    live cells; int loads cannot tear in OCaml). *)
+
+(** {1 Scalar metrics} *)
+
+module Counter : sig
+  type t
+
+  val make : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  (** Negative increments are rejected with [Invalid_argument]:
+      counters are monotonic. *)
+
+  val value : t -> int
+  val reset : t -> unit
+  val merge_into : dst:t -> t -> unit
+  (** [merge_into ~dst src] adds [src]'s value into [dst]. *)
+end
+
+module Gauge : sig
+  type t
+
+  val make : unit -> t
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+(** {1 Log-bucketed histograms}
+
+    Buckets cover the non-negative ints with upper bounds growing by
+    max(+1, x1.2) — exact for values up to 10, then ~20% relative
+    resolution up to [max_int].  The bucket layout is global (computed
+    once), so histograms merge bucket-by-bucket and every histogram
+    costs one int array of {!Histogram.bucket_count} slots, allocated
+    at [make] time and never after. *)
+
+module Histogram : sig
+  type t
+
+  val bucket_count : int
+  (** Number of buckets in the (global) layout. *)
+
+  val bucket_index : int -> int
+  (** Index of the bucket a value falls into.  Values [<= 0] land in
+      bucket 0; values above the penultimate bound land in the last
+      (catch-all) bucket.  O(1) for values up to 4096 (direct table),
+      O(log buckets) above. *)
+
+  val bucket_upper : int -> int
+  (** Inclusive upper bound of bucket [i] ([max_int] for the last).
+      @raise Invalid_argument outside [0, bucket_count). *)
+
+  val make : unit -> t
+  val observe : t -> int -> unit
+  (** Record one value.  Allocation-free.  Negative values are clamped
+      to 0 (bucket and sum). *)
+
+  val observe_n : t -> int -> int -> unit
+  (** [observe_n t v n] records [n] observations of value [v] — what a
+      caller keeping its own exact count array uses to fold into a
+      histogram at snapshot time.  [n = 0] is a no-op.
+      @raise Invalid_argument if [n < 0]. *)
+
+  val count : t -> int
+  val sum : t -> int
+  val max_observed : t -> int
+  (** Largest value observed, 0 when empty (exact, not bucketed). *)
+
+  val bucket_value : t -> int -> int
+  (** Occupancy of bucket [i]. *)
+
+  val quantile : t -> float -> float
+  (** [quantile h q] for [q] in [0,1]: the upper bound of the bucket
+      holding the rank-[q] observation (nearest-rank, matching
+      {!Netembed_workload.Stats.percentile} up to bucket resolution:
+      the true value v satisfies [result/1.2 - 1 <= v <= result]).
+      0 when empty.
+      @raise Invalid_argument when [q] is outside [0,1]. *)
+
+  val reset : t -> unit
+  val copy : t -> t
+  val merge_into : dst:t -> t -> unit
+
+  val fold_nonzero : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+  (** [fold_nonzero f h acc] folds [f upper_bound occupancy] over the
+      non-empty buckets in ascending order. *)
+end
+
+(** {1 Span tracing} *)
+
+module Span : sig
+  val enable : out_channel -> unit
+  (** Start emitting JSONL events to the channel.  Each line is one of
+      [{"ev":"enter","span":S,"depth":D,"t_us":T}],
+      [{"ev":"exit","span":S,"depth":D,"t_us":T,"dur_us":US}] or
+      [{"ev":"event","name":S,"t_us":T}], with [t_us] microseconds
+      since [enable]. *)
+
+  val disable : unit -> unit
+  (** Stop emitting and flush.  The channel is not closed. *)
+
+  val enabled : unit -> bool
+
+  val set_sample_every : int -> unit
+  (** Emit only every [n]-th {!event} (spans are always emitted while
+      enabled) — the throttle for event storms such as all-matches
+      enumerations.  Default 1; [n < 1] is rejected. *)
+
+  val enter : string -> unit
+  (** Push a span.  A single branch when disabled; no allocation either
+      way (the span stack is preallocated, 64 levels deep; deeper
+      nesting is counted but not recorded). *)
+
+  val exit : unit -> unit
+  (** Pop the current span, emitting its duration.  Unbalanced [exit]s
+      are ignored. *)
+
+  val event : string -> unit
+  (** Emit an instantaneous event (subject to the sampling rate). *)
+
+  val with_span : string -> (unit -> 'a) -> 'a
+  (** [with_span name f] = [enter name; f ()] with a guaranteed [exit]
+      on both return and exception. *)
+end
+
+(** {1 Registries and exposition} *)
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  val counter :
+    t -> ?help:string -> ?labels:(string * string) list -> string -> Counter.t
+  (** Register (or retrieve) the counter with this name and label set.
+      Metric names must match [[a-zA-Z_:][a-zA-Z0-9_:]*].
+      @raise Invalid_argument on a bad name or if the name+labels is
+      already registered as a different metric kind. *)
+
+  val gauge :
+    t -> ?help:string -> ?labels:(string * string) list -> string -> Gauge.t
+
+  val histogram :
+    t -> ?help:string -> ?labels:(string * string) list -> string -> Histogram.t
+
+  val merge_into : dst:t -> t -> unit
+  (** Fold every metric of the source into the destination, creating
+      missing ones: counters and histograms add, gauges take the source
+      value.  The join step of the per-domain registries of
+      {!Netembed_parallel}. *)
+
+  val to_prometheus : t -> string
+  (** Prometheus text exposition format 0.0.4.  Histograms emit
+      cumulative [_bucket{le="..."}] lines for their occupied buckets
+      plus [le="+Inf"], [_sum] and [_count]. *)
+
+  val to_json : t -> string
+  (** One JSON object keyed by metric name (labels rendered into the
+      key); histograms expose count/sum/max/quantiles and non-empty
+      buckets. *)
+end
+
+val default_registry : Registry.t
+(** The process-wide registry: the engine's per-algorithm counters and
+    the service/server metrics live here, and [GET /metrics] serves it. *)
+
+(** {1 The unified per-run snapshot} *)
+
+type snapshot = {
+  algorithm : string;
+  visited : int;  (** search-tree nodes visited *)
+  found : int;  (** feasible mappings encountered *)
+  elapsed_s : float;
+  time_to_first_s : float option;
+  constraint_evals : int;
+      (** constraint-expression evaluations, all phases — filter build
+          for ECF/RWB, lazy edge checks for LNS *)
+  domains_built : int;  (** candidate domains computed *)
+  intersections : int;  (** filter-cell intersections *)
+  backtracks : int;  (** exhausted candidate domains (returns) *)
+  max_depth : int;  (** deepest search depth visited *)
+  depth_histogram : Histogram.t;  (** visits per search depth *)
+  domain_size_histogram : Histogram.t;
+      (** candidate-domain cardinality per computed domain *)
+}
+
+val snapshot_to_json : snapshot -> string
+(** Single-line JSON object — the [--stats] output of the CLI. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

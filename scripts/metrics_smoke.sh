@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end metrics smoke test: start netembed_server with a metrics
+# port, submit one LNS request over the wire protocol, scrape /metrics
+# and assert the exposition reflects the request.  Used by CI; runnable
+# locally from the repo root after `dune build`.
+set -euo pipefail
+
+PORT="${METRICS_PORT:-19911}"
+BIN="_build/default/bin"
+WORK="$(mktemp -d)"
+trap 'kill "${SERVER_PID:-0}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+[ -x "$BIN/netembed_server.exe" ] || { echo "run 'dune build' first" >&2; exit 2; }
+
+"$BIN/netembed_cli.exe" generate --kind planetlab -n 40 --seed 2 -o "$WORK/host.graphml"
+
+cat > "$WORK/frame.txt" <<'TXT'
+EMBED alg=LNS mode=first timeout=5
+CONSTRAINT rEdge.avgDelay < 500
+GRAPHML
+<graphml><graph edgedefault="undirected">
+<node id="x"/><node id="y"/>
+<edge source="x" target="y"/>
+</graph></graphml>
+.
+TXT
+
+# Feed the frame, then hold stdin open so the server stays up while we
+# scrape.
+mkfifo "$WORK/in"
+"$BIN/netembed_server.exe" --host "$WORK/host.graphml" --metrics-port "$PORT" \
+  < "$WORK/in" > "$WORK/out" &
+SERVER_PID=$!
+exec 3> "$WORK/in"
+cat "$WORK/frame.txt" >&3
+
+# Wait for the answer and for the metrics listener to come up.
+for _ in $(seq 50); do
+  grep -q "^OK" "$WORK/out" 2>/dev/null && break
+  sleep 0.2
+done
+grep -q "^OK outcome=complete" "$WORK/out" || {
+  echo "FAIL: no OK answer from server"; cat "$WORK/out"; exit 1; }
+
+METRICS=""
+for _ in $(seq 50); do
+  if METRICS=$(curl -sf "http://127.0.0.1:$PORT/metrics"); then break; fi
+  sleep 0.2
+done
+[ -n "$METRICS" ] || { echo "FAIL: could not scrape /metrics"; exit 1; }
+
+fail() { echo "FAIL: $1"; echo "$METRICS"; exit 1; }
+
+# Request-latency histogram is non-empty.
+echo "$METRICS" | grep -Eq '^netembed_request_latency_us_count [1-9]' \
+  || fail "latency histogram empty"
+# The LNS run shows up on the per-algorithm search counters.
+echo "$METRICS" | grep -Eq '^netembed_visited_nodes_total\{algorithm="LNS"\} [1-9]' \
+  || fail "no LNS visited nodes"
+echo "$METRICS" | grep -Eq '^netembed_constraint_evals_total\{algorithm="LNS"\} [1-9]' \
+  || fail "no LNS constraint evaluations"
+# Model-revision gauge is exported.
+echo "$METRICS" | grep -Eq '^netembed_model_revision ' \
+  || fail "no model revision gauge"
+# JSON exposition and liveness probe answer too.
+curl -sf "http://127.0.0.1:$PORT/metrics.json" | grep -q '"netembed_requests_total"' \
+  || fail "/metrics.json missing requests counter"
+curl -sf "http://127.0.0.1:$PORT/healthz" | grep -q '^ok' \
+  || fail "/healthz not ok"
+
+exec 3>&-
+wait "$SERVER_PID" 2>/dev/null || true
+echo "metrics smoke: OK"

@@ -68,3 +68,20 @@ Symmetry compaction and cost optimization on the CLI:
   >   --dedupe-symmetry --optimize total-delay \
   >   | head -1 | sed 's/elapsed=[0-9.]*/elapsed=MS/'
   OK outcome=complete count=1 elapsed=MS
+
+--stats prints one JSON telemetry snapshot on stderr; LNS reports its
+lazy constraint evaluations on it (nonzero), and the search counters
+are deterministic for a fixed host:
+
+  $ ../../bin/netembed_cli.exe embed --host host.graphml --query query.graphml \
+  >   --constraint 'rEdge.avgDelay <= vEdge.maxDelay' --algorithm lns --mode atmost:1 \
+  >   --stats --trace trace.jsonl 2>&1 >/dev/null \
+  >   | grep -o '"algorithm":"LNS"\|"constraint_evals":[1-9][0-9]*' | sort -u | head -2
+  "algorithm":"LNS"
+  "constraint_evals":66
+
+--trace wrote matching span enter/exit events:
+
+  $ grep -c '"ev":"enter"' trace.jsonl > enters; grep -c '"ev":"exit"' trace.jsonl > exits
+  $ diff enters exits && grep -q '"span":"descent"' trace.jsonl && echo spans-balanced
+  spans-balanced

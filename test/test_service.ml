@@ -277,6 +277,56 @@ let test_monitor_flaps_and_guard () =
   for _ = 1 to 20 do Monitor.tick mon done;
   check Alcotest.bool "liveness tracked" true (List.length (Monitor.down_nodes mon) <= 5)
 
+(* Negotiation under a flapping monitor: the relaxation-round counter
+   in the service's registry must equal the rounds the answer reports,
+   the model_revision of the answer (and the exported gauge) must match
+   the model after the monitoring history, and replaying the identical
+   history must reproduce all of it. *)
+let test_relaxation_under_monitor_flaps () =
+  let module Telemetry = Netembed_telemetry.Telemetry in
+  let run_history () =
+    let registry = Telemetry.Registry.create () in
+    let model = Model.create (host ()) in
+    let svc = Service.create ~registry model in
+    let mon =
+      Monitor.create
+        ~params:
+          { Monitor.default with Monitor.flap_probability = 0.3; sample_fraction = 1.0 }
+        (Rng.make 11) model
+    in
+    for _ = 1 to 7 do Monitor.tick mon done;
+    let request =
+      Request.make ~mode:Engine.First ~node_constraint:"rSource.up"
+        ~query:(path_query 5.0 7.5) standard_constraint
+    in
+    match Service.submit_with_relaxation svc request ~steps:6 ~factor:0.2 with
+    | Error m -> Alcotest.fail m
+    | Ok (answer, rounds) ->
+        let counter_rounds =
+          Telemetry.Counter.value
+            (Telemetry.Registry.counter registry "netembed_relaxation_rounds_total")
+        in
+        check Alcotest.int "rounds counter matches answer" rounds counter_rounds;
+        check Alcotest.int "revision matches live model" (Model.revision model)
+          answer.Service.model_revision;
+        check (Alcotest.float 0.0) "gauge tracks revision"
+          (float_of_int answer.Service.model_revision)
+          (Telemetry.Gauge.value
+             (Telemetry.Registry.gauge registry "netembed_model_revision"));
+        (* Every submit (initial + one per relaxation round) was latency-
+           timed. *)
+        check Alcotest.int "latency histogram counts submits" (rounds + 1)
+          (Telemetry.Histogram.count
+             (Telemetry.Registry.histogram registry "netembed_request_latency_us"));
+        ( rounds,
+          answer.Service.model_revision,
+          List.length answer.Service.result.Engine.mappings,
+          Monitor.down_nodes mon )
+  in
+  let a = run_history () in
+  let b = run_history () in
+  check Alcotest.bool "replayed history reproduces the negotiation" true (a = b)
+
 let test_monitor_determinism () =
   let run seed =
     let model = Model.create (host ()) in
@@ -324,6 +374,8 @@ let () =
         [
           Alcotest.test_case "updates model" `Quick test_monitor_updates;
           Alcotest.test_case "flaps + liveness guard" `Quick test_monitor_flaps_and_guard;
+          Alcotest.test_case "relaxation under flaps" `Quick
+            test_relaxation_under_monitor_flaps;
           Alcotest.test_case "deterministic" `Quick test_monitor_determinism;
         ] );
     ]

@@ -1,0 +1,380 @@
+module Telemetry = Netembed_telemetry.Telemetry
+module Counter = Telemetry.Counter
+module Gauge = Telemetry.Gauge
+module Histogram = Telemetry.Histogram
+module Registry = Telemetry.Registry
+module Span = Telemetry.Span
+module Stats = Netembed_workload.Stats
+module Graph = Netembed_graph.Graph
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+module Engine = Netembed_core.Engine
+module Problem = Netembed_core.Problem
+module Expr = Netembed_expr.Expr
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter () =
+  let c = Counter.make () in
+  Counter.incr c;
+  Counter.add c 41;
+  check Alcotest.int "value" 42 (Counter.value c);
+  (match Counter.add c (-1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative add accepted");
+  let d = Counter.make () in
+  Counter.add d 8;
+  Counter.merge_into ~dst:d c;
+  check Alcotest.int "merged" 50 (Counter.value d);
+  Counter.reset c;
+  check Alcotest.int "reset" 0 (Counter.value c)
+
+let test_gauge () =
+  let g = Gauge.make () in
+  check (Alcotest.float 0.0) "initial" 0.0 (Gauge.value g);
+  Gauge.set g 3.5;
+  Gauge.set g (-2.25);
+  check (Alcotest.float 0.0) "last write wins" (-2.25) (Gauge.value g)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucket layout                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every value must land in the unique bucket whose half-open range
+   (prev_upper, upper] contains it. *)
+let bucket_invariant v =
+  let i = Histogram.bucket_index v in
+  let upper = Histogram.bucket_upper i in
+  let v' = max 0 v in
+  v' <= upper && (i = 0 || v' > Histogram.bucket_upper (i - 1))
+
+let test_bucket_boundaries () =
+  (* Exact small values, both sides of every small bucket bound, the
+     direct-table limit, and the extremes. *)
+  let samples =
+    [ min_int; -1; 0; 1; 2; 9; 10; 11; 12; 100; 4095; 4096; 4097; 65535;
+      1_000_000; max_int - 1; max_int ]
+  in
+  List.iter
+    (fun v ->
+      if not (bucket_invariant v) then
+        Alcotest.failf "bucket invariant broken at %d (bucket %d)" v
+          (Histogram.bucket_index v))
+    samples;
+  (* Boundaries proper: every bucket's upper bound maps to that bucket,
+     and upper+1 maps to the next. *)
+  for i = 0 to Histogram.bucket_count - 2 do
+    let u = Histogram.bucket_upper i in
+    check Alcotest.int (Printf.sprintf "upper(%d) in own bucket" i) i
+      (Histogram.bucket_index u);
+    check Alcotest.int (Printf.sprintf "upper(%d)+1 in next bucket" i) (i + 1)
+      (Histogram.bucket_index (u + 1))
+  done;
+  (* Uppers are strictly increasing with ~20% max relative growth. *)
+  for i = 1 to Histogram.bucket_count - 2 do
+    let p = Histogram.bucket_upper (i - 1) and u = Histogram.bucket_upper i in
+    if not (u > p) then Alcotest.failf "uppers not increasing at %d" i;
+    if not (u <= max (p + 1) (p * 6 / 5)) then
+      Alcotest.failf "bucket %d grows too fast: %d -> %d" i p u
+  done;
+  check Alcotest.int "catch-all is max_int" max_int
+    (Histogram.bucket_upper (Histogram.bucket_count - 1))
+
+let test_observe_extremes () =
+  let h = Histogram.make () in
+  Histogram.observe h 0;
+  Histogram.observe h (-5);
+  check Alcotest.int "zero bucket holds both" 2 (Histogram.bucket_value h 0);
+  Histogram.observe h max_int;
+  check Alcotest.int "count" 3 (Histogram.count h);
+  check Alcotest.int "max observed" max_int (Histogram.max_observed h);
+  check Alcotest.int "catch-all occupied" 1
+    (Histogram.bucket_value h (Histogram.bucket_count - 1));
+  check (Alcotest.float 0.0) "p100 is catch-all bound" (float_of_int max_int)
+    (Histogram.quantile h 1.0)
+
+(* Value -> bucket -> quantile round-trip: the quantile of the rank a
+   value occupies must bound that value within one bucket's relative
+   resolution, and must agree with the exact Stats.percentile the same
+   way. *)
+let test_quantile_round_trip () =
+  let rng = Netembed_rng.Rng.make 7 in
+  let values =
+    Array.init 500 (fun i ->
+        if i < 50 then i (* dense small values, exact buckets *)
+        else Netembed_rng.Rng.int rng 100_000)
+  in
+  let h = Histogram.make () in
+  Array.iter (Histogram.observe h) values;
+  let sample = List.map float_of_int (Array.to_list values) in
+  List.iter
+    (fun q ->
+      let exact = Stats.percentile q sample in
+      let bucketed = Histogram.quantile h q in
+      if not (bucketed >= exact) then
+        Alcotest.failf "q=%.2f: bucketed %.0f below exact %.0f" q bucketed exact;
+      if not (bucketed <= (exact *. 1.2) +. 1.0) then
+        Alcotest.failf "q=%.2f: bucketed %.0f too far above exact %.0f" q bucketed
+          exact)
+    [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ];
+  check Alcotest.int "sum preserved" (Array.fold_left ( + ) 0 values)
+    (Histogram.sum h);
+  (match Histogram.quantile h 1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "quantile outside [0,1] accepted");
+  check (Alcotest.float 0.0) "empty histogram quantile" 0.0
+    (Histogram.quantile (Histogram.make ()) 0.5)
+
+let test_histogram_merge () =
+  let a = Histogram.make () and b = Histogram.make () and whole = Histogram.make () in
+  for v = 0 to 99 do
+    Histogram.observe (if v mod 2 = 0 then a else b) v;
+    Histogram.observe whole v
+  done;
+  Histogram.merge_into ~dst:a b;
+  check Alcotest.int "merged count" (Histogram.count whole) (Histogram.count a);
+  check Alcotest.int "merged sum" (Histogram.sum whole) (Histogram.sum a);
+  check Alcotest.int "merged max" (Histogram.max_observed whole)
+    (Histogram.max_observed a);
+  for i = 0 to Histogram.bucket_count - 1 do
+    if Histogram.bucket_value whole i <> Histogram.bucket_value a i then
+      Alcotest.failf "bucket %d differs after merge" i
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Registry and expositions                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_identity_and_kinds () =
+  let r = Registry.create () in
+  let c1 = Registry.counter r "reqs_total" ~labels:[ ("b", "2"); ("a", "1") ] in
+  (* Same name + same label set (any order) is the same counter. *)
+  let c2 = Registry.counter r "reqs_total" ~labels:[ ("a", "1"); ("b", "2") ] in
+  Counter.incr c1;
+  check Alcotest.int "one cell" 1 (Counter.value c2);
+  (match Registry.gauge r "reqs_total" ~labels:[ ("a", "1"); ("b", "2") ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash accepted");
+  (match Registry.counter r "bad name!" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad metric name accepted")
+
+let test_registry_merge () =
+  let a = Registry.create () and b = Registry.create () in
+  Counter.add (Registry.counter a "c_total") 5;
+  Counter.add (Registry.counter b "c_total") 7;
+  Gauge.set (Registry.gauge b "g") 9.0;
+  Histogram.observe (Registry.histogram b "h") 3;
+  Registry.merge_into ~dst:a b;
+  check Alcotest.int "counters added" 12 (Counter.value (Registry.counter a "c_total"));
+  check (Alcotest.float 0.0) "gauge takes source" 9.0
+    (Gauge.value (Registry.gauge a "g"));
+  check Alcotest.int "histogram created and merged" 1
+    (Histogram.count (Registry.histogram a "h"))
+
+let test_prometheus_exposition () =
+  let r = Registry.create () in
+  Counter.add (Registry.counter r ~help:"Visits" "v_total" ~labels:[ ("algorithm", "ECF") ]) 3;
+  Counter.add (Registry.counter r ~help:"Visits" "v_total" ~labels:[ ("algorithm", "LNS") ]) 4;
+  Gauge.set (Registry.gauge r "rev") 2.0;
+  let h = Registry.histogram r "lat_us" in
+  Histogram.observe h 1;
+  Histogram.observe h 7;
+  Histogram.observe h 7;
+  let text = Registry.to_prometheus r in
+  let lines = String.split_on_char '\n' text in
+  let has l = List.mem l lines in
+  check Alcotest.bool "help line" true (has "# HELP v_total Visits");
+  check Alcotest.bool "type line" true (has "# TYPE v_total counter");
+  check Alcotest.bool "ECF sample" true (has "v_total{algorithm=\"ECF\"} 3");
+  check Alcotest.bool "LNS sample" true (has "v_total{algorithm=\"LNS\"} 4");
+  (* Label variants must be contiguous (one family block). *)
+  let rec index i = function
+    | [] -> -1
+    | l :: rest -> if l = "v_total{algorithm=\"ECF\"} 3" then i else index (i + 1) rest
+  in
+  let ecf_at = index 0 lines in
+  check Alcotest.bool "family contiguous" true
+    (List.nth lines (ecf_at + 1) = "v_total{algorithm=\"LNS\"} 4");
+  check Alcotest.bool "gauge sample" true (has "rev 2");
+  (* Histogram: cumulative buckets, +Inf equals count, sum and count. *)
+  check Alcotest.bool "bucket le=1" true (has "lat_us_bucket{le=\"1\"} 1");
+  check Alcotest.bool "bucket le=7" true (has "lat_us_bucket{le=\"7\"} 3");
+  check Alcotest.bool "bucket +Inf" true (has "lat_us_bucket{le=\"+Inf\"} 3");
+  check Alcotest.bool "sum" true (has "lat_us_sum 15");
+  check Alcotest.bool "count" true (has "lat_us_count 3")
+
+let contains s sub =
+  let n = String.length sub in
+  let rec find i = i + n <= String.length s && (String.sub s i n = sub || find (i + 1)) in
+  find 0
+
+let test_json_exposition () =
+  let r = Registry.create () in
+  Counter.add (Registry.counter r "c_total") 2;
+  Histogram.observe (Registry.histogram r "h") 5;
+  let json = Registry.to_json r in
+  check Alcotest.bool "counter field" true (contains json "\"c_total\":2");
+  check Alcotest.bool "histogram count field" true (contains json "\"count\":1");
+  check Alcotest.bool "object shape" true
+    (json.[0] = '{' && json.[String.length json - 1] = '}')
+
+(* ------------------------------------------------------------------ *)
+(* Span tracing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_jsonl () =
+  let path = Filename.temp_file "netembed" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Span.enable oc;
+      check Alcotest.bool "enabled" true (Span.enabled ());
+      Span.set_sample_every 2;
+      Span.with_span "outer" (fun () ->
+          Span.with_span "inner" (fun () -> ());
+          Span.event "solution";
+          (* sampled out *)
+          Span.event "solution" (* emitted *));
+      (* Exceptions still pop the span. *)
+      (try Span.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+      Span.disable ();
+      Span.set_sample_every 1;
+      close_out oc;
+      check Alcotest.bool "disabled" false (Span.enabled ());
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      let count sub =
+        List.length
+          (List.filter
+             (fun l ->
+               let n = String.length sub in
+               let rec find i =
+                 i + n <= String.length l && (String.sub l i n = sub || find (i + 1))
+               in
+               find 0)
+             lines)
+      in
+      check Alcotest.int "enters" 3 (count "\"ev\":\"enter\"");
+      check Alcotest.int "exits" 3 (count "\"ev\":\"exit\"");
+      check Alcotest.int "events sampled 1-in-2" 1 (count "\"ev\":\"event\"");
+      check Alcotest.int "outer span named" 2 (count "\"span\":\"outer\"");
+      List.iter
+        (fun l ->
+          if String.length l < 2 || l.[0] <> '{' || l.[String.length l - 1] <> '}'
+          then Alcotest.failf "not a JSON object line: %s" l)
+        lines)
+
+(* ------------------------------------------------------------------ *)
+(* Engine integration: one snapshot schema for all three algorithms    *)
+(* ------------------------------------------------------------------ *)
+
+let small_problem () =
+  let delay d = Attrs.of_list [ ("avgDelay", Value.Float d) ] in
+  let band lo hi =
+    Attrs.of_list [ ("minDelay", Value.Float lo); ("maxDelay", Value.Float hi) ]
+  in
+  let host = Graph.create ~name:"host" () in
+  let v = Array.init 6 (fun _ -> Graph.add_node host Attrs.empty) in
+  for i = 0 to 5 do
+    ignore (Graph.add_edge host v.(i) v.((i + 1) mod 6) (delay (10.0 +. float_of_int i)))
+  done;
+  ignore (Graph.add_edge host v.(0) v.(3) (delay 25.0));
+  let query = Graph.create ~name:"q" () in
+  let q0 = Graph.add_node query Attrs.empty in
+  let q1 = Graph.add_node query Attrs.empty in
+  let q2 = Graph.add_node query Attrs.empty in
+  ignore (Graph.add_edge query q0 q1 (band 5.0 40.0));
+  ignore (Graph.add_edge query q1 q2 (band 5.0 40.0));
+  Problem.make ~host ~query
+    (Expr.parse_exn "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay")
+
+let test_snapshot_all_algorithms () =
+  List.iter
+    (fun alg ->
+      let p = small_problem () in
+      let r =
+        Engine.run ~options:{ Engine.default_options with Engine.mode = Engine.All } alg p
+      in
+      let s = r.Engine.telemetry in
+      check Alcotest.string "algorithm" (Engine.algorithm_name alg)
+        s.Telemetry.algorithm;
+      check Alcotest.int "visited agrees" r.Engine.visited s.Telemetry.visited;
+      check Alcotest.int "found agrees" r.Engine.found s.Telemetry.found;
+      check Alcotest.int "evals agree with result" r.Engine.filter_evals
+        s.Telemetry.constraint_evals;
+      (* The headline satellite: LNS must report constraint evaluations
+         now, like the filtered algorithms. *)
+      if not (s.Telemetry.constraint_evals > 0) then
+        Alcotest.failf "%s reports no constraint evaluations"
+          (Engine.algorithm_name alg);
+      check Alcotest.int "depth histogram counts every visit" r.Engine.visited
+        (Histogram.count s.Telemetry.depth_histogram);
+      if not (s.Telemetry.max_depth >= 3) then
+        Alcotest.failf "max_depth %d below solution depth" s.Telemetry.max_depth;
+      if s.Telemetry.domains_built > 0 && Histogram.count s.Telemetry.domain_size_histogram = 0
+      then Alcotest.fail "domains built but size histogram empty";
+      (* The JSON snapshot line parses shallowly: one object, the
+         algorithm field present. *)
+      let json = Telemetry.snapshot_to_json s in
+      if String.length json = 0 || json.[0] <> '{' then
+        Alcotest.failf "bad snapshot json: %s" json)
+    Engine.all_algorithms
+
+let test_backtracks_counted () =
+  let p = small_problem () in
+  let r =
+    Engine.run ~options:{ Engine.default_options with Engine.mode = Engine.All }
+      Engine.ECF p
+  in
+  match r.Engine.domain_stats with
+  | None -> Alcotest.fail "no domain stats"
+  | Some st ->
+      check Alcotest.bool "backtracks counted" true
+        (st.Netembed_core.Domain_store.backtracks > 0);
+      check Alcotest.int "stats and snapshot agree"
+        st.Netembed_core.Domain_store.backtracks r.Engine.telemetry.Telemetry.backtracks
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "scalars",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "extremes 0/max_int" `Quick test_observe_extremes;
+          Alcotest.test_case "quantile round-trip vs Stats.percentile" `Quick
+            test_quantile_round_trip;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "identity and kinds" `Quick test_registry_identity_and_kinds;
+          Alcotest.test_case "merge" `Quick test_registry_merge;
+          Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+          Alcotest.test_case "json exposition" `Quick test_json_exposition;
+        ] );
+      ( "span",
+        [ Alcotest.test_case "jsonl trace" `Quick test_span_jsonl ] );
+      ( "engine",
+        [
+          Alcotest.test_case "snapshot for ECF/RWB/LNS" `Quick
+            test_snapshot_all_algorithms;
+          Alcotest.test_case "backtracks counted" `Quick test_backtracks_counted;
+        ] );
+    ]
