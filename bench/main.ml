@@ -29,6 +29,7 @@ module Engine = Netembed_core.Engine
 module Filter = Netembed_core.Filter
 module Query_gen = Netembed_workload.Query_gen
 module Figures = Netembed_workload.Figures
+module Ledger = Netembed_ledger.Ledger
 
 (* ------------------------------------------------------------------ *)
 (* Shared fixtures (built once; the staged closures only search)       *)
@@ -375,14 +376,117 @@ let representation_ablation () =
   Printf.printf "\n"
 
 (* ------------------------------------------------------------------ *)
+(* Multi-tenant churn: the ledger's allocate/release loop              *)
+(* ------------------------------------------------------------------ *)
+
+(* Two measurements on the PlanetLab host with 2-node tenants:
+   1. the full service loop — residual snapshot, residual-aware search,
+      commit — with the oldest tenant released once 16 are live
+      (allocations/sec with the search in the loop);
+   2. the ledger alone — charge_of_mapping + try_commit + release on a
+      fixed mapping — the pure accounting overhead per commit. *)
+
+let churn_query ~cpu ~bw =
+  let q = Graph.create () in
+  let node_attrs = Attrs.of_list [ ("cpuMhz", Value.Float cpu) ] in
+  let a = Graph.add_node q node_attrs in
+  let b = Graph.add_node q node_attrs in
+  let _ =
+    Graph.add_edge q a b
+      (Attrs.of_list
+         [
+           ("minDelay", Value.Float 0.0);
+           ("maxDelay", Value.Float 500.0);
+           ("bandwidth", Value.Float bw);
+         ])
+  in
+  q
+
+let churn_edge_constraint =
+  Expr.parse_exn
+    "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay && \
+     rEdge.bandwidth >= vEdge.bandwidth"
+
+let churn_node_constraint = Expr.parse_exn "rSource.cpuMhz >= vSource.cpuMhz"
+
+let ledger_churn () =
+  Printf.printf "# Multi-tenant ledger churn (PlanetLab host, 2-node tenants)\n%!";
+  let host = Lazy.force planetlab in
+  let query = churn_query ~cpu:200.0 ~bw:5.0 in
+  let ledger = Ledger.of_graph host in
+  let live = Queue.create () in
+  let rounds = 40 in
+  let search_row =
+    measure_gc ~name:"ledger/churn_search_commit" (fun () ->
+        let committed = ref 0 in
+        for _ = 1 to rounds do
+          if Queue.length live >= 16 then
+            ignore (Ledger.release ledger (Queue.pop live));
+          let residual = Ledger.residual_graph ledger in
+          let p =
+            Problem.make ~node_constraint:churn_node_constraint ~host:residual
+              ~query churn_edge_constraint
+          in
+          match Engine.find_first ~timeout:2.0 Engine.LNS p with
+          | None -> ()
+          | Some m -> (
+              match Ledger.charge_of_mapping ledger ~query m with
+              | Error _ -> ()
+              | Ok charge -> (
+                  match Ledger.try_commit ledger charge with
+                  | Ok id ->
+                      incr committed;
+                      Queue.push id live
+                  | Error _ -> ()))
+        done;
+        (rounds, !committed))
+  in
+  Printf.printf
+    "  search+commit   %4d rounds %8.1f ms  (%.0f allocations/s, %d committed)\n%!"
+    rounds search_row.row_ms
+    (if search_row.row_ms > 0.0 then
+       float_of_int search_row.row_found /. (search_row.row_ms /. 1000.0)
+     else 0.0)
+    search_row.row_found;
+  let ledger2 = Ledger.of_graph host in
+  let p0 =
+    Problem.make ~node_constraint:churn_node_constraint ~host ~query
+      churn_edge_constraint
+  in
+  match Engine.find_first ~timeout:2.0 Engine.LNS p0 with
+  | None -> Printf.printf "  (no feasible mapping; ledger-only row skipped)\n%!"
+  | Some m ->
+      let pairs = 10_000 in
+      let ledger_row =
+        measure_gc ~name:"ledger/commit_release_pair" (fun () ->
+            let n = ref 0 in
+            for _ = 1 to pairs do
+              match Ledger.charge_of_mapping ledger2 ~query m with
+              | Error _ -> ()
+              | Ok charge -> (
+                  match Ledger.try_commit ledger2 charge with
+                  | Ok id ->
+                      ignore (Ledger.release ledger2 id);
+                      incr n
+                  | Error _ -> ())
+            done;
+            (pairs, !n))
+      in
+      Printf.printf
+        "  ledger only     %4d pairs  %8.1f ms  (%.2f us per commit+release)\n\n%!"
+        pairs ledger_row.row_ms
+        (ledger_row.row_ms *. 1000.0 /. float_of_int pairs)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let () =
   let micro_only = Array.exists (fun a -> a = "--micro-only") Sys.argv in
-  (* --ablation-only: just the representation ablation + Gc-aware rows
-     and the BENCH_RESULTS.json rewrite — a ~2 s run for perf-regression
-     checks (CI, before/after comparisons) instead of the full suite. *)
+  (* --ablation-only: the representation ablation, Gc-aware rows and
+     the ledger churn scenario plus the BENCH_RESULTS.json rewrite — a
+     ~5 s run for perf-regression checks (CI, before/after comparisons)
+     instead of the full suite. *)
   let ablation_only = Array.exists (fun a -> a = "--ablation-only") Sys.argv in
   let t0 = Unix.gettimeofday () in
   if ablation_only then begin
@@ -391,6 +495,7 @@ let () =
     ignore (engine_gc_row "fig8/rwb_first_n20+gc" Engine.RWB Engine.First (Lazy.force pl_subgraph_problem));
     ignore (engine_gc_row "fig8/lns_first_n20+gc" Engine.LNS Engine.First (Lazy.force pl_subgraph_problem));
     ignore (engine_gc_row "fig13/ecf_all_clique6+gc" Engine.ECF Engine.All (Lazy.force clique_problem));
+    ledger_churn ();
     write_gc_json ();
     Printf.printf "# bench complete in %.1f s\n" (Unix.gettimeofday () -. t0);
     exit 0
@@ -421,6 +526,7 @@ let () =
   ignore (engine_gc_row "fig8/rwb_first_n20+gc" Engine.RWB Engine.First (Lazy.force pl_subgraph_problem));
   ignore (engine_gc_row "fig8/lns_first_n20+gc" Engine.LNS Engine.First (Lazy.force pl_subgraph_problem));
   ignore (engine_gc_row "fig13/ecf_all_clique6+gc" Engine.ECF Engine.All (Lazy.force clique_problem));
+  ledger_churn ();
   write_gc_json ();
   (* Part 1b: multicore speedup table.  The instance must be
      search-dominated for root partitioning to pay: a clique's

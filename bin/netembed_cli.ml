@@ -20,6 +20,7 @@ module Trace = Netembed_planetlab.Trace
 module Brite = Netembed_topology.Brite
 module Transit_stub = Netembed_topology.Transit_stub
 module Graphml = Netembed_graphml.Graphml
+module Ledger = Netembed_ledger.Ledger
 module Request = Netembed_service.Request
 module Model = Netembed_service.Model
 module Service = Netembed_service.Service
@@ -289,9 +290,232 @@ let embed_cmd =
         $ algorithm $ mode $ timeout $ path_hops $ dedupe $ optimize_cost $ stats
         $ trace_file))
 
+(* ------------------------------------------------------------------ *)
+(* allocate / free / utilization                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The stateless ledger workflow: the residual GraphML file *is* the
+   allocation state.  `allocate` starts from the host (or a prior
+   residual) and commits query charges; `free` hands a query's charge
+   back; `utilization` reports usage.  All three rebuild the ledger by
+   syncing it to the residual snapshot. *)
+
+let open_ledger host_file residual_file =
+  let host = Graphml.read_file host_file in
+  let ledger = Ledger.of_graph host in
+  (match residual_file with
+  | Some path when Sys.file_exists path ->
+      Ledger.sync_residual ledger (Graphml.read_file path)
+  | Some _ | None -> ());
+  (host, ledger)
+
+let print_utilization rows =
+  Format.printf "%-12s %-5s %14s %14s %8s@." "RESOURCE" "KIND" "USED" "CAPACITY" "UTIL";
+  List.iter
+    (fun (resource, kind, used, cap) ->
+      Format.printf "%-12s %-5s %14.1f %14.1f %7.1f%%@." resource
+        (match kind with `Node -> "node" | `Edge -> "edge")
+        used cap
+        (if cap > 0.0 then 100.0 *. used /. cap else 0.0))
+    rows
+
+let allocate_run host_file query_file constraint_arg node_constraint algorithm
+    timeout count residual_file =
+  let host, ledger = open_ledger host_file residual_file in
+  ignore host;
+  let query = Graphml.read_file query_file in
+  let constraint_text =
+    if String.length constraint_arg > 0 && constraint_arg.[0] = '@' then
+      Request.read_constraint_file
+        (String.sub constraint_arg 1 (String.length constraint_arg - 1))
+    else constraint_arg
+  in
+  let edge_constraint =
+    match Netembed_expr.Expr.parse constraint_text with
+    | Ok e -> e
+    | Error m -> failwith m
+  in
+  let node_expr =
+    Option.map
+      (fun c ->
+        match Netembed_expr.Expr.parse c with
+        | Ok e -> e
+        | Error m -> failwith m)
+      node_constraint
+  in
+  let committed = ref 0 in
+  let stop = ref None in
+  (try
+     for i = 1 to count do
+       if !stop = None then begin
+         match Ledger.admissible ledger ~query with
+         | Error f ->
+             stop := Some (Printf.sprintf "admission: %s" (Ledger.failure_to_string f))
+         | Ok () -> (
+             let residual = Ledger.residual_graph ledger in
+             let problem =
+               Netembed_core.Problem.make ?node_constraint:node_expr ~host:residual
+                 ~query edge_constraint
+             in
+             match Engine.find_first ?timeout algorithm problem with
+             | None -> stop := Some "no feasible mapping on the residual network"
+             | Some mapping -> (
+                 match Ledger.charge_of_mapping ledger ~query mapping with
+                 | Error m -> stop := Some m
+                 | Ok charge -> (
+                     match Ledger.try_commit ledger charge with
+                     | Error f -> stop := Some (Ledger.failure_to_string f)
+                     | Ok _id ->
+                         incr committed;
+                         Format.printf "tenant %d:%s@." i
+                           (String.concat ""
+                              (List.map
+                                 (fun (q, r) -> Printf.sprintf " q%d->r%d" q r)
+                                 (Mapping.to_list mapping))))))
+       end
+     done
+   with Failure m -> stop := Some m);
+  (match residual_file with
+  | Some path when !committed > 0 ->
+      Graphml.write_file (Ledger.residual_graph ledger) path;
+      Format.printf "residual network written to %s@." path
+  | Some _ | None -> ());
+  Format.printf "committed %d/%d allocation(s)@." !committed count;
+  print_utilization (Ledger.utilization ledger);
+  match !stop with
+  | Some m when !committed = 0 -> `Error (false, m)
+  | Some m ->
+      Format.printf "stopped: %s@." m;
+      `Ok ()
+  | None -> `Ok ()
+
+let parse_mapping_arg query text =
+  let pairs =
+    List.filter_map
+      (fun tok -> Scanf.sscanf_opt tok "q%d->r%d" (fun q r -> (q, r)))
+      (String.split_on_char ' ' (String.trim text))
+  in
+  let n = Graph.node_count query in
+  if List.length pairs <> n then
+    Error
+      (Printf.sprintf "mapping names %d of %d query nodes" (List.length pairs) n)
+  else
+    let arr = Array.make n (-1) in
+    List.iter (fun (q, r) -> if q >= 0 && q < n then arr.(q) <- r) pairs;
+    if Array.exists (fun r -> r < 0) arr then
+      Error "mapping must name every query node exactly once (q<i>->r<j> pairs)"
+    else Ok (Mapping.of_array arr)
+
+let free_run host_file residual_file query_file mapping_arg =
+  let _host, ledger = open_ledger host_file (Some residual_file) in
+  if not (Sys.file_exists residual_file) then
+    `Error (false, Printf.sprintf "residual file %s does not exist" residual_file)
+  else
+    let query = Graphml.read_file query_file in
+    match parse_mapping_arg query mapping_arg with
+    | Error m -> `Error (false, m)
+    | Ok mapping -> (
+        match Ledger.charge_of_mapping ledger ~query mapping with
+        | Error m -> `Error (false, m)
+        | Ok charge -> (
+            match Ledger.credit ledger charge with
+            | Error m -> `Error (false, m)
+            | Ok () ->
+                Graphml.write_file (Ledger.residual_graph ledger) residual_file;
+                Format.printf "credited; residual network written to %s@."
+                  residual_file;
+                print_utilization (Ledger.utilization ledger);
+                `Ok ()))
+
+let utilization_run host_file residual_file =
+  let _host, ledger = open_ledger host_file residual_file in
+  print_utilization (Ledger.utilization ledger);
+  `Ok ()
+
+let residual_opt =
+  Arg.(value & opt (some string) None & info [ "residual" ] ~docv:"FILE"
+         ~doc:"Residual-network GraphML file: read as the starting state when \
+               it exists, rewritten after successful commits.  This file is \
+               the allocation state between CLI invocations.")
+
+let allocate_cmd =
+  let host_file =
+    Arg.(required & opt (some file) None & info [ "host" ] ~docv:"FILE"
+           ~doc:"Hosting network (GraphML) declaring capacities.")
+  in
+  let query_file =
+    Arg.(required & opt (some file) None & info [ "query" ] ~docv:"FILE"
+           ~doc:"Query network (GraphML) whose attributes are the demand vector.")
+  in
+  let constraint_arg =
+    Arg.(value & opt string "true" & info [ "constraint" ] ~docv:"EXPR"
+           ~doc:"Constraint expression, or @FILE.")
+  in
+  let node_constraint =
+    Arg.(value & opt (some string) None & info [ "node-constraint" ] ~docv:"EXPR"
+           ~doc:"Optional per-node constraint over rSource/vSource.")
+  in
+  let algorithm =
+    Arg.(value & opt algorithm_conv Engine.ECF & info [ "algorithm"; "a" ]
+           ~docv:"ALG" ~doc:"Search algorithm: ecf, rwb or lns.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-tenant search timeout.")
+  in
+  let count =
+    Arg.(value & opt int 1 & info [ "count" ] ~docv:"N"
+           ~doc:"Commit up to N tenants of the same query (stops at the first \
+                 rejection).")
+  in
+  Cmd.v
+    (Cmd.info "allocate"
+       ~doc:"Embed a query and commit its capacity charge in the resource ledger")
+    Term.(
+      ret
+        (const allocate_run $ host_file $ query_file $ constraint_arg
+        $ node_constraint $ algorithm $ timeout $ count $ residual_opt))
+
+let free_cmd =
+  let host_file =
+    Arg.(required & opt (some file) None & info [ "host" ] ~docv:"FILE"
+           ~doc:"Hosting network (GraphML) declaring capacities.")
+  in
+  let residual_file =
+    Arg.(required & opt (some string) None & info [ "residual" ] ~docv:"FILE"
+           ~doc:"Residual-network GraphML file holding the allocation state; \
+                 rewritten after the credit.")
+  in
+  let query_file =
+    Arg.(required & opt (some file) None & info [ "query" ] ~docv:"FILE"
+           ~doc:"The query network that was allocated.")
+  in
+  let mapping_arg =
+    Arg.(required & opt (some string) None & info [ "mapping" ] ~docv:"PAIRS"
+           ~doc:"The mapping that was committed, as printed by allocate: \
+                 'q0->r17 q1->r4 ...'.")
+  in
+  Cmd.v
+    (Cmd.info "free"
+       ~doc:"Credit a previously committed allocation back to the residual network")
+    Term.(ret (const free_run $ host_file $ residual_file $ query_file $ mapping_arg))
+
+let utilization_cmd =
+  let host_file =
+    Arg.(required & opt (some file) None & info [ "host" ] ~docv:"FILE"
+           ~doc:"Hosting network (GraphML) declaring capacities.")
+  in
+  Cmd.v
+    (Cmd.info "utilization"
+       ~doc:"Report per-resource ledger utilization of a hosting network")
+    Term.(ret (const utilization_run $ host_file $ residual_opt))
+
 let main_cmd =
   let doc = "NETEMBED: a network resource mapping service" in
   Cmd.group (Cmd.info "netembed" ~doc ~version:"1.0.0")
-    [ generate_cmd; info_cmd; embed_cmd; convert_cmd ]
+    [
+      generate_cmd; info_cmd; embed_cmd; convert_cmd; allocate_cmd; free_cmd;
+      utilization_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

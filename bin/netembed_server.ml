@@ -7,8 +7,10 @@
      netembed_server --host host.graphml [--monitor-every N]
                      [--metrics-port PORT]
 
-   Protocol: frames as defined in Netembed_service.Wire; one answer per
-   request; EOF terminates.  With --monitor-every N, a synthetic
+   Protocol: frames as defined in Netembed_service.Wire — EMBED
+   (search), ALLOC (search and commit the first mapping as a fractional
+   ledger allocation), FREE <id> and UTIL; one answer per request; EOF
+   terminates.  With --monitor-every N, a synthetic
    monitoring tick refreshes the model between every N requests, so
    long-running sessions see drifting measurements.
 
@@ -126,12 +128,27 @@ let () =
         | Some mon, every when every > 0 && !requests mod every = 0 -> Monitor.tick mon
         | _ -> ());
         let reply =
-          match Wire.decode_request frame with
+          match Wire.decode_command frame with
           | Error e -> Wire.encode_error e
-          | Ok request -> (
+          | Ok (Wire.Submit request) -> (
               match Service.submit service request with
               | Error e -> Wire.encode_error e
               | Ok answer -> Wire.encode_answer answer)
+          | Ok (Wire.Allocate request) -> (
+              match Service.submit service request with
+              | Error e -> Wire.encode_error e
+              | Ok answer -> (
+                  match answer.Service.result.Netembed_core.Engine.mappings with
+                  | [] -> Wire.encode_answer answer
+                  | mapping :: _ -> (
+                      match Service.allocate_shared service answer mapping with
+                      | Ok id -> Wire.encode_answer ~allocation:id answer
+                      | Error e -> Wire.encode_error e)))
+          | Ok (Wire.Free id) ->
+              if Service.free service id then Wire.encode_freed id
+              else Wire.encode_error (Printf.sprintf "unknown allocation %d" id)
+          | Ok Wire.Utilization ->
+              Wire.encode_utilization (Service.utilization service)
         in
         print_string reply;
         flush stdout;

@@ -55,6 +55,7 @@ module Symmetry = Netembed_core.Symmetry
 module Telemetry = Netembed_telemetry.Telemetry
 
 (* Service layer *)
+module Ledger = Netembed_ledger.Ledger
 module Model = Netembed_service.Model
 module Request = Netembed_service.Request
 module Service = Netembed_service.Service

@@ -64,11 +64,15 @@ let edge_attrs rng band =
     if Rng.float rng 1.0 < 0.02 then 0.3 *. Rng.exponential rng ~mean:1.0 else 0.0
   in
   let mx = avg *. (1.0 +. 0.01 +. (0.02 *. Rng.float rng 1.0) +. Float.min spike 1.0) in
+  (* Available bandwidth (Mbps): long paths see less; jitter keeps pairs
+     distinguishable.  This is the capacity the resource ledger debits. *)
+  let bw = Float.max 5.0 (Rng.uniform rng ~lo:40.0 ~hi:100.0 -. (avg /. 5.0)) in
   Attrs.of_list
     [
       ("minDelay", Value.Float mn);
       ("avgDelay", Value.Float avg);
       ("maxDelay", Value.Float mx);
+      ("bandwidth", Value.Float bw);
     ]
 
 let generate rng p =
@@ -122,8 +126,8 @@ let save g path =
         (fun e u v ->
           let a = Graph.edge_attrs g e in
           let num k = Option.value ~default:0.0 (Attrs.float k a) in
-          Printf.fprintf oc "%d %d %.3f %.3f %.3f\n" u v (num "minDelay")
-            (num "avgDelay") (num "maxDelay"))
+          Printf.fprintf oc "%d %d %.3f %.3f %.3f %.3f\n" u v (num "minDelay")
+            (num "avgDelay") (num "maxDelay") (num "bandwidth"))
         g)
 
 let load path =
@@ -154,6 +158,8 @@ let load path =
                       ("cpuMhz", Value.Int (try int_of_string cpu with Failure _ -> fail line));
                       ("memMB", Value.Int (try int_of_string mem with Failure _ -> fail line));
                     ])
+           (* Edge lines: 5 fields from pre-ledger traces (no bandwidth
+              column), 6 fields since bandwidth became a tracked capacity. *)
            | [ u; v; mn; avg; mx ] ->
                let int s = try int_of_string s with Failure _ -> fail line in
                let flt s = try float_of_string s with Failure _ -> fail line in
@@ -164,6 +170,18 @@ let load path =
                          ("minDelay", Value.Float (flt mn));
                          ("avgDelay", Value.Float (flt avg));
                          ("maxDelay", Value.Float (flt mx));
+                       ]))
+           | [ u; v; mn; avg; mx; bw ] ->
+               let int s = try int_of_string s with Failure _ -> fail line in
+               let flt s = try float_of_string s with Failure _ -> fail line in
+               ignore
+                 (Graph.add_edge g (int u) (int v)
+                    (Attrs.of_list
+                       [
+                         ("minDelay", Value.Float (flt mn));
+                         ("avgDelay", Value.Float (flt avg));
+                         ("maxDelay", Value.Float (flt mx));
+                         ("bandwidth", Value.Float (flt bw));
                        ]))
            | _ -> fail line
          done

@@ -1,11 +1,14 @@
 open Netembed_graph
 module Attrs = Netembed_attr.Attrs
 module Value = Netembed_attr.Value
+module Ledger = Netembed_ledger.Ledger
 
 type t = {
   graph : Graph.t;
   mutable rev : int;
   reserved_set : (Graph.node, unit) Hashtbl.t;
+  ledger : Ledger.t;
+  locks : (Graph.node, int) Hashtbl.t;  (* reservation -> ledger allocation *)
 }
 
 let create g =
@@ -18,10 +21,19 @@ let create g =
         Graph.set_node_attrs graph v
           (Attrs.add "reserved" (Value.Bool false) (Graph.node_attrs graph v)))
     graph;
-  { graph; rev = 0; reserved_set = Hashtbl.create 16 }
+  {
+    graph;
+    rev = 0;
+    reserved_set = Hashtbl.create 16;
+    ledger = Ledger.of_graph graph;
+    locks = Hashtbl.create 16;
+  }
 let of_graphml_file path = create (Netembed_graphml.Graphml.read_file path)
 let snapshot t = t.graph
 let revision t = t.rev
+let ledger t = t.ledger
+
+let residual_snapshot t = Ledger.residual_graph ~base:t.graph t.ledger
 
 let update_edge_attrs t e fresh =
   Graph.set_edge_attrs t.graph e (Attrs.union (Graph.edge_attrs t.graph e) fresh);
@@ -38,10 +50,21 @@ let set_reserved_attr t v flag =
     (Attrs.add "reserved" (Value.Bool flag) (Graph.node_attrs t.graph v))
 
 let reserve t nodes =
-  List.iter (fun v -> if Hashtbl.mem t.reserved_set v then raise (Conflict v)) nodes;
+  (* The pre-scan must catch both conflicts with prior reservations and
+     a node appearing twice in this very call — otherwise a duplicated
+     node double-books silently. *)
+  let seen = Hashtbl.create (List.length nodes) in
+  List.iter
+    (fun v ->
+      if Hashtbl.mem t.reserved_set v || Hashtbl.mem seen v then raise (Conflict v);
+      Hashtbl.replace seen v ())
+    nodes;
   List.iter
     (fun v ->
       Hashtbl.replace t.reserved_set v ();
+      (* A boolean reservation is the degenerate full-capacity charge:
+         the node's entire residual is debited in the ledger. *)
+      Hashtbl.replace t.locks v (Ledger.lock t.ledger v);
       set_reserved_attr t v true)
     nodes;
   if nodes <> [] then t.rev <- t.rev + 1
@@ -51,6 +74,11 @@ let release t nodes =
     (fun v ->
       if Hashtbl.mem t.reserved_set v then begin
         Hashtbl.remove t.reserved_set v;
+        (match Hashtbl.find_opt t.locks v with
+        | Some id ->
+            ignore (Ledger.release t.ledger id);
+            Hashtbl.remove t.locks v
+        | None -> ());
         set_reserved_attr t v false
       end)
     nodes;
@@ -58,3 +86,18 @@ let release t nodes =
 
 let reserved t = List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) t.reserved_set [])
 let is_reserved t v = Hashtbl.mem t.reserved_set v
+
+let charge_mapping t ~query mapping =
+  match Ledger.charge_of_mapping t.ledger ~query mapping with
+  | Error m -> Error m
+  | Ok charge -> (
+      match Ledger.try_commit t.ledger charge with
+      | Error f -> Error (Ledger.failure_to_string f)
+      | Ok id ->
+          t.rev <- t.rev + 1;
+          Ok id)
+
+let release_charge t id =
+  let ok = Ledger.release t.ledger id in
+  if ok then t.rev <- t.rev + 1;
+  ok

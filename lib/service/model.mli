@@ -5,9 +5,11 @@
     manager, or a combination of both").
 
     The model wraps the hosting graph with revisioned updates (a
-    monitoring feed refreshing measured attributes) and reservations (an
-    optional resource-reservation layer marking nodes as allocated,
-    section III component 3). *)
+    monitoring feed refreshing measured attributes), a resource {!val-ledger}
+    tracking fractional capacity consumption
+    ({!Netembed_ledger.Ledger}), and reservations — whole-node locks
+    realized as the ledger's degenerate full-capacity charge (section
+    III component 3). *)
 
 open Netembed_graph
 
@@ -15,7 +17,10 @@ type t
 
 val create : Graph.t -> t
 (** Wrap a hosting network; the graph is copied so later monitor updates
-    do not alias the caller's graph. *)
+    do not alias the caller's graph.  A resource ledger is opened over
+    the copy with the default capacity attributes
+    ({!Netembed_ledger.Ledger.of_graph}): hosts declaring no capacities
+    get an empty ledger and behave exactly as before. *)
 
 val of_graphml_file : string -> t
 (** @raise Netembed_graphml.Graphml.Error on malformed input. *)
@@ -25,24 +30,50 @@ val snapshot : t -> Graph.t
     nodes carry the ["reserved"] boolean attribute; embedding queries
     exclude them via the standard node filter used by {!Service}. *)
 
+val residual_snapshot : t -> Graph.t
+(** Like {!snapshot}, but every tracked capacity attribute is replaced
+    by its {e residual} value (capacity minus outstanding charges), so
+    a search against it prunes on what is actually free.  This is what
+    {!Service.submit} embeds against. *)
+
 val revision : t -> int
-(** Bumped on every update or reservation change. *)
+(** Bumped on every update, reservation or ledger change. *)
+
+val ledger : t -> Netembed_ledger.Ledger.t
+(** The model's resource ledger (capacities read at {!create} time). *)
 
 (** {1 Monitoring updates} *)
 
 val update_edge_attrs : t -> Graph.edge -> Netembed_attr.Attrs.t -> unit
-(** Merge fresh measurements into an edge (new values win). *)
+(** Merge fresh measurements into an edge (new values win).  Measured
+    attributes flow into snapshots; declared {e capacities} stay as
+    read at {!create} time (the ledger is the capacity authority). *)
 
 val update_node_attrs : t -> Graph.node -> Netembed_attr.Attrs.t -> unit
 
-(** {1 Reservations} *)
+(** {1 Reservations (whole-node locks)} *)
 
 exception Conflict of Graph.node
 
 val reserve : t -> Graph.node list -> unit
-(** Mark the nodes reserved.  @raise Conflict (naming the first already-
-    reserved node) without reserving anything. *)
+(** Mark the nodes reserved and debit their full residual capacity in
+    the ledger.  @raise Conflict (naming the first already-reserved or
+    duplicated node) without reserving anything — a node listed twice
+    in one call is a conflict too. *)
 
 val release : t -> Graph.node list -> unit
 val reserved : t -> Graph.node list
 val is_reserved : t -> Graph.node -> bool
+
+(** {1 Fractional allocations} *)
+
+val charge_mapping :
+  t -> query:Graph.t -> Netembed_core.Mapping.t -> (int, string) result
+(** Derive the embedding's demand vector from the query attributes and
+    debit it atomically ({!Netembed_ledger.Ledger.try_commit}).
+    Returns the allocation id; [Error] names the first over-committed
+    resource, leaving the ledger untouched.  Bumps the revision on
+    success. *)
+
+val release_charge : t -> int -> bool
+(** Credit an allocation back; [false] if the id is unknown. *)

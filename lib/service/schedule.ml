@@ -4,12 +4,22 @@ module Problem = Netembed_core.Problem
 module Mapping = Netembed_core.Mapping
 module Attrs = Netembed_attr.Attrs
 module Value = Netembed_attr.Value
+module Ledger = Netembed_ledger.Ledger
 
-type lease = { hosts : Graph.node list; start : float; finish : float }
+type lease = {
+  hosts : Graph.node list;
+  start : float;
+  finish : float;
+  charges : int list;  (* ledger allocations held for the window *)
+}
 
-type t = { host : Graph.t; mutable lease_list : lease list }
+type t = {
+  host : Graph.t;
+  ledger : Ledger.t option;
+  mutable lease_list : lease list;
+}
 
-let create host = { host = Graph.copy host; lease_list = [] }
+let create ?ledger host = { host = Graph.copy host; ledger; lease_list = [] }
 
 let leases t = List.sort (fun a b -> Float.compare a.start b.start) t.lease_list
 
@@ -21,6 +31,21 @@ let busy_at t instant =
 
 type placement = { mapping : Mapping.t; start : float; finish : float }
 
+let drop_charges t lease =
+  match t.ledger with
+  | None -> ()
+  | Some ledger -> List.iter (fun id -> ignore (Ledger.release ledger id)) lease.charges
+
+(* The internal gc: leases whose window is over can never influence a
+   candidate window again — prune them and credit their charges back. *)
+let gc t ~now =
+  let expired, live =
+    List.partition (fun (l : lease) -> l.finish <= now) t.lease_list
+  in
+  List.iter (drop_charges t) expired;
+  t.lease_list <- live;
+  List.length expired
+
 (* Nodes busy at any point of [start, start+duration). *)
 let busy_in_window t ~start ~duration =
   List.concat_map
@@ -30,6 +55,7 @@ let busy_in_window t ~start ~duration =
   |> List.sort_uniq compare
 
 let earliest ?(algorithm = Engine.ECF) ?timeout t ~now ~duration ~query edge_constraint =
+  ignore (gc t ~now);
   (* Candidate start times: now, plus each lease expiry after now (the
      available set only grows at those instants). *)
   let candidates =
@@ -68,15 +94,18 @@ let earliest ?(algorithm = Engine.ECF) ?timeout t ~now ~duration ~query edge_con
   scan candidates
 
 let book t placement =
+  let hosts = List.map snd (Mapping.to_list placement.mapping) in
+  let charges =
+    match t.ledger with
+    | None -> []
+    | Some ledger ->
+        (* A lease is an exclusive hold on its hosts for the window:
+           the degenerate full-capacity charge, credited back when the
+           lease is pruned after expiry. *)
+        List.map (Ledger.lock ledger) hosts
+  in
   t.lease_list <-
-    {
-      hosts = List.map snd (Mapping.to_list placement.mapping);
-      start = placement.start;
-      finish = placement.finish;
-    }
+    { hosts; start = placement.start; finish = placement.finish; charges }
     :: t.lease_list
 
-let release_expired t ~now =
-  let before = List.length t.lease_list in
-  t.lease_list <- List.filter (fun (l : lease) -> l.finish > now) t.lease_list;
-  before - List.length t.lease_list
+let release_expired t ~now = gc t ~now

@@ -10,16 +10,32 @@
     scans candidate start times (now plus every lease expiry — between
     expiries the available set is constant, so these are the only
     decision points) and returns the first window in which the query
-    embeds on the then-free nodes. *)
+    embeds on the then-free nodes.
+
+    When created over a resource ledger, every {!book} also takes the
+    degenerate full-capacity charge on the leased hosts
+    ({!Netembed_ledger.Ledger.lock}), and the internal gc — run on each
+    {!earliest} and {!release_expired} — credits those charges back the
+    moment a lease expires, so fractional tenants of the same model see
+    scheduled capacity come and go. *)
 
 open Netembed_graph
 
 type t
 
-val create : Graph.t -> t
-(** A scheduler over the hosting network with no leases. *)
+val create : ?ledger:Netembed_ledger.Ledger.t -> Graph.t -> t
+(** A scheduler over the hosting network with no leases.  With
+    [?ledger], booked leases hold full-capacity charges on their hosts
+    until expiry. *)
 
-type lease = { hosts : Graph.node list; start : float; finish : float }
+type lease = {
+  hosts : Graph.node list;
+  start : float;
+  finish : float;
+  charges : int list;
+      (** Ledger allocation ids held for the window; [[]] without a
+          ledger. *)
+}
 
 val leases : t -> lease list
 (** Active leases, by start time. *)
@@ -43,13 +59,18 @@ val earliest :
   Netembed_expr.Ast.t ->
   (placement, string) result
 (** Earliest start [>= now] at which the query embeds for [duration]
-    seconds using only nodes free for the whole window.  The returned
-    placement is {e not} booked; call {!book} to commit it.
-    [Error] when no feasible window exists even with every lease
-    expired, or on engine errors. *)
+    seconds using only nodes free for the whole window.  Leases already
+    over at [now] are gc'd first (releasing their ledger charges).  A
+    lease ending exactly at a candidate start does not block it —
+    windows are half-open [\[start, finish)].  The returned placement is
+    {e not} booked; call {!book} to commit it.  [Error] when no
+    feasible window exists even with every lease expired, or on engine
+    errors. *)
 
 val book : t -> placement -> unit
-(** Register the placement's hosts as leased for its window. *)
+(** Register the placement's hosts as leased for its window, charging
+    their full capacity in the ledger when one is attached. *)
 
 val release_expired : t -> now:float -> int
-(** Drop leases that ended before [now]; returns how many. *)
+(** Run the gc: drop leases whose window ended at or before [now],
+    crediting their ledger charges back; returns how many. *)

@@ -4,6 +4,7 @@ module Mapping = Netembed_core.Mapping
 module Expr = Netembed_expr.Expr
 module Ast = Netembed_expr.Ast
 module Telemetry = Netembed_telemetry.Telemetry
+module Ledger = Netembed_ledger.Ledger
 
 type t = {
   model : Model.t;
@@ -13,9 +14,28 @@ type t = {
   latency_us : Telemetry.Histogram.t;
   relaxation_rounds : Telemetry.Counter.t;
   model_revision : Telemetry.Gauge.t;
+  allocations_accepted : Telemetry.Counter.t;
+  allocations_rejected : Telemetry.Counter.t;
+  admission_rejected : Telemetry.Counter.t;
+  active_allocations : Telemetry.Gauge.t;
+  utilization_gauges : (string * [ `Node | `Edge ] * Telemetry.Gauge.t) list;
 }
 
+let kind_label = function `Node -> "node" | `Edge -> "edge"
+
 let create ?(registry = Telemetry.default_registry) model =
+  let ledger = Model.ledger model in
+  let utilization_gauges =
+    List.map
+      (fun (resource, kind, _, _) ->
+        ( resource,
+          kind,
+          Telemetry.Registry.gauge registry
+            ~help:"Fraction of the hosting network's declared capacity under allocation"
+            ~labels:[ ("resource", resource); ("kind", kind_label kind) ]
+            "netembed_resource_utilization" ))
+      (Ledger.utilization ledger)
+  in
   let t =
     {
       model;
@@ -25,7 +45,7 @@ let create ?(registry = Telemetry.default_registry) model =
           ~help:"Requests submitted to the mapping service" "netembed_requests_total";
       request_errors =
         Telemetry.Registry.counter registry
-          ~help:"Requests rejected (malformed constraints or impossible query)"
+          ~help:"Requests rejected (malformed constraints, admission control or impossible query)"
           "netembed_request_errors_total";
       latency_us =
         Telemetry.Registry.histogram registry
@@ -39,6 +59,22 @@ let create ?(registry = Telemetry.default_registry) model =
         Telemetry.Registry.gauge registry
           ~help:"Network-model revision the latest answer was computed against"
           "netembed_model_revision";
+      allocations_accepted =
+        Telemetry.Registry.counter registry
+          ~help:"Allocations committed (whole-node reservations and fractional charges)"
+          "netembed_allocations_total";
+      allocations_rejected =
+        Telemetry.Registry.counter registry
+          ~help:"Allocations rejected (stale answer, reservation conflict or over-committed resource)"
+          "netembed_allocation_rejects_total";
+      admission_rejected =
+        Telemetry.Registry.counter registry
+          ~help:"Queries rejected before search: aggregate demand exceeded total residual capacity"
+          "netembed_admission_rejects_total";
+      active_allocations =
+        Telemetry.Registry.gauge registry
+          ~help:"Outstanding ledger allocations" "netembed_active_allocations";
+      utilization_gauges;
     }
   in
   Telemetry.Gauge.set t.model_revision (float_of_int (Model.revision model));
@@ -46,6 +82,22 @@ let create ?(registry = Telemetry.default_registry) model =
 
 let model t = t.model
 let registry t = t.registry
+
+let utilization t = Ledger.utilization (Model.ledger t.model)
+
+let refresh_utilization t =
+  let rows = utilization t in
+  List.iter
+    (fun (resource, kind, gauge) ->
+      match
+        List.find_opt (fun (r, k, _, _) -> r = resource && k = kind) rows
+      with
+      | Some (_, _, used, cap) ->
+          Telemetry.Gauge.set gauge (if cap > 0.0 then used /. cap else 0.0)
+      | None -> ())
+    t.utilization_gauges;
+  Telemetry.Gauge.set t.active_allocations
+    (float_of_int (Ledger.outstanding (Model.ledger t.model)))
 
 type answer = {
   request : Request.t;
@@ -80,32 +132,44 @@ let submit t (request : Request.t) =
         | None -> reservation_guard
         | Some c -> Ast.Binop (Ast.And, reservation_guard, c)
       in
-      let host = Model.snapshot t.model in
-      match
-        Problem.make ~node_constraint ~host ~query:request.Request.query edge_constraint
-      with
-      | exception Invalid_argument m -> finish (Error m)
-      | problem ->
-          let options =
-            {
-              Engine.default_options with
-              Engine.mode = request.Request.mode;
-              timeout = request.Request.timeout;
-            }
-          in
-          let result =
-            Telemetry.Span.with_span "service_submit" (fun () ->
-                Engine.run ~options request.Request.algorithm problem)
-          in
-          Log.debug (fun m ->
-              m "query %d nodes via %s: %d mapping(s), %s"
-                (Netembed_graph.Graph.node_count request.Request.query)
-                (Engine.algorithm_name request.Request.algorithm)
-                (List.length result.Engine.mappings)
-                (Engine.outcome_name result.Engine.outcome));
-          let revision = Model.revision t.model in
-          Telemetry.Gauge.set t.model_revision (float_of_int revision);
-          finish (Ok { request; result; model_revision = revision }))
+      (* Admission control: a query whose aggregate demand exceeds the
+         total residual capacity cannot commit under any mapping —
+         reject it before paying for a search. *)
+      match Ledger.admissible (Model.ledger t.model) ~query:request.Request.query with
+      | Error f ->
+          Telemetry.Counter.incr t.admission_rejected;
+          finish (Error ("admission: " ^ Ledger.failure_to_string f))
+      | Ok () -> (
+          (* Embed against residual capacities: co-located tenants have
+             already eaten into what constraints like
+             rSource.cpuMhz >= vSource.cpuMhz can see. *)
+          let host = Model.residual_snapshot t.model in
+          match
+            Problem.make ~node_constraint ~host ~query:request.Request.query
+              edge_constraint
+          with
+          | exception Invalid_argument m -> finish (Error m)
+          | problem ->
+              let options =
+                {
+                  Engine.default_options with
+                  Engine.mode = request.Request.mode;
+                  timeout = request.Request.timeout;
+                }
+              in
+              let result =
+                Telemetry.Span.with_span "service_submit" (fun () ->
+                    Engine.run ~options request.Request.algorithm problem)
+              in
+              Log.debug (fun m ->
+                  m "query %d nodes via %s: %d mapping(s), %s"
+                    (Netembed_graph.Graph.node_count request.Request.query)
+                    (Engine.algorithm_name request.Request.algorithm)
+                    (List.length result.Engine.mappings)
+                    (Engine.outcome_name result.Engine.outcome));
+              let revision = Model.revision t.model in
+              Telemetry.Gauge.set t.model_revision (float_of_int revision);
+              finish (Ok { request; result; model_revision = revision })))
 
 let submit_with_relaxation t request ~steps ~factor =
   let rec go request round =
@@ -121,15 +185,45 @@ let submit_with_relaxation t request ~steps ~factor =
   in
   go request 0
 
+let stale_answer_error = "model changed since the answer was computed; re-submit the query"
+
 let allocate t answer mapping =
-  if Model.revision t.model <> answer.model_revision then
-    Error "model changed since the answer was computed; re-submit the query"
+  if Model.revision t.model <> answer.model_revision then begin
+    Telemetry.Counter.incr t.allocations_rejected;
+    Error stale_answer_error
+  end
   else begin
     let hosts = List.map snd (Mapping.to_list mapping) in
     match Model.reserve t.model hosts with
-    | () -> Ok ()
-    | exception Model.Conflict v -> Error (Printf.sprintf "host node %d already reserved" v)
+    | () ->
+        Telemetry.Counter.incr t.allocations_accepted;
+        refresh_utilization t;
+        Ok ()
+    | exception Model.Conflict v ->
+        Telemetry.Counter.incr t.allocations_rejected;
+        Error (Printf.sprintf "host node %d already reserved" v)
   end
 
+let allocate_shared t answer mapping =
+  if Model.revision t.model <> answer.model_revision then begin
+    Telemetry.Counter.incr t.allocations_rejected;
+    Error stale_answer_error
+  end
+  else
+    match Model.charge_mapping t.model ~query:answer.request.Request.query mapping with
+    | Ok id ->
+        Telemetry.Counter.incr t.allocations_accepted;
+        refresh_utilization t;
+        Ok id
+    | Error m ->
+        Telemetry.Counter.incr t.allocations_rejected;
+        Error m
+
+let free t id =
+  let ok = Model.release_charge t.model id in
+  if ok then refresh_utilization t;
+  ok
+
 let release_mapping t mapping =
-  Model.release t.model (List.map snd (Mapping.to_list mapping))
+  Model.release t.model (List.map snd (Mapping.to_list mapping));
+  refresh_utilization t

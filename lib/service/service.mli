@@ -2,9 +2,13 @@
     submit resource-requirement queries against the network model and
     receive lists of possible resource assignments.
 
-    The service excludes reserved hosting nodes automatically, supports
-    the interactive negotiate-and-relax loop, and can allocate a
-    returned mapping (reserving its hosts in the model). *)
+    The service excludes reserved hosting nodes automatically, embeds
+    against {e residual} capacities (so co-located tenants shrink what
+    capacity constraints can see), applies admission control before
+    searching, supports the interactive negotiate-and-relax loop, and
+    can allocate a returned mapping — exclusively ({!allocate}, the
+    whole-node reservation) or fractionally ({!allocate_shared}, a
+    multi-tenant capacity charge in the model's ledger). *)
 
 type t
 
@@ -13,7 +17,12 @@ val create : ?registry:Netembed_telemetry.Telemetry.Registry.t -> Model.t -> t
     ([netembed_requests_total], [netembed_request_errors_total], the
     [netembed_request_latency_us] histogram,
     [netembed_relaxation_rounds_total] and the [netembed_model_revision]
-    gauge) in [registry] —
+    gauge), the allocation counters ([netembed_allocations_total],
+    [netembed_allocation_rejects_total],
+    [netembed_admission_rejects_total],
+    [netembed_active_allocations]) and one
+    [netembed_resource_utilization{resource,kind}] gauge per capacity
+    resource tracked by the model's ledger, in [registry] —
     {!Netembed_telemetry.Telemetry.default_registry} unless overridden
     (tests pass a private one for isolation). *)
 
@@ -23,6 +32,11 @@ val registry : t -> Netembed_telemetry.Telemetry.Registry.t
 (** The registry the service records into — what [GET /metrics]
     serves. *)
 
+val utilization :
+  t -> (string * [ `Node | `Edge ] * float * float) list
+(** Per tracked capacity resource: [(name, kind, used, capacity)] —
+    {!Netembed_ledger.Ledger.utilization} of the model's ledger. *)
+
 type answer = {
   request : Request.t;
   result : Netembed_core.Engine.result;
@@ -30,9 +44,13 @@ type answer = {
 }
 
 val submit : t -> Request.t -> (answer, string) result
-(** Run the request against the current model snapshot.  [Error] is
-    returned for malformed constraint expressions or an impossible
-    query (larger than the hosting network). *)
+(** Run the request against the current {e residual} model snapshot
+    ({!Model.residual_snapshot}).  [Error] is returned for malformed
+    constraint expressions, an impossible query (larger than the
+    hosting network), or an admission rejection — when the query's
+    aggregate capacity demand exceeds the network's total residual, no
+    mapping can commit, so the search is skipped and the error names
+    the exhausted resource. *)
 
 val submit_with_relaxation :
   t -> Request.t -> steps:int -> factor:float -> (answer * int, string) result
@@ -43,8 +61,21 @@ val submit_with_relaxation :
     [netembed_relaxation_rounds_total] counter). *)
 
 val allocate : t -> answer -> Netembed_core.Mapping.t -> (unit, string) result
-(** Reserve the hosts used by the mapping.  Fails (without reserving
-    anything) if the model changed since the answer was computed or if
-    any host is already reserved. *)
+(** Reserve the hosts used by the mapping exclusively (the degenerate
+    full-capacity charge).  Fails (without reserving anything) if the
+    model changed since the answer was computed or if any host is
+    already reserved. *)
+
+val allocate_shared :
+  t -> answer -> Netembed_core.Mapping.t -> (int, string) result
+(** Commit the mapping's fractional demand vector in the ledger,
+    leaving the hosts available to further tenants while capacity
+    remains.  Returns the allocation id for {!free}.  Fails without
+    charging anything if the model changed since the answer was
+    computed or a resource would over-commit (the error names it). *)
+
+val free : t -> int -> bool
+(** Release a fractional allocation by id; [false] if unknown. *)
 
 val release_mapping : t -> Netembed_core.Mapping.t -> unit
+(** Release the whole-node reservations of {!allocate}. *)

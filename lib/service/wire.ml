@@ -23,10 +23,10 @@ let algorithm_of_string s =
   | "LNS" -> Ok Engine.LNS
   | s -> Error (Printf.sprintf "unknown algorithm %S" s)
 
-let encode_request (r : Request.t) =
+let encode_embed keyword (r : Request.t) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf "EMBED alg=%s mode=%s%s\n"
+    (Printf.sprintf "%s alg=%s mode=%s%s\n" keyword
        (Engine.algorithm_name r.Request.algorithm)
        (mode_to_string r.Request.mode)
        (match r.Request.timeout with
@@ -41,6 +41,8 @@ let encode_request (r : Request.t) =
   Buffer.add_string buf ".\n";
   Buffer.contents buf
 
+let encode_request r = encode_embed "EMBED" r
+
 let split_kv token =
   match String.index_opt token '=' with
   | None -> (token, "")
@@ -49,7 +51,7 @@ let split_kv token =
 
 let ( let* ) = Result.bind
 
-let decode_request text =
+let frame_lines text =
   let lines = String.split_on_char '\n' text in
   let rec drop_terminator acc = function
     | [] -> List.rev acc
@@ -57,74 +59,110 @@ let decode_request text =
     | "." :: _ -> List.rev acc
     | l :: rest -> drop_terminator (l :: acc) rest
   in
-  match drop_terminator [] lines with
+  drop_terminator [] lines
+
+(* Body shared by EMBED and ALLOC: header parameters, then
+   CONSTRAINT/NODECONSTRAINT lines, then the GRAPHML document. *)
+let decode_embed_frame params rest =
+  let* algorithm, mode, timeout =
+    List.fold_left
+      (fun acc token ->
+        let* alg, mode, timeout = acc in
+        match split_kv token with
+        | "alg", v ->
+            let* a = algorithm_of_string v in
+            Ok (Some a, mode, timeout)
+        | "mode", v ->
+            let* m = mode_of_string v in
+            Ok (alg, Some m, timeout)
+        | "timeout", v -> (
+            match float_of_string_opt v with
+            | Some f -> Ok (alg, mode, Some f)
+            | None -> Error (Printf.sprintf "bad timeout %S" v))
+        | k, _ -> Error (Printf.sprintf "unknown parameter %S" k))
+      (Ok (None, None, None))
+      params
+  in
+  let algorithm = Option.value ~default:Engine.ECF algorithm in
+  let mode = Option.value ~default:Engine.First mode in
+  let rec scan lines constraint_text node_constraint =
+    match lines with
+    | [] -> Error "missing GRAPHML section"
+    | line :: rest -> (
+        let line_trim = String.trim line in
+        if line_trim = "GRAPHML" then
+          match constraint_text with
+          | None -> Error "missing CONSTRAINT line"
+          | Some c -> Ok (c, node_constraint, String.concat "\n" rest)
+        else
+          match String.index_opt line_trim ' ' with
+          | None -> Error (Printf.sprintf "malformed line %S" line_trim)
+          | Some i -> (
+              let keyword = String.sub line_trim 0 i in
+              let payload =
+                String.sub line_trim (i + 1) (String.length line_trim - i - 1)
+              in
+              match keyword with
+              | "CONSTRAINT" -> scan rest (Some payload) node_constraint
+              | "NODECONSTRAINT" -> scan rest constraint_text (Some payload)
+              | k -> Error (Printf.sprintf "unknown keyword %S" k)))
+  in
+  let* constraint_text, node_constraint, graphml = scan rest None None in
+  let* query =
+    match Netembed_graphml.Graphml.read_string graphml with
+    | g -> Ok g
+    | exception Netembed_graphml.Graphml.Error m -> Error m
+  in
+  Ok (Request.make ?node_constraint ~algorithm ~mode ?timeout ~query constraint_text)
+
+let decode_request text =
+  match frame_lines text with
   | [] -> Error "empty request"
   | header :: rest -> (
-      let tokens = String.split_on_char ' ' (String.trim header) in
-      match tokens with
-      | "EMBED" :: params ->
-          let* algorithm, mode, timeout =
-            List.fold_left
-              (fun acc token ->
-                let* alg, mode, timeout = acc in
-                match split_kv token with
-                | "alg", v ->
-                    let* a = algorithm_of_string v in
-                    Ok (Some a, mode, timeout)
-                | "mode", v ->
-                    let* m = mode_of_string v in
-                    Ok (alg, Some m, timeout)
-                | "timeout", v -> (
-                    match float_of_string_opt v with
-                    | Some f -> Ok (alg, mode, Some f)
-                    | None -> Error (Printf.sprintf "bad timeout %S" v))
-                | k, _ -> Error (Printf.sprintf "unknown parameter %S" k))
-              (Ok (None, None, None))
-              params
-          in
-          let algorithm = Option.value ~default:Engine.ECF algorithm in
-          let mode = Option.value ~default:Engine.First mode in
-          let rec scan lines constraint_text node_constraint =
-            match lines with
-            | [] -> Error "missing GRAPHML section"
-            | line :: rest -> (
-                let line_trim = String.trim line in
-                if line_trim = "GRAPHML" then
-                  match constraint_text with
-                  | None -> Error "missing CONSTRAINT line"
-                  | Some c -> Ok (c, node_constraint, String.concat "\n" rest)
-                else
-                  match String.index_opt line_trim ' ' with
-                  | None -> Error (Printf.sprintf "malformed line %S" line_trim)
-                  | Some i -> (
-                      let keyword = String.sub line_trim 0 i in
-                      let payload =
-                        String.sub line_trim (i + 1) (String.length line_trim - i - 1)
-                      in
-                      match keyword with
-                      | "CONSTRAINT" -> scan rest (Some payload) node_constraint
-                      | "NODECONSTRAINT" -> scan rest constraint_text (Some payload)
-                      | k -> Error (Printf.sprintf "unknown keyword %S" k)))
-          in
-          let* constraint_text, node_constraint, graphml = scan rest None None in
-          let* query =
-            match Netembed_graphml.Graphml.read_string graphml with
-            | g -> Ok g
-            | exception Netembed_graphml.Graphml.Error m -> Error m
-          in
-          Ok
-            (Request.make ?node_constraint ~algorithm ~mode ?timeout ~query
-               constraint_text)
+      match String.split_on_char ' ' (String.trim header) with
+      | "EMBED" :: params -> decode_embed_frame params rest
       | _ -> Error "request must start with EMBED")
 
-let encode_answer (a : Service.answer) =
+type command =
+  | Submit of Request.t
+  | Allocate of Request.t
+  | Free of int
+  | Utilization
+
+let decode_command text =
+  match frame_lines text with
+  | [] -> Error "empty request"
+  | header :: rest -> (
+      match String.split_on_char ' ' (String.trim header) with
+      | "EMBED" :: params ->
+          Result.map (fun r -> Submit r) (decode_embed_frame params rest)
+      | "ALLOC" :: params ->
+          Result.map (fun r -> Allocate r) (decode_embed_frame params rest)
+      | [ "FREE"; id ] -> (
+          match int_of_string_opt id with
+          | Some id when id > 0 -> Ok (Free id)
+          | Some _ | None -> Error (Printf.sprintf "bad allocation id %S" id))
+      | [ "FREE" ] -> Error "FREE requires an allocation id"
+      | [ "UTIL" ] -> Ok Utilization
+      | _ -> Error "request must start with EMBED, ALLOC, FREE or UTIL")
+
+let encode_command = function
+  | Submit r -> encode_embed "EMBED" r
+  | Allocate r -> encode_embed "ALLOC" r
+  | Free id -> Printf.sprintf "FREE %d\n.\n" id
+  | Utilization -> "UTIL\n.\n"
+
+let encode_answer ?allocation (a : Service.answer) =
   let buf = Buffer.create 256 in
   let r = a.Service.result in
   Buffer.add_string buf
-    (Printf.sprintf "OK outcome=%s count=%d elapsed=%.3f\n"
+    (Printf.sprintf "OK outcome=%s count=%d elapsed=%.3f%s\n"
        (Engine.outcome_name r.Engine.outcome)
        (List.length r.Engine.mappings)
-       (r.Engine.elapsed *. 1000.0));
+       (r.Engine.elapsed *. 1000.0)
+       (match allocation with
+       | None -> ""
+       | Some id -> Printf.sprintf " allocation=%d" id));
   List.iter
     (fun m ->
       Buffer.add_string buf "MAPPING";
@@ -137,11 +175,27 @@ let encode_answer (a : Service.answer) =
   Buffer.contents buf
 
 let encode_error m = Printf.sprintf "ERR %s\n.\n" m
+let encode_freed id = Printf.sprintf "OK freed=%d\n.\n" id
+
+let kind_to_string = function `Node -> "node" | `Edge -> "edge"
+
+let encode_utilization rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "OK resources=%d\n" (List.length rows));
+  List.iter
+    (fun (resource, kind, used, capacity) ->
+      Buffer.add_string buf
+        (Printf.sprintf "UTIL resource=%s kind=%s used=%g capacity=%g\n" resource
+           (kind_to_string kind) used capacity))
+    rows;
+  Buffer.add_string buf ".\n";
+  Buffer.contents buf
 
 type decoded_answer = {
   outcome : Engine.outcome;
   elapsed_ms : float;
   mappings : (int * int) list list;
+  allocation : int option;
 }
 
 let outcome_of_string = function
@@ -160,21 +214,25 @@ let decode_answer text =
       match String.split_on_char ' ' (String.trim header) with
       | "ERR" :: msg -> Error (String.concat " " msg)
       | "OK" :: params ->
-          let* outcome, elapsed =
+          let* outcome, elapsed, allocation =
             List.fold_left
               (fun acc token ->
-                let* outcome, elapsed = acc in
+                let* outcome, elapsed, allocation = acc in
                 match split_kv token with
                 | "outcome", v ->
                     let* o = outcome_of_string v in
-                    Ok (Some o, elapsed)
+                    Ok (Some o, elapsed, allocation)
                 | "elapsed", v -> (
                     match float_of_string_opt v with
-                    | Some f -> Ok (outcome, f)
+                    | Some f -> Ok (outcome, f, allocation)
                     | None -> Error "bad elapsed")
+                | "allocation", v -> (
+                    match int_of_string_opt v with
+                    | Some id -> Ok (outcome, elapsed, Some id)
+                    | None -> Error "bad allocation id")
                 | "count", _ -> acc
                 | k, _ -> Error (Printf.sprintf "unknown parameter %S" k))
-              (Ok (None, 0.0))
+              (Ok (None, 0.0, None))
               params
           in
           let* outcome =
@@ -197,5 +255,58 @@ let decode_answer text =
                 else None)
               rest
           in
-          Ok { outcome; elapsed_ms = elapsed; mappings }
+          Ok { outcome; elapsed_ms = elapsed; mappings; allocation }
+      | _ -> Error "answer must start with OK or ERR")
+
+type utilization_row = {
+  resource : string;
+  kind : [ `Node | `Edge ];
+  used : float;
+  capacity : float;
+}
+
+let decode_utilization text =
+  let lines =
+    List.filter (fun l -> l <> "" && l <> ".") (String.split_on_char '\n' text)
+  in
+  match lines with
+  | [] -> Error "empty answer"
+  | header :: rest -> (
+      match String.split_on_char ' ' (String.trim header) with
+      | "ERR" :: msg -> Error (String.concat " " msg)
+      | "OK" :: _ ->
+          let parse_row line =
+            let fields =
+              List.filter (fun t -> t <> "")
+                (String.split_on_char ' ' (String.trim line))
+            in
+            List.fold_left
+              (fun acc token ->
+                let* row = acc in
+                match split_kv token with
+                | "resource", v -> Ok { row with resource = v }
+                | "kind", "node" -> Ok { row with kind = `Node }
+                | "kind", "edge" -> Ok { row with kind = `Edge }
+                | "kind", v -> Error (Printf.sprintf "bad kind %S" v)
+                | "used", v -> (
+                    match float_of_string_opt v with
+                    | Some f -> Ok { row with used = f }
+                    | None -> Error "bad used")
+                | "capacity", v -> (
+                    match float_of_string_opt v with
+                    | Some f -> Ok { row with capacity = f }
+                    | None -> Error "bad capacity")
+                | k, _ -> Error (Printf.sprintf "unknown field %S" k))
+              (Ok { resource = ""; kind = `Node; used = 0.0; capacity = 0.0 })
+              fields
+          in
+          let rec rows acc = function
+            | [] -> Ok (List.rev acc)
+            | line :: rest ->
+                if String.length line >= 5 && String.sub line 0 5 = "UTIL " then
+                  let* row = parse_row (String.sub line 5 (String.length line - 5)) in
+                  rows (row :: acc) rest
+                else rows acc rest
+          in
+          rows [] rest
       | _ -> Error "answer must start with OK or ERR")

@@ -5,7 +5,7 @@
     framing used by the CLI and by the line-oriented server loop, so a
     deployment can put the engine behind any transport.
 
-    Request frame (text, terminated by a line containing only [.]):
+    Request frames (text, terminated by a line containing only [.]):
     {v
     EMBED alg=<ECF|RWB|LNS> mode=<first|all|atmost:k> [timeout=<sec>]
     CONSTRAINT <expression>
@@ -14,14 +14,26 @@
     <graphml document for the query network>
     .
     v}
-
-    Response frame:
+    [ALLOC] takes the same shape as [EMBED] and additionally commits the
+    first returned mapping as a fractional ledger allocation.  Two
+    body-less commands manage allocations:
     {v
-    OK outcome=<complete|partial|inconclusive> count=<n> elapsed=<ms>
+    FREE <allocation-id>
+    .
+
+    UTIL
+    .
+    v}
+
+    Response frames:
+    {v
+    OK outcome=<complete|partial|inconclusive> count=<n> elapsed=<ms> [allocation=<id>]
     MAPPING q0->r17 q1->r4 ...       (one line per mapping)
     .
     v}
-    or [ERR <message>] followed by [.]. *)
+    [FREE] answers [OK freed=<id>]; [UTIL] answers one
+    [UTIL resource=<name> kind=<node|edge> used=<x> capacity=<y>] line
+    per tracked resource.  Errors are [ERR <message>] followed by [.]. *)
 
 val mode_to_string : Netembed_core.Engine.mode -> string
 val mode_of_string : string -> (Netembed_core.Engine.mode, string) result
@@ -29,14 +41,47 @@ val algorithm_of_string : string -> (Netembed_core.Engine.algorithm, string) res
 
 val encode_request : Request.t -> string
 val decode_request : string -> (Request.t, string) result
+(** [EMBED] frames only; {!decode_command} accepts the full verb set. *)
 
-val encode_answer : Service.answer -> string
+(** One decoded protocol verb. *)
+type command =
+  | Submit of Request.t  (** [EMBED]: search, do not allocate *)
+  | Allocate of Request.t
+      (** [ALLOC]: search, then commit the first mapping in the ledger *)
+  | Free of int  (** [FREE <id>]: release a fractional allocation *)
+  | Utilization  (** [UTIL]: report per-resource ledger utilization *)
+
+val decode_command : string -> (command, string) result
+val encode_command : command -> string
+
+val encode_answer : ?allocation:int -> Service.answer -> string
+(** [?allocation] adds [allocation=<id>] to the [OK] header (the
+    [ALLOC] response). *)
+
 val encode_error : string -> string
+
+val encode_freed : int -> string
+(** The [FREE] success response, [OK freed=<id>]. *)
+
+val encode_utilization :
+  (string * [ `Node | `Edge ] * float * float) list -> string
+(** The [UTIL] response from {!Service.utilization} rows. *)
 
 type decoded_answer = {
   outcome : Netembed_core.Engine.outcome;
   elapsed_ms : float;
   mappings : (int * int) list list;  (** association lists per mapping *)
+  allocation : int option;
+      (** allocation id from an [ALLOC] response; [None] for [EMBED] *)
 }
 
 val decode_answer : string -> (decoded_answer, string) result
+
+type utilization_row = {
+  resource : string;
+  kind : [ `Node | `Edge ];
+  used : float;
+  capacity : float;
+}
+
+val decode_utilization : string -> (utilization_row list, string) result

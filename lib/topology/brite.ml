@@ -58,7 +58,18 @@ let edge_attrs_for rng p dist =
 
 let place_node rng p g =
   let x = Rng.float rng p.plane_size and y = Rng.float rng p.plane_size in
-  Graph.add_node g (Attrs.of_list [ ("x", Value.Float x); ("y", Value.Float y) ])
+  (* PlanetLab-like host capacities, so BRITE graphs work as hosting
+     networks under the resource ledger out of the box. *)
+  let cpu = 1000 + (200 * Rng.int rng 11) in
+  let mem = 512 * (1 + Rng.int rng 8) in
+  Graph.add_node g
+    (Attrs.of_list
+       [
+         ("x", Value.Float x);
+         ("y", Value.Float y);
+         ("cpuMhz", Value.Int cpu);
+         ("memMB", Value.Int mem);
+       ])
 
 (* Pick [m] distinct attachment targets among nodes [0 .. limit-1]
    according to the model, never failing: if probabilistic rounds stall,

@@ -11,7 +11,8 @@
     (N=1500 E=3030, N=2000 E=4040, N=2500 E=5020).
 
     Produced attributes:
-    - node: ["x"], ["y"] (plane coordinates, floats)
+    - node: ["x"], ["y"] (plane coordinates, floats) and PlanetLab-like
+      ["cpuMhz"]/["memMB"] capacities for the resource ledger
     - edge: ["minDelay"], ["avgDelay"], ["maxDelay"] (ms; propagation
       delay proportional to Euclidean distance plus queueing jitter),
       ["bandwidth"] (Mbps, heavy-tailed). *)

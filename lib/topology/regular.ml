@@ -1,5 +1,6 @@
 open Netembed_graph
 module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
 
 let make_nodes g node_attrs n =
   Array.init n (fun _ -> Graph.add_node g node_attrs)
@@ -113,6 +114,14 @@ let squarest n =
   let c = (n + r - 1) / r in
   (r, c)
 
+(* Uniform capacities for ledger-backed hosting use: every node and
+   link declares the same ample budget, so regular graphs admit a known
+   number of identical tenants. *)
+let default_capacity_node =
+  Attrs.of_list [ ("cpuMhz", Value.Int 3000); ("memMB", Value.Int 4096) ]
+
+let default_capacity_edge = Attrs.of_list [ ("bandwidth", Value.Float 1000.0) ]
+
 let of_shape ?(node = Attrs.empty) ?(edge = Attrs.empty) shape n =
   match shape with
   | Ring -> ring ~node ~edge (max 3 n)
@@ -133,3 +142,7 @@ let of_shape ?(node = Attrs.empty) ?(edge = Attrs.empty) shape n =
   | Hypercube ->
       let rec log2 d cap = if cap * 2 > n then d else log2 (d + 1) (cap * 2) in
       hypercube ~node ~edge (max 1 (log2 0 1))
+
+let capacitated ?(node = default_capacity_node) ?(edge = default_capacity_edge)
+    shape n =
+  of_shape ~node ~edge shape n

@@ -43,3 +43,17 @@ val of_shape : ?node:attrs -> ?edge:attrs -> shape -> int -> Graph.t
 (** [of_shape s n] builds shape [s] with (approximately) [n] nodes:
     trees round up to a complete tree, grids/tori use the squarest
     factorization, hypercubes round [n] down to a power of two. *)
+
+(** {1 Ledger-ready hosting graphs} *)
+
+val default_capacity_node : attrs
+(** [cpuMhz = 3000], [memMB = 4096] — the uniform per-node budget. *)
+
+val default_capacity_edge : attrs
+(** [bandwidth = 1000.0]. *)
+
+val capacitated : ?node:attrs -> ?edge:attrs -> shape -> int -> Graph.t
+(** {!of_shape} with every node and edge declaring the default capacity
+    attributes, so the graph is immediately usable as a hosting network
+    under {!Netembed_ledger.Ledger} (uniform capacities make tenant
+    counts predictable in tests and benches). *)

@@ -24,7 +24,13 @@ let default =
     stub_delay = (0.5, 8.0);
   }
 
-let delay_attrs rng (lo, hi) =
+(* Link bandwidth (Mbps) mirrors the delay hierarchy: provisioned core
+   trunks versus access links — the capacity attribute the resource
+   ledger debits. *)
+let transit_bandwidth = (1000.0, 10000.0)
+let stub_bandwidth = (50.0, 200.0)
+
+let link_attrs rng (lo, hi) (bw_lo, bw_hi) =
   let avg = Rng.uniform rng ~lo ~hi in
   let spread = 0.15 *. avg in
   Attrs.of_list
@@ -32,24 +38,38 @@ let delay_attrs rng (lo, hi) =
       ("minDelay", Value.Float (Float.max 0.01 (avg -. spread)));
       ("avgDelay", Value.Float avg);
       ("maxDelay", Value.Float (avg +. spread));
+      ("bandwidth", Value.Float (Rng.uniform rng ~lo:bw_lo ~hi:bw_hi));
     ]
 
-let tier_attrs tier = Attrs.of_list [ ("tier", Value.String tier) ]
+(* Node capacities by tier: transit routers are provisioned machines,
+   stub hosts are commodity boxes. *)
+let tier_attrs rng tier =
+  let cpu, mem =
+    match tier with
+    | "transit" -> (2400 + (400 * Rng.int rng 5), 4096 * (1 + Rng.int rng 4))
+    | _ -> (1000 + (200 * Rng.int rng 11), 512 * (1 + Rng.int rng 8))
+  in
+  Attrs.of_list
+    [
+      ("tier", Value.String tier);
+      ("cpuMhz", Value.Int cpu);
+      ("memMB", Value.Int mem);
+    ]
 
 (* Connected random graph on [vs]: random spanning tree (each node links
    to a random predecessor) plus Bernoulli extra edges. *)
-let connect_randomly rng g vs prob delay_range =
+let connect_randomly rng g vs prob delay_range bw_range =
   let n = Array.length vs in
   for i = 1 to n - 1 do
     let j = Rng.int rng i in
-    ignore (Graph.add_edge g vs.(j) vs.(i) (delay_attrs rng delay_range))
+    ignore (Graph.add_edge g vs.(j) vs.(i) (link_attrs rng delay_range bw_range))
   done;
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
       if
         (not (Graph.mem_edge g vs.(i) vs.(j)))
         && Rng.float rng 1.0 < prob
-      then ignore (Graph.add_edge g vs.(i) vs.(j) (delay_attrs rng delay_range))
+      then ignore (Graph.add_edge g vs.(i) vs.(j) (link_attrs rng delay_range bw_range))
     done
   done
 
@@ -59,19 +79,19 @@ let generate rng p =
     invalid_arg "Transit_stub.generate: empty stubs";
   let g = Graph.create ~name:"transit-stub" () in
   let transit =
-    Array.init p.transit_nodes (fun _ -> Graph.add_node g (tier_attrs "transit"))
+    Array.init p.transit_nodes (fun _ -> Graph.add_node g (tier_attrs rng "transit"))
   in
-  connect_randomly rng g transit p.transit_edge_prob p.transit_delay;
+  connect_randomly rng g transit p.transit_edge_prob p.transit_delay transit_bandwidth;
   Array.iter
     (fun t ->
       for _ = 1 to p.stubs_per_transit do
         let stub =
-          Array.init p.stub_size (fun _ -> Graph.add_node g (tier_attrs "stub"))
+          Array.init p.stub_size (fun _ -> Graph.add_node g (tier_attrs rng "stub"))
         in
-        connect_randomly rng g stub p.stub_edge_prob p.stub_delay;
+        connect_randomly rng g stub p.stub_edge_prob p.stub_delay stub_bandwidth;
         (* Gateway link from a random stub node up to the transit node. *)
         let gw = Rng.pick rng stub in
-        ignore (Graph.add_edge g t gw (delay_attrs rng p.transit_delay))
+        ignore (Graph.add_edge g t gw (link_attrs rng p.transit_delay transit_bandwidth))
       done)
     transit;
   g

@@ -24,5 +24,8 @@ val default : params
 val generate : Netembed_rng.Rng.t -> params -> Netembed_graph.Graph.t
 (** Connected by construction: the core is a connected random graph,
     every stub domain is connected and attached to its transit node.
-    Nodes carry a ["tier"] attribute ("transit" | "stub"); edges carry
-    min/avg/maxDelay like {!Brite.generate}. *)
+    Nodes carry a ["tier"] attribute ("transit" | "stub") plus
+    tier-scaled ["cpuMhz"]/["memMB"] capacities; edges carry
+    min/avg/maxDelay like {!Brite.generate} plus a ["bandwidth"]
+    capacity (core trunks 1–10 Gbps, stub links 50–200 Mbps) — the
+    attributes the resource ledger tracks. *)

@@ -68,6 +68,57 @@ curl -sf "http://127.0.0.1:$PORT/metrics.json" | grep -q '"netembed_requests_tot
 curl -sf "http://127.0.0.1:$PORT/healthz" | grep -q '^ok' \
   || fail "/healthz not ok"
 
+# --- resource ledger: ALLOC a small capacitated query, then UTIL ------
+cat > "$WORK/alloc.txt" <<'TXT'
+ALLOC alg=LNS mode=first timeout=5
+CONSTRAINT rEdge.avgDelay < 500 && rEdge.bandwidth >= vEdge.bandwidth
+NODECONSTRAINT rSource.cpuMhz >= vSource.cpuMhz
+GRAPHML
+<graphml>
+<key id="cpuMhz" for="node" attr.name="cpuMhz" attr.type="double"/>
+<key id="bandwidth" for="edge" attr.name="bandwidth" attr.type="double"/>
+<graph edgedefault="undirected">
+<node id="x"><data key="cpuMhz">50</data></node>
+<node id="y"><data key="cpuMhz">50</data></node>
+<edge source="x" target="y"><data key="bandwidth">1</data></edge>
+</graph></graphml>
+.
+UTIL
+.
+TXT
+cat "$WORK/alloc.txt" >&3
+
+for _ in $(seq 50); do
+  grep -q "^OK resources=" "$WORK/out" 2>/dev/null && break
+  sleep 0.2
+done
+grep -Eq '^OK outcome=complete.* allocation=[1-9]' "$WORK/out" \
+  || { echo "FAIL: ALLOC did not commit"; cat "$WORK/out"; exit 1; }
+grep -Eq '^UTIL resource=cpuMhz kind=node used=[1-9]' "$WORK/out" \
+  || { echo "FAIL: UTIL shows no cpuMhz usage"; cat "$WORK/out"; exit 1; }
+
+METRICS=$(curl -sf "http://127.0.0.1:$PORT/metrics") \
+  || { echo "FAIL: could not re-scrape /metrics"; exit 1; }
+# Allocation accounting counters and gauges.
+echo "$METRICS" | grep -Eq '^netembed_allocations_total [1-9]' \
+  || fail "no committed allocation counted"
+echo "$METRICS" | grep -Eq '^netembed_allocation_rejects_total ' \
+  || fail "no allocation-rejects counter"
+echo "$METRICS" | grep -Eq '^netembed_admission_rejects_total ' \
+  || fail "no admission-rejects counter"
+echo "$METRICS" | grep -Eq '^netembed_active_allocations [1-9]' \
+  || fail "no active allocation on the gauge"
+# Per-resource utilization gauges carry resource/kind labels and the
+# committed charge moved the node-cpu gauge off zero.
+echo "$METRICS" \
+  | grep -E '^netembed_resource_utilization\{' \
+  | grep -E 'resource="cpuMhz"' | grep -E 'kind="node"' \
+  | grep -Evq ' 0(\.0+)?$' \
+  || fail "cpuMhz node utilization gauge not positive"
+echo "$METRICS" | grep -E '^netembed_resource_utilization\{' \
+  | grep -E 'resource="bandwidth"' | grep -Eq 'kind="edge"' \
+  || fail "no bandwidth edge utilization gauge"
+
 exec 3>&-
 wait "$SERVER_PID" 2>/dev/null || true
 echo "metrics smoke: OK"

@@ -194,6 +194,99 @@ let test_schedule_infeasible () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected infeasibility"
 
+(* Windows are half-open [start, finish): a lease ending exactly at a
+   candidate start does not block it. *)
+let test_schedule_lease_boundary () =
+  let s = Schedule.create (ring_host ()) in
+  (* Blocks both delay-10 links until exactly t=100. *)
+  Schedule.book s
+    { Schedule.mapping = Mapping.of_array [| 0; 2 |]; start = 0.0; finish = 100.0 };
+  (* A window starting at the lease's exact end is free... *)
+  (match
+     Schedule.earliest s ~now:100.0 ~duration:10.0 ~query:(single_edge_query 5.0 15.0)
+       Expr.avg_delay_within
+   with
+  | Error m -> Alcotest.fail m
+  | Ok p -> check (Alcotest.float 1e-9) "lease end is usable" 100.0 p.Schedule.start);
+  (* ...and a lease expiring exactly at `now` is also already gone from
+     the busy set (gc uses the same half-open convention). *)
+  check Alcotest.(list int) "not busy at own finish" [] (Schedule.busy_at s 100.0);
+  (* But one instant earlier the lease still blocks, deferring to its
+     expiry. *)
+  let s2 = Schedule.create (ring_host ()) in
+  Schedule.book s2
+    { Schedule.mapping = Mapping.of_array [| 0; 2 |]; start = 0.0; finish = 100.0 };
+  match
+    Schedule.earliest s2 ~now:99.0 ~duration:10.0 ~query:(single_edge_query 5.0 15.0)
+      Expr.avg_delay_within
+  with
+  | Error m -> Alcotest.fail m
+  | Ok p -> check (Alcotest.float 1e-9) "deferred to expiry" 100.0 p.Schedule.start
+
+let test_schedule_zero_duration () =
+  let s = Schedule.create (ring_host ()) in
+  (* On an idle network a zero-duration request starts immediately and
+     occupies a degenerate window. *)
+  (match
+     Schedule.earliest s ~now:42.0 ~duration:0.0 ~query:(single_edge_query 5.0 15.0)
+       Expr.avg_delay_within
+   with
+  | Error m -> Alcotest.fail m
+  | Ok p ->
+      check (Alcotest.float 1e-9) "starts now" 42.0 p.Schedule.start;
+      check (Alcotest.float 1e-9) "degenerate window" 42.0 p.Schedule.finish);
+  (* An instant strictly inside a lease is still busy for duration 0. *)
+  Schedule.book s
+    { Schedule.mapping = Mapping.of_array [| 0; 2 |]; start = 0.0; finish = 200.0 };
+  match
+    Schedule.earliest s ~now:100.0 ~duration:0.0 ~query:(single_edge_query 5.0 15.0)
+      Expr.avg_delay_within
+  with
+  | Error m -> Alcotest.fail m
+  | Ok p -> check (Alcotest.float 1e-9) "deferred past the lease" 200.0 p.Schedule.start
+
+(* With a ledger attached, booked leases hold full-capacity charges and
+   the internal gc (run by earliest) credits them back at expiry. *)
+let test_schedule_gc_releases_charges () =
+  let module Ledger = Netembed_ledger.Ledger in
+  let host = Graph.create () in
+  let node = Attrs.of_list [ ("cpuMhz", Value.Int 1000) ] in
+  let v = Array.init 4 (fun _ -> Graph.add_node host node) in
+  ignore (Graph.add_edge host v.(0) v.(1) (delay 10.0));
+  ignore (Graph.add_edge host v.(1) v.(2) (delay 20.0));
+  ignore (Graph.add_edge host v.(2) v.(3) (delay 10.0));
+  ignore (Graph.add_edge host v.(3) v.(0) (delay 20.0));
+  let ledger = Ledger.of_graph host in
+  let s = Schedule.create ~ledger host in
+  (match
+     Schedule.earliest s ~now:0.0 ~duration:50.0 ~query:(single_edge_query 5.0 15.0)
+       Expr.avg_delay_within
+   with
+  | Error m -> Alcotest.fail m
+  | Ok p ->
+      Schedule.book s p;
+      (* The lease's hosts are fully charged while it runs. *)
+      List.iter
+        (fun (_, h) ->
+          check (Alcotest.float 0.0) "host locked" 0.0
+            (Ledger.residual ledger (Ledger.Node h) "cpuMhz"))
+        (Mapping.to_list p.Schedule.mapping));
+  check Alcotest.int "charges outstanding" 2 (Ledger.outstanding ledger);
+  (* A later earliest() call gc's the expired lease and frees the
+     charges before scanning windows. *)
+  (match
+     Schedule.earliest s ~now:60.0 ~duration:10.0 ~query:(single_edge_query 5.0 15.0)
+       Expr.avg_delay_within
+   with
+  | Error m -> Alcotest.fail m
+  | Ok p -> check (Alcotest.float 1e-9) "immediate" 60.0 p.Schedule.start);
+  check Alcotest.int "gc'd lease" 0 (List.length (Schedule.leases s));
+  check Alcotest.int "charges returned" 0 (Ledger.outstanding ledger);
+  for i = 0 to 3 do
+    check (Alcotest.float 0.0) "capacity restored exactly" 1000.0
+      (Ledger.residual ledger (Ledger.Node i) "cpuMhz")
+  done
+
 let test_path_embed_decoded_paths_real () =
   (* Property on a real substrate: every decoded path is a genuine host
      walk and its summed delay satisfies the query band. *)
@@ -355,6 +448,9 @@ let () =
           Alcotest.test_case "immediate window" `Quick test_schedule_immediate;
           Alcotest.test_case "waits for lease" `Quick test_schedule_waits_for_lease;
           Alcotest.test_case "infeasible" `Quick test_schedule_infeasible;
+          Alcotest.test_case "lease boundary" `Quick test_schedule_lease_boundary;
+          Alcotest.test_case "zero duration" `Quick test_schedule_zero_duration;
+          Alcotest.test_case "gc releases charges" `Quick test_schedule_gc_releases_charges;
           Alcotest.test_case "no double-booking" `Quick test_schedule_no_overlap_property;
         ] );
       ( "symmetry",

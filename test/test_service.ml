@@ -67,6 +67,23 @@ let test_model_reserve () =
   Model.release m [ 1 ];
   check Alcotest.(list int) "after release" [ 3 ] (Model.reserved m)
 
+(* Regression: a node listed twice in one reserve call must raise
+   Conflict and reserve nothing — previously the first occurrence was
+   committed before the second was examined. *)
+let test_model_reserve_duplicate () =
+  let m = Model.create (host ()) in
+  (match Model.reserve m [ 2; 2 ] with
+  | exception Model.Conflict 2 -> ()
+  | _ -> Alcotest.fail "expected Conflict 2");
+  check Alcotest.(list int) "nothing reserved" [] (Model.reserved m);
+  (* The duplicate may come after valid entries; those must not stick. *)
+  (match Model.reserve m [ 0; 1; 0 ] with
+  | exception Model.Conflict 0 -> ()
+  | _ -> Alcotest.fail "expected Conflict 0");
+  check Alcotest.(list int) "atomic failure" [] (Model.reserved m);
+  let r0 = Model.revision m in
+  check Alcotest.int "revision untouched by failed calls" r0 (Model.revision m)
+
 let test_model_reserved_attr () =
   let m = Model.create (host ()) in
   check Alcotest.bool "reserved attr stamped false" true
@@ -227,6 +244,159 @@ let test_wire_errors () =
   | Error m -> Alcotest.failf "wrong message %S" m
   | Ok _ -> Alcotest.fail "expected error answer")
 
+(* ------------------------------------------------------------------ *)
+(* Fractional allocations through the service                          *)
+(* ------------------------------------------------------------------ *)
+
+let capacitated_host () =
+  let g = Graph.create ~name:"cap-host" () in
+  let node =
+    Attrs.of_list [ ("cpuMhz", Value.Int 1000); ("memMB", Value.Int 1024) ]
+  in
+  let edge d =
+    Attrs.of_list [ ("avgDelay", Value.Float d); ("bandwidth", Value.Float 100.0) ]
+  in
+  let v = Array.init 4 (fun _ -> Graph.add_node g node) in
+  ignore (Graph.add_edge g v.(0) v.(1) (edge 10.0));
+  ignore (Graph.add_edge g v.(1) v.(2) (edge 10.0));
+  ignore (Graph.add_edge g v.(2) v.(3) (edge 10.0));
+  ignore (Graph.add_edge g v.(3) v.(0) (edge 10.0));
+  g
+
+let demanding_query ~cpu ~bw =
+  let g = Graph.create ~name:"q" () in
+  let node = Attrs.of_list [ ("cpuMhz", Value.Int cpu) ] in
+  let q0 = Graph.add_node g node and q1 = Graph.add_node g node in
+  ignore
+    (Graph.add_edge g q0 q1
+       (Attrs.of_list
+          [
+            ("minDelay", Value.Float 5.0);
+            ("maxDelay", Value.Float 15.0);
+            ("bandwidth", Value.Float bw);
+          ]));
+  g
+
+let shared_constraint =
+  "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay \
+   && rEdge.bandwidth >= vEdge.bandwidth"
+
+let shared_node_constraint = "rSource.cpuMhz >= vSource.cpuMhz"
+
+let test_allocate_shared_lifecycle () =
+  let module Telemetry = Netembed_telemetry.Telemetry in
+  let registry = Telemetry.Registry.create () in
+  let model = Model.create (capacitated_host ()) in
+  let svc = Service.create ~registry model in
+  let request =
+    Request.make ~node_constraint:shared_node_constraint
+      ~query:(demanding_query ~cpu:400 ~bw:60.0) shared_constraint
+  in
+  let submit_and_charge () =
+    match Service.submit svc request with
+    | Error m -> Alcotest.fail m
+    | Ok answer -> (
+        match answer.Service.result.Engine.mappings with
+        | [] -> Alcotest.fail "expected a mapping"
+        | m :: _ -> (answer, m, Service.allocate_shared svc answer m))
+  in
+  (* First tenant commits. *)
+  let _, m1, r1 = submit_and_charge () in
+  let id1 = match r1 with Ok id -> id | Error e -> Alcotest.fail e in
+  check Alcotest.bool "cpu used recorded" true
+    (List.exists
+       (fun (r, k, used, _) -> r = "cpuMhz" && k = `Node && used = 800.0)
+       (Service.utilization svc));
+  (* Its hosts are still available to a second tenant (400+400 <= 1000),
+     but the bandwidth demand (60+60 > 100) pushes tenant 2 off the
+     first tenant's edge: residual pruning, not rejection. *)
+  let a2, m2, r2 = submit_and_charge () in
+  (match r2 with Ok _ -> () | Error e -> Alcotest.fail e);
+  let edge_of m =
+    match List.map snd (Mapping.to_list m) with
+    | [ a; b ] -> if a < b then (a, b) else (b, a)
+    | _ -> Alcotest.fail "two-node mapping expected"
+  in
+  check Alcotest.bool "second tenant avoids saturated edge" true
+    (edge_of m1 <> edge_of m2);
+  (* A stale answer must not charge: committing tenant 2 bumped the
+     revision, so tenant 2's own answer is already out of date. *)
+  (match Service.allocate_shared svc a2 m2 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected stale-revision failure");
+  (* Freeing tenant 1 restores its capacity exactly. *)
+  check Alcotest.bool "free known id" true (Service.free svc id1);
+  check Alcotest.bool "free unknown id" false (Service.free svc id1);
+  let cpu_used =
+    List.find_map
+      (fun (r, k, used, _) ->
+        if r = "cpuMhz" && k = `Node then Some used else None)
+      (Service.utilization svc)
+  in
+  check (Alcotest.option (Alcotest.float 0.0)) "only tenant 2 remains"
+    (Some 800.0) cpu_used
+
+let test_admission_rejection () =
+  let module Telemetry = Netembed_telemetry.Telemetry in
+  let registry = Telemetry.Registry.create () in
+  let svc = Service.create ~registry (Model.create (capacitated_host ())) in
+  (* Aggregate demand 2 * 2500 = 5000 > total 4000 cpuMhz: rejected
+     before the search, naming the resource. *)
+  let request =
+    Request.make ~query:(demanding_query ~cpu:2500 ~bw:1.0) shared_constraint
+  in
+  (match Service.submit svc request with
+  | Error m ->
+      check Alcotest.bool "names the resource" true
+        (String.length m >= 10 && String.sub m 0 10 = "admission:")
+  | Ok _ -> Alcotest.fail "expected admission rejection");
+  check Alcotest.int "admission counter" 1
+    (Telemetry.Counter.value
+       (Telemetry.Registry.counter registry "netembed_admission_rejects_total"))
+
+let test_wire_commands () =
+  let request =
+    Request.make ~algorithm:Engine.RWB ~query:(path_query 5.0 15.0)
+      standard_constraint
+  in
+  (match Wire.decode_command (Wire.encode_command (Wire.Allocate request)) with
+  | Ok (Wire.Allocate r) ->
+      check Alcotest.bool "alg" true (r.Request.algorithm = Engine.RWB);
+      check Alcotest.int "query nodes" 2 (Graph.node_count r.Request.query)
+  | Ok _ -> Alcotest.fail "wrong command"
+  | Error m -> Alcotest.fail m);
+  (match Wire.decode_command (Wire.encode_command (Wire.Submit request)) with
+  | Ok (Wire.Submit _) -> ()
+  | _ -> Alcotest.fail "EMBED should decode as Submit");
+  (match Wire.decode_command "FREE 42\n.\n" with
+  | Ok (Wire.Free 42) -> ()
+  | _ -> Alcotest.fail "FREE 42");
+  (match Wire.decode_command "FREE 0\n.\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "allocation ids are positive");
+  (match Wire.decode_command "UTIL\n.\n" with
+  | Ok Wire.Utilization -> ()
+  | _ -> Alcotest.fail "UTIL");
+  (* The ALLOC response carries the allocation id through the OK header. *)
+  (match
+     Wire.decode_answer "OK outcome=complete count=1 elapsed=1.0 allocation=7\nMAPPING q0->r1 q1->r2\n.\n"
+   with
+  | Ok d ->
+      check Alcotest.(option int) "allocation id" (Some 7) d.Wire.allocation;
+      check Alcotest.int "mapping" 1 (List.length d.Wire.mappings)
+  | Error m -> Alcotest.fail m);
+  (* Utilization rows round-trip. *)
+  let rows = [ ("cpuMhz", `Node, 1500.0, 6000.0); ("bandwidth", `Edge, 0.0, 400.0) ] in
+  match Wire.decode_utilization (Wire.encode_utilization rows) with
+  | Error m -> Alcotest.fail m
+  | Ok decoded ->
+      check Alcotest.int "two rows" 2 (List.length decoded);
+      let r0 = List.hd decoded in
+      check Alcotest.string "resource" "cpuMhz" r0.Wire.resource;
+      check Alcotest.bool "kind" true (r0.Wire.kind = `Node);
+      check (Alcotest.float 1e-9) "used" 1500.0 r0.Wire.used;
+      check (Alcotest.float 1e-9) "capacity" 6000.0 r0.Wire.capacity
+
 module Monitor = Netembed_service.Monitor
 
 let test_monitor_updates () =
@@ -351,6 +521,7 @@ let () =
           Alcotest.test_case "snapshot isolated" `Quick test_model_snapshot_isolated;
           Alcotest.test_case "revision" `Quick test_model_revision;
           Alcotest.test_case "reserve/release" `Quick test_model_reserve;
+          Alcotest.test_case "reserve duplicate" `Quick test_model_reserve_duplicate;
           Alcotest.test_case "reserved attribute" `Quick test_model_reserved_attr;
         ] );
       ( "service",
@@ -362,12 +533,16 @@ let () =
           Alcotest.test_case "relaxation loop" `Quick test_relaxation;
           Alcotest.test_case "request relax" `Quick test_request_relax;
           Alcotest.test_case "constraint file" `Quick test_constraint_file;
+          Alcotest.test_case "allocate shared lifecycle" `Quick
+            test_allocate_shared_lifecycle;
+          Alcotest.test_case "admission rejection" `Quick test_admission_rejection;
         ] );
       ( "wire",
         [
           Alcotest.test_case "request roundtrip" `Quick test_wire_request_roundtrip;
           Alcotest.test_case "answer roundtrip" `Quick test_wire_answer_roundtrip;
           Alcotest.test_case "errors" `Quick test_wire_errors;
+          Alcotest.test_case "commands" `Quick test_wire_commands;
           QCheck_alcotest.to_alcotest prop_wire_decode_total;
         ] );
       ( "monitor",
