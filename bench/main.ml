@@ -375,6 +375,42 @@ let representation_ablation () =
     ~cap:60_000;
   Printf.printf "\n"
 
+(* Explain-mode ablation: the same capped clique7_tight enumeration
+   with the blame/flight-recorder instrumentation off vs on.  The off
+   row must stay within noise of the uninstrumented engine (the
+   instrumented domain path is selected once per run, so the plain path
+   carries no extra branches); the on row prices what the service pays
+   by always running with explain enabled. *)
+let explain_ablation () =
+  Printf.printf "# Explain-mode ablation (all-matches ECF, visited cap)\n%!";
+  let host = Lazy.force planetlab in
+  let p = problem_of (Query_gen.clique ~k:7 ~delay_lo:10.0 ~delay_hi:50.0) host in
+  let run explain () =
+    let r =
+      Engine.run
+        ~options:
+          {
+            Engine.default_options with
+            Engine.mode = Engine.All;
+            max_visited = Some 120_000;
+            collect = false;
+            explain;
+          }
+        Engine.ECF p
+    in
+    (r.Engine.visited, r.Engine.found)
+  in
+  let off = measure_gc ~name:"explain/clique7_tight/off" ~repeat:3 (run false) in
+  let on = measure_gc ~name:"explain/clique7_tight/on" ~repeat:3 (run true) in
+  let overhead =
+    if off.row_ms > 0.0 then 100.0 *. ((on.row_ms /. off.row_ms) -. 1.0) else 0.0
+  in
+  Printf.printf
+    "  clique7_tight          off %8.1f ms %10.0f minor w | on %8.1f ms %10.0f \
+     minor w | explain-on overhead %+.1f%% (%d visited)\n\n%!"
+    off.row_ms off.row_minor_words on.row_ms on.row_minor_words overhead
+    off.row_visited
+
 (* ------------------------------------------------------------------ *)
 (* Multi-tenant churn: the ledger's allocate/release loop              *)
 (* ------------------------------------------------------------------ *)
@@ -491,6 +527,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   if ablation_only then begin
     representation_ablation ();
+    explain_ablation ();
     ignore (engine_gc_row "fig8/ecf_all_n20+gc" Engine.ECF Engine.All (Lazy.force pl_subgraph_problem));
     ignore (engine_gc_row "fig8/rwb_first_n20+gc" Engine.RWB Engine.First (Lazy.force pl_subgraph_problem));
     ignore (engine_gc_row "fig8/lns_first_n20+gc" Engine.LNS Engine.First (Lazy.force pl_subgraph_problem));
@@ -522,6 +559,7 @@ let () =
   Printf.printf "\n";
   (* Part 1a: the representation ablation and Gc-aware engine rows. *)
   representation_ablation ();
+  explain_ablation ();
   ignore (engine_gc_row "fig8/ecf_all_n20+gc" Engine.ECF Engine.All (Lazy.force pl_subgraph_problem));
   ignore (engine_gc_row "fig8/rwb_first_n20+gc" Engine.RWB Engine.First (Lazy.force pl_subgraph_problem));
   ignore (engine_gc_row "fig8/lns_first_n20+gc" Engine.LNS Engine.First (Lazy.force pl_subgraph_problem));

@@ -291,6 +291,100 @@ let embed_cmd =
         $ trace_file))
 
 (* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the request with explain mode on (the service always does) and
+   print the resulting diagnosis: why did the search fail, which
+   (query node, constraint) pairs emptied the domains, which hosts came
+   closest.  Successful runs still print a certificate (hot spot,
+   flight-recorder tail) — slow_threshold 0 forces every request into
+   the diagnostics log. *)
+let explain_run host_file query_file constraint_arg node_constraint algorithm mode
+    timeout json =
+  let host = Graphml.read_file host_file in
+  let query = Graphml.read_file query_file in
+  let constraint_text =
+    if String.length constraint_arg > 0 && constraint_arg.[0] = '@' then
+      Request.read_constraint_file
+        (String.sub constraint_arg 1 (String.length constraint_arg - 1))
+    else constraint_arg
+  in
+  let request =
+    Request.make ?node_constraint ~algorithm ~mode ?timeout ~query constraint_text
+  in
+  let service =
+    Service.create
+      ~registry:(Netembed_telemetry.Telemetry.Registry.create ())
+      ~slow_threshold:0.0 (Model.create host)
+  in
+  let print_entry (entry : Service.entry) =
+    match entry.Service.certificate with
+    | None -> `Error (false, entry.Service.summary)
+    | Some cert ->
+        if json then
+          print_endline (Netembed_explain.Explain.Certificate.to_json cert)
+        else begin
+          Printf.printf "request %d: %s\n" entry.Service.id entry.Service.summary;
+          print_string (Netembed_explain.Explain.Certificate.to_text cert)
+        end;
+        `Ok ()
+  in
+  match Service.submit service request with
+  | Error e -> (
+      (* Admission rejections and shape errors still leave a certificate
+         in the diagnostics log; only parse errors have nothing to show. *)
+      match Service.last_entry service with
+      | Some entry -> print_entry entry
+      | None -> `Error (false, e))
+  | Ok answer -> (
+      match Service.explain service answer.Service.id with
+      | Some entry -> print_entry entry
+      | None -> `Error (false, "no diagnostics retained for this run"))
+
+let explain_cmd =
+  let host_file =
+    Arg.(required & opt (some file) None & info [ "host" ] ~docv:"FILE"
+           ~doc:"Hosting network (GraphML).")
+  in
+  let query_file =
+    Arg.(required & opt (some file) None & info [ "query" ] ~docv:"FILE"
+           ~doc:"Query network (GraphML).")
+  in
+  let constraint_arg =
+    Arg.(value & opt string "true" & info [ "constraint" ] ~docv:"EXPR"
+           ~doc:"Constraint expression, or @FILE to load one expression per line.")
+  in
+  let node_constraint =
+    Arg.(value & opt (some string) None & info [ "node-constraint" ] ~docv:"EXPR"
+           ~doc:"Optional per-node constraint over rSource/vSource.")
+  in
+  let algorithm =
+    Arg.(value & opt algorithm_conv Engine.ECF & info [ "algorithm"; "a" ] ~docv:"ALG"
+           ~doc:"Search algorithm: ecf, rwb or lns.")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Engine.First & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Answer mode: first, all or atmost:K.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Search timeout.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the failure certificate as one JSON document instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Diagnose an embedding request: constraint blame, near-miss hosts and \
+             the search flight recorder")
+    Term.(
+      ret
+        (const explain_run $ host_file $ query_file $ constraint_arg
+        $ node_constraint $ algorithm $ mode $ timeout $ json))
+
+(* ------------------------------------------------------------------ *)
 (* allocate / free / utilization                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -514,8 +608,8 @@ let main_cmd =
   let doc = "NETEMBED: a network resource mapping service" in
   Cmd.group (Cmd.info "netembed" ~doc ~version:"1.0.0")
     [
-      generate_cmd; info_cmd; embed_cmd; convert_cmd; allocate_cmd; free_cmd;
-      utilization_cmd;
+      generate_cmd; info_cmd; embed_cmd; explain_cmd; convert_cmd; allocate_cmd;
+      free_cmd; utilization_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

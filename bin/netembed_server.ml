@@ -5,14 +5,18 @@
 
    Usage:
      netembed_server --host host.graphml [--monitor-every N]
-                     [--metrics-port PORT]
+                     [--metrics-port PORT] [--flight-dump FILE]
 
    Protocol: frames as defined in Netembed_service.Wire — EMBED
    (search), ALLOC (search and commit the first mapping as a fractional
-   ledger allocation), FREE <id> and UTIL; one answer per request; EOF
-   terminates.  With --monitor-every N, a synthetic
+   ledger allocation), FREE <id>, UTIL and EXPLAIN <request-id> (fetch
+   the failure certificate of an earlier request); one answer per
+   request; EOF terminates.  With --monitor-every N, a synthetic
    monitoring tick refreshes the model between every N requests, so
-   long-running sessions see drifting measurements.
+   long-running sessions see drifting measurements.  With
+   --flight-dump FILE, the certificate (including the flight-recorder
+   tail) of every diagnosable request is written to FILE as it happens
+   — the post-mortem artifact a CI run uploads.
 
    With --metrics-port PORT, a minimal HTTP listener on
    127.0.0.1:PORT serves the telemetry registry: GET /metrics
@@ -93,6 +97,7 @@ let () =
   let host_file = ref "" in
   let monitor_every = ref 0 in
   let metrics_port = ref 0 in
+  let flight_dump = ref "" in
   let speclist =
     [
       ("--host", Arg.Set_string host_file, "FILE hosting network (GraphML), required");
@@ -100,10 +105,12 @@ let () =
        "N run a synthetic monitoring tick every N requests (0 = off)");
       ("--metrics-port", Arg.Set_int metrics_port,
        "PORT serve GET /metrics on 127.0.0.1:PORT (0 = off)");
+      ("--flight-dump", Arg.Set_string flight_dump,
+       "FILE write the latest failure certificate (JSON) here");
     ]
   in
   Arg.parse speclist (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "netembed_server --host FILE [--monitor-every N] [--metrics-port PORT]";
+    "netembed_server --host FILE [--monitor-every N] [--metrics-port PORT] [--flight-dump FILE]";
   if !host_file = "" then begin
     prerr_endline "netembed_server: --host is required";
     exit 2
@@ -119,6 +126,31 @@ let () =
     if !monitor_every > 0 then Some (Monitor.create (Rng.make 1) model) else None
   in
   let requests = ref 0 in
+  (* Persist the certificate of the request that was just diagnosed —
+     [entry] is {!Service.last_entry} right after a failed submit, or
+     the entry matching the answered id, so old certificates are never
+     re-dumped for unrelated requests. *)
+  let dump_certificate entry =
+    match (!flight_dump, entry) with
+    | "", _ | _, None -> ()
+    | file, Some e -> (
+        match e.Service.certificate with
+        | None -> ()
+        | Some cert ->
+            let oc = open_out file in
+            output_string oc (Netembed_explain.Explain.Certificate.to_json cert);
+            output_char oc '\n';
+            close_out oc)
+  in
+  (* A submit error has always just logged a diagnostic entry; answer
+     with its id so the client can EXPLAIN it. *)
+  let submit_error e =
+    let entry = Service.last_entry service in
+    dump_certificate entry;
+    Wire.encode_error
+      ?id:(Option.map (fun (en : Service.entry) -> en.Service.id) entry)
+      e
+  in
   let rec serve () =
     match read_frame stdin with
     | None -> ()
@@ -132,23 +164,35 @@ let () =
           | Error e -> Wire.encode_error e
           | Ok (Wire.Submit request) -> (
               match Service.submit service request with
-              | Error e -> Wire.encode_error e
-              | Ok answer -> Wire.encode_answer answer)
+              | Error e -> submit_error e
+              | Ok answer ->
+                  dump_certificate (Service.explain service answer.Service.id);
+                  Wire.encode_answer answer)
           | Ok (Wire.Allocate request) -> (
               match Service.submit service request with
-              | Error e -> Wire.encode_error e
+              | Error e -> submit_error e
               | Ok answer -> (
+                  dump_certificate (Service.explain service answer.Service.id);
                   match answer.Service.result.Netembed_core.Engine.mappings with
                   | [] -> Wire.encode_answer answer
                   | mapping :: _ -> (
                       match Service.allocate_shared service answer mapping with
                       | Ok id -> Wire.encode_answer ~allocation:id answer
-                      | Error e -> Wire.encode_error e)))
+                      | Error e -> Wire.encode_error ~id:answer.Service.id e)))
           | Ok (Wire.Free id) ->
               if Service.free service id then Wire.encode_freed id
               else Wire.encode_error (Printf.sprintf "unknown allocation %d" id)
           | Ok Wire.Utilization ->
               Wire.encode_utilization (Service.utilization service)
+          | Ok (Wire.Explain id) -> (
+              match Service.explain service id with
+              | Some entry -> Wire.encode_explanation entry
+              | None ->
+                  Wire.encode_error
+                    (Printf.sprintf
+                       "no diagnostics retained for request %d (unknown, evicted, \
+                        or completed quickly)"
+                       id))
         in
         print_string reply;
         flush stdout;

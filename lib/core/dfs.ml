@@ -1,6 +1,7 @@
 open Netembed_graph
 module Rng = Netembed_rng.Rng
 module Bitset = Netembed_bitset.Bitset
+module Explain = Netembed_explain.Explain
 
 type candidate_order =
   | Ascending
@@ -21,8 +22,8 @@ let assigned_neighbours_table (p : Problem.t) order nq =
         (Problem.query_neighbours p q)
       |> List.sort_uniq compare |> Array.of_list)
 
-let search ?root_candidates ?store (p : Problem.t) (f : Filter.t) ~candidate_order
-    ~budget ~on_solution =
+let search ?root_candidates ?store ?blame (p : Problem.t) (f : Filter.t)
+    ~candidate_order ~budget ~on_solution =
   let nq = Graph.node_count p.query in
   let nr = Graph.node_count p.host in
   let order = Filter.order f in
@@ -47,7 +48,7 @@ let search ?root_candidates ?store (p : Problem.t) (f : Filter.t) ~candidate_ord
      walks [next_set_bit] instead of passing a closure to [iter].  The
      only steady-state allocation in the whole search is the solution
      callback's mapping. *)
-  let compute_domain depth =
+  let compute_domain_fast depth =
     let q = order.(depth) in
     let nbrs = assigned_neighbours.(depth) in
     let n_nbrs = Array.length nbrs in
@@ -77,8 +78,64 @@ let search ?root_candidates ?store (p : Problem.t) (f : Filter.t) ~candidate_ord
             incr i
           done
     end;
-    Domain_store.exclude_used_observed store ~depth;
+    ignore (Domain_store.exclude_used_observed store ~depth);
     Domain_store.domain store ~depth
+  in
+  (* Blamed twin of [compute_domain_fast]: same traversal, plus cause
+     attribution on wipeout — which neighbour's filter cell emptied the
+     intersection, or, when the intersection survived and only the
+     used-host subtraction killed it, host contention (with the count of
+     contended candidates).  Wipeouts from an empty expression-(1) set
+     carry no new information (the filter's own blame pass covers
+     them), so they attribute nothing here. *)
+  let compute_domain_blamed bl depth =
+    let q = order.(depth) in
+    let nbrs = assigned_neighbours.(depth) in
+    let n_nbrs = Array.length nbrs in
+    let culprit = ref (-1) in
+    if n_nbrs = 0 then (
+      match root_candidates with
+      | Some roots when depth = 0 -> ignore (Domain_store.load_array store ~depth roots)
+      | Some _ | None ->
+          ignore (Domain_store.load store ~depth (Filter.node_candidates_bits f q)))
+    else begin
+      let w0 = nbrs.(0) in
+      match
+        Filter.cell_bits_exn f ~q_assigned:w0 ~r_assigned:assignment.(w0) ~q_next:q
+      with
+      | exception Not_found ->
+          ignore (Domain_store.load_empty store ~depth);
+          culprit := w0
+      | cell ->
+          ignore (Domain_store.load store ~depth cell);
+          let dom = Domain_store.domain store ~depth in
+          let i = ref 1 in
+          while !i < n_nbrs && not (Bitset.is_empty dom) do
+            let w = nbrs.(!i) in
+            (match
+               Filter.cell_bits_exn f ~q_assigned:w ~r_assigned:assignment.(w) ~q_next:q
+             with
+            | exception Not_found ->
+                ignore (Domain_store.load_empty store ~depth);
+                culprit := w
+            | cell ->
+                Domain_store.restrict store ~depth cell;
+                if Bitset.is_empty dom then culprit := w);
+            incr i
+          done
+    end;
+    let pre_card = Bitset.cardinal (Domain_store.domain store ~depth) in
+    let card = Domain_store.exclude_used_observed store ~depth in
+    if card = 0 then begin
+      if !culprit >= 0 then
+        Explain.Blame.eliminate bl ~q (Explain.Cause.Edge_constraint (q, !culprit))
+      else if pre_card > 0 then
+        Explain.Blame.record bl ~q Explain.Cause.Host_contention pre_card
+    end;
+    Domain_store.domain store ~depth
+  in
+  let compute_domain =
+    match blame with None -> compute_domain_fast | Some bl -> compute_domain_blamed bl
   in
   let rec go depth =
     Budget.tick_at budget ~depth;

@@ -24,6 +24,7 @@ type candidate_order =
 val search :
   ?root_candidates:int array ->
   ?store:Domain_store.t ->
+  ?blame:Netembed_explain.Explain.Blame.t ->
   Problem.t ->
   Filter.t ->
   candidate_order:candidate_order ->
@@ -33,6 +34,12 @@ val search :
 (** Runs to exhaustion of the (pruned) permutations tree, calling
     [on_solution] on every feasible mapping found; stops early if the
     callback answers [`Stop].
+
+    [blame], when given, attributes every domain wipeout to a cause:
+    the query edge whose filter cell emptied the intersection, or host
+    contention when only the used-host subtraction did.  The search
+    runs a separate domain-computation path in this mode, so the
+    unblamed hot loop stays branch-identical to before.
 
     [root_candidates] restricts the candidate set of the {e first} node
     in the search order (it must be a sorted subset of that node's

@@ -1,5 +1,6 @@
 module Bitset = Netembed_bitset.Bitset
 module Telemetry = Netembed_telemetry.Telemetry
+module Explain = Netembed_explain.Explain
 
 type t = {
   universe : int;
@@ -18,6 +19,13 @@ type t = {
   depth_counts : int array;
   domain_size_counts : int array;
   backtracks : int array;
+  wipeouts : int array;
+      (** per-depth count of domains that emptied at build time — the
+          denominator of backtrack blame *)
+  mutable last_used : int;
+      (** most recent [mark_used] host, -1 before any — the "chosen
+          host" the flight recorder stamps onto events *)
+  mutable recorder : Explain.Recorder.t option;
 }
 
 type stats = {
@@ -44,12 +52,19 @@ let create ~universe ~depths : t =
     depth_counts = Array.make (depths + 1) 0;
     domain_size_counts = Array.make (universe + 1) 0;
     backtracks = Array.make (max 1 depths) 0;
+    wipeouts = Array.make (max 1 depths) 0;
+    last_used = -1;
+    recorder = None;
   }
 
 let universe (t : t) = t.universe
 let depths (t : t) = t.depths
 let used (t : t) = t.used
-let mark_used (t : t) r = Bitset.add t.used r
+let mark_used (t : t) r =
+  t.last_used <- r;
+  Bitset.add t.used r
+
+let attach_recorder (t : t) r = t.recorder <- Some r
 let release_used (t : t) r = Bitset.remove t.used r
 let reset (t : t) = Bitset.clear t.used
 let domain (t : t) ~depth = t.scratch.(depth)
@@ -89,22 +104,39 @@ let hist_of_counts counts =
 let depth_hist (t : t) = hist_of_counts t.depth_counts
 let domain_size_hist (t : t) = hist_of_counts t.domain_size_counts
 
+(* Shared tail of the two domain-observation entry points: one store
+   for the size count, one increment behind the card = 0 check, and a
+   single option branch for the flight recorder — nothing here grows
+   with explain mode off. *)
+let observed (t : t) ~depth card =
+  t.domain_size_counts.(card) <- t.domain_size_counts.(card) + 1;
+  if card = 0 && depth < Array.length t.wipeouts then
+    t.wipeouts.(depth) <- t.wipeouts.(depth) + 1;
+  (match t.recorder with
+  | None -> ()
+  | Some rec_ ->
+      if card = 0 then Explain.Recorder.wipeout rec_ ~depth ~host:t.last_used
+      else Explain.Recorder.visit rec_ ~depth ~host:t.last_used ~size:card);
+  card
+
 let observe_domain (t : t) ~depth =
-  let card = Bitset.cardinal t.scratch.(depth) in
-  t.domain_size_counts.(card) <- t.domain_size_counts.(card) + 1
+  ignore (observed t ~depth (Bitset.cardinal t.scratch.(depth)))
 
 (* Fused [exclude_used] + [observe_domain] for the DFS hot path: the
    diff pass already touches every word, so the domain size falls out of
    it for free instead of costing a second walk per visited node. *)
 let exclude_used_observed (t : t) ~depth =
-  let card = Bitset.diff_into_card ~dst:t.scratch.(depth) t.used in
-  t.domain_size_counts.(card) <- t.domain_size_counts.(card) + 1
+  observed t ~depth (Bitset.diff_into_card ~dst:t.scratch.(depth) t.used)
 
 let note_backtrack (t : t) ~depth =
-  t.backtracks.(depth) <- t.backtracks.(depth) + 1
+  t.backtracks.(depth) <- t.backtracks.(depth) + 1;
+  match t.recorder with
+  | None -> ()
+  | Some rec_ -> Explain.Recorder.backtrack rec_ ~depth
 
 let backtracks_by_depth (t : t) = t.backtracks
 let backtrack_total (t : t) = Array.fold_left ( + ) 0 t.backtracks
+let wipeouts_by_depth (t : t) = t.wipeouts
 
 let order_buffer (t : t) ~depth = t.order_bufs.(depth)
 

@@ -104,9 +104,11 @@ val observe_domain : t -> depth:int -> unit
 (** Record the cardinality of the current scratch domain of [depth]
     into {!domain_size_hist}. *)
 
-val exclude_used_observed : t -> depth:int -> unit
+val exclude_used_observed : t -> depth:int -> int
 (** [exclude_used] and [observe_domain] fused into a single pass over
-    the domain's words — what the DFS hot path calls per visited node. *)
+    the domain's words — what the DFS hot path calls per visited node.
+    Returns the resulting cardinality (0 = wipeout), which the explain
+    path uses for cause attribution; plain searches ignore it. *)
 
 val note_backtrack : t -> depth:int -> unit
 (** Count one exhausted candidate enumeration at [depth] (the searcher
@@ -117,6 +119,17 @@ val backtracks_by_depth : t -> int array
     convention). *)
 
 val backtrack_total : t -> int
+
+val wipeouts_by_depth : t -> int array
+(** Per-depth counts of candidate domains found empty at build time —
+    together with {!backtracks_by_depth}, the raw material of the
+    certificate's hot-spot attribution. *)
+
+val attach_recorder : t -> Netembed_explain.Explain.Recorder.t -> unit
+(** Route domain observations ({!observe_domain} /
+    {!exclude_used_observed} as sampled visits and wipeouts,
+    {!note_backtrack} as backtracks) into a flight recorder.  Costs one
+    option branch per observation when never attached. *)
 
 (** {1 Statistics} *)
 

@@ -35,10 +35,17 @@ type options = {
           measurement harnesses that only need [found] and timings
           (an all-matches run can otherwise retain millions of
           mappings).  Default true. *)
+  explain : bool;
+      (** when true, the run records constraint blame and a flight
+          recorder and returns a failure certificate in
+          [result.report].  The search selects a separate instrumented
+          domain-computation path, so the plain path stays unchanged;
+          blamed runs re-evaluate some constraints for attribution.
+          Default false. *)
 }
 
 val default_options : options
-(** [First] mode, no timeout, seed 42. *)
+(** [First] mode, no timeout, seed 42, explain off. *)
 
 type result = {
   mappings : Mapping.t list;
@@ -63,7 +70,20 @@ type result = {
       (** the unified per-run snapshot: the scalar fields above plus
           depth/domain-size histograms and backtrack counts — what the
           CLI's [--stats] prints *)
+  report : Netembed_explain.Explain.Certificate.t option;
+      (** the failure certificate / diagnostics of an explain-mode run
+          ([Some] iff [options.explain]): blamed (query node,
+          constraint) pairs with near-miss hosts on UNSAT, the hot
+          backtrack depth, and the flight-recorder tail *)
 }
+
+val verdict : result -> string
+(** The four-way outcome the service reports: ["unsat"] (complete with
+    zero mappings — infeasibility is proved), ["complete"], ["partial"]
+    (budget ran out after >= 1 mapping) or ["exhausted"] (budget ran
+    out empty-handed — nothing proved).  Also carried in
+    [telemetry.outcome], so [snapshot_to_json] preserves the
+    unsat/exhausted distinction. *)
 
 val run : ?options:options -> algorithm -> Problem.t -> result
 (** Every returned mapping satisfies {!Verify.check} (enforced by the

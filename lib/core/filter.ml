@@ -2,6 +2,7 @@ open Netembed_graph
 module Eval = Netembed_expr.Eval
 module Attrs = Netembed_attr.Attrs
 module Bitset = Netembed_bitset.Bitset
+module Explain = Netembed_explain.Explain
 
 type t = {
   cells : (int, Bitset.t) Hashtbl.t;
@@ -30,7 +31,7 @@ let cell_key t a b r = (((a * t.nq) + b) * t.nr) + r
 
 type ordering = Connected_lemma1 | Lemma1 | Input_order
 
-let build ?(ordering = Connected_lemma1) (p : Problem.t) =
+let build ?(ordering = Connected_lemma1) ?blame (p : Problem.t) =
   let nq = Graph.node_count p.query and nr = Graph.node_count p.host in
   let t =
     {
@@ -227,6 +228,34 @@ let build ?(ordering = Connected_lemma1) (p : Problem.t) =
           first);
     t.node_cand_views.(q) <- Bitset.to_array t.node_cands.(q)
   done;
+  (* Explain mode: attribute every host excluded from a node's
+     expression-(1) candidate set to the filter stage that removed it.
+     Precedence mirrors the build: the degree filter fires before the
+     node constraint, which fires before edge-compatibility.  Re-testing
+     node constraints here re-counts their evaluations — acceptable,
+     since blame is only threaded through diagnostic runs. *)
+  (match blame with
+  | None -> ()
+  | Some bl ->
+      for q = 0 to nq - 1 do
+        let incident = Problem.query_neighbours p q in
+        for r = 0 to nr - 1 do
+          if not (Bitset.mem t.node_cands.(q) r) then
+            if not (Problem.degree_ok p ~q ~r) then
+              Explain.Blame.eliminate bl ~q Explain.Cause.Degree_filter
+            else if not (Problem.node_constraint_ok p ~q ~r) then
+              Explain.Blame.eliminate bl ~q Explain.Cause.Node_constraint
+            else (
+              match
+                List.find_opt
+                  (fun (w, _) -> not (Hashtbl.mem t.cells (cell_key t q w r)))
+                  incident
+              with
+              | Some (w, _) ->
+                  Explain.Blame.eliminate bl ~q (Explain.Cause.Edge_constraint (q, w))
+              | None -> ())
+        done
+      done);
   (* Search order: Lemma 1 seeds the order with the fewest-candidate
      node; after that, expression (2) only prunes through edges into the
      assigned prefix, so each subsequent node is chosen connected to the

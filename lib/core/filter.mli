@@ -32,7 +32,15 @@ type ordering =
   | Lemma1  (** the paper's literal reading: ascending candidate count *)
   | Input_order  (** no reordering — the ablation baseline *)
 
-val build : ?ordering:ordering -> Problem.t -> t
+val build :
+  ?ordering:ordering -> ?blame:Netembed_explain.Explain.Blame.t -> Problem.t -> t
+(** [blame], when given, receives one elimination per (query node, host)
+    pair excluded from the node's expression-(1) candidate set,
+    attributed to the first filter stage that rejected it (degree
+    filter, node constraint, then the incident query edge with no
+    compatible host edge).  Diagnostic runs only: the attribution pass
+    re-evaluates node constraints, so constraint-evaluation counts are
+    higher than an unblamed build. *)
 
 val universe : t -> int
 (** Host-node universe size — the width of every cell bitset. *)

@@ -1,9 +1,10 @@
 open Netembed_graph
 module Bitset = Netembed_bitset.Bitset
+module Explain = Netembed_explain.Explain
 
 exception Stop_search
 
-let search ?store (p : Problem.t) ~budget ~on_solution =
+let search ?store ?blame (p : Problem.t) ~budget ~on_solution =
   let nq = Graph.node_count p.query in
   let nr = Graph.node_count p.host in
   if nq = 0 then ignore (on_solution (Mapping.of_array [||]))
@@ -87,6 +88,45 @@ let search ?store (p : Problem.t) ~budget ~on_solution =
             (Graph.edges_between p.host r_src r_dst))
         conn
     in
+    (* Rejection-path-only blame hooks: resolved to no-ops once when
+       blame is absent, so the accepting path pays nothing.  LNS has no
+       precomputed domains, so node rejections are attributed directly
+       (degree filter vs node constraint) and edge rejections re-walk
+       the connecting edges to name the first failing one — the re-walk
+       double-counts constraint evaluations, which only diagnostic runs
+       pay. *)
+    let note_node_reject =
+      match blame with
+      | None -> fun _ _ -> ()
+      | Some bl ->
+          fun q r ->
+            if not (Problem.degree_ok p ~q ~r) then
+              Explain.Blame.eliminate bl ~q Explain.Cause.Degree_filter
+            else Explain.Blame.eliminate bl ~q Explain.Cause.Node_constraint
+    in
+    let note_edge_reject =
+      match blame with
+      | None -> fun _ _ _ -> ()
+      | Some bl ->
+          fun q r conn ->
+            let failing =
+              List.find_opt
+                (fun (qe, w, q_is_src) ->
+                  let rw = assignment.(w) in
+                  let q_src, q_dst = if q_is_src then (q, w) else (w, q) in
+                  let r_src, r_dst = if q_is_src then (r, rw) else (rw, r) in
+                  not
+                    (List.exists
+                       (fun he ->
+                         Problem.edge_pair_ok p ~qe ~q_src ~q_dst ~he ~r_src ~r_dst)
+                       (Graph.edges_between p.host r_src r_dst)))
+                conn
+            in
+            (match failing with
+            | Some (_, w, _) ->
+                Explain.Blame.eliminate bl ~q (Explain.Cause.Edge_constraint (q, w))
+            | None -> ())
+    in
     let cover q r =
       assignment.(q) <- r;
       Domain_store.mark_used store r;
@@ -119,10 +159,13 @@ let search ?store (p : Problem.t) ~budget ~on_solution =
             (* Fresh component: any acceptable, unused host node. *)
             let depth = !covered_count in
             for r = 0 to nr - 1 do
-              if (not (Bitset.mem used r)) && Problem.node_ok p ~q ~r then begin
-                cover q r;
-                extend ();
-                uncover q r
+              if not (Bitset.mem used r) then begin
+                if Problem.node_ok p ~q ~r then begin
+                  cover q r;
+                  extend ();
+                  uncover q r
+                end
+                else note_node_reject q r
               end
             done;
             Domain_store.note_backtrack store ~depth
@@ -151,8 +194,9 @@ let search ?store (p : Problem.t) ~budget ~on_solution =
                 let dom = Domain_store.load_empty store ~depth in
                 List.iter
                   (fun (r, _) ->
-                    if (not (Bitset.mem used r)) && Problem.node_ok p ~q ~r then
-                      Bitset.add dom r)
+                    if not (Bitset.mem used r) then
+                      if Problem.node_ok p ~q ~r then Bitset.add dom r
+                      else note_node_reject q r)
                   (match Graph.kind p.Problem.host with
                   | Graph.Undirected -> Graph.succ p.host anchor
                   | Graph.Directed -> Graph.succ p.host anchor @ Graph.pred p.host anchor);
@@ -163,7 +207,8 @@ let search ?store (p : Problem.t) ~budget ~on_solution =
                       cover q r;
                       extend ();
                       uncover q r
-                    end)
+                    end
+                    else note_edge_reject q r conn)
                   dom;
                 Domain_store.note_backtrack store ~depth)
     in

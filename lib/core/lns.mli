@@ -27,12 +27,19 @@
 
 val search :
   ?store:Domain_store.t ->
+  ?blame:Netembed_explain.Explain.Blame.t ->
   Problem.t ->
   budget:Budget.t ->
   on_solution:(Mapping.t -> [ `Continue | `Stop ]) ->
   unit
 (** [store] supplies the scratch pool (reset on entry) so the engine can
     report domain statistics; a private one is created when omitted.
+
+    [blame], when given, attributes candidate rejections: node
+    rejections to the degree filter or node constraint, edge rejections
+    to the first connecting query edge with no satisfying host edge.
+    The attribution re-walks connecting edges on rejection, so
+    constraint-evaluation counts exceed an unblamed run.
     @raise Invalid_argument when [store] has the wrong universe size or
     fewer depths than query nodes.
     @raise Budget.Exhausted when the budget runs out. *)

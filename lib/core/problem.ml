@@ -69,11 +69,12 @@ let edge_pair_ok t ~qe ~q_src ~q_dst ~he ~r_src ~r_dst =
   in
   Eval.accepts env residual
 
-let node_ok t ~q ~r =
-  (not t.degree_filter
+let degree_ok t ~q ~r =
+  (not t.degree_filter)
   || (t.query_degree.(q) <= t.host_degree.(r)
-     && t.query_in_degree.(q) <= t.host_in_degree.(r)))
-  &&
+     && t.query_in_degree.(q) <= t.host_in_degree.(r))
+
+let node_constraint_ok t ~q ~r =
   match t.node_constraint with
   | None -> true
   | Some c ->
@@ -84,6 +85,8 @@ let node_ok t ~q ~r =
           ~v_source:attrs_q ~v_target:attrs_q ~r_source:attrs_r ~r_target:attrs_r
       in
       Eval.accepts env c
+
+let node_ok t ~q ~r = degree_ok t ~q ~r && node_constraint_ok t ~q ~r
 
 let residual_for_edge t ~q_src ~q_dst =
   match Graph.find_edge t.query q_src q_dst with

@@ -52,6 +52,16 @@ val edge_pair_ok :
 val node_ok : t -> q:Graph.node -> r:Graph.node -> bool
 (** Node-level acceptability: degree filter plus the node constraint. *)
 
+val degree_ok : t -> q:Graph.node -> r:Graph.node -> bool
+(** The degree-filter half of {!node_ok} alone (always [true] when the
+    problem was built with [~degree_filter:false]).  Split out so the
+    explain path can attribute an elimination to the degree filter vs
+    the node constraint. *)
+
+val node_constraint_ok : t -> q:Graph.node -> r:Graph.node -> bool
+(** The node-constraint half of {!node_ok} alone (counts one constraint
+    evaluation when a node constraint is present). *)
+
 val eval_counter : t -> Netembed_telemetry.Telemetry.Counter.t
 (** The shared constraint-evaluation counter (see the [evals] field).
     Single-writer: concurrent searchers must not share one problem's

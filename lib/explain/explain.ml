@@ -1,0 +1,450 @@
+(* Explainability kernel: constraint-blame accounting, near-miss
+   analysis and the flight recorder.  Everything here is generic over
+   plain ints (query nodes, host nodes, depths) so the library sits
+   below the search core — the core threads blame tables and recorders
+   through its hot paths, and the engine assembles certificates from
+   them.  All recording structures are preallocated (the recorder is a
+   ring of int arrays; the blame table only grows on elimination
+   events), so instrumented searches stay allocation-light. *)
+
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+module Ast = Netembed_expr.Ast
+
+let json_escape s =
+  if
+    String.exists
+      (fun c -> c = '"' || c = '\\' || Char.code c < 0x20)
+      s
+  then
+    String.concat ""
+      (List.map
+         (fun c ->
+           match c with
+           | '"' -> "\\\""
+           | '\\' -> "\\\\"
+           | '\n' -> "\\n"
+           | '\t' -> "\\t"
+           | c when Char.code c < 0x20 -> Printf.sprintf "\\u%04x" (Char.code c)
+           | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  else s
+
+(* ------------------------------------------------------------------ *)
+(* Causes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Cause = struct
+  type t =
+    | Degree_filter
+    | Node_constraint
+    | Edge_constraint of int * int
+    | Host_contention
+    | Admission of string
+    | Budget
+
+  let to_string = function
+    | Degree_filter -> "degree filter"
+    | Node_constraint -> "node constraint"
+    | Edge_constraint (a, b) -> Printf.sprintf "edge constraint on (q%d,q%d)" a b
+    | Host_contention -> "host contention (all remaining candidates in use)"
+    | Admission r -> Printf.sprintf "admission (aggregate %s demand exceeds residual)" r
+    | Budget -> "budget exhausted"
+
+  (* Low-cardinality label for metrics: edge constraints collapse to one
+     series regardless of which query pair they hit. *)
+  let label = function
+    | Degree_filter -> "degree_filter"
+    | Node_constraint -> "node_constraint"
+    | Edge_constraint _ -> "edge_constraint"
+    | Host_contention -> "host_contention"
+    | Admission _ -> "admission"
+    | Budget -> "budget"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Blame table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Blame = struct
+  type t = { counts : (int * Cause.t, int) Hashtbl.t }
+
+  let create () = { counts = Hashtbl.create 64 }
+
+  let record t ~q cause n =
+    if n > 0 then begin
+      let k = (q, cause) in
+      match Hashtbl.find_opt t.counts k with
+      | Some prior -> Hashtbl.replace t.counts k (prior + n)
+      | None -> Hashtbl.replace t.counts k n
+    end
+
+  let eliminate t ~q cause = record t ~q cause 1
+  let is_empty t = Hashtbl.length t.counts = 0
+
+  let desc (_, a) (_, b) = compare (b : int) a
+
+  let by_node t q =
+    Hashtbl.fold
+      (fun (q', cause) n acc -> if q' = q then (cause, n) :: acc else acc)
+      t.counts []
+    |> List.sort desc
+
+  let totals t =
+    let agg : (Cause.t, int) Hashtbl.t = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun (_, cause) n ->
+        Hashtbl.replace agg cause (n + Option.value ~default:0 (Hashtbl.find_opt agg cause)))
+      t.counts;
+    Hashtbl.fold (fun cause n acc -> (cause, n) :: acc) agg [] |> List.sort desc
+
+  let label_totals t =
+    let agg : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun (_, cause) n ->
+        let l = Cause.label cause in
+        Hashtbl.replace agg l (n + Option.value ~default:0 (Hashtbl.find_opt agg l)))
+      t.counts;
+    Hashtbl.fold (fun l n acc -> (l, n) :: acc) agg [] |> List.sort desc
+
+  let total_for t q = List.fold_left (fun acc (_, n) -> acc + n) 0 (by_node t q)
+
+  let nodes t =
+    let seen = Hashtbl.create 16 in
+    Hashtbl.iter (fun (q, _) _ -> Hashtbl.replace seen q ()) t.counts;
+    Hashtbl.fold (fun q () acc -> q :: acc) seen []
+    |> List.sort (fun a b -> compare (total_for t b) (total_for t a))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Recorder = struct
+  type kind = Visit | Wipeout | Backtrack | Solution
+
+  let kind_name = function
+    | Visit -> "visit"
+    | Wipeout -> "wipeout"
+    | Backtrack -> "backtrack"
+    | Solution -> "solution"
+
+  let code = function Visit -> 0 | Wipeout -> 1 | Backtrack -> 2 | Solution -> 3
+  let of_code = function 0 -> Visit | 1 -> Wipeout | 2 -> Backtrack | _ -> Solution
+
+  type event = { seq : int; kind : kind; depth : int; host : int; size : int }
+
+  type t = {
+    capacity : int;
+    sample_every : int;
+    kinds : int array;
+    depths : int array;
+    hosts : int array;
+    sizes : int array;
+    seqs : int array;
+    mutable recorded : int;  (* total push calls, monotonic *)
+    mutable visits : int;  (* visit ticks seen, for 1/N sampling *)
+  }
+
+  let create ?(capacity = 256) ?(sample_every = 32) () =
+    if capacity < 1 then invalid_arg "Explain.Recorder.create: capacity";
+    if sample_every < 1 then invalid_arg "Explain.Recorder.create: sample_every";
+    {
+      capacity;
+      sample_every;
+      kinds = Array.make capacity 0;
+      depths = Array.make capacity 0;
+      hosts = Array.make capacity (-1);
+      sizes = Array.make capacity 0;
+      seqs = Array.make capacity 0;
+      recorded = 0;
+      visits = 0;
+    }
+
+  let push t kind ~depth ~host ~size =
+    let i = t.recorded mod t.capacity in
+    t.kinds.(i) <- code kind;
+    t.depths.(i) <- depth;
+    t.hosts.(i) <- host;
+    t.sizes.(i) <- size;
+    t.seqs.(i) <- t.recorded;
+    t.recorded <- t.recorded + 1
+
+  let visit t ~depth ~host ~size =
+    t.visits <- t.visits + 1;
+    if t.visits mod t.sample_every = 0 then push t Visit ~depth ~host ~size
+
+  let wipeout t ~depth ~host = push t Wipeout ~depth ~host ~size:0
+  let backtrack t ~depth = push t Backtrack ~depth ~host:(-1) ~size:0
+  let solution t ~depth = push t Solution ~depth ~host:(-1) ~size:0
+  let recorded t = t.recorded
+  let sample_every t = t.sample_every
+
+  let events t =
+    let n = min t.recorded t.capacity in
+    let start = t.recorded - n in
+    List.init n (fun j ->
+        let i = (start + j) mod t.capacity in
+        {
+          seq = t.seqs.(i);
+          kind = of_code t.kinds.(i);
+          depth = t.depths.(i);
+          host = t.hosts.(i);
+          size = t.sizes.(i);
+        })
+
+  let event_to_json e =
+    Printf.sprintf "{\"seq\":%d,\"ev\":\"%s\",\"depth\":%d%s%s}" e.seq
+      (kind_name e.kind) e.depth
+      (if e.host >= 0 then Printf.sprintf ",\"host\":%d" e.host else "")
+      (match e.kind with
+      | Visit -> Printf.sprintf ",\"domain_size\":%d" e.size
+      | Wipeout | Backtrack | Solution -> "")
+
+  let to_json t =
+    Printf.sprintf
+      "{\"recorded\":%d,\"capacity\":%d,\"sample_every\":%d,\"events\":[%s]}"
+      t.recorded t.capacity t.sample_every
+      (String.concat "," (List.map event_to_json (events t)))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Requirement extraction and near-miss analysis                       *)
+(* ------------------------------------------------------------------ *)
+
+type requirement = {
+  subject : Ast.obj;
+  attr : string;
+  op : [ `Ge | `Gt | `Le | `Lt | `Eq ];
+  bound : float;
+}
+
+let op_name = function
+  | `Ge -> ">="
+  | `Gt -> ">"
+  | `Le -> "<="
+  | `Lt -> "<"
+  | `Eq -> "=="
+
+let requirement_to_string r =
+  Printf.sprintf "%s.%s %s %g" (Ast.obj_name r.subject) r.attr (op_name r.op) r.bound
+
+let flip = function `Ge -> `Le | `Gt -> `Lt | `Le -> `Ge | `Lt -> `Gt | `Eq -> `Eq
+
+let num_of = function
+  | Ast.Num x -> Some x
+  | Ast.Lit v when Value.is_numeric v -> Some (Value.to_float v)
+  | _ -> None
+
+(* Walk the conjunctive spine of a (typically specialized) constraint
+   and collect every comparison pinning an attribute of one of the
+   requested objects against a closed numeric bound.  Disjunctions and
+   arithmetic on the attribute side are skipped — the analysis is a
+   best-effort reading of the common "attr OP number" shape, not a
+   solver. *)
+let requirements ~on ast =
+  let wanted obj = List.mem obj on in
+  let cmp_op = function
+    | Ast.Ge -> Some `Ge
+    | Ast.Gt -> Some `Gt
+    | Ast.Le -> Some `Le
+    | Ast.Lt -> Some `Lt
+    | Ast.Eq -> Some `Eq
+    | _ -> None
+  in
+  let rec go acc = function
+    | Ast.Binop (Ast.And, a, b) -> go (go acc a) b
+    | Ast.Binop (op, Ast.Attr (obj, attr), rhs) when wanted obj -> (
+        match (cmp_op op, num_of rhs) with
+        | Some op, Some bound -> { subject = obj; attr; op; bound } :: acc
+        | _ -> acc)
+    | Ast.Binop (op, lhs, Ast.Attr (obj, attr)) when wanted obj -> (
+        match (cmp_op op, num_of lhs) with
+        | Some op, Some bound -> { subject = obj; attr; op = flip op; bound } :: acc
+        | _ -> acc)
+    | _ -> acc
+  in
+  List.rev (go [] ast)
+
+let satisfies r value =
+  match r.op with
+  | `Ge -> value >= r.bound
+  | `Gt -> value > r.bound
+  | `Le -> value <= r.bound
+  | `Lt -> value < r.bound
+  | `Eq -> value = r.bound
+
+(* Relative shortfall of a violated requirement — the ranking key for
+   near misses; a missing attribute counts as a full miss. *)
+let gap r = function
+  | None -> 1.0
+  | Some v -> Float.abs (v -. r.bound) /. Float.max 1.0 (Float.abs r.bound)
+
+type near_miss = {
+  id : int;
+  label : string;
+  violated : (requirement * float option) list;
+      (** each violated requirement with the actual value (None when the
+          attribute is missing entirely) *)
+  satisfied : int;
+}
+
+let check_item reqs attrs =
+  List.fold_left
+    (fun (viol, sat) r ->
+      match Attrs.float r.attr attrs with
+      | Some v when satisfies r v -> (viol, sat + 1)
+      | Some v -> ((r, Some v) :: viol, sat)
+      | None -> ((r, None) :: viol, sat))
+    ([], 0) reqs
+  |> fun (viol, sat) -> (List.rev viol, sat)
+
+let near_misses ~reqs ~items ~limit =
+  if reqs = [] then []
+  else
+    items
+    |> List.map (fun (id, label, attrs) ->
+           let violated, satisfied = check_item reqs attrs in
+           { id; label; violated; satisfied })
+    |> List.filter (fun m -> m.violated <> [])
+    |> List.sort (fun a b ->
+           let c = compare (List.length a.violated) (List.length b.violated) in
+           if c <> 0 then c
+           else
+             let total m =
+               List.fold_left (fun acc (r, v) -> acc +. gap r v) 0.0 m.violated
+             in
+             compare (total a) (total b))
+    |> List.filteri (fun i _ -> i < limit)
+
+let near_miss_to_string m =
+  Printf.sprintf "%s: %s" m.label
+    (String.concat "; "
+       (List.map
+          (fun (r, v) ->
+            match v with
+            | Some v -> Printf.sprintf "needs %s, has %g" (requirement_to_string r) v
+            | None -> Printf.sprintf "needs %s, attribute missing" (requirement_to_string r))
+          m.violated))
+
+let near_miss_to_json m =
+  Printf.sprintf "{\"id\":%d,\"label\":\"%s\",\"satisfied\":%d,\"violated\":[%s]}" m.id
+    (json_escape m.label) m.satisfied
+    (String.concat ","
+       (List.map
+          (fun (r, v) ->
+            Printf.sprintf "{\"requirement\":\"%s\"%s}"
+              (json_escape (requirement_to_string r))
+              (match v with Some v -> Printf.sprintf ",\"actual\":%g" v | None -> ""))
+          m.violated))
+
+(* ------------------------------------------------------------------ *)
+(* Certificates                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Certificate = struct
+  type blamed = {
+    node : int;
+    node_label : string;
+    causes : (Cause.t * int) list;
+    requirements : requirement list;
+    near : near_miss list;
+  }
+
+  type hot_spot = {
+    depth : int;
+    node : int;  (** -1 when the searcher has no static depth->node map *)
+    node_label : string;
+    backtracks : int;
+    wipeouts : int;
+  }
+
+  type t = {
+    verdict : string;
+    message : string;
+    blamed : blamed list;
+    hot_spot : hot_spot option;
+    notes : string list;
+    flight : Recorder.event list;
+  }
+
+  let make ?(blamed = []) ?hot_spot ?(notes = []) ?(flight = []) ~verdict message =
+    { verdict; message; blamed; hot_spot; notes; flight }
+
+  let primary_cause t =
+    match t.blamed with
+    | { causes = (c, _) :: _; _ } :: _ -> Some c
+    | _ -> None
+
+  let to_text t =
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf (Printf.sprintf "verdict: %s\n%s\n" t.verdict t.message);
+    List.iter
+      (fun (b : blamed) ->
+        Buffer.add_string buf
+          (Printf.sprintf "blamed node %s (q%d): domain emptied\n" b.node_label b.node);
+        List.iter
+          (fun (c, n) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  - %s eliminated %d candidate(s)\n" (Cause.to_string c) n))
+          b.causes;
+        if b.requirements <> [] then
+          Buffer.add_string buf
+            (Printf.sprintf "  requires: %s\n"
+               (String.concat " && " (List.map requirement_to_string b.requirements)));
+        List.iter
+          (fun m ->
+            Buffer.add_string buf (Printf.sprintf "  near miss %s\n" (near_miss_to_string m)))
+          b.near)
+      t.blamed;
+    (match t.hot_spot with
+    | None -> ()
+    | Some h ->
+        Buffer.add_string buf
+          (Printf.sprintf "hot spot: depth %d%s, %d backtracks, %d wipeouts\n" h.depth
+             (if h.node >= 0 then Printf.sprintf " (query node %s, q%d)" h.node_label h.node
+              else "")
+             h.backtracks h.wipeouts));
+    List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "note: %s\n" n)) t.notes;
+    if t.flight <> [] then
+      Buffer.add_string buf
+        (Printf.sprintf "flight recorder: %d recent event(s) captured\n"
+           (List.length t.flight));
+    Buffer.contents buf
+
+  let blamed_to_json (b : blamed) =
+    Printf.sprintf
+      "{\"node\":%d,\"label\":\"%s\",\"causes\":[%s],\"requirements\":[%s],\"near_misses\":[%s]}"
+      b.node (json_escape b.node_label)
+      (String.concat ","
+         (List.map
+            (fun (c, n) ->
+              Printf.sprintf
+                "{\"cause\":\"%s\",\"detail\":\"%s\",\"eliminated\":%d}" (Cause.label c)
+                (json_escape (Cause.to_string c))
+                n)
+            b.causes))
+      (String.concat ","
+         (List.map
+            (fun r -> Printf.sprintf "\"%s\"" (json_escape (requirement_to_string r)))
+            b.requirements))
+      (String.concat "," (List.map near_miss_to_json b.near))
+
+  let to_json t =
+    Printf.sprintf
+      "{\"verdict\":\"%s\",\"message\":\"%s\",\"blamed\":[%s]%s%s,\"flight\":[%s]}"
+      (json_escape t.verdict) (json_escape t.message)
+      (String.concat "," (List.map blamed_to_json t.blamed))
+      (match t.hot_spot with
+      | None -> ""
+      | Some h ->
+          Printf.sprintf
+            ",\"hot_spot\":{\"depth\":%d,\"node\":%d,\"label\":\"%s\",\"backtracks\":%d,\"wipeouts\":%d}"
+            h.depth h.node (json_escape h.node_label) h.backtracks h.wipeouts)
+      (if t.notes = [] then ""
+       else
+         Printf.sprintf ",\"notes\":[%s]"
+           (String.concat ","
+              (List.map (fun n -> Printf.sprintf "\"%s\"" (json_escape n)) t.notes)))
+      (String.concat "," (List.map Recorder.event_to_json t.flight))
+end

@@ -129,6 +129,22 @@ let used t target resource =
 
 let residual t target resource = capacity t target resource -. used t target resource
 
+let top_residuals t ~resource kind limit =
+  let pools = match kind with `Node -> t.node_pools | `Edge -> t.edge_pools in
+  match List.find_opt (fun p -> p.p_resource = resource) pools with
+  | None -> []
+  | Some p ->
+      let items = ref [] in
+      Array.iteri
+        (fun i present ->
+          if present then begin
+            let tgt = match kind with `Node -> Node i | `Edge -> Edge i in
+            items := (tgt, p.p_capacity.(i) -. p.p_used.(i)) :: !items
+          end)
+        p.p_present;
+      List.sort (fun (_, a) (_, b) -> compare (b : float) a) !items
+      |> List.filteri (fun i _ -> i < limit)
+
 (* Commit comparisons tolerate last-ulp dust from fractional churn; the
    slack is relative to the capacity so it never admits a real
    violation. *)

@@ -90,6 +90,12 @@ val used : t -> target -> string -> float
 val residual : t -> target -> string -> float
 (** [capacity - used]. *)
 
+val top_residuals : t -> resource:string -> kind -> int -> (target * float) list
+(** The elements with the largest residual of one tracked resource,
+    descending, at most the requested number.  Empty when the resource
+    is untracked on that element class.  Feeds the "closest we could
+    offer" notes of an admission-rejection certificate. *)
+
 val outstanding : t -> int
 (** Number of live allocations. *)
 

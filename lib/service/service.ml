@@ -5,6 +5,17 @@ module Expr = Netembed_expr.Expr
 module Ast = Netembed_expr.Ast
 module Telemetry = Netembed_telemetry.Telemetry
 module Ledger = Netembed_ledger.Ledger
+module Explain = Netembed_explain.Explain
+
+type entry = {
+  id : int;
+  summary : string;
+  verdict : string;
+  elapsed : float;
+  certificate : Explain.Certificate.t option;
+}
+
+let log_capacity = 64
 
 type t = {
   model : Model.t;
@@ -19,11 +30,17 @@ type t = {
   admission_rejected : Telemetry.Counter.t;
   active_allocations : Telemetry.Gauge.t;
   utilization_gauges : (string * [ `Node | `Edge ] * Telemetry.Gauge.t) list;
+  slow_threshold : float;
+  mutable next_id : int;
+  (* Bounded slow/failed-query log: a ring of the last [log_capacity]
+     diagnosable requests, looked up by request id for EXPLAIN. *)
+  log : entry option array;
+  mutable logged : int;
 }
 
 let kind_label = function `Node -> "node" | `Edge -> "edge"
 
-let create ?(registry = Telemetry.default_registry) model =
+let create ?(registry = Telemetry.default_registry) ?(slow_threshold = 0.5) model =
   let ledger = Model.ledger model in
   let utilization_gauges =
     List.map
@@ -75,6 +92,10 @@ let create ?(registry = Telemetry.default_registry) model =
         Telemetry.Registry.gauge registry
           ~help:"Outstanding ledger allocations" "netembed_active_allocations";
       utilization_gauges;
+      slow_threshold;
+      next_id = 1;
+      log = Array.make log_capacity None;
+      logged = 0;
     }
   in
   Telemetry.Gauge.set t.model_revision (float_of_int (Model.revision model));
@@ -100,6 +121,7 @@ let refresh_utilization t =
     (float_of_int (Ledger.outstanding (Model.ledger t.model)))
 
 type answer = {
+  id : int;
   request : Request.t;
   result : Engine.result;
   model_revision : int;
@@ -109,6 +131,83 @@ let src = Logs.Src.create "netembed.service" ~doc:"NETEMBED mapping service"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* ------------------------------------------------------------------ *)
+(* Slow/failed-query log and failure metrics                           *)
+(* ------------------------------------------------------------------ *)
+
+let log_entry t entry =
+  t.log.(t.logged mod log_capacity) <- Some entry;
+  t.logged <- t.logged + 1
+
+let explain t id =
+  let found = ref None in
+  Array.iter
+    (fun e ->
+      match e with
+      | Some (e : entry) when e.id = id -> found := Some e
+      | Some _ | None -> ())
+    t.log;
+  !found
+
+let last_entry t =
+  if t.logged = 0 then None else t.log.((t.logged - 1) mod log_capacity)
+
+let count_unsat t cause =
+  Telemetry.Counter.incr
+    (Telemetry.Registry.counter t.registry
+       ~help:"Requests that ended without a usable mapping, by attributed cause"
+       ~labels:[ ("cause", cause) ]
+       "netembed_unsat_total")
+
+let count_blame t (cert : Explain.Certificate.t) =
+  (* Aggregate the certificate's per-node cause counts into the
+     low-cardinality blame-by-constraint counters. *)
+  let agg : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Explain.Certificate.blamed) ->
+      List.iter
+        (fun (c, n) ->
+          let l = Explain.Cause.label c in
+          Hashtbl.replace agg l (n + Option.value ~default:0 (Hashtbl.find_opt agg l)))
+        b.Explain.Certificate.causes)
+    cert.Explain.Certificate.blamed;
+  Hashtbl.iter
+    (fun cause n ->
+      Telemetry.Counter.add
+        (Telemetry.Registry.counter t.registry
+           ~help:"Candidate eliminations charged to each constraint class on failed \
+                  or slow queries"
+           ~labels:[ ("cause", cause) ]
+           "netembed_blame_eliminations_total")
+        n)
+    agg
+
+let target_label g = function
+  | Ledger.Node v -> (
+      let attrs = Netembed_graph.Graph.node_attrs g v in
+      match Netembed_attr.Attrs.string "name" attrs with
+      | Some s -> s
+      | None -> Printf.sprintf "node %d" v)
+  | Ledger.Edge e -> Printf.sprintf "edge %d" e
+
+let admission_certificate t (f : Ledger.failure) =
+  let ledger = Model.ledger t.model in
+  let notes =
+    List.map
+      (fun (tgt, res) ->
+        Printf.sprintf "best residual %s: %s has %g" f.Ledger.resource
+          (target_label (Ledger.graph ledger) tgt)
+          res)
+      (Ledger.top_residuals ledger ~resource:f.Ledger.resource f.Ledger.kind 3)
+  in
+  Explain.Certificate.make ~notes ~verdict:"admission" (Ledger.failure_to_string f)
+
+let request_summary (request : Request.t) verdict elapsed =
+  Printf.sprintf "%s %d-node query: %s in %.1f ms"
+    (Engine.algorithm_name request.Request.algorithm)
+    (Netembed_graph.Graph.node_count request.Request.query)
+    verdict (elapsed *. 1000.0)
+
 (* Reserved hosts are excluded by conjoining the reservation guard to
    the user's node constraint. *)
 let reservation_guard = Expr.parse_exn "!rSource.reserved"
@@ -116,6 +215,8 @@ let reservation_guard = Expr.parse_exn "!rSource.reserved"
 let submit t (request : Request.t) =
   let t0 = Unix.gettimeofday () in
   Telemetry.Counter.incr t.requests;
+  let id = t.next_id in
+  t.next_id <- id + 1;
   let finish outcome =
     let dt_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
     Telemetry.Histogram.observe t.latency_us dt_us;
@@ -124,8 +225,22 @@ let submit t (request : Request.t) =
     | Ok _ -> ());
     outcome
   in
+  let log_failure ?certificate verdict message =
+    let elapsed = Unix.gettimeofday () -. t0 in
+    log_entry t
+      {
+        id;
+        summary =
+          Printf.sprintf "%s — %s" (request_summary request verdict elapsed) message;
+        verdict;
+        elapsed;
+        certificate;
+      }
+  in
   match Request.parse_constraints request with
-  | Error m -> finish (Error m)
+  | Error m ->
+      log_failure "error" m;
+      finish (Error m)
   | Ok (edge_constraint, node_constraint) -> (
       let node_constraint =
         match node_constraint with
@@ -138,6 +253,9 @@ let submit t (request : Request.t) =
       match Ledger.admissible (Model.ledger t.model) ~query:request.Request.query with
       | Error f ->
           Telemetry.Counter.incr t.admission_rejected;
+          count_unsat t "admission";
+          log_failure ~certificate:(admission_certificate t f) "admission"
+            (Ledger.failure_to_string f);
           finish (Error ("admission: " ^ Ledger.failure_to_string f))
       | Ok () -> (
           (* Embed against residual capacities: co-located tenants have
@@ -148,13 +266,20 @@ let submit t (request : Request.t) =
             Problem.make ~node_constraint ~host ~query:request.Request.query
               edge_constraint
           with
-          | exception Invalid_argument m -> finish (Error m)
+          | exception Invalid_argument m ->
+              log_failure "error" m;
+              finish (Error m)
           | problem ->
               let options =
                 {
                   Engine.default_options with
                   Engine.mode = request.Request.mode;
                   timeout = request.Request.timeout;
+                  (* Every service request runs with blame + flight
+                     recorder on: certificates must exist for EXPLAIN
+                     without a re-run, and service queries are
+                     milliseconds-scale, not the bench hot loop. *)
+                  explain = true;
                 }
               in
               let result =
@@ -167,9 +292,37 @@ let submit t (request : Request.t) =
                     (Engine.algorithm_name request.Request.algorithm)
                     (List.length result.Engine.mappings)
                     (Engine.outcome_name result.Engine.outcome));
+              let verdict = Engine.verdict result in
+              let slow = result.Engine.elapsed >= t.slow_threshold in
+              (match verdict with
+              | "unsat" ->
+                  let cause =
+                    match result.Engine.report with
+                    | Some cert -> (
+                        match Explain.Certificate.primary_cause cert with
+                        | Some c -> Explain.Cause.label c
+                        | None -> "search")
+                    | None -> "search"
+                  in
+                  count_unsat t cause
+              | "exhausted" -> count_unsat t "budget"
+              | _ -> ());
+              (match result.Engine.report with
+              | Some cert when verdict <> "complete" || slow ->
+                  count_blame t cert;
+                  log_entry t
+                    {
+                      id;
+                      summary =
+                        request_summary request verdict result.Engine.elapsed;
+                      verdict;
+                      elapsed = result.Engine.elapsed;
+                      certificate = Some cert;
+                    }
+              | Some _ | None -> ());
               let revision = Model.revision t.model in
               Telemetry.Gauge.set t.model_revision (float_of_int revision);
-              finish (Ok { request; result; model_revision = revision })))
+              finish (Ok { id; request; result; model_revision = revision })))
 
 let submit_with_relaxation t request ~steps ~factor =
   let rec go request round =

@@ -12,7 +12,24 @@
 
 type t
 
-val create : ?registry:Netembed_telemetry.Telemetry.Registry.t -> Model.t -> t
+type entry = {
+  id : int;  (** the request id echoed in wire answers *)
+  summary : string;  (** one-line description for log listings *)
+  verdict : string;
+      (** ["unsat"], ["exhausted"], ["partial"], ["admission"],
+          ["error"] or ["complete"] (slow-but-successful) *)
+  elapsed : float;  (** seconds *)
+  certificate : Netembed_explain.Explain.Certificate.t option;
+      (** [None] only for parse/shape errors, where there is nothing to
+          blame *)
+}
+(** One diagnosable request retained in the slow/failed-query log. *)
+
+val create :
+  ?registry:Netembed_telemetry.Telemetry.Registry.t ->
+  ?slow_threshold:float ->
+  Model.t ->
+  t
 (** The service registers its request metrics
     ([netembed_requests_total], [netembed_request_errors_total], the
     [netembed_request_latency_us] histogram,
@@ -20,11 +37,16 @@ val create : ?registry:Netembed_telemetry.Telemetry.Registry.t -> Model.t -> t
     gauge), the allocation counters ([netembed_allocations_total],
     [netembed_allocation_rejects_total],
     [netembed_admission_rejects_total],
-    [netembed_active_allocations]) and one
-    [netembed_resource_utilization{resource,kind}] gauge per capacity
-    resource tracked by the model's ledger, in [registry] —
+    [netembed_active_allocations]), the failure-attribution counters
+    ([netembed_unsat_total{cause}] and
+    [netembed_blame_eliminations_total{cause}], created lazily on first
+    use) and one [netembed_resource_utilization{resource,kind}] gauge
+    per capacity resource tracked by the model's ledger, in [registry] —
     {!Netembed_telemetry.Telemetry.default_registry} unless overridden
-    (tests pass a private one for isolation). *)
+    (tests pass a private one for isolation).
+
+    Successful requests slower than [slow_threshold] seconds (default
+    0.5) are kept in the diagnostics log alongside the failures. *)
 
 val model : t -> Model.t
 
@@ -38,6 +60,7 @@ val utilization :
     {!Netembed_ledger.Ledger.utilization} of the model's ledger. *)
 
 type answer = {
+  id : int;  (** request id — the handle for {!explain} / [EXPLAIN] *)
   request : Request.t;
   result : Netembed_core.Engine.result;
   model_revision : int;  (** model revision the answer was computed against *)
@@ -50,7 +73,21 @@ val submit : t -> Request.t -> (answer, string) result
     hosting network), or an admission rejection — when the query's
     aggregate capacity demand exceeds the network's total residual, no
     mapping can commit, so the search is skipped and the error names
-    the exhausted resource. *)
+    the exhausted resource.
+
+    Every search runs with explain mode on, so failed answers carry a
+    failure certificate in [result.report].  Requests that end without a
+    complete answer (and admission rejections, parse errors and slow
+    successes) are retained in a bounded ring for later {!explain}
+    lookup; ["unsat"] and ["exhausted"] verdicts and admission
+    rejections bump [netembed_unsat_total{cause}]. *)
+
+val explain : t -> int -> entry option
+(** Look up a retained diagnostic entry by request id ([None] when the
+    id is unknown, was evicted from the ring, or completed quickly). *)
+
+val last_entry : t -> entry option
+(** The most recently logged diagnostic entry. *)
 
 val submit_with_relaxation :
   t -> Request.t -> steps:int -> factor:float -> (answer * int, string) result

@@ -128,6 +128,7 @@ type command =
   | Allocate of Request.t
   | Free of int
   | Utilization
+  | Explain of int
 
 let decode_command text =
   match frame_lines text with
@@ -144,20 +145,28 @@ let decode_command text =
           | Some _ | None -> Error (Printf.sprintf "bad allocation id %S" id))
       | [ "FREE" ] -> Error "FREE requires an allocation id"
       | [ "UTIL" ] -> Ok Utilization
-      | _ -> Error "request must start with EMBED, ALLOC, FREE or UTIL")
+      | [ "EXPLAIN"; id ] -> (
+          match int_of_string_opt id with
+          | Some id when id > 0 -> Ok (Explain id)
+          | Some _ | None -> Error (Printf.sprintf "bad request id %S" id))
+      | [ "EXPLAIN" ] -> Error "EXPLAIN requires a request id"
+      | _ -> Error "request must start with EMBED, ALLOC, FREE, UTIL or EXPLAIN")
 
 let encode_command = function
   | Submit r -> encode_embed "EMBED" r
   | Allocate r -> encode_embed "ALLOC" r
   | Free id -> Printf.sprintf "FREE %d\n.\n" id
   | Utilization -> "UTIL\n.\n"
+  | Explain id -> Printf.sprintf "EXPLAIN %d\n.\n" id
 
 let encode_answer ?allocation (a : Service.answer) =
   let buf = Buffer.create 256 in
   let r = a.Service.result in
   Buffer.add_string buf
-    (Printf.sprintf "OK outcome=%s count=%d elapsed=%.3f%s\n"
+    (Printf.sprintf "OK id=%d outcome=%s verdict=%s count=%d elapsed=%.3f%s\n"
+       a.Service.id
        (Engine.outcome_name r.Engine.outcome)
+       (Engine.verdict r)
        (List.length r.Engine.mappings)
        (r.Engine.elapsed *. 1000.0)
        (match allocation with
@@ -174,7 +183,36 @@ let encode_answer ?allocation (a : Service.answer) =
   Buffer.add_string buf ".\n";
   Buffer.contents buf
 
-let encode_error m = Printf.sprintf "ERR %s\n.\n" m
+let encode_error ?id m =
+  match id with
+  | None -> Printf.sprintf "ERR %s\n.\n" m
+  | Some id -> Printf.sprintf "ERR id=%d %s\n.\n" id m
+
+module Explanation = Netembed_explain.Explain
+
+let encode_explanation (e : Service.entry) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "OK explain=%d verdict=%s elapsed=%.3f\n" e.Service.id
+       e.Service.verdict
+       (e.Service.elapsed *. 1000.0));
+  Buffer.add_string buf (Printf.sprintf "SUMMARY %s\n" e.Service.summary);
+  (match e.Service.certificate with
+  | None -> ()
+  | Some cert ->
+      let text = Explanation.Certificate.to_text cert in
+      let text =
+        if String.length text > 0 && text.[String.length text - 1] = '\n' then
+          String.sub text 0 (String.length text - 1)
+        else text
+      in
+      List.iter
+        (fun line -> Buffer.add_string buf (Printf.sprintf "TEXT %s\n" line))
+        (String.split_on_char '\n' text);
+      Buffer.add_string buf
+        (Printf.sprintf "JSON %s\n" (Explanation.Certificate.to_json cert)));
+  Buffer.add_string buf ".\n";
+  Buffer.contents buf
 let encode_freed id = Printf.sprintf "OK freed=%d\n.\n" id
 
 let kind_to_string = function `Node -> "node" | `Edge -> "edge"
@@ -192,7 +230,9 @@ let encode_utilization rows =
   Buffer.contents buf
 
 type decoded_answer = {
+  id : int option;
   outcome : Engine.outcome;
+  verdict : string option;
   elapsed_ms : float;
   mappings : (int * int) list list;
   allocation : int option;
@@ -214,25 +254,30 @@ let decode_answer text =
       match String.split_on_char ' ' (String.trim header) with
       | "ERR" :: msg -> Error (String.concat " " msg)
       | "OK" :: params ->
-          let* outcome, elapsed, allocation =
+          let* id, outcome, verdict, elapsed, allocation =
             List.fold_left
               (fun acc token ->
-                let* outcome, elapsed, allocation = acc in
+                let* id, outcome, verdict, elapsed, allocation = acc in
                 match split_kv token with
+                | "id", v -> (
+                    match int_of_string_opt v with
+                    | Some i -> Ok (Some i, outcome, verdict, elapsed, allocation)
+                    | None -> Error "bad request id")
                 | "outcome", v ->
                     let* o = outcome_of_string v in
-                    Ok (Some o, elapsed, allocation)
+                    Ok (id, Some o, verdict, elapsed, allocation)
+                | "verdict", v -> Ok (id, outcome, Some v, elapsed, allocation)
                 | "elapsed", v -> (
                     match float_of_string_opt v with
-                    | Some f -> Ok (outcome, f, allocation)
+                    | Some f -> Ok (id, outcome, verdict, f, allocation)
                     | None -> Error "bad elapsed")
                 | "allocation", v -> (
                     match int_of_string_opt v with
-                    | Some id -> Ok (outcome, elapsed, Some id)
+                    | Some a -> Ok (id, outcome, verdict, elapsed, Some a)
                     | None -> Error "bad allocation id")
                 | "count", _ -> acc
                 | k, _ -> Error (Printf.sprintf "unknown parameter %S" k))
-              (Ok (None, 0.0, None))
+              (Ok (None, None, None, 0.0, None))
               params
           in
           let* outcome =
@@ -255,7 +300,7 @@ let decode_answer text =
                 else None)
               rest
           in
-          Ok { outcome; elapsed_ms = elapsed; mappings; allocation }
+          Ok { id; outcome; verdict; elapsed_ms = elapsed; mappings; allocation }
       | _ -> Error "answer must start with OK or ERR")
 
 type utilization_row = {

@@ -15,25 +15,41 @@
     .
     v}
     [ALLOC] takes the same shape as [EMBED] and additionally commits the
-    first returned mapping as a fractional ledger allocation.  Two
-    body-less commands manage allocations:
+    first returned mapping as a fractional ledger allocation.  Three
+    body-less commands manage allocations and diagnostics:
     {v
     FREE <allocation-id>
     .
 
     UTIL
     .
+
+    EXPLAIN <request-id>
+    .
     v}
 
     Response frames:
     {v
-    OK outcome=<complete|partial|inconclusive> count=<n> elapsed=<ms> [allocation=<id>]
+    OK id=<request-id> outcome=<complete|partial|inconclusive>
+       verdict=<complete|unsat|partial|exhausted> count=<n> elapsed=<ms>
+       [allocation=<id>]                                   (one line)
     MAPPING q0->r17 q1->r4 ...       (one line per mapping)
     .
     v}
     [FREE] answers [OK freed=<id>]; [UTIL] answers one
     [UTIL resource=<name> kind=<node|edge> used=<x> capacity=<y>] line
-    per tracked resource.  Errors are [ERR <message>] followed by [.]. *)
+    per tracked resource.  [EXPLAIN] answers the retained failure
+    certificate of the identified request:
+    {v
+    OK explain=<request-id> verdict=<v> elapsed=<ms>
+    SUMMARY <one line>
+    TEXT <human-readable certificate line>   (repeated)
+    JSON <single-line certificate json>
+    .
+    v}
+    Errors are [ERR [id=<request-id>] <message>] followed by [.] — the
+    id is present when the failing request got far enough to be
+    assigned one (so the client can still [EXPLAIN] it). *)
 
 val mode_to_string : Netembed_core.Engine.mode -> string
 val mode_of_string : string -> (Netembed_core.Engine.mode, string) result
@@ -50,6 +66,9 @@ type command =
       (** [ALLOC]: search, then commit the first mapping in the ledger *)
   | Free of int  (** [FREE <id>]: release a fractional allocation *)
   | Utilization  (** [UTIL]: report per-resource ledger utilization *)
+  | Explain of int
+      (** [EXPLAIN <request-id>]: fetch the retained failure certificate
+          of an earlier request *)
 
 val decode_command : string -> (command, string) result
 val encode_command : command -> string
@@ -58,7 +77,13 @@ val encode_answer : ?allocation:int -> Service.answer -> string
 (** [?allocation] adds [allocation=<id>] to the [OK] header (the
     [ALLOC] response). *)
 
-val encode_error : string -> string
+val encode_error : ?id:int -> string -> string
+(** [?id] tags the error with the request id it was assigned, when the
+    request got far enough to receive one. *)
+
+val encode_explanation : Service.entry -> string
+(** The [EXPLAIN] response: header, [SUMMARY], the certificate as
+    [TEXT] lines and one single-line [JSON] rendering. *)
 
 val encode_freed : int -> string
 (** The [FREE] success response, [OK freed=<id>]. *)
@@ -68,7 +93,11 @@ val encode_utilization :
 (** The [UTIL] response from {!Service.utilization} rows. *)
 
 type decoded_answer = {
+  id : int option;  (** request id ([None] from a pre-id server) *)
   outcome : Netembed_core.Engine.outcome;
+  verdict : string option;
+      (** the four-way verdict ({!Netembed_core.Engine.verdict});
+          [None] from a pre-verdict server *)
   elapsed_ms : float;
   mappings : (int * int) list list;  (** association lists per mapping *)
   allocation : int option;

@@ -153,6 +153,12 @@ end
 module Span = struct
   let max_depth = 64
 
+  (* Entries past the preallocated stack are not recorded; they must
+     not vanish silently either, so the overflow branch counts them
+     here and the default registry exposes the cell below. *)
+  let drops = Counter.make ()
+  let dropped () = Counter.value drops
+
   type state = {
     mutable out : out_channel option;
     mutable t0 : float;
@@ -216,6 +222,7 @@ module Span = struct
           Printf.fprintf oc "{\"ev\":\"enter\",\"span\":\"%s\",\"depth\":%d,\"t_us\":%.0f}\n"
             (escape name) d t
         end
+        else Counter.incr drops
 
   let exit () =
     match st.out with
@@ -434,8 +441,19 @@ end
 
 let default_registry = Registry.create ()
 
+let () =
+  Registry.register default_registry
+    ~help:"Span-stack entries dropped past the preallocated depth limit"
+    "netembed_spans_dropped_total"
+    (fun () -> Registry.Counter Span.drops)
+    (fun _ -> ())
+
 type snapshot = {
   algorithm : string;
+  outcome : string;
+      (** "complete" (space exhausted), "unsat" (complete with zero
+          mappings: proved infeasible), "partial" / "exhausted" (budget
+          or timeout hit — gave up, nothing proved) *)
   visited : int;
   found : int;
   elapsed_s : float;
@@ -451,8 +469,8 @@ type snapshot = {
 
 let snapshot_to_json s =
   Printf.sprintf
-    "{\"algorithm\":\"%s\",\"visited\":%d,\"found\":%d,\"elapsed_s\":%.6f,%s\"constraint_evals\":%d,\"domains_built\":%d,\"intersections\":%d,\"backtracks\":%d,\"max_depth\":%d,\"depth_histogram\":%s,\"domain_size_histogram\":%s}"
-    s.algorithm s.visited s.found s.elapsed_s
+    "{\"algorithm\":\"%s\",\"outcome\":\"%s\",\"visited\":%d,\"found\":%d,\"elapsed_s\":%.6f,%s\"constraint_evals\":%d,\"domains_built\":%d,\"intersections\":%d,\"backtracks\":%d,\"max_depth\":%d,\"depth_histogram\":%s,\"domain_size_histogram\":%s}"
+    s.algorithm s.outcome s.visited s.found s.elapsed_s
     (match s.time_to_first_s with
     | None -> ""
     | Some t -> Printf.sprintf "\"time_to_first_s\":%.6f," t)
@@ -462,7 +480,7 @@ let snapshot_to_json s =
 
 let pp_snapshot ppf s =
   Format.fprintf ppf
-    "%s: visited=%d found=%d elapsed=%.3fs evals=%d domains=%d intersections=%d \
-     backtracks=%d max_depth=%d"
-    s.algorithm s.visited s.found s.elapsed_s s.constraint_evals s.domains_built
-    s.intersections s.backtracks s.max_depth
+    "%s: outcome=%s visited=%d found=%d elapsed=%.3fs evals=%d domains=%d \
+     intersections=%d backtracks=%d max_depth=%d"
+    s.algorithm s.outcome s.visited s.found s.elapsed_s s.constraint_evals
+    s.domains_built s.intersections s.backtracks s.max_depth

@@ -138,7 +138,9 @@ module Span : sig
   val enter : string -> unit
   (** Push a span.  A single branch when disabled; no allocation either
       way (the span stack is preallocated, 64 levels deep; deeper
-      nesting is counted but not recorded). *)
+      nesting is counted but not recorded — each unrecorded level
+      bumps {!dropped} and the [netembed_spans_dropped_total] counter
+      of {!val-default_registry}). *)
 
   val exit : unit -> unit
   (** Pop the current span, emitting its duration.  Unbalanced [exit]s
@@ -150,6 +152,11 @@ module Span : sig
   val with_span : string -> (unit -> 'a) -> 'a
   (** [with_span name f] = [enter name; f ()] with a guaranteed [exit]
       on both return and exception. *)
+
+  val dropped : unit -> int
+  (** Spans entered past the preallocated stack depth and therefore not
+      recorded, since process start.  Also exposed as
+      [netembed_spans_dropped_total] in {!val-default_registry}. *)
 end
 
 (** {1 Registries and exposition} *)
@@ -197,6 +204,12 @@ val default_registry : Registry.t
 
 type snapshot = {
   algorithm : string;
+  outcome : string;
+      (** how the run ended: ["complete"] (space exhausted; with
+          [found = 0] this proves no mapping exists — reported as
+          ["unsat"]), ["partial"] (budget hit after finding some
+          mappings) or ["exhausted"] (gave up empty-handed; nothing
+          proved) *)
   visited : int;  (** search-tree nodes visited *)
   found : int;  (** feasible mappings encountered *)
   elapsed_s : float;

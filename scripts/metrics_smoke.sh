@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end metrics smoke test: start netembed_server with a metrics
 # port, submit one LNS request over the wire protocol, scrape /metrics
-# and assert the exposition reflects the request.  Used by CI; runnable
-# locally from the repo root after `dune build`.
+# and assert the exposition reflects the request.  Also drives the
+# failure-diagnostics path: an infeasible request must yield a failure
+# certificate over EXPLAIN, bump netembed_unsat_total and write the
+# flight-recorder dump.  Used by CI; runnable locally from the repo
+# root after `dune build`.
 set -euo pipefail
 
 PORT="${METRICS_PORT:-19911}"
@@ -29,6 +32,7 @@ TXT
 # scrape.
 mkfifo "$WORK/in"
 "$BIN/netembed_server.exe" --host "$WORK/host.graphml" --metrics-port "$PORT" \
+  --flight-dump "$WORK/flight.json" \
   < "$WORK/in" > "$WORK/out" &
 SERVER_PID=$!
 exec 3> "$WORK/in"
@@ -39,7 +43,7 @@ for _ in $(seq 50); do
   grep -q "^OK" "$WORK/out" 2>/dev/null && break
   sleep 0.2
 done
-grep -q "^OK outcome=complete" "$WORK/out" || {
+grep -Eq "^OK id=[0-9]+ outcome=complete verdict=complete" "$WORK/out" || {
   echo "FAIL: no OK answer from server"; cat "$WORK/out"; exit 1; }
 
 METRICS=""
@@ -92,7 +96,7 @@ for _ in $(seq 50); do
   grep -q "^OK resources=" "$WORK/out" 2>/dev/null && break
   sleep 0.2
 done
-grep -Eq '^OK outcome=complete.* allocation=[1-9]' "$WORK/out" \
+grep -Eq '^OK id=[0-9]+ outcome=complete.* allocation=[1-9]' "$WORK/out" \
   || { echo "FAIL: ALLOC did not commit"; cat "$WORK/out"; exit 1; }
 grep -Eq '^UTIL resource=cpuMhz kind=node used=[1-9]' "$WORK/out" \
   || { echo "FAIL: UTIL shows no cpuMhz usage"; cat "$WORK/out"; exit 1; }
@@ -118,6 +122,58 @@ echo "$METRICS" \
 echo "$METRICS" | grep -E '^netembed_resource_utilization\{' \
   | grep -E 'resource="bandwidth"' | grep -Eq 'kind="edge"' \
   || fail "no bandwidth edge utilization gauge"
+
+# --- explain: infeasible request, EXPLAIN certificate, unsat counter --
+cat > "$WORK/unsat.txt" <<'TXT'
+EMBED alg=ECF mode=all
+CONSTRAINT true
+NODECONSTRAINT rSource.cpuMhz >= 99999999
+GRAPHML
+<graphml><graph edgedefault="undirected">
+<node id="x"/><node id="y"/>
+<edge source="x" target="y"/>
+</graph></graphml>
+.
+TXT
+cat "$WORK/unsat.txt" >&3
+
+for _ in $(seq 50); do
+  grep -q "verdict=unsat" "$WORK/out" 2>/dev/null && break
+  sleep 0.2
+done
+grep -Eq '^OK id=[0-9]+ .*verdict=unsat count=0' "$WORK/out" \
+  || { echo "FAIL: infeasible request did not come back unsat"; cat "$WORK/out"; exit 1; }
+UNSAT_ID=$(grep -E '^OK id=[0-9]+ .*verdict=unsat' "$WORK/out" | head -1 \
+  | sed -E 's/^OK id=([0-9]+).*/\1/')
+
+printf 'EXPLAIN %s\n.\n' "$UNSAT_ID" >&3
+for _ in $(seq 50); do
+  grep -q "^OK explain=$UNSAT_ID" "$WORK/out" 2>/dev/null && break
+  sleep 0.2
+done
+grep -q "^OK explain=$UNSAT_ID verdict=unsat" "$WORK/out" \
+  || { echo "FAIL: EXPLAIN returned no certificate"; cat "$WORK/out"; exit 1; }
+grep -q "^TEXT blamed node" "$WORK/out" \
+  || { echo "FAIL: certificate blames no query node"; cat "$WORK/out"; exit 1; }
+grep -q "^TEXT   near miss " "$WORK/out" \
+  || { echo "FAIL: certificate lists no near-miss host"; cat "$WORK/out"; exit 1; }
+grep -Eq '^JSON \{"verdict":"unsat"' "$WORK/out" \
+  || { echo "FAIL: no JSON certificate line"; cat "$WORK/out"; exit 1; }
+
+# The flight-recorder dump (the CI artifact) was written for the
+# failed request and carries the certificate.
+[ -s "$WORK/flight.json" ] \
+  || { echo "FAIL: no flight-recorder dump written"; exit 1; }
+grep -q '"verdict":"unsat"' "$WORK/flight.json" \
+  || { echo "FAIL: flight dump lacks the certificate"; cat "$WORK/flight.json"; exit 1; }
+cp "$WORK/flight.json" "${FLIGHT_DUMP_OUT:-/dev/null}" 2>/dev/null || true
+
+METRICS=$(curl -sf "http://127.0.0.1:$PORT/metrics") \
+  || { echo "FAIL: could not re-scrape /metrics"; exit 1; }
+echo "$METRICS" | grep -Eq '^netembed_unsat_total\{cause="node_constraint"\} [1-9]' \
+  || fail "netembed_unsat_total did not increment for the unsat request"
+echo "$METRICS" | grep -Eq '^netembed_blame_eliminations_total\{cause="node_constraint"\} [1-9]' \
+  || fail "no blame-by-constraint counter"
 
 exec 3>&-
 wait "$SERVER_PID" 2>/dev/null || true

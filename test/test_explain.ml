@@ -1,0 +1,419 @@
+(* Explainability: constraint blame, failure certificates and the
+   flight recorder — unit tests for the kernel plus end-to-end checks
+   that a seeded-UNSAT run names the known culprit and that the
+   certificate's claims are verifiable against the problem. *)
+
+module Graph = Netembed_graph.Graph
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+module Expr = Netembed_expr.Expr
+module Telemetry = Netembed_telemetry.Telemetry
+module Explain = Netembed_explain.Explain
+module Model = Netembed_service.Model
+module Service = Netembed_service.Service
+module Request = Netembed_service.Request
+module Wire = Netembed_service.Wire
+open Netembed_core
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let host_node name cpu =
+  Attrs.of_list [ ("name", Value.String name); ("cpuMhz", Value.Float cpu) ]
+
+let delay d = Attrs.of_list [ ("avgDelay", Value.Float d) ]
+
+(* A 4-cycle of hosts with distinct names and cpu speeds. *)
+let cycle_host () =
+  let g = Graph.create ~name:"cycle" () in
+  let cpus = [| 1200.0; 2400.0; 1800.0; 900.0 |] in
+  let v =
+    Array.init 4 (fun i ->
+        Graph.add_node g (host_node (Printf.sprintf "plab-%d" i) cpus.(i)))
+  in
+  ignore (Graph.add_edge g v.(0) v.(1) (delay 10.0));
+  ignore (Graph.add_edge g v.(1) v.(2) (delay 20.0));
+  ignore (Graph.add_edge g v.(2) v.(3) (delay 30.0));
+  ignore (Graph.add_edge g v.(3) v.(0) (delay 40.0));
+  g
+
+let edge_query () =
+  let g = Graph.create ~name:"q" () in
+  let a = Graph.add_node g Attrs.empty in
+  let b = Graph.add_node g Attrs.empty in
+  ignore (Graph.add_edge g a b Attrs.empty);
+  g
+
+let explain_options =
+  { Engine.default_options with Engine.mode = Engine.All; explain = true }
+
+let certificate result =
+  match result.Engine.report with
+  | Some c -> c
+  | None -> Alcotest.fail "explain run returned no certificate"
+
+(* ------------------------------------------------------------------ *)
+(* Kernel units                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_blame_ordering () =
+  let b = Explain.Blame.create () in
+  Explain.Blame.record b ~q:1 Explain.Cause.Node_constraint 5;
+  Explain.Blame.record b ~q:1 Explain.Cause.Degree_filter 2;
+  Explain.Blame.record b ~q:0 Explain.Cause.Node_constraint 1;
+  Explain.Blame.record b ~q:2 Explain.Cause.Host_contention 0 (* no-op *);
+  check Alcotest.(list int) "most-blamed node first" [ 1; 0 ]
+    (Explain.Blame.nodes b);
+  (match Explain.Blame.by_node b 1 with
+  | (Explain.Cause.Node_constraint, 5) :: _ -> ()
+  | _ -> Alcotest.fail "dominant cause should lead");
+  check Alcotest.int "total_for" 7 (Explain.Blame.total_for b 1);
+  check
+    Alcotest.(list (pair string int))
+    "label totals" [ ("node_constraint", 6); ("degree_filter", 2) ]
+    (Explain.Blame.label_totals b)
+
+let test_recorder_ring () =
+  let r = Explain.Recorder.create ~capacity:4 ~sample_every:1 () in
+  for d = 0 to 9 do
+    Explain.Recorder.visit r ~depth:d ~host:d ~size:3
+  done;
+  check Alcotest.int "all pushes counted" 10 (Explain.Recorder.recorded r);
+  let events = Explain.Recorder.events r in
+  check Alcotest.int "ring keeps capacity" 4 (List.length events);
+  check
+    Alcotest.(list int)
+    "oldest first, newest retained" [ 6; 7; 8; 9 ]
+    (List.map (fun (e : Explain.Recorder.event) -> e.Explain.Recorder.depth) events)
+
+let test_recorder_sampling () =
+  let r = Explain.Recorder.create ~capacity:64 ~sample_every:8 () in
+  for d = 0 to 31 do
+    Explain.Recorder.visit r ~depth:d ~host:0 ~size:1
+  done;
+  Explain.Recorder.wipeout r ~depth:5 ~host:2;
+  check Alcotest.int "1/8 visits plus the always-on wipeout" 5
+    (Explain.Recorder.recorded r)
+
+let test_requirements_extraction () =
+  let ast = Expr.parse_exn "rSource.cpuMhz >= 3000 && 10 > rSource.load" in
+  let reqs = Explain.requirements ~on:[ Netembed_expr.Ast.R_source ] ast in
+  check Alcotest.int "two conjuncts extracted" 2 (List.length reqs);
+  let strings = List.map Explain.requirement_to_string reqs in
+  check Alcotest.bool "ge bound" true
+    (List.mem "rSource.cpuMhz >= 3000" strings);
+  (* 10 > rSource.load reads back as rSource.load < 10. *)
+  check Alcotest.bool "flipped operand order" true
+    (List.mem "rSource.load < 10" strings)
+
+let test_near_misses () =
+  let reqs =
+    Explain.requirements ~on:[ Netembed_expr.Ast.R_source ]
+      (Expr.parse_exn "rSource.cpuMhz >= 3000")
+  in
+  let items =
+    [
+      (0, "slow", Attrs.of_list [ ("cpuMhz", Value.Float 1000.0) ]);
+      (1, "close", Attrs.of_list [ ("cpuMhz", Value.Float 2400.0) ]);
+      (2, "fits", Attrs.of_list [ ("cpuMhz", Value.Float 4000.0) ]);
+    ]
+  in
+  match Explain.near_misses ~reqs ~items ~limit:2 with
+  | best :: _ ->
+      check Alcotest.string "smallest shortfall ranks first" "close"
+        best.Explain.label;
+      check Alcotest.bool "renders the delta" true
+        (let s = Explain.near_miss_to_string best in
+         String.length s > 0
+         &&
+         let has sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         has "2400")
+  | [] -> Alcotest.fail "expected a near miss"
+
+(* ------------------------------------------------------------------ *)
+(* Seeded-UNSAT culprits through the engine                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Every host is too slow for the node constraint: the certificate must
+   blame Node_constraint and show the fastest host as the near miss. *)
+let test_node_constraint_culprit () =
+  let problem =
+    Problem.make
+      ~node_constraint:(Expr.parse_exn "rSource.cpuMhz >= 3000")
+      ~host:(cycle_host ()) ~query:(edge_query ()) Expr.always
+  in
+  let result = Engine.run ~options:explain_options Engine.ECF problem in
+  check Alcotest.string "verdict" "unsat" (Engine.verdict result);
+  let cert = certificate result in
+  (match Explain.Certificate.primary_cause cert with
+  | Some Explain.Cause.Node_constraint -> ()
+  | c ->
+      Alcotest.failf "expected Node_constraint culprit, got %s"
+        (match c with Some c -> Explain.Cause.to_string c | None -> "none"));
+  match cert.Explain.Certificate.blamed with
+  | [] -> Alcotest.fail "no blamed node"
+  | (b : Explain.Certificate.blamed) :: _ -> (
+      check Alcotest.int "requirement extracted" 1
+        (List.length b.Explain.Certificate.requirements);
+      match b.Explain.Certificate.near with
+      | (best : Explain.near_miss) :: _ ->
+          (* plab-1 has 2400 MHz, the closest to the 3000 bound. *)
+          check Alcotest.string "best near miss" "plab-1" best.Explain.label
+      | [] -> Alcotest.fail "no near-miss hosts")
+
+(* Query edge demands a delay no host edge offers: Edge_constraint. *)
+let test_edge_constraint_culprit () =
+  let problem =
+    Problem.make ~host:(cycle_host ()) ~query:(edge_query ())
+      (Expr.parse_exn "rEdge.avgDelay <= 5")
+  in
+  let result = Engine.run ~options:explain_options Engine.ECF problem in
+  check Alcotest.string "verdict" "unsat" (Engine.verdict result);
+  let cert = certificate result in
+  match Explain.Certificate.primary_cause cert with
+  | Some (Explain.Cause.Edge_constraint _) -> ()
+  | c ->
+      Alcotest.failf "expected Edge_constraint culprit, got %s"
+        (match c with Some c -> Explain.Cause.to_string c | None -> "none")
+
+(* A 5-clique query cannot embed in a 4-cycle: degrees are too small. *)
+let test_degree_filter_culprit () =
+  let host = cycle_host () in
+  ignore (Graph.add_node host (host_node "spare" 100.0));
+  let query = Netembed_topology.Regular.clique 5 in
+  let problem = Problem.make ~host ~query Expr.always in
+  let result = Engine.run ~options:explain_options Engine.ECF problem in
+  check Alcotest.string "verdict" "unsat" (Engine.verdict result);
+  let cert = certificate result in
+  match Explain.Certificate.primary_cause cert with
+  | Some Explain.Cause.Degree_filter -> ()
+  | c ->
+      Alcotest.failf "expected Degree_filter culprit, got %s"
+        (match c with Some c -> Explain.Cause.to_string c | None -> "none")
+
+(* LNS has no filter phase; its lazy rejections must still attribute. *)
+let test_lns_blame () =
+  let problem =
+    Problem.make
+      ~node_constraint:(Expr.parse_exn "rSource.cpuMhz >= 3000")
+      ~host:(cycle_host ()) ~query:(edge_query ()) Expr.always
+  in
+  let result = Engine.run ~options:explain_options Engine.LNS problem in
+  check Alcotest.string "verdict" "unsat" (Engine.verdict result);
+  let cert = certificate result in
+  match Explain.Certificate.primary_cause cert with
+  | Some Explain.Cause.Node_constraint -> ()
+  | _ -> Alcotest.fail "LNS should blame the node constraint"
+
+(* ------------------------------------------------------------------ *)
+(* UNSAT vs budget-exhausted                                           *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* A tight visit budget on a feasible clique gives up without proving
+   anything: the verdict (and the telemetry snapshot) must say
+   "exhausted", not "unsat". *)
+let test_exhausted_vs_unsat () =
+  let host = Netembed_topology.Regular.clique 8 in
+  let query = Netembed_topology.Regular.clique 7 in
+  let problem = Problem.make ~host ~query Expr.always in
+  let starved =
+    Engine.run
+      ~options:
+        { explain_options with Engine.max_visited = Some 1; mode = Engine.First }
+      Engine.ECF problem
+  in
+  check Alcotest.string "gave up" "exhausted" (Engine.verdict starved);
+  check Alcotest.bool "snapshot says exhausted" true
+    (contains
+       (Telemetry.snapshot_to_json starved.Engine.telemetry)
+       "\"outcome\":\"exhausted\"");
+  (match (certificate starved).Explain.Certificate.verdict with
+  | "exhausted" -> ()
+  | v -> Alcotest.failf "certificate verdict %s" v);
+  let impossible =
+    Problem.make ~host:(cycle_host ()) ~query:(Netembed_topology.Regular.clique 3)
+      (Expr.parse_exn "rEdge.avgDelay <= 5")
+  in
+  let unsat = Engine.run ~options:explain_options Engine.ECF impossible in
+  check Alcotest.string "proved" "unsat" (Engine.verdict unsat);
+  check Alcotest.bool "snapshot says unsat" true
+    (contains
+       (Telemetry.snapshot_to_json unsat.Engine.telemetry)
+       "\"outcome\":\"unsat\"")
+
+(* ------------------------------------------------------------------ *)
+(* Property: blamed domains are really empty                           *)
+(* ------------------------------------------------------------------ *)
+
+(* For a randomized cpu threshold, whenever the certificate claims a
+   query node's domain was emptied by node-level causes, re-check
+   against the problem: every host must indeed fail node_ok for it. *)
+let prop_certificate_domains_empty =
+  QCheck.Test.make ~count:60
+    ~name:"certificate node-level claims empty the claimed domains"
+    QCheck.(pair (int_bound 5000) (int_bound 1000))
+    (fun (bound, jitter) ->
+      let host = Graph.create () in
+      let v =
+        Array.init 5 (fun i ->
+            Graph.add_node host
+              (host_node
+                 (Printf.sprintf "h%d" i)
+                 (float_of_int (((i * 977) + jitter) mod 4000))))
+      in
+      for i = 0 to 4 do
+        ignore (Graph.add_edge host v.(i) v.((i + 1) mod 5) (delay 10.0))
+      done;
+      let problem =
+        Problem.make
+          ~node_constraint:
+            (Expr.parse_exn (Printf.sprintf "rSource.cpuMhz >= %d" bound))
+          ~host ~query:(edge_query ()) Expr.always
+      in
+      let result = Engine.run ~options:explain_options Engine.ECF problem in
+      match result.Engine.report with
+      | None -> false
+      | Some cert ->
+          Engine.verdict result <> "unsat"
+          || List.for_all
+               (fun (b : Explain.Certificate.blamed) ->
+                 (* Only when every elimination is node-level does the
+                    certificate claim node_ok empties the domain. *)
+                 let only_node_level =
+                   List.for_all
+                     (fun (c, _) ->
+                       match c with
+                       | Explain.Cause.Node_constraint
+                       | Explain.Cause.Degree_filter ->
+                           true
+                       | _ -> false)
+                     b.Explain.Certificate.causes
+                 in
+                 (not only_node_level)
+                 ||
+                 let q = b.Explain.Certificate.node in
+                 let empty = ref true in
+                 for r = 0 to Graph.node_count host - 1 do
+                   if Problem.node_ok problem ~q ~r then empty := false
+                 done;
+                 !empty)
+               cert.Explain.Certificate.blamed)
+
+(* ------------------------------------------------------------------ *)
+(* Service round-trip: EXPLAIN by request id                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_service_explain_roundtrip () =
+  let registry = Telemetry.Registry.create () in
+  let service = Service.create ~registry (Model.create (cycle_host ())) in
+  let request =
+    Request.make ~node_constraint:"rSource.cpuMhz >= 3000" ~algorithm:Engine.ECF
+      ~mode:Engine.All ~query:(edge_query ()) "true"
+  in
+  (match Service.submit service request with
+  | Error e -> Alcotest.failf "submit failed: %s" e
+  | Ok answer -> (
+      check Alcotest.string "verdict on the answer" "unsat"
+        (Engine.verdict answer.Service.result);
+      match Service.explain service answer.Service.id with
+      | None -> Alcotest.fail "no diagnostics retained"
+      | Some entry ->
+          check Alcotest.string "entry verdict" "unsat" entry.Service.verdict;
+          let cert =
+            match entry.Service.certificate with
+            | Some c -> c
+            | None -> Alcotest.fail "entry without certificate"
+          in
+          (match Explain.Certificate.primary_cause cert with
+          | Some Explain.Cause.Node_constraint -> ()
+          | _ -> Alcotest.fail "service certificate names the wrong culprit");
+          let frame = Wire.encode_explanation entry in
+          check Alcotest.bool "wire frame carries the verdict" true
+            (contains frame "verdict=unsat");
+          check Alcotest.bool "wire frame carries JSON" true
+            (contains frame "\nJSON {")));
+  let prometheus = Telemetry.Registry.to_prometheus registry in
+  check Alcotest.bool "unsat counter incremented" true
+    (contains prometheus
+       "netembed_unsat_total{cause=\"node_constraint\"} 1");
+  check Alcotest.bool "blame counters exported" true
+    (contains prometheus "netembed_blame_eliminations_total")
+
+let test_service_admission_certificate () =
+  let host = Graph.create () in
+  ignore
+    (Graph.add_node host
+       (Attrs.of_list
+          [ ("name", Value.String "tiny"); ("cpuMhz", Value.Float 100.0) ]));
+  ignore
+    (Graph.add_node host
+       (Attrs.of_list
+          [ ("name", Value.String "small"); ("cpuMhz", Value.Float 200.0) ]));
+  let registry = Telemetry.Registry.create () in
+  let service = Service.create ~registry (Model.create host) in
+  let query = Graph.create () in
+  ignore (Graph.add_node query (Attrs.of_list [ ("cpuMhz", Value.Float 5000.0) ]));
+  let request =
+    Request.make ~algorithm:Engine.ECF ~mode:Engine.First ~query "true"
+  in
+  (match Service.submit service request with
+  | Ok _ -> Alcotest.fail "expected an admission rejection"
+  | Error e -> check Alcotest.bool "admission error" true (contains e "admission"));
+  match Service.last_entry service with
+  | None -> Alcotest.fail "admission rejection not logged"
+  | Some entry -> (
+      check Alcotest.string "verdict" "admission" entry.Service.verdict;
+      match entry.Service.certificate with
+      | None -> Alcotest.fail "admission entry without certificate"
+      | Some cert ->
+          check Alcotest.bool "residual note names the best host" true
+            (List.exists
+               (fun n -> contains n "small")
+               cert.Explain.Certificate.notes))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "netembed explain"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "blame ordering" `Quick test_blame_ordering;
+          Alcotest.test_case "recorder ring" `Quick test_recorder_ring;
+          Alcotest.test_case "recorder sampling" `Quick test_recorder_sampling;
+          Alcotest.test_case "requirement extraction" `Quick
+            test_requirements_extraction;
+          Alcotest.test_case "near misses" `Quick test_near_misses;
+        ] );
+      ( "culprits",
+        [
+          Alcotest.test_case "node constraint" `Quick test_node_constraint_culprit;
+          Alcotest.test_case "edge constraint" `Quick test_edge_constraint_culprit;
+          Alcotest.test_case "degree filter" `Quick test_degree_filter_culprit;
+          Alcotest.test_case "lns lazy blame" `Quick test_lns_blame;
+          Alcotest.test_case "exhausted vs unsat" `Quick test_exhausted_vs_unsat;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_certificate_domains_empty ] );
+      ( "service",
+        [
+          Alcotest.test_case "explain round-trip" `Quick
+            test_service_explain_roundtrip;
+          Alcotest.test_case "admission certificate" `Quick
+            test_service_admission_certificate;
+        ] );
+    ]

@@ -276,6 +276,44 @@ let test_span_jsonl () =
           then Alcotest.failf "not a JSON object line: %s" l)
         lines)
 
+(* Nesting past the preallocated 64-deep span stack must not crash or
+   corrupt — the overflow is counted on the drops counter (and the
+   default registry's netembed_spans_dropped_total). *)
+let test_span_stack_overflow_counted () =
+  let path = Filename.temp_file "netembed" ".jsonl" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () ->
+      Span.disable ();
+      close_out oc;
+      Sys.remove path)
+    (fun () ->
+      Span.enable oc;
+      let before = Span.dropped () in
+      let depth = 80 in
+      let rec descend n =
+        if n > 0 then Span.with_span "deep" (fun () -> descend (n - 1))
+      in
+      descend depth;
+      check Alcotest.int "levels past 64 counted as dropped" (depth - 64)
+        (Span.dropped () - before);
+      (* Balanced exits: a second run drops exactly the same amount, so
+         the stack pointer did not drift. *)
+      descend depth;
+      check Alcotest.int "no stack-pointer drift" (2 * (depth - 64))
+        (Span.dropped () - before));
+  let prometheus = Registry.to_prometheus Telemetry.default_registry in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length prometheus
+      && (String.sub prometheus i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  check Alcotest.bool "exposed in the default registry" true
+    (contains "netembed_spans_dropped_total")
+
 (* ------------------------------------------------------------------ *)
 (* Engine integration: one snapshot schema for all three algorithms    *)
 (* ------------------------------------------------------------------ *)
@@ -370,7 +408,11 @@ let () =
           Alcotest.test_case "json exposition" `Quick test_json_exposition;
         ] );
       ( "span",
-        [ Alcotest.test_case "jsonl trace" `Quick test_span_jsonl ] );
+        [
+          Alcotest.test_case "jsonl trace" `Quick test_span_jsonl;
+          Alcotest.test_case "stack overflow counted" `Quick
+            test_span_stack_overflow_counted;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "snapshot for ECF/RWB/LNS" `Quick
