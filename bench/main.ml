@@ -284,6 +284,28 @@ let engine_gc_row name alg mode problem =
       in
       (r.Engine.visited, r.Engine.found))
 
+(* Scheduler-ablation rows: static root partitioning vs work stealing
+   on a root-skewed instance.  This container may expose a single CPU,
+   in which case the domains time-slice and wall clock cannot show a
+   parallel win; what the scheduler controls either way is the load
+   balance, so each row also records the per-domain visited-node
+   breakdown and an estimated makespan — the critical path a multi-core
+   run would pay, priced at this run's measured per-visit cost
+   (makespan_est = wall_ms / visited_total * visited_max_domain). *)
+type sched_row = {
+  sched_name : string;
+  sched_strategy : string;
+  sched_domains : int;
+  sched_wall_ms : float;
+  sched_visited : int array;
+  sched_makespan_ms : float;
+  sched_steals : int;
+  sched_frames : int;
+  sched_found : int;
+}
+
+let sched_rows : sched_row list ref = ref []
+
 let bench_json_file = "BENCH_RESULTS.json"
 
 let write_gc_json () =
@@ -300,6 +322,27 @@ let write_gc_json () =
         r.row_found (words_per_visit r)
         (if i = n - 1 then "" else ","))
     rows;
+  Printf.fprintf oc "  ],\n";
+  let srows = List.rev !sched_rows in
+  Printf.fprintf oc
+    "  \"scheduler_ablation_note\": \"wall_ms is measured on this machine (domains \
+     time-slice when cores are scarce); makespan_est_ms = wall_ms / visited_total * \
+     max(visited_by_domain) prices the critical path an unshared-core run would pay\",\n";
+  Printf.fprintf oc "  \"scheduler_ablation\": [\n";
+  let ns = List.length srows in
+  List.iteri
+    (fun i r ->
+      let total = Array.fold_left ( + ) 0 r.sched_visited in
+      let maxv = Array.fold_left max 0 r.sched_visited in
+      Printf.fprintf oc
+        "    {\"name\": %S, \"strategy\": %S, \"domains\": %d, \"wall_ms\": %.3f, \
+         \"visited_total\": %d, \"visited_max_domain\": %d, \"visited_by_domain\": [%s], \
+         \"makespan_est_ms\": %.3f, \"steals\": %d, \"frames\": %d, \"found\": %d}%s\n"
+        r.sched_name r.sched_strategy r.sched_domains r.sched_wall_ms total maxv
+        (String.concat ", " (Array.to_list (Array.map string_of_int r.sched_visited)))
+        r.sched_makespan_ms r.sched_steals r.sched_frames r.sched_found
+        (if i = ns - 1 then "" else ","))
+    srows;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
   Printf.printf "# Gc-aware rows written to %s\n\n" bench_json_file
@@ -410,6 +453,136 @@ let explain_ablation () =
      minor w | explain-on overhead %+.1f%% (%d visited)\n\n%!"
     off.row_ms off.row_minor_words on.row_ms on.row_minor_words overhead
     off.row_visited
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler ablation: static root partitioning vs work stealing       *)
+(* ------------------------------------------------------------------ *)
+
+(* A root-skewed instance, the pathology static partitioning cannot
+   survive: the query root admits exactly four host candidates (a tier
+   attribute gates them), one of which fronts a dense in-band cluster
+   while the other three lead nowhere — their edges exist (so the
+   degree filter keeps them) but sit far outside the delay band.
+   Static partitioning at four domains hands each root to one domain
+   and the cluster root's domain does essentially all the work; work
+   stealing splits that subtree into frames the idle domains take. *)
+let skewed_problem =
+  lazy
+    (let tier t = [ ("tier", Value.Int t) ] in
+     let d v = ("avgDelay", Value.Float v) in
+     let host = Graph.create ~name:"skewed-host" () in
+     let cluster = Array.init 16 (fun _ -> Graph.add_node host (Attrs.of_list (tier 0))) in
+     for i = 0 to 15 do
+       for j = i + 1 to 15 do
+         ignore
+           (Graph.add_edge host cluster.(i) cluster.(j)
+              (Attrs.of_list [ d (10.0 +. float_of_int (((i * 7) + (j * 13)) mod 30)) ]))
+       done
+     done;
+     let hot = Graph.add_node host (Attrs.of_list (tier 1)) in
+     for i = 0 to 11 do
+       ignore (Graph.add_edge host hot cluster.(i) (Attrs.of_list [ d (15.0 +. float_of_int i) ]))
+     done;
+     for k = 0 to 2 do
+       let decoy = Graph.add_node host (Attrs.of_list (tier 1)) in
+       for i = 0 to 3 do
+         ignore
+           (Graph.add_edge host decoy cluster.(((k * 4) + i) mod 16) (Attrs.of_list [ d 20.0 ]))
+       done
+     done;
+     let query = Graph.create ~name:"skewed-query" () in
+     let band = Attrs.of_list [ ("minDelay", Value.Float 5.0); ("maxDelay", Value.Float 50.0) ] in
+     let root = Graph.add_node query (Attrs.of_list (tier 1)) in
+     for _ = 1 to 5 do
+       let leaf = Graph.add_node query (Attrs.of_list (tier 0)) in
+       ignore (Graph.add_edge query root leaf band)
+     done;
+     Problem.make
+       ~node_constraint:(Expr.parse_exn "rSource.tier >= vSource.tier")
+       ~host ~query Expr.avg_delay_within)
+
+let scheduling_ablation () =
+  Printf.printf "# Scheduler ablation (root-skewed instance, static vs work stealing)\n%!";
+  let p = Lazy.force skewed_problem in
+  let filter = Filter.build p in
+  let makespans = Hashtbl.create 16 in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun (strategy, sname) ->
+          let st =
+            Netembed_parallel.Parallel.ecf_all_stats ~strategy ~domains ~timeout:60.0
+              ~split_depth:3 ~filter p
+          in
+          let wall_ms = st.Netembed_parallel.Parallel.elapsed *. 1000.0 in
+          let visited = st.Netembed_parallel.Parallel.visited_by_domain in
+          let total = Array.fold_left ( + ) 0 visited in
+          let maxv = Array.fold_left max 0 visited in
+          let makespan =
+            if total > 0 then wall_ms /. float_of_int total *. float_of_int maxv
+            else wall_ms
+          in
+          Hashtbl.replace makespans (sname, domains) makespan;
+          sched_rows :=
+            {
+              sched_name = "scheduler/skewed_star5";
+              sched_strategy = sname;
+              sched_domains = domains;
+              sched_wall_ms = wall_ms;
+              sched_visited = visited;
+              sched_makespan_ms = makespan;
+              sched_steals = st.Netembed_parallel.Parallel.steals;
+              sched_frames = st.Netembed_parallel.Parallel.frames;
+              sched_found = List.length st.Netembed_parallel.Parallel.mappings;
+            }
+            :: !sched_rows;
+          Printf.printf
+            "  %-14s domains=%d  wall %8.1f ms  visited %7d (max share %7d)  \
+             makespan est %8.1f ms  steals %4d  frames %4d  (%d mappings)\n%!"
+            sname domains wall_ms total maxv makespan
+            st.Netembed_parallel.Parallel.steals st.Netembed_parallel.Parallel.frames
+            (List.length st.Netembed_parallel.Parallel.mappings))
+        [ (Netembed_parallel.Parallel.Static, "static"); (Netembed_parallel.Parallel.Work_stealing, "work_stealing") ])
+    [ 1; 2; 4; 8 ];
+  (match
+     ( Hashtbl.find_opt makespans ("static", 4),
+       Hashtbl.find_opt makespans ("work_stealing", 4) )
+   with
+  | Some s, Some w when w > 0.0 ->
+      Printf.printf
+        "  critical-path speedup at 4 domains (static makespan / ws makespan): %.2fx\n%!"
+        (s /. w)
+  | _ -> ());
+  Printf.printf "\n"
+
+(* Cold vs warm filter cache through the service: the same request
+   twice against an unchanged model; the warm submit skips the filter
+   build.  Rows land in the benches array of BENCH_RESULTS.json. *)
+let filter_cache_bench () =
+  Printf.printf "# Service filter cache (identical request, unchanged model)\n%!";
+  let module Model = Netembed_service.Model in
+  let module Service = Netembed_service.Service in
+  let module Request = Netembed_service.Request in
+  let host = Lazy.force planetlab in
+  let svc = Service.create (Model.create host) in
+  let query = (Query_gen.subgraph (Rng.make 9) ~host ~n:12 ()).Query_gen.query in
+  let request =
+    Request.make ~mode:Engine.All ~timeout:5.0 ~query
+      "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay"
+  in
+  let submit name =
+    measure_gc ~name (fun () ->
+        match Service.submit svc request with
+        | Error m -> failwith m
+        | Ok a ->
+            (a.Service.result.Engine.visited, a.Service.result.Engine.found))
+  in
+  let cold = submit "service/filter_cache_cold" in
+  let warm = submit "service/filter_cache_warm" in
+  Printf.printf
+    "  cold %8.1f ms | warm %8.1f ms  (build skipped, %.1f%% of cold latency)\n\n%!"
+    cold.row_ms warm.row_ms
+    (if cold.row_ms > 0.0 then 100.0 *. warm.row_ms /. cold.row_ms else 0.0)
 
 (* ------------------------------------------------------------------ *)
 (* Multi-tenant churn: the ledger's allocate/release loop              *)
@@ -533,6 +706,8 @@ let () =
     ignore (engine_gc_row "fig8/lns_first_n20+gc" Engine.LNS Engine.First (Lazy.force pl_subgraph_problem));
     ignore (engine_gc_row "fig13/ecf_all_clique6+gc" Engine.ECF Engine.All (Lazy.force clique_problem));
     ledger_churn ();
+    scheduling_ablation ();
+    filter_cache_bench ();
     write_gc_json ();
     Printf.printf "# bench complete in %.1f s\n" (Unix.gettimeofday () -. t0);
     exit 0
@@ -565,6 +740,8 @@ let () =
   ignore (engine_gc_row "fig8/lns_first_n20+gc" Engine.LNS Engine.First (Lazy.force pl_subgraph_problem));
   ignore (engine_gc_row "fig13/ecf_all_clique6+gc" Engine.ECF Engine.All (Lazy.force clique_problem));
   ledger_churn ();
+  scheduling_ablation ();
+  filter_cache_bench ();
   write_gc_json ();
   (* Part 1b: multicore speedup table.  The instance must be
      search-dominated for root partitioning to pay: a clique's

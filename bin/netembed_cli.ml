@@ -145,7 +145,7 @@ let mode_conv =
   Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Wire.mode_to_string m))
 
 let embed host_file query_file constraint_arg node_constraint algorithm mode timeout
-    path_hops dedupe optimize_cost stats trace_file =
+    path_hops dedupe optimize_cost stats trace_file domains =
   let trace_oc =
     match trace_file with
     | None -> None
@@ -181,7 +181,7 @@ let embed host_file query_file constraint_arg node_constraint algorithm mode tim
   let request =
     Request.make ?node_constraint ~algorithm ~mode ?timeout ~query constraint_text
   in
-  let service = Service.create (Model.create host) in
+  let service = Service.create ~domains (Model.create host) in
   match Service.submit service request with
   | Error e -> `Error (false, e)
   | Ok answer ->
@@ -282,13 +282,18 @@ let embed_cmd =
            ~doc:"Write a JSONL span trace of the run (filter build, descent, \
                  solutions) to FILE.")
   in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Run exhaustive ECF searches (--mode all) on N domains with \
+                 work stealing; 1 (the default) stays sequential.")
+  in
   Cmd.v
     (Cmd.info "embed" ~doc:"Embed a query network into a hosting network")
     Term.(
       ret
         (const embed $ host_file $ query_file $ constraint_arg $ node_constraint
         $ algorithm $ mode $ timeout $ path_hops $ dedupe $ optimize_cost $ stats
-        $ trace_file))
+        $ trace_file $ domains))
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)

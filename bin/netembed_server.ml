@@ -98,6 +98,7 @@ let () =
   let monitor_every = ref 0 in
   let metrics_port = ref 0 in
   let flight_dump = ref "" in
+  let domains = ref 1 in
   let speclist =
     [
       ("--host", Arg.Set_string host_file, "FILE hosting network (GraphML), required");
@@ -107,16 +108,19 @@ let () =
        "PORT serve GET /metrics on 127.0.0.1:PORT (0 = off)");
       ("--flight-dump", Arg.Set_string flight_dump,
        "FILE write the latest failure certificate (JSON) here");
+      ("--domains", Arg.Set_int domains,
+       "N run exhaustive ECF requests on N domains with work stealing (default 1 = \
+        sequential)");
     ]
   in
   Arg.parse speclist (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "netembed_server --host FILE [--monitor-every N] [--metrics-port PORT] [--flight-dump FILE]";
+    "netembed_server --host FILE [--monitor-every N] [--metrics-port PORT] [--flight-dump FILE] [--domains N]";
   if !host_file = "" then begin
     prerr_endline "netembed_server: --host is required";
     exit 2
   end;
   let model = Model.of_graphml_file !host_file in
-  let service = Service.create model in
+  let service = Service.create ~domains:!domains model in
   if !metrics_port > 0 then begin
     (* A dying scrape connection must not kill the service. *)
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;

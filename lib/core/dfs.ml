@@ -7,6 +7,13 @@ type candidate_order =
   | Ascending
   | Random of Rng.t
 
+type frame = {
+  prefix : int array;
+  candidates : int array;
+}
+
+let frame_depth fr = Array.length fr.prefix
+
 exception Stop_search
 
 (* Position of each query node in the search order, to find which
@@ -22,11 +29,51 @@ let assigned_neighbours_table (p : Problem.t) order nq =
         (Problem.query_neighbours p q)
       |> List.sort_uniq compare |> Array.of_list)
 
-let search ?root_candidates ?store ?blame (p : Problem.t) (f : Filter.t)
+(* Intersection of the filter cells of the already-assigned neighbours
+   [nbrs] of query node [q], loaded into the store's scratch bitset at
+   [depth] (expression (2)) — or [q]'s node-level candidates when no
+   neighbour is assigned yet (expression (1)).  Used hosts are NOT
+   subtracted here; callers follow with [exclude_used_observed].  All
+   in-place and closure-free: cell lookups go through the exception
+   variant so no [Some] is boxed per lookup. *)
+let load_intersection store (f : Filter.t) ~assignment ~nbrs ~depth ~q =
+  let n_nbrs = Array.length nbrs in
+  if n_nbrs = 0 then
+    ignore (Domain_store.load store ~depth (Filter.node_candidates_bits f q))
+  else begin
+    let w0 = nbrs.(0) in
+    match Filter.cell_bits_exn f ~q_assigned:w0 ~r_assigned:assignment.(w0) ~q_next:q with
+    | exception Not_found -> ignore (Domain_store.load_empty store ~depth)
+    | cell ->
+        ignore (Domain_store.load store ~depth cell);
+        (* Intersect progressively; bail out on empty. *)
+        let dom = Domain_store.domain store ~depth in
+        let i = ref 1 in
+        while !i < n_nbrs && not (Bitset.is_empty dom) do
+          let w = nbrs.(!i) in
+          (match
+             Filter.cell_bits_exn f ~q_assigned:w ~r_assigned:assignment.(w) ~q_next:q
+           with
+          | exception Not_found -> ignore (Domain_store.load_empty store ~depth)
+          | cell -> Domain_store.restrict store ~depth cell);
+          incr i
+        done
+  end
+
+(* The search proper, generalized to resume from a [frame]: the hosts in
+   [start.prefix] are pre-assigned to the first [start_depth] order
+   positions and the candidate set at [start_depth] is taken verbatim
+   from [start.candidates] instead of being recomputed.  [search] is the
+   [start_depth = 0] special case; [search_frame] hands the parallel
+   scheduler a way to run any stolen subtree to exhaustion. *)
+let search_core ~(start : frame option) ?store ?blame (p : Problem.t) (f : Filter.t)
     ~candidate_order ~budget ~on_solution =
   let nq = Graph.node_count p.query in
   let nr = Graph.node_count p.host in
   let order = Filter.order f in
+  let start_depth = match start with None -> 0 | Some fr -> frame_depth fr in
+  if nq > 0 && start_depth >= nq then
+    invalid_arg "Dfs.search_core: frame depth beyond query";
   let store =
     match store with
     | None -> Domain_store.create ~universe:nr ~depths:nq
@@ -38,46 +85,28 @@ let search ?root_candidates ?store ?blame (p : Problem.t) (f : Filter.t)
         s
   in
   let assignment = Array.make (max 1 nq) (-1) in
+  (match start with
+  | None -> ()
+  | Some fr ->
+      Array.iteri
+        (fun i h ->
+          assignment.(order.(i)) <- h;
+          Domain_store.mark_used store h)
+        fr.prefix);
   let assigned_neighbours = assigned_neighbours_table p order nq in
   (* Candidate domain for the node at [depth], computed into the store's
-     scratch bitset: intersect the filter cells of assigned neighbours
-     (expression (2)) — or load node-level candidates when none is
-     assigned yet (expression (1)) — then subtract used hosts.  All
-     in-place and closure-free: cell lookups go through the exception
-     variant so no [Some] is boxed per lookup, and enumeration below
-     walks [next_set_bit] instead of passing a closure to [iter].  The
-     only steady-state allocation in the whole search is the solution
-     callback's mapping. *)
+     scratch bitset: neighbour-cell intersection (or the frame's
+     candidate set at the resume depth), then subtract used hosts.
+     Enumeration below walks [next_set_bit] instead of passing a closure
+     to [iter]; the only steady-state allocation in the whole search is
+     the solution callback's mapping. *)
   let compute_domain_fast depth =
-    let q = order.(depth) in
-    let nbrs = assigned_neighbours.(depth) in
-    let n_nbrs = Array.length nbrs in
-    if n_nbrs = 0 then (
-      match root_candidates with
-      | Some roots when depth = 0 -> ignore (Domain_store.load_array store ~depth roots)
-      | Some _ | None ->
-          ignore (Domain_store.load store ~depth (Filter.node_candidates_bits f q)))
-    else begin
-      let w0 = nbrs.(0) in
-      match
-        Filter.cell_bits_exn f ~q_assigned:w0 ~r_assigned:assignment.(w0) ~q_next:q
-      with
-      | exception Not_found -> ignore (Domain_store.load_empty store ~depth)
-      | cell ->
-          ignore (Domain_store.load store ~depth cell);
-          (* Intersect progressively; bail out on empty. *)
-          let dom = Domain_store.domain store ~depth in
-          let i = ref 1 in
-          while !i < n_nbrs && not (Bitset.is_empty dom) do
-            let w = nbrs.(!i) in
-            (match
-               Filter.cell_bits_exn f ~q_assigned:w ~r_assigned:assignment.(w) ~q_next:q
-             with
-            | exception Not_found -> ignore (Domain_store.load_empty store ~depth)
-            | cell -> Domain_store.restrict store ~depth cell);
-            incr i
-          done
-    end;
+    (match start with
+    | Some fr when depth = start_depth ->
+        ignore (Domain_store.load_array store ~depth fr.candidates)
+    | Some _ | None ->
+        load_intersection store f ~assignment ~nbrs:assigned_neighbours.(depth) ~depth
+          ~q:order.(depth));
     ignore (Domain_store.exclude_used_observed store ~depth);
     Domain_store.domain store ~depth
   in
@@ -93,11 +122,15 @@ let search ?root_candidates ?store ?blame (p : Problem.t) (f : Filter.t)
     let nbrs = assigned_neighbours.(depth) in
     let n_nbrs = Array.length nbrs in
     let culprit = ref (-1) in
-    if n_nbrs = 0 then (
-      match root_candidates with
-      | Some roots when depth = 0 -> ignore (Domain_store.load_array store ~depth roots)
-      | Some _ | None ->
-          ignore (Domain_store.load store ~depth (Filter.node_candidates_bits f q)))
+    let start_override =
+      match start with Some _ -> depth = start_depth | None -> false
+    in
+    if start_override then (
+      match start with
+      | Some fr -> ignore (Domain_store.load_array store ~depth fr.candidates)
+      | None -> assert false)
+    else if n_nbrs = 0 then
+      ignore (Domain_store.load store ~depth (Filter.node_candidates_bits f q))
     else begin
       let w0 = nbrs.(0) in
       match
@@ -183,7 +216,99 @@ let search ?root_candidates ?store ?blame (p : Problem.t) (f : Filter.t)
     end
   in
   if nq = 0 then ignore (on_solution (Mapping.of_array [||]))
-  else match go 0 with () -> () | exception Stop_search -> ()
+  else match go start_depth with () -> () | exception Stop_search -> ()
+
+let search ?root_candidates ?store ?blame p f ~candidate_order ~budget ~on_solution =
+  let start =
+    Option.map (fun roots -> { prefix = [||]; candidates = roots }) root_candidates
+  in
+  search_core ~start ?store ?blame p f ~candidate_order ~budget ~on_solution
+
+let search_frame ?store ?blame p f ~frame ~candidate_order ~budget ~on_solution =
+  search_core ~start:(Some frame) ?store ?blame p f ~candidate_order ~budget
+    ~on_solution
+
+let root_frame (_p : Problem.t) (f : Filter.t) =
+  let order = Filter.order f in
+  if Array.length order = 0 then { prefix = [||]; candidates = [||] }
+  else { prefix = [||]; candidates = Filter.node_candidates f order.(0) }
+
+(* One-level frame expansion: assign each candidate of the frame's split
+   node in turn and materialize the resulting candidate set of the next
+   order position as a child frame.  Children with empty domains are
+   dropped (the subtree is a wipeout either way), and when the split
+   node is the last one each candidate completes a mapping, which is
+   emitted through [on_solution] instead.  Subtrees under distinct
+   children are disjoint by construction — they fix different hosts for
+   the split node — so a scheduler may hand them to different workers
+   and the union of their result sets equals the sequential search. *)
+let expand_frame ?store (p : Problem.t) (f : Filter.t) frame ~on_solution =
+  let nq = Graph.node_count p.query in
+  let nr = Graph.node_count p.host in
+  let order = Filter.order f in
+  let d = frame_depth frame in
+  if nq = 0 then begin
+    on_solution (Mapping.of_array [||]);
+    []
+  end
+  else if d >= nq then invalid_arg "Dfs.expand_frame: frame depth beyond query"
+  else begin
+    let store =
+      match store with
+      | None -> Domain_store.create ~universe:nr ~depths:nq
+      | Some s ->
+          if Domain_store.universe s <> nr then
+            invalid_arg "Dfs.expand_frame: store universe mismatch";
+          if Domain_store.depths s < nq then
+            invalid_arg "Dfs.expand_frame: store too shallow";
+          Domain_store.reset s;
+          s
+    in
+    let assignment = Array.make (max 1 nq) (-1) in
+    Array.iteri
+      (fun i h ->
+        assignment.(order.(i)) <- h;
+        Domain_store.mark_used store h)
+      frame.prefix;
+    let q = order.(d) in
+    if d + 1 = nq then begin
+      (* Split node is the last order position: every remaining
+         candidate completes a mapping. *)
+      Array.iter
+        (fun c ->
+          assignment.(q) <- c;
+          on_solution (Mapping.of_array (Array.copy assignment)))
+        frame.candidates;
+      []
+    end
+    else begin
+      let assigned_neighbours = assigned_neighbours_table p order nq in
+      let child_depth = d + 1 in
+      let nbrs = assigned_neighbours.(child_depth) in
+      let qn = order.(child_depth) in
+      let children = ref [] in
+      Array.iter
+        (fun c ->
+          assignment.(q) <- c;
+          Domain_store.mark_used store c;
+          load_intersection store f ~assignment ~nbrs ~depth:child_depth ~q:qn;
+          let card = Domain_store.exclude_used_observed store ~depth:child_depth in
+          if card > 0 then begin
+            let buf = Domain_store.order_buffer store ~depth:child_depth in
+            let count = Domain_store.fill_order_buffer store ~depth:child_depth in
+            children :=
+              {
+                prefix = Array.append frame.prefix [| c |];
+                candidates = Array.sub buf 0 count;
+              }
+              :: !children
+          end;
+          Domain_store.release_used store c;
+          assignment.(q) <- -1)
+        frame.candidates;
+      List.rev !children
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Legacy sorted-array path                                            *)

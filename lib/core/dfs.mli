@@ -21,6 +21,60 @@ type candidate_order =
   | Ascending
   | Random of Netembed_rng.Rng.t
 
+type frame = {
+  prefix : int array;
+      (** Hosts assigned to the first [Array.length prefix] positions of
+          the search order ([prefix.(i)] hosts [order.(i)]). *)
+  candidates : int array;
+      (** Sorted remaining candidate hosts for the order position at
+          [Array.length prefix], already excluding the prefix hosts. *)
+}
+(** A resumable search frame: a node of the permutations tree together
+    with the not-yet-tried candidates below it.  Frames with the same
+    prefix and disjoint candidate sets — or frames whose prefixes
+    diverge — root disjoint subtrees, so a parallel scheduler may search
+    them independently and the union of the per-frame result sets equals
+    the sequential search. *)
+
+val frame_depth : frame -> int
+(** Number of already-assigned order positions ([Array.length prefix]). *)
+
+val root_frame : Problem.t -> Filter.t -> frame
+(** The whole tree as a single frame: empty prefix, all node-level
+    candidates of the first node in the filter order. *)
+
+val expand_frame :
+  ?store:Domain_store.t ->
+  Problem.t ->
+  Filter.t ->
+  frame ->
+  on_solution:(Mapping.t -> unit) ->
+  frame list
+(** One-level expansion: one child frame per candidate of the split
+    node, each carrying the candidate set of the next order position
+    under that assignment (computed exactly as {!search} would).
+    Children with empty candidate sets are dropped.  When the split node
+    is the last order position, every candidate completes a mapping and
+    is emitted through [on_solution] instead; the returned list is then
+    empty.  [store] as in {!search} (reset on entry; must not be shared
+    with a concurrent searcher).  Does not consume budget. *)
+
+val search_frame :
+  ?store:Domain_store.t ->
+  ?blame:Netembed_explain.Explain.Blame.t ->
+  Problem.t ->
+  Filter.t ->
+  frame:frame ->
+  candidate_order:candidate_order ->
+  budget:Budget.t ->
+  on_solution:(Mapping.t -> [ `Continue | `Stop ]) ->
+  unit
+(** Runs the subtree rooted at [frame] to exhaustion: the prefix hosts
+    are pre-assigned (and marked used), the split node enumerates
+    exactly [frame.candidates], and deeper domains are recomputed as in
+    {!search}.  Same contract as {!search} otherwise.
+    @raise Budget.Exhausted when the budget runs out. *)
+
 val search :
   ?root_candidates:int array ->
   ?store:Domain_store.t ->

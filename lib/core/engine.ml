@@ -52,6 +52,7 @@ type result = {
   domain_stats : Domain_store.stats option;
   telemetry : Telemetry.snapshot;
   report : Explain.Certificate.t option;
+  filter : Filter.t option;
 }
 
 (* The wire/service verdict vocabulary: [outcome] alone conflates
@@ -261,7 +262,7 @@ let assemble_certificate ~(problem : Problem.t) ~algorithm ~filter ~blame ~recor
     ~flight:(Explain.Recorder.events recorder)
     ~verdict message
 
-let run ?(options = default_options) algorithm problem =
+let run ?(options = default_options) ?filter algorithm problem =
   let store =
     Domain_store.create
       ~universe:(Netembed_graph.Graph.node_count problem.Problem.host)
@@ -300,8 +301,15 @@ let run ?(options = default_options) algorithm problem =
       (match algorithm with
       | ECF | RWB ->
           let filter =
-            Telemetry.Span.with_span "filter_build" (fun () ->
-                Filter.build ?blame problem)
+            (* A caller-supplied filter (the service's cross-request
+               cache) skips the dominant sequential build phase — and
+               with it the filter's blame pass: certificates on this
+               path attribute only search-time eliminations. *)
+            match filter with
+            | Some f -> f
+            | None ->
+                Telemetry.Span.with_span "filter_build" (fun () ->
+                    Filter.build ?blame problem)
           in
           filter_used := Some filter;
           let candidate_order =
@@ -374,6 +382,7 @@ let run ?(options = default_options) algorithm problem =
     domain_stats = Some stats;
     telemetry;
     report;
+    filter = !filter_used;
   }
 
 let find_first ?timeout algorithm problem =

@@ -75,7 +75,17 @@ type result = {
           ([Some] iff [options.explain]): blamed (query node,
           constraint) pairs with near-miss hosts on UNSAT, the hot
           backtrack depth, and the flight-recorder tail *)
+  filter : Filter.t option;
+      (** the filter matrix the run searched under ([None] for LNS,
+          which filters lazily) — whether freshly built or supplied by
+          the caller.  The service's cross-request filter cache stores
+          this to skip the build on repeated queries. *)
 }
+
+val verdict_of : outcome -> int -> string
+(** [verdict_of outcome found] — the verdict computation on raw parts,
+    for callers that assemble results outside {!run} (the parallel
+    service path). *)
 
 val verdict : result -> string
 (** The four-way outcome the service reports: ["unsat"] (complete with
@@ -85,9 +95,17 @@ val verdict : result -> string
     [telemetry.outcome], so [snapshot_to_json] preserves the
     unsat/exhausted distinction. *)
 
-val run : ?options:options -> algorithm -> Problem.t -> result
+val run : ?options:options -> ?filter:Filter.t -> algorithm -> Problem.t -> result
 (** Every returned mapping satisfies {!Verify.check} (enforced by the
-    algorithms' construction; tests assert it). *)
+    algorithms' construction; tests assert it).
+
+    [filter], when given, is searched directly instead of building one
+    — it must have been built for an identical problem (same residual
+    host graph, query and constraints), which the service's filter
+    cache guarantees by keying on (model revision, query signature).
+    Skipping the build also skips its blame pass, so explain-mode
+    certificates on this path attribute only search-time eliminations.
+    Ignored by LNS. *)
 
 val find_first : ?timeout:float -> algorithm -> Problem.t -> Mapping.t option
 (** Convenience wrapper: first feasible embedding, if found in time. *)

@@ -9,6 +9,10 @@ module Rng = Netembed_rng.Rng
 module Graph = Netembed_graph.Graph
 module Telemetry = Netembed_telemetry.Telemetry
 
+type strategy =
+  | Static
+  | Work_stealing
+
 (* Scratch domains are mutable single-searcher state: every spawned
    domain builds its own store inside the domain, so the read-only
    problem and filter are shared but scratch never is. *)
@@ -18,6 +22,10 @@ let private_store problem =
     ~depths:(Graph.node_count problem.Problem.query)
 
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* The runtime supports at most ~128 live domains; requests beyond that
+   would make [Domain.spawn] fail outright. *)
+let clamp_domains k = max 1 (min k 126)
 
 (* Each spawned domain records into a registry it owns (single-writer),
    filled from its private store and budget after its search returns;
@@ -57,15 +65,128 @@ let partition k roots =
   Array.iteri (fun i r -> shares.(i mod k) <- r :: shares.(i mod k)) roots;
   Array.map (fun l -> Array.of_list (List.rev l)) shares
 
-let ecf_all ?domains ?timeout ?filter ?(registry = Telemetry.default_registry) problem =
-  let k = match domains with Some d -> max 1 d | None -> default_domains () in
-  Problem.prepare problem;
-  let filter = match filter with Some f -> f | None -> Filter.build problem in
+type stats = {
+  mappings : Mapping.t list;
+  outcome : Engine.outcome;
+  elapsed : float;
+  visited_by_domain : int array;
+  steals : int;
+  frames : int;
+  domain_registries : Telemetry.Registry.t list;
+  domain_stats : Domain_store.stats list;
+}
+
+let visited_total st = Array.fold_left ( + ) 0 st.visited_by_domain
+
+(* ------------------------------------------------------------------ *)
+(* Work-stealing deque                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A mutex-protected resizable ring.  The owner pushes and pops at the
+   back (LIFO — depth-first on its own subtree, keeping the frontier
+   small); thieves take from the front (FIFO — the shallowest frames,
+   which root the largest remaining subtrees, so one steal buys the
+   most work).  Frames are coarse (a frame below the split horizon is a
+   whole sequential subtree), so a plain mutex is nowhere near
+   contended enough to matter; lock-free Chase-Lev is not worth the
+   memory-model subtlety here. *)
+module Deque = struct
+  type 'a t = {
+    lock : Mutex.t;
+    dummy : 'a;
+    mutable buf : 'a array;
+    mutable head : int;  (* index of the oldest element *)
+    mutable len : int;
+  }
+
+  let create dummy =
+    { lock = Mutex.create (); dummy; buf = Array.make 16 dummy; head = 0; len = 0 }
+
+  let grow t =
+    let n = Array.length t.buf in
+    let nb = Array.make (2 * n) t.dummy in
+    for i = 0 to t.len - 1 do
+      nb.(i) <- t.buf.((t.head + i) mod n)
+    done;
+    t.buf <- nb;
+    t.head <- 0
+
+  let push_back t x =
+    Mutex.lock t.lock;
+    if t.len = Array.length t.buf then grow t;
+    t.buf.((t.head + t.len) mod Array.length t.buf) <- x;
+    t.len <- t.len + 1;
+    Mutex.unlock t.lock
+
+  let pop_back t =
+    Mutex.lock t.lock;
+    let r =
+      if t.len = 0 then None
+      else begin
+        t.len <- t.len - 1;
+        let i = (t.head + t.len) mod Array.length t.buf in
+        let x = t.buf.(i) in
+        t.buf.(i) <- t.dummy;
+        Some x
+      end
+    in
+    Mutex.unlock t.lock;
+    r
+
+  let steal_front t =
+    Mutex.lock t.lock;
+    let r =
+      if t.len = 0 then None
+      else begin
+        let x = t.buf.(t.head) in
+        t.buf.(t.head) <- t.dummy;
+        t.head <- (t.head + 1) mod Array.length t.buf;
+        t.len <- t.len - 1;
+        Some x
+      end
+    in
+    Mutex.unlock t.lock;
+    r
+end
+
+(* ------------------------------------------------------------------ *)
+(* Schedulers                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let trivial_stats ~mappings ~outcome ~elapsed ~k =
+  {
+    mappings;
+    outcome;
+    elapsed;
+    visited_by_domain = Array.make k 0;
+    steals = 0;
+    frames = 0;
+    domain_registries = [];
+    domain_stats = [];
+  }
+
+(* Static root partitioning (the seed strategy): split the root
+   candidates round-robin, one domain per NON-EMPTY share.  Empty
+   shares (domains > root candidates) spawn nothing — they contribute
+   an exhausted-by-construction subtree, so the outcome stays
+   [Complete]; spawning them anyway would waste domains and, past the
+   runtime's ~128-domain ceiling, crash. *)
+let static_run ~k ~timeout ~registry problem filter =
+  let t0 = Unix.gettimeofday () in
   let order = Filter.order filter in
-  if Array.length order = 0 then ([ Mapping.of_array [||] ], Engine.Complete)
+  let roots = Filter.node_candidates filter order.(0) in
+  let shares =
+    partition k roots |> Array.to_list
+    |> List.filter (fun s -> Array.length s > 0)
+    |> Array.of_list
+  in
+  if Array.length shares = 0 then
+    (* No root candidate at all: the search space is empty, which a
+       sequential run proves by exhausting zero branches. *)
+    trivial_stats ~mappings:[] ~outcome:Engine.Complete
+      ~elapsed:(Unix.gettimeofday () -. t0)
+      ~k
   else begin
-    let roots = Filter.node_candidates filter order.(0) in
-    let shares = partition k roots in
     let run share () =
       let acc = ref [] in
       let store = private_store problem in
@@ -87,28 +208,212 @@ let ecf_all ?domains ?timeout ?filter ?(registry = Telemetry.default_registry) p
         domain_registry ~algorithm:"ECF" ~budget ~store
           ~found:(List.length mappings)
       in
-      (mappings, exhausted, reg)
+      (mappings, exhausted, reg, Budget.visited budget, Domain_store.stats store)
     in
-    let handles =
-      Array.map (fun share -> Domain.spawn (run share)) shares
-    in
+    let handles = Array.map (fun share -> Domain.spawn (run share)) shares in
     let results = Array.map Domain.join handles in
     Array.iter
-      (fun (_, _, reg) -> Telemetry.Registry.merge_into ~dst:registry reg)
+      (fun (_, _, reg, _, _) -> Telemetry.Registry.merge_into ~dst:registry reg)
       results;
-    let mappings = List.concat_map (fun (m, _, _) -> m) (Array.to_list results) in
-    let any_exhausted = Array.exists (fun (_, e, _) -> e) results in
+    let mappings =
+      List.concat_map (fun (m, _, _, _, _) -> m) (Array.to_list results)
+    in
+    let any_exhausted = Array.exists (fun (_, e, _, _, _) -> e) results in
     let outcome =
       if not any_exhausted then Engine.Complete
       else if mappings = [] then Engine.Inconclusive
       else Engine.Partial
     in
-    (mappings, outcome)
+    {
+      mappings;
+      outcome;
+      elapsed = Unix.gettimeofday () -. t0;
+      visited_by_domain = Array.map (fun (_, _, _, v, _) -> v) results;
+      steals = 0;
+      frames = 0;
+      domain_registries = Array.to_list (Array.map (fun (_, _, r, _, _) -> r) results);
+      domain_stats = Array.to_list (Array.map (fun (_, _, _, _, s) -> s) results);
+    }
   end
 
-let rwb_race ?domains ?timeout ?(seed = 42) ?(registry = Telemetry.default_registry)
-    problem =
-  let k = match domains with Some d -> max 1 d | None -> default_domains () in
+(* Work-stealing scheduler.  The tree is cut into resumable frames
+   ({!Dfs.frame}): frames shallower than the split horizon are expanded
+   one level (children pushed on the owner's deque, stealable); frames
+   at the horizon run to exhaustion as ordinary sequential subtree
+   searches.  [pending] counts frames created but not yet fully
+   processed — push increments before the frame becomes visible, the
+   processing worker decrements after its children (if any) are pushed,
+   so [pending = 0] is a race-free global-completion certificate.
+
+   A worker whose budget is exhausted keeps draining frames (dropping
+   them unsearched, still decrementing [pending]) so siblings never
+   wait on a dead deque; the run is [Partial]/[Inconclusive] then
+   anyway.  Idle workers back off to [Unix.sleepf] after a burst of
+   failed steals: on machines with fewer cores than domains a spinning
+   thief would stall the stop-the-world minor GC of the workers that
+   actually hold frames. *)
+let ws_run ~k ~timeout ~split_depth ~registry problem filter =
+  let t0 = Unix.gettimeofday () in
+  let order = Filter.order filter in
+  let nq = Array.length order in
+  let split_limit = max 0 (min split_depth (nq - 1)) in
+  let dummy = { Dfs.prefix = [||]; candidates = [||] } in
+  let deques = Array.init k (fun _ -> Deque.create dummy) in
+  let pending = Atomic.make 0 in
+  let roots = Filter.node_candidates filter order.(0) in
+  let shares = partition k roots in
+  Array.iteri
+    (fun i share ->
+      if Array.length share > 0 then begin
+        Atomic.incr pending;
+        Deque.push_back deques.(i) { Dfs.prefix = [||]; candidates = share }
+      end)
+    shares;
+  let run i () =
+    let store = private_store problem in
+    let budget =
+      Budget.make ?timeout ~depth_counts:(Domain_store.depth_counts store) ()
+    in
+    let acc = ref [] in
+    let steals = ref 0 in
+    let frames_expanded = ref 0 in
+    let exhausted = ref false in
+    let my = deques.(i) in
+    let handle fr =
+      if not !exhausted then
+        try
+          if Dfs.frame_depth fr >= split_limit then
+            Dfs.search_frame ~store problem filter ~frame:fr
+              ~candidate_order:Dfs.Ascending ~budget
+              ~on_solution:(fun m ->
+                acc := m :: !acc;
+                `Continue)
+          else begin
+            let children =
+              Dfs.expand_frame ~store problem filter fr
+                ~on_solution:(fun m -> acc := m :: !acc)
+            in
+            incr frames_expanded;
+            List.iter
+              (fun c ->
+                Atomic.incr pending;
+                Deque.push_back my c)
+              children
+          end
+        with Budget.Exhausted -> exhausted := true
+    in
+    (* The decrement must survive any exception out of [handle]: a lost
+       decrement would leave [pending] positive forever and every other
+       worker spinning. *)
+    let process fr =
+      Fun.protect
+        ~finally:(fun () -> ignore (Atomic.fetch_and_add pending (-1)))
+        (fun () -> handle fr)
+    in
+    let rec loop failed_steals =
+      match Deque.pop_back my with
+      | Some fr ->
+          process fr;
+          loop 0
+      | None ->
+          if Atomic.get pending = 0 then ()
+          else begin
+            let stolen = ref None in
+            let j = ref 1 in
+            while !stolen = None && !j < k do
+              (match Deque.steal_front deques.((i + !j) mod k) with
+              | Some fr -> stolen := Some fr
+              | None -> ());
+              incr j
+            done;
+            match !stolen with
+            | Some fr ->
+                incr steals;
+                process fr;
+                loop 0
+            | None ->
+                if failed_steals < 64 then Domain.cpu_relax ()
+                else Unix.sleepf 0.0002;
+                loop (failed_steals + 1)
+          end
+    in
+    loop 0;
+    let mappings = List.rev !acc in
+    let reg =
+      domain_registry ~algorithm:"ECF" ~budget ~store ~found:(List.length mappings)
+    in
+    let steals_c =
+      Telemetry.Registry.counter reg
+        ~help:"Search frames stolen from sibling deques by idle domains"
+        "netembed_steals_total"
+    in
+    Telemetry.Counter.add steals_c !steals;
+    ( mappings,
+      !exhausted,
+      reg,
+      Budget.visited budget,
+      !steals,
+      !frames_expanded,
+      Domain_store.stats store )
+  in
+  let handles = Array.init k (fun i -> Domain.spawn (run i)) in
+  let results = Array.map Domain.join handles in
+  Array.iter
+    (fun (_, _, reg, _, _, _, _) -> Telemetry.Registry.merge_into ~dst:registry reg)
+    results;
+  let mappings =
+    List.concat_map (fun (m, _, _, _, _, _, _) -> m) (Array.to_list results)
+  in
+  let any_exhausted = Array.exists (fun (_, e, _, _, _, _, _) -> e) results in
+  let outcome =
+    if not any_exhausted then Engine.Complete
+    else if mappings = [] then Engine.Inconclusive
+    else Engine.Partial
+  in
+  {
+    mappings;
+    outcome;
+    elapsed = Unix.gettimeofday () -. t0;
+    visited_by_domain = Array.map (fun (_, _, _, v, _, _, _) -> v) results;
+    steals = Array.fold_left (fun a (_, _, _, _, s, _, _) -> a + s) 0 results;
+    frames = Array.fold_left (fun a (_, _, _, _, _, f, _) -> a + f) 0 results;
+    domain_registries =
+      Array.to_list (Array.map (fun (_, _, r, _, _, _, _) -> r) results);
+    domain_stats =
+      Array.to_list (Array.map (fun (_, _, _, _, _, _, s) -> s) results);
+  }
+
+let ecf_all_stats ?(strategy = Work_stealing) ?domains ?timeout ?(split_depth = 2)
+    ?filter ?(registry = Telemetry.default_registry) problem =
+  let k =
+    clamp_domains (match domains with Some d -> d | None -> default_domains ())
+  in
+  Problem.prepare problem;
+  let t0 = Unix.gettimeofday () in
+  let filter = match filter with Some f -> f | None -> Filter.build problem in
+  let order = Filter.order filter in
+  if Array.length order = 0 then
+    trivial_stats
+      ~mappings:[ Mapping.of_array [||] ]
+      ~outcome:Engine.Complete
+      ~elapsed:(Unix.gettimeofday () -. t0)
+      ~k
+  else
+    match strategy with
+    | Static -> static_run ~k ~timeout ~registry problem filter
+    | Work_stealing -> ws_run ~k ~timeout ~split_depth ~registry problem filter
+
+let ecf_all ?strategy ?domains ?timeout ?split_depth ?filter ?registry problem =
+  let st =
+    ecf_all_stats ?strategy ?domains ?timeout ?split_depth ?filter ?registry problem
+  in
+  (st.mappings, st.outcome)
+
+let rwb_race ?domains ?timeout ?(seed = 42) ?(rendezvous = fun _ -> ())
+    ?(registry = Telemetry.default_registry) problem =
+  let k =
+    clamp_domains (match domains with Some d -> d | None -> default_domains ())
+  in
   Problem.prepare problem;
   let filter = Filter.build problem in
   let winner : Mapping.t option Atomic.t = Atomic.make None in
@@ -120,6 +425,7 @@ let rwb_race ?domains ?timeout ?(seed = 42) ?(registry = Telemetry.default_regis
         ~depth_counts:(Domain_store.depth_counts store) ()
     in
     let found = ref 0 in
+    rendezvous i;
     (try
        Dfs.search ~store problem filter
          ~candidate_order:(Dfs.Random (Rng.make (seed + (1000 * i))))

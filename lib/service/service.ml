@@ -1,6 +1,8 @@
 module Engine = Netembed_core.Engine
 module Problem = Netembed_core.Problem
 module Mapping = Netembed_core.Mapping
+module Filter = Netembed_core.Filter
+module Parallel = Netembed_parallel.Parallel
 module Expr = Netembed_expr.Expr
 module Ast = Netembed_expr.Ast
 module Telemetry = Netembed_telemetry.Telemetry
@@ -31,6 +33,10 @@ type t = {
   active_allocations : Telemetry.Gauge.t;
   utilization_gauges : (string * [ `Node | `Edge ] * Telemetry.Gauge.t) list;
   slow_threshold : float;
+  domains : int;
+  filter_cache : Filter_cache.t;
+  cache_hits : Telemetry.Counter.t;
+  cache_misses : Telemetry.Counter.t;
   mutable next_id : int;
   (* Bounded slow/failed-query log: a ring of the last [log_capacity]
      diagnosable requests, looked up by request id for EXPLAIN. *)
@@ -40,8 +46,16 @@ type t = {
 
 let kind_label = function `Node -> "node" | `Edge -> "edge"
 
-let create ?(registry = Telemetry.default_registry) ?(slow_threshold = 0.5) model =
+let create ?(registry = Telemetry.default_registry) ?(slow_threshold = 0.5)
+    ?(domains = 1) ?(filter_cache_capacity = 32) model =
   let ledger = Model.ledger model in
+  (* Pre-register the parallel-search steal counter so the exposition
+     shows the series (at 0) before the first multi-domain request;
+     work-stealing workers merge their counts onto it at join. *)
+  ignore
+    (Telemetry.Registry.counter registry
+       ~help:"Search frames stolen from sibling deques by idle domains"
+       "netembed_steals_total");
   let utilization_gauges =
     List.map
       (fun (resource, kind, _, _) ->
@@ -93,6 +107,16 @@ let create ?(registry = Telemetry.default_registry) ?(slow_threshold = 0.5) mode
           ~help:"Outstanding ledger allocations" "netembed_active_allocations";
       utilization_gauges;
       slow_threshold;
+      domains = max 1 domains;
+      filter_cache = Filter_cache.create ~capacity:filter_cache_capacity ();
+      cache_hits =
+        Telemetry.Registry.counter registry
+          ~help:"Requests answered with a cached filter matrix (build skipped)"
+          "netembed_filter_cache_hits_total";
+      cache_misses =
+        Telemetry.Registry.counter registry
+          ~help:"Requests that had to build their filter matrix"
+          "netembed_filter_cache_misses_total";
       next_id = 1;
       log = Array.make log_capacity None;
       logged = 0;
@@ -103,6 +127,8 @@ let create ?(registry = Telemetry.default_registry) ?(slow_threshold = 0.5) mode
 
 let model t = t.model
 let registry t = t.registry
+let filter_cache t = t.filter_cache
+let domains t = t.domains
 
 let utilization t = Ledger.utilization (Model.ledger t.model)
 
@@ -212,6 +238,80 @@ let request_summary (request : Request.t) verdict elapsed =
    the user's node constraint. *)
 let reservation_guard = Expr.parse_exn "!rSource.reserved"
 
+(* Exhaustive ECF requests on a multi-domain service run through the
+   work-stealing scheduler instead of [Engine.run].  The scheduler has
+   no blame/recorder instrumentation (per-domain certificates would
+   have to be merged), so the synthesized result carries no [report];
+   everything else — verdict, telemetry snapshot, filter for the cache
+   — is assembled to the engine's contract.  The per-domain registries
+   are merged into [t.registry] by the scheduler itself. *)
+let submit_parallel t ~cached_filter ~(request : Request.t) problem =
+  let evals_before = Problem.constraint_evals problem in
+  let filter =
+    match cached_filter with Some f -> f | None -> Filter.build problem
+  in
+  let stats =
+    Parallel.ecf_all_stats ~strategy:Parallel.Work_stealing ~domains:t.domains
+      ?timeout:request.Request.timeout ~filter ~registry:t.registry problem
+  in
+  let found = List.length stats.Parallel.mappings in
+  let visited = Parallel.visited_total stats in
+  let constraint_evals = Problem.constraint_evals problem - evals_before in
+  Telemetry.Counter.add
+    (Telemetry.Registry.counter t.registry
+       ~labels:[ ("algorithm", "ECF") ]
+       ~help:"Constraint-expression evaluations (all phases)"
+       "netembed_constraint_evals_total")
+    constraint_evals;
+  let domains_built, intersections, backtracks =
+    List.fold_left
+      (fun (a, b, c) (s : Netembed_core.Domain_store.stats) ->
+        ( a + s.Netembed_core.Domain_store.domains_built,
+          b + s.Netembed_core.Domain_store.intersections,
+          c + s.Netembed_core.Domain_store.backtracks ))
+      (0, 0, 0) stats.Parallel.domain_stats
+  in
+  let depth_hist = Telemetry.Histogram.make () in
+  let size_hist = Telemetry.Histogram.make () in
+  List.iter
+    (fun reg ->
+      let labels = [ ("algorithm", "ECF") ] in
+      Telemetry.Histogram.merge_into ~dst:depth_hist
+        (Telemetry.Registry.histogram reg ~labels "netembed_search_depth");
+      Telemetry.Histogram.merge_into ~dst:size_hist
+        (Telemetry.Registry.histogram reg ~labels "netembed_domain_size"))
+    stats.Parallel.domain_registries;
+  let telemetry =
+    {
+      Telemetry.algorithm = "ECF";
+      outcome = Engine.verdict_of stats.Parallel.outcome found;
+      visited;
+      found;
+      elapsed_s = stats.Parallel.elapsed;
+      time_to_first_s = None;
+      constraint_evals;
+      domains_built;
+      intersections;
+      backtracks;
+      max_depth = Telemetry.Histogram.max_observed depth_hist;
+      depth_histogram = depth_hist;
+      domain_size_histogram = size_hist;
+    }
+  in
+  {
+    Engine.mappings = stats.Parallel.mappings;
+    found;
+    outcome = stats.Parallel.outcome;
+    elapsed = stats.Parallel.elapsed;
+    time_to_first = None;
+    visited;
+    filter_evals = constraint_evals;
+    domain_stats = None;
+    telemetry;
+    report = None;
+    filter = Some filter;
+  }
+
 let submit t (request : Request.t) =
   let t0 = Unix.gettimeofday () in
   Telemetry.Counter.incr t.requests;
@@ -282,10 +382,52 @@ let submit t (request : Request.t) =
                   explain = true;
                 }
               in
+              let revision = Model.revision t.model in
+              (* Cross-request filter cache: ECF/RWB requests key their
+                 filter matrix on (model revision, query signature) and
+                 skip the build — the dominant sequential phase — on a
+                 repeat.  A miss builds inside the engine as before
+                 (with blame, so cold unsat requests still get full
+                 filter-phase attribution) and the built filter is
+                 stored afterwards; LNS filters lazily and bypasses the
+                 cache. *)
+              let cache_key =
+                match request.Request.algorithm with
+                | Engine.LNS -> None
+                | Engine.ECF | Engine.RWB ->
+                    Filter_cache.invalidate t.filter_cache ~current_revision:revision;
+                    Some
+                      (Filter_cache.signature ~query:request.Request.query
+                         ~constraint_text:request.Request.constraint_text
+                         ~node_constraint_text:request.Request.node_constraint_text)
+              in
+              let cached_filter =
+                match cache_key with
+                | None -> None
+                | Some key -> (
+                    match Filter_cache.find t.filter_cache ~revision ~signature:key with
+                    | Some f ->
+                        Telemetry.Counter.incr t.cache_hits;
+                        Some f
+                    | None ->
+                        Telemetry.Counter.incr t.cache_misses;
+                        None)
+              in
               let result =
                 Telemetry.Span.with_span "service_submit" (fun () ->
-                    Engine.run ~options request.Request.algorithm problem)
+                    if
+                      t.domains > 1
+                      && request.Request.algorithm = Engine.ECF
+                      && request.Request.mode = Engine.All
+                    then submit_parallel t ~cached_filter ~request problem
+                    else
+                      Engine.run ~options ?filter:cached_filter
+                        request.Request.algorithm problem)
               in
+              (match (cache_key, result.Engine.filter) with
+              | Some key, Some f ->
+                  Filter_cache.add t.filter_cache ~revision ~signature:key f
+              | _ -> ());
               Log.debug (fun m ->
                   m "query %d nodes via %s: %d mapping(s), %s"
                     (Netembed_graph.Graph.node_count request.Request.query)

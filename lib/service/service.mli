@@ -28,6 +28,8 @@ type entry = {
 val create :
   ?registry:Netembed_telemetry.Telemetry.Registry.t ->
   ?slow_threshold:float ->
+  ?domains:int ->
+  ?filter_cache_capacity:int ->
   Model.t ->
   t
 (** The service registers its request metrics
@@ -40,13 +42,36 @@ val create :
     [netembed_active_allocations]), the failure-attribution counters
     ([netembed_unsat_total{cause}] and
     [netembed_blame_eliminations_total{cause}], created lazily on first
-    use) and one [netembed_resource_utilization{resource,kind}] gauge
-    per capacity resource tracked by the model's ledger, in [registry] —
+    use), the filter-cache counters
+    ([netembed_filter_cache_hits_total] /
+    [netembed_filter_cache_misses_total]), the parallel-search
+    [netembed_steals_total] counter and one
+    [netembed_resource_utilization{resource,kind}] gauge per capacity
+    resource tracked by the model's ledger, in [registry] —
     {!Netembed_telemetry.Telemetry.default_registry} unless overridden
     (tests pass a private one for isolation).
 
+    [domains] (default 1): exhaustive ECF requests ([All] mode) on a
+    service created with [domains > 1] run through the work-stealing
+    parallel scheduler ({!Netembed_parallel.Parallel.ecf_all_stats});
+    the answer's result then carries no failure certificate
+    ([result.report = None]) since blame instrumentation is
+    per-domain.  All other requests run the sequential engine
+    unchanged.
+
+    [filter_cache_capacity] (default 32) bounds the cross-request
+    filter cache ({!Filter_cache}): ECF/RWB requests whose (model
+    revision, query signature) was seen before skip the filter build
+    — the dominant sequential phase — and bump the hit counter.
+
     Successful requests slower than [slow_threshold] seconds (default
     0.5) are kept in the diagnostics log alongside the failures. *)
+
+val filter_cache : t -> Filter_cache.t
+(** The service's cross-request filter cache (introspection for tests
+    and monitoring). *)
+
+val domains : t -> int
 
 val model : t -> Model.t
 

@@ -11,7 +11,7 @@ set -euo pipefail
 PORT="${METRICS_PORT:-19911}"
 BIN="_build/default/bin"
 WORK="$(mktemp -d)"
-trap 'kill "${SERVER_PID:-0}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+trap 'kill "${SERVER_PID:-0}" "${SERVER2_PID:-0}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 [ -x "$BIN/netembed_server.exe" ] || { echo "run 'dune build' first" >&2; exit 2; }
 
@@ -175,6 +175,56 @@ echo "$METRICS" | grep -Eq '^netembed_unsat_total\{cause="node_constraint"\} [1-
 echo "$METRICS" | grep -Eq '^netembed_blame_eliminations_total\{cause="node_constraint"\} [1-9]' \
   || fail "no blame-by-constraint counter"
 
+# --- parallel path + filter cache: second server on two domains ------
+# The blame/EXPLAIN assertions above need the sequential path (the
+# parallel path returns no certificate), so the work-stealing service
+# and its counters are exercised by a separate instance.
+PORT2=$((PORT + 1))
+mkfifo "$WORK/in2"
+"$BIN/netembed_server.exe" --host "$WORK/host.graphml" --metrics-port "$PORT2" \
+  --domains 2 < "$WORK/in2" > "$WORK/out2" &
+SERVER2_PID=$!
+exec 4> "$WORK/in2"
+
+cat > "$WORK/par.txt" <<'TXT'
+EMBED alg=ECF mode=all timeout=10
+CONSTRAINT rEdge.avgDelay < 100
+GRAPHML
+<graphml><graph edgedefault="undirected">
+<node id="x"/><node id="y"/>
+<edge source="x" target="y"/>
+</graph></graphml>
+.
+TXT
+# The identical frame twice: the second submit must hit the filter
+# cache (same model revision, same query signature).
+cat "$WORK/par.txt" >&4
+cat "$WORK/par.txt" >&4
+
+for _ in $(seq 100); do
+  [ "$(grep -c '^OK' "$WORK/out2" 2>/dev/null || true)" -ge 2 ] && break
+  sleep 0.2
+done
+[ "$(grep -Ec '^OK id=[0-9]+ outcome=complete' "$WORK/out2" || true)" -ge 2 ] \
+  || { echo "FAIL: two-domain server did not answer both requests"; cat "$WORK/out2"; exit 1; }
+
+METRICS=$(curl -sf "http://127.0.0.1:$PORT2/metrics") \
+  || { echo "FAIL: could not scrape two-domain /metrics"; exit 1; }
+# Cold submit missed, warm submit hit.
+echo "$METRICS" | grep -Eq '^netembed_filter_cache_misses_total [1-9]' \
+  || fail "no filter-cache miss on the cold submit"
+echo "$METRICS" | grep -Eq '^netembed_filter_cache_hits_total [1-9]' \
+  || fail "no filter-cache hit on the warm submit"
+# The steal counter series is exposed (pre-registered; its value
+# depends on scheduling, so only presence is asserted).
+echo "$METRICS" | grep -Eq '^netembed_steals_total [0-9]' \
+  || fail "no steals counter series"
+# The parallel path merged the per-domain search counters.
+echo "$METRICS" | grep -Eq '^netembed_visited_nodes_total\{algorithm="ECF"\} [1-9]' \
+  || fail "parallel ECF visited nodes missing"
+
 exec 3>&-
+exec 4>&-
 wait "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER2_PID" 2>/dev/null || true
 echo "metrics smoke: OK"

@@ -1,0 +1,185 @@
+(* Differential conformance harness for the parallel search: on seeded
+   random problems, work-stealing ECF, static-partition ECF and
+   sequential ECF must return identical mapping sets (sorted canonical
+   form) and agreeing verdicts, at every tested domain count.  This is
+   the executable form of the frame-disjointness argument: subtrees
+   under distinct frames partition the permutations tree, so no
+   scheduling decision may change the answer — only its order.
+
+   The domain counts exercised are {1, 2, 4} plus the DOMAINS
+   environment variable when set (CI runs the suite at DOMAINS=1 and
+   DOMAINS=4 on runners with different core counts). *)
+
+module Graph = Netembed_graph.Graph
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+module Expr = Netembed_expr.Expr
+module Rng = Netembed_rng.Rng
+module Parallel = Netembed_parallel.Parallel
+open Netembed_core
+
+let delay d = Attrs.of_list [ ("avgDelay", Value.Float d) ]
+
+let band lo hi =
+  Attrs.of_list [ ("minDelay", Value.Float lo); ("maxDelay", Value.Float hi) ]
+
+let domains_under_test =
+  let base = [ 1; 2; 4 ] in
+  match Sys.getenv_opt "DOMAINS" with
+  | None -> base
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> List.sort_uniq compare (d :: base)
+      | Some _ | None -> base)
+
+(* Random connected host + random connected query with delay bands.
+   Instance shape varies with the seed; roughly a quarter of the
+   instances draw near-degenerate bands, so the suite also covers
+   agreeing [unsat] verdicts. *)
+let instance seed =
+  let rng = Rng.make seed in
+  let host_n = 8 + Rng.int rng 8 in
+  let query_n = 3 + Rng.int rng 3 in
+  let tight = Rng.int rng 4 = 0 in
+  let host = Graph.create () in
+  let hv = Array.init host_n (fun _ -> Graph.add_node host Attrs.empty) in
+  for i = 1 to host_n - 1 do
+    let j = Rng.int rng i in
+    ignore (Graph.add_edge host hv.(j) hv.(i) (delay (Rng.uniform rng ~lo:5.0 ~hi:50.0)))
+  done;
+  for _ = 1 to host_n * 2 do
+    let u = Rng.int rng host_n and v = Rng.int rng host_n in
+    if u <> v && not (Graph.mem_edge host hv.(u) hv.(v)) then
+      ignore (Graph.add_edge host hv.(u) hv.(v) (delay (Rng.uniform rng ~lo:5.0 ~hi:50.0)))
+  done;
+  let query = Graph.create () in
+  let qv = Array.init query_n (fun _ -> Graph.add_node query Attrs.empty) in
+  for i = 1 to query_n - 1 do
+    let j = Rng.int rng i in
+    let center = Rng.uniform rng ~lo:5.0 ~hi:50.0 in
+    let halfwidth = if tight then 0.5 else 10.0 in
+    ignore
+      (Graph.add_edge query qv.(j) qv.(i) (band (center -. halfwidth) (center +. halfwidth)))
+  done;
+  Problem.make ~host ~query Expr.avg_delay_within
+
+let canon ms = List.sort_uniq Mapping.compare ms
+
+let equal_sets a b =
+  List.length a = List.length b && List.for_all2 Mapping.equal a b
+
+let strategy_name = function
+  | Parallel.Static -> "static"
+  | Parallel.Work_stealing -> "work-stealing"
+
+let conformance_prop seed =
+  let p = instance seed in
+  let seq_result =
+    Engine.run
+      ~options:{ Engine.default_options with Engine.mode = Engine.All }
+      Engine.ECF p
+  in
+  let seq = canon seq_result.Engine.mappings in
+  let seq_verdict = Engine.verdict seq_result in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun strategy ->
+          let st = Parallel.ecf_all_stats ~strategy ~domains:d p in
+          let par = canon st.Parallel.mappings in
+          let verdict =
+            Engine.verdict_of st.Parallel.outcome (List.length st.Parallel.mappings)
+          in
+          if verdict <> seq_verdict then
+            QCheck.Test.fail_reportf
+              "seed %d, %s, domains=%d: verdict %s, sequential says %s" seed
+              (strategy_name strategy) d verdict seq_verdict;
+          if not (equal_sets seq par) then
+            QCheck.Test.fail_reportf
+              "seed %d, %s, domains=%d: %d mappings, sequential found %d" seed
+              (strategy_name strategy) d (List.length par) (List.length seq))
+        [ Parallel.Static; Parallel.Work_stealing ])
+    domains_under_test;
+  true
+
+let conformance_test =
+  QCheck.Test.make ~count:50 ~name:"ws = static = sequential (mapping sets + verdicts)"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 100_000))
+    conformance_prop
+
+(* The same invariant on a handful of pinned shapes that random draws
+   can miss: a single-node query (no split possible), a query as large
+   as the host (tight permutation), and a disconnected query (the
+   second component restarts the neighbour intersection). *)
+let pinned_instance = function
+  | `Single_node ->
+      let host = Netembed_topology.Regular.ring ~edge:(delay 10.0) 5 in
+      let query = Graph.create () in
+      ignore (Graph.add_node query Attrs.empty);
+      Problem.make ~host ~query Expr.avg_delay_within
+  | `Full_size ->
+      let host = Netembed_topology.Regular.ring ~edge:(delay 10.0) 5 in
+      let query = Graph.create () in
+      let qv = Array.init 5 (fun _ -> Graph.add_node query Attrs.empty) in
+      for i = 0 to 4 do
+        ignore (Graph.add_edge query qv.(i) qv.((i + 1) mod 5) (band 5.0 15.0))
+      done;
+      Problem.make ~host ~query Expr.avg_delay_within
+  | `Disconnected ->
+      let host = Netembed_topology.Regular.ring ~edge:(delay 10.0) 6 in
+      let query = Graph.create () in
+      let a = Graph.add_node query Attrs.empty
+      and b = Graph.add_node query Attrs.empty
+      and c = Graph.add_node query Attrs.empty
+      and d = Graph.add_node query Attrs.empty in
+      ignore (Graph.add_edge query a b (band 5.0 15.0));
+      ignore (Graph.add_edge query c d (band 5.0 15.0));
+      Problem.make ~host ~query Expr.avg_delay_within
+
+let test_pinned_shapes () =
+  List.iter
+    (fun shape ->
+      let p = pinned_instance shape in
+      let seq = canon (Engine.find_all Engine.ECF p) in
+      List.iter
+        (fun d ->
+          List.iter
+            (fun strategy ->
+              let st = Parallel.ecf_all_stats ~strategy ~domains:d p in
+              Alcotest.(check bool)
+                "complete" true
+                (st.Parallel.outcome = Engine.Complete);
+              Alcotest.(check bool)
+                "same set" true
+                (equal_sets seq (canon st.Parallel.mappings)))
+            [ Parallel.Static; Parallel.Work_stealing ])
+        domains_under_test)
+    [ `Single_node; `Full_size; `Disconnected ]
+
+(* Deeper split horizons change which frames are expanded vs searched;
+   the result set must not notice. *)
+let test_split_depth_invariance () =
+  let p = instance 4242 in
+  let seq = canon (Engine.find_all Engine.ECF p) in
+  List.iter
+    (fun split_depth ->
+      let st =
+        Parallel.ecf_all_stats ~strategy:Parallel.Work_stealing ~domains:4
+          ~split_depth p
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "split_depth %d" split_depth)
+        true
+        (equal_sets seq (canon st.Parallel.mappings)))
+    [ 0; 1; 2; 3; 100 ]
+
+let () =
+  Alcotest.run "conformance"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest conformance_test;
+          Alcotest.test_case "pinned shapes" `Quick test_pinned_shapes;
+          Alcotest.test_case "split-depth invariance" `Quick test_split_depth_invariance;
+        ] );
+    ]

@@ -4,6 +4,7 @@ module Value = Netembed_attr.Value
 module Expr = Netembed_expr.Expr
 module Rng = Netembed_rng.Rng
 module Parallel = Netembed_parallel.Parallel
+module Telemetry = Netembed_telemetry.Telemetry
 open Netembed_core
 
 let check = Alcotest.check
@@ -62,6 +63,29 @@ let test_rwb_race () =
       check Alcotest.bool "valid" true (Verify.is_valid p m)
   | None -> check Alcotest.bool "no solution exists" false has_solution
 
+(* Deterministic version of the race: a fixed seed pins every racer's
+   restart schedule and a spin-barrier rendezvous releases all racers
+   at once, so the cancellation path (winner posts, budgets of the
+   losers trip) is exercised on every run instead of depending on
+   spawn-order timing. *)
+let test_rwb_race_rendezvous () =
+  let p = instance 5 ~host_n:16 ~query_n:5 in
+  check Alcotest.bool "instance solvable" true (Engine.find_first Engine.ECF p <> None);
+  let k = 3 in
+  let arrived = Atomic.make 0 in
+  let rendezvous _i =
+    Atomic.incr arrived;
+    while Atomic.get arrived < k do
+      Domain.cpu_relax ()
+    done
+  in
+  for _ = 1 to 3 do
+    Atomic.set arrived 0;
+    match Parallel.rwb_race ~domains:k ~seed:7 ~timeout:30.0 ~rendezvous p with
+    | Some m -> check Alcotest.bool "valid" true (Verify.is_valid p m)
+    | None -> Alcotest.fail "solvable instance produced no winner"
+  done
+
 let test_rwb_race_infeasible () =
   let host = Netembed_topology.Regular.ring ~edge:(delay 10.0) 6 in
   let query = Graph.create () in
@@ -69,6 +93,49 @@ let test_rwb_race_infeasible () =
   ignore (Graph.add_edge query a b (band 100.0 200.0));
   let p = Problem.make ~host ~query Expr.avg_delay_within in
   check Alcotest.bool "no winner" true (Parallel.rwb_race ~domains:2 ~timeout:5.0 p = None)
+
+(* Regression: more domains than root candidates used to spawn workers
+   with empty shares; shares are now filtered out before spawning and
+   the domain count is clamped below the runtime ceiling, so an absurd
+   [domains] must still answer Complete with the full mapping set. *)
+let test_domains_exceed_roots () =
+  let p = instance 30 ~host_n:12 ~query_n:4 in
+  let seq = List.sort_uniq Mapping.compare (Engine.find_all Engine.ECF p) in
+  List.iter
+    (fun strategy ->
+      let st = Parallel.ecf_all_stats ~strategy ~domains:500 p in
+      check Alcotest.bool "complete" true (st.Parallel.outcome = Engine.Complete);
+      let par = List.sort_uniq Mapping.compare st.Parallel.mappings in
+      check Alcotest.int "count" (List.length seq) (List.length par);
+      check Alcotest.bool "same set" true (List.for_all2 Mapping.equal seq par))
+    [ Parallel.Static; Parallel.Work_stealing ]
+
+(* The registry handed to [ecf_all_stats] must equal the sum of the
+   per-domain registries the workers wrote into — merging them again
+   into a fresh registry reproduces the merged exposition byte for
+   byte, and the merged visited counter matches the per-domain visited
+   breakdown. *)
+let test_merged_registry_equals_sum () =
+  let p = instance 7 ~host_n:14 ~query_n:5 in
+  let merged = Telemetry.Registry.create () in
+  let st =
+    Parallel.ecf_all_stats ~strategy:Parallel.Work_stealing ~domains:4
+      ~registry:merged p
+  in
+  let manual = Telemetry.Registry.create () in
+  List.iter
+    (fun reg -> Telemetry.Registry.merge_into ~dst:manual reg)
+    st.Parallel.domain_registries;
+  check Alcotest.string "merged exposition = sum of per-domain expositions"
+    (Telemetry.Registry.to_prometheus manual)
+    (Telemetry.Registry.to_prometheus merged);
+  let visited_counter =
+    Telemetry.Registry.counter merged ~labels:[ ("algorithm", "ECF") ]
+      "netembed_visited_nodes_total"
+  in
+  check Alcotest.int "visited counter = sum of per-domain visited"
+    (Parallel.visited_total st)
+    (Telemetry.Counter.value visited_counter)
 
 let test_empty_query_parallel () =
   let host = Netembed_topology.Regular.ring 4 in
@@ -85,10 +152,13 @@ let () =
           Alcotest.test_case "equals sequential (8 seeds)" `Quick test_ecf_all_equals_sequential;
           Alcotest.test_case "single domain" `Quick test_ecf_all_single_domain;
           Alcotest.test_case "empty query" `Quick test_empty_query_parallel;
+          Alcotest.test_case "domains exceed roots" `Quick test_domains_exceed_roots;
+          Alcotest.test_case "merged registry = sum" `Quick test_merged_registry_equals_sum;
         ] );
       ( "rwb_race",
         [
           Alcotest.test_case "finds valid winner" `Quick test_rwb_race;
+          Alcotest.test_case "rendezvous determinism" `Quick test_rwb_race_rendezvous;
           Alcotest.test_case "infeasible" `Quick test_rwb_race_infeasible;
         ] );
     ]

@@ -506,6 +506,177 @@ let test_monitor_determinism () =
   in
   check Alcotest.bool "same seed, same history" true (run 3 = run 3)
 
+(* ------------------------------------------------------------------ *)
+(* Cross-request filter cache                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Filter_cache = Netembed_service.Filter_cache
+module Problem = Netembed_core.Problem
+
+let build_filter query =
+  let p =
+    Problem.make ~host:(host ()) ~query
+      (Netembed_expr.Expr.parse_exn standard_constraint)
+  in
+  Netembed_core.Filter.build p
+
+let sig_of ?node_constraint_text lo hi =
+  Filter_cache.signature ~query:(path_query lo hi)
+    ~constraint_text:standard_constraint ~node_constraint_text
+
+let test_filter_cache_lru () =
+  let cache = Filter_cache.create ~capacity:2 () in
+  let s1 = sig_of 5.0 15.0 and s2 = sig_of 5.0 25.0 and s3 = sig_of 15.0 25.0 in
+  check Alcotest.bool "distinct signatures" true (s1 <> s2 && s2 <> s3 && s1 <> s3);
+  check Alcotest.bool "miss on empty" true
+    (Filter_cache.find cache ~revision:1 ~signature:s1 = None);
+  Filter_cache.add cache ~revision:1 ~signature:s1 (build_filter (path_query 5.0 15.0));
+  Filter_cache.add cache ~revision:1 ~signature:s2 (build_filter (path_query 5.0 25.0));
+  check Alcotest.int "two entries" 2 (Filter_cache.length cache);
+  check Alcotest.bool "hit refreshes recency" true
+    (Filter_cache.find cache ~revision:1 ~signature:s1 <> None);
+  (* s1 was just touched, so inserting s3 at capacity evicts s2. *)
+  Filter_cache.add cache ~revision:1 ~signature:s3 (build_filter (path_query 15.0 25.0));
+  check Alcotest.int "one eviction" 1 (Filter_cache.evictions cache);
+  check Alcotest.bool "LRU entry gone" true
+    (Filter_cache.find cache ~revision:1 ~signature:s2 = None);
+  check Alcotest.bool "recent entry survives" true
+    (Filter_cache.find cache ~revision:1 ~signature:s1 <> None);
+  check Alcotest.bool "other revision misses" true
+    (Filter_cache.find cache ~revision:2 ~signature:s1 = None)
+
+let test_filter_cache_invalidation () =
+  let cache = Filter_cache.create () in
+  let s = sig_of 5.0 15.0 in
+  Filter_cache.add cache ~revision:3 ~signature:s (build_filter (path_query 5.0 15.0));
+  (* Same revision: nothing to drop. *)
+  Filter_cache.invalidate cache ~current_revision:3;
+  check Alcotest.int "kept at same revision" 1 (Filter_cache.length cache);
+  Filter_cache.invalidate cache ~current_revision:4;
+  check Alcotest.int "dropped on revision bump" 0 (Filter_cache.length cache);
+  check Alcotest.int "counted as invalidation" 1 (Filter_cache.invalidations cache);
+  check Alcotest.int "not as eviction" 0 (Filter_cache.evictions cache)
+
+let test_filter_cache_signature_sensitivity () =
+  check Alcotest.string "deterministic" (sig_of 5.0 15.0) (sig_of 5.0 15.0);
+  check Alcotest.bool "band change changes signature" true
+    (sig_of 5.0 15.0 <> sig_of 5.0 15.5);
+  check Alcotest.bool "node constraint in signature" true
+    (sig_of 5.0 15.0 <> sig_of ~node_constraint_text:"rSource.up" 5.0 15.0);
+  check Alcotest.bool "constraint text in signature" true
+    (Filter_cache.signature ~query:(path_query 5.0 15.0) ~constraint_text:"true"
+       ~node_constraint_text:None
+    <> sig_of 5.0 15.0)
+
+(* The id is fresh per request and elapsed is wall-clock; everything
+   else about a warm answer must match the cold one byte for byte. *)
+let normalize_answer s =
+  match String.split_on_char '\n' s with
+  | header :: rest ->
+      let keep tok =
+        not (String.length tok >= 3 && String.sub tok 0 3 = "id=")
+        && not (String.length tok >= 8 && String.sub tok 0 8 = "elapsed=")
+      in
+      let header = String.concat " " (List.filter keep (String.split_on_char ' ' header)) in
+      String.concat "\n" (header :: rest)
+  | [] -> s
+
+let test_service_cache_warm_vs_cold () =
+  let module Telemetry = Netembed_telemetry.Telemetry in
+  let registry = Telemetry.Registry.create () in
+  let svc = Service.create ~registry (Model.create (host ())) in
+  let request =
+    Request.make ~mode:Engine.All ~query:(path_query 5.0 15.0) standard_constraint
+  in
+  let submit () =
+    match Service.submit svc request with Ok a -> a | Error m -> Alcotest.fail m
+  in
+  let value name =
+    Telemetry.Counter.value (Telemetry.Registry.counter registry name)
+  in
+  let cold = submit () in
+  check Alcotest.int "cold run misses" 1 (value "netembed_filter_cache_misses_total");
+  check Alcotest.int "cold run cannot hit" 0 (value "netembed_filter_cache_hits_total");
+  let warm = submit () in
+  check Alcotest.int "warm run hits" 1 (value "netembed_filter_cache_hits_total");
+  check Alcotest.int "warm run skips the build" 1
+    (value "netembed_filter_cache_misses_total");
+  check Alcotest.string "byte-identical modulo id/elapsed"
+    (normalize_answer (Wire.encode_answer cold))
+    (normalize_answer (Wire.encode_answer warm))
+
+let test_service_cache_revision_invalidation () =
+  let model = Model.create (host ()) in
+  let svc = Service.create model in
+  let request =
+    Request.make ~mode:Engine.All ~query:(path_query 5.0 15.0) standard_constraint
+  in
+  let submit () =
+    match Service.submit svc request with Ok a -> a | Error m -> Alcotest.fail m
+  in
+  ignore (submit ());
+  ignore (submit ());
+  let cache = Service.filter_cache svc in
+  check Alcotest.int "entry cached" 1 (Filter_cache.length cache);
+  (* The model moved on: the cached filter may describe edges that no
+     longer exist, so the next submit must rebuild. *)
+  Model.update_edge_attrs model 0 (delay 99.0);
+  let fresh = submit () in
+  check Alcotest.bool "stale entry invalidated" true
+    (Filter_cache.invalidations cache >= 1);
+  (* Edge 0-1 left the band, so only 2-3 remains (both orientations). *)
+  check Alcotest.int "answer reflects new model" 2
+    (List.length fresh.Service.result.Engine.mappings)
+
+(* LNS mutates per-iteration state that a shared filter would leak
+   across requests; the service must bypass the cache for it. *)
+let test_service_cache_skips_lns () =
+  let svc = Service.create (Model.create (host ())) in
+  let request =
+    Request.make ~algorithm:Engine.LNS ~query:(path_query 5.0 15.0)
+      standard_constraint
+  in
+  (match Service.submit svc request with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  check Alcotest.int "nothing cached for LNS" 0
+    (Filter_cache.length (Service.filter_cache svc))
+
+(* Multi-domain service: the work-stealing path must return the same
+   mapping set as the sequential path, report through the same answer
+   shape, and share the filter cache. *)
+let test_service_parallel_path () =
+  let module Telemetry = Netembed_telemetry.Telemetry in
+  let registry = Telemetry.Registry.create () in
+  let par = Service.create ~registry ~domains:3 (Model.create (host ())) in
+  let seq = Service.create (Model.create (host ())) in
+  check Alcotest.int "domains recorded" 3 (Service.domains par);
+  let request =
+    Request.make ~mode:Engine.All ~query:(path_query 5.0 15.0) standard_constraint
+  in
+  let mappings svc =
+    match Service.submit svc request with
+    | Error m -> Alcotest.fail m
+    | Ok a -> List.sort_uniq Mapping.compare a.Service.result.Engine.mappings
+  in
+  let mp = mappings par and ms = mappings seq in
+  check Alcotest.int "same count" (List.length ms) (List.length mp);
+  check Alcotest.bool "same set" true (List.for_all2 Mapping.equal ms mp);
+  (* Second submit on the parallel service hits the shared cache. *)
+  ignore (mappings par);
+  check Alcotest.int "parallel path hits cache" 1
+    (Telemetry.Counter.value
+       (Telemetry.Registry.counter registry "netembed_filter_cache_hits_total"));
+  (* The steal counter is pre-registered so scrapes always see the series. *)
+  let exposition = Telemetry.Registry.to_prometheus registry in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "steals series exposed" true
+    (contains exposition "netembed_steals_total")
+
 let prop_wire_decode_total =
   QCheck.Test.make ~name:"wire decode is total on garbage" ~count:300
     QCheck.(string_of_size (QCheck.Gen.int_range 0 120))
@@ -536,6 +707,18 @@ let () =
           Alcotest.test_case "allocate shared lifecycle" `Quick
             test_allocate_shared_lifecycle;
           Alcotest.test_case "admission rejection" `Quick test_admission_rejection;
+        ] );
+      ( "filter cache",
+        [
+          Alcotest.test_case "LRU hit/miss/eviction" `Quick test_filter_cache_lru;
+          Alcotest.test_case "revision invalidation" `Quick test_filter_cache_invalidation;
+          Alcotest.test_case "signature sensitivity" `Quick
+            test_filter_cache_signature_sensitivity;
+          Alcotest.test_case "warm = cold answer" `Quick test_service_cache_warm_vs_cold;
+          Alcotest.test_case "invalidated on model update" `Quick
+            test_service_cache_revision_invalidation;
+          Alcotest.test_case "LNS bypasses cache" `Quick test_service_cache_skips_lns;
+          Alcotest.test_case "parallel path" `Quick test_service_parallel_path;
         ] );
       ( "wire",
         [
