@@ -29,6 +29,7 @@ type options = {
   seed : int;
   collect : bool;
   explain : bool;
+  prefilter : bool;
 }
 
 let default_options =
@@ -39,6 +40,7 @@ let default_options =
     seed = 42;
     collect = true;
     explain = false;
+    prefilter = true;
   }
 
 type result = {
@@ -309,7 +311,7 @@ let run ?(options = default_options) ?filter algorithm problem =
             | Some f -> f
             | None ->
                 Telemetry.Span.with_span "filter_build" (fun () ->
-                    Filter.build ?blame problem)
+                    Filter.build ~prefilter:options.prefilter ?blame problem)
           in
           filter_used := Some filter;
           let candidate_order =

@@ -42,6 +42,13 @@ type options = {
           domain-computation path, so the plain path stays unchanged;
           blamed runs re-evaluate some constraints for attribution.
           Default false. *)
+  prefilter : bool;
+      (** forwarded to {!Filter.build}: sweep {!Netembed_expr.Bounds}
+          atoms over sorted host attribute columns so decidable
+          (query edge, host edge) pairs skip constraint evaluation.
+          Identical filter either way; [constraint_evals] drops.
+          Default true; the bench ablation turns it off to isolate the
+          bytecode-VM gain from the pre-filter gain. *)
 }
 
 val default_options : options

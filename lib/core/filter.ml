@@ -1,6 +1,6 @@
 open Netembed_graph
-module Eval = Netembed_expr.Eval
-module Attrs = Netembed_attr.Attrs
+module Ast = Netembed_expr.Ast
+module Bounds = Netembed_expr.Bounds
 module Bitset = Netembed_bitset.Bitset
 module Explain = Netembed_explain.Explain
 
@@ -31,7 +31,7 @@ let cell_key t a b r = (((a * t.nq) + b) * t.nr) + r
 
 type ordering = Connected_lemma1 | Lemma1 | Input_order
 
-let build ?(ordering = Connected_lemma1) ?blame (p : Problem.t) =
+let build ?(ordering = Connected_lemma1) ?(prefilter = true) ?blame (p : Problem.t) =
   let nq = Graph.node_count p.query and nr = Graph.node_count p.host in
   let t =
     {
@@ -47,16 +47,41 @@ let build ?(ordering = Connected_lemma1) ?blame (p : Problem.t) =
   in
   let host_edges = Graph.edges p.host in
   let undirected = Graph.kind p.host = Graph.Undirected in
+  (* Per-query-node acceptability over all host nodes, precomputed once:
+     the per-host-edge loop below would otherwise re-evaluate the node
+     constraint for the same (q, r) pair once per incident host edge. *)
+  let node_ok_bits =
+    Array.init nq (fun q ->
+        let bits = Bitset.create nr in
+        for r = 0 to nr - 1 do
+          if Problem.node_ok p ~q ~r then Bitset.add bits r
+        done;
+        bits)
+  in
+  (* Column stores for the bounds pre-filter, shared by every residual
+     of this build; columns materialize on first touch. *)
+  let edge_store =
+    lazy
+      (Prefilter.create ~size:(Graph.edge_count p.host) ~attrs:(Graph.edge_attrs p.host))
+  in
+  let node_store =
+    lazy
+      (Prefilter.create ~size:(Graph.node_count p.host) ~attrs:(Graph.node_attrs p.host))
+  in
   (* Per query edge: evaluate the specialized residual against every host
      edge (both host orientations when undirected), collecting, for both
      lookup directions, r_assigned -> candidate bitset. *)
   let add_edge_cells qe a b =
-    let residual =
-      Eval.specialize
-        ~v_edge:(Graph.edge_attrs p.query qe)
-        ~v_source:(Graph.node_attrs p.query a)
-        ~v_target:(Graph.node_attrs p.query b)
-        p.edge_constraint
+    let residual = Problem.residual p qe ~q_src:a ~q_dst:b in
+    let plan =
+      if not prefilter then None
+      else
+        let bounds = Bounds.of_ast residual in
+        if bounds.Bounds.atoms = [] && not bounds.Bounds.complete then None
+        else
+          Some
+            (Prefilter.plan ~edges:(Lazy.force edge_store)
+               ~nodes:(Lazy.force node_store) bounds)
     in
     let fwd : (int, Bitset.t) Hashtbl.t = Hashtbl.create 64 in
     let bwd : (int, Bitset.t) Hashtbl.t = Hashtbl.create 64 in
@@ -71,38 +96,38 @@ let build ?(ordering = Connected_lemma1) ?blame (p : Problem.t) =
       in
       Bitset.add inner partner
     in
+    (* All real evaluations flow through [Problem.edge_pair_ok] and its
+       shared telemetry counter; pairs the pre-filter decides never
+       reach the evaluator, which is exactly the saving the bench
+       ablation measures. *)
     let test he u v =
-      (* All evaluations flow through the problem's shared telemetry
-         counter, so ECF/RWB filter builds and LNS lazy checks report
-         on the same scale. *)
-      Netembed_telemetry.Telemetry.Counter.incr (Problem.eval_counter p);
-      let env =
-        Eval.env ~v_edge:Attrs.empty ~r_edge:(Graph.edge_attrs p.host he)
-          ~v_source:Attrs.empty ~v_target:Attrs.empty
-          ~r_source:(Graph.node_attrs p.host u)
-          ~r_target:(Graph.node_attrs p.host v)
-      in
-      Eval.accepts env residual
+      match plan with
+      | None -> Problem.edge_pair_ok p ~qe ~q_src:a ~q_dst:b ~he ~r_src:u ~r_dst:v
+      | Some plan ->
+          if not (Prefilter.admits_pair plan ~he ~r_src:u ~r_dst:v) then false
+          else if Prefilter.decides_pair plan ~he ~r_src:u ~r_dst:v then true
+          else Problem.edge_pair_ok p ~qe ~q_src:a ~q_dst:b ~he ~r_src:u ~r_dst:v
     in
     (* If the residual never touches host-endpoint attributes, its value
        cannot depend on the orientation of the host edge, so one
        evaluation decides both. *)
     let orientation_sensitive =
-      Netembed_expr.Ast.fold_attrs
+      Ast.fold_attrs
         (fun obj _ acc ->
           acc
           ||
           match obj with
-          | Netembed_expr.Ast.R_source | Netembed_expr.Ast.R_target -> true
-          | Netembed_expr.Ast.R_edge | Netembed_expr.Ast.V_edge
-          | Netembed_expr.Ast.V_source | Netembed_expr.Ast.V_target -> false)
+          | Ast.R_source | Ast.R_target -> true
+          | Ast.R_edge | Ast.V_edge | Ast.V_source | Ast.V_target -> false)
         residual false
     in
     Array.iter
       (fun (he, u, v) ->
-        let fwd_nodes_ok = Problem.node_ok p ~q:a ~r:u && Problem.node_ok p ~q:b ~r:v in
+        let fwd_nodes_ok =
+          Bitset.mem node_ok_bits.(a) u && Bitset.mem node_ok_bits.(b) v
+        in
         let bwd_nodes_ok =
-          undirected && Problem.node_ok p ~q:a ~r:v && Problem.node_ok p ~q:b ~r:u
+          undirected && Bitset.mem node_ok_bits.(a) v && Bitset.mem node_ok_bits.(b) u
         in
         if orientation_sensitive then begin
           (* Orientation a->u, b->v. *)
@@ -200,13 +225,6 @@ let build ?(ordering = Connected_lemma1) ?blame (p : Problem.t) =
   t.nonempty_cells <- Hashtbl.length t.cells;
   (* Node-level candidates: intersection over incident edges of the
      sources present in F, within node_ok. *)
-  let all_hosts_ok q =
-    let out = Bitset.create nr in
-    for r = 0 to t.nr - 1 do
-      if Problem.node_ok p ~q ~r then Bitset.add out r
-    done;
-    out
-  in
   for q = 0 to nq - 1 do
     let incident = Problem.query_neighbours p q in
     let sets =
@@ -222,7 +240,7 @@ let build ?(ordering = Connected_lemma1) ?blame (p : Problem.t) =
     in
     t.node_cands.(q) <-
       (match sets with
-      | [] -> all_hosts_ok q
+      | [] -> Bitset.copy node_ok_bits.(q)
       | first :: rest ->
           List.iter (fun s -> Bitset.inter_into ~dst:first s) rest;
           first);

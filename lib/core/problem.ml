@@ -1,7 +1,17 @@
 open Netembed_graph
 module Eval = Netembed_expr.Eval
 module Ast = Netembed_expr.Ast
+module Compile = Netembed_expr.Compile
+module Vm = Netembed_expr.Vm
 module Telemetry = Netembed_telemetry.Telemetry
+
+type evaluator = Interp | Bytecode
+
+type compiled = {
+  c_residuals : Ast.t option array;
+  c_programs : Compile.program option array;
+  mutable c_node_program : Compile.program option;
+}
 
 type t = {
   host : Graph.t;
@@ -14,16 +24,36 @@ type t = {
   host_in_degree : int array;
   query_in_degree : int array;
   (* Specialized residuals per (query edge, orientation); index 2*qe for
-     the stored orientation, 2*qe+1 for the reverse.  Filled lazily. *)
+     the stored orientation, 2*qe+1 for the reverse.  Filled lazily.
+     [compiled] carries the same table plus the bytecode programs, so a
+     service-level cache can hand the whole bundle to the next problem
+     over the same query and constraint. *)
   residuals : Ast.t option array;
+  compiled : compiled;
+  evaluator : evaluator;
+  scratch : Vm.scratch;
   evals : Telemetry.Counter.t;
 }
 
-let make ?node_constraint ?(degree_filter = true) ~host ~query edge_constraint =
+let fresh_compiled n =
+  {
+    c_residuals = Array.make n None;
+    c_programs = Array.make n None;
+    c_node_program = None;
+  }
+
+let make ?node_constraint ?(degree_filter = true) ?(evaluator = Bytecode) ?compiled
+    ~host ~query edge_constraint =
   if Graph.kind host <> Graph.kind query then
     invalid_arg "Problem.make: host and query must share directedness";
   if Graph.node_count query > Graph.node_count host then
     invalid_arg "Problem.make: query larger than host";
+  let n = max 1 (2 * Graph.edge_count query) in
+  let compiled =
+    match compiled with
+    | Some c when Array.length c.c_residuals = n -> c
+    | Some _ | None -> fresh_compiled n
+  in
   {
     host;
     query;
@@ -34,16 +64,23 @@ let make ?node_constraint ?(degree_filter = true) ~host ~query edge_constraint =
     query_degree = Array.init (Graph.node_count query) (Graph.degree query);
     host_in_degree = Array.init (Graph.node_count host) (Graph.in_degree host);
     query_in_degree = Array.init (Graph.node_count query) (Graph.in_degree query);
-    residuals = Array.make (max 1 (2 * Graph.edge_count query)) None;
+    residuals = compiled.c_residuals;
+    compiled;
+    evaluator;
+    scratch = Vm.scratch ();
     evals = Telemetry.Counter.make ();
   }
 
 let eval_counter t = t.evals
 let constraint_evals t = Telemetry.Counter.value t.evals
+let evaluator t = t.evaluator
+let compiled_programs t = t.compiled
+
+let residual_idx t qe ~q_src =
+  (2 * qe) + if Graph.edge_source t.query qe = q_src then 0 else 1
 
 let residual t qe ~q_src ~q_dst =
-  let stored_src, _ = Graph.endpoints t.query qe in
-  let idx = (2 * qe) + if stored_src = q_src then 0 else 1 in
+  let idx = residual_idx t qe ~q_src in
   match t.residuals.(idx) with
   | Some r -> r
   | None ->
@@ -57,17 +94,44 @@ let residual t qe ~q_src ~q_dst =
       t.residuals.(idx) <- Some r;
       r
 
+let program t qe ~q_src ~q_dst =
+  let idx = residual_idx t qe ~q_src in
+  match t.compiled.c_programs.(idx) with
+  | Some p -> p
+  | None ->
+      let p = Compile.compile (residual t qe ~q_src ~q_dst) in
+      t.compiled.c_programs.(idx) <- Some p;
+      p
+
+let node_program t c =
+  match t.compiled.c_node_program with
+  | Some p -> p
+  | None ->
+      let p = Compile.compile c in
+      t.compiled.c_node_program <- Some p;
+      p
+
 let edge_pair_ok t ~qe ~q_src ~q_dst ~he ~r_src ~r_dst =
   Telemetry.Counter.incr t.evals;
-  let residual = residual t qe ~q_src ~q_dst in
-  let env =
-    Eval.env ~v_edge:Netembed_attr.Attrs.empty
-      ~r_edge:(Graph.edge_attrs t.host he)
-      ~v_source:Netembed_attr.Attrs.empty ~v_target:Netembed_attr.Attrs.empty
-      ~r_source:(Graph.node_attrs t.host r_src)
-      ~r_target:(Graph.node_attrs t.host r_dst)
-  in
-  Eval.accepts env residual
+  match t.evaluator with
+  | Interp ->
+      let residual = residual t qe ~q_src ~q_dst in
+      let env =
+        Eval.env ~v_edge:Netembed_attr.Attrs.empty
+          ~r_edge:(Graph.edge_attrs t.host he)
+          ~v_source:Netembed_attr.Attrs.empty ~v_target:Netembed_attr.Attrs.empty
+          ~r_source:(Graph.node_attrs t.host r_src)
+          ~r_target:(Graph.node_attrs t.host r_dst)
+      in
+      Eval.accepts env residual
+  | Bytecode ->
+      let p = program t qe ~q_src ~q_dst in
+      Vm.set_env t.scratch ~v_edge:Netembed_attr.Attrs.empty
+        ~r_edge:(Graph.edge_attrs t.host he)
+        ~v_source:Netembed_attr.Attrs.empty ~v_target:Netembed_attr.Attrs.empty
+        ~r_source:(Graph.node_attrs t.host r_src)
+        ~r_target:(Graph.node_attrs t.host r_dst);
+      Vm.accepts t.scratch p
 
 let degree_ok t ~q ~r =
   (not t.degree_filter)
@@ -77,26 +141,29 @@ let degree_ok t ~q ~r =
 let node_constraint_ok t ~q ~r =
   match t.node_constraint with
   | None -> true
-  | Some c ->
+  | Some c -> (
       Telemetry.Counter.incr t.evals;
       let attrs_q = Graph.node_attrs t.query q and attrs_r = Graph.node_attrs t.host r in
-      let env =
-        Eval.env ~v_edge:Netembed_attr.Attrs.empty ~r_edge:Netembed_attr.Attrs.empty
-          ~v_source:attrs_q ~v_target:attrs_q ~r_source:attrs_r ~r_target:attrs_r
-      in
-      Eval.accepts env c
+      match t.evaluator with
+      | Interp ->
+          let env =
+            Eval.env ~v_edge:Netembed_attr.Attrs.empty ~r_edge:Netembed_attr.Attrs.empty
+              ~v_source:attrs_q ~v_target:attrs_q ~r_source:attrs_r ~r_target:attrs_r
+          in
+          Eval.accepts env c
+      | Bytecode ->
+          let p = node_program t c in
+          Vm.set_env t.scratch ~v_edge:Netembed_attr.Attrs.empty
+            ~r_edge:Netembed_attr.Attrs.empty ~v_source:attrs_q ~v_target:attrs_q
+            ~r_source:attrs_r ~r_target:attrs_r;
+          Vm.accepts t.scratch p)
 
 let node_ok t ~q ~r = degree_ok t ~q ~r && node_constraint_ok t ~q ~r
 
 let residual_for_edge t ~q_src ~q_dst =
   match Graph.find_edge t.query q_src q_dst with
   | None -> invalid_arg "Problem.residual_for_edge: no such query edge"
-  | Some qe ->
-      Eval.specialize
-        ~v_edge:(Graph.edge_attrs t.query qe)
-        ~v_source:(Graph.node_attrs t.query q_src)
-        ~v_target:(Graph.node_attrs t.query q_dst)
-        t.edge_constraint
+  | Some qe -> residual t qe ~q_src ~q_dst
 
 (* All query edges incident to [q], regardless of direction: for
    undirected queries [succ] already lists both orientations of each
@@ -117,10 +184,18 @@ let query_edges_between t u v =
 
 let prepare t =
   (* Force every lazy cache so the structure can be shared read-only
-     across domains: the residual table and the host pair index. *)
+     across domains: residuals, compiled programs and the host pair
+     index. *)
   Graph.iter_edges
     (fun qe q_src q_dst ->
       ignore (residual t qe ~q_src ~q_dst);
-      ignore (residual t qe ~q_src:q_dst ~q_dst:q_src))
+      ignore (residual t qe ~q_src:q_dst ~q_dst:q_src);
+      if t.evaluator = Bytecode then begin
+        ignore (program t qe ~q_src ~q_dst);
+        ignore (program t qe ~q_src:q_dst ~q_dst:q_src)
+      end)
     t.query;
+  (match (t.evaluator, t.node_constraint) with
+  | Bytecode, Some c -> ignore (node_program t c)
+  | _ -> ());
   if Graph.node_count t.host > 0 then ignore (Graph.edges_between t.host 0 0)

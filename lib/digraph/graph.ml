@@ -92,6 +92,10 @@ let endpoints t e =
   if e < 0 || e >= edge_count t then invalid_arg "Graph.endpoints: unknown edge";
   (Vec.get t.edge_src e, Vec.get t.edge_dst e)
 
+let edge_source t e =
+  if e < 0 || e >= edge_count t then invalid_arg "Graph.edge_source: unknown edge";
+  Vec.get t.edge_src e
+
 let succ t v =
   check_node t v "Graph.succ";
   Vec.get t.out_adj v

@@ -46,6 +46,11 @@ val endpoints : t -> edge -> node * node
 (** Source and target in insertion orientation (meaningful for directed
     graphs; arbitrary but stable for undirected ones). *)
 
+val edge_source : t -> edge -> node
+(** [fst (endpoints t e)] without allocating the pair — for per-pair
+    hot paths (the constraint evaluator resolves a residual's
+    orientation on every evaluation). *)
+
 val succ : t -> node -> (node * edge) list
 (** Out-neighbours with the connecting edge.  For undirected graphs this
     is the full neighbourhood. *)

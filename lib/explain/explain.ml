@@ -229,42 +229,34 @@ let op_name = function
 let requirement_to_string r =
   Printf.sprintf "%s.%s %s %g" (Ast.obj_name r.subject) r.attr (op_name r.op) r.bound
 
-let flip = function `Ge -> `Le | `Gt -> `Lt | `Le -> `Ge | `Lt -> `Gt | `Eq -> `Eq
-
-let num_of = function
-  | Ast.Num x -> Some x
-  | Ast.Lit v when Value.is_numeric v -> Some (Value.to_float v)
-  | _ -> None
-
-(* Walk the conjunctive spine of a (typically specialized) constraint
-   and collect every comparison pinning an attribute of one of the
-   requested objects against a closed numeric bound.  Disjunctions and
-   arithmetic on the attribute side are skipped — the analysis is a
-   best-effort reading of the common "attr OP number" shape, not a
-   solver. *)
+(* The numeric projection of {!Netembed_expr.Bounds.of_ast}: the same
+   conjunctive-spine extraction that drives the filter's attribute
+   pre-sweeps also yields the certificate's "attr OP number"
+   obligations, so blame and filtering can never disagree about what a
+   constraint demands.  String-equality and bare-boolean atoms carry no
+   numeric bound and are skipped here. *)
 let requirements ~on ast =
-  let wanted obj = List.mem obj on in
-  let cmp_op = function
-    | Ast.Ge -> Some `Ge
-    | Ast.Gt -> Some `Gt
-    | Ast.Le -> Some `Le
-    | Ast.Lt -> Some `Lt
-    | Ast.Eq -> Some `Eq
-    | _ -> None
-  in
-  let rec go acc = function
-    | Ast.Binop (Ast.And, a, b) -> go (go acc a) b
-    | Ast.Binop (op, Ast.Attr (obj, attr), rhs) when wanted obj -> (
-        match (cmp_op op, num_of rhs) with
-        | Some op, Some bound -> { subject = obj; attr; op; bound } :: acc
-        | _ -> acc)
-    | Ast.Binop (op, lhs, Ast.Attr (obj, attr)) when wanted obj -> (
-        match (cmp_op op, num_of lhs) with
-        | Some op, Some bound -> { subject = obj; attr; op = flip op; bound } :: acc
-        | _ -> acc)
-    | _ -> acc
-  in
-  List.rev (go [] ast)
+  let module Bounds = Netembed_expr.Bounds in
+  let b = Bounds.of_ast ast in
+  List.filter_map
+    (fun atom ->
+      let subject, attr = Bounds.atom_subject atom in
+      if not (List.mem subject on) then None
+      else
+        match atom with
+        | Bounds.Cmp { cmp; bound; _ } ->
+            let op =
+              match cmp with
+              | Bounds.Lt -> `Lt
+              | Bounds.Le -> `Le
+              | Bounds.Gt -> `Gt
+              | Bounds.Ge -> `Ge
+            in
+            Some { subject; attr; op; bound }
+        | Bounds.Eq { value; _ } when Value.is_numeric value ->
+            Some { subject; attr; op = `Eq; bound = Value.to_float value }
+        | Bounds.Eq _ | Bounds.Has_bool _ -> None)
+    b.Bounds.atoms
 
 let satisfies r value =
   match r.op with

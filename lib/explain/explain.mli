@@ -131,10 +131,12 @@ val requirement_to_string : requirement -> string
 
 val requirements :
   on:Netembed_expr.Ast.obj list -> Netembed_expr.Ast.t -> requirement list
-(** Walk the conjunctive spine of a (typically specialized) constraint
-    and collect comparisons that pin an attribute of one of the [on]
-    objects against a closed numeric bound.  Best-effort: disjunctions
-    and arithmetic around the attribute are skipped. *)
+(** The numeric projection of {!Netembed_expr.Bounds.of_ast}, filtered
+    to the [on] objects: comparisons that pin an attribute against a
+    closed numeric bound.  The filter's attribute pre-sweeps are driven
+    by the same extraction, so certificates and filtering agree by
+    construction.  Best-effort: disjunctions, arithmetic around the
+    attribute, string atoms and bare booleans are skipped. *)
 
 val satisfies : requirement -> float -> bool
 

@@ -1,0 +1,404 @@
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+module Telemetry = Netembed_telemetry.Telemetry
+
+type slot = { s_obj : Ast.obj; s_name : string }
+
+type program = {
+  code : int array;
+  cnum : float array;
+  cboxed : Value.t array;
+  cmsg : string array;
+  slots : slot array;
+  max_stack : int;
+  max_handlers : int;
+  source : Ast.t;
+}
+
+module Op = struct
+  let halt = 0
+  let push_num = 1
+  let push_true = 2
+  let push_false = 3
+  let push_boxed = 4
+  let load = 5
+  let not_ = 6
+  let neg = 7
+  let add = 8
+  let sub = 9
+  let mul = 10
+  let div = 11
+  let lt = 12
+  let le = 13
+  let gt = 14
+  let ge = 15
+  let eq = 16
+  let neq = 17
+  let as_num = 18
+  let boolify = 19
+  let jmp = 20
+  let jfalse = 21
+  let jtrue = 22
+  let call = 23
+  let fail = 24
+  let push_ha = 25
+  let push_hb = 26
+  let pop_h = 27
+end
+
+(* Builtin function ids.  [isBoundTo] is not here: it compiles to a
+   handler region, not a call. *)
+let builtins = [| ("abs", 1); ("sqrt", 1); ("min", 2); ("max", 2); ("floor", 1); ("ceil", 1) |]
+
+let function_name fid = fst builtins.(fid)
+
+let builtin_id name =
+  let rec go i =
+    if i >= Array.length builtins then None
+    else if String.equal (fst builtins.(i)) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let compiles_counter =
+  Telemetry.Registry.counter Telemetry.default_registry
+    ~help:"Constraint programs compiled to bytecode" "netembed_expr_compiles_total"
+
+let compiles_total () = Telemetry.Counter.value compiles_counter
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let empty_env =
+  Eval.env ~v_edge:Attrs.empty ~r_edge:Attrs.empty ~v_source:Attrs.empty
+    ~v_target:Attrs.empty ~r_source:Attrs.empty ~r_target:Attrs.empty
+
+let closed e = Ast.fold_attrs (fun _ _ _ -> false) e true
+
+let rec fold_consts (e : Ast.t) : Ast.t =
+  match e with
+  | Ast.Bool _ | Ast.Num _ | Ast.Str _ | Ast.Lit _ | Ast.Attr _ -> e
+  | Ast.Unop (op, a) -> try_fold (Ast.Unop (op, fold_consts a))
+  | Ast.Binop (op, a, b) -> try_fold (Ast.Binop (op, fold_consts a, fold_consts b))
+  | Ast.Call (f, args) -> try_fold (Ast.Call (f, List.map fold_consts args))
+
+and try_fold e =
+  (* Fold only subtrees that are closed and evaluate cleanly — the same
+     rule as [Eval.specialize], so an erroring subtree keeps its error. *)
+  if not (closed e) then e
+  else match Eval.eval empty_env e with v -> Ast.Lit v | exception _ -> e
+
+(* ------------------------------------------------------------------ *)
+(* Static stack / handler requirements                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec stack_need (e : Ast.t) =
+  match e with
+  | Ast.Bool _ | Ast.Num _ | Ast.Str _ | Ast.Lit _ | Ast.Attr _ -> 1
+  | Ast.Unop (_, a) -> stack_need a
+  | Ast.Binop ((Ast.And | Ast.Or), a, b) -> max (stack_need a) (stack_need b)
+  | Ast.Binop (_, a, b) -> max (stack_need a) (1 + stack_need b)
+  | Ast.Call (_, args) ->
+      let _, m =
+        List.fold_left
+          (fun (i, m) a -> (i + 1, max m (i + stack_need a)))
+          (0, 1) args
+      in
+      m
+
+let rec handler_need (e : Ast.t) =
+  match e with
+  | Ast.Bool _ | Ast.Num _ | Ast.Str _ | Ast.Lit _ | Ast.Attr _ -> 0
+  | Ast.Unop (_, a) -> handler_need a
+  | Ast.Binop (_, a, b) -> max (handler_need a) (handler_need b)
+  | Ast.Call (f, args) ->
+      let inner = List.fold_left (fun m a -> max m (handler_need a)) 0 args in
+      if String.equal f "isBoundTo" && List.length args = 2 then 1 + inner else inner
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compile (ast : Ast.t) : program =
+  let source = fold_consts ast in
+  (* code buffer *)
+  let code = ref (Array.make 32 0) in
+  let len = ref 0 in
+  let emit w =
+    if !len = Array.length !code then begin
+      let bigger = Array.make (2 * !len) 0 in
+      Array.blit !code 0 bigger 0 !len;
+      code := bigger
+    end;
+    !code.(!len) <- w;
+    incr len
+  in
+  let op o = emit o in
+  let op1 o a =
+    emit o;
+    emit a
+  in
+  (* jump emission: emit a placeholder operand, patch once the target is
+     known *)
+  let jump_here o =
+    emit o;
+    emit (-1);
+    !len - 1
+  in
+  let patch at = !code.(at) <- !len in
+  (* constant pools *)
+  let nums = Hashtbl.create 8 in
+  let num_list = ref [] and num_count = ref 0 in
+  let num_const f =
+    let key = Int64.bits_of_float f in
+    match Hashtbl.find_opt nums key with
+    | Some k -> k
+    | None ->
+        let k = !num_count in
+        Hashtbl.add nums key k;
+        num_list := f :: !num_list;
+        incr num_count;
+        k
+  in
+  let boxed_list = ref [] and boxed_count = ref 0 in
+  let boxed_const v =
+    let rec find i = function
+      | [] -> None
+      | x :: _ when Value.equal x v -> Some (!boxed_count - 1 - i)
+      | _ :: rest -> find (i + 1) rest
+    in
+    match find 0 !boxed_list with
+    | Some k -> k
+    | None ->
+        let k = !boxed_count in
+        boxed_list := v :: !boxed_list;
+        incr boxed_count;
+        k
+  in
+  let msg_list = ref [] and msg_count = ref 0 in
+  let msg_const m =
+    let rec find i = function
+      | [] -> None
+      | x :: _ when String.equal x m -> Some (!msg_count - 1 - i)
+      | _ :: rest -> find (i + 1) rest
+    in
+    match find 0 !msg_list with
+    | Some k -> k
+    | None ->
+        let k = !msg_count in
+        msg_list := m :: !msg_list;
+        incr msg_count;
+        k
+  in
+  let slot_tbl = Hashtbl.create 8 in
+  let slot_list = ref [] and slot_count = ref 0 in
+  let slot obj name =
+    match Hashtbl.find_opt slot_tbl (obj, name) with
+    | Some k -> k
+    | None ->
+        let k = !slot_count in
+        Hashtbl.add slot_tbl (obj, name) k;
+        slot_list := { s_obj = obj; s_name = name } :: !slot_list;
+        incr slot_count;
+        k
+  in
+  let push_lit (v : Value.t) =
+    match v with
+    | Value.Int i -> op1 Op.push_num (num_const (float_of_int i))
+    | Value.Float f -> op1 Op.push_num (num_const f)
+    | Value.Bool true -> op Op.push_true
+    | Value.Bool false -> op Op.push_false
+    | Value.String _ | Value.Range _ -> op1 Op.push_boxed (boxed_const v)
+  in
+  let rec emit_expr (e : Ast.t) =
+    match e with
+    | Ast.Bool true -> op Op.push_true
+    | Ast.Bool false -> op Op.push_false
+    | Ast.Num f -> op1 Op.push_num (num_const f)
+    | Ast.Str s -> op1 Op.push_boxed (boxed_const (Value.String s))
+    | Ast.Lit v -> push_lit v
+    | Ast.Attr (obj, name) -> op1 Op.load (slot obj name)
+    | Ast.Unop (Ast.Not, a) ->
+        emit_expr a;
+        op Op.not_
+    | Ast.Unop (Ast.Neg, a) ->
+        emit_expr a;
+        op Op.neg
+    | Ast.Binop (Ast.And, a, b) ->
+        emit_expr a;
+        let jf = jump_here Op.jfalse in
+        emit_expr b;
+        op Op.boolify;
+        let jend = jump_here Op.jmp in
+        patch jf;
+        op Op.push_false;
+        patch jend
+    | Ast.Binop (Ast.Or, a, b) ->
+        emit_expr a;
+        let jt = jump_here Op.jtrue in
+        emit_expr b;
+        op Op.boolify;
+        let jend = jump_here Op.jmp in
+        patch jt;
+        op Op.push_true;
+        patch jend
+    | Ast.Binop (Ast.Eq, a, b) ->
+        emit_expr a;
+        emit_expr b;
+        op Op.eq
+    | Ast.Binop (Ast.Neq, a, b) ->
+        emit_expr a;
+        emit_expr b;
+        op Op.neq
+    | Ast.Binop (Ast.Lt, a, b) ->
+        emit_expr a;
+        emit_expr b;
+        op Op.lt
+    | Ast.Binop (Ast.Le, a, b) ->
+        emit_expr a;
+        emit_expr b;
+        op Op.le
+    | Ast.Binop (Ast.Gt, a, b) ->
+        emit_expr a;
+        emit_expr b;
+        op Op.gt
+    | Ast.Binop (Ast.Ge, a, b) ->
+        emit_expr a;
+        emit_expr b;
+        op Op.ge
+    | Ast.Binop (Ast.Add, a, b) -> arith Op.add a b
+    | Ast.Binop (Ast.Sub, a, b) -> arith Op.sub a b
+    | Ast.Binop (Ast.Mul, a, b) -> arith Op.mul a b
+    | Ast.Binop (Ast.Div, a, b) -> arith Op.div a b
+    | Ast.Call ("isBoundTo", [ a; b ]) ->
+        (* PUSH_HA Ltrue  <a>  POP_H  PUSH_HB Lfalse  <b>  POP_H  EQ
+           JMP Lend  Ltrue: PUSH_TRUE  JMP Lend  Lfalse: PUSH_FALSE
+           Lend: *)
+        let ha = jump_here Op.push_ha in
+        emit_expr a;
+        op Op.pop_h;
+        let hb = jump_here Op.push_hb in
+        emit_expr b;
+        op Op.pop_h;
+        op Op.eq;
+        let jend1 = jump_here Op.jmp in
+        patch ha;
+        op Op.push_true;
+        let jend2 = jump_here Op.jmp in
+        patch hb;
+        op Op.push_false;
+        patch jend1;
+        patch jend2
+    | Ast.Call ("isBoundTo", args) ->
+        (* Arity errors raise before evaluating any argument. *)
+        op1 Op.fail
+          (msg_const
+             (Printf.sprintf "isBoundTo expects 2 arguments, got %d" (List.length args)))
+    | Ast.Call (f, args) -> (
+        (* Arguments evaluate left to right before name/arity checks. *)
+        List.iter emit_expr args;
+        let n = List.length args in
+        match builtin_id f with
+        | Some fid when snd builtins.(fid) = n -> op1 Op.call fid
+        | Some fid ->
+            let want = snd builtins.(fid) in
+            op1 Op.fail
+              (msg_const
+                 (Printf.sprintf "%s expects %d argument%s, got %d" f want
+                    (if want = 1 then "" else "s")
+                    n))
+        | None -> op1 Op.fail (msg_const (Printf.sprintf "unknown function %S" f)))
+  and arith o a b =
+    emit_expr a;
+    op Op.as_num;
+    emit_expr b;
+    op Op.as_num;
+    op o
+  in
+  emit_expr source;
+  op Op.halt;
+  Telemetry.Counter.incr compiles_counter;
+  {
+    code = Array.sub !code 0 !len;
+    cnum = Array.of_list (List.rev !num_list);
+    cboxed = Array.of_list (List.rev !boxed_list);
+    cmsg = Array.of_list (List.rev !msg_list);
+    slots = Array.of_list (List.rev !slot_list);
+    max_stack = stack_need source;
+    max_handlers = handler_need source;
+    source;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Disassembly                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let disassemble (p : program) : string =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line ";; source: %s" (Ast.to_string p.source);
+  line ";; stack: %d cells, handlers: %d" p.max_stack p.max_handlers;
+  Array.iteri
+    (fun i { s_obj; s_name } -> line ";; slot s%d = %s.%s" i (Ast.obj_name s_obj) s_name)
+    p.slots;
+  Array.iteri (fun i f -> line ";; const n%d = %g" i f) p.cnum;
+  Array.iteri (fun i v -> line ";; const b%d = %s" i (Value.to_string v)) p.cboxed;
+  Array.iteri (fun i m -> line ";; message m%d = %S" i m) p.cmsg;
+  let pc = ref 0 in
+  let operand () =
+    incr pc;
+    p.code.(!pc)
+  in
+  while !pc < Array.length p.code do
+    let at = !pc in
+    let o = p.code.(at) in
+    let mnemonic, arg =
+      if o = Op.halt then ("HALT", "")
+      else if o = Op.push_num then ("PUSH_NUM", Printf.sprintf "n%d" (operand ()))
+      else if o = Op.push_true then ("PUSH_TRUE", "")
+      else if o = Op.push_false then ("PUSH_FALSE", "")
+      else if o = Op.push_boxed then ("PUSH_BOXED", Printf.sprintf "b%d" (operand ()))
+      else if o = Op.load then ("LOAD", Printf.sprintf "s%d" (operand ()))
+      else if o = Op.not_ then ("NOT", "")
+      else if o = Op.neg then ("NEG", "")
+      else if o = Op.add then ("ADD", "")
+      else if o = Op.sub then ("SUB", "")
+      else if o = Op.mul then ("MUL", "")
+      else if o = Op.div then ("DIV", "")
+      else if o = Op.lt then ("LT", "")
+      else if o = Op.le then ("LE", "")
+      else if o = Op.gt then ("GT", "")
+      else if o = Op.ge then ("GE", "")
+      else if o = Op.eq then ("EQ", "")
+      else if o = Op.neq then ("NEQ", "")
+      else if o = Op.as_num then ("AS_NUM", "")
+      else if o = Op.boolify then ("BOOLIFY", "")
+      else if o = Op.jmp then ("JMP", Printf.sprintf "@%d" (operand ()))
+      else if o = Op.jfalse then ("JFALSE", Printf.sprintf "@%d" (operand ()))
+      else if o = Op.jtrue then ("JTRUE", Printf.sprintf "@%d" (operand ()))
+      else if o = Op.call then ("CALL", function_name (operand ()))
+      else if o = Op.fail then ("FAIL", Printf.sprintf "m%d" (operand ()))
+      else if o = Op.push_ha then ("PUSH_HA", Printf.sprintf "@%d" (operand ()))
+      else if o = Op.push_hb then ("PUSH_HB", Printf.sprintf "@%d" (operand ()))
+      else if o = Op.pop_h then ("POP_H", "")
+      else (Printf.sprintf "?%d" o, "")
+    in
+    let annotate =
+      if String.length arg > 0 && arg.[0] = 's' then
+        match int_of_string_opt (String.sub arg 1 (String.length arg - 1)) with
+        | Some s when s < Array.length p.slots ->
+            let { s_obj; s_name } = p.slots.(s) in
+            Printf.sprintf "  ; %s.%s" (Ast.obj_name s_obj) s_name
+        | _ -> ""
+      else if String.length arg > 0 && arg.[0] = 'n' then
+        match int_of_string_opt (String.sub arg 1 (String.length arg - 1)) with
+        | Some k when k < Array.length p.cnum -> Printf.sprintf "  ; %g" p.cnum.(k)
+        | _ -> ""
+      else ""
+    in
+    if String.equal arg "" then line "%4d: %s" at mnemonic
+    else line "%4d: %-10s %s%s" at mnemonic arg annotate;
+    incr pc
+  done;
+  Buffer.contents b

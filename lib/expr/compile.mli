@@ -1,0 +1,133 @@
+(** Bytecode compiler for the constraint language.
+
+    The closure-tree interpreter ({!Eval}) allocates a {!Value.t} box
+    per AST node on NETEMBED's hottest path — every filter-matrix cell,
+    DFS edge check and LNS lazy check.  [compile] lowers an {!Ast.t}
+    once into a compact flat instruction array that {!Vm} then executes
+    on a preallocated stack with no per-evaluation allocation:
+
+    - {b constant folding}: closed subtrees that evaluate cleanly are
+      folded to literals (the same rule {!Eval.specialize} applies), so
+      residual programs carry pre-computed query-side numbers;
+    - {b load-slot pooling}: every distinct [object.attribute] pair is
+      pooled into one entry of the slot table; repeated references share
+      the slot, and the VM memoizes each slot's value per evaluation, so
+      a constraint mentioning [rEdge.avgDelay] twice performs one map
+      lookup (the stack-machine form of common-subexpression
+      elimination);
+    - {b unboxed cells}: numbers and booleans travel through a float
+      array; only strings and ranges stay boxed (and those boxes are
+      shared constants or attribute-table values, never fresh).
+
+    Instructions are emitted in the interpreter's defined left-to-right
+    evaluation order (see {!Eval}), so the VM raises the same class of
+    error on the same input — the seed interpreter stays the
+    differential oracle.  One visible widening: integer values travel as
+    IEEE doubles, so [isBoundTo] equality on integer attributes beyond
+    2{^53} loses exactness (ordinary [==] already compares through
+    floats in the interpreter).
+
+    Every successful [compile] increments the process-wide
+    [netembed_expr_compiles_total] counter, which is how the service's
+    warm-cache path proves it skipped recompilation. *)
+
+type slot = { s_obj : Ast.obj; s_name : string }
+(** One pooled attribute load: which of the six objects, which
+    attribute. *)
+
+(** A compiled program.  The representation is exposed read-only for
+    {!Vm} (same library) and the disassembler; construct only via
+    {!compile}. *)
+type program = private {
+  code : int array;  (** flat opcode/operand stream, {!Op} encoding *)
+  cnum : float array;  (** numeric constant pool *)
+  cboxed : Netembed_attr.Value.t array;  (** string/range constant pool *)
+  cmsg : string array;  (** error-message pool for [FAIL] *)
+  slots : slot array;  (** pooled attribute loads *)
+  max_stack : int;  (** stack cells any evaluation can need *)
+  max_handlers : int;  (** deepest [isBoundTo] handler nesting *)
+  source : Ast.t;  (** the constant-folded AST the code was emitted from *)
+}
+
+(** Opcode encoding: [code.(pc)] is one of these numbers, followed
+    inline by its operands.  Exposed so {!Vm} and the disassembler agree
+    by construction. *)
+module Op : sig
+  val halt : int  (** stop; the result is the single remaining cell *)
+
+  val push_num : int  (** [k] — push [cnum.(k)] *)
+
+  val push_true : int
+  val push_false : int
+
+  val push_boxed : int  (** [k] — push [cboxed.(k)] *)
+
+  val load : int  (** [s] — push the value of slot [s], memoized *)
+
+  val not_ : int
+  val neg : int
+  val add : int
+  val sub : int
+  val mul : int
+
+  val div : int  (** fails on a zero divisor, after both operands *)
+
+  val lt : int
+  val le : int
+  val gt : int
+  val ge : int  (** [compare_values] semantics (numeric or string/string) *)
+
+  val eq : int
+  val neq : int  (** [eval_eq] semantics — never a type error *)
+
+  val as_num : int  (** coerce the top cell to a number or fail *)
+
+  val boolify : int  (** coerce the top cell to a boolean or fail *)
+
+  val jmp : int  (** [t] — unconditional jump *)
+
+  val jfalse : int  (** [t] — pop a boolean, jump when false *)
+
+  val jtrue : int  (** [t] — pop a boolean, jump when true *)
+
+  val call : int  (** [fid] — apply builtin {!function_name} [fid] *)
+
+  val fail : int  (** [m] — raise [Eval_error cmsg.(m)] *)
+
+  val push_ha : int
+  (** [t] — enter an [isBoundTo] first-argument region: a missing
+      {e query-side} attribute aborts the region and jumps to [t] (the
+      "unconstrained → true" exit); hosting-side misses propagate
+      outward. *)
+
+  val push_hb : int
+  (** [t] — enter an [isBoundTo] second-argument region: {e any}
+      missing attribute jumps to [t] (the "unbindable → false" exit). *)
+
+  val pop_h : int  (** leave the innermost handler region *)
+end
+
+val function_name : int -> string
+(** Printable name of a builtin function id ([abs], [sqrt], [min],
+    [max], [floor], [ceil]). *)
+
+val fold_consts : Ast.t -> Ast.t
+(** Bottom-up constant folding: every closed subtree whose evaluation
+    neither raises nor references an attribute becomes a literal.
+    Subtrees that would raise (division by zero, type errors) are left
+    intact so the error still surfaces at evaluation time. *)
+
+val compile : Ast.t -> program
+(** Lower to bytecode (folding constants first).  Never raises: even a
+    constraint that can only fail compiles — to instructions that raise
+    the interpreter's error when executed. *)
+
+val disassemble : program -> string
+(** Deterministic multi-line listing: a header with the folded source,
+    the slot and constant tables, then one line per instruction.  The
+    golden tests pin this output; the CLI exposes it as
+    [explain --dump-bytecode]. *)
+
+val compiles_total : unit -> int
+(** Programs compiled by this process so far (the value of
+    [netembed_expr_compiles_total]). *)

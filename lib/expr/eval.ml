@@ -65,24 +65,51 @@ let rec eval env (e : Ast.t) : Value.t =
       else Value.Bool (as_boolean (eval env b))
   | Ast.Binop (Ast.Eq, a, b) -> Value.Bool (eval_eq env a b)
   | Ast.Binop (Ast.Neq, a, b) -> Value.Bool (not (eval_eq env a b))
-  | Ast.Binop (Ast.Lt, a, b) -> Value.Bool (compare_values (eval env a) (eval env b) < 0)
-  | Ast.Binop (Ast.Le, a, b) -> Value.Bool (compare_values (eval env a) (eval env b) <= 0)
-  | Ast.Binop (Ast.Gt, a, b) -> Value.Bool (compare_values (eval env a) (eval env b) > 0)
-  | Ast.Binop (Ast.Ge, a, b) -> Value.Bool (compare_values (eval env a) (eval env b) >= 0)
-  | Ast.Binop (Ast.Add, a, b) -> Value.Float (as_number (eval env a) +. as_number (eval env b))
-  | Ast.Binop (Ast.Sub, a, b) -> Value.Float (as_number (eval env a) -. as_number (eval env b))
-  | Ast.Binop (Ast.Mul, a, b) -> Value.Float (as_number (eval env a) *. as_number (eval env b))
+  | Ast.Binop (Ast.Lt, a, b) ->
+      let va = eval env a in
+      let vb = eval env b in
+      Value.Bool (compare_values va vb < 0)
+  | Ast.Binop (Ast.Le, a, b) ->
+      let va = eval env a in
+      let vb = eval env b in
+      Value.Bool (compare_values va vb <= 0)
+  | Ast.Binop (Ast.Gt, a, b) ->
+      let va = eval env a in
+      let vb = eval env b in
+      Value.Bool (compare_values va vb > 0)
+  | Ast.Binop (Ast.Ge, a, b) ->
+      let va = eval env a in
+      let vb = eval env b in
+      Value.Bool (compare_values va vb >= 0)
+  | Ast.Binop (Ast.Add, a, b) ->
+      let x = as_number (eval env a) in
+      let y = as_number (eval env b) in
+      Value.Float (x +. y)
+  | Ast.Binop (Ast.Sub, a, b) ->
+      let x = as_number (eval env a) in
+      let y = as_number (eval env b) in
+      Value.Float (x -. y)
+  | Ast.Binop (Ast.Mul, a, b) ->
+      let x = as_number (eval env a) in
+      let y = as_number (eval env b) in
+      Value.Float (x *. y)
   | Ast.Binop (Ast.Div, a, b) ->
-      let d = as_number (eval env b) in
-      if d = 0.0 then fail "division by zero";
-      Value.Float (as_number (eval env a) /. d)
+      let x = as_number (eval env a) in
+      let y = as_number (eval env b) in
+      if y = 0.0 then fail "division by zero";
+      Value.Float (x /. y)
   | Ast.Call ("isBoundTo", [ a; b ]) -> Value.Bool (eval_is_bound_to env a b)
   | Ast.Call ("isBoundTo", args) ->
       fail "isBoundTo expects 2 arguments, got %d" (List.length args)
-  | Ast.Call (f, args) -> eval_call env f (List.map (eval env) args)
+  | Ast.Call (f, args) ->
+      (* Arguments evaluate left to right, before arity or name checks
+         (matching the bytecode VM, which compiles them in that order). *)
+      let vals = List.rev (List.fold_left (fun acc a -> eval env a :: acc) [] args) in
+      eval_call env f vals
 
 and eval_eq env a b =
-  let va = eval env a and vb = eval env b in
+  let va = eval env a in
+  let vb = eval env b in
   match (va, vb) with
   | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
       Float.equal (as_number va) (as_number vb)
@@ -117,10 +144,14 @@ and eval_call _env f args =
       Value.Float (sqrt x)
   | "min" ->
       arity 2;
-      Value.Float (Float.min (num 0) (num 1))
+      let x = num 0 in
+      let y = num 1 in
+      Value.Float (Float.min x y)
   | "max" ->
       arity 2;
-      Value.Float (Float.max (num 0) (num 1))
+      let x = num 0 in
+      let y = num 1 in
+      Value.Float (Float.max x y)
   | "floor" ->
       arity 1;
       Value.Float (Float.floor (num 0))

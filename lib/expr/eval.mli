@@ -15,7 +15,18 @@
     {!accepts} (the edge pair simply cannot be certified), except inside
     [isBoundTo] whose defined semantics is "unconstrained when the query
     does not carry the attribute".  {!eval} raises instead, for callers
-    that want strictness. *)
+    that want strictness.
+
+    Evaluation order is defined, not incidental: operands evaluate left
+    to right; arithmetic operands convert to numbers as soon as each is
+    evaluated; comparison operands are both evaluated before the
+    (type-checking) comparison; division checks for a zero divisor after
+    evaluating both sides; call arguments evaluate left to right before
+    the arity or function-name check.  The bytecode compiler ({!Compile}
+    / {!Vm}) emits instructions in exactly this order, so interpreter
+    and VM raise the same class of error ([Eval_error] vs
+    [Missing_attr]) on the same input — the property the differential
+    test suite pins. *)
 
 type env = {
   v_edge : Netembed_attr.Attrs.t;

@@ -9,9 +9,27 @@ type token =
   | LPAREN | RPAREN | COMMA | DOT
   | EOF
 
-exception Lex_error of { pos : int; message : string }
+type position = { offset : int; line : int; column : int }
 
-let error pos message = raise (Lex_error { pos; message })
+(* Offsets are what the scanner naturally tracks; line/column are what a
+   human (and the service's error payload) wants.  Recomputing from the
+   source on the error path keeps the happy path allocation-free. *)
+let position src offset =
+  let offset = max 0 (min offset (String.length src)) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to offset - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  { offset; line = !line; column = offset - !bol + 1 }
+
+let pp_position ppf p = Format.fprintf ppf "line %d, column %d" p.line p.column
+
+exception Lex_error of { pos : position; message : string }
+
+let error src pos message = raise (Lex_error { pos = position src pos; message })
 
 let is_digit c = c >= '0' && c <= '9'
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -50,7 +68,7 @@ let tokenize src =
       let text = String.sub src start (!i - start) in
       match float_of_string_opt text with
       | Some f -> emit (NUMBER f) start
-      | None -> error start (Printf.sprintf "bad number %S" text)
+      | None -> error src start (Printf.sprintf "bad number %S" text)
     end
     else if is_ident_start c then begin
       while !i < n && is_ident_char src.[!i] do
@@ -76,7 +94,7 @@ let tokenize src =
           incr i
         end
       done;
-      if not !closed then error start "unterminated string literal";
+      if not !closed then error src start "unterminated string literal";
       emit (STRING (Buffer.contents buf)) start
     end
     else begin
@@ -102,7 +120,7 @@ let tokenize src =
           | ')' -> emit RPAREN start
           | ',' -> emit COMMA start
           | '.' -> emit DOT start
-          | c -> error start (Printf.sprintf "unexpected character %C" c))
+          | c -> error src start (Printf.sprintf "unexpected character %C" c))
     end
   done;
   emit EOF n;

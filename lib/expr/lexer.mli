@@ -14,7 +14,18 @@ type token =
   | LPAREN | RPAREN | COMMA | DOT
   | EOF
 
-exception Lex_error of { pos : int; message : string }
+type position = { offset : int; line : int; column : int }
+(** A resolved source location: byte [offset] into the constraint text,
+    with 1-based [line] and [column] derived from it. *)
+
+val position : string -> int -> position
+(** [position src offset] resolves a byte offset against the source it
+    was produced from (offsets out of range are clamped). *)
+
+val pp_position : Format.formatter -> position -> unit
+(** ["line L, column C"]. *)
+
+exception Lex_error of { pos : position; message : string }
 
 val tokenize : string -> (token * int) list
 (** All tokens with their start offsets, ending with [EOF].

@@ -1,10 +1,12 @@
-exception Parse_error of { pos : int; message : string }
+exception
+  Parse_error of { pos : Lexer.position; token : string; message : string }
 
-type stream = { mutable toks : (Lexer.token * int) list }
+type stream = { src : string; mutable toks : (Lexer.token * int) list }
 
-let error pos message = raise (Parse_error { pos; message })
+let error s pos ~token message =
+  raise (Parse_error { pos = Lexer.position s.src pos; token; message })
 
-let peek s = match s.toks with [] -> (Lexer.EOF, 0) | t :: _ -> t
+let peek s = match s.toks with [] -> (Lexer.EOF, String.length s.src) | t :: _ -> t
 
 let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
 
@@ -12,7 +14,7 @@ let expect s tok =
   let got, pos = peek s in
   if got = tok then advance s
   else
-    error pos
+    error s pos ~token:(Lexer.token_name got)
       (Printf.sprintf "expected %s, found %s" (Lexer.token_name tok)
          (Lexer.token_name got))
 
@@ -87,7 +89,7 @@ and parse_primary s =
   | Lexer.IDENT name -> (
       advance s;
       match peek s with
-      | Lexer.DOT, dot_pos -> (
+      | Lexer.DOT, _ -> (
           advance s;
           match peek s with
           | Lexer.IDENT attr, _ -> (
@@ -95,11 +97,15 @@ and parse_primary s =
               match Ast.obj_of_name name with
               | Some obj -> Ast.Attr (obj, attr)
               | None ->
-                  error pos
+                  error s pos
+                    ~token:(Lexer.token_name (Lexer.IDENT name))
                     (Printf.sprintf
                        "unknown object %S (expected vEdge, rEdge, vSource, vTarget, rSource or rTarget)"
                        name))
-          | _, _ -> error dot_pos "expected an attribute name after '.'")
+          | bad, bad_pos ->
+              error s bad_pos
+                ~token:(Lexer.token_name bad)
+                "expected an attribute name after '.'")
       | Lexer.LPAREN, _ ->
           advance s;
           let args =
@@ -119,22 +125,31 @@ and parse_primary s =
           expect s Lexer.RPAREN;
           Ast.Call (name, args)
       | _ ->
-          error pos
+          error s pos
+            ~token:(Lexer.token_name (Lexer.IDENT name))
             (Printf.sprintf "bare identifier %S (attribute access or call expected)" name))
-  | tok -> error pos (Printf.sprintf "unexpected %s" (Lexer.token_name tok))
+  | tok ->
+      error s pos ~token:(Lexer.token_name tok)
+        (Printf.sprintf "unexpected %s" (Lexer.token_name tok))
 
 let parse src =
-  let s = { toks = Lexer.tokenize src } in
+  let s = { src; toks = Lexer.tokenize src } in
   let e = parse_level s 1 in
   (match peek s with
   | Lexer.EOF, _ -> ()
-  | tok, pos -> error pos (Printf.sprintf "trailing %s" (Lexer.token_name tok)));
+  | tok, pos ->
+      error s pos ~token:(Lexer.token_name tok)
+        (Printf.sprintf "trailing %s" (Lexer.token_name tok)));
   e
 
 let parse_result src =
   match parse src with
   | e -> Ok e
-  | exception Parse_error { pos; message } ->
-      Error (Printf.sprintf "parse error at offset %d: %s" pos message)
+  | exception Parse_error { pos; token; message } ->
+      Error
+        (Printf.sprintf "parse error at line %d, column %d (at %s): %s" pos.Lexer.line
+           pos.Lexer.column token message)
   | exception Lexer.Lex_error { pos; message } ->
-      Error (Printf.sprintf "lexical error at offset %d: %s" pos message)
+      Error
+        (Printf.sprintf "lexical error at line %d, column %d: %s" pos.Lexer.line
+           pos.Lexer.column message)

@@ -2,11 +2,17 @@
     CUP; the grammar is the Java boolean-expression subset with standard
     precedence). *)
 
-exception Parse_error of { pos : int; message : string }
+exception
+  Parse_error of { pos : Lexer.position; token : string; message : string }
+(** [pos] is the resolved line/column/offset of the offending token and
+    [token] its printable name ({!Lexer.token_name}); [message] says
+    what the parser wanted instead. *)
 
 val parse : string -> Ast.t
-(** @raise Parse_error on syntax errors (with source offset).
+(** @raise Parse_error on syntax errors (with source position and the
+    offending token).
     @raise Lexer.Lex_error on lexical errors. *)
 
 val parse_result : string -> (Ast.t, string) result
-(** Like {!parse} but folding both error kinds into a message. *)
+(** Like {!parse} but folding both error kinds into a one-line message
+    of the shape ["parse error at line L, column C (at TOKEN): ..."]. *)

@@ -1,0 +1,417 @@
+module Attrs = Netembed_attr.Attrs
+module Value = Netembed_attr.Value
+
+(* Stack cells are three parallel arrays: [tag] says where the value
+   lives.  Booleans are 0.0 / 1.0 in the float array, so the whole
+   numeric/boolean traffic of an evaluation never touches the heap. *)
+let t_num = 0
+let t_bool = 1
+let t_boxed = 2
+
+(* Slot-memo tags reuse the cell tags plus "known missing". *)
+let t_missing = 3
+
+let dummy = Value.Bool false
+
+(* The machine registers (sp/hp/pc) are mutable scratch fields, not
+   local refs: a ref captured by a helper would be heap-allocated per
+   evaluation, and the whole point of this module is that steady-state
+   evaluation allocates nothing. *)
+type scratch = {
+  mutable tag : int array;
+  mutable num : float array;
+  mutable boxv : Value.t array;
+  mutable h_kind : int array;  (* 0 = arg-a (v-side only), 1 = arg-b (all) *)
+  mutable h_target : int array;
+  mutable h_sp : int array;
+  mutable slot_stamp : int array;
+  mutable slot_tag : int array;
+  mutable slot_num : float array;
+  mutable slot_box : Value.t array;
+  mutable stamp : int;
+  mutable sp : int;
+  mutable hp : int;
+  mutable pc : int;
+  mutable v_edge : Attrs.t;
+  mutable r_edge : Attrs.t;
+  mutable v_source : Attrs.t;
+  mutable v_target : Attrs.t;
+  mutable r_source : Attrs.t;
+  mutable r_target : Attrs.t;
+}
+
+let scratch () =
+  {
+    tag = Array.make 8 0;
+    num = Array.make 8 0.0;
+    boxv = Array.make 8 dummy;
+    h_kind = Array.make 4 0;
+    h_target = Array.make 4 0;
+    h_sp = Array.make 4 0;
+    slot_stamp = Array.make 8 0;
+    slot_tag = Array.make 8 0;
+    slot_num = Array.make 8 0.0;
+    slot_box = Array.make 8 dummy;
+    stamp = 0;
+    sp = 0;
+    hp = 0;
+    pc = 0;
+    v_edge = Attrs.empty;
+    r_edge = Attrs.empty;
+    v_source = Attrs.empty;
+    v_target = Attrs.empty;
+    r_source = Attrs.empty;
+    r_target = Attrs.empty;
+  }
+
+let set_env s ~v_edge ~r_edge ~v_source ~v_target ~r_source ~r_target =
+  s.v_edge <- v_edge;
+  s.r_edge <- r_edge;
+  s.v_source <- v_source;
+  s.v_target <- v_target;
+  s.r_source <- r_source;
+  s.r_target <- r_target
+
+let set_r s ~r_edge ~r_source ~r_target =
+  s.r_edge <- r_edge;
+  s.r_source <- r_source;
+  s.r_target <- r_target
+
+let set_env_of s (e : Eval.env) =
+  set_env s ~v_edge:e.Eval.v_edge ~r_edge:e.Eval.r_edge ~v_source:e.Eval.v_source
+    ~v_target:e.Eval.v_target ~r_source:e.Eval.r_source ~r_target:e.Eval.r_target
+
+let table s = function
+  | Ast.V_edge -> s.v_edge
+  | Ast.R_edge -> s.r_edge
+  | Ast.V_source -> s.v_source
+  | Ast.V_target -> s.v_target
+  | Ast.R_source -> s.r_source
+  | Ast.R_target -> s.r_target
+
+let is_v_side = function
+  | Ast.V_edge | Ast.V_source | Ast.V_target -> true
+  | Ast.R_edge | Ast.R_source | Ast.R_target -> false
+
+let ensure_capacity s (p : Compile.program) =
+  if Array.length s.tag < p.Compile.max_stack then begin
+    let n = max p.Compile.max_stack (2 * Array.length s.tag) in
+    s.tag <- Array.make n 0;
+    s.num <- Array.make n 0.0;
+    s.boxv <- Array.make n dummy
+  end;
+  if Array.length s.h_kind < p.Compile.max_handlers then begin
+    let n = max p.Compile.max_handlers (2 * Array.length s.h_kind) in
+    s.h_kind <- Array.make n 0;
+    s.h_target <- Array.make n 0;
+    s.h_sp <- Array.make n 0
+  end;
+  let nslots = Array.length p.Compile.slots in
+  if Array.length s.slot_stamp < nslots then begin
+    let n = max nslots (2 * Array.length s.slot_stamp) in
+    (* Fresh stamp arrays start at 0, which never equals a live stamp. *)
+    s.slot_stamp <- Array.make n 0;
+    s.slot_tag <- Array.make n 0;
+    s.slot_num <- Array.make n 0.0;
+    s.slot_box <- Array.make n dummy
+  end
+
+(* Raised (constant constructor: no allocation) when a missing attribute
+   rejects the constraint in [accepts] mode. *)
+exception Rejected
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Eval.Eval_error m)) fmt
+
+let cell_type_name s i =
+  let t = s.tag.(i) in
+  if t = t_num then "float"
+  else if t = t_bool then "bool"
+  else Value.type_name s.boxv.(i)
+
+(* Missing attribute: the innermost isBoundTo handler that covers this
+   object kind wins; an arg-a handler only catches query-side misses
+   (hosting-side ones propagate outward, as in the interpreter).  With
+   no covering handler, [accepts] mode rejects via the constant
+   [Rejected] and strict mode raises [Missing_attr]. *)
+let rec find_handler s strict obj name i =
+  if i < 0 then
+    if strict then raise (Eval.Missing_attr (obj, name)) else raise_notrace Rejected
+  else if s.h_kind.(i) = 1 || is_v_side obj then i
+  else find_handler s strict obj name (i - 1)
+
+let missing s ~strict obj name =
+  let i = find_handler s strict obj name (s.hp - 1) in
+  (* An arg-a handler was pushed at the call's base stack level; an
+     arg-b handler was pushed with the first argument's value already on
+     the stack, which the false-exit must discard. *)
+  s.sp <- s.h_sp.(i) - s.h_kind.(i);
+  s.hp <- i;
+  s.pc <- s.h_target.(i)
+
+let pop_as_bool s =
+  s.sp <- s.sp - 1;
+  let i = s.sp in
+  if s.tag.(i) <> t_bool then
+    fail "boolean operation: expected bool, got %s" (cell_type_name s i);
+  s.num.(i) = 1.0
+
+(* compare_values: numbers order by Float.compare, strings by
+   String.compare, anything else is a type error. *)
+let compare_cells s =
+  let b = s.sp - 1 in
+  let a = s.sp - 2 in
+  s.sp <- a + 1;
+  if s.tag.(a) = t_num && s.tag.(b) = t_num then Float.compare s.num.(a) s.num.(b)
+  else if s.tag.(a) = t_boxed && s.tag.(b) = t_boxed then
+    match (s.boxv.(a), s.boxv.(b)) with
+    | Value.String x, Value.String y -> String.compare x y
+    | _ -> fail "cannot compare %s with %s" (cell_type_name s a) (cell_type_name s b)
+  else fail "cannot compare %s with %s" (cell_type_name s a) (cell_type_name s b)
+
+(* eval_eq: numbers through Float.equal, same-kind through Value.equal,
+   mixed kinds unequal — never an error. *)
+let eq_cells s =
+  let b = s.sp - 1 in
+  let a = s.sp - 2 in
+  s.sp <- a + 1;
+  if s.tag.(a) = t_num && s.tag.(b) = t_num then Float.equal s.num.(a) s.num.(b)
+  else if s.tag.(a) = t_bool && s.tag.(b) = t_bool then s.num.(a) = s.num.(b)
+  else if s.tag.(a) = t_boxed && s.tag.(b) = t_boxed then Value.equal s.boxv.(a) s.boxv.(b)
+  else false
+
+(* The interpreter loop.  Mirrors Eval's semantics case by case; every
+   literal opcode below must match Compile.Op (pinned by the assertion
+   at the bottom of this file). *)
+let exec ~strict s (p : Compile.program) =
+  ensure_capacity s p;
+  s.stamp <- s.stamp + 1;
+  let stamp = s.stamp in
+  let code = p.Compile.code in
+  let tag = s.tag and num = s.num and boxv = s.boxv in
+  let slot_stamp = s.slot_stamp
+  and slot_tag = s.slot_tag
+  and slot_num = s.slot_num
+  and slot_box = s.slot_box in
+  s.sp <- 0;
+  s.hp <- 0;
+  s.pc <- 0;
+  let running = ref true in
+  while !running do
+    let pc = s.pc in
+    match code.(pc) with
+    | 0 (* HALT *) -> running := false
+    | 1 (* PUSH_NUM *) ->
+        tag.(s.sp) <- t_num;
+        num.(s.sp) <- p.Compile.cnum.(code.(pc + 1));
+        s.sp <- s.sp + 1;
+        s.pc <- pc + 2
+    | 2 (* PUSH_TRUE *) ->
+        tag.(s.sp) <- t_bool;
+        num.(s.sp) <- 1.0;
+        s.sp <- s.sp + 1;
+        s.pc <- pc + 1
+    | 3 (* PUSH_FALSE *) ->
+        tag.(s.sp) <- t_bool;
+        num.(s.sp) <- 0.0;
+        s.sp <- s.sp + 1;
+        s.pc <- pc + 1
+    | 4 (* PUSH_BOXED *) ->
+        tag.(s.sp) <- t_boxed;
+        boxv.(s.sp) <- p.Compile.cboxed.(code.(pc + 1));
+        s.sp <- s.sp + 1;
+        s.pc <- pc + 2
+    | 5 (* LOAD *) -> (
+        let sl = code.(pc + 1) in
+        if slot_stamp.(sl) = stamp then begin
+          (* memoized: this attribute was already resolved this eval *)
+          let t = slot_tag.(sl) in
+          if t = t_missing then begin
+            let { Compile.s_obj; s_name } = p.Compile.slots.(sl) in
+            missing s ~strict s_obj s_name
+          end
+          else begin
+            tag.(s.sp) <- t;
+            num.(s.sp) <- slot_num.(sl);
+            boxv.(s.sp) <- slot_box.(sl);
+            s.sp <- s.sp + 1;
+            s.pc <- pc + 2
+          end
+        end
+        else
+          let { Compile.s_obj; s_name } = p.Compile.slots.(sl) in
+          match Attrs.get s_name (table s s_obj) with
+          | v ->
+              slot_stamp.(sl) <- stamp;
+              (match v with
+              | Value.Int i ->
+                  slot_tag.(sl) <- t_num;
+                  slot_num.(sl) <- float_of_int i
+              | Value.Float f ->
+                  slot_tag.(sl) <- t_num;
+                  slot_num.(sl) <- f
+              | Value.Bool b ->
+                  slot_tag.(sl) <- t_bool;
+                  slot_num.(sl) <- (if b then 1.0 else 0.0)
+              | Value.String _ | Value.Range _ ->
+                  slot_tag.(sl) <- t_boxed;
+                  slot_box.(sl) <- v);
+              tag.(s.sp) <- slot_tag.(sl);
+              num.(s.sp) <- slot_num.(sl);
+              boxv.(s.sp) <- slot_box.(sl);
+              s.sp <- s.sp + 1;
+              s.pc <- pc + 2
+          | exception Not_found ->
+              slot_stamp.(sl) <- stamp;
+              slot_tag.(sl) <- t_missing;
+              missing s ~strict s_obj s_name)
+    | 6 (* NOT *) ->
+        let i = s.sp - 1 in
+        if tag.(i) <> t_bool then
+          fail "boolean operation: expected bool, got %s" (cell_type_name s i);
+        num.(i) <- 1.0 -. num.(i);
+        s.pc <- pc + 1
+    | 7 (* NEG *) ->
+        let i = s.sp - 1 in
+        if tag.(i) <> t_num then
+          fail "numeric operation: expected number, got %s" (cell_type_name s i);
+        num.(i) <- -.num.(i);
+        s.pc <- pc + 1
+    | 8 (* ADD *) ->
+        s.sp <- s.sp - 1;
+        num.(s.sp - 1) <- num.(s.sp - 1) +. num.(s.sp);
+        s.pc <- pc + 1
+    | 9 (* SUB *) ->
+        s.sp <- s.sp - 1;
+        num.(s.sp - 1) <- num.(s.sp - 1) -. num.(s.sp);
+        s.pc <- pc + 1
+    | 10 (* MUL *) ->
+        s.sp <- s.sp - 1;
+        num.(s.sp - 1) <- num.(s.sp - 1) *. num.(s.sp);
+        s.pc <- pc + 1
+    | 11 (* DIV *) ->
+        s.sp <- s.sp - 1;
+        if num.(s.sp) = 0.0 then fail "division by zero";
+        num.(s.sp - 1) <- num.(s.sp - 1) /. num.(s.sp);
+        s.pc <- pc + 1
+    | 12 (* LT *) ->
+        let c = compare_cells s in
+        tag.(s.sp - 1) <- t_bool;
+        num.(s.sp - 1) <- (if c < 0 then 1.0 else 0.0);
+        s.pc <- pc + 1
+    | 13 (* LE *) ->
+        let c = compare_cells s in
+        tag.(s.sp - 1) <- t_bool;
+        num.(s.sp - 1) <- (if c <= 0 then 1.0 else 0.0);
+        s.pc <- pc + 1
+    | 14 (* GT *) ->
+        let c = compare_cells s in
+        tag.(s.sp - 1) <- t_bool;
+        num.(s.sp - 1) <- (if c > 0 then 1.0 else 0.0);
+        s.pc <- pc + 1
+    | 15 (* GE *) ->
+        let c = compare_cells s in
+        tag.(s.sp - 1) <- t_bool;
+        num.(s.sp - 1) <- (if c >= 0 then 1.0 else 0.0);
+        s.pc <- pc + 1
+    | 16 (* EQ *) ->
+        let e = eq_cells s in
+        tag.(s.sp - 1) <- t_bool;
+        num.(s.sp - 1) <- (if e then 1.0 else 0.0);
+        s.pc <- pc + 1
+    | 17 (* NEQ *) ->
+        let e = eq_cells s in
+        tag.(s.sp - 1) <- t_bool;
+        num.(s.sp - 1) <- (if e then 0.0 else 1.0);
+        s.pc <- pc + 1
+    | 18 (* AS_NUM *) ->
+        let i = s.sp - 1 in
+        if tag.(i) <> t_num then
+          fail "numeric operation: expected number, got %s" (cell_type_name s i);
+        s.pc <- pc + 1
+    | 19 (* BOOLIFY *) ->
+        let i = s.sp - 1 in
+        if tag.(i) <> t_bool then
+          fail "boolean operation: expected bool, got %s" (cell_type_name s i);
+        s.pc <- pc + 1
+    | 20 (* JMP *) -> s.pc <- code.(pc + 1)
+    | 21 (* JFALSE *) -> if pop_as_bool s then s.pc <- pc + 2 else s.pc <- code.(pc + 1)
+    | 22 (* JTRUE *) -> if pop_as_bool s then s.pc <- code.(pc + 1) else s.pc <- pc + 2
+    | 23 (* CALL *) ->
+        (* Arity is checked at compile time; operands convert to numbers
+           left to right, as in the (normalized) interpreter. *)
+        (let fid = code.(pc + 1) in
+         let argc = if fid = 2 || fid = 3 then 2 else 1 in
+         for k = argc downto 1 do
+           let i = s.sp - k in
+           if tag.(i) <> t_num then
+             fail "numeric operation: expected number, got %s" (cell_type_name s i)
+         done;
+         if argc = 1 then begin
+           let i = s.sp - 1 in
+           let x = num.(i) in
+           num.(i) <-
+             (match fid with
+             | 0 -> Float.abs x
+             | 1 ->
+                 if x < 0.0 then fail "sqrt of negative number";
+                 sqrt x
+             | 4 -> Float.floor x
+             | _ -> Float.ceil x)
+         end
+         else begin
+           s.sp <- s.sp - 1;
+           let x = num.(s.sp - 1) and y = num.(s.sp) in
+           num.(s.sp - 1) <- (if fid = 2 then Float.min x y else Float.max x y)
+         end);
+        s.pc <- pc + 2
+    | 24 (* FAIL *) -> raise (Eval.Eval_error p.Compile.cmsg.(code.(pc + 1)))
+    | 25 (* PUSH_HA *) ->
+        s.h_kind.(s.hp) <- 0;
+        s.h_target.(s.hp) <- code.(pc + 1);
+        s.h_sp.(s.hp) <- s.sp;
+        s.hp <- s.hp + 1;
+        s.pc <- pc + 2
+    | 26 (* PUSH_HB *) ->
+        s.h_kind.(s.hp) <- 1;
+        s.h_target.(s.hp) <- code.(pc + 1);
+        s.h_sp.(s.hp) <- s.sp;
+        s.hp <- s.hp + 1;
+        s.pc <- pc + 2
+    | 27 (* POP_H *) ->
+        s.hp <- s.hp - 1;
+        s.pc <- pc + 1
+    | op -> fail "corrupt bytecode: opcode %d at %d" op pc
+  done
+
+(* The match above uses literal opcodes for speed; pin them to the
+   symbolic encoding once, at module init. *)
+let () =
+  assert (
+    Compile.Op.halt = 0 && Compile.Op.push_num = 1 && Compile.Op.push_true = 2
+    && Compile.Op.push_false = 3 && Compile.Op.push_boxed = 4 && Compile.Op.load = 5
+    && Compile.Op.not_ = 6 && Compile.Op.neg = 7 && Compile.Op.add = 8
+    && Compile.Op.sub = 9 && Compile.Op.mul = 10 && Compile.Op.div = 11
+    && Compile.Op.lt = 12 && Compile.Op.le = 13 && Compile.Op.gt = 14
+    && Compile.Op.ge = 15 && Compile.Op.eq = 16 && Compile.Op.neq = 17
+    && Compile.Op.as_num = 18 && Compile.Op.boolify = 19 && Compile.Op.jmp = 20
+    && Compile.Op.jfalse = 21 && Compile.Op.jtrue = 22 && Compile.Op.call = 23
+    && Compile.Op.fail = 24 && Compile.Op.push_ha = 25 && Compile.Op.push_hb = 26
+    && Compile.Op.pop_h = 27)
+
+let accepts s p =
+  match exec ~strict:false s p with
+  | () ->
+      if s.tag.(0) = t_bool then s.num.(0) = 1.0
+      else fail "constraint evaluated to %s, expected bool" (cell_type_name s 0)
+  | exception Rejected -> false
+
+let eval s p =
+  exec ~strict:true s p;
+  if s.tag.(0) = t_num then Value.Float s.num.(0)
+  else if s.tag.(0) = t_bool then Value.Bool (s.num.(0) = 1.0)
+  else s.boxv.(0)
+
+let accepts_env p env =
+  let s = scratch () in
+  set_env_of s env;
+  accepts s p

@@ -1,0 +1,74 @@
+(** Stack-machine evaluator for compiled constraint programs.
+
+    A {!scratch} bundles everything one evaluation needs — the value
+    stack (tag/float/boxed parallel arrays), the [isBoundTo] handler
+    stack, the per-slot memo table and the six attribute-table
+    bindings — all preallocated, so the steady-state cost of
+    {!accepts} is zero heap allocation: numbers and booleans travel
+    unboxed through the float array, strings and ranges are shared
+    pointers into the constant pool or the attribute tables, and
+    rejection on a missing attribute raises a constant-constructor
+    exception.
+
+    A scratch is single-writer state, like {!Netembed_core.Problem}'s
+    evaluation counter: give each domain its own.  Capacity grows
+    automatically (and amortized) when a program needs deeper stacks or
+    more slots than any previous one.
+
+    Semantics are exactly the interpreter's ({!Eval}): same result,
+    same error class ([Eval.Eval_error] / [Eval.Missing_attr]) in the
+    same cases, modulo two documented representation details — integer
+    values widen to floats (so {!eval} returns [Float] where the
+    interpreter may return [Int]; compare results with [Value.equal]),
+    and error {e messages} may name [float] where the interpreter says
+    [int]. *)
+
+type scratch
+
+val scratch : unit -> scratch
+
+(** {1 Binding the six objects} *)
+
+val set_env :
+  scratch ->
+  v_edge:Netembed_attr.Attrs.t ->
+  r_edge:Netembed_attr.Attrs.t ->
+  v_source:Netembed_attr.Attrs.t ->
+  v_target:Netembed_attr.Attrs.t ->
+  r_source:Netembed_attr.Attrs.t ->
+  r_target:Netembed_attr.Attrs.t ->
+  unit
+(** Bind all six attribute tables.  Allocation-free (mutates the
+    scratch in place). *)
+
+val set_r :
+  scratch ->
+  r_edge:Netembed_attr.Attrs.t ->
+  r_source:Netembed_attr.Attrs.t ->
+  r_target:Netembed_attr.Attrs.t ->
+  unit
+(** Rebind only the hosting-side tables — the per-candidate step when
+    evaluating one residual program against many hosting edges. *)
+
+val set_env_of : scratch -> Eval.env -> unit
+(** Bind from an interpreter environment (differential tests). *)
+
+(** {1 Evaluation} *)
+
+val accepts : scratch -> Compile.program -> bool
+(** The edge-pair acceptance test, agreeing with {!Eval.accepts} under
+    the bound environment: true iff the program evaluates to
+    [Bool true]; a missing attribute (outside its [isBoundTo] region)
+    yields [false].  Zero allocation at steady state.
+    @raise Eval.Eval_error on type errors, division by zero, bad
+    arity or unknown functions — exactly when the interpreter does. *)
+
+val eval : scratch -> Compile.program -> Netembed_attr.Value.t
+(** Strict evaluation, agreeing with {!Eval.eval} up to [Value.equal]
+    (integers widen to [Float]).  Allocates only the resulting box.
+    @raise Eval.Eval_error as {!accepts}.
+    @raise Eval.Missing_attr on a reference to an absent attribute
+    outside [isBoundTo]. *)
+
+val accepts_env : Compile.program -> Eval.env -> bool
+(** Convenience for tests: a throwaway scratch, bound from [env]. *)

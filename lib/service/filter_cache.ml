@@ -1,10 +1,12 @@
 module Filter = Netembed_core.Filter
+module Problem = Netembed_core.Problem
 module Graph = Netembed_graph.Graph
 module Attrs = Netembed_attr.Attrs
 module Value = Netembed_attr.Value
 
 type entry = {
   filter : Filter.t;
+  compiled : Problem.compiled;
   mutable last_use : int;
 }
 
@@ -90,7 +92,7 @@ let find t ~revision ~signature =
   | Some e ->
       t.clock <- t.clock + 1;
       e.last_use <- t.clock;
-      Some e.filter
+      Some (e.filter, e.compiled)
 
 let evict_lru t =
   let worst = ref None in
@@ -106,13 +108,13 @@ let evict_lru t =
       Hashtbl.remove t.tbl k;
       t.evictions <- t.evictions + 1
 
-let add t ~revision ~signature filter =
+let add t ~revision ~signature ~compiled filter =
   if not (Hashtbl.mem t.tbl (revision, signature)) then begin
     while Hashtbl.length t.tbl >= t.capacity do
       evict_lru t
     done;
     t.clock <- t.clock + 1;
-    Hashtbl.replace t.tbl (revision, signature) { filter; last_use = t.clock }
+    Hashtbl.replace t.tbl (revision, signature) { filter; compiled; last_use = t.clock }
   end
 
 let invalidate t ~current_revision =

@@ -362,9 +362,44 @@ let submit t (request : Request.t) =
              already eaten into what constraints like
              rSource.cpuMhz >= vSource.cpuMhz can see. *)
           let host = Model.residual_snapshot t.model in
+          let revision = Model.revision t.model in
+          (* Cross-request filter cache: ECF/RWB requests key their
+             filter matrix on (model revision, query signature) and
+             skip the build — the dominant sequential phase — on a
+             repeat.  A hit also hands back the compiled-constraint
+             bundle, threaded into [Problem.make] below so a warm
+             submit skips specialization and bytecode compilation too.
+             A miss builds inside the engine as before (with blame, so
+             cold unsat requests still get full filter-phase
+             attribution) and the built filter + programs are stored
+             afterwards; LNS filters lazily and bypasses the cache. *)
+          let cache_key =
+            match request.Request.algorithm with
+            | Engine.LNS -> None
+            | Engine.ECF | Engine.RWB ->
+                Filter_cache.invalidate t.filter_cache ~current_revision:revision;
+                Some
+                  (Filter_cache.signature ~query:request.Request.query
+                     ~constraint_text:request.Request.constraint_text
+                     ~node_constraint_text:request.Request.node_constraint_text)
+          in
+          let cache_hit =
+            match cache_key with
+            | None -> None
+            | Some key -> (
+                match Filter_cache.find t.filter_cache ~revision ~signature:key with
+                | Some hit ->
+                    Telemetry.Counter.incr t.cache_hits;
+                    Some hit
+                | None ->
+                    Telemetry.Counter.incr t.cache_misses;
+                    None)
+          in
+          let cached_filter = Option.map fst cache_hit in
+          let compiled = Option.map snd cache_hit in
           match
-            Problem.make ~node_constraint ~host ~query:request.Request.query
-              edge_constraint
+            Problem.make ~node_constraint ?compiled ~host
+              ~query:request.Request.query edge_constraint
           with
           | exception Invalid_argument m ->
               log_failure "error" m;
@@ -382,37 +417,6 @@ let submit t (request : Request.t) =
                   explain = true;
                 }
               in
-              let revision = Model.revision t.model in
-              (* Cross-request filter cache: ECF/RWB requests key their
-                 filter matrix on (model revision, query signature) and
-                 skip the build — the dominant sequential phase — on a
-                 repeat.  A miss builds inside the engine as before
-                 (with blame, so cold unsat requests still get full
-                 filter-phase attribution) and the built filter is
-                 stored afterwards; LNS filters lazily and bypasses the
-                 cache. *)
-              let cache_key =
-                match request.Request.algorithm with
-                | Engine.LNS -> None
-                | Engine.ECF | Engine.RWB ->
-                    Filter_cache.invalidate t.filter_cache ~current_revision:revision;
-                    Some
-                      (Filter_cache.signature ~query:request.Request.query
-                         ~constraint_text:request.Request.constraint_text
-                         ~node_constraint_text:request.Request.node_constraint_text)
-              in
-              let cached_filter =
-                match cache_key with
-                | None -> None
-                | Some key -> (
-                    match Filter_cache.find t.filter_cache ~revision ~signature:key with
-                    | Some f ->
-                        Telemetry.Counter.incr t.cache_hits;
-                        Some f
-                    | None ->
-                        Telemetry.Counter.incr t.cache_misses;
-                        None)
-              in
               let result =
                 Telemetry.Span.with_span "service_submit" (fun () ->
                     if
@@ -426,7 +430,8 @@ let submit t (request : Request.t) =
               in
               (match (cache_key, result.Engine.filter) with
               | Some key, Some f ->
-                  Filter_cache.add t.filter_cache ~revision ~signature:key f
+                  Filter_cache.add t.filter_cache ~revision ~signature:key
+                    ~compiled:(Problem.compiled_programs problem) f
               | _ -> ());
               Log.debug (fun m ->
                   m "query %d nodes via %s: %d mapping(s), %s"

@@ -197,10 +197,27 @@ GRAPHML
 .
 TXT
 # The identical frame twice: the second submit must hit the filter
-# cache (same model revision, same query signature).
-cat "$WORK/par.txt" >&4
+# cache (same model revision, same query signature).  Scrape between
+# the two so the warm submit's effect on the bytecode-compile counter
+# is observable in isolation.
 cat "$WORK/par.txt" >&4
 
+for _ in $(seq 100); do
+  grep -q '^OK' "$WORK/out2" 2>/dev/null && break
+  sleep 0.2
+done
+COLD=""
+for _ in $(seq 50); do
+  if COLD=$(curl -sf "http://127.0.0.1:$PORT2/metrics"); then break; fi
+  sleep 0.2
+done
+[ -n "$COLD" ] || { echo "FAIL: could not scrape two-domain /metrics"; exit 1; }
+# The cold submit compiled its constraints to bytecode.
+echo "$COLD" | grep -Eq '^netembed_expr_compiles_total [1-9]' \
+  || { echo "FAIL: no bytecode compiles after the cold submit"; echo "$COLD"; exit 1; }
+COMPILES_COLD=$(echo "$COLD" | sed -nE 's/^netembed_expr_compiles_total ([0-9]+).*/\1/p')
+
+cat "$WORK/par.txt" >&4
 for _ in $(seq 100); do
   [ "$(grep -c '^OK' "$WORK/out2" 2>/dev/null || true)" -ge 2 ] && break
   sleep 0.2
@@ -215,6 +232,11 @@ echo "$METRICS" | grep -Eq '^netembed_filter_cache_misses_total [1-9]' \
   || fail "no filter-cache miss on the cold submit"
 echo "$METRICS" | grep -Eq '^netembed_filter_cache_hits_total [1-9]' \
   || fail "no filter-cache hit on the warm submit"
+# The cache entry carries the compiled programs: the warm submit must
+# not have compiled anything.
+COMPILES_WARM=$(echo "$METRICS" | sed -nE 's/^netembed_expr_compiles_total ([0-9]+).*/\1/p')
+[ "$COMPILES_WARM" = "$COMPILES_COLD" ] \
+  || fail "warm submit recompiled bytecode ($COMPILES_COLD -> $COMPILES_WARM)"
 # The steal counter series is exposed (pre-registered; its value
 # depends on scheduling, so only presence is asserted).
 echo "$METRICS" | grep -Eq '^netembed_steals_total [0-9]' \

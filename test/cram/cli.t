@@ -28,8 +28,59 @@ A malformed constraint is reported, not crashed on:
 
   $ ../../bin/netembed_cli.exe embed --host host.graphml --query query.graphml \
   >   --constraint 'rEdge.>>>' 2>&1 | head -1; echo "exit=$?"
-  netembed: edge constraint: parse error at offset 5: expected an attribute name after '.'
+  netembed: edge constraint: parse error at line 1, column 7 (at >): expected an attribute name after '.'
   exit=0
+
+explain --dump-bytecode disassembles the compiled program of each
+per-query-edge specialized constraint (note the folded constant and the
+per-edge slot table) and of the node constraint:
+
+  $ ../../bin/netembed_cli.exe explain --host host.graphml --query query.graphml \
+  >   --constraint 'rEdge.avgDelay <= vEdge.maxDelay && rSource.up' \
+  >   --node-constraint 'rSource.cpuMhz >= 100 * 2' --dump-bytecode 2>/dev/null \
+  >   | awk 'NF == 0 { exit } { print }'
+  constraint: rEdge.avgDelay <= vEdge.maxDelay && rSource.up
+  ; query edge 0 (0 -> 1), specialized and compiled:
+  ;; source: rEdge.avgDelay <= 400 && rSource.up
+  ;; stack: 2 cells, handlers: 0
+  ;; slot s0 = rEdge.avgDelay
+  ;; slot s1 = rSource.up
+  ;; const n0 = 400
+     0: LOAD       s0  ; rEdge.avgDelay
+     2: PUSH_NUM   n0  ; 400
+     4: LE
+     5: JFALSE     @12
+     7: LOAD       s1  ; rSource.up
+     9: BOOLIFY
+    10: JMP        @13
+    12: PUSH_FALSE
+    13: HALT
+  ; query edge 1 (1 -> 2), specialized and compiled:
+  ;; source: rEdge.avgDelay <= 400 && rSource.up
+  ;; stack: 2 cells, handlers: 0
+  ;; slot s0 = rEdge.avgDelay
+  ;; slot s1 = rSource.up
+  ;; const n0 = 400
+     0: LOAD       s0  ; rEdge.avgDelay
+     2: PUSH_NUM   n0  ; 400
+     4: LE
+     5: JFALSE     @12
+     7: LOAD       s1  ; rSource.up
+     9: BOOLIFY
+    10: JMP        @13
+    12: PUSH_FALSE
+    13: HALT
+  node constraint: rSource.cpuMhz >= 100 * 2
+  ; compiled:
+  ;; source: rSource.cpuMhz >= 200
+  ;; stack: 2 cells, handlers: 0
+  ;; slot s0 = rSource.cpuMhz
+  ;; const n0 = 200
+     0: LOAD       s0  ; rSource.cpuMhz
+     2: PUSH_NUM   n0  ; 200
+     4: GE
+     5: HALT
+
 
 The wire server answers framed requests over stdin/stdout:
 

@@ -173,6 +173,138 @@ let test_split_depth_invariance () =
         (equal_sets seq (canon st.Parallel.mappings)))
     [ 0; 1; 2; 3; 100 ]
 
+(* ------------------------------------------------------------------ *)
+(* Evaluator / prefilter differential                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Interp (the seed tree-walking interpreter), Bytecode (the VM) and
+   Bytecode+prefilter (Bounds atoms swept over sorted attribute
+   columns before any evaluation) must return identical mapping sets
+   and verdicts on every instance.  The instances deliberately mix
+   numeric bands, string equalities, booleans, disjunctions (which the
+   Bounds extraction cannot decide — survivors fall back to the VM)
+   and missing attributes, so all three paths through the filter are
+   exercised: decide-accept, decide-drop and dirty-fallback. *)
+
+let os_names = [| "linux"; "bsd"; "plan9" |]
+
+let rich_host rng n =
+  let host = Graph.create () in
+  let hv =
+    Array.init n (fun _ ->
+        let attrs =
+          Attrs.of_list
+            ([
+               ("cpuMhz", Value.Float (500.0 +. Rng.uniform rng ~lo:0.0 ~hi:2500.0));
+               ("up", Value.Bool (Rng.int rng 10 <> 0));
+             ]
+            @
+            (* one host in eight has no osType at all: strict node
+               constraints must reject it, accepts-mode edge atoms
+               must route it through the dirty fallback *)
+            if Rng.int rng 8 = 0 then []
+            else [ ("osType", Value.String os_names.(Rng.int rng 3)) ])
+        in
+        Graph.add_node host attrs)
+  in
+  for i = 1 to n - 1 do
+    let j = Rng.int rng i in
+    ignore (Graph.add_edge host hv.(j) hv.(i) (delay (Rng.uniform rng ~lo:5.0 ~hi:50.0)))
+  done;
+  for _ = 1 to n * 2 do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v && not (Graph.mem_edge host hv.(u) hv.(v)) then
+      ignore (Graph.add_edge host hv.(u) hv.(v) (delay (Rng.uniform rng ~lo:5.0 ~hi:50.0)))
+  done;
+  host
+
+let edge_constraints =
+  [|
+    (* pure numeric band: fully decided by the prefilter *)
+    "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay";
+    (* band + string equality on the endpoints *)
+    "rEdge.avgDelay <= vEdge.maxDelay && rSource.osType == vSource.osType";
+    (* disjunction: extraction is incomplete, everything re-evaluates *)
+    "rEdge.avgDelay <= vEdge.maxDelay || rEdge.avgDelay < 8";
+    (* boolean atom + band *)
+    "rSource.up && rTarget.up && rEdge.avgDelay >= vEdge.minDelay";
+    (* arithmetic around the attribute: no atom, generic eval only *)
+    "rEdge.avgDelay * 2 <= vEdge.maxDelay + vEdge.maxDelay";
+  |]
+
+let node_constraints =
+  [|
+    None;
+    Some "rSource.cpuMhz >= 900";
+    Some "rSource.up && rSource.cpuMhz >= vSource.cpuMhz";
+    Some "rSource.osType == \"linux\"";
+  |]
+
+let rich_instance ~evaluator seed =
+  let rng = Rng.make (seed * 7919) in
+  let host = rich_host rng (8 + Rng.int rng 8) in
+  let query_n = 3 + Rng.int rng 3 in
+  let tight = Rng.int rng 4 = 0 in
+  let query = Graph.create () in
+  let qv =
+    Array.init query_n (fun _ ->
+        let attrs =
+          Attrs.of_list
+            ([ ("cpuMhz", Value.Float (600.0 +. Rng.uniform rng ~lo:0.0 ~hi:1000.0)) ]
+            @
+            if Rng.int rng 2 = 0 then
+              [ ("osType", Value.String os_names.(Rng.int rng 3)) ]
+            else [])
+        in
+        Graph.add_node query attrs)
+  in
+  for i = 1 to query_n - 1 do
+    let j = Rng.int rng i in
+    let center = Rng.uniform rng ~lo:5.0 ~hi:50.0 in
+    let halfwidth = if tight then 0.5 else 10.0 in
+    ignore
+      (Graph.add_edge query qv.(j) qv.(i) (band (center -. halfwidth) (center +. halfwidth)))
+  done;
+  let edge_c = Expr.parse_exn edge_constraints.(Rng.int rng (Array.length edge_constraints)) in
+  let node_c =
+    Option.map Expr.parse_exn
+      node_constraints.(Rng.int rng (Array.length node_constraints))
+  in
+  Problem.make ?node_constraint:node_c ~evaluator ~host ~query edge_c
+
+let evaluator_prop seed =
+  let run ~evaluator ~prefilter =
+    let p = rich_instance ~evaluator seed in
+    let options =
+      { Engine.default_options with Engine.mode = Engine.All; prefilter }
+    in
+    let r = Engine.run ~options Engine.ECF p in
+    (canon r.Engine.mappings, Engine.verdict r)
+  in
+  let oracle, oracle_verdict = run ~evaluator:Problem.Interp ~prefilter:false in
+  List.iter
+    (fun (name, evaluator, prefilter) ->
+      let got, verdict = run ~evaluator ~prefilter in
+      if verdict <> oracle_verdict then
+        QCheck.Test.fail_reportf "seed %d, %s: verdict %s, interpreter says %s"
+          seed name verdict oracle_verdict;
+      if not (equal_sets oracle got) then
+        QCheck.Test.fail_reportf
+          "seed %d, %s: %d mappings, interpreter found %d" seed name
+          (List.length got) (List.length oracle))
+    [
+      ("interp+prefilter", Problem.Interp, true);
+      ("bytecode", Problem.Bytecode, false);
+      ("bytecode+prefilter", Problem.Bytecode, true);
+    ];
+  true
+
+let evaluator_conformance_test =
+  QCheck.Test.make ~count:60
+    ~name:"interp = bytecode = bytecode+prefilter (mapping sets + verdicts)"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 100_000))
+    evaluator_prop
+
 let () =
   Alcotest.run "conformance"
     [
@@ -182,4 +314,6 @@ let () =
           Alcotest.test_case "pinned shapes" `Quick test_pinned_shapes;
           Alcotest.test_case "split-depth invariance" `Quick test_split_depth_invariance;
         ] );
+      ( "evaluator",
+        [ QCheck_alcotest.to_alcotest evaluator_conformance_test ] );
     ]

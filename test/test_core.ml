@@ -108,13 +108,26 @@ let test_node_constraint () =
 
 let test_filter_cells () =
   let p = path_problem () in
-  let f = Filter.build p in
+  let f = Filter.build ~prefilter:false p in
   check Alcotest.(list int) "cell (q0,0,q1)" [ 1; 2 ]
     (Array.to_list (Filter.candidates_from f ~q_assigned:0 ~r_assigned:0 ~q_next:1));
   check Alcotest.(list int) "cell (q1,3,q2)" [ 2 ]
     (Array.to_list (Filter.candidates_from f ~q_assigned:1 ~r_assigned:3 ~q_next:2));
   check Alcotest.bool "constraint evals counted" true (Problem.constraint_evals p > 0);
-  check Alcotest.bool "cells counted" true (Filter.cell_count f > 0)
+  check Alcotest.bool "cells counted" true (Filter.cell_count f > 0);
+  (* The bounds pre-filter must produce the identical matrix while
+     skipping evaluations entirely on this fully-extractable
+     constraint. *)
+  let p2 = path_problem () in
+  let f2 = Filter.build ~prefilter:true p2 in
+  check Alcotest.(list int) "prefilter: cell (q0,0,q1)" [ 1; 2 ]
+    (Array.to_list (Filter.candidates_from f2 ~q_assigned:0 ~r_assigned:0 ~q_next:1));
+  check Alcotest.(list int) "prefilter: cell (q1,3,q2)" [ 2 ]
+    (Array.to_list (Filter.candidates_from f2 ~q_assigned:1 ~r_assigned:3 ~q_next:2));
+  check Alcotest.int "prefilter: same cell count" (Filter.cell_count f)
+    (Filter.cell_count f2);
+  check Alcotest.bool "prefilter skips evaluations" true
+    (Problem.constraint_evals p2 < Problem.constraint_evals p)
 
 let test_filter_order_covers () =
   let p = random_instance 5 ~host_n:20 ~query_n:8 in

@@ -86,6 +86,59 @@ let test_parse_errors () =
       | Ok _ -> Alcotest.failf "expected parse failure for %S" src)
     [ "vEdge."; "bogusObj.x < 1"; "1 +"; "(1 < 2"; "1 2"; "justAnIdent"; "" ]
 
+(* Table-driven position checks, one row per malformed input: the
+   reported line/column and offending token must pinpoint the problem
+   (minicaml-style expectation tables). *)
+let test_error_positions () =
+  let lex_cases =
+    (* src, expected (line, column) *)
+    [
+      ("a # b", (1, 3));
+      ("1 < 2 &&\n  'unterminated", (2, 3));
+      ("\n\n  ?", (3, 3));
+    ]
+  in
+  List.iter
+    (fun (src, (line, col)) ->
+      match Lexer.tokenize src with
+      | exception Lexer.Lex_error { pos; _ } ->
+          check Alcotest.(pair int int)
+            (Printf.sprintf "lex position of %S" src)
+            (line, col)
+            (pos.Lexer.line, pos.Lexer.column)
+      | _ -> Alcotest.failf "expected Lex_error for %S" src)
+    lex_cases;
+  let parse_cases =
+    (* src, expected (line, column), substring of the offending token *)
+    [
+      ("vEdge.", (1, 7), "end of input");
+      ("1 +", (1, 4), "end of input");
+      ("(1 < 2", (1, 7), "end of input");
+      ("1 2", (1, 3), "number 2");
+      ("justAnIdent", (1, 1), "justAnIdent");
+      ("bogusObj.x < 1", (1, 1), "bogusObj");
+      ("rEdge.minDelay >\n  vEdge.maxDelay )", (2, 18), ")");
+      ("rEdge.a <\n\nmin(1,", (3, 7), "end of input");
+    ]
+  in
+  List.iter
+    (fun (src, (line, col), token_part) ->
+      match Parser.parse src with
+      | exception Parser.Parse_error { pos; token; _ } ->
+          check Alcotest.(pair int int)
+            (Printf.sprintf "parse position of %S" src)
+            (line, col)
+            (pos.Lexer.line, pos.Lexer.column);
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+            go 0
+          in
+          if not (contains token token_part) then
+            Alcotest.failf "offending token for %S: wanted %S in %S" src token_part token
+      | _ -> Alcotest.failf "expected Parse_error for %S" src)
+    parse_cases
+
 let test_roundtrip_paper_fragments () =
   (* The exact fragments from section VI-B must parse and round-trip. *)
   List.iter
@@ -376,6 +429,7 @@ let () =
           Alcotest.test_case "attr access" `Quick test_attr_access;
           Alcotest.test_case "calls" `Quick test_call_parse;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_error_positions;
           Alcotest.test_case "paper fragments" `Quick test_roundtrip_paper_fragments;
           QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
           QCheck_alcotest.to_alcotest prop_parser_total;

@@ -513,12 +513,14 @@ let test_monitor_determinism () =
 module Filter_cache = Netembed_service.Filter_cache
 module Problem = Netembed_core.Problem
 
-let build_filter query =
+let add_built cache ~revision ~signature query =
   let p =
     Problem.make ~host:(host ()) ~query
       (Netembed_expr.Expr.parse_exn standard_constraint)
   in
-  Netembed_core.Filter.build p
+  Filter_cache.add cache ~revision ~signature
+    ~compiled:(Problem.compiled_programs p)
+    (Netembed_core.Filter.build p)
 
 let sig_of ?node_constraint_text lo hi =
   Filter_cache.signature ~query:(path_query lo hi)
@@ -530,13 +532,13 @@ let test_filter_cache_lru () =
   check Alcotest.bool "distinct signatures" true (s1 <> s2 && s2 <> s3 && s1 <> s3);
   check Alcotest.bool "miss on empty" true
     (Filter_cache.find cache ~revision:1 ~signature:s1 = None);
-  Filter_cache.add cache ~revision:1 ~signature:s1 (build_filter (path_query 5.0 15.0));
-  Filter_cache.add cache ~revision:1 ~signature:s2 (build_filter (path_query 5.0 25.0));
+  add_built cache ~revision:1 ~signature:s1 (path_query 5.0 15.0);
+  add_built cache ~revision:1 ~signature:s2 (path_query 5.0 25.0);
   check Alcotest.int "two entries" 2 (Filter_cache.length cache);
   check Alcotest.bool "hit refreshes recency" true
     (Filter_cache.find cache ~revision:1 ~signature:s1 <> None);
   (* s1 was just touched, so inserting s3 at capacity evicts s2. *)
-  Filter_cache.add cache ~revision:1 ~signature:s3 (build_filter (path_query 15.0 25.0));
+  add_built cache ~revision:1 ~signature:s3 (path_query 15.0 25.0);
   check Alcotest.int "one eviction" 1 (Filter_cache.evictions cache);
   check Alcotest.bool "LRU entry gone" true
     (Filter_cache.find cache ~revision:1 ~signature:s2 = None);
@@ -548,7 +550,7 @@ let test_filter_cache_lru () =
 let test_filter_cache_invalidation () =
   let cache = Filter_cache.create () in
   let s = sig_of 5.0 15.0 in
-  Filter_cache.add cache ~revision:3 ~signature:s (build_filter (path_query 5.0 15.0));
+  add_built cache ~revision:3 ~signature:s (path_query 5.0 15.0);
   (* Same revision: nothing to drop. *)
   Filter_cache.invalidate cache ~current_revision:3;
   check Alcotest.int "kept at same revision" 1 (Filter_cache.length cache);
@@ -597,10 +599,16 @@ let test_service_cache_warm_vs_cold () =
   let cold = submit () in
   check Alcotest.int "cold run misses" 1 (value "netembed_filter_cache_misses_total");
   check Alcotest.int "cold run cannot hit" 0 (value "netembed_filter_cache_hits_total");
+  (* The cache entry carries the compiled-constraint bundle: a warm
+     submit must not compile any bytecode, so the global compile
+     counter stays flat across it. *)
+  let compiles_before_warm = Netembed_expr.Compile.compiles_total () in
   let warm = submit () in
   check Alcotest.int "warm run hits" 1 (value "netembed_filter_cache_hits_total");
   check Alcotest.int "warm run skips the build" 1
     (value "netembed_filter_cache_misses_total");
+  check Alcotest.int "warm run skips compilation" compiles_before_warm
+    (Netembed_expr.Compile.compiles_total ());
   check Alcotest.string "byte-identical modulo id/elapsed"
     (normalize_answer (Wire.encode_answer cold))
     (normalize_answer (Wire.encode_answer warm))

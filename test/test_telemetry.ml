@@ -343,7 +343,12 @@ let test_snapshot_all_algorithms () =
     (fun alg ->
       let p = small_problem () in
       let r =
-        Engine.run ~options:{ Engine.default_options with Engine.mode = Engine.All } alg p
+        (* prefilter off: this test pins that every algorithm reports
+           its constraint evaluations, so none may be elided *)
+        Engine.run
+          ~options:
+            { Engine.default_options with Engine.mode = Engine.All; prefilter = false }
+          alg p
       in
       let s = r.Engine.telemetry in
       check Alcotest.string "algorithm" (Engine.algorithm_name alg)

@@ -1,0 +1,610 @@
+(* Bytecode compiler / VM tests: pinned disassembly goldens, a QCheck
+   differential against the interpreter (value AND error class), pinned
+   error cases, bounds extraction, and the zero-allocation property. *)
+
+module Value = Netembed_attr.Value
+module Attrs = Netembed_attr.Attrs
+module Ast = Netembed_expr.Ast
+module Parser = Netembed_expr.Parser
+module Eval = Netembed_expr.Eval
+module Compile = Netembed_expr.Compile
+module Vm = Netembed_expr.Vm
+module Bounds = Netembed_expr.Bounds
+
+let attrs l = Attrs.of_list l
+let vnum f = Value.Float f
+let vint i = Value.Int i
+let vstr s = Value.String s
+let vbool b = Value.Bool b
+
+let env ?(v_edge = Attrs.empty) ?(r_edge = Attrs.empty) ?(v_source = Attrs.empty)
+    ?(v_target = Attrs.empty) ?(r_source = Attrs.empty) ?(r_target = Attrs.empty) () =
+  Eval.env ~v_edge ~r_edge ~v_source ~v_target ~r_source ~r_target
+
+(* ------------------------------------------------------------------ *)
+(* Disassembly goldens                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let golden_cases =
+  [
+    ( "rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= vEdge.maxDelay",
+      ";; source: rEdge.avgDelay >= vEdge.minDelay && rEdge.avgDelay <= \
+       vEdge.maxDelay\n\
+       ;; stack: 2 cells, handlers: 0\n\
+       ;; slot s0 = rEdge.avgDelay\n\
+       ;; slot s1 = vEdge.minDelay\n\
+       ;; slot s2 = vEdge.maxDelay\n\
+      \   0: LOAD       s0  ; rEdge.avgDelay\n\
+      \   2: LOAD       s1  ; vEdge.minDelay\n\
+      \   4: GE\n\
+      \   5: JFALSE     @15\n\
+      \   7: LOAD       s0  ; rEdge.avgDelay\n\
+      \   9: LOAD       s2  ; vEdge.maxDelay\n\
+      \  11: LE\n\
+      \  12: BOOLIFY\n\
+      \  13: JMP        @16\n\
+      \  15: PUSH_FALSE\n\
+      \  16: HALT\n" );
+    ( "isBoundTo(vSource.osType, rSource.osType)",
+      ";; source: isBoundTo(vSource.osType, rSource.osType)\n\
+       ;; stack: 2 cells, handlers: 1\n\
+       ;; slot s0 = vSource.osType\n\
+       ;; slot s1 = rSource.osType\n\
+      \   0: PUSH_HA    @13\n\
+      \   2: LOAD       s0  ; vSource.osType\n\
+      \   4: POP_H\n\
+      \   5: PUSH_HB    @16\n\
+      \   7: LOAD       s1  ; rSource.osType\n\
+      \   9: POP_H\n\
+      \  10: EQ\n\
+      \  11: JMP        @17\n\
+      \  13: PUSH_TRUE\n\
+      \  14: JMP        @17\n\
+      \  16: PUSH_FALSE\n\
+      \  17: HALT\n" );
+    ( "!rSource.reserved",
+      ";; source: !rSource.reserved\n\
+       ;; stack: 1 cells, handlers: 0\n\
+       ;; slot s0 = rSource.reserved\n\
+      \   0: LOAD       s0  ; rSource.reserved\n\
+      \   2: NOT\n\
+      \   3: HALT\n" );
+  ]
+
+let test_disassembly_goldens () =
+  List.iter
+    (fun (src, expected) ->
+      let p = Compile.compile (Parser.parse src) in
+      Alcotest.(check string) src expected (Compile.disassemble p))
+    golden_cases
+
+(* Constant folding shows up in the disassembled source line. *)
+let test_fold_consts () =
+  let e = Parser.parse "rEdge.bw >= 2 * 50 + 1" in
+  let folded = Compile.fold_consts e in
+  Alcotest.(check string) "folded" "rEdge.bw >= 101" (Ast.to_string folded);
+  (* erroring subtrees stay intact so the error surfaces at runtime *)
+  let e = Parser.parse "rEdge.bw >= 1 / 0" in
+  Alcotest.(check string) "div0 kept" "rEdge.bw >= 1 / 0"
+    (Ast.to_string (Compile.fold_consts e));
+  let p = Compile.compile (Parser.parse "1 < 2 && rEdge.up") in
+  Alcotest.(check string) "true conjunct folded" "true && rEdge.up"
+    (Ast.to_string p.Compile.source)
+
+(* ------------------------------------------------------------------ *)
+(* Differential harness                                                *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = V of Value.t | Error_eval | Error_missing of Ast.obj * string
+
+let outcome_to_string = function
+  | V v -> "value " ^ Value.to_string v
+  | Error_eval -> "Eval_error"
+  | Error_missing (o, n) -> Printf.sprintf "Missing_attr %s.%s" (Ast.obj_name o) n
+
+let outcome_equal a b =
+  match (a, b) with
+  | V x, V y -> Value.equal x y
+  | Error_eval, Error_eval -> true
+  | Error_missing (o1, n1), Error_missing (o2, n2) -> o1 = o2 && String.equal n1 n2
+  | _ -> false
+
+let interp_outcome e envv =
+  match Eval.eval envv e with
+  | v -> V v
+  | exception Eval.Eval_error _ -> Error_eval
+  | exception Eval.Missing_attr (o, n) -> Error_missing (o, n)
+
+let vm_outcome scratch p envv =
+  Vm.set_env_of scratch envv;
+  match Vm.eval scratch p with
+  | v -> V v
+  | exception Eval.Eval_error _ -> Error_eval
+  | exception Eval.Missing_attr (o, n) -> Error_missing (o, n)
+
+type accept_outcome = A of bool | A_error
+
+let accept_outcome_to_string = function
+  | A b -> string_of_bool b
+  | A_error -> "Eval_error"
+
+let interp_accepts e envv =
+  match Eval.accepts envv e with
+  | b -> A b
+  | exception Eval.Eval_error _ -> A_error
+
+let vm_accepts scratch p envv =
+  Vm.set_env_of scratch envv;
+  match Vm.accepts scratch p with b -> A b | exception Eval.Eval_error _ -> A_error
+
+let check_differential ?(name = "differential") e envv =
+  let p = Compile.compile e in
+  let scratch = Vm.scratch () in
+  let i = interp_outcome e envv and v = vm_outcome scratch p envv in
+  if not (outcome_equal i v) then
+    Alcotest.failf "%s: %s: interpreter %s but VM %s" name (Ast.to_string e)
+      (outcome_to_string i) (outcome_to_string v);
+  let ia = interp_accepts e envv and va = vm_accepts scratch p envv in
+  if ia <> va then
+    Alcotest.failf "%s (accepts): %s: interpreter %s but VM %s" name (Ast.to_string e)
+      (accept_outcome_to_string ia) (accept_outcome_to_string va)
+
+(* ------------------------------------------------------------------ *)
+(* Pinned semantic and error-class cases                               *)
+(* ------------------------------------------------------------------ *)
+
+let rich_env =
+  env
+    ~v_edge:(attrs [ ("bw", vnum 10.0); ("delay", vnum 4.0); ("os", vstr "linux") ])
+    ~r_edge:
+      (attrs
+         [
+           ("bw", vnum 25.0); ("delay", vnum 3.0); ("os", vstr "linux");
+           ("hops", vint 2); ("up", vbool true);
+         ])
+    ~v_source:(attrs [ ("osType", vstr "bsd"); ("cpu", vnum 500.0) ])
+    ~v_target:(attrs [ ("cpu", vnum 800.0) ])
+    ~r_source:(attrs [ ("osType", vstr "bsd"); ("cpu", vnum 900.0); ("reserved", vbool false) ])
+    ~r_target:(attrs [ ("cpu", vnum 1200.0) ])
+    ()
+
+let pinned_sources =
+  [
+    (* plain numeric / boolean traffic *)
+    "rEdge.bw >= vEdge.bw";
+    "rEdge.delay <= vEdge.delay";
+    "rEdge.bw - vEdge.bw >= 10 && rEdge.up";
+    "rEdge.bw * 2 + rEdge.hops / 2 - 1";
+    "min(rEdge.bw, vEdge.bw) == 10 && max(rEdge.cpuMissing, 1) == 1 || true";
+    "abs(vEdge.delay - rEdge.delay) <= 1";
+    "sqrt(rEdge.bw * 4) == 10";
+    "floor(rEdge.delay / 2) == 1 && ceil(rEdge.delay / 2) == 2";
+    "-rEdge.delay < 0";
+    (* strings and equality *)
+    "rEdge.os == 'linux' && vSource.osType != 'solaris'";
+    "rEdge.os < 'windows'";
+    "rEdge.os == 5";
+    (* mixed types are unequal, not an error *)
+    "rEdge.up != 7";
+    (* isBoundTo, all binding states *)
+    "isBoundTo(vSource.osType, rSource.osType)";
+    "isBoundTo(vSource.missing, rSource.osType)";
+    (* unconstrained -> true *)
+    "isBoundTo(vSource.osType, rSource.missing)";
+    (* unbindable -> false *)
+    "isBoundTo(vSource.cpu, rSource.cpu)";
+    (* numbers unequal -> false *)
+    (* integer attr compares as number *)
+    "rEdge.hops == 2 && rEdge.hops < 2.5";
+    (* missing attributes reject under accepts, raise under eval *)
+    "rEdge.missing < 5";
+    "vEdge.bw < 5 || vEdge.absent";
+    (* short-circuit hides the right side entirely *)
+    "rEdge.bw > 0 || rEdge.missing < 5";
+    "rEdge.bw < 0 && rEdge.missing < 5";
+    (* non-bool result is an accepts error, not false *)
+    "1 + 1";
+    "rEdge.bw";
+    (* type errors *)
+    "'a' + 1 == 2";
+    "!5 == true";
+    "true < false";
+    "rEdge.os + 1 > 0";
+    "!rEdge.bw";
+    (* division by zero, and its ordering against missing attrs *)
+    "rEdge.bw / 0 > 1";
+    "rEdge.missing / 0 > 1";
+    (* call errors *)
+    "unknownFun(rEdge.bw) == 1";
+    "unknownFun(rEdge.missing) == 1";
+    (* arg evaluates first: Missing wins *)
+    "abs(1, 2) == 1";
+    "min(3) == 3";
+    "sqrt(0 - 4) == 2";
+    "isBoundTo(rEdge.missing)";
+    (* arity checked before args *)
+    "isBoundTo(vSource.osType, rSource.osType, 1)";
+  ]
+
+let test_pinned_differential () =
+  List.iter
+    (fun src -> check_differential ~name:"pinned" (Parser.parse src) rich_env)
+    pinned_sources;
+  (* the same sources against an empty environment: everything missing *)
+  List.iter
+    (fun src -> check_differential ~name:"pinned/empty" (Parser.parse src) (env ()))
+    pinned_sources
+
+let test_pinned_semantics () =
+  let p = Compile.compile (Parser.parse "rEdge.bw >= vEdge.bw") in
+  let s = Vm.scratch () in
+  Vm.set_env_of s rich_env;
+  Alcotest.(check bool) "accepts" true (Vm.accepts s p);
+  (* same scratch, different env: set_r swaps the hosting side only *)
+  Vm.set_r s ~r_edge:(attrs [ ("bw", vnum 1.0) ]) ~r_source:Attrs.empty
+    ~r_target:Attrs.empty;
+  Alcotest.(check bool) "rejects after set_r" false (Vm.accepts s p);
+  Alcotest.(check bool) "accepts_env" true (Vm.accepts_env p rich_env);
+  (* eval returns the typed value *)
+  let p2 = Compile.compile (Parser.parse "rEdge.bw + 5") in
+  Vm.set_env_of s rich_env;
+  Alcotest.(check bool) "eval value" true (Value.equal (Vm.eval s p2) (vnum 30.0))
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: random well-typed-ish expressions, interpreter == VM        *)
+(* ------------------------------------------------------------------ *)
+
+let objects =
+  [| Ast.V_edge; Ast.R_edge; Ast.V_source; Ast.V_target; Ast.R_source; Ast.R_target |]
+
+let attr_names = [| "a"; "b"; "c"; "d" |]
+
+let gen_value =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun i -> vnum (float_of_int i)) (int_range (-20) 20));
+        (2, map (fun i -> vint i) (int_range (-20) 20));
+        (2, map vstr (oneofl [ "linux"; "bsd"; "solaris" ]));
+        (2, map vbool bool);
+      ])
+
+let gen_table =
+  QCheck.Gen.(
+    let* n = int_range 0 (Array.length attr_names) in
+    let* vals = list_size (return n) gen_value in
+    return
+      (List.fold_left2
+         (fun t name v -> Attrs.add name v t)
+         Attrs.empty
+         (Array.to_list (Array.sub attr_names 0 n))
+         vals))
+
+let gen_env =
+  QCheck.Gen.(
+    let* v_edge = gen_table in
+    let* r_edge = gen_table in
+    let* v_source = gen_table in
+    let* v_target = gen_table in
+    let* r_source = gen_table in
+    let* r_target = gen_table in
+    return (Eval.env ~v_edge ~r_edge ~v_source ~v_target ~r_source ~r_target))
+
+let gen_attr =
+  QCheck.Gen.(
+    let* o = oneofa objects in
+    let* n = oneofa attr_names in
+    return (Ast.Attr (o, n)))
+
+(* Mostly well-typed expressions with a deliberate sprinkling of
+   ill-typed and erroring shapes, so the differential covers the error
+   classes too. *)
+let rec gen_num_expr depth =
+  QCheck.Gen.(
+    if depth = 0 then
+      frequency
+        [
+          (3, map (fun i -> Ast.Num (float_of_int i)) (int_range (-9) 9));
+          (3, gen_attr);
+          (1, return (Ast.Num 0.0));
+        ]
+    else
+      frequency
+        [
+          (2, gen_num_expr 0);
+          ( 3,
+            let* op = oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div ] in
+            let* a = gen_num_expr (depth - 1) in
+            let* b = gen_num_expr (depth - 1) in
+            return (Ast.Binop (op, a, b)) );
+          ( 1,
+            let* a = gen_num_expr (depth - 1) in
+            return (Ast.Unop (Ast.Neg, a)) );
+          ( 1,
+            let* f = oneofl [ "abs"; "sqrt"; "floor"; "ceil" ] in
+            let* a = gen_num_expr (depth - 1) in
+            return (Ast.Call (f, [ a ])) );
+          ( 1,
+            let* f = oneofl [ "min"; "max" ] in
+            let* a = gen_num_expr (depth - 1) in
+            let* b = gen_num_expr (depth - 1) in
+            return (Ast.Call (f, [ a; b ])) );
+        ])
+
+let rec gen_bool_expr depth =
+  QCheck.Gen.(
+    if depth = 0 then
+      frequency [ (2, map (fun b -> Ast.Bool b) bool); (3, gen_attr) ]
+    else
+      frequency
+        [
+          (1, gen_bool_expr 0);
+          ( 3,
+            let* op = oneofl [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ] in
+            let* a = gen_num_expr (depth - 1) in
+            let* b = gen_num_expr (depth - 1) in
+            return (Ast.Binop (op, a, b)) );
+          ( 2,
+            let* op = oneofl [ Ast.Eq; Ast.Neq ] in
+            let* a =
+              oneof [ gen_num_expr (depth - 1); gen_attr; map (fun s -> Ast.Str s) (oneofl [ "linux"; "bsd" ]) ]
+            in
+            let* b =
+              oneof [ gen_num_expr (depth - 1); gen_attr; map (fun s -> Ast.Str s) (oneofl [ "linux"; "bsd" ]) ]
+            in
+            return (Ast.Binop (op, a, b)) );
+          ( 2,
+            let* op = oneofl [ Ast.And; Ast.Or ] in
+            let* a = gen_bool_expr (depth - 1) in
+            let* b = gen_bool_expr (depth - 1) in
+            return (Ast.Binop (op, a, b)) );
+          ( 1,
+            let* a = gen_bool_expr (depth - 1) in
+            return (Ast.Unop (Ast.Not, a)) );
+          ( 1,
+            let* a = oneof [ gen_attr; map (fun s -> Ast.Str s) (oneofl [ "linux"; "bsd" ]) ] in
+            let* b = gen_attr in
+            return (Ast.Call ("isBoundTo", [ a; b ])) );
+          (* deliberately ill-formed: wrong arity / unknown function *)
+          ( 1,
+            oneofl
+              [
+                Ast.Call ("isBoundTo", [ Ast.Num 1.0 ]);
+                Ast.Call ("abs", [ Ast.Num 1.0; Ast.Num 2.0 ]);
+                Ast.Call ("frobnicate", [ Ast.Num 1.0 ]);
+                Ast.Binop (Ast.Add, Ast.Str "a", Ast.Num 1.0);
+              ] );
+        ])
+
+let gen_case =
+  QCheck.Gen.(
+    let* e = gen_bool_expr 3 in
+    let* envv = gen_env in
+    return (e, envv))
+
+let arb_case =
+  QCheck.make gen_case ~print:(fun (e, _) -> Ast.to_string e)
+
+let prop_differential (e, envv) =
+  let p = Compile.compile e in
+  let scratch = Vm.scratch () in
+  let i = interp_outcome e envv and v = vm_outcome scratch p envv in
+  if not (outcome_equal i v) then
+    QCheck.Test.fail_reportf "eval: interpreter %s but VM %s" (outcome_to_string i)
+      (outcome_to_string v);
+  let ia = interp_accepts e envv and va = vm_accepts scratch p envv in
+  if ia <> va then
+    QCheck.Test.fail_reportf "accepts: interpreter %s but VM %s"
+      (accept_outcome_to_string ia)
+      (accept_outcome_to_string va);
+  true
+
+let qcheck_differential =
+  QCheck.Test.make ~count:2000 ~name:"interpreter == VM (value and error class)"
+    arb_case prop_differential
+
+(* Specialization path: residual programs agree too. *)
+let prop_residual (e, envv) =
+  let residual =
+    Eval.specialize ~v_edge:envv.Eval.v_edge ~v_source:envv.Eval.v_source
+      ~v_target:envv.Eval.v_target e
+  in
+  let ia = interp_accepts residual envv in
+  let p = Compile.compile residual in
+  let scratch = Vm.scratch () in
+  let va = vm_accepts scratch p envv in
+  if ia <> va then
+    QCheck.Test.fail_reportf "residual accepts: interpreter %s but VM %s"
+      (accept_outcome_to_string ia)
+      (accept_outcome_to_string va);
+  true
+
+let qcheck_residual =
+  QCheck.Test.make ~count:500 ~name:"specialized residuals: interpreter == VM"
+    arb_case prop_residual
+
+(* ------------------------------------------------------------------ *)
+(* Zero allocation in steady state                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_zero_alloc () =
+  let p =
+    Compile.compile
+      (Parser.parse
+         "rEdge.bw >= vEdge.bw && rEdge.delay <= vEdge.delay && \
+          isBoundTo(vSource.osType, rSource.osType) && rEdge.missing < 5")
+  in
+  let s = Vm.scratch () in
+  Vm.set_env_of s rich_env;
+  (* warm up: capacity growth and any lazy initialization happen here *)
+  for _ = 1 to 3 do
+    ignore (Vm.accepts s p)
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    ignore (Vm.accepts s p)
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check (float 0.0)) "minor words per 1000 accepts" 0.0 allocated
+
+(* ------------------------------------------------------------------ *)
+(* Compile counter                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_compiles_counter () =
+  let before = Compile.compiles_total () in
+  ignore (Compile.compile (Parser.parse "rEdge.bw >= 10"));
+  ignore (Compile.compile (Parser.parse "rEdge.bw >= 20"));
+  Alcotest.(check int) "two more compiles" (before + 2) (Compile.compiles_total ())
+
+(* ------------------------------------------------------------------ *)
+(* Bounds extraction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let atoms_to_string atoms =
+  String.concat "; "
+    (List.map (fun a -> Format.asprintf "%a" Bounds.pp_atom a) atoms)
+
+let test_bounds_extraction () =
+  let b =
+    Bounds.of_ast
+      (Parser.parse
+         "rSource.cpuMhz >= 900 && rSource.os == 'linux' && !rSource.reserved \
+          && rEdge.avgDelay < 20")
+  in
+  Alcotest.(check bool) "complete" true b.Bounds.complete;
+  Alcotest.(check string) "atoms"
+    "rSource.cpuMhz >= 900; rSource.os == 'linux'; !rSource.reserved; \
+     rEdge.avgDelay < 20"
+    (atoms_to_string b.Bounds.atoms);
+  (* flipped operands and the specialized isBoundTo shape *)
+  let b = Bounds.of_ast (Parser.parse "900 <= rSource.cpuMhz && isBoundTo('linux', rSource.os)") in
+  Alcotest.(check bool) "complete (flipped)" true b.Bounds.complete;
+  Alcotest.(check string) "atoms (flipped)"
+    "rSource.cpuMhz >= 900; rSource.os == 'linux'"
+    (atoms_to_string b.Bounds.atoms);
+  (* a disjunction yields nothing and clears completeness *)
+  let b = Bounds.of_ast (Parser.parse "rSource.cpuMhz >= 900 || rSource.x < 1") in
+  Alcotest.(check bool) "incomplete (or)" false b.Bounds.complete;
+  Alcotest.(check int) "no atoms (or)" 0 (List.length b.Bounds.atoms);
+  (* partial recognition: the sound atom is kept, completeness cleared *)
+  let b = Bounds.of_ast (Parser.parse "rEdge.a > 5 && rEdge.b * 2 < 10") in
+  Alcotest.(check bool) "incomplete (arith)" false b.Bounds.complete;
+  Alcotest.(check string) "atoms (arith)" "rEdge.a > 5" (atoms_to_string b.Bounds.atoms);
+  (* of_program sees the folded source, so folded constants extract *)
+  let b = Bounds.of_program (Compile.compile (Parser.parse "rEdge.bw >= 2 * 50")) in
+  Alcotest.(check string) "atoms (folded)" "rEdge.bw >= 100"
+    (atoms_to_string b.Bounds.atoms);
+  Alcotest.(check bool) "complete (folded)" true b.Bounds.complete
+
+let test_bounds_satisfied () =
+  let cmp =
+    Bounds.Cmp { subject = Ast.R_edge; attr = "d"; cmp = Bounds.Lt; bound = 20.0 }
+  in
+  let check msg expected got =
+    Alcotest.(check string) msg expected
+      (match got with `Pass -> "pass" | `Fail -> "fail" | `Unknown -> "unknown")
+  in
+  check "cmp pass" "pass" (Bounds.satisfied cmp (vnum 10.0));
+  check "cmp int pass" "pass" (Bounds.satisfied cmp (vint 19));
+  check "cmp fail" "fail" (Bounds.satisfied cmp (vnum 20.0));
+  check "cmp non-numeric" "unknown" (Bounds.satisfied cmp (vstr "x"));
+  check "cmp bool" "unknown" (Bounds.satisfied cmp (vbool true));
+  let eq = Bounds.Eq { subject = Ast.R_edge; attr = "os"; value = vstr "linux" } in
+  check "eq pass" "pass" (Bounds.satisfied eq (vstr "linux"));
+  check "eq fail" "fail" (Bounds.satisfied eq (vstr "bsd"));
+  (* eval_eq semantics: mixed types are unequal, never unknown *)
+  check "eq mixed" "fail" (Bounds.satisfied eq (vnum 1.0));
+  (* numeric equality crosses Int/Float *)
+  let eqn = Bounds.Eq { subject = Ast.R_edge; attr = "hops"; value = vnum 2.0 } in
+  check "eq int/float" "pass" (Bounds.satisfied eqn (vint 2));
+  let hb = Bounds.Has_bool { subject = Ast.R_source; attr = "up"; value = true } in
+  check "has_bool pass" "pass" (Bounds.satisfied hb (vbool true));
+  check "has_bool fail" "fail" (Bounds.satisfied hb (vbool false));
+  check "has_bool non-bool" "unknown" (Bounds.satisfied hb (vnum 1.0))
+
+let test_bounds_interval () =
+  let b = Bounds.of_ast (Parser.parse "rEdge.d >= 5 && rEdge.d < 20 && rEdge.x == 7") in
+  let lo, hi = Bounds.interval b Ast.R_edge "d" in
+  Alcotest.(check (float 0.0)) "lo" 5.0 lo;
+  Alcotest.(check (float 0.0)) "hi" 20.0 hi;
+  let lo, hi = Bounds.interval b Ast.R_edge "x" in
+  Alcotest.(check (float 0.0)) "eq lo" 7.0 lo;
+  Alcotest.(check (float 0.0)) "eq hi" 7.0 hi;
+  let lo, hi = Bounds.interval b Ast.R_edge "unconstrained" in
+  Alcotest.(check bool) "open interval" true
+    (lo = Float.neg_infinity && hi = Float.infinity)
+
+(* Soundness of atoms against the real evaluator: a Fail verdict on a
+   candidate value implies accepts is false whenever that object carries
+   that value. *)
+let bounds_sound_prop (e, envv) =
+  let b = Bounds.of_ast e in
+  let lookup (obj : Ast.obj) name =
+    let t =
+      match obj with
+      | Ast.V_edge -> envv.Eval.v_edge
+      | Ast.R_edge -> envv.Eval.r_edge
+      | Ast.V_source -> envv.Eval.v_source
+      | Ast.V_target -> envv.Eval.v_target
+      | Ast.R_source -> envv.Eval.r_source
+      | Ast.R_target -> envv.Eval.r_target
+    in
+    Attrs.find name t
+  in
+  let verdict =
+    List.fold_left
+      (fun acc atom ->
+        if acc = `Drop then `Drop
+        else
+          let obj, name = Bounds.atom_subject atom in
+          match lookup obj name with
+          | None -> `Drop (* absent attribute: always a safe drop *)
+          | Some v -> (
+              match Bounds.satisfied atom v with
+              | `Fail -> `Drop
+              | `Pass | `Unknown -> acc))
+      `Keep b.Bounds.atoms
+  in
+  match verdict with
+  | `Keep -> true
+  | `Drop -> (
+      (* dropping is only sound if accepts would have said false (or
+         raised a type error that early dropping is allowed to hide) *)
+      match Eval.accepts envv e with
+      | true -> QCheck.Test.fail_reportf "bounds dropped an accepted candidate"
+      | false -> true
+      | exception Eval.Eval_error _ -> true)
+
+let qcheck_bounds_sound =
+  QCheck.Test.make ~count:2000 ~name:"bounds Fail verdicts are sound" arb_case
+    bounds_sound_prop
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [ qcheck_differential; qcheck_residual; qcheck_bounds_sound ]
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "compile",
+        [
+          Alcotest.test_case "disassembly goldens" `Quick test_disassembly_goldens;
+          Alcotest.test_case "constant folding" `Quick test_fold_consts;
+          Alcotest.test_case "compiles counter" `Quick test_compiles_counter;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "pinned differential" `Quick test_pinned_differential;
+          Alcotest.test_case "pinned semantics" `Quick test_pinned_semantics;
+          Alcotest.test_case "zero allocation" `Quick test_zero_alloc;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "extraction" `Quick test_bounds_extraction;
+          Alcotest.test_case "satisfied" `Quick test_bounds_satisfied;
+          Alcotest.test_case "interval" `Quick test_bounds_interval;
+        ] );
+      ("qcheck", qsuite);
+    ]
