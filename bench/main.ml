@@ -540,6 +540,47 @@ let explain_ablation () =
     off.row_ms off.row_minor_words on.row_ms on.row_minor_words overhead
     off.row_visited
 
+(* Trace ablation: the same capped clique7_tight enumeration with
+   request-scoped span tracing off vs on.  The filter is prebuilt and
+   shared so both rows measure pure search (comparable to the
+   representation/clique7_tight/bitset row); the off row must stay
+   within noise of it — the untraced path pays only a [None] branch at
+   each phase boundary, never per visited node — while the on row
+   prices what a --chrome-trace'd request pays. *)
+let trace_ablation () =
+  Printf.printf
+    "# Trace ablation (all-matches ECF, prebuilt filter, visited cap)\n%!";
+  let host = Lazy.force planetlab in
+  let p = problem_of (Query_gen.clique ~k:7 ~delay_lo:10.0 ~delay_hi:50.0) host in
+  let filter = Filter.build p in
+  let run trace () =
+    let r =
+      Engine.run
+        ~options:
+          {
+            Engine.default_options with
+            Engine.mode = Engine.All;
+            max_visited = Some 120_000;
+            collect = false;
+          }
+        ~filter ?trace Engine.ECF p
+    in
+    (r.Engine.visited, r.Engine.found)
+  in
+  let off = measure_gc ~name:"trace/clique7_tight/off" ~repeat:3 (run None) in
+  let on =
+    measure_gc ~name:"trace/clique7_tight/on" ~repeat:3 (fun () ->
+        run (Some (Netembed_telemetry.Telemetry.Trace.create ())) ())
+  in
+  let overhead =
+    if off.row_ms > 0.0 then 100.0 *. ((on.row_ms /. off.row_ms) -. 1.0) else 0.0
+  in
+  Printf.printf
+    "  clique7_tight          off %8.1f ms %10.0f minor w | on %8.1f ms %10.0f \
+     minor w | trace-on overhead %+.1f%% (%d visited)\n\n%!"
+    off.row_ms off.row_minor_words on.row_ms on.row_minor_words overhead
+    off.row_visited
+
 (* ------------------------------------------------------------------ *)
 (* Scheduler ablation: static root partitioning vs work stealing       *)
 (* ------------------------------------------------------------------ *)
@@ -788,6 +829,7 @@ let () =
     representation_ablation ();
     evaluator_ablation ();
     explain_ablation ();
+    trace_ablation ();
     ignore (engine_gc_row "fig8/ecf_all_n20+gc" Engine.ECF Engine.All (Lazy.force pl_subgraph_problem));
     ignore (engine_gc_row "fig8/rwb_first_n20+gc" Engine.RWB Engine.First (Lazy.force pl_subgraph_problem));
     ignore (engine_gc_row "fig8/lns_first_n20+gc" Engine.LNS Engine.First (Lazy.force pl_subgraph_problem));
@@ -823,6 +865,7 @@ let () =
   representation_ablation ();
   evaluator_ablation ();
   explain_ablation ();
+  trace_ablation ();
   ignore (engine_gc_row "fig8/ecf_all_n20+gc" Engine.ECF Engine.All (Lazy.force pl_subgraph_problem));
   ignore (engine_gc_row "fig8/rwb_first_n20+gc" Engine.RWB Engine.First (Lazy.force pl_subgraph_problem));
   ignore (engine_gc_row "fig8/lns_first_n20+gc" Engine.LNS Engine.First (Lazy.force pl_subgraph_problem));

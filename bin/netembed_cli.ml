@@ -4,6 +4,7 @@
      generate   synthesize a hosting network and write it as GraphML
      info       summarize a GraphML network
      embed      find embeddings of a query network into a hosting network
+     top        phase-latency triage report for a request workload
 
    Examples:
      netembed generate --kind planetlab -o host.graphml
@@ -27,6 +28,7 @@ module Service = Netembed_service.Service
 module Wire = Netembed_service.Wire
 module Engine = Netembed_core.Engine
 module Mapping = Netembed_core.Mapping
+module Telemetry = Netembed_telemetry.Telemetry
 
 open Cmdliner
 
@@ -145,20 +147,24 @@ let mode_conv =
   Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Wire.mode_to_string m))
 
 let embed host_file query_file constraint_arg node_constraint algorithm mode timeout
-    path_hops dedupe optimize_cost stats trace_file domains =
+    path_hops dedupe optimize_cost stats trace_file trace_format domains =
+  (* --trace-format spans (default) streams the global JSONL span log;
+     chrome records a request-scoped span buffer instead and writes one
+     Chrome trace-event JSON document at the end. *)
   let trace_oc =
-    match trace_file with
-    | None -> None
-    | Some path ->
+    match (trace_file, trace_format) with
+    | Some path, `Spans ->
         let oc = open_out path in
-        Netembed_telemetry.Telemetry.Span.enable oc;
+        Telemetry.Span.enable oc;
         Some oc
+    | _ -> None
   in
+  let chrome_trace = trace_file <> None && trace_format = `Chrome in
   let finally_trace () =
     match trace_oc with
     | None -> ()
     | Some oc ->
-        Netembed_telemetry.Telemetry.Span.disable ();
+        Telemetry.Span.disable ();
         close_out oc
   in
   Fun.protect ~finally:finally_trace @@ fun () ->
@@ -182,7 +188,7 @@ let embed host_file query_file constraint_arg node_constraint algorithm mode tim
     Request.make ?node_constraint ~algorithm ~mode ?timeout ~query constraint_text
   in
   let service = Service.create ~domains (Model.create host) in
-  match Service.submit service request with
+  match Service.submit ~trace:chrome_trace service request with
   | Error e -> `Error (false, e)
   | Ok answer ->
       let answer =
@@ -224,8 +230,15 @@ let embed host_file query_file constraint_arg node_constraint algorithm mode tim
       in
       if stats then
         prerr_endline
-          (Netembed_telemetry.Telemetry.snapshot_to_json
-             answer.Service.result.Engine.telemetry);
+          (Telemetry.snapshot_to_json answer.Service.result.Engine.telemetry);
+      (match (trace_file, answer.Service.trace) with
+      | Some path, Some buf when chrome_trace ->
+          let oc = open_out path in
+          output_string oc
+            (Telemetry.Trace.to_chrome_json ~trace_id:answer.Service.trace_id buf);
+          output_char oc '\n';
+          close_out oc
+      | _ -> ());
       print_string (Wire.encode_answer answer);
       `Ok ()
 
@@ -279,8 +292,16 @@ let embed_cmd =
   in
   let trace_file =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Write a JSONL span trace of the run (filter build, descent, \
-                 solutions) to FILE.")
+           ~doc:"Write a trace of the run to FILE (see --trace-format).")
+  in
+  let trace_format =
+    Arg.(value
+         & opt (enum [ ("spans", `Spans); ("chrome", `Chrome) ]) `Spans
+         & info [ "trace-format" ] ~docv:"FORMAT"
+             ~doc:"Trace format for --trace: 'spans' (JSONL span log of filter \
+                   build, descent, solutions) or 'chrome' (request-scoped \
+                   Chrome trace-event JSON with per-phase and per-worker-domain \
+                   spans — open in chrome://tracing or Perfetto).")
   in
   let domains =
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
@@ -293,7 +314,7 @@ let embed_cmd =
       ret
         (const embed $ host_file $ query_file $ constraint_arg $ node_constraint
         $ algorithm $ mode $ timeout $ path_hops $ dedupe $ optimize_cost $ stats
-        $ trace_file $ domains))
+        $ trace_file $ trace_format $ domains))
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -430,6 +451,123 @@ let explain_cmd =
       ret
         (const explain_run $ host_file $ query_file $ constraint_arg
         $ node_constraint $ algorithm $ mode $ timeout $ json $ dump_bytecode))
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Run a request (optionally several times) against a private service
+   and print the phase-latency triage report: where the wall-clock time
+   went per phase (with sliding-window quantiles) and the slowest
+   retained requests with their per-phase breakdowns — the local twin
+   of the TOP wire verb. *)
+let top_run host_file query_file constraint_arg node_constraint algorithm mode
+    timeout repeat worst domains =
+  let host = Graphml.read_file host_file in
+  let query = Graphml.read_file query_file in
+  let constraint_text =
+    if String.length constraint_arg > 0 && constraint_arg.[0] = '@' then
+      Request.read_constraint_file
+        (String.sub constraint_arg 1 (String.length constraint_arg - 1))
+    else constraint_arg
+  in
+  let request =
+    Request.make ?node_constraint ~algorithm ~mode ?timeout ~query constraint_text
+  in
+  let service =
+    (* slow_threshold 0 retains every request, so the worst-requests
+       table is populated even for fast runs. *)
+    Service.create
+      ~registry:(Telemetry.Registry.create ())
+      ~slow_threshold:0.0 ~domains (Model.create host)
+  in
+  let errors = ref [] in
+  for _ = 1 to max 1 repeat do
+    match Service.submit service request with
+    | Ok _ -> ()
+    | Error e -> errors := e :: !errors
+  done;
+  let report = Service.top ~worst service in
+  Format.printf "%-14s %12s %7s %10s %10s %10s@." "PHASE" "TOTAL-S" "COUNT"
+    "P50-MS" "P95-MS" "P99-MS";
+  List.iter
+    (fun (s : Service.phase_stat) ->
+      Format.printf "%-14s %12.6f %7d %10.3f %10.3f %10.3f@."
+        (Telemetry.Phase.name s.Service.phase)
+        s.Service.total_s s.Service.window_count
+        (s.Service.p50_s *. 1000.0)
+        (s.Service.p95_s *. 1000.0)
+        (s.Service.p99_s *. 1000.0))
+    report.Service.busiest;
+  Format.printf "@.slowest retained requests (quantile window %gs):@."
+    report.Service.window_s;
+  List.iter
+    (fun (e : Service.entry) ->
+      Format.printf "  id=%d trace=%d verdict=%s elapsed=%.3fms%s  %s@."
+        e.Service.id e.Service.trace_id e.Service.verdict
+        (e.Service.elapsed *. 1000.0)
+        (if e.Service.slow_search then " slow-search" else "")
+        e.Service.summary)
+    report.Service.worst;
+  match !errors with
+  | [] -> `Ok ()
+  | e :: _ when repeat <= 1 -> `Error (false, e)
+  | e :: _ ->
+      Format.printf "@.%d of %d requests failed (last: %s)@." (List.length !errors)
+        repeat e;
+      `Ok ()
+
+let top_cmd =
+  let host_file =
+    Arg.(required & opt (some file) None & info [ "host" ] ~docv:"FILE"
+           ~doc:"Hosting network (GraphML).")
+  in
+  let query_file =
+    Arg.(required & opt (some file) None & info [ "query" ] ~docv:"FILE"
+           ~doc:"Query network (GraphML).")
+  in
+  let constraint_arg =
+    Arg.(value & opt string "true" & info [ "constraint" ] ~docv:"EXPR"
+           ~doc:"Constraint expression, or @FILE to load one expression per line.")
+  in
+  let node_constraint =
+    Arg.(value & opt (some string) None & info [ "node-constraint" ] ~docv:"EXPR"
+           ~doc:"Optional per-node constraint over rSource/vSource.")
+  in
+  let algorithm =
+    Arg.(value & opt algorithm_conv Engine.ECF & info [ "algorithm"; "a" ] ~docv:"ALG"
+           ~doc:"Search algorithm: ecf, rwb or lns.")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Engine.First & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Answer mode: first, all or atmost:K.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Search timeout.")
+  in
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Submit the request N times before reporting, so window \
+                 quantiles have a population.")
+  in
+  let worst =
+    Arg.(value & opt int 5 & info [ "worst" ] ~docv:"K"
+           ~doc:"How many slowest retained requests to list.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Run exhaustive ECF searches (--mode all) on N domains with \
+                 work stealing; 1 (the default) stays sequential.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Phase-latency triage: busiest request phases with sliding-window \
+             quantiles, and the slowest retained requests")
+    Term.(
+      ret
+        (const top_run $ host_file $ query_file $ constraint_arg $ node_constraint
+        $ algorithm $ mode $ timeout $ repeat $ worst $ domains))
 
 (* ------------------------------------------------------------------ *)
 (* allocate / free / utilization                                       *)
@@ -655,8 +793,8 @@ let main_cmd =
   let doc = "NETEMBED: a network resource mapping service" in
   Cmd.group (Cmd.info "netembed" ~doc ~version:"1.0.0")
     [
-      generate_cmd; info_cmd; embed_cmd; explain_cmd; convert_cmd; allocate_cmd;
-      free_cmd; utilization_cmd;
+      generate_cmd; info_cmd; embed_cmd; explain_cmd; top_cmd; convert_cmd;
+      allocate_cmd; free_cmd; utilization_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -9,14 +9,18 @@
 
    Protocol: frames as defined in Netembed_service.Wire — EMBED
    (search), ALLOC (search and commit the first mapping as a fractional
-   ledger allocation), FREE <id>, UTIL and EXPLAIN <request-id> (fetch
-   the failure certificate of an earlier request); one answer per
-   request; EOF terminates.  With --monitor-every N, a synthetic
-   monitoring tick refreshes the model between every N requests, so
-   long-running sessions see drifting measurements.  With
-   --flight-dump FILE, the certificate (including the flight-recorder
-   tail) of every diagnosable request is written to FILE as it happens
-   — the post-mortem artifact a CI run uploads.
+   ledger allocation), FREE <id>, UTIL, EXPLAIN <request-id> (fetch
+   the failure certificate of an earlier request) and TOP (the
+   phase-latency triage report); one answer per request; EOF
+   terminates.  With --monitor-every N, a synthetic monitoring tick
+   refreshes the model between every N requests, so long-running
+   sessions see drifting measurements.  With --flight-dump FILE, the
+   certificate (including the flight-recorder tail) of every
+   diagnosable request is written to FILE as it happens — the
+   post-mortem artifact a CI run uploads.  With --chrome-trace FILE,
+   every request runs with span tracing on and FILE is rewritten with
+   the latest request's Chrome trace-event JSON (open in
+   chrome://tracing or Perfetto).
 
    With --metrics-port PORT, a minimal HTTP listener on
    127.0.0.1:PORT serves the telemetry registry: GET /metrics
@@ -98,6 +102,7 @@ let () =
   let monitor_every = ref 0 in
   let metrics_port = ref 0 in
   let flight_dump = ref "" in
+  let chrome_trace = ref "" in
   let domains = ref 1 in
   let speclist =
     [
@@ -108,13 +113,15 @@ let () =
        "PORT serve GET /metrics on 127.0.0.1:PORT (0 = off)");
       ("--flight-dump", Arg.Set_string flight_dump,
        "FILE write the latest failure certificate (JSON) here");
+      ("--chrome-trace", Arg.Set_string chrome_trace,
+       "FILE trace every request; write the latest request's Chrome trace JSON here");
       ("--domains", Arg.Set_int domains,
        "N run exhaustive ECF requests on N domains with work stealing (default 1 = \
         sequential)");
     ]
   in
   Arg.parse speclist (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "netembed_server --host FILE [--monitor-every N] [--metrics-port PORT] [--flight-dump FILE] [--domains N]";
+    "netembed_server --host FILE [--monitor-every N] [--metrics-port PORT] [--flight-dump FILE] [--chrome-trace FILE] [--domains N]";
   if !host_file = "" then begin
     prerr_endline "netembed_server: --host is required";
     exit 2
@@ -155,6 +162,27 @@ let () =
       ?id:(Option.map (fun (en : Service.entry) -> en.Service.id) entry)
       e
   in
+  let trace = !chrome_trace <> "" in
+  let dump_trace (answer : Service.answer) =
+    match (!chrome_trace, answer.Service.trace) with
+    | "", _ | _, None -> ()
+    | file, Some buf ->
+        let oc = open_out file in
+        output_string oc
+          (Telemetry.Trace.to_chrome_json ~trace_id:answer.Service.trace_id buf);
+        output_char oc '\n';
+        close_out oc
+  in
+  (* Reply serialization is a request phase too: stamp it onto the
+     windowed series (it cannot appear in its own OK header — the
+     header is already built by the time the cost is known). *)
+  let timed_encode f =
+    let t0 = Unix.gettimeofday () in
+    let reply = f () in
+    Service.record_phase service Telemetry.Phase.Encode
+      (Unix.gettimeofday () -. t0);
+    reply
+  in
   let rec serve () =
     match read_frame stdin with
     | None -> ()
@@ -167,21 +195,25 @@ let () =
           match Wire.decode_command frame with
           | Error e -> Wire.encode_error e
           | Ok (Wire.Submit request) -> (
-              match Service.submit service request with
+              match Service.submit ~trace service request with
               | Error e -> submit_error e
               | Ok answer ->
                   dump_certificate (Service.explain service answer.Service.id);
-                  Wire.encode_answer answer)
+                  dump_trace answer;
+                  timed_encode (fun () -> Wire.encode_answer answer))
           | Ok (Wire.Allocate request) -> (
-              match Service.submit service request with
+              match Service.submit ~trace service request with
               | Error e -> submit_error e
               | Ok answer -> (
                   dump_certificate (Service.explain service answer.Service.id);
+                  dump_trace answer;
                   match answer.Service.result.Netembed_core.Engine.mappings with
-                  | [] -> Wire.encode_answer answer
+                  | [] -> timed_encode (fun () -> Wire.encode_answer answer)
                   | mapping :: _ -> (
                       match Service.allocate_shared service answer mapping with
-                      | Ok id -> Wire.encode_answer ~allocation:id answer
+                      | Ok id ->
+                          timed_encode (fun () ->
+                              Wire.encode_answer ~allocation:id answer)
                       | Error e -> Wire.encode_error ~id:answer.Service.id e)))
           | Ok (Wire.Free id) ->
               if Service.free service id then Wire.encode_freed id
@@ -197,6 +229,7 @@ let () =
                        "no diagnostics retained for request %d (unknown, evicted, \
                         or completed quickly)"
                        id))
+          | Ok Wire.Top -> Wire.encode_top (Service.top service)
         in
         print_string reply;
         flush stdout;

@@ -264,7 +264,15 @@ let assemble_certificate ~(problem : Problem.t) ~algorithm ~filter ~blame ~recor
     ~flight:(Explain.Recorder.events recorder)
     ~verdict message
 
-let run ?(options = default_options) ?filter algorithm problem =
+(* Accumulate the wall-clock cost of [f] on the [ph] cell of a
+   phase-timings array (seconds).  Exceptions still charge the time. *)
+let time_phase phases ph f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect f ~finally:(fun () ->
+      let i = Telemetry.Phase.index ph in
+      phases.(i) <- phases.(i) +. (Unix.gettimeofday () -. t0))
+
+let run ?(options = default_options) ?filter ?trace algorithm problem =
   let store =
     Domain_store.create
       ~universe:(Netembed_graph.Graph.node_count problem.Problem.host)
@@ -297,6 +305,7 @@ let run ?(options = default_options) ?filter algorithm problem =
      deltas. *)
   let evals_before = Problem.constraint_evals problem in
   let filter_used = ref None in
+  let phases = Telemetry.Phase.make_timings () in
   let ran_out =
     try
       if limit = 0 then raise Exit;
@@ -310,8 +319,16 @@ let run ?(options = default_options) ?filter algorithm problem =
             match filter with
             | Some f -> f
             | None ->
-                Telemetry.Span.with_span "filter_build" (fun () ->
-                    Filter.build ~prefilter:options.prefilter ?blame problem)
+                (* Forcing specialization + bytecode compilation first
+                   splits the compile cost out of the build proper. *)
+                time_phase phases Telemetry.Phase.Compile (fun () ->
+                    Telemetry.Trace.span_opt trace "compile" (fun () ->
+                        Problem.prepare problem));
+                time_phase phases Telemetry.Phase.Filter_build (fun () ->
+                    Telemetry.Trace.span_opt trace "filter_build" (fun () ->
+                        Telemetry.Span.with_span "filter_build" (fun () ->
+                            Filter.build ~prefilter:options.prefilter ?blame
+                              problem)))
           in
           filter_used := Some filter;
           let candidate_order =
@@ -320,12 +337,16 @@ let run ?(options = default_options) ?filter algorithm problem =
             | RWB -> Dfs.Random (Rng.make options.seed)
             | LNS -> assert false
           in
-          Telemetry.Span.with_span "descent" (fun () ->
-              Dfs.search ~store ?blame problem filter ~candidate_order ~budget
-                ~on_solution)
+          time_phase phases Telemetry.Phase.Search (fun () ->
+              Telemetry.Trace.span_opt trace "descent" (fun () ->
+                  Telemetry.Span.with_span "descent" (fun () ->
+                      Dfs.search ~store ?blame problem filter ~candidate_order
+                        ~budget ~on_solution)))
       | LNS ->
-          Telemetry.Span.with_span "descent" (fun () ->
-              Lns.search ~store ?blame problem ~budget ~on_solution));
+          time_phase phases Telemetry.Phase.Search (fun () ->
+              Telemetry.Trace.span_opt trace "descent" (fun () ->
+                  Telemetry.Span.with_span "descent" (fun () ->
+                      Lns.search ~store ?blame problem ~budget ~on_solution))));
       false
     with
     | Budget.Exhausted -> true
@@ -357,6 +378,7 @@ let run ?(options = default_options) ?filter algorithm problem =
       max_depth = Telemetry.Histogram.max_observed (Domain_store.depth_hist store);
       depth_histogram = Domain_store.depth_hist store;
       domain_size_histogram = Domain_store.domain_size_hist store;
+      phases;
     }
   in
   (match List.find_opt (fun (a, _, _, _) -> a = algorithm) global_counters with

@@ -102,7 +102,13 @@ val verdict : result -> string
     [telemetry.outcome], so [snapshot_to_json] preserves the
     unsat/exhausted distinction. *)
 
-val run : ?options:options -> ?filter:Filter.t -> algorithm -> Problem.t -> result
+val run :
+  ?options:options ->
+  ?filter:Filter.t ->
+  ?trace:Netembed_telemetry.Telemetry.Trace.buffer ->
+  algorithm ->
+  Problem.t ->
+  result
 (** Every returned mapping satisfies {!Verify.check} (enforced by the
     algorithms' construction; tests assert it).
 
@@ -112,7 +118,14 @@ val run : ?options:options -> ?filter:Filter.t -> algorithm -> Problem.t -> resu
     cache guarantees by keying on (model revision, query signature).
     Skipping the build also skips its blame pass, so explain-mode
     certificates on this path attribute only search-time eliminations.
-    Ignored by LNS. *)
+    Ignored by LNS.
+
+    [trace], when given, receives request-scoped complete spans
+    ([compile], [filter_build], [descent]) for Chrome trace export;
+    the plain path pays only a [None] branch per phase boundary.  The
+    run also fills the [compile] / [filter_build] / [search] cells of
+    [telemetry.phases] either way (two clock reads per phase, off the
+    search hot path). *)
 
 val find_first : ?timeout:float -> algorithm -> Problem.t -> Mapping.t option
 (** Convenience wrapper: first feasible embedding, if found in time. *)

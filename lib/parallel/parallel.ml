@@ -171,7 +171,7 @@ let trivial_stats ~mappings ~outcome ~elapsed ~k =
    an exhausted-by-construction subtree, so the outcome stays
    [Complete]; spawning them anyway would waste domains and, past the
    runtime's ~128-domain ceiling, crash. *)
-let static_run ~k ~timeout ~registry problem filter =
+let static_run ?trace ~k ~timeout ~registry problem filter =
   let t0 = Unix.gettimeofday () in
   let order = Filter.order filter in
   let roots = Filter.node_candidates filter order.(0) in
@@ -187,7 +187,15 @@ let static_run ~k ~timeout ~registry problem filter =
       ~elapsed:(Unix.gettimeofday () -. t0)
       ~k
   else begin
-    let run share () =
+    let run i share () =
+      (* Worker-owned trace buffer (tid = worker index + 1; the
+         dispatching domain is tid 0), merged by the spawner at join so
+         the request's Chrome trace carries every domain's spans. *)
+      let tbuf =
+        match trace with
+        | None -> None
+        | Some _ -> Some (Telemetry.Trace.create ~tid:(i + 1) ())
+      in
       let acc = ref [] in
       let store = private_store problem in
       let budget =
@@ -195,11 +203,12 @@ let static_run ~k ~timeout ~registry problem filter =
       in
       let exhausted =
         try
-          Dfs.search ~root_candidates:share ~store problem filter
-            ~candidate_order:Dfs.Ascending ~budget
-            ~on_solution:(fun m ->
-              acc := m :: !acc;
-              `Continue);
+          Telemetry.Trace.span_opt tbuf "static_share" (fun () ->
+              Dfs.search ~root_candidates:share ~store problem filter
+                ~candidate_order:Dfs.Ascending ~budget
+                ~on_solution:(fun m ->
+                  acc := m :: !acc;
+                  `Continue));
           false
         with Budget.Exhausted -> true
       in
@@ -208,17 +217,26 @@ let static_run ~k ~timeout ~registry problem filter =
         domain_registry ~algorithm:"ECF" ~budget ~store
           ~found:(List.length mappings)
       in
-      (mappings, exhausted, reg, Budget.visited budget, Domain_store.stats store)
+      ( mappings,
+        exhausted,
+        reg,
+        Budget.visited budget,
+        Domain_store.stats store,
+        tbuf )
     in
-    let handles = Array.map (fun share -> Domain.spawn (run share)) shares in
+    let handles = Array.mapi (fun i share -> Domain.spawn (run i share)) shares in
     let results = Array.map Domain.join handles in
     Array.iter
-      (fun (_, _, reg, _, _) -> Telemetry.Registry.merge_into ~dst:registry reg)
+      (fun (_, _, reg, _, _, tbuf) ->
+        Telemetry.Registry.merge_into ~dst:registry reg;
+        match (trace, tbuf) with
+        | Some dst, Some src -> Telemetry.Trace.merge_into ~dst src
+        | _ -> ())
       results;
     let mappings =
-      List.concat_map (fun (m, _, _, _, _) -> m) (Array.to_list results)
+      List.concat_map (fun (m, _, _, _, _, _) -> m) (Array.to_list results)
     in
-    let any_exhausted = Array.exists (fun (_, e, _, _, _) -> e) results in
+    let any_exhausted = Array.exists (fun (_, e, _, _, _, _) -> e) results in
     let outcome =
       if not any_exhausted then Engine.Complete
       else if mappings = [] then Engine.Inconclusive
@@ -228,11 +246,12 @@ let static_run ~k ~timeout ~registry problem filter =
       mappings;
       outcome;
       elapsed = Unix.gettimeofday () -. t0;
-      visited_by_domain = Array.map (fun (_, _, _, v, _) -> v) results;
+      visited_by_domain = Array.map (fun (_, _, _, v, _, _) -> v) results;
       steals = 0;
       frames = 0;
-      domain_registries = Array.to_list (Array.map (fun (_, _, r, _, _) -> r) results);
-      domain_stats = Array.to_list (Array.map (fun (_, _, _, _, s) -> s) results);
+      domain_registries =
+        Array.to_list (Array.map (fun (_, _, r, _, _, _) -> r) results);
+      domain_stats = Array.to_list (Array.map (fun (_, _, _, _, s, _) -> s) results);
     }
   end
 
@@ -252,7 +271,7 @@ let static_run ~k ~timeout ~registry problem filter =
    failed steals: on machines with fewer cores than domains a spinning
    thief would stall the stop-the-world minor GC of the workers that
    actually hold frames. *)
-let ws_run ~k ~timeout ~split_depth ~registry problem filter =
+let ws_run ?trace ~k ~timeout ~split_depth ~registry problem filter =
   let t0 = Unix.gettimeofday () in
   let order = Filter.order filter in
   let nq = Array.length order in
@@ -270,6 +289,16 @@ let ws_run ~k ~timeout ~split_depth ~registry problem filter =
       end)
     shares;
   let run i () =
+    (* Worker-owned trace buffer (tid = worker index + 1; the
+       dispatching domain is tid 0).  Frames are coarse — a frame at
+       the split horizon is a whole sequential subtree — so one span
+       per frame stays cheap, and stolen frames record on the thief's
+       tid while still belonging to the originating request's trace. *)
+    let tbuf =
+      match trace with
+      | None -> None
+      | Some _ -> Some (Telemetry.Trace.create ~tid:(i + 1) ())
+    in
     let store = private_store problem in
     let budget =
       Budget.make ?timeout ~depth_counts:(Domain_store.depth_counts store) ()
@@ -283,15 +312,17 @@ let ws_run ~k ~timeout ~split_depth ~registry problem filter =
       if not !exhausted then
         try
           if Dfs.frame_depth fr >= split_limit then
-            Dfs.search_frame ~store problem filter ~frame:fr
-              ~candidate_order:Dfs.Ascending ~budget
-              ~on_solution:(fun m ->
-                acc := m :: !acc;
-                `Continue)
+            Telemetry.Trace.span_opt tbuf "search_frame" (fun () ->
+                Dfs.search_frame ~store problem filter ~frame:fr
+                  ~candidate_order:Dfs.Ascending ~budget
+                  ~on_solution:(fun m ->
+                    acc := m :: !acc;
+                    `Continue))
           else begin
             let children =
-              Dfs.expand_frame ~store problem filter fr
-                ~on_solution:(fun m -> acc := m :: !acc)
+              Telemetry.Trace.span_opt tbuf "expand_frame" (fun () ->
+                  Dfs.expand_frame ~store problem filter fr
+                    ~on_solution:(fun m -> acc := m :: !acc))
             in
             incr frames_expanded;
             List.iter
@@ -354,17 +385,22 @@ let ws_run ~k ~timeout ~split_depth ~registry problem filter =
       Budget.visited budget,
       !steals,
       !frames_expanded,
-      Domain_store.stats store )
+      Domain_store.stats store,
+      tbuf )
   in
   let handles = Array.init k (fun i -> Domain.spawn (run i)) in
   let results = Array.map Domain.join handles in
   Array.iter
-    (fun (_, _, reg, _, _, _, _) -> Telemetry.Registry.merge_into ~dst:registry reg)
+    (fun (_, _, reg, _, _, _, _, tbuf) ->
+      Telemetry.Registry.merge_into ~dst:registry reg;
+      match (trace, tbuf) with
+      | Some dst, Some src -> Telemetry.Trace.merge_into ~dst src
+      | _ -> ())
     results;
   let mappings =
-    List.concat_map (fun (m, _, _, _, _, _, _) -> m) (Array.to_list results)
+    List.concat_map (fun (m, _, _, _, _, _, _, _) -> m) (Array.to_list results)
   in
-  let any_exhausted = Array.exists (fun (_, e, _, _, _, _, _) -> e) results in
+  let any_exhausted = Array.exists (fun (_, e, _, _, _, _, _, _) -> e) results in
   let outcome =
     if not any_exhausted then Engine.Complete
     else if mappings = [] then Engine.Inconclusive
@@ -374,17 +410,17 @@ let ws_run ~k ~timeout ~split_depth ~registry problem filter =
     mappings;
     outcome;
     elapsed = Unix.gettimeofday () -. t0;
-    visited_by_domain = Array.map (fun (_, _, _, v, _, _, _) -> v) results;
-    steals = Array.fold_left (fun a (_, _, _, _, s, _, _) -> a + s) 0 results;
-    frames = Array.fold_left (fun a (_, _, _, _, _, f, _) -> a + f) 0 results;
+    visited_by_domain = Array.map (fun (_, _, _, v, _, _, _, _) -> v) results;
+    steals = Array.fold_left (fun a (_, _, _, _, s, _, _, _) -> a + s) 0 results;
+    frames = Array.fold_left (fun a (_, _, _, _, _, f, _, _) -> a + f) 0 results;
     domain_registries =
-      Array.to_list (Array.map (fun (_, _, r, _, _, _, _) -> r) results);
+      Array.to_list (Array.map (fun (_, _, r, _, _, _, _, _) -> r) results);
     domain_stats =
-      Array.to_list (Array.map (fun (_, _, _, _, _, _, s) -> s) results);
+      Array.to_list (Array.map (fun (_, _, _, _, _, _, s, _) -> s) results);
   }
 
 let ecf_all_stats ?(strategy = Work_stealing) ?domains ?timeout ?(split_depth = 2)
-    ?filter ?(registry = Telemetry.default_registry) problem =
+    ?filter ?(registry = Telemetry.default_registry) ?trace problem =
   let k =
     clamp_domains (match domains with Some d -> d | None -> default_domains ())
   in
@@ -400,12 +436,15 @@ let ecf_all_stats ?(strategy = Work_stealing) ?domains ?timeout ?(split_depth = 
       ~k
   else
     match strategy with
-    | Static -> static_run ~k ~timeout ~registry problem filter
-    | Work_stealing -> ws_run ~k ~timeout ~split_depth ~registry problem filter
+    | Static -> static_run ?trace ~k ~timeout ~registry problem filter
+    | Work_stealing ->
+        ws_run ?trace ~k ~timeout ~split_depth ~registry problem filter
 
-let ecf_all ?strategy ?domains ?timeout ?split_depth ?filter ?registry problem =
+let ecf_all ?strategy ?domains ?timeout ?split_depth ?filter ?registry ?trace
+    problem =
   let st =
-    ecf_all_stats ?strategy ?domains ?timeout ?split_depth ?filter ?registry problem
+    ecf_all_stats ?strategy ?domains ?timeout ?split_depth ?filter ?registry ?trace
+      problem
   in
   (st.mappings, st.outcome)
 

@@ -71,6 +71,7 @@ val ecf_all :
   ?split_depth:int ->
   ?filter:Netembed_core.Filter.t ->
   ?registry:Netembed_telemetry.Telemetry.Registry.t ->
+  ?trace:Netembed_telemetry.Telemetry.Trace.buffer ->
   Netembed_core.Problem.t ->
   Netembed_core.Mapping.t list * Netembed_core.Engine.outcome
 (** All feasible embeddings (order unspecified).  Outcome is [Complete]
@@ -87,7 +88,14 @@ val ecf_all :
     Filter construction is sequential (it is the dominant cost on
     filter-heavy instances — Amdahl applies); pass a prebuilt [filter]
     to amortize it across runs (the service's cross-request filter
-    cache does exactly this) or to measure pure search scaling. *)
+    cache does exactly this) or to measure pure search scaling.
+
+    [trace], when given, receives one complete span per processed
+    frame: each worker records into a private buffer (tid = worker
+    index + 1) merged into [trace] at join, so spans from stolen
+    frames still attribute to the originating request's trace — the
+    request-scoped Chrome-trace export of the service.  The untraced
+    path pays one [None] branch per frame. *)
 
 val ecf_all_stats :
   ?strategy:strategy ->
@@ -96,6 +104,7 @@ val ecf_all_stats :
   ?split_depth:int ->
   ?filter:Netembed_core.Filter.t ->
   ?registry:Netembed_telemetry.Telemetry.Registry.t ->
+  ?trace:Netembed_telemetry.Telemetry.Trace.buffer ->
   Netembed_core.Problem.t ->
   stats
 (** As {!ecf_all}, returning the full scheduler accounting. *)

@@ -11,13 +11,22 @@ module Explain = Netembed_explain.Explain
 
 type entry = {
   id : int;
+  trace_id : int;
   summary : string;
   verdict : string;
   elapsed : float;
+  phases : float array;
+  slow_search : bool;
   certificate : Explain.Certificate.t option;
 }
 
 let log_capacity = 64
+
+(* The sliding window the per-phase latency summaries cover:
+   [window_seconds] split into [window_slices] ring slices. *)
+let window_seconds = 60.0
+let window_slices = 6
+let window_label = "60s"
 
 type t = {
   model : Model.t;
@@ -33,10 +42,17 @@ type t = {
   active_allocations : Telemetry.Gauge.t;
   utilization_gauges : (string * [ `Node | `Edge ] * Telemetry.Gauge.t) list;
   slow_threshold : float;
+  slow_search_share : float;
   domains : int;
   filter_cache : Filter_cache.t;
   cache_hits : Telemetry.Counter.t;
   cache_misses : Telemetry.Counter.t;
+  (* Per-phase request-latency decomposition: one windowed series per
+     phase plus a "total" one (µs observations exposed in seconds), and
+     lifetime per-phase second totals mirrored onto gauges. *)
+  request_seconds : Telemetry.Windowed.t array;
+  phase_seconds : Telemetry.Gauge.t array;
+  phase_totals : float array;
   mutable next_id : int;
   (* Bounded slow/failed-query log: a ring of the last [log_capacity]
      diagnosable requests, looked up by request id for EXPLAIN. *)
@@ -47,7 +63,7 @@ type t = {
 let kind_label = function `Node -> "node" | `Edge -> "edge"
 
 let create ?(registry = Telemetry.default_registry) ?(slow_threshold = 0.5)
-    ?(domains = 1) ?(filter_cache_capacity = 32) model =
+    ?(slow_search_share = 0.9) ?(domains = 1) ?(filter_cache_capacity = 32) model =
   let ledger = Model.ledger model in
   (* Pre-register the parallel-search steal counter so the exposition
      shows the series (at 0) before the first multi-domain request;
@@ -117,6 +133,29 @@ let create ?(registry = Telemetry.default_registry) ?(slow_threshold = 0.5)
         Telemetry.Registry.counter registry
           ~help:"Requests that had to build their filter matrix"
           "netembed_filter_cache_misses_total";
+      request_seconds =
+        Array.init
+          (Telemetry.Phase.count + 1)
+          (fun i ->
+            let phase =
+              if i < Telemetry.Phase.count then
+                Telemetry.Phase.name (Telemetry.Phase.of_index i)
+              else "total"
+            in
+            Telemetry.Registry.windowed registry
+              ~help:"Request latency by phase over a sliding window"
+              ~labels:[ ("phase", phase); ("window", window_label) ]
+              ~scale:1e-6 ~window:window_seconds ~slices:window_slices
+              "netembed_request_seconds");
+      phase_seconds =
+        Array.init Telemetry.Phase.count (fun i ->
+            Telemetry.Registry.gauge registry
+              ~help:"Cumulative seconds spent in each request phase"
+              ~labels:
+                [ ("phase", Telemetry.Phase.name (Telemetry.Phase.of_index i)) ]
+              "netembed_phase_seconds_total");
+      phase_totals = Array.make Telemetry.Phase.count 0.0;
+      slow_search_share;
       next_id = 1;
       log = Array.make log_capacity None;
       logged = 0;
@@ -146,11 +185,36 @@ let refresh_utilization t =
   Telemetry.Gauge.set t.active_allocations
     (float_of_int (Ledger.outstanding (Model.ledger t.model)))
 
+(* ------------------------------------------------------------------ *)
+(* Phase-latency accounting                                            *)
+(* ------------------------------------------------------------------ *)
+
+let record_phase t phase seconds =
+  if seconds > 0.0 then begin
+    let i = Telemetry.Phase.index phase in
+    t.phase_totals.(i) <- t.phase_totals.(i) +. seconds;
+    Telemetry.Gauge.set t.phase_seconds.(i) t.phase_totals.(i);
+    Telemetry.Windowed.observe t.request_seconds.(i)
+      (int_of_float (seconds *. 1e6))
+  end
+
+(* Feed a request's filled timings array into the per-phase series.
+   Phases the request never exercised (0.0 cells) are skipped, so each
+   phase's window quantiles cover only requests that paid for it. *)
+let record_phases t phases =
+  Array.iteri
+    (fun i s ->
+      if i < Telemetry.Phase.count && s > 0.0 then
+        record_phase t (Telemetry.Phase.of_index i) s)
+    phases
+
 type answer = {
   id : int;
+  trace_id : int;
   request : Request.t;
   result : Engine.result;
   model_revision : int;
+  trace : Telemetry.Trace.buffer option;
 }
 
 let src = Logs.Src.create "netembed.service" ~doc:"NETEMBED mapping service"
@@ -177,6 +241,53 @@ let explain t id =
 
 let last_entry t =
   if t.logged = 0 then None else t.log.((t.logged - 1) mod log_capacity)
+
+(* ------------------------------------------------------------------ *)
+(* TOP: busiest phases, worst recent requests, window quantiles        *)
+(* ------------------------------------------------------------------ *)
+
+type phase_stat = {
+  phase : Telemetry.Phase.t;
+  total_s : float;  (** lifetime seconds accumulated in this phase *)
+  window_count : int;  (** requests that exercised it inside the window *)
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+}
+
+type top = {
+  busiest : phase_stat list;  (** every phase, sorted by [total_s], busiest first *)
+  worst : entry list;  (** ring entries sorted by elapsed, slowest first *)
+  window_s : float;
+}
+
+let top ?(worst = 5) t =
+  let stat_of i =
+    let w = t.request_seconds.(i) in
+    {
+      phase = Telemetry.Phase.of_index i;
+      total_s = t.phase_totals.(i);
+      window_count = Telemetry.Windowed.count w;
+      p50_s = Telemetry.Windowed.quantile w 0.50;
+      p95_s = Telemetry.Windowed.quantile w 0.95;
+      p99_s = Telemetry.Windowed.quantile w 0.99;
+    }
+  in
+  let busiest =
+    List.init Telemetry.Phase.count stat_of
+    |> List.sort (fun a b -> compare b.total_s a.total_s)
+  in
+  let entries =
+    Array.to_list t.log
+    |> List.filter_map Fun.id
+    |> List.sort (fun (a : entry) b -> compare b.elapsed a.elapsed)
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | e :: rest -> e :: take (n - 1) rest
+  in
+  { busiest; worst = take worst entries; window_s = window_seconds }
 
 let count_unsat t cause =
   Telemetry.Counter.incr
@@ -245,14 +356,32 @@ let reservation_guard = Expr.parse_exn "!rSource.reserved"
    everything else — verdict, telemetry snapshot, filter for the cache
    — is assembled to the engine's contract.  The per-domain registries
    are merged into [t.registry] by the scheduler itself. *)
-let submit_parallel t ~cached_filter ~(request : Request.t) problem =
+let submit_parallel t ?trace ~cached_filter ~(request : Request.t) problem =
   let evals_before = Problem.constraint_evals problem in
+  let phases = Telemetry.Phase.make_timings () in
+  let time_phase ph f =
+    let t0 = Unix.gettimeofday () in
+    Fun.protect f ~finally:(fun () ->
+        let i = Telemetry.Phase.index ph in
+        phases.(i) <- phases.(i) +. (Unix.gettimeofday () -. t0))
+  in
   let filter =
-    match cached_filter with Some f -> f | None -> Filter.build problem
+    match cached_filter with
+    | Some f -> f
+    | None ->
+        time_phase Telemetry.Phase.Compile (fun () ->
+            Telemetry.Trace.span_opt trace "compile" (fun () ->
+                Problem.prepare problem));
+        time_phase Telemetry.Phase.Filter_build (fun () ->
+            Telemetry.Trace.span_opt trace "filter_build" (fun () ->
+                Filter.build problem))
   in
   let stats =
-    Parallel.ecf_all_stats ~strategy:Parallel.Work_stealing ~domains:t.domains
-      ?timeout:request.Request.timeout ~filter ~registry:t.registry problem
+    time_phase Telemetry.Phase.Search (fun () ->
+        Telemetry.Trace.span_opt trace "descent" (fun () ->
+            Parallel.ecf_all_stats ~strategy:Parallel.Work_stealing
+              ~domains:t.domains ?timeout:request.Request.timeout ~filter
+              ~registry:t.registry ?trace problem))
   in
   let found = List.length stats.Parallel.mappings in
   let visited = Parallel.visited_total stats in
@@ -296,6 +425,7 @@ let submit_parallel t ~cached_filter ~(request : Request.t) problem =
       max_depth = Telemetry.Histogram.max_observed depth_hist;
       depth_histogram = depth_hist;
       domain_size_histogram = size_hist;
+      phases;
     }
   in
   {
@@ -312,14 +442,31 @@ let submit_parallel t ~cached_filter ~(request : Request.t) problem =
     filter = Some filter;
   }
 
-let submit t (request : Request.t) =
+let submit ?(trace = false) t (request : Request.t) =
   let t0 = Unix.gettimeofday () in
   Telemetry.Counter.incr t.requests;
   let id = t.next_id in
   t.next_id <- id + 1;
-  let finish outcome =
+  (* Every request gets a trace id (one atomic increment) so exemplars
+     and answers correlate even when span recording is off; the buffer
+     itself exists only for traced requests. *)
+  let trace_id = Telemetry.Trace.fresh_id () in
+  let tbuf = if trace then Some (Telemetry.Trace.create ~tid:0 ()) else None in
+  (* Service-side phase cells (parse / admission / cache_lookup /
+     ledger_commit); the engine fills its own cells on the snapshot and
+     the two sets are folded together once a result exists. *)
+  let phases = Telemetry.Phase.make_timings () in
+  let time_phase ph f =
+    let s0 = Unix.gettimeofday () in
+    Fun.protect f ~finally:(fun () ->
+        let i = Telemetry.Phase.index ph in
+        phases.(i) <- phases.(i) +. (Unix.gettimeofday () -. s0))
+  in
+  let finish ~phases:ph outcome =
     let dt_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
     Telemetry.Histogram.observe t.latency_us dt_us;
+    Telemetry.Windowed.observe t.request_seconds.(Telemetry.Phase.count) dt_us;
+    record_phases t ph;
     (match outcome with
     | Error _ -> Telemetry.Counter.incr t.request_errors
     | Ok _ -> ());
@@ -330,17 +477,22 @@ let submit t (request : Request.t) =
     log_entry t
       {
         id;
+        trace_id;
         summary =
           Printf.sprintf "%s — %s" (request_summary request verdict elapsed) message;
         verdict;
         elapsed;
+        phases;
+        slow_search = false;
         certificate;
       }
   in
-  match Request.parse_constraints request with
+  match
+    time_phase Telemetry.Phase.Parse (fun () -> Request.parse_constraints request)
+  with
   | Error m ->
       log_failure "error" m;
-      finish (Error m)
+      finish ~phases (Error m)
   | Ok (edge_constraint, node_constraint) -> (
       let node_constraint =
         match node_constraint with
@@ -350,18 +502,25 @@ let submit t (request : Request.t) =
       (* Admission control: a query whose aggregate demand exceeds the
          total residual capacity cannot commit under any mapping —
          reject it before paying for a search. *)
-      match Ledger.admissible (Model.ledger t.model) ~query:request.Request.query with
+      match
+        time_phase Telemetry.Phase.Admission (fun () ->
+            Ledger.admissible (Model.ledger t.model) ~query:request.Request.query)
+      with
       | Error f ->
           Telemetry.Counter.incr t.admission_rejected;
           count_unsat t "admission";
           log_failure ~certificate:(admission_certificate t f) "admission"
             (Ledger.failure_to_string f);
-          finish (Error ("admission: " ^ Ledger.failure_to_string f))
+          finish ~phases (Error ("admission: " ^ Ledger.failure_to_string f))
       | Ok () -> (
           (* Embed against residual capacities: co-located tenants have
              already eaten into what constraints like
-             rSource.cpuMhz >= vSource.cpuMhz can see. *)
-          let host = Model.residual_snapshot t.model in
+             rSource.cpuMhz >= vSource.cpuMhz can see.  The snapshot is
+             ledger-side work, so it lands on the ledger_commit cell. *)
+          let host =
+            time_phase Telemetry.Phase.Ledger_commit (fun () ->
+                Model.residual_snapshot t.model)
+          in
           let revision = Model.revision t.model in
           (* Cross-request filter cache: ECF/RWB requests key their
              filter matrix on (model revision, query signature) and
@@ -374,26 +533,31 @@ let submit t (request : Request.t) =
              attribution) and the built filter + programs are stored
              afterwards; LNS filters lazily and bypasses the cache. *)
           let cache_key =
-            match request.Request.algorithm with
-            | Engine.LNS -> None
-            | Engine.ECF | Engine.RWB ->
-                Filter_cache.invalidate t.filter_cache ~current_revision:revision;
-                Some
-                  (Filter_cache.signature ~query:request.Request.query
-                     ~constraint_text:request.Request.constraint_text
-                     ~node_constraint_text:request.Request.node_constraint_text)
+            time_phase Telemetry.Phase.Cache_lookup (fun () ->
+                match request.Request.algorithm with
+                | Engine.LNS -> None
+                | Engine.ECF | Engine.RWB ->
+                    Filter_cache.invalidate t.filter_cache
+                      ~current_revision:revision;
+                    Some
+                      (Filter_cache.signature ~query:request.Request.query
+                         ~constraint_text:request.Request.constraint_text
+                         ~node_constraint_text:request.Request.node_constraint_text))
           in
           let cache_hit =
-            match cache_key with
-            | None -> None
-            | Some key -> (
-                match Filter_cache.find t.filter_cache ~revision ~signature:key with
-                | Some hit ->
-                    Telemetry.Counter.incr t.cache_hits;
-                    Some hit
-                | None ->
-                    Telemetry.Counter.incr t.cache_misses;
-                    None)
+            time_phase Telemetry.Phase.Cache_lookup (fun () ->
+                match cache_key with
+                | None -> None
+                | Some key -> (
+                    match
+                      Filter_cache.find t.filter_cache ~revision ~signature:key
+                    with
+                    | Some hit ->
+                        Telemetry.Counter.incr t.cache_hits;
+                        Some hit
+                    | None ->
+                        Telemetry.Counter.incr t.cache_misses;
+                        None))
           in
           let cached_filter = Option.map fst cache_hit in
           let compiled = Option.map snd cache_hit in
@@ -403,7 +567,7 @@ let submit t (request : Request.t) =
           with
           | exception Invalid_argument m ->
               log_failure "error" m;
-              finish (Error m)
+              finish ~phases (Error m)
           | problem ->
               let options =
                 {
@@ -423,16 +587,17 @@ let submit t (request : Request.t) =
                       t.domains > 1
                       && request.Request.algorithm = Engine.ECF
                       && request.Request.mode = Engine.All
-                    then submit_parallel t ~cached_filter ~request problem
+                    then submit_parallel t ?trace:tbuf ~cached_filter ~request problem
                     else
-                      Engine.run ~options ?filter:cached_filter
+                      Engine.run ~options ?filter:cached_filter ?trace:tbuf
                         request.Request.algorithm problem)
               in
-              (match (cache_key, result.Engine.filter) with
-              | Some key, Some f ->
-                  Filter_cache.add t.filter_cache ~revision ~signature:key
-                    ~compiled:(Problem.compiled_programs problem) f
-              | _ -> ());
+              time_phase Telemetry.Phase.Ledger_commit (fun () ->
+                  match (cache_key, result.Engine.filter) with
+                  | Some key, Some f ->
+                      Filter_cache.add t.filter_cache ~revision ~signature:key
+                        ~compiled:(Problem.compiled_programs problem) f
+                  | _ -> ());
               Log.debug (fun m ->
                   m "query %d nodes via %s: %d mapping(s), %s"
                     (Netembed_graph.Graph.node_count request.Request.query)
@@ -440,7 +605,31 @@ let submit t (request : Request.t) =
                     (List.length result.Engine.mappings)
                     (Engine.outcome_name result.Engine.outcome));
               let verdict = Engine.verdict result in
+              (* Fold the service-side cells into the snapshot's array:
+                 from here on [result.telemetry.phases] is the
+                 request's full decomposition (the wire header, the
+                 exemplar entry and the windowed series all read it). *)
+              let rp = result.Engine.telemetry.Telemetry.phases in
+              Array.iteri (fun i v -> if v > 0.0 then rp.(i) <- rp.(i) +. v) phases;
               let slow = result.Engine.elapsed >= t.slow_threshold in
+              (* A cache-warm request can be fast on the wall clock yet
+                 spend nearly everything in the search; flag it when the
+                 search share crosses the threshold, with a floor at a
+                 tenth of [slow_threshold] so microsecond-scale requests
+                 don't flood the ring. *)
+              let slow_search =
+                result.Engine.elapsed >= 0.1 *. t.slow_threshold
+                && rp.(Telemetry.Phase.index Telemetry.Phase.Search)
+                   >= t.slow_search_share *. result.Engine.elapsed
+              in
+              (match tbuf with
+              | Some b ->
+                  (* The enclosing request span (tid 0) — recorded last,
+                     covering parse through bookkeeping, so every other
+                     span nests under it. *)
+                  Telemetry.Trace.add b ~name:"request" ~start_us:(t0 *. 1e6)
+                    ~dur_us:((Unix.gettimeofday () -. t0) *. 1e6)
+              | None -> ());
               (match verdict with
               | "unsat" ->
                   let cause =
@@ -454,22 +643,27 @@ let submit t (request : Request.t) =
                   count_unsat t cause
               | "exhausted" -> count_unsat t "budget"
               | _ -> ());
-              (match result.Engine.report with
-              | Some cert when verdict <> "complete" || slow ->
-                  count_blame t cert;
-                  log_entry t
-                    {
-                      id;
-                      summary =
-                        request_summary request verdict result.Engine.elapsed;
-                      verdict;
-                      elapsed = result.Engine.elapsed;
-                      certificate = Some cert;
-                    }
-              | Some _ | None -> ());
+              (if verdict <> "complete" || slow || slow_search then begin
+                 (match result.Engine.report with
+                 | Some cert -> count_blame t cert
+                 | None -> ());
+                 log_entry t
+                   {
+                     id;
+                     trace_id;
+                     summary =
+                       request_summary request verdict result.Engine.elapsed;
+                     verdict;
+                     elapsed = result.Engine.elapsed;
+                     phases = rp;
+                     slow_search;
+                     certificate = result.Engine.report;
+                   }
+               end);
               let revision = Model.revision t.model in
               Telemetry.Gauge.set t.model_revision (float_of_int revision);
-              finish (Ok { id; request; result; model_revision = revision })))
+              finish ~phases:rp
+                (Ok { id; trace_id; request; result; model_revision = revision; trace = tbuf })))
 
 let submit_with_relaxation t request ~steps ~factor =
   let rec go request round =
@@ -487,6 +681,13 @@ let submit_with_relaxation t request ~steps ~factor =
 
 let stale_answer_error = "model changed since the answer was computed; re-submit the query"
 
+(* Commit/release work arriving as separate wire requests still lands
+   on the ledger_commit latency series. *)
+let timed_ledger_commit t f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect f ~finally:(fun () ->
+      record_phase t Telemetry.Phase.Ledger_commit (Unix.gettimeofday () -. t0))
+
 let allocate t answer mapping =
   if Model.revision t.model <> answer.model_revision then begin
     Telemetry.Counter.incr t.allocations_rejected;
@@ -494,7 +695,7 @@ let allocate t answer mapping =
   end
   else begin
     let hosts = List.map snd (Mapping.to_list mapping) in
-    match Model.reserve t.model hosts with
+    match timed_ledger_commit t (fun () -> Model.reserve t.model hosts) with
     | () ->
         Telemetry.Counter.incr t.allocations_accepted;
         refresh_utilization t;
@@ -510,7 +711,10 @@ let allocate_shared t answer mapping =
     Error stale_answer_error
   end
   else
-    match Model.charge_mapping t.model ~query:answer.request.Request.query mapping with
+    match
+      timed_ledger_commit t (fun () ->
+          Model.charge_mapping t.model ~query:answer.request.Request.query mapping)
+    with
     | Ok id ->
         Telemetry.Counter.incr t.allocations_accepted;
         refresh_utilization t;
@@ -520,7 +724,7 @@ let allocate_shared t answer mapping =
         Error m
 
 let free t id =
-  let ok = Model.release_charge t.model id in
+  let ok = timed_ledger_commit t (fun () -> Model.release_charge t.model id) in
   if ok then refresh_utilization t;
   ok
 

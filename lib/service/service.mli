@@ -14,20 +14,29 @@ type t
 
 type entry = {
   id : int;  (** the request id echoed in wire answers *)
+  trace_id : int;  (** trace id allocated at submit (0 = untraceable parse error) *)
   summary : string;  (** one-line description for log listings *)
   verdict : string;
       (** ["unsat"], ["exhausted"], ["partial"], ["admission"],
           ["error"] or ["complete"] (slow-but-successful) *)
   elapsed : float;  (** seconds *)
+  phases : float array;
+      (** per-phase seconds, indexed by
+          {!Netembed_telemetry.Telemetry.Phase.index} — the exemplar
+          breakdown EXPLAIN and TOP print *)
+  slow_search : bool;
+      (** the search phase alone exceeded the configured share of the
+          request's wall-clock time (see [slow_search_share]) *)
   certificate : Netembed_explain.Explain.Certificate.t option;
-      (** [None] only for parse/shape errors, where there is nothing to
-          blame *)
+      (** [None] for parse/shape errors and parallel-path requests,
+          where there is no per-run blame instrumentation *)
 }
 (** One diagnosable request retained in the slow/failed-query log. *)
 
 val create :
   ?registry:Netembed_telemetry.Telemetry.Registry.t ->
   ?slow_threshold:float ->
+  ?slow_search_share:float ->
   ?domains:int ->
   ?filter_cache_capacity:int ->
   Model.t ->
@@ -64,8 +73,17 @@ val create :
     revision, query signature) was seen before skip the filter build
     — the dominant sequential phase — and bump the hit counter.
 
+    The service also registers the request-latency decomposition: one
+    [netembed_request_seconds{phase,window="60s"}] windowed summary per
+    phase (plus [phase="total"]) covering a sliding 60-second window,
+    and lifetime [netembed_phase_seconds_total{phase}] gauges.
+
     Successful requests slower than [slow_threshold] seconds (default
-    0.5) are kept in the diagnostics log alongside the failures. *)
+    0.5) are kept in the diagnostics log alongside the failures, as are
+    requests whose search phase alone takes at least
+    [slow_search_share] (default 0.9) of the request's wall-clock time
+    while the request is non-trivially slow — catching search-dominated
+    requests that stay under the absolute threshold. *)
 
 val filter_cache : t -> Filter_cache.t
 (** The service's cross-request filter cache (introspection for tests
@@ -86,12 +104,20 @@ val utilization :
 
 type answer = {
   id : int;  (** request id — the handle for {!explain} / [EXPLAIN] *)
+  trace_id : int;  (** the request's trace id (spans attribute to it) *)
   request : Request.t;
   result : Netembed_core.Engine.result;
+      (** [result.telemetry.phases] carries the full per-request phase
+          decomposition (parse .. encode), folded together from the
+          service and engine timers *)
   model_revision : int;  (** model revision the answer was computed against *)
+  trace : Netembed_telemetry.Telemetry.Trace.buffer option;
+      (** the request's span buffer when submitted with [~trace:true]
+          ([None] otherwise) — feed to
+          {!Netembed_telemetry.Telemetry.Trace.to_chrome_json} *)
 }
 
-val submit : t -> Request.t -> (answer, string) result
+val submit : ?trace:bool -> t -> Request.t -> (answer, string) result
 (** Run the request against the current {e residual} model snapshot
     ({!Model.residual_snapshot}).  [Error] is returned for malformed
     constraint expressions, an impossible query (larger than the
@@ -105,7 +131,19 @@ val submit : t -> Request.t -> (answer, string) result
     complete answer (and admission rejections, parse errors and slow
     successes) are retained in a bounded ring for later {!explain}
     lookup; ["unsat"] and ["exhausted"] verdicts and admission
-    rejections bump [netembed_unsat_total{cause}]. *)
+    rejections bump [netembed_unsat_total{cause}].
+
+    Every request is decomposed into phases (parse, admission,
+    filter-cache lookup, filter build, compile, search, ledger commit)
+    fed to the windowed [netembed_request_seconds] summaries; with
+    [trace] (default false) the request additionally records
+    request-scoped spans — including per-frame spans from parallel
+    worker domains — into [answer.trace] for Chrome trace export. *)
+
+val record_phase : t -> Netembed_telemetry.Telemetry.Phase.t -> float -> unit
+(** Feed [seconds] into a phase's windowed summary and lifetime total —
+    the hook the wire server uses to stamp the [encode] phase, which
+    only exists after [submit] returns. *)
 
 val explain : t -> int -> entry option
 (** Look up a retained diagnostic entry by request id ([None] when the
@@ -113,6 +151,30 @@ val explain : t -> int -> entry option
 
 val last_entry : t -> entry option
 (** The most recently logged diagnostic entry. *)
+
+type phase_stat = {
+  phase : Netembed_telemetry.Telemetry.Phase.t;
+  total_s : float;  (** lifetime seconds accumulated in this phase *)
+  window_count : int;  (** requests that exercised it inside the window *)
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+}
+(** One row of the {!top} report: a phase's lifetime total and its
+    sliding-window latency quantiles (only over requests that actually
+    exercised the phase). *)
+
+type top = {
+  busiest : phase_stat list;  (** every phase, busiest (by [total_s]) first *)
+  worst : entry list;  (** retained ring entries, slowest first *)
+  window_s : float;  (** the quantiles' window length, seconds *)
+}
+
+val top : ?worst:int -> t -> top
+(** The slow-request triage report behind the [TOP] wire verb and
+    [netembed_cli top]: where wall-clock time goes by phase, and the
+    [worst] (default 5) slowest retained requests with their per-phase
+    breakdowns. *)
 
 val submit_with_relaxation :
   t -> Request.t -> steps:int -> factor:float -> (answer * int, string) result

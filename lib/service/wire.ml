@@ -1,5 +1,6 @@
 module Engine = Netembed_core.Engine
 module Mapping = Netembed_core.Mapping
+module Telemetry = Netembed_telemetry.Telemetry
 
 let mode_to_string = function
   | Engine.First -> "first"
@@ -129,6 +130,7 @@ type command =
   | Free of int
   | Utilization
   | Explain of int
+  | Top
 
 let decode_command text =
   match frame_lines text with
@@ -150,7 +152,9 @@ let decode_command text =
           | Some id when id > 0 -> Ok (Explain id)
           | Some _ | None -> Error (Printf.sprintf "bad request id %S" id))
       | [ "EXPLAIN" ] -> Error "EXPLAIN requires a request id"
-      | _ -> Error "request must start with EMBED, ALLOC, FREE, UTIL or EXPLAIN")
+      | [ "TOP" ] -> Ok Top
+      | _ ->
+          Error "request must start with EMBED, ALLOC, FREE, UTIL, EXPLAIN or TOP")
 
 let encode_command = function
   | Submit r -> encode_embed "EMBED" r
@@ -158,17 +162,55 @@ let encode_command = function
   | Free id -> Printf.sprintf "FREE %d\n.\n" id
   | Utilization -> "UTIL\n.\n"
   | Explain id -> Printf.sprintf "EXPLAIN %d\n.\n" id
+  | Top -> "TOP\n.\n"
+
+(* Per-phase milliseconds as one space-free header token:
+   [parse:0.012,search:48.921] — zero cells are omitted. *)
+let phases_token phases =
+  let parts = ref [] in
+  Array.iteri
+    (fun i v ->
+      if i < Telemetry.Phase.count && v > 0.0 then
+        parts :=
+          Printf.sprintf "%s:%.3f"
+            (Telemetry.Phase.name (Telemetry.Phase.of_index i))
+            (v *. 1000.0)
+          :: !parts)
+    phases;
+  String.concat "," (List.rev !parts)
+
+let phases_of_token v =
+  if v = "" then Ok []
+  else
+    String.split_on_char ',' v
+    |> List.fold_left
+         (fun acc part ->
+           let* acc = acc in
+           match String.index_opt part ':' with
+           | None -> Error (Printf.sprintf "bad phase token %S" part)
+           | Some i -> (
+               let name = String.sub part 0 i in
+               let ms = String.sub part (i + 1) (String.length part - i - 1) in
+               match float_of_string_opt ms with
+               | Some f -> Ok ((name, f) :: acc)
+               | None -> Error (Printf.sprintf "bad phase token %S" part)))
+         (Ok [])
+    |> Result.map List.rev
 
 let encode_answer ?allocation (a : Service.answer) =
   let buf = Buffer.create 256 in
   let r = a.Service.result in
   Buffer.add_string buf
-    (Printf.sprintf "OK id=%d outcome=%s verdict=%s count=%d elapsed=%.3f%s\n"
-       a.Service.id
+    (Printf.sprintf
+       "OK id=%d trace=%d outcome=%s verdict=%s count=%d elapsed=%.3f%s%s\n"
+       a.Service.id a.Service.trace_id
        (Engine.outcome_name r.Engine.outcome)
        (Engine.verdict r)
        (List.length r.Engine.mappings)
        (r.Engine.elapsed *. 1000.0)
+       (match phases_token r.Engine.telemetry.Telemetry.phases with
+       | "" -> ""
+       | tok -> Printf.sprintf " phases=%s" tok)
        (match allocation with
        | None -> ""
        | Some id -> Printf.sprintf " allocation=%d" id));
@@ -193,10 +235,14 @@ module Explanation = Netembed_explain.Explain
 let encode_explanation (e : Service.entry) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf "OK explain=%d verdict=%s elapsed=%.3f\n" e.Service.id
-       e.Service.verdict
-       (e.Service.elapsed *. 1000.0));
+    (Printf.sprintf "OK explain=%d trace=%d verdict=%s elapsed=%.3f%s\n"
+       e.Service.id e.Service.trace_id e.Service.verdict
+       (e.Service.elapsed *. 1000.0)
+       (if e.Service.slow_search then " slow_search=true" else ""));
   Buffer.add_string buf (Printf.sprintf "SUMMARY %s\n" e.Service.summary);
+  (match phases_token e.Service.phases with
+  | "" -> ()
+  | tok -> Buffer.add_string buf (Printf.sprintf "PHASES %s\n" tok));
   (match e.Service.certificate with
   | None -> ()
   | Some cert ->
@@ -215,6 +261,38 @@ let encode_explanation (e : Service.entry) =
   Buffer.contents buf
 let encode_freed id = Printf.sprintf "OK freed=%d\n.\n" id
 
+let encode_top (t : Service.top) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "OK phases=%d worst=%d window=%g\n"
+       (List.length t.Service.busiest)
+       (List.length t.Service.worst)
+       t.Service.window_s);
+  List.iter
+    (fun (s : Service.phase_stat) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "PHASE name=%s total=%.6f count=%d p50=%.3f p95=%.3f p99=%.3f\n"
+           (Telemetry.Phase.name s.Service.phase)
+           s.Service.total_s s.Service.window_count
+           (s.Service.p50_s *. 1000.0)
+           (s.Service.p95_s *. 1000.0)
+           (s.Service.p99_s *. 1000.0)))
+    t.Service.busiest;
+  List.iter
+    (fun (e : Service.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "SLOW id=%d trace=%d verdict=%s elapsed=%.3f%s%s\n"
+           e.Service.id e.Service.trace_id e.Service.verdict
+           (e.Service.elapsed *. 1000.0)
+           (if e.Service.slow_search then " slow_search=true" else "")
+           (match phases_token e.Service.phases with
+           | "" -> ""
+           | tok -> Printf.sprintf " phases=%s" tok)))
+    t.Service.worst;
+  Buffer.add_string buf ".\n";
+  Buffer.contents buf
+
 let kind_to_string = function `Node -> "node" | `Edge -> "edge"
 
 let encode_utilization rows =
@@ -231,9 +309,11 @@ let encode_utilization rows =
 
 type decoded_answer = {
   id : int option;
+  trace_id : int option;
   outcome : Engine.outcome;
   verdict : string option;
   elapsed_ms : float;
+  phases_ms : (string * float) list;
   mappings : (int * int) list list;
   allocation : int option;
 }
@@ -254,30 +334,52 @@ let decode_answer text =
       match String.split_on_char ' ' (String.trim header) with
       | "ERR" :: msg -> Error (String.concat " " msg)
       | "OK" :: params ->
-          let* id, outcome, verdict, elapsed, allocation =
+          let* id, trace_id, outcome, verdict, elapsed, phases, allocation =
             List.fold_left
               (fun acc token ->
-                let* id, outcome, verdict, elapsed, allocation = acc in
+                let* id, trace_id, outcome, verdict, elapsed, phases, allocation
+                    =
+                  acc
+                in
                 match split_kv token with
                 | "id", v -> (
                     match int_of_string_opt v with
-                    | Some i -> Ok (Some i, outcome, verdict, elapsed, allocation)
+                    | Some i ->
+                        Ok
+                          ( Some i,
+                            trace_id,
+                            outcome,
+                            verdict,
+                            elapsed,
+                            phases,
+                            allocation )
                     | None -> Error "bad request id")
+                | "trace", v -> (
+                    match int_of_string_opt v with
+                    | Some i ->
+                        Ok (id, Some i, outcome, verdict, elapsed, phases, allocation)
+                    | None -> Error "bad trace id")
                 | "outcome", v ->
                     let* o = outcome_of_string v in
-                    Ok (id, Some o, verdict, elapsed, allocation)
-                | "verdict", v -> Ok (id, outcome, Some v, elapsed, allocation)
+                    Ok (id, trace_id, Some o, verdict, elapsed, phases, allocation)
+                | "verdict", v ->
+                    Ok (id, trace_id, outcome, Some v, elapsed, phases, allocation)
                 | "elapsed", v -> (
                     match float_of_string_opt v with
-                    | Some f -> Ok (id, outcome, verdict, f, allocation)
+                    | Some f ->
+                        Ok (id, trace_id, outcome, verdict, f, phases, allocation)
                     | None -> Error "bad elapsed")
+                | "phases", v ->
+                    let* p = phases_of_token v in
+                    Ok (id, trace_id, outcome, verdict, elapsed, p, allocation)
                 | "allocation", v -> (
                     match int_of_string_opt v with
-                    | Some a -> Ok (id, outcome, verdict, elapsed, Some a)
+                    | Some a ->
+                        Ok (id, trace_id, outcome, verdict, elapsed, phases, Some a)
                     | None -> Error "bad allocation id")
                 | "count", _ -> acc
                 | k, _ -> Error (Printf.sprintf "unknown parameter %S" k))
-              (Ok (None, None, None, 0.0, None))
+              (Ok (None, None, None, None, 0.0, [], None))
               params
           in
           let* outcome =
@@ -300,7 +402,17 @@ let decode_answer text =
                 else None)
               rest
           in
-          Ok { id; outcome; verdict; elapsed_ms = elapsed; mappings; allocation }
+          Ok
+            {
+              id;
+              trace_id;
+              outcome;
+              verdict;
+              elapsed_ms = elapsed;
+              phases_ms = phases;
+              mappings;
+              allocation;
+            }
       | _ -> Error "answer must start with OK or ERR")
 
 type utilization_row = {

@@ -26,25 +26,44 @@
 
     EXPLAIN <request-id>
     .
+
+    TOP
+    .
     v}
 
     Response frames:
     {v
-    OK id=<request-id> outcome=<complete|partial|inconclusive>
+    OK id=<request-id> trace=<trace-id>
+       outcome=<complete|partial|inconclusive>
        verdict=<complete|unsat|partial|exhausted> count=<n> elapsed=<ms>
-       [allocation=<id>]                                   (one line)
+       [phases=<phase>:<ms>,...] [allocation=<id>]         (one line)
     MAPPING q0->r17 q1->r4 ...       (one line per mapping)
     .
     v}
-    [FREE] answers [OK freed=<id>]; [UTIL] answers one
+    The [phases=] token is the request's phase-latency decomposition
+    (zero phases omitted; names from
+    {!Netembed_telemetry.Telemetry.Phase.name}).  [FREE] answers
+    [OK freed=<id>]; [UTIL] answers one
     [UTIL resource=<name> kind=<node|edge> used=<x> capacity=<y>] line
     per tracked resource.  [EXPLAIN] answers the retained failure
     certificate of the identified request:
     {v
-    OK explain=<request-id> verdict=<v> elapsed=<ms>
+    OK explain=<request-id> trace=<trace-id> verdict=<v> elapsed=<ms>
+       [slow_search=true]
     SUMMARY <one line>
+    PHASES <phase>:<ms>,...                  (when recorded)
     TEXT <human-readable certificate line>   (repeated)
     JSON <single-line certificate json>
+    .
+    v}
+    [TOP] answers the slow-request triage report ({!Service.top}):
+    {v
+    OK phases=<n> worst=<n> window=<seconds>
+    PHASE name=<phase> total=<lifetime-s> count=<in-window>
+          p50=<ms> p95=<ms> p99=<ms>        (one line per phase,
+                                             busiest first)
+    SLOW id=<request-id> trace=<trace-id> verdict=<v> elapsed=<ms>
+         [slow_search=true] [phases=...]    (slowest retained first)
     .
     v}
     Errors are [ERR [id=<request-id>] <message>] followed by [.] — the
@@ -69,6 +88,9 @@ type command =
   | Explain of int
       (** [EXPLAIN <request-id>]: fetch the retained failure certificate
           of an earlier request *)
+  | Top
+      (** [TOP]: the phase-latency triage report — busiest phases with
+          sliding-window quantiles, plus the slowest retained requests *)
 
 val decode_command : string -> (command, string) result
 val encode_command : command -> string
@@ -88,17 +110,27 @@ val encode_explanation : Service.entry -> string
 val encode_freed : int -> string
 (** The [FREE] success response, [OK freed=<id>]. *)
 
+val encode_top : Service.top -> string
+(** The [TOP] response: one [PHASE] line per phase (busiest first, with
+    window quantiles in ms) and one [SLOW] line per retained slow
+    request. *)
+
 val encode_utilization :
   (string * [ `Node | `Edge ] * float * float) list -> string
 (** The [UTIL] response from {!Service.utilization} rows. *)
 
 type decoded_answer = {
   id : int option;  (** request id ([None] from a pre-id server) *)
+  trace_id : int option;
+      (** the request's trace id ([None] from a pre-tracing server) *)
   outcome : Netembed_core.Engine.outcome;
   verdict : string option;
       (** the four-way verdict ({!Netembed_core.Engine.verdict});
           [None] from a pre-verdict server *)
   elapsed_ms : float;
+  phases_ms : (string * float) list;
+      (** per-phase milliseconds from the [phases=] header token, in
+          phase order (empty from a pre-tracing server) *)
   mappings : (int * int) list list;  (** association lists per mapping *)
   allocation : int option;
       (** allocation id from an [ALLOC] response; [None] for [EMBED] *)

@@ -24,7 +24,16 @@ module Gauge = struct
   let make () = { g = 0.0 }
   let set t v = t.g <- v
   let value t = t.g
+
+  (* Last write wins, like [set]: at a parallel join the source (a
+     worker domain's registry) holds the most recent reading. *)
+  let merge_into ~dst src = dst.g <- src.g
 end
+
+(* The quantile set every exposition reports — one constant shared by
+   the lifetime histogram JSON and the windowed summaries so the two
+   cannot drift.  Each entry is (quantile, JSON key). *)
+let report_quantiles = [| (0.50, "p50"); (0.95, "p95"); (0.99, "p99") |]
 
 module Histogram = struct
   (* Global bucket layout: inclusive upper bounds growing by
@@ -254,11 +263,228 @@ module Span = struct
     Fun.protect ~finally:exit f
 end
 
+module Phase = struct
+  (* The fixed decomposition of one mapping request.  Indices are the
+     layout of [snapshot.phases] and of the service's per-phase
+     accumulators, so the order here is load-bearing. *)
+  type t =
+    | Parse
+    | Admission
+    | Cache_lookup
+    | Filter_build
+    | Compile
+    | Search
+    | Ledger_commit
+    | Encode
+
+  let all =
+    [| Parse; Admission; Cache_lookup; Filter_build; Compile; Search; Ledger_commit; Encode |]
+
+  let count = Array.length all
+
+  let index = function
+    | Parse -> 0
+    | Admission -> 1
+    | Cache_lookup -> 2
+    | Filter_build -> 3
+    | Compile -> 4
+    | Search -> 5
+    | Ledger_commit -> 6
+    | Encode -> 7
+
+  let name = function
+    | Parse -> "parse"
+    | Admission -> "admission"
+    | Cache_lookup -> "cache_lookup"
+    | Filter_build -> "filter_build"
+    | Compile -> "compile"
+    | Search -> "search"
+    | Ledger_commit -> "ledger_commit"
+    | Encode -> "encode"
+
+  let of_index i =
+    if i < 0 || i >= count then invalid_arg "Telemetry.Phase.of_index";
+    all.(i)
+
+  let make_timings () = Array.make count 0.0
+end
+
+module Trace = struct
+  (* Request-scoped tracing.  Unlike [Span] (one process-global JSONL
+     stream), a trace buffer belongs to one request: the service
+     allocates it at submit, the engine and every parallel worker
+     append complete spans, and the merged buffer serializes to Chrome
+     trace_event JSON.  Buffers are single-writer; workers record into
+     their own buffer (tid = worker index) and the owner merges at
+     join, so no synchronization is needed. *)
+
+  (* Trace ids are process-global and handed out with one atomic
+     fetch-and-add so concurrent dispatchers can stamp requests without
+     coordination.  Id 0 is reserved for "not traced". *)
+  let next_id = Atomic.make 1
+  let fresh_id () = Atomic.fetch_and_add next_id 1
+
+  type event = { name : string; tid : int; start_us : float; dur_us : float }
+
+  type buffer = {
+    mutable events : event array;
+    mutable len : int;
+    default_tid : int;
+  }
+
+  let dummy_event = { name = ""; tid = 0; start_us = 0.0; dur_us = 0.0 }
+
+  let create ?(tid = 0) () =
+    { events = Array.make 64 dummy_event; len = 0; default_tid = tid }
+
+  let length b = b.len
+
+  (* Absolute microseconds, identical across domains, so spans recorded
+     on different workers line up on one timeline. *)
+  let now_us () = Unix.gettimeofday () *. 1e6
+
+  let add ?tid b ~name ~start_us ~dur_us =
+    let tid = match tid with Some t -> t | None -> b.default_tid in
+    if b.len = Array.length b.events then begin
+      let bigger = Array.make (2 * b.len) dummy_event in
+      Array.blit b.events 0 bigger 0 b.len;
+      b.events <- bigger
+    end;
+    b.events.(b.len) <- { name; tid; start_us; dur_us };
+    b.len <- b.len + 1
+
+  let span b name f =
+    let t0 = now_us () in
+    Fun.protect f ~finally:(fun () ->
+        add b ~name ~start_us:t0 ~dur_us:(now_us () -. t0))
+
+  let span_opt b name f =
+    match b with None -> f () | Some b -> span b name f
+
+  let merge_into ~dst src =
+    for i = 0 to src.len - 1 do
+      let e = src.events.(i) in
+      add dst ~tid:e.tid ~name:e.name ~start_us:e.start_us ~dur_us:e.dur_us
+    done
+
+  let iter f b =
+    for i = 0 to b.len - 1 do
+      let e = b.events.(i) in
+      f ~name:e.name ~tid:e.tid ~start_us:e.start_us ~dur_us:e.dur_us
+    done
+
+  let to_chrome_json ?(trace_id = 0) b =
+    (* Complete ("ph":"X") events; [ts] is shifted to the earliest
+       event so viewers aren't handed epoch-sized timestamps.  Nesting
+       falls out of ts/dur containment per (pid, tid). *)
+    let t0 = ref infinity in
+    for i = 0 to b.len - 1 do
+      if b.events.(i).start_us < !t0 then t0 := b.events.(i).start_us
+    done;
+    let t0 = if b.len = 0 then 0.0 else !t0 in
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "{\"traceEvents\":[";
+    for i = 0 to b.len - 1 do
+      let e = b.events.(i) in
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"netembed\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":%d,\"tid\":%d,\"args\":{\"trace_id\":%d}}"
+           (Span.escape e.name)
+           (e.start_us -. t0)
+           e.dur_us trace_id e.tid trace_id)
+    done;
+    Buffer.add_string buf "]}";
+    Buffer.contents buf
+end
+
+module Windowed = struct
+  (* A sliding-window histogram: a ring of [Histogram.t] slices, each
+     covering [window / slices] seconds of a coarse clock.  Observation
+     lands in the slice for the current absolute slice number; slices
+     whose stamp has fallen out of the window are cleared lazily on the
+     next touch, so rotation costs nothing when idle.  Reads merge the
+     live slices into a scratch histogram. *)
+
+  type t = {
+    slices : Histogram.t array;
+    stamps : int array;  (* absolute slice number per slot; -1 = never used *)
+    slice_span : float;
+    window_s : float;
+    clock : unit -> float;
+    scale : float;  (* multiplier applied to values at render time *)
+    merged_scratch : Histogram.t;
+  }
+
+  let create ?(clock = Unix.gettimeofday) ?(scale = 1.0) ~window ~slices () =
+    if slices < 1 then invalid_arg "Telemetry.Windowed.create: slices < 1";
+    if window <= 0.0 then invalid_arg "Telemetry.Windowed.create: window <= 0";
+    {
+      slices = Array.init slices (fun _ -> Histogram.make ());
+      stamps = Array.make slices (-1);
+      slice_span = window /. float_of_int slices;
+      window_s = window;
+      clock;
+      scale;
+      merged_scratch = Histogram.make ();
+    }
+
+  let slice_count t = Array.length t.slices
+  let window t = t.window_s
+  let scale t = t.scale
+  let clock t = t.clock
+
+  let abs_slice t = int_of_float (t.clock () /. t.slice_span)
+
+  (* The histogram slot for absolute slice [s], recycled (reset and
+     restamped) if it still holds an expired slice. *)
+  let slot t s =
+    let i = s mod Array.length t.slices in
+    if t.stamps.(i) <> s then begin
+      Histogram.reset t.slices.(i);
+      t.stamps.(i) <- s
+    end;
+    t.slices.(i)
+
+  let observe t v = Histogram.observe (slot t (abs_slice t)) v
+
+  (* Merge every slice still inside the window into the scratch
+     histogram.  The result is valid until the next [merged] call on
+     the same value. *)
+  let merged t =
+    let now = abs_slice t in
+    let n = Array.length t.slices in
+    Histogram.reset t.merged_scratch;
+    for i = 0 to n - 1 do
+      let s = t.stamps.(i) in
+      if s >= 0 && now - s < n then
+        Histogram.merge_into ~dst:t.merged_scratch t.slices.(i)
+    done;
+    t.merged_scratch
+
+  let count t = Histogram.count (merged t)
+  let quantile t q = Histogram.quantile (merged t) q *. t.scale
+
+  let merge_into ~dst src =
+    if
+      Array.length dst.slices <> Array.length src.slices
+      || dst.slice_span <> src.slice_span
+    then invalid_arg "Telemetry.Windowed.merge_into: mismatched window geometry";
+    let now = abs_slice src in
+    let n = Array.length src.slices in
+    for i = 0 to n - 1 do
+      let s = src.stamps.(i) in
+      if s >= 0 && now - s < n then
+        Histogram.merge_into ~dst:(slot dst s) src.slices.(i)
+    done
+end
+
 module Registry = struct
   type metric =
     | Counter of Counter.t
     | Gauge of Gauge.t
     | Histogram of Histogram.t
+    | Windowed of Windowed.t
 
   type entry = { name : string; labels : (string * string) list; help : string; metric : metric }
 
@@ -332,6 +558,15 @@ module Registry = struct
         | Histogram h -> h
         | _ -> invalid_arg ("Telemetry.Registry: " ^ name ^ " is not a histogram"))
 
+  let windowed t ?help ?labels ?clock ?scale ~window ~slices name =
+    register t ?help ?labels name
+      (fun () -> Windowed (Windowed.create ?clock ?scale ~window ~slices ()))
+      (function
+        | Windowed w -> w
+        | _ ->
+            invalid_arg
+              ("Telemetry.Registry: " ^ name ^ " is not a windowed histogram"))
+
   let entries t =
     List.rev_map (fun k -> Hashtbl.find t.by_key k) t.order
 
@@ -343,11 +578,20 @@ module Registry = struct
             Counter.merge_into
               ~dst:(counter dst ~help:e.help ~labels:e.labels e.name)
               c
-        | Gauge g -> Gauge.set (gauge dst ~help:e.help ~labels:e.labels e.name) (Gauge.value g)
+        | Gauge g ->
+            Gauge.merge_into ~dst:(gauge dst ~help:e.help ~labels:e.labels e.name) g
         | Histogram h ->
             Histogram.merge_into
               ~dst:(histogram dst ~help:e.help ~labels:e.labels e.name)
-              h)
+              h
+        | Windowed w ->
+            Windowed.merge_into
+              ~dst:
+                (windowed dst ~help:e.help ~labels:e.labels
+                   ~clock:(Windowed.clock w) ~scale:(Windowed.scale w)
+                   ~window:(Windowed.window w)
+                   ~slices:(Windowed.slice_count w) e.name)
+              w)
       (entries src)
 
   (* Prometheus text format 0.0.4.  All samples of a metric family must
@@ -404,7 +648,29 @@ module Registry = struct
               (Printf.sprintf "%s_sum%s %d\n" e.name (render_labels e.labels) (Histogram.sum h));
             Buffer.add_string buf
               (Printf.sprintf "%s_count%s %d\n" e.name (render_labels e.labels)
-                 (Histogram.count h)))
+                 (Histogram.count h))
+        | Windowed w ->
+            (* A windowed histogram renders as a Prometheus summary:
+               pre-computed quantiles over the sliding window, values
+               scaled by the render multiplier (e.g. µs -> s). *)
+            header e "summary";
+            let m = Windowed.merged w in
+            let sc = Windowed.scale w in
+            Array.iter
+              (fun (q, _) ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s%s %.9g\n" e.name
+                     (render_labels
+                        (List.sort compare
+                           (("quantile", Printf.sprintf "%g" q) :: e.labels)))
+                     (Histogram.quantile m q *. sc)))
+              report_quantiles;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_sum%s %.9g\n" e.name (render_labels e.labels)
+                 (float_of_int (Histogram.sum m) *. sc));
+            Buffer.add_string buf
+              (Printf.sprintf "%s_count%s %d\n" e.name (render_labels e.labels)
+                 (Histogram.count m)))
       grouped;
     Buffer.contents buf
 
@@ -419,11 +685,34 @@ module Registry = struct
              :: acc)
            h [])
     in
-    Printf.sprintf
-      "{\"count\":%d,\"sum\":%d,\"max\":%d,\"p50\":%.0f,\"p90\":%.0f,\"p99\":%.0f,\"buckets\":[%s]}"
+    let quantiles =
+      String.concat ","
+        (Array.to_list
+           (Array.map
+              (fun (q, key) ->
+                Printf.sprintf "\"%s\":%.0f" key (Histogram.quantile h q))
+              report_quantiles))
+    in
+    Printf.sprintf "{\"count\":%d,\"sum\":%d,\"max\":%d,%s,\"buckets\":[%s]}"
       (Histogram.count h) (Histogram.sum h) (Histogram.max_observed h)
-      (Histogram.quantile h 0.5) (Histogram.quantile h 0.9) (Histogram.quantile h 0.99)
+      quantiles
       (String.concat "," buckets)
+
+  let windowed_json w =
+    let m = Windowed.merged w in
+    let sc = Windowed.scale w in
+    let quantiles =
+      String.concat ","
+        (Array.to_list
+           (Array.map
+              (fun (q, key) ->
+                Printf.sprintf "\"%s\":%.9g" key (Histogram.quantile m q *. sc))
+              report_quantiles))
+    in
+    Printf.sprintf "{\"count\":%d,\"sum\":%.9g,%s,\"window_s\":%g}"
+      (Histogram.count m)
+      (float_of_int (Histogram.sum m) *. sc)
+      quantiles (Windowed.window w)
 
   let to_json t =
     let fields =
@@ -433,7 +722,8 @@ module Registry = struct
           match e.metric with
           | Counter c -> Printf.sprintf "\"%s\":%d" k (Counter.value c)
           | Gauge g -> Printf.sprintf "\"%s\":%.17g" k (Gauge.value g)
-          | Histogram h -> Printf.sprintf "\"%s\":%s" k (histogram_json h))
+          | Histogram h -> Printf.sprintf "\"%s\":%s" k (histogram_json h)
+          | Windowed w -> Printf.sprintf "\"%s\":%s" k (windowed_json w))
         (entries t)
     in
     "{" ^ String.concat "," fields ^ "}"
@@ -465,16 +755,32 @@ type snapshot = {
   max_depth : int;
   depth_histogram : Histogram.t;
   domain_size_histogram : Histogram.t;
+  phases : float array;
 }
+
+(* Render a [Phase.count]-length timings array as one JSON object,
+   phases in canonical order.  Tolerates shorter arrays (missing
+   phases read as absent, not 0) so partially-filled snapshots from
+   lower layers stay valid. *)
+let phases_to_json phases =
+  let fields = ref [] in
+  for i = Array.length phases - 1 downto 0 do
+    if i < Phase.count then
+      fields :=
+        Printf.sprintf "\"%s\":%.6f" (Phase.name (Phase.of_index i)) phases.(i)
+        :: !fields
+  done;
+  "{" ^ String.concat "," !fields ^ "}"
 
 let snapshot_to_json s =
   Printf.sprintf
-    "{\"algorithm\":\"%s\",\"outcome\":\"%s\",\"visited\":%d,\"found\":%d,\"elapsed_s\":%.6f,%s\"constraint_evals\":%d,\"domains_built\":%d,\"intersections\":%d,\"backtracks\":%d,\"max_depth\":%d,\"depth_histogram\":%s,\"domain_size_histogram\":%s}"
+    "{\"algorithm\":\"%s\",\"outcome\":\"%s\",\"visited\":%d,\"found\":%d,\"elapsed_s\":%.6f,%s\"constraint_evals\":%d,\"domains_built\":%d,\"intersections\":%d,\"backtracks\":%d,\"max_depth\":%d,\"phases\":%s,\"depth_histogram\":%s,\"domain_size_histogram\":%s}"
     s.algorithm s.outcome s.visited s.found s.elapsed_s
     (match s.time_to_first_s with
     | None -> ""
     | Some t -> Printf.sprintf "\"time_to_first_s\":%.6f," t)
     s.constraint_evals s.domains_built s.intersections s.backtracks s.max_depth
+    (phases_to_json s.phases)
     (Registry.histogram_json s.depth_histogram)
     (Registry.histogram_json s.domain_size_histogram)
 

@@ -52,7 +52,19 @@ module Gauge : sig
   val make : unit -> t
   val set : t -> float -> unit
   val value : t -> float
+
+  val merge_into : dst:t -> t -> unit
+  (** [merge_into ~dst src] overwrites [dst] with [src]'s value — last
+      write wins, like {!set}.  At a parallel join the source (a worker
+      domain's registry) holds the most recent reading, so worker
+      gauges are no longer dropped on merge. *)
 end
+
+val report_quantiles : (float * string) array
+(** The quantile set every exposition reports — (quantile, JSON key)
+    pairs, currently p50/p95/p99.  One constant shared by
+    {!Registry.to_json} histograms and the {!Windowed} summaries so
+    the two cannot drift. *)
 
 (** {1 Log-bucketed histograms}
 
@@ -159,6 +171,140 @@ module Span : sig
       [netembed_spans_dropped_total] in {!val-default_registry}. *)
 end
 
+(** {1 Request phases} *)
+
+module Phase : sig
+  (** The fixed decomposition of one mapping request, in pipeline
+      order.  {!index} is the layout of [snapshot.phases] and of the
+      service's per-phase latency series. *)
+  type t =
+    | Parse  (** constraint parsing ([Request.parse_constraints]) *)
+    | Admission  (** ledger admission check *)
+    | Cache_lookup  (** filter-cache invalidate + probe *)
+    | Filter_build  (** candidate-domain filter matrix build *)
+    | Compile  (** constraint specialization + bytecode compilation *)
+    | Search  (** the descent proper (sequential or work-stealing) *)
+    | Ledger_commit  (** allocation commit / release bookkeeping *)
+    | Encode  (** wire-frame encoding of the answer *)
+
+  val all : t array
+  val count : int
+  val index : t -> int
+  val name : t -> string
+  (** Lowercase snake-case label: ["parse"], ["filter_build"], ... *)
+
+  val of_index : int -> t
+  (** @raise Invalid_argument outside [0, count). *)
+
+  val make_timings : unit -> float array
+  (** A fresh all-zero array of {!count} seconds cells. *)
+end
+
+(** {1 Request-scoped trace buffers} *)
+
+module Trace : sig
+  (** Per-request tracing.  Unlike {!Span} (one process-global JSONL
+      stream), a trace buffer belongs to a single request: the service
+      allocates it at submit, the engine and every parallel worker
+      append complete spans, and the merged buffer serializes to
+      Chrome [trace_event] JSON (open it in [chrome://tracing] or
+      Perfetto).  Buffers are single-writer: each worker domain
+      records into its own buffer (tid = worker index) and the owner
+      merges at join. *)
+
+  val fresh_id : unit -> int
+  (** Allocate a process-globally unique trace id (one atomic
+      fetch-and-add; safe from any domain).  Id 0 is reserved for
+      "not traced". *)
+
+  type buffer
+
+  val create : ?tid:int -> unit -> buffer
+  (** A fresh buffer whose events default to thread-id [tid]
+      (default 0 — the dispatching domain). *)
+
+  val length : buffer -> int
+
+  val now_us : unit -> float
+  (** Absolute wall-clock microseconds — identical across domains, so
+      spans recorded on different workers line up on one timeline. *)
+
+  val add :
+    ?tid:int -> buffer -> name:string -> start_us:float -> dur_us:float -> unit
+  (** Append one complete span. *)
+
+  val span : buffer -> string -> (unit -> 'a) -> 'a
+  (** [span b name f] times [f] and appends the span, exceptions
+      included. *)
+
+  val span_opt : buffer option -> string -> (unit -> 'a) -> 'a
+  (** {!span} when a buffer is present, plain [f ()] otherwise — the
+      zero-cost gate instrumented code uses. *)
+
+  val merge_into : dst:buffer -> buffer -> unit
+  (** Append every event of the source, keeping its thread ids — the
+      join step for per-worker buffers. *)
+
+  val iter :
+    (name:string -> tid:int -> start_us:float -> dur_us:float -> unit) ->
+    buffer ->
+    unit
+
+  val to_chrome_json : ?trace_id:int -> buffer -> string
+  (** Chrome [trace_event] JSON (object format, ["traceEvents"] array
+      of ["ph":"X"] complete events).  [pid] and [args.trace_id] carry
+      [trace_id], [tid] the recording worker; timestamps are shifted
+      to the earliest event. *)
+end
+
+(** {1 Sliding-window histograms} *)
+
+module Windowed : sig
+  (** A sliding-window histogram: a ring of {!Histogram.t} slices,
+      each covering [window / slices] seconds of a coarse clock.
+      Observations land in the slice for the current time; expired
+      slices are cleared lazily on the next touch.  Reads merge live
+      slices into a scratch histogram, so quantiles reflect only the
+      last [window] seconds — the p50/p95/p99 the ROADMAP's load
+      harness reports against. *)
+
+  type t
+
+  val create :
+    ?clock:(unit -> float) -> ?scale:float -> window:float -> slices:int -> unit -> t
+  (** [create ~window ~slices ()] covers [window] seconds with
+      [slices] ring slots.  [clock] (default [Unix.gettimeofday])
+      is injectable for tests; [scale] (default 1.0) multiplies
+      values at render time (e.g. 1e-6 to expose µs observations in
+      seconds).
+      @raise Invalid_argument if [slices < 1] or [window <= 0]. *)
+
+  val observe : t -> int -> unit
+  (** Record one value into the current slice (clamping as
+      {!Histogram.observe}). *)
+
+  val merged : t -> Histogram.t
+  (** The live slices merged into one histogram.  Returns a scratch
+      value owned by [t]: valid until the next [merged] call. *)
+
+  val count : t -> int
+  (** Observations currently inside the window. *)
+
+  val quantile : t -> float -> float
+  (** Windowed quantile, scaled by the render multiplier. *)
+
+  val merge_into : dst:t -> t -> unit
+  (** Merge the source's live slices into the destination's slices for
+      the same absolute time — the parallel-join step.  Both sides
+      must share the same window geometry.
+      @raise Invalid_argument on mismatched window/slice counts. *)
+
+  val slice_count : t -> int
+  val window : t -> float
+  val scale : t -> float
+  val clock : t -> unit -> float
+end
+
 (** {1 Registries and exposition} *)
 
 module Registry : sig
@@ -179,21 +325,39 @@ module Registry : sig
   val histogram :
     t -> ?help:string -> ?labels:(string * string) list -> string -> Histogram.t
 
+  val windowed :
+    t ->
+    ?help:string ->
+    ?labels:(string * string) list ->
+    ?clock:(unit -> float) ->
+    ?scale:float ->
+    window:float ->
+    slices:int ->
+    string ->
+    Windowed.t
+  (** Register (or retrieve) a {!Windowed} histogram.  Creation
+      parameters are used only on first registration. *)
+
   val merge_into : dst:t -> t -> unit
   (** Fold every metric of the source into the destination, creating
-      missing ones: counters and histograms add, gauges take the source
-      value.  The join step of the per-domain registries of
-      {!Netembed_parallel}. *)
+      missing ones: counters, histograms and windowed histograms add,
+      gauges take the source value.  The join step of the per-domain
+      registries of {!Netembed_parallel}. *)
 
   val to_prometheus : t -> string
   (** Prometheus text exposition format 0.0.4.  Histograms emit
       cumulative [_bucket{le="..."}] lines for their occupied buckets
-      plus [le="+Inf"], [_sum] and [_count]. *)
+      plus [le="+Inf"], [_sum] and [_count]; windowed histograms render
+      as summaries — one sample per {!report_quantiles} entry
+      ([quantile="0.5"|"0.95"|"0.99"]) plus [_sum] and [_count], all
+      computed over the sliding window and scaled by the render
+      multiplier. *)
 
   val to_json : t -> string
   (** One JSON object keyed by metric name (labels rendered into the
-      key); histograms expose count/sum/max/quantiles and non-empty
-      buckets. *)
+      key); histograms expose count/sum/max, the {!report_quantiles}
+      set and non-empty buckets; windowed histograms expose
+      count/sum/quantiles/window_s. *)
 end
 
 val default_registry : Registry.t
@@ -224,7 +388,18 @@ type snapshot = {
   depth_histogram : Histogram.t;  (** visits per search depth *)
   domain_size_histogram : Histogram.t;
       (** candidate-domain cardinality per computed domain *)
+  phases : float array;
+      (** seconds spent per request phase, indexed by {!Phase.index}
+          (length {!Phase.count}).  The engine fills filter_build /
+          compile / search; the service adds parse / admission /
+          cache_lookup / ledger_commit; the server stamps encode after
+          building the reply. *)
 }
+
+val phases_to_json : float array -> string
+(** One JSON object mapping {!Phase.name}s to seconds, canonical
+    order.  Arrays shorter than {!Phase.count} render only the phases
+    they carry. *)
 
 val snapshot_to_json : snapshot -> string
 (** Single-line JSON object — the [--stats] output of the CLI. *)

@@ -4,8 +4,11 @@
 # and assert the exposition reflects the request.  Also drives the
 # failure-diagnostics path: an infeasible request must yield a failure
 # certificate over EXPLAIN, bump netembed_unsat_total and write the
-# flight-recorder dump.  Used by CI; runnable locally from the repo
-# root after `dune build`.
+# flight-recorder dump.  The request-tracing layer is covered too: the
+# sliding-window netembed_request_seconds summaries must appear on
+# /metrics, the TOP verb must answer with phase stats and exemplars,
+# and --chrome-trace must emit parseable trace_event JSON.  Used by
+# CI; runnable locally from the repo root after `dune build`.
 set -euo pipefail
 
 PORT="${METRICS_PORT:-19911}"
@@ -43,7 +46,7 @@ for _ in $(seq 50); do
   grep -q "^OK" "$WORK/out" 2>/dev/null && break
   sleep 0.2
 done
-grep -Eq "^OK id=[0-9]+ outcome=complete verdict=complete" "$WORK/out" || {
+grep -Eq "^OK id=[0-9]+ trace=[0-9]+ outcome=complete verdict=complete" "$WORK/out" || {
   echo "FAIL: no OK answer from server"; cat "$WORK/out"; exit 1; }
 
 METRICS=""
@@ -66,6 +69,21 @@ echo "$METRICS" | grep -Eq '^netembed_constraint_evals_total\{algorithm="LNS"\} 
 # Model-revision gauge is exported.
 echo "$METRICS" | grep -Eq '^netembed_model_revision ' \
   || fail "no model revision gauge"
+# Sliding-window per-phase latency summaries: the request landed inside
+# the 60 s window, so the total series has a count and quantile samples,
+# and the search phase was exercised.
+echo "$METRICS" \
+  | grep -Eq '^netembed_request_seconds_count\{phase="total",window="60s"\} [1-9]' \
+  || fail "windowed total latency series empty"
+echo "$METRICS" \
+  | grep -Eq '^netembed_request_seconds\{phase="total",quantile="0.99",window="60s"\} ' \
+  || fail "no windowed p99 quantile sample"
+echo "$METRICS" \
+  | grep -Eq '^netembed_request_seconds_count\{phase="search",window="60s"\} [1-9]' \
+  || fail "windowed search-phase series empty"
+# Lifetime per-phase totals ride on gauges.
+echo "$METRICS" | grep -Eq '^netembed_phase_seconds_total\{phase="search"\} ' \
+  || fail "no per-phase seconds gauge"
 # JSON exposition and liveness probe answer too.
 curl -sf "http://127.0.0.1:$PORT/metrics.json" | grep -q '"netembed_requests_total"' \
   || fail "/metrics.json missing requests counter"
@@ -96,7 +114,7 @@ for _ in $(seq 50); do
   grep -q "^OK resources=" "$WORK/out" 2>/dev/null && break
   sleep 0.2
 done
-grep -Eq '^OK id=[0-9]+ outcome=complete.* allocation=[1-9]' "$WORK/out" \
+grep -Eq '^OK id=[0-9]+ .*outcome=complete.* allocation=[1-9]' "$WORK/out" \
   || { echo "FAIL: ALLOC did not commit"; cat "$WORK/out"; exit 1; }
 grep -Eq '^UTIL resource=cpuMhz kind=node used=[1-9]' "$WORK/out" \
   || { echo "FAIL: UTIL shows no cpuMhz usage"; cat "$WORK/out"; exit 1; }
@@ -151,8 +169,10 @@ for _ in $(seq 50); do
   grep -q "^OK explain=$UNSAT_ID" "$WORK/out" 2>/dev/null && break
   sleep 0.2
 done
-grep -q "^OK explain=$UNSAT_ID verdict=unsat" "$WORK/out" \
+grep -Eq "^OK explain=$UNSAT_ID trace=[0-9]+ verdict=unsat" "$WORK/out" \
   || { echo "FAIL: EXPLAIN returned no certificate"; cat "$WORK/out"; exit 1; }
+grep -q "^PHASES " "$WORK/out" \
+  || { echo "FAIL: EXPLAIN carries no phase breakdown"; cat "$WORK/out"; exit 1; }
 grep -q "^TEXT blamed node" "$WORK/out" \
   || { echo "FAIL: certificate blames no query node"; cat "$WORK/out"; exit 1; }
 grep -q "^TEXT   near miss " "$WORK/out" \
@@ -175,6 +195,21 @@ echo "$METRICS" | grep -Eq '^netembed_unsat_total\{cause="node_constraint"\} [1-
 echo "$METRICS" | grep -Eq '^netembed_blame_eliminations_total\{cause="node_constraint"\} [1-9]' \
   || fail "no blame-by-constraint counter"
 
+# --- TOP: phase-latency triage report over the wire ------------------
+# The unsat request above is retained in the diagnostics ring, so the
+# report carries both the per-phase table and at least one exemplar.
+printf 'TOP\n.\n' >&3
+for _ in $(seq 50); do
+  grep -q "^OK phases=" "$WORK/out" 2>/dev/null && break
+  sleep 0.2
+done
+grep -Eq '^OK phases=[1-9][0-9]* worst=[0-9]+ window=60' "$WORK/out" \
+  || { echo "FAIL: TOP returned no report header"; cat "$WORK/out"; exit 1; }
+grep -Eq '^PHASE name=search total=[0-9.]+ count=[0-9]+ p50=' "$WORK/out" \
+  || { echo "FAIL: TOP lists no search phase stats"; cat "$WORK/out"; exit 1; }
+grep -Eq '^SLOW id=[0-9]+ trace=[0-9]+ verdict=' "$WORK/out" \
+  || { echo "FAIL: TOP lists no slow-request exemplar"; cat "$WORK/out"; exit 1; }
+
 # --- parallel path + filter cache: second server on two domains ------
 # The blame/EXPLAIN assertions above need the sequential path (the
 # parallel path returns no certificate), so the work-stealing service
@@ -182,7 +217,7 @@ echo "$METRICS" | grep -Eq '^netembed_blame_eliminations_total\{cause="node_cons
 PORT2=$((PORT + 1))
 mkfifo "$WORK/in2"
 "$BIN/netembed_server.exe" --host "$WORK/host.graphml" --metrics-port "$PORT2" \
-  --domains 2 < "$WORK/in2" > "$WORK/out2" &
+  --domains 2 --chrome-trace "$WORK/chrome.json" < "$WORK/in2" > "$WORK/out2" &
 SERVER2_PID=$!
 exec 4> "$WORK/in2"
 
@@ -222,7 +257,7 @@ for _ in $(seq 100); do
   [ "$(grep -c '^OK' "$WORK/out2" 2>/dev/null || true)" -ge 2 ] && break
   sleep 0.2
 done
-[ "$(grep -Ec '^OK id=[0-9]+ outcome=complete' "$WORK/out2" || true)" -ge 2 ] \
+[ "$(grep -Ec '^OK id=[0-9]+ .*outcome=complete' "$WORK/out2" || true)" -ge 2 ] \
   || { echo "FAIL: two-domain server did not answer both requests"; cat "$WORK/out2"; exit 1; }
 
 METRICS=$(curl -sf "http://127.0.0.1:$PORT2/metrics") \
@@ -244,6 +279,19 @@ echo "$METRICS" | grep -Eq '^netembed_steals_total [0-9]' \
 # The parallel path merged the per-domain search counters.
 echo "$METRICS" | grep -Eq '^netembed_visited_nodes_total\{algorithm="ECF"\} [1-9]' \
   || fail "parallel ECF visited nodes missing"
+
+# --- Chrome trace: --chrome-trace wrote well-formed trace_event JSON --
+# The two-domain server traces every request; the dump is the latest
+# request's buffer, including the spans the worker domains recorded.
+[ -s "$WORK/chrome.json" ] \
+  || { echo "FAIL: no Chrome trace written"; exit 1; }
+python3 -m json.tool "$WORK/chrome.json" > /dev/null \
+  || { echo "FAIL: Chrome trace is not valid JSON"; cat "$WORK/chrome.json"; exit 1; }
+grep -q '"traceEvents"' "$WORK/chrome.json" \
+  || { echo "FAIL: Chrome trace lacks traceEvents"; cat "$WORK/chrome.json"; exit 1; }
+grep -q '"trace_id"' "$WORK/chrome.json" \
+  || { echo "FAIL: Chrome trace spans carry no trace id"; exit 1; }
+cp "$WORK/chrome.json" "${CHROME_TRACE_OUT:-/dev/null}" 2>/dev/null || true
 
 exec 3>&-
 exec 4>&-

@@ -21,8 +21,8 @@ Build a small query by hand:
 
   $ ../../bin/netembed_cli.exe embed --host host.graphml --query query.graphml \
   >   --constraint 'rEdge.avgDelay <= vEdge.maxDelay' --algorithm ecf --mode atmost:1 \
-  >   | head -1 | sed 's/elapsed=[0-9.]*/elapsed=MS/'
-  OK id=1 outcome=complete verdict=complete count=1 elapsed=MS
+  >   | head -1 | sed -e 's/elapsed=[0-9.]*/elapsed=MS/' -e 's/ phases=[^ ]*//'
+  OK id=1 trace=1 outcome=complete verdict=complete count=1 elapsed=MS
 
 A malformed constraint is reported, not crashed on:
 
@@ -95,8 +95,8 @@ The wire server answers framed requests over stdin/stdout:
   > .
   > TXT
 
-  $ ../../bin/netembed_server.exe --host host.graphml < frame.txt | head -1 | sed 's/elapsed=[0-9.]*/elapsed=MS/'
-  OK id=1 outcome=complete verdict=complete count=1 elapsed=MS
+  $ ../../bin/netembed_server.exe --host host.graphml < frame.txt | head -1 | sed -e 's/elapsed=[0-9.]*/elapsed=MS/' -e 's/ phases=[^ ]*//'
+  OK id=1 trace=1 outcome=complete verdict=complete count=1 elapsed=MS
 
 Conversion between GraphML and BRITE formats round-trips:
 
@@ -117,8 +117,8 @@ Symmetry compaction and cost optimization on the CLI:
   $ ../../bin/netembed_cli.exe embed --host host.graphml --query query.graphml \
   >   --constraint 'rEdge.avgDelay <= vEdge.maxDelay' --mode atmost:20 \
   >   --dedupe-symmetry --optimize total-delay \
-  >   | head -1 | sed 's/elapsed=[0-9.]*/elapsed=MS/'
-  OK id=1 outcome=complete verdict=complete count=1 elapsed=MS
+  >   | head -1 | sed -e 's/elapsed=[0-9.]*/elapsed=MS/' -e 's/ phases=[^ ]*//'
+  OK id=1 trace=1 outcome=complete verdict=complete count=1 elapsed=MS
 
 --stats prints one JSON telemetry snapshot on stderr; LNS reports its
 lazy constraint evaluations on it (nonzero), and the search counters

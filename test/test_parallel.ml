@@ -137,6 +137,42 @@ let test_merged_registry_equals_sum () =
     (Parallel.visited_total st)
     (Telemetry.Counter.value visited_counter)
 
+(* Spans recorded by spawned workers land in the request's trace
+   buffer carrying the worker's tid — one Chrome-trace lane per domain.
+   Static is deterministic (every worker records its share span, even
+   an empty one), so it pins "spans from >= 2 worker domains";
+   work-stealing pins that frame spans attribute to whichever worker
+   ran them. *)
+let test_trace_spans_from_workers () =
+  let p = instance 7 ~host_n:14 ~query_n:5 in
+  let tids_of trace =
+    let tids = ref [] in
+    Telemetry.Trace.iter
+      (fun ~name:_ ~tid ~start_us:_ ~dur_us:_ ->
+        if not (List.mem tid !tids) then tids := tid :: !tids)
+      trace;
+    !tids
+  in
+  let trace = Telemetry.Trace.create () in
+  ignore (Parallel.ecf_all_stats ~strategy:Parallel.Static ~domains:3 ~trace p);
+  let workers = List.filter (fun t -> t >= 1) (tids_of trace) in
+  if List.length workers < 2 then
+    Alcotest.failf "static: spans from only %d worker domain(s)"
+      (List.length workers);
+  let trace = Telemetry.Trace.create () in
+  ignore
+    (Parallel.ecf_all_stats ~strategy:Parallel.Work_stealing ~domains:3 ~trace p);
+  check Alcotest.bool "work stealing records frame spans" true
+    (Telemetry.Trace.length trace > 0);
+  check Alcotest.bool "frame spans carry worker tids" true
+    (List.exists (fun t -> t >= 1) (tids_of trace));
+  (* The untraced path must record nothing anywhere (no shared global
+     buffer to pollute). *)
+  let untraced = Telemetry.Trace.create () in
+  ignore (Parallel.ecf_all_stats ~domains:2 p);
+  check Alcotest.int "untraced run records nothing" 0
+    (Telemetry.Trace.length untraced)
+
 let test_empty_query_parallel () =
   let host = Netembed_topology.Regular.ring 4 in
   let p = Problem.make ~host ~query:(Graph.create ()) Expr.always in
@@ -154,6 +190,8 @@ let () =
           Alcotest.test_case "empty query" `Quick test_empty_query_parallel;
           Alcotest.test_case "domains exceed roots" `Quick test_domains_exceed_roots;
           Alcotest.test_case "merged registry = sum" `Quick test_merged_registry_equals_sum;
+          Alcotest.test_case "trace spans attribute to workers" `Quick
+            test_trace_spans_from_workers;
         ] );
       ( "rwb_race",
         [

@@ -570,14 +570,20 @@ let test_filter_cache_signature_sensitivity () =
        ~node_constraint_text:None
     <> sig_of 5.0 15.0)
 
-(* The id is fresh per request and elapsed is wall-clock; everything
-   else about a warm answer must match the cold one byte for byte. *)
+(* The id and trace id are fresh per request and elapsed/phases are
+   wall-clock; everything else about a warm answer must match the cold
+   one byte for byte. *)
 let normalize_answer s =
   match String.split_on_char '\n' s with
   | header :: rest ->
+      let has_prefix p tok =
+        String.length tok >= String.length p
+        && String.sub tok 0 (String.length p) = p
+      in
       let keep tok =
-        not (String.length tok >= 3 && String.sub tok 0 3 = "id=")
-        && not (String.length tok >= 8 && String.sub tok 0 8 = "elapsed=")
+        not
+          (has_prefix "id=" tok || has_prefix "elapsed=" tok
+          || has_prefix "trace=" tok || has_prefix "phases=" tok)
       in
       let header = String.concat " " (List.filter keep (String.split_on_char ' ' header)) in
       String.concat "\n" (header :: rest)
@@ -685,6 +691,124 @@ let test_service_parallel_path () =
   check Alcotest.bool "steals series exposed" true
     (contains exposition "netembed_steals_total")
 
+(* ------------------------------------------------------------------ *)
+(* Request tracing, phase decomposition and TOP                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_tracing_and_phases () =
+  let module Telemetry = Netembed_telemetry.Telemetry in
+  let svc =
+    Service.create
+      ~registry:(Telemetry.Registry.create ())
+      (Model.create (host ()))
+  in
+  let request =
+    Request.make ~mode:Engine.All ~query:(path_query 5.0 15.0) standard_constraint
+  in
+  (* Untraced submit: a trace id is still allocated (it keys EXPLAIN
+     exemplars) but no span buffer is built. *)
+  (match Service.submit svc request with
+  | Error m -> Alcotest.fail m
+  | Ok a ->
+      check Alcotest.bool "trace id allocated" true (a.Service.trace_id > 0);
+      check Alcotest.bool "no buffer unless asked" true (a.Service.trace = None);
+      let phases = a.Service.result.Engine.telemetry.Telemetry.phases in
+      check Alcotest.int "one cell per phase" Telemetry.Phase.count
+        (Array.length phases);
+      check Alcotest.bool "some phase time recorded" true
+        (Array.exists (fun v -> v > 0.0) phases));
+  (* Traced submit: the buffer carries the outer request span plus the
+     engine's phase spans, and the wire header carries trace and
+     phases tokens that decode back. *)
+  match Service.submit ~trace:true svc request with
+  | Error m -> Alcotest.fail m
+  | Ok a -> (
+      let buf =
+        match a.Service.trace with
+        | Some b -> b
+        | None -> Alcotest.fail "traced submit returned no buffer"
+      in
+      let names = ref [] in
+      Netembed_telemetry.Telemetry.Trace.iter
+        (fun ~name ~tid:_ ~start_us:_ ~dur_us:_ -> names := name :: !names)
+        buf;
+      check Alcotest.bool "request span present" true (List.mem "request" !names);
+      check Alcotest.bool "descent span present" true (List.mem "descent" !names);
+      match Wire.decode_answer (Wire.encode_answer a) with
+      | Error m -> Alcotest.fail m
+      | Ok d ->
+          check (Alcotest.option Alcotest.int) "trace id on the wire"
+            (Some a.Service.trace_id) d.Wire.trace_id;
+          check Alcotest.bool "phases on the wire" true (d.Wire.phases_ms <> []))
+
+let test_top_report_and_wire () =
+  let module Telemetry = Netembed_telemetry.Telemetry in
+  (* slow_threshold 0 retains every request, so worst is populated. *)
+  let svc =
+    Service.create
+      ~registry:(Telemetry.Registry.create ())
+      ~slow_threshold:0.0
+      (Model.create (host ()))
+  in
+  let request =
+    Request.make ~mode:Engine.All ~query:(path_query 5.0 15.0) standard_constraint
+  in
+  for _ = 1 to 3 do
+    match Service.submit svc request with
+    | Ok _ -> ()
+    | Error m -> Alcotest.fail m
+  done;
+  let report = Service.top ~worst:2 svc in
+  check Alcotest.int "one stat per phase" Telemetry.Phase.count
+    (List.length report.Service.busiest);
+  check Alcotest.int "worst capped" 2 (List.length report.Service.worst);
+  (match report.Service.busiest with
+  | first :: rest ->
+      check Alcotest.bool "sorted busiest first" true
+        (List.for_all (fun (s : Service.phase_stat) -> s.Service.total_s <= first.Service.total_s) rest);
+      check Alcotest.bool "some phase accumulated time" true
+        (first.Service.total_s > 0.0)
+  | [] -> Alcotest.fail "empty report");
+  (* TOP is a first-class wire verb. *)
+  (match Wire.decode_command (Wire.encode_command Wire.Top) with
+  | Ok Wire.Top -> ()
+  | Ok _ -> Alcotest.fail "TOP decoded as another command"
+  | Error m -> Alcotest.fail m);
+  let encoded = Wire.encode_top report in
+  let contains needle =
+    let nl = String.length needle and hl = String.length encoded in
+    let rec go i = i + nl <= hl && (String.sub encoded i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "phase rows" true (contains "PHASE name=search");
+  check Alcotest.bool "slow rows" true (contains "SLOW id=");
+  check Alcotest.bool "window advertised" true (contains "window=60")
+
+(* A request whose wall-clock sits under the absolute slow threshold
+   must still be retained when its search phase dominates. *)
+let test_slow_search_flag () =
+  let module Telemetry = Netembed_telemetry.Telemetry in
+  let svc =
+    Service.create
+      ~registry:(Telemetry.Registry.create ())
+      ~slow_threshold:1e-6 ~slow_search_share:0.0
+      (Model.create (host ()))
+  in
+  let request =
+    Request.make ~mode:Engine.All ~query:(path_query 5.0 15.0) standard_constraint
+  in
+  match Service.submit svc request with
+  | Error m -> Alcotest.fail m
+  | Ok a -> (
+      match Service.explain svc a.Service.id with
+      | None -> Alcotest.fail "search-dominated request not retained"
+      | Some e ->
+          check Alcotest.bool "flagged slow_search" true e.Service.slow_search;
+          check Alcotest.int "entry carries the trace id" a.Service.trace_id
+            e.Service.trace_id;
+          check Alcotest.bool "entry carries the phase breakdown" true
+            (Array.exists (fun v -> v > 0.0) e.Service.phases))
+
 let prop_wire_decode_total =
   QCheck.Test.make ~name:"wire decode is total on garbage" ~count:300
     QCheck.(string_of_size (QCheck.Gen.int_range 0 120))
@@ -727,6 +851,13 @@ let () =
             test_service_cache_revision_invalidation;
           Alcotest.test_case "LNS bypasses cache" `Quick test_service_cache_skips_lns;
           Alcotest.test_case "parallel path" `Quick test_service_parallel_path;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "trace ids and phases" `Quick test_tracing_and_phases;
+          Alcotest.test_case "top report + wire verb" `Quick
+            test_top_report_and_wire;
+          Alcotest.test_case "slow-search flag" `Quick test_slow_search_flag;
         ] );
       ( "wire",
         [

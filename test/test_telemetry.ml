@@ -315,6 +315,159 @@ let test_span_stack_overflow_counted () =
     (contains "netembed_spans_dropped_total")
 
 (* ------------------------------------------------------------------ *)
+(* Gauge merge (the parallel-join step)                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_gauge_merge () =
+  let src = Gauge.make () and dst = Gauge.make () in
+  Gauge.set src 4.5;
+  Gauge.set dst 1.0;
+  Gauge.merge_into ~dst src;
+  check (Alcotest.float 0.0) "gauge takes source" 4.5 (Gauge.value dst);
+  Gauge.merge_into ~dst src;
+  check (Alcotest.float 0.0) "idempotent" 4.5 (Gauge.value dst)
+
+(* ------------------------------------------------------------------ *)
+(* Sliding-window histograms                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Windowed = Telemetry.Windowed
+
+(* A hand-cranked clock: tests control exactly which slice each
+   observation lands in and when slices expire. *)
+let fake_clock start =
+  let now = ref start in
+  (now, fun () -> !now)
+
+let test_windowed_empty () =
+  let _now, clock = fake_clock 1000.0 in
+  let w = Windowed.create ~clock ~window:60.0 ~slices:6 () in
+  check Alcotest.int "empty count" 0 (Windowed.count w);
+  check (Alcotest.float 0.0) "empty quantile" 0.0 (Windowed.quantile w 0.95)
+
+let test_windowed_rotation () =
+  let now, clock = fake_clock 1000.0 in
+  (* 60 s window, 6 slices: each slice covers 10 s. *)
+  let w = Windowed.create ~clock ~window:60.0 ~slices:6 () in
+  Windowed.observe w 100;
+  Windowed.observe w 200;
+  check Alcotest.int "both visible" 2 (Windowed.count w);
+  (* Straddle a slice boundary: the next observation lands in a fresh
+     slice while the previous one is still live. *)
+  now := !now +. 10.0;
+  Windowed.observe w 300;
+  check Alcotest.int "straddling a rotation keeps both slices" 3
+    (Windowed.count w);
+  (* 65 s after the first two observations (past the window), 55 s
+     after the third (still inside): only the third survives — without
+     any intervening observe, so reads must filter stale slices
+     themselves. *)
+  now := !now +. 55.0;
+  check Alcotest.int "expired slices dropped" 1 (Windowed.count w);
+  now := !now +. 60.0;
+  check Alcotest.int "fully drained" 0 (Windowed.count w);
+  (* A slice slot is recycled when its absolute slice number comes
+     around again: observing now must not resurrect the old counts. *)
+  Windowed.observe w 400;
+  check Alcotest.int "recycled slot starts clean" 1 (Windowed.count w)
+
+let test_windowed_longer_than_lifetime () =
+  (* Window longer than the process has lived: the clock starts near 0
+     so every slice since the epoch is within the window — nothing may
+     expire. *)
+  let now, clock = fake_clock 1.0 in
+  let w = Windowed.create ~clock ~window:3600.0 ~slices:6 () in
+  Windowed.observe w 1000;
+  now := !now +. 5.0;
+  Windowed.observe w 1000;
+  check Alcotest.int "all observations live" 2 (Windowed.count w);
+  (* Nearest-rank quantile on a log-bucketed histogram: the answer is
+     the bucket upper bound, within one growth step (x6/5) of the
+     value. *)
+  let q = Windowed.quantile w 0.5 in
+  check Alcotest.bool "quantile within a bucket of the value" true
+    (q >= 1000.0 && q <= 1200.0)
+
+let test_windowed_scale () =
+  (* scale is a render-time multiplier: observe µs, read seconds. *)
+  let _now, clock = fake_clock 42.0 in
+  let w = Windowed.create ~clock ~scale:1e-6 ~window:60.0 ~slices:6 () in
+  Windowed.observe w 1_000_000;
+  let q = Windowed.quantile w 0.99 in
+  check Alcotest.bool "scaled to seconds" true (q >= 1.0 && q <= 1.2)
+
+let test_windowed_merge () =
+  let now, clock = fake_clock 500.0 in
+  let a = Windowed.create ~clock ~window:60.0 ~slices:6 () in
+  let b = Windowed.create ~clock ~window:60.0 ~slices:6 () in
+  Windowed.observe a 10;
+  now := !now +. 10.0;
+  Windowed.observe b 20;
+  (* The join step of the parallel scheduler: a worker's windowed
+     series merges into the dispatcher's from another domain. *)
+  Domain.join (Domain.spawn (fun () -> Windowed.merge_into ~dst:a b));
+  check Alcotest.int "merged count" 2 (Windowed.count a);
+  check Alcotest.int "source untouched" 1 (Windowed.count b);
+  let c = Windowed.create ~clock ~window:60.0 ~slices:5 () in
+  (match Windowed.merge_into ~dst:a c with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "mismatched geometry accepted")
+
+(* ------------------------------------------------------------------ *)
+(* Request-scoped trace buffers                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Trace_buf = Telemetry.Trace
+
+let test_trace_buffer () =
+  let id1 = Trace_buf.fresh_id () in
+  let id2 = Trace_buf.fresh_id () in
+  check Alcotest.bool "ids fresh and nonzero" true (id1 > 0 && id2 > id1);
+  let b = Trace_buf.create () in
+  check Alcotest.int "span returns its value" 42
+    (Trace_buf.span b "outer" (fun () -> 42));
+  Trace_buf.add ~tid:3 b ~name:"worker_span" ~start_us:10.0 ~dur_us:5.0;
+  check Alcotest.int "events recorded" 2 (Trace_buf.length b);
+  (* span_opt is the zero-cost gate: None must still run the thunk. *)
+  check Alcotest.int "span_opt None runs" 7
+    (Trace_buf.span_opt None "skipped" (fun () -> 7));
+  check Alcotest.int "span_opt None records nothing" 2 (Trace_buf.length b);
+  (* A worker buffer merges in keeping its tid — stolen frames
+     attribute to the thief's lane but the request's trace. *)
+  let w = Trace_buf.create ~tid:7 () in
+  Trace_buf.span w "stolen_frame" (fun () -> ());
+  Trace_buf.merge_into ~dst:b w;
+  check Alcotest.int "merged events" 3 (Trace_buf.length b);
+  let tids = ref [] in
+  Trace_buf.iter (fun ~name:_ ~tid ~start_us:_ ~dur_us:_ -> tids := tid :: !tids) b;
+  List.iter
+    (fun t ->
+      check Alcotest.bool (Printf.sprintf "tid %d present" t) true
+        (List.mem t !tids))
+    [ 0; 3; 7 ]
+
+let test_trace_chrome_json () =
+  let b = Trace_buf.create () in
+  Trace_buf.add b ~name:"request" ~start_us:100.0 ~dur_us:50.0;
+  Trace_buf.add ~tid:2 b ~name:"search_frame" ~start_us:110.0 ~dur_us:20.0;
+  let id = Trace_buf.fresh_id () in
+  let json = Trace_buf.to_chrome_json ~trace_id:id b in
+  let has sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length json && (String.sub json i n = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "traceEvents array" true (has "\"traceEvents\"");
+  check Alcotest.bool "complete events" true (has "\"ph\":\"X\"");
+  check Alcotest.bool "trace id attributed" true
+    (has (Printf.sprintf "\"trace_id\":%d" id));
+  check Alcotest.bool "worker tid present" true (has "\"tid\":2");
+  check Alcotest.bool "names present" true
+    (has "\"name\":\"request\"" && has "\"name\":\"search_frame\"");
+  (* Timestamps are shifted to the earliest event. *)
+  check Alcotest.bool "timestamps rebased" true (has "\"ts\":0")
+
+(* ------------------------------------------------------------------ *)
 (* Engine integration: one snapshot schema for all three algorithms    *)
 (* ------------------------------------------------------------------ *)
 
@@ -417,6 +570,22 @@ let () =
           Alcotest.test_case "jsonl trace" `Quick test_span_jsonl;
           Alcotest.test_case "stack overflow counted" `Quick
             test_span_stack_overflow_counted;
+        ] );
+      ( "gauge merge",
+        [ Alcotest.test_case "takes source value" `Quick test_gauge_merge ] );
+      ( "windowed",
+        [
+          Alcotest.test_case "empty window" `Quick test_windowed_empty;
+          Alcotest.test_case "rotation and expiry" `Quick test_windowed_rotation;
+          Alcotest.test_case "window longer than lifetime" `Quick
+            test_windowed_longer_than_lifetime;
+          Alcotest.test_case "render-time scale" `Quick test_windowed_scale;
+          Alcotest.test_case "cross-domain merge" `Quick test_windowed_merge;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "buffers, spans, merge" `Quick test_trace_buffer;
+          Alcotest.test_case "chrome trace json" `Quick test_trace_chrome_json;
         ] );
       ( "engine",
         [
