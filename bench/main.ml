@@ -310,6 +310,14 @@ let bench_json_file = "BENCH_RESULTS.json"
 
 let write_gc_json () =
   let rows = List.rev !gc_rows in
+  (* The load generator owns the "service_load" section of the same
+     file; carry it across our rewrite so bench and loadgen can be run
+     in either order without clobbering each other. *)
+  let service_load =
+    match Netembed_workload.Bench_io.read_file bench_json_file with
+    | None -> None
+    | Some doc -> Netembed_workload.Bench_io.extract_section doc ~key:"service_load"
+  in
   let oc = open_out bench_json_file in
   Printf.fprintf oc "{\n  \"benches\": [\n";
   let n = List.length rows in
@@ -343,7 +351,11 @@ let write_gc_json () =
         r.sched_makespan_ms r.sched_steals r.sched_frames r.sched_found
         (if i = ns - 1 then "" else ","))
     srows;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ]";
+  (match service_load with
+  | None -> ()
+  | Some text -> Printf.fprintf oc ",\n  \"service_load\": %s" text);
+  Printf.fprintf oc "\n}\n";
   close_out oc;
   Printf.printf "# Gc-aware rows written to %s\n\n" bench_json_file
 

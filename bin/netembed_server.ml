@@ -1,101 +1,58 @@
 (* A standalone NETEMBED mapping service speaking the text wire
-   protocol over stdin/stdout — the paper's Fig.-1 deployment shape
-   ("applications would submit their queries and get a list of possible
-   mappings"), transport-agnostic: wrap it in inetd/socat/ssh as needed.
+   protocol — the paper's Fig.-1 deployment shape ("applications would
+   submit their queries and get a list of possible mappings") — over
+   stdin/stdout, or over TCP through the concurrent front-end.
 
    Usage:
-     netembed_server --host host.graphml [--monitor-every N]
-                     [--metrics-port PORT] [--flight-dump FILE]
+     netembed_server --host host.graphml
+                     [--tcp-port PORT] [--workers N] [--queue-capacity N]
+                     [--idle-timeout SEC] [--max-frame-bytes N]
+                     [--monitor-every N] [--metrics-port PORT]
+                     [--flight-dump FILE] [--chrome-trace FILE]
+                     [--domains N]
 
    Protocol: frames as defined in Netembed_service.Wire — EMBED
    (search), ALLOC (search and commit the first mapping as a fractional
    ledger allocation), FREE <id>, UTIL, EXPLAIN <request-id> (fetch
    the failure certificate of an earlier request) and TOP (the
-   phase-latency triage report); one answer per request; EOF
-   terminates.  With --monitor-every N, a synthetic monitoring tick
-   refreshes the model between every N requests, so long-running
-   sessions see drifting measurements.  With --flight-dump FILE, the
-   certificate (including the flight-recorder tail) of every
-   diagnosable request is written to FILE as it happens — the
-   post-mortem artifact a CI run uploads.  With --chrome-trace FILE,
-   every request runs with span tracing on and FILE is rewritten with
-   the latest request's Chrome trace-event JSON (open in
-   chrome://tracing or Perfetto).
+   phase-latency triage report); one answer per request, answers in
+   request order per connection; EOF terminates a session.  Frames are
+   bounded (--max-frame-bytes, default 1 MiB): an oversized frame gets
+   a clean ERR and the stream resynchronizes at its terminator.
 
-   With --metrics-port PORT, a minimal HTTP listener on
-   127.0.0.1:PORT serves the telemetry registry: GET /metrics
-   (Prometheus text exposition), GET /metrics.json, GET /healthz.
-   It runs in its own OCaml domain and reads the live metric cells —
-   safe by the telemetry module's single-writer/racy-reader model. *)
+   Without --tcp-port the server is the historical stdio filter (wrap
+   it in inetd/socat/ssh as needed).  With --tcp-port PORT it serves
+   TCP on 127.0.0.1:PORT (0 = pick an ephemeral port) through
+   Netembed_frontend: an acceptor domain feeds a bounded admission
+   queue drained by --workers worker domains (0 = size from the
+   machine); when the queue is saturated new frames are rejected
+   immediately with a backpressure certificate the client can EXPLAIN.
+   The bound port is announced on stdout as "LISTEN port=N".  SIGTERM
+   and SIGINT drain gracefully: stop accepting, finish in-flight
+   requests, then exit.
+
+   With --monitor-every N, a synthetic monitoring tick refreshes the
+   model between every N requests, so long-running sessions see
+   drifting measurements.  With --flight-dump FILE, the certificate
+   (including the flight-recorder tail) of every diagnosable request is
+   written to FILE as it happens — the post-mortem artifact a CI run
+   uploads.  With --chrome-trace FILE, every request runs with span
+   tracing on and FILE is rewritten with the latest request's Chrome
+   trace-event JSON (open in chrome://tracing or Perfetto).
+
+   With --metrics-port PORT, an HTTP listener on 127.0.0.1:PORT serves
+   the telemetry registry: GET /metrics (Prometheus text exposition),
+   GET /metrics.json, GET /healthz.  It runs in its own OCaml domain
+   with one thread per scrape and socket timeouts, so a stalled scraper
+   cannot wedge health checks. *)
 
 module Model = Netembed_service.Model
 module Service = Netembed_service.Service
 module Wire = Netembed_service.Wire
 module Monitor = Netembed_service.Monitor
+module Frontend = Netembed_frontend.Frontend
 module Rng = Netembed_rng.Rng
 module Telemetry = Netembed_telemetry.Telemetry
-
-let read_frame ic =
-  let buf = Buffer.create 1024 in
-  let rec go () =
-    match input_line ic with
-    | "." -> Some (Buffer.contents buf)
-    | line ->
-        Buffer.add_string buf line;
-        Buffer.add_char buf '\n';
-        go ()
-    | exception End_of_file -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
-  in
-  go ()
-
-(* ------------------------------------------------------------------ *)
-(* Metrics exposition (HTTP, one connection at a time)                 *)
-(* ------------------------------------------------------------------ *)
-
-let http_response status content_type body =
-  Printf.sprintf
-    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
-    status content_type (String.length body) body
-
-let route registry path =
-  match path with
-  | "/metrics" ->
-      http_response "200 OK" "text/plain; version=0.0.4; charset=utf-8"
-        (Telemetry.Registry.to_prometheus registry)
-  | "/metrics.json" ->
-      http_response "200 OK" "application/json"
-        (Telemetry.Registry.to_json registry)
-  | "/healthz" -> http_response "200 OK" "text/plain" "ok\n"
-  | _ -> http_response "404 Not Found" "text/plain" "not found\n"
-
-let serve_metrics registry port =
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt sock Unix.SO_REUSEADDR true;
-  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.listen sock 16;
-  let rec loop () =
-    let client, _ = Unix.accept sock in
-    (try
-       let ic = Unix.in_channel_of_descr client in
-       let request_line = try input_line ic with End_of_file -> "" in
-       (* Drain request headers; scrapes have no body. *)
-       (try
-          while String.trim (input_line ic) <> "" do
-            ()
-          done
-        with End_of_file -> ());
-       let path =
-         match String.split_on_char ' ' request_line with
-         | _meth :: p :: _ -> p
-         | _ -> "/"
-       in
-       let response = route registry path in
-       ignore (Unix.write_substring client response 0 (String.length response))
-     with _ -> ());
-    (try Unix.close client with Unix.Unix_error _ -> ());
-    loop ()
-  in
-  loop ()
 
 let () =
   let host_file = ref "" in
@@ -103,10 +60,26 @@ let () =
   let metrics_port = ref 0 in
   let flight_dump = ref "" in
   let chrome_trace = ref "" in
-  let domains = ref 1 in
+  let domains = ref 0 in
+  let tcp_port = ref (-1) in
+  let workers = ref 0 in
+  let queue_capacity = ref 64 in
+  let idle_timeout = ref 30.0 in
+  let max_frame_bytes = ref Wire.default_max_frame_bytes in
   let speclist =
     [
       ("--host", Arg.Set_string host_file, "FILE hosting network (GraphML), required");
+      ("--tcp-port", Arg.Set_int tcp_port,
+       "PORT serve TCP on 127.0.0.1:PORT through the concurrent front-end (0 = \
+        ephemeral; announced as LISTEN port=N; default: stdio mode)");
+      ("--workers", Arg.Set_int workers,
+       "N front-end worker domains (0 = size from the machine)");
+      ("--queue-capacity", Arg.Set_int queue_capacity,
+       "N bounded admission queue capacity (default 64)");
+      ("--idle-timeout", Arg.Set_float idle_timeout,
+       "SEC close idle TCP connections after SEC seconds (0 = never, default 30)");
+      ("--max-frame-bytes", Arg.Set_int max_frame_bytes,
+       "N reject request frames larger than N bytes (default 1 MiB)");
       ("--monitor-every", Arg.Set_int monitor_every,
        "N run a synthetic monitoring tick every N requests (0 = off)");
       ("--metrics-port", Arg.Set_int metrics_port,
@@ -116,27 +89,52 @@ let () =
       ("--chrome-trace", Arg.Set_string chrome_trace,
        "FILE trace every request; write the latest request's Chrome trace JSON here");
       ("--domains", Arg.Set_int domains,
-       "N run exhaustive ECF requests on N domains with work stealing (default 1 = \
-        sequential)");
+       "N run exhaustive ECF requests on N domains with work stealing (default: \
+        stdio 1 = sequential; TCP mode sizes from the cores the front end leaves \
+        free)");
     ]
   in
   Arg.parse speclist (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "netembed_server --host FILE [--monitor-every N] [--metrics-port PORT] [--flight-dump FILE] [--chrome-trace FILE] [--domains N]";
+    "netembed_server --host FILE [--tcp-port PORT] [--workers N] [--queue-capacity N] \
+     [--idle-timeout SEC] [--max-frame-bytes N] [--monitor-every N] [--metrics-port \
+     PORT] [--flight-dump FILE] [--chrome-trace FILE] [--domains N]";
   if !host_file = "" then begin
     prerr_endline "netembed_server: --host is required";
     exit 2
   end;
+  (* Size the two pools together so TCP mode does not oversubscribe:
+     front-end workers first, search domains from what is left. *)
+  let sizing =
+    Frontend.plan
+      ?workers:(if !workers > 0 then Some !workers else None)
+      ?search_domains:(if !domains > 0 then Some !domains else None)
+      ()
+  in
+  let search_domains =
+    if !tcp_port >= 0 then sizing.Frontend.search_domains
+    else if !domains > 0 then !domains
+    else 1
+  in
   let model = Model.of_graphml_file !host_file in
-  let service = Service.create ~domains:!domains model in
+  let service = Service.create ~domains:search_domains model in
   if !metrics_port > 0 then begin
     (* A dying scrape connection must not kill the service. *)
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    ignore (Domain.spawn (fun () -> serve_metrics (Service.registry service) !metrics_port))
+    ignore
+      (Frontend.Http.start ~registry:(Service.registry service)
+         ~port:!metrics_port ())
   end;
   let monitor =
     if !monitor_every > 0 then Some (Monitor.create (Rng.make 1) model) else None
   in
-  let requests = ref 0 in
+  let requests = Atomic.make 0 in
+  (* Worker domains share the dump files and the monitor; serialize
+     both behind one lock (dumps are rare: failures and slow paths). *)
+  let io_lock = Mutex.create () in
+  let with_io f =
+    Mutex.lock io_lock;
+    Fun.protect f ~finally:(fun () -> Mutex.unlock io_lock)
+  in
   (* Persist the certificate of the request that was just diagnosed —
      [entry] is {!Service.last_entry} right after a failed submit, or
      the entry matching the answered id, so old certificates are never
@@ -148,10 +146,11 @@ let () =
         match e.Service.certificate with
         | None -> ()
         | Some cert ->
-            let oc = open_out file in
-            output_string oc (Netembed_explain.Explain.Certificate.to_json cert);
-            output_char oc '\n';
-            close_out oc)
+            with_io (fun () ->
+                let oc = open_out file in
+                output_string oc (Netembed_explain.Explain.Certificate.to_json cert);
+                output_char oc '\n';
+                close_out oc))
   in
   (* A submit error has always just logged a diagnostic entry; answer
      with its id so the client can EXPLAIN it. *)
@@ -167,11 +166,12 @@ let () =
     match (!chrome_trace, answer.Service.trace) with
     | "", _ | _, None -> ()
     | file, Some buf ->
-        let oc = open_out file in
-        output_string oc
-          (Telemetry.Trace.to_chrome_json ~trace_id:answer.Service.trace_id buf);
-        output_char oc '\n';
-        close_out oc
+        with_io (fun () ->
+            let oc = open_out file in
+            output_string oc
+              (Telemetry.Trace.to_chrome_json ~trace_id:answer.Service.trace_id buf);
+            output_char oc '\n';
+            close_out oc)
   in
   (* Reply serialization is a request phase too: stamp it onto the
      windowed series (it cannot appear in its own OK header — the
@@ -183,56 +183,99 @@ let () =
       (Unix.gettimeofday () -. t0);
     reply
   in
-  let rec serve () =
-    match read_frame stdin with
-    | None -> ()
-    | Some frame ->
-        incr requests;
-        (match (monitor, !monitor_every) with
-        | Some mon, every when every > 0 && !requests mod every = 0 -> Monitor.tick mon
-        | _ -> ());
-        let reply =
-          match Wire.decode_command frame with
-          | Error e -> Wire.encode_error e
-          | Ok (Wire.Submit request) -> (
-              match Service.submit ~trace service request with
-              | Error e -> submit_error e
-              | Ok answer ->
-                  dump_certificate (Service.explain service answer.Service.id);
-                  dump_trace answer;
-                  timed_encode (fun () -> Wire.encode_answer answer))
-          | Ok (Wire.Allocate request) -> (
-              match Service.submit ~trace service request with
-              | Error e -> submit_error e
-              | Ok answer -> (
-                  dump_certificate (Service.explain service answer.Service.id);
-                  dump_trace answer;
-                  match answer.Service.result.Netembed_core.Engine.mappings with
-                  | [] -> timed_encode (fun () -> Wire.encode_answer answer)
-                  | mapping :: _ -> (
-                      match Service.allocate_shared service answer mapping with
-                      | Ok id ->
-                          timed_encode (fun () ->
-                              Wire.encode_answer ~allocation:id answer)
-                      | Error e -> Wire.encode_error ~id:answer.Service.id e)))
-          | Ok (Wire.Free id) ->
-              if Service.free service id then Wire.encode_freed id
-              else Wire.encode_error (Printf.sprintf "unknown allocation %d" id)
-          | Ok Wire.Utilization ->
-              Wire.encode_utilization (Service.utilization service)
-          | Ok (Wire.Explain id) -> (
-              match Service.explain service id with
-              | Some entry -> Wire.encode_explanation entry
-              | None ->
-                  Wire.encode_error
-                    (Printf.sprintf
-                       "no diagnostics retained for request %d (unknown, evicted, \
-                        or completed quickly)"
-                       id))
-          | Ok Wire.Top -> Wire.encode_top (Service.top service)
-        in
-        print_string reply;
-        flush stdout;
-        serve ()
+  (* One frame in, one reply out — shared verbatim by the stdio loop
+     and every front-end worker domain, so both transports speak the
+     same service.  Safe to call concurrently: Service serializes its
+     own state, the dump files hide behind io_lock, and the monitor
+     tick mutates the model only under the service's model lock. *)
+  let handle frame =
+    let n = Atomic.fetch_and_add requests 1 + 1 in
+    (match (monitor, !monitor_every) with
+    | Some mon, every when every > 0 && n mod every = 0 ->
+        with_io (fun () -> Service.exclusively service (fun () -> Monitor.tick mon))
+    | _ -> ());
+    match Wire.decode_command frame with
+    | Error e -> Wire.encode_error e
+    | Ok (Wire.Submit request) -> (
+        match Service.submit ~trace service request with
+        | Error e -> submit_error e
+        | Ok answer ->
+            dump_certificate (Service.explain service answer.Service.id);
+            dump_trace answer;
+            timed_encode (fun () -> Wire.encode_answer answer))
+    | Ok (Wire.Allocate request) -> (
+        match Service.submit ~trace service request with
+        | Error e -> submit_error e
+        | Ok answer -> (
+            dump_certificate (Service.explain service answer.Service.id);
+            dump_trace answer;
+            match answer.Service.result.Netembed_core.Engine.mappings with
+            | [] -> timed_encode (fun () -> Wire.encode_answer answer)
+            | mapping :: _ -> (
+                match Service.allocate_shared service answer mapping with
+                | Ok id ->
+                    timed_encode (fun () -> Wire.encode_answer ~allocation:id answer)
+                | Error e -> Wire.encode_error ~id:answer.Service.id e)))
+    | Ok (Wire.Free id) ->
+        if Service.free service id then Wire.encode_freed id
+        else Wire.encode_error (Printf.sprintf "unknown allocation %d" id)
+    | Ok Wire.Utilization -> Wire.encode_utilization (Service.utilization service)
+    | Ok (Wire.Explain id) -> (
+        match Service.explain service id with
+        | Some entry -> Wire.encode_explanation entry
+        | None ->
+            Wire.encode_error
+              (Printf.sprintf
+                 "no diagnostics retained for request %d (unknown, evicted, or \
+                  completed quickly)"
+                 id))
+    | Ok Wire.Top -> Wire.encode_top (Service.top service)
   in
-  serve ()
+  (* A saturated admission queue answers with a certificate, not a
+     dropped connection: the entry is in the diagnostics ring, so the
+     client can EXPLAIN the id it was bounced with. *)
+  let reject ~queue_depth ~queue_capacity =
+    let entry = Service.reject_backpressure service ~queue_depth ~queue_capacity in
+    Wire.encode_error ~id:entry.Service.id
+      (Printf.sprintf "server saturated: admission queue full (%d/%d); retry"
+         queue_depth queue_capacity)
+  in
+  if !tcp_port >= 0 then begin
+    let config =
+      {
+        Frontend.workers = sizing.Frontend.workers;
+        queue_capacity = max 1 !queue_capacity;
+        idle_timeout = !idle_timeout;
+        max_frame_bytes = !max_frame_bytes;
+        drain_timeout = 5.0;
+      }
+    in
+    let server = Frontend.start ~config ~handle ~reject ~port:!tcp_port () in
+    Printf.printf "LISTEN port=%d\n%!" (Frontend.port server);
+    (* Graceful drain on SIGTERM/SIGINT: a handler may only flag; the
+       main thread does the actual stop. *)
+    let quit = Atomic.make false in
+    let request_quit _ = Atomic.set quit true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_quit);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_quit);
+    while not (Atomic.get quit) do
+      Thread.delay 0.05
+    done;
+    Frontend.stop server
+  end
+  else begin
+    let rec serve () =
+      match Wire.read_frame ~max_bytes:!max_frame_bytes stdin with
+      | None -> ()
+      | Some frame ->
+          let reply =
+            match frame with
+            | Error msg -> Wire.encode_error msg
+            | Ok frame -> handle frame
+          in
+          print_string reply;
+          flush stdout;
+          serve ()
+    in
+    serve ()
+  end

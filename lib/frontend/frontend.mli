@@ -1,0 +1,147 @@
+(** Concurrent domain-pool front-end for the NETEMBED service.
+
+    The paper's Fig.-1 deployment is a {e service} many distributed
+    applications query at once; this module is the front door that
+    lets the concurrency-ready engine underneath (work-stealing
+    search, filter cache, ledger) actually see concurrent traffic:
+
+    {v
+      clients ──TCP──▶ acceptor domain ──▶ reader thread per connection
+                                               │  (frames, bounded)
+                                               ▼
+                                    bounded admission queue  ──full──▶ reject
+                                               │                      (backpressure
+                                               ▼                       certificate)
+                                  N worker domains ──▶ handle frame
+                                               │
+                                               ▼
+                              per-connection ordered reply writer
+    v}
+
+    - {b Bounded admission} ({!Bounded_queue}): an MPMC mutex/condvar
+      ring.  When it is full the reader rejects the frame immediately
+      with the caller-supplied [reject] reply (the server wires this to
+      {!Netembed_service.Service.reject_backpressure}, so the client
+      gets an [ERR id=...] it can [EXPLAIN] and the reject counter
+      moves) instead of queueing unboundedly.
+    - {b Pipelining}: the reader keeps pulling frames while earlier
+      answers are still being computed; replies are written strictly in
+      request order per connection, so the wire contract (answers in
+      request order) survives out-of-order completion across workers.
+    - {b Lifecycle}: per-connection idle timeout, bounded frame size
+      (oversized frames get a clean wire error and the stream
+      resynchronizes), and graceful drain on {!stop} — stop accepting,
+      finish in-flight requests, then join every domain.
+
+    The module is transport logic only: what a frame {e means} is the
+    [handle] closure's business, which must be safe to call from
+    several domains at once ({!Netembed_service.Service} is). *)
+
+(** Bounded multi-producer/multi-consumer queue (mutex + condvar ring).
+    [try_push] never blocks — a full queue is the backpressure signal —
+    while [pop] blocks until an element, or [None] once the queue is
+    closed {e and} drained. *)
+module Bounded_queue : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  (** @raise Invalid_argument when [capacity < 1]. *)
+
+  val try_push : 'a t -> 'a -> bool
+  (** Enqueue without blocking; [false] when the queue is full or
+      closed. *)
+
+  val pop : 'a t -> 'a option
+  (** Dequeue, blocking while the queue is open and empty.  [None] once
+      the queue is closed and every element has been drained. *)
+
+  val close : 'a t -> unit
+  (** Reject further pushes and wake every blocked consumer; elements
+      already queued are still delivered. *)
+
+  val length : 'a t -> int
+  val capacity : 'a t -> int
+end
+
+(** Sizing the two domain pools (front-end workers vs. search domains)
+    from what the machine actually has, so a multi-domain service does
+    not oversubscribe cores it does not own. *)
+type sizing = {
+  workers : int;  (** front-end worker domains *)
+  search_domains : int;
+      (** per-request work-stealing search domains
+          ({!Netembed_service.Service.create}'s [domains]) *)
+}
+
+val plan : ?workers:int -> ?search_domains:int -> unit -> sizing
+(** Defaults: [workers = max 1 (recommended_domain_count - 1)] (one
+    core left for the acceptor/readers), and
+    [search_domains = max 1 (recommended_domain_count - workers)] —
+    the search pool is sized from the cores the front end is {e not}
+    using.  Explicit values are clamped to at least 1. *)
+
+type config = {
+  workers : int;  (** worker domains draining the admission queue *)
+  queue_capacity : int;  (** admission-queue bound *)
+  idle_timeout : float;
+      (** close a connection after this many seconds without a frame
+          (0 = never) *)
+  max_frame_bytes : int;  (** per-frame body bound *)
+  drain_timeout : float;
+      (** on {!stop}, seconds to wait for open connections to finish
+          before force-closing them *)
+}
+
+val default_config : unit -> config
+(** [workers] from {!plan}, queue capacity 64, idle timeout 30 s, frame
+    bound {!Netembed_service.Wire.default_max_frame_bytes}, drain
+    timeout 5 s. *)
+
+type t
+
+val start :
+  ?config:config ->
+  ?registry:Netembed_telemetry.Telemetry.Registry.t ->
+  handle:(string -> string) ->
+  reject:(queue_depth:int -> queue_capacity:int -> string) ->
+  port:int ->
+  unit ->
+  t
+(** Bind [127.0.0.1:port] ([port = 0] picks an ephemeral port — read it
+    back with {!port}), spawn the acceptor domain and [config.workers]
+    worker domains, and serve until {!stop}.
+
+    [handle frame] computes the reply for one request frame; it runs on
+    worker domains concurrently.  [reject ~queue_depth ~queue_capacity]
+    builds the immediate reply for a frame bounced off a saturated
+    admission queue; it runs on reader threads and must be cheap.
+
+    Registers [netembed_admission_queue_depth] and
+    [netembed_frontend_connections] gauges in [registry] (default
+    {!Netembed_telemetry.Telemetry.default_registry}). *)
+
+val port : t -> int
+(** The actually-bound TCP port. *)
+
+val stop : t -> unit
+(** Graceful drain: stop accepting, let readers finish their current
+    frames and workers drain the queue, write every pending reply,
+    force-close connections still open after [config.drain_timeout],
+    and join every domain.  Idempotent. *)
+
+(** Minimal HTTP listener for the telemetry exposition ([GET /metrics],
+    [/metrics.json], [/healthz]).  One thread per connection with
+    socket read/write timeouts, so a scraper that connects and then
+    stalls cannot wedge health checks behind it. *)
+module Http : sig
+  val start :
+    ?timeout:float ->
+    registry:Netembed_telemetry.Telemetry.Registry.t ->
+    port:int ->
+    unit ->
+    int
+  (** Bind [127.0.0.1:port] (0 = ephemeral), serve from a dedicated
+      domain, return the bound port.  [timeout] (default 5 s) bounds
+      both reading the request and writing the response per
+      connection. *)
+end

@@ -21,7 +21,11 @@ let private_store problem =
     ~universe:(Graph.node_count problem.Problem.host)
     ~depths:(Graph.node_count problem.Problem.query)
 
-let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+(* [reserved] lets a caller that already runs domains of its own (the
+   TCP front-end's acceptor and worker pool) subtract them, so search
+   and serving do not oversubscribe the same cores. *)
+let default_domains ?(reserved = 0) () =
+  max 1 (Domain.recommended_domain_count () - 1 - max 0 reserved)
 
 (* The runtime supports at most ~128 live domains; requests beyond that
    would make [Domain.spawn] fail outright. *)
@@ -97,10 +101,41 @@ module Deque = struct
     mutable buf : 'a array;
     mutable head : int;  (* index of the oldest element *)
     mutable len : int;
+    (* The deques are allocated back to back (one Array.init), and a
+       bare 6-word record lets two deques' hot [head]/[len] words land
+       in the same cache line — every steal probe then bounces the
+       owner's line.  The padding spreads successive records past a
+       64-byte line. *)
+    mutable pad0 : int;
+    mutable pad1 : int;
+    mutable pad2 : int;
+    mutable pad3 : int;
+    mutable pad4 : int;
+    mutable pad5 : int;
+    mutable pad6 : int;
+    mutable pad7 : int;
   }
 
   let create dummy =
-    { lock = Mutex.create (); dummy; buf = Array.make 16 dummy; head = 0; len = 0 }
+    {
+      lock = Mutex.create ();
+      dummy;
+      buf = Array.make 16 dummy;
+      head = 0;
+      len = 0;
+      pad0 = 0;
+      pad1 = 0;
+      pad2 = 0;
+      pad3 = 0;
+      pad4 = 0;
+      pad5 = 0;
+      pad6 = 0;
+      pad7 = 0;
+    }
+
+  (* Keep the flambda-less compiler from dropping the padding fields as
+     unused. *)
+  let _touch t = t.pad0 + t.pad1 + t.pad2 + t.pad3 + t.pad4 + t.pad5 + t.pad6 + t.pad7
 
   let grow t =
     let n = Array.length t.buf in
@@ -363,8 +398,21 @@ let ws_run ?trace ~k ~timeout ~split_depth ~registry problem filter =
                 process fr;
                 loop 0
             | None ->
-                if failed_steals < 64 then Domain.cpu_relax ()
-                else Unix.sleepf 0.0002;
+                (* Short spin burst, then exponentially longer sleeps
+                   (0.2 ms doubling to a 3.2 ms cap).  On machines with
+                   fewer cores than domains the thieves time-slice
+                   against the workers that hold frames: a thief that
+                   spins (or wakes every 0.2 ms) steals the productive
+                   worker's quantum and stalls its minor-GC barriers —
+                   the measured work-stealing regression at 4-8 domains
+                   on scarce cores.  Sleeping thieves cost at most one
+                   backoff period of wake-up latency when work does
+                   appear. *)
+                if failed_steals < 16 then Domain.cpu_relax ()
+                else begin
+                  let shift = min 4 ((failed_steals - 16) / 8) in
+                  Unix.sleepf (0.0002 *. float_of_int (1 lsl shift))
+                end;
                 loop (failed_steals + 1)
           end
     in

@@ -31,6 +31,23 @@ let window_label = "60s"
 type t = {
   model : Model.t;
   registry : Telemetry.Registry.t;
+  (* Concurrent-submit safety: the service is shared by the front-end's
+     worker domains, so its mutable state is split across three small
+     locks (never nested in one another):
+     - [model_lock] serializes every model/ledger mutation and every
+       read that must be consistent with one (admission checks,
+       residual snapshots paired with the revision they were taken at,
+       allocation commit/release, monitor ticks via {!exclusively});
+     - [cache_lock] guards the filter cache's table and its hit/miss
+       counters, so the hammer test can assert hits + misses = lookups
+       exactly;
+     - [state_lock] guards the diagnostics ring, the windowed phase
+       series, the latency histogram and the request counters.
+     The search itself runs outside all three, against an immutable
+     residual snapshot. *)
+  model_lock : Mutex.t;
+  cache_lock : Mutex.t;
+  state_lock : Mutex.t;
   requests : Telemetry.Counter.t;
   request_errors : Telemetry.Counter.t;
   latency_us : Telemetry.Histogram.t;
@@ -39,6 +56,7 @@ type t = {
   allocations_accepted : Telemetry.Counter.t;
   allocations_rejected : Telemetry.Counter.t;
   admission_rejected : Telemetry.Counter.t;
+  queue_rejected : Telemetry.Counter.t;
   active_allocations : Telemetry.Gauge.t;
   utilization_gauges : (string * [ `Node | `Edge ] * Telemetry.Gauge.t) list;
   slow_threshold : float;
@@ -53,7 +71,7 @@ type t = {
   request_seconds : Telemetry.Windowed.t array;
   phase_seconds : Telemetry.Gauge.t array;
   phase_totals : float array;
-  mutable next_id : int;
+  next_id : int Atomic.t;
   (* Bounded slow/failed-query log: a ring of the last [log_capacity]
      diagnosable requests, looked up by request id for EXPLAIN. *)
   log : entry option array;
@@ -87,6 +105,9 @@ let create ?(registry = Telemetry.default_registry) ?(slow_threshold = 0.5)
     {
       model;
       registry;
+      model_lock = Mutex.create ();
+      cache_lock = Mutex.create ();
+      state_lock = Mutex.create ();
       requests =
         Telemetry.Registry.counter registry
           ~help:"Requests submitted to the mapping service" "netembed_requests_total";
@@ -118,6 +139,11 @@ let create ?(registry = Telemetry.default_registry) ?(slow_threshold = 0.5)
         Telemetry.Registry.counter registry
           ~help:"Queries rejected before search: aggregate demand exceeded total residual capacity"
           "netembed_admission_rejects_total";
+      queue_rejected =
+        Telemetry.Registry.counter registry
+          ~help:"Requests rejected at the front door because the admission queue was \
+                 saturated (backpressure)"
+          "netembed_admission_queue_rejects_total";
       active_allocations =
         Telemetry.Registry.gauge registry
           ~help:"Outstanding ledger allocations" "netembed_active_allocations";
@@ -156,7 +182,7 @@ let create ?(registry = Telemetry.default_registry) ?(slow_threshold = 0.5)
               "netembed_phase_seconds_total");
       phase_totals = Array.make Telemetry.Phase.count 0.0;
       slow_search_share;
-      next_id = 1;
+      next_id = Atomic.make 1;
       log = Array.make log_capacity None;
       logged = 0;
     }
@@ -169,10 +195,21 @@ let registry t = t.registry
 let filter_cache t = t.filter_cache
 let domains t = t.domains
 
-let utilization t = Ledger.utilization (Model.ledger t.model)
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock m)
 
+let with_model t f = with_lock t.model_lock f
+let with_cache t f = with_lock t.cache_lock f
+let with_state t f = with_lock t.state_lock f
+let exclusively t f = with_model t f
+
+let utilization t =
+  with_model t (fun () -> Ledger.utilization (Model.ledger t.model))
+
+(* Callers hold [model_lock]. *)
 let refresh_utilization t =
-  let rows = utilization t in
+  let rows = Ledger.utilization (Model.ledger t.model) in
   List.iter
     (fun (resource, kind, gauge) ->
       match
@@ -189,7 +226,9 @@ let refresh_utilization t =
 (* Phase-latency accounting                                            *)
 (* ------------------------------------------------------------------ *)
 
-let record_phase t phase seconds =
+(* Caller holds [state_lock]: the windowed slices, phase totals and
+   gauges are written from every worker domain. *)
+let record_phase_unlocked t phase seconds =
   if seconds > 0.0 then begin
     let i = Telemetry.Phase.index phase in
     t.phase_totals.(i) <- t.phase_totals.(i) +. seconds;
@@ -198,14 +237,17 @@ let record_phase t phase seconds =
       (int_of_float (seconds *. 1e6))
   end
 
+let record_phase t phase seconds =
+  with_state t (fun () -> record_phase_unlocked t phase seconds)
+
 (* Feed a request's filled timings array into the per-phase series.
    Phases the request never exercised (0.0 cells) are skipped, so each
    phase's window quantiles cover only requests that paid for it. *)
-let record_phases t phases =
+let record_phases_unlocked t phases =
   Array.iteri
     (fun i s ->
       if i < Telemetry.Phase.count && s > 0.0 then
-        record_phase t (Telemetry.Phase.of_index i) s)
+        record_phase_unlocked t (Telemetry.Phase.of_index i) s)
     phases
 
 type answer = {
@@ -225,22 +267,72 @@ module Log = (val Logs.src_log src : Logs.LOG)
 (* Slow/failed-query log and failure metrics                           *)
 (* ------------------------------------------------------------------ *)
 
-let log_entry t entry =
+(* Caller holds [state_lock]. *)
+let log_entry_unlocked t entry =
   t.log.(t.logged mod log_capacity) <- Some entry;
   t.logged <- t.logged + 1
 
+let log_entry t entry = with_state t (fun () -> log_entry_unlocked t entry)
+
 let explain t id =
-  let found = ref None in
-  Array.iter
-    (fun e ->
-      match e with
-      | Some (e : entry) when e.id = id -> found := Some e
-      | Some _ | None -> ())
-    t.log;
-  !found
+  with_state t (fun () ->
+      let found = ref None in
+      Array.iter
+        (fun e ->
+          match e with
+          | Some (e : entry) when e.id = id -> found := Some e
+          | Some _ | None -> ())
+        t.log;
+      !found)
 
 let last_entry t =
-  if t.logged = 0 then None else t.log.((t.logged - 1) mod log_capacity)
+  with_state t (fun () ->
+      if t.logged = 0 then None else t.log.((t.logged - 1) mod log_capacity))
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure rejections                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A request turned away at the front door because the admission queue
+   was saturated.  It still gets a request id and a certificate in the
+   diagnostics ring — the reject travels the same explain path as an
+   admission failure, so a client can EXPLAIN the id it was bounced
+   with and monitoring sees the reject counter move. *)
+let reject_backpressure t ~queue_depth ~queue_capacity =
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  let trace_id = Telemetry.Trace.fresh_id () in
+  let message =
+    Printf.sprintf
+      "backpressure: admission queue saturated (%d/%d in flight); retry with backoff"
+      queue_depth queue_capacity
+  in
+  let certificate =
+    Explain.Certificate.make
+      ~notes:
+        [
+          Printf.sprintf "admission queue depth %d of capacity %d" queue_depth
+            queue_capacity;
+          "the search was never started: no capacity or constraint was evaluated";
+        ]
+      ~verdict:"backpressure" message
+  in
+  let entry =
+    {
+      id;
+      trace_id;
+      summary = Printf.sprintf "rejected at admission queue — %s" message;
+      verdict = "backpressure";
+      elapsed = 0.0;
+      phases = Telemetry.Phase.make_timings ();
+      slow_search = false;
+      certificate = Some certificate;
+    }
+  in
+  with_state t (fun () ->
+      Telemetry.Counter.incr t.queue_rejected;
+      Telemetry.Counter.incr t.request_errors;
+      log_entry_unlocked t entry);
+  entry
 
 (* ------------------------------------------------------------------ *)
 (* TOP: busiest phases, worst recent requests, window quantiles        *)
@@ -262,6 +354,7 @@ type top = {
 }
 
 let top ?(worst = 5) t =
+  with_state t @@ fun () ->
   let stat_of i =
     let w = t.request_seconds.(i) in
     {
@@ -289,6 +382,9 @@ let top ?(worst = 5) t =
   in
   { busiest; worst = take worst entries; window_s = window_seconds }
 
+(* The labeled-counter increments below are serialized by [state_lock]
+   at the call sites (registration itself is thread-safe in the
+   registry). *)
 let count_unsat t cause =
   Telemetry.Counter.incr
     (Telemetry.Registry.counter t.registry
@@ -386,12 +482,13 @@ let submit_parallel t ?trace ~cached_filter ~(request : Request.t) problem =
   let found = List.length stats.Parallel.mappings in
   let visited = Parallel.visited_total stats in
   let constraint_evals = Problem.constraint_evals problem - evals_before in
-  Telemetry.Counter.add
-    (Telemetry.Registry.counter t.registry
-       ~labels:[ ("algorithm", "ECF") ]
-       ~help:"Constraint-expression evaluations (all phases)"
-       "netembed_constraint_evals_total")
-    constraint_evals;
+  with_state t (fun () ->
+      Telemetry.Counter.add
+        (Telemetry.Registry.counter t.registry
+           ~labels:[ ("algorithm", "ECF") ]
+           ~help:"Constraint-expression evaluations (all phases)"
+           "netembed_constraint_evals_total")
+        constraint_evals);
   let domains_built, intersections, backtracks =
     List.fold_left
       (fun (a, b, c) (s : Netembed_core.Domain_store.stats) ->
@@ -444,9 +541,8 @@ let submit_parallel t ?trace ~cached_filter ~(request : Request.t) problem =
 
 let submit ?(trace = false) t (request : Request.t) =
   let t0 = Unix.gettimeofday () in
-  Telemetry.Counter.incr t.requests;
-  let id = t.next_id in
-  t.next_id <- id + 1;
+  with_state t (fun () -> Telemetry.Counter.incr t.requests);
+  let id = Atomic.fetch_and_add t.next_id 1 in
   (* Every request gets a trace id (one atomic increment) so exemplars
      and answers correlate even when span recording is off; the buffer
      itself exists only for traced requests. *)
@@ -464,12 +560,13 @@ let submit ?(trace = false) t (request : Request.t) =
   in
   let finish ~phases:ph outcome =
     let dt_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
-    Telemetry.Histogram.observe t.latency_us dt_us;
-    Telemetry.Windowed.observe t.request_seconds.(Telemetry.Phase.count) dt_us;
-    record_phases t ph;
-    (match outcome with
-    | Error _ -> Telemetry.Counter.incr t.request_errors
-    | Ok _ -> ());
+    with_state t (fun () ->
+        Telemetry.Histogram.observe t.latency_us dt_us;
+        Telemetry.Windowed.observe t.request_seconds.(Telemetry.Phase.count) dt_us;
+        record_phases_unlocked t ph;
+        match outcome with
+        | Error _ -> Telemetry.Counter.incr t.request_errors
+        | Ok _ -> ());
     outcome
   in
   let log_failure ?certificate verdict message =
@@ -504,11 +601,13 @@ let submit ?(trace = false) t (request : Request.t) =
          reject it before paying for a search. *)
       match
         time_phase Telemetry.Phase.Admission (fun () ->
-            Ledger.admissible (Model.ledger t.model) ~query:request.Request.query)
+            with_model t (fun () ->
+                Ledger.admissible (Model.ledger t.model) ~query:request.Request.query))
       with
       | Error f ->
-          Telemetry.Counter.incr t.admission_rejected;
-          count_unsat t "admission";
+          with_state t (fun () ->
+              Telemetry.Counter.incr t.admission_rejected;
+              count_unsat t "admission");
           log_failure ~certificate:(admission_certificate t f) "admission"
             (Ledger.failure_to_string f);
           finish ~phases (Error ("admission: " ^ Ledger.failure_to_string f))
@@ -516,12 +615,14 @@ let submit ?(trace = false) t (request : Request.t) =
           (* Embed against residual capacities: co-located tenants have
              already eaten into what constraints like
              rSource.cpuMhz >= vSource.cpuMhz can see.  The snapshot is
-             ledger-side work, so it lands on the ledger_commit cell. *)
-          let host =
+             ledger-side work, so it lands on the ledger_commit cell.
+             Snapshot and revision are read under one critical section
+             so a concurrent allocation cannot slip between them. *)
+          let host, revision =
             time_phase Telemetry.Phase.Ledger_commit (fun () ->
-                Model.residual_snapshot t.model)
+                with_model t (fun () ->
+                    (Model.residual_snapshot t.model, Model.revision t.model)))
           in
-          let revision = Model.revision t.model in
           (* Cross-request filter cache: ECF/RWB requests key their
              filter matrix on (model revision, query signature) and
              skip the build — the dominant sequential phase — on a
@@ -537,27 +638,35 @@ let submit ?(trace = false) t (request : Request.t) =
                 match request.Request.algorithm with
                 | Engine.LNS -> None
                 | Engine.ECF | Engine.RWB ->
-                    Filter_cache.invalidate t.filter_cache
-                      ~current_revision:revision;
+                    (* The signature serialization reads only the
+                       request; only the invalidation sweep needs the
+                       cache lock. *)
+                    with_cache t (fun () ->
+                        Filter_cache.invalidate t.filter_cache
+                          ~current_revision:revision);
                     Some
                       (Filter_cache.signature ~query:request.Request.query
                          ~constraint_text:request.Request.constraint_text
                          ~node_constraint_text:request.Request.node_constraint_text))
           in
+          (* Probe and counter bump are one critical section, so
+             hits + misses = lookups holds exactly under concurrent
+             submits. *)
           let cache_hit =
             time_phase Telemetry.Phase.Cache_lookup (fun () ->
                 match cache_key with
                 | None -> None
-                | Some key -> (
-                    match
-                      Filter_cache.find t.filter_cache ~revision ~signature:key
-                    with
-                    | Some hit ->
-                        Telemetry.Counter.incr t.cache_hits;
-                        Some hit
-                    | None ->
-                        Telemetry.Counter.incr t.cache_misses;
-                        None))
+                | Some key ->
+                    with_cache t (fun () ->
+                        match
+                          Filter_cache.find t.filter_cache ~revision ~signature:key
+                        with
+                        | Some hit ->
+                            Telemetry.Counter.incr t.cache_hits;
+                            Some hit
+                        | None ->
+                            Telemetry.Counter.incr t.cache_misses;
+                            None))
           in
           let cached_filter = Option.map fst cache_hit in
           let compiled = Option.map snd cache_hit in
@@ -595,8 +704,9 @@ let submit ?(trace = false) t (request : Request.t) =
               time_phase Telemetry.Phase.Ledger_commit (fun () ->
                   match (cache_key, result.Engine.filter) with
                   | Some key, Some f ->
-                      Filter_cache.add t.filter_cache ~revision ~signature:key
-                        ~compiled:(Problem.compiled_programs problem) f
+                      with_cache t (fun () ->
+                          Filter_cache.add t.filter_cache ~revision ~signature:key
+                            ~compiled:(Problem.compiled_programs problem) f)
                   | _ -> ());
               Log.debug (fun m ->
                   m "query %d nodes via %s: %d mapping(s), %s"
@@ -630,36 +740,37 @@ let submit ?(trace = false) t (request : Request.t) =
                   Telemetry.Trace.add b ~name:"request" ~start_us:(t0 *. 1e6)
                     ~dur_us:((Unix.gettimeofday () -. t0) *. 1e6)
               | None -> ());
-              (match verdict with
-              | "unsat" ->
-                  let cause =
-                    match result.Engine.report with
-                    | Some cert -> (
-                        match Explain.Certificate.primary_cause cert with
-                        | Some c -> Explain.Cause.label c
-                        | None -> "search")
-                    | None -> "search"
-                  in
-                  count_unsat t cause
-              | "exhausted" -> count_unsat t "budget"
-              | _ -> ());
-              (if verdict <> "complete" || slow || slow_search then begin
-                 (match result.Engine.report with
-                 | Some cert -> count_blame t cert
-                 | None -> ());
-                 log_entry t
-                   {
-                     id;
-                     trace_id;
-                     summary =
-                       request_summary request verdict result.Engine.elapsed;
-                     verdict;
-                     elapsed = result.Engine.elapsed;
-                     phases = rp;
-                     slow_search;
-                     certificate = result.Engine.report;
-                   }
-               end);
+              with_state t (fun () ->
+                  (match verdict with
+                  | "unsat" ->
+                      let cause =
+                        match result.Engine.report with
+                        | Some cert -> (
+                            match Explain.Certificate.primary_cause cert with
+                            | Some c -> Explain.Cause.label c
+                            | None -> "search")
+                        | None -> "search"
+                      in
+                      count_unsat t cause
+                  | "exhausted" -> count_unsat t "budget"
+                  | _ -> ());
+                  if verdict <> "complete" || slow || slow_search then begin
+                    (match result.Engine.report with
+                    | Some cert -> count_blame t cert
+                    | None -> ());
+                    log_entry_unlocked t
+                      {
+                        id;
+                        trace_id;
+                        summary =
+                          request_summary request verdict result.Engine.elapsed;
+                        verdict;
+                        elapsed = result.Engine.elapsed;
+                        phases = rp;
+                        slow_search;
+                        certificate = result.Engine.report;
+                      }
+                  end);
               let revision = Model.revision t.model in
               Telemetry.Gauge.set t.model_revision (float_of_int revision);
               finish ~phases:rp
@@ -673,7 +784,7 @@ let submit_with_relaxation t request ~steps ~factor =
         if answer.result.Engine.mappings <> [] || round >= steps then
           Ok (answer, round)
         else begin
-          Telemetry.Counter.incr t.relaxation_rounds;
+          with_state t (fun () -> Telemetry.Counter.incr t.relaxation_rounds);
           go (Request.relax request factor) (round + 1)
         end
   in
@@ -688,14 +799,21 @@ let timed_ledger_commit t f =
   Fun.protect f ~finally:(fun () ->
       record_phase t Telemetry.Phase.Ledger_commit (Unix.gettimeofday () -. t0))
 
+(* The stale-answer revision check and the commit/release must be one
+   critical section: otherwise a monitor tick between check and commit
+   books capacity against a model the answer never saw.  The allocation
+   counters ride along under [model_lock] so the hammer test can assert
+   accepted + rejected = attempts exactly. *)
 let allocate t answer mapping =
+  timed_ledger_commit t @@ fun () ->
+  with_model t @@ fun () ->
   if Model.revision t.model <> answer.model_revision then begin
     Telemetry.Counter.incr t.allocations_rejected;
     Error stale_answer_error
   end
   else begin
     let hosts = List.map snd (Mapping.to_list mapping) in
-    match timed_ledger_commit t (fun () -> Model.reserve t.model hosts) with
+    match Model.reserve t.model hosts with
     | () ->
         Telemetry.Counter.incr t.allocations_accepted;
         refresh_utilization t;
@@ -706,15 +824,14 @@ let allocate t answer mapping =
   end
 
 let allocate_shared t answer mapping =
+  timed_ledger_commit t @@ fun () ->
+  with_model t @@ fun () ->
   if Model.revision t.model <> answer.model_revision then begin
     Telemetry.Counter.incr t.allocations_rejected;
     Error stale_answer_error
   end
   else
-    match
-      timed_ledger_commit t (fun () ->
-          Model.charge_mapping t.model ~query:answer.request.Request.query mapping)
-    with
+    match Model.charge_mapping t.model ~query:answer.request.Request.query mapping with
     | Ok id ->
         Telemetry.Counter.incr t.allocations_accepted;
         refresh_utilization t;
@@ -724,10 +841,13 @@ let allocate_shared t answer mapping =
         Error m
 
 let free t id =
-  let ok = timed_ledger_commit t (fun () -> Model.release_charge t.model id) in
+  timed_ledger_commit t @@ fun () ->
+  with_model t @@ fun () ->
+  let ok = Model.release_charge t.model id in
   if ok then refresh_utilization t;
   ok
 
 let release_mapping t mapping =
-  Model.release t.model (List.map snd (Mapping.to_list mapping));
-  refresh_utilization t
+  with_model t (fun () ->
+      Model.release t.model (List.map snd (Mapping.to_list mapping));
+      refresh_utilization t)

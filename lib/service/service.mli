@@ -8,7 +8,20 @@
     searching, supports the interactive negotiate-and-relax loop, and
     can allocate a returned mapping — exclusively ({!allocate}, the
     whole-node reservation) or fractionally ({!allocate_shared}, a
-    multi-tenant capacity charge in the model's ledger). *)
+    multi-tenant capacity charge in the model's ledger).
+
+    {b Concurrency.}  A service value may be shared by any number of
+    domains submitting, allocating and freeing concurrently (the
+    {!Netembed_frontend} worker pool does exactly that).  Internally
+    three small mutexes serialize the mutable state — model/ledger
+    mutations and the reads that must be consistent with them, the
+    filter cache with its hit/miss counters, and the diagnostics ring
+    plus the windowed phase series and request counters — while the
+    search itself always runs lock-free against an immutable residual
+    snapshot.  Request ids and trace ids are atomic.  The per-algorithm
+    engine counters (visited nodes, etc.) keep the telemetry kernel's
+    racy single-writer model and may undercount slightly under heavy
+    parallel load; the service-level counters are exact. *)
 
 type t
 
@@ -148,6 +161,20 @@ val record_phase : t -> Netembed_telemetry.Telemetry.Phase.t -> float -> unit
 val explain : t -> int -> entry option
 (** Look up a retained diagnostic entry by request id ([None] when the
     id is unknown, was evicted from the ring, or completed quickly). *)
+
+val reject_backpressure : t -> queue_depth:int -> queue_capacity:int -> entry
+(** Record a request turned away because the front-end's admission
+    queue was saturated: allocates a request id, bumps
+    [netembed_admission_queue_rejects_total] (and the request-error
+    counter), and retains a ["backpressure"]-verdict certificate in the
+    diagnostics ring so the client can [EXPLAIN] the id it was bounced
+    with.  Constant-time — no model or ledger work — so the front door
+    sheds load instead of queueing unboundedly. *)
+
+val exclusively : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the service's model/ledger lock — the hook for
+    out-of-band model mutations (monitor ticks) that must not interleave
+    with concurrent submits' residual snapshots or allocations. *)
 
 val last_entry : t -> entry option
 (** The most recently logged diagnostic entry. *)

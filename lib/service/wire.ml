@@ -44,6 +44,48 @@ let encode_embed keyword (r : Request.t) =
 
 let encode_request r = encode_embed "EMBED" r
 
+(* ------------------------------------------------------------------ *)
+(* Bounded frame reading                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A frame is at most [max_bytes] of body (everything before the "."
+   terminator).  The bound exists so a malicious or broken client
+   cannot grow an unbounded Buffer in the server: past the limit the
+   reader stops accumulating, keeps consuming lines until the
+   terminator to resynchronize the stream, and hands back a clean wire
+   error — the connection stays usable for the next frame. *)
+let default_max_frame_bytes = 1 lsl 20
+
+let frame_too_large ~limit =
+  Printf.sprintf "frame exceeds the %d-byte limit" limit
+
+let read_frame ?(max_bytes = default_max_frame_bytes) ic =
+  let buf = Buffer.create 1024 in
+  let overflow = ref false in
+  let rec go () =
+    match input_line ic with
+    | "." ->
+        if !overflow then Some (Error (frame_too_large ~limit:max_bytes))
+        else Some (Ok (Buffer.contents buf))
+    | line ->
+        if !overflow then go ()
+        else if Buffer.length buf + String.length line + 1 > max_bytes then begin
+          overflow := true;
+          Buffer.clear buf;
+          go ()
+        end
+        else begin
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n';
+          go ()
+        end
+    | exception End_of_file ->
+        if !overflow then Some (Error (frame_too_large ~limit:max_bytes))
+        else if Buffer.length buf = 0 then None
+        else Some (Ok (Buffer.contents buf))
+  in
+  go ()
+
 let split_kv token =
   match String.index_opt token '=' with
   | None -> (token, "")

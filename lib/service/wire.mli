@@ -78,6 +78,23 @@ val encode_request : Request.t -> string
 val decode_request : string -> (Request.t, string) result
 (** [EMBED] frames only; {!decode_command} accepts the full verb set. *)
 
+val default_max_frame_bytes : int
+(** Default bound on a frame's body (1 MiB) — far above any realistic
+    query, far below anything that could pressure the server's heap. *)
+
+val frame_too_large : limit:int -> string
+(** The canonical oversized-frame error message, shared by every
+    transport so clients see one spelling. *)
+
+val read_frame : ?max_bytes:int -> in_channel -> (string, string) result option
+(** Read one frame (lines up to a [.] terminator) from a channel.
+    [None] on EOF before any content; [Some (Ok body)] on a complete
+    frame (EOF after partial content yields the partial body, matching
+    the historical server loop); [Some (Error msg)] when the body
+    exceeded [max_bytes] (default {!default_max_frame_bytes}) — the
+    reader consumes input through the terminator first, so the stream
+    is resynchronized and the next frame parses cleanly. *)
+
 (** One decoded protocol verb. *)
 type command =
   | Submit of Request.t  (** [EMBED]: search, do not allocate *)

@@ -491,9 +491,20 @@ module Registry = struct
   type t = {
     by_key : (string, entry) Hashtbl.t;
     mutable order : string list;  (** registration order, newest first *)
+    (* Registration, enumeration and cross-registry merges mutate the
+       name table and must be safe from any domain: the concurrent
+       front-end registers label variants (unsat causes, per-phase
+       series) lazily from worker domains.  Metric *updates* stay
+       lock-free single-writer/racy-reader as before — the lock only
+       guards the table and whole-merge atomicity. *)
+    lock : Mutex.t;
   }
 
-  let create () = { by_key = Hashtbl.create 32; order = [] }
+  let create () = { by_key = Hashtbl.create 32; order = []; lock = Mutex.create () }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect f ~finally:(fun () -> Mutex.unlock t.lock)
 
   let valid_name n =
     n <> ""
@@ -519,7 +530,9 @@ module Registry = struct
 
   let key name labels = name ^ render_labels labels
 
-  let register t ?(help = "") ?(labels = []) name build describe =
+  (* The table lookup/insert itself, callable with [t.lock] already
+     held (the merge loop) or not (the public accessors). *)
+  let register_unlocked t ?(help = "") ?(labels = []) name build describe =
     if not (valid_name name) then
       invalid_arg (Printf.sprintf "Telemetry.Registry: bad metric name %S" name);
     List.iter
@@ -536,6 +549,9 @@ module Registry = struct
         Hashtbl.replace t.by_key k { name; labels; help; metric };
         t.order <- k :: t.order;
         describe metric
+
+  let register t ?help ?labels name build describe =
+    locked t (fun () -> register_unlocked t ?help ?labels name build describe)
 
   let counter t ?help ?labels name =
     register t ?help ?labels name
@@ -568,31 +584,75 @@ module Registry = struct
               ("Telemetry.Registry: " ^ name ^ " is not a windowed histogram"))
 
   let entries t =
-    List.rev_map (fun k -> Hashtbl.find t.by_key k) t.order
+    locked t (fun () -> List.rev_map (fun k -> Hashtbl.find t.by_key k) t.order)
 
+  (* Snapshot the source under its own lock, then apply under the
+     destination's — never holding both, so two registries can merge
+     into each other without deadlock.  Holding [dst.lock] across the
+     whole loop makes each merge atomic with respect to other merges:
+     two worker joins adding into the same destination counter cannot
+     lose an update. *)
   let merge_into ~dst src =
-    List.iter
-      (fun e ->
-        match e.metric with
-        | Counter c ->
-            Counter.merge_into
-              ~dst:(counter dst ~help:e.help ~labels:e.labels e.name)
-              c
-        | Gauge g ->
-            Gauge.merge_into ~dst:(gauge dst ~help:e.help ~labels:e.labels e.name) g
-        | Histogram h ->
-            Histogram.merge_into
-              ~dst:(histogram dst ~help:e.help ~labels:e.labels e.name)
-              h
-        | Windowed w ->
-            Windowed.merge_into
-              ~dst:
-                (windowed dst ~help:e.help ~labels:e.labels
-                   ~clock:(Windowed.clock w) ~scale:(Windowed.scale w)
-                   ~window:(Windowed.window w)
-                   ~slices:(Windowed.slice_count w) e.name)
-              w)
-      (entries src)
+    let src_entries = entries src in
+    locked dst (fun () ->
+        List.iter
+          (fun e ->
+            let unlocked describe build =
+              register_unlocked dst ~help:e.help ~labels:e.labels e.name build
+                describe
+            in
+            match e.metric with
+            | Counter c ->
+                Counter.merge_into
+                  ~dst:
+                    (unlocked
+                       (function
+                         | Counter c -> c
+                         | _ ->
+                             invalid_arg
+                               ("Telemetry.Registry: " ^ e.name ^ " is not a counter"))
+                       (fun () -> Counter (Counter.make ())))
+                  c
+            | Gauge g ->
+                Gauge.merge_into
+                  ~dst:
+                    (unlocked
+                       (function
+                         | Gauge g -> g
+                         | _ ->
+                             invalid_arg
+                               ("Telemetry.Registry: " ^ e.name ^ " is not a gauge"))
+                       (fun () -> Gauge (Gauge.make ())))
+                  g
+            | Histogram h ->
+                Histogram.merge_into
+                  ~dst:
+                    (unlocked
+                       (function
+                         | Histogram h -> h
+                         | _ ->
+                             invalid_arg
+                               ("Telemetry.Registry: " ^ e.name
+                              ^ " is not a histogram"))
+                       (fun () -> Histogram (Histogram.make ())))
+                  h
+            | Windowed w ->
+                Windowed.merge_into
+                  ~dst:
+                    (unlocked
+                       (function
+                         | Windowed w -> w
+                         | _ ->
+                             invalid_arg
+                               ("Telemetry.Registry: " ^ e.name
+                              ^ " is not a windowed histogram"))
+                       (fun () ->
+                         Windowed
+                           (Windowed.create ~clock:(Windowed.clock w)
+                              ~scale:(Windowed.scale w) ~window:(Windowed.window w)
+                              ~slices:(Windowed.slice_count w) ())))
+                  w)
+          src_entries)
 
   (* Prometheus text format 0.0.4.  All samples of a metric family must
      form one contiguous block, so entries are grouped by name (in

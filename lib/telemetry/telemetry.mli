@@ -307,6 +307,15 @@ end
 
 (** {1 Registries and exposition} *)
 
+(** Registries are safe to use from multiple domains: registration,
+    enumeration (the expositions) and {!Registry.merge_into} are
+    serialized by an internal mutex, and a whole merge is atomic with
+    respect to other merges into the same destination — concurrent
+    worker joins cannot lose counter updates.  Metric {e updates}
+    (increments, observations) remain lock-free plain stores under the
+    single-writer/racy-reader model; callers that need exact counts
+    from several writing domains serialize those updates themselves
+    (see {!Netembed_service.Service}). *)
 module Registry : sig
   type t
 

@@ -1,0 +1,103 @@
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+
+let write_file path doc =
+  let oc = open_out_bin path in
+  output_string oc doc;
+  close_out oc
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+(* Byte offsets (start, stop) of the value bound to top-level [key] in
+   a JSON object document.  A hand scanner: strings (with escapes) are
+   opaque, depth counts braces and brackets, and the key must sit at
+   depth 1 — a nested object with the same key never matches. *)
+let locate doc ~key =
+  let n = String.length doc in
+  let quoted = "\"" ^ key ^ "\"" in
+  let qlen = String.length quoted in
+  let rec skip_string i =
+    (* [i] points past the opening quote *)
+    if i >= n then i
+    else
+      match doc.[i] with
+      | '\\' -> skip_string (i + 2)
+      | '"' -> i + 1
+      | _ -> skip_string (i + 1)
+  in
+  let rec skip_ws i = if i < n && is_ws doc.[i] then skip_ws (i + 1) else i in
+  let skip_value i =
+    if i >= n then i
+    else
+      match doc.[i] with
+      | '"' -> skip_string (i + 1)
+      | '{' | '[' ->
+          let rec balanced i depth =
+            if i >= n then i
+            else
+              match doc.[i] with
+              | '"' -> balanced (skip_string (i + 1)) depth
+              | '{' | '[' -> balanced (i + 1) (depth + 1)
+              | '}' | ']' ->
+                  if depth = 1 then i + 1 else balanced (i + 1) (depth - 1)
+              | _ -> balanced (i + 1) depth
+          in
+          balanced (i + 1) 1
+      | _ ->
+          let rec scalar i =
+            if i >= n then i
+            else
+              match doc.[i] with
+              | ',' | '}' | ']' -> i
+              | c when is_ws c -> i
+              | _ -> scalar (i + 1)
+          in
+          scalar i
+  in
+  let rec find i depth =
+    if i >= n then None
+    else
+      match doc.[i] with
+      | '"' when depth = 1 && i + qlen <= n && String.sub doc i qlen = quoted
+        -> (
+          let j = skip_ws (i + qlen) in
+          if j < n && doc.[j] = ':' then
+            let vstart = skip_ws (j + 1) in
+            Some (vstart, skip_value vstart)
+          else find (skip_string (i + 1)) depth)
+      | '"' -> find (skip_string (i + 1)) depth
+      | '{' | '[' -> find (i + 1) (depth + 1)
+      | '}' | ']' -> find (i + 1) (depth - 1)
+      | _ -> find (i + 1) depth
+  in
+  find 0 0
+
+let extract_section doc ~key =
+  match locate doc ~key with
+  | None -> None
+  | Some (a, b) -> Some (String.sub doc a (b - a))
+
+let splice_section doc ~key ~value =
+  match locate doc ~key with
+  | Some (a, b) ->
+      String.sub doc 0 a ^ value ^ String.sub doc b (String.length doc - b)
+  | None -> (
+      match String.rindex_opt doc '}' with
+      | None -> Printf.sprintf "{\n  %S: %s\n}\n" key value
+      | Some close ->
+          let rec prev_nonws i =
+            if i >= 0 && is_ws doc.[i] then prev_nonws (i - 1) else i
+          in
+          let p = prev_nonws (close - 1) in
+          let sep = if p >= 0 && doc.[p] <> '{' then ",\n  " else "\n  " in
+          String.sub doc 0 (p + 1)
+          ^ sep
+          ^ Printf.sprintf "%S: %s" key value
+          ^ "\n"
+          ^ String.sub doc close (String.length doc - close))

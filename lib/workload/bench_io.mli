@@ -1,0 +1,25 @@
+(** Minimal surgery on [BENCH_RESULTS.json]-style documents.
+
+    The bench harness and the load generator both own one top-level
+    section of the same results file, and each rewrites the file
+    wholesale — so each needs to carry the other's section across its
+    rewrite.  This module locates and replaces one top-level key of a
+    JSON object textually (string- and nesting-aware), without parsing
+    the rest: sections survive byte-for-byte, and no JSON library
+    dependency is added. *)
+
+val read_file : string -> string option
+(** Whole file as a string; [None] when unreadable. *)
+
+val write_file : string -> string -> unit
+
+val extract_section : string -> key:string -> string option
+(** The raw value text of top-level ["key"] in a JSON object document
+    (object, array or scalar — nested braces, brackets and string
+    escapes respected); [None] when absent. *)
+
+val splice_section : string -> key:string -> value:string -> string
+(** The document with top-level ["key"] bound to the raw JSON text
+    [value]: replaces the existing value in place, or inserts the key
+    before the object's closing brace (adding the separating comma).
+    An empty or [{]-less document becomes a fresh one-key object. *)

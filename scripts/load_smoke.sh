@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# End-to-end load smoke test: drive the concurrent TCP front-end with
+# the open-loop generator at modest rates and assert the run is clean
+# (--strict: any protocol error fails), that the service_load section
+# lands in the results JSON, and that a deliberately tiny admission
+# queue sheds overload as explicit rejects rather than errors.  Used
+# by CI; runnable locally from the repo root after `dune build`.
+set -euo pipefail
+
+BIN="_build/default/bin"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+[ -x "$BIN/netembed_loadgen.exe" ] || { echo "run 'dune build' first" >&2; exit 2; }
+
+"$BIN/netembed_cli.exe" generate --kind planetlab -n 40 --seed 2 -o "$WORK/host.graphml"
+
+# Clean run: two worker counts, two modest rates, strict.
+"$BIN/netembed_loadgen.exe" \
+  --server-bin "$BIN/netembed_server.exe" \
+  --host "$WORK/host.graphml" \
+  --workers-list 1,2 --rates 40,80 --duration 2 --connections 2 \
+  --json "$WORK/results.json" --strict \
+  | tee "$WORK/loadgen.out"
+
+# The sweep wrote a service_load section with one row per
+# (workers, rate) pair.
+grep -q '"service_load"' "$WORK/results.json" \
+  || { echo "FAIL: no service_load section"; cat "$WORK/results.json"; exit 1; }
+ROWS=$(grep -c '"sustained_rps"' "$WORK/results.json" || true)
+[ "$ROWS" -eq 4 ] \
+  || { echo "FAIL: expected 4 service_load rows, got $ROWS"; cat "$WORK/results.json"; exit 1; }
+
+# Overload run: a one-slot admission queue at an aggressive rate must
+# shed load as counted rejects (not protocol errors, so no --strict
+# violation and a nonzero rejected total).
+"$BIN/netembed_loadgen.exe" \
+  --server-bin "$BIN/netembed_server.exe" \
+  --host "$WORK/host.graphml" \
+  --workers-list 1 --rates 300 --duration 2 --connections 2 \
+  --queue-capacity 1 --strict \
+  --json "$WORK/overload.json" \
+  | tee "$WORK/overload.out"
+
+grep -Eq '"rejected": [1-9]' "$WORK/overload.out" \
+  || { echo "FAIL: saturated queue produced no backpressure rejects"; cat "$WORK/overload.out"; exit 1; }
+
+# Preserve the clean sweep for the CI artifact when requested.
+cp "$WORK/results.json" "${LOAD_RESULTS_OUT:-/dev/null}" 2>/dev/null || true
+
+echo "load smoke: OK"

@@ -1,0 +1,371 @@
+(* The concurrent front-end: bounded admission queue semantics (MPMC,
+   backpressure, close/drain), the TCP server's pipelining and
+   per-connection reply ordering, saturation rejects, graceful stop,
+   and the metrics listener's immunity to stalled scrapers. *)
+
+module Frontend = Netembed_frontend.Frontend
+module Bounded_queue = Frontend.Bounded_queue
+module Wire = Netembed_service.Wire
+module Telemetry = Netembed_telemetry.Telemetry
+
+let check = Alcotest.check
+
+let await ?(timeout = 10.0) msg f =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if f () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      Alcotest.fail ("await timeout: " ^ msg)
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_fill_reject_drain () =
+  let q = Bounded_queue.create ~capacity:2 in
+  check Alcotest.int "capacity" 2 (Bounded_queue.capacity q);
+  check Alcotest.bool "push 1" true (Bounded_queue.try_push q 1);
+  check Alcotest.bool "push 2" true (Bounded_queue.try_push q 2);
+  check Alcotest.bool "push onto full queue rejected" false
+    (Bounded_queue.try_push q 3);
+  check Alcotest.int "length" 2 (Bounded_queue.length q);
+  check (Alcotest.option Alcotest.int) "pop FIFO" (Some 1) (Bounded_queue.pop q);
+  check Alcotest.bool "room again" true (Bounded_queue.try_push q 4);
+  Bounded_queue.close q;
+  check Alcotest.bool "push after close rejected" false
+    (Bounded_queue.try_push q 5);
+  (* Elements already queued are still delivered after close... *)
+  check (Alcotest.option Alcotest.int) "drain 2" (Some 2) (Bounded_queue.pop q);
+  check (Alcotest.option Alcotest.int) "drain 4" (Some 4) (Bounded_queue.pop q);
+  (* ...then pop reports exhaustion instead of blocking. *)
+  check (Alcotest.option Alcotest.int) "closed and dry" None (Bounded_queue.pop q);
+  (match Bounded_queue.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 should be rejected")
+
+(* Multi-domain producers and consumers: every pushed element is popped
+   exactly once, and closing wakes every blocked consumer. *)
+let test_queue_mpmc () =
+  let q = Bounded_queue.create ~capacity:8 in
+  let producers = 2 and consumers = 2 and per_producer = 500 in
+  let consumed = Atomic.make 0 in
+  let sum = Atomic.make 0 in
+  let consumer () =
+    let rec loop () =
+      match Bounded_queue.pop q with
+      | None -> ()
+      | Some v ->
+          Atomic.incr consumed;
+          ignore (Atomic.fetch_and_add sum v);
+          loop ()
+    in
+    loop ()
+  in
+  let producer base () =
+    for i = 1 to per_producer do
+      let v = base + i in
+      while not (Bounded_queue.try_push q v) do
+        Domain.cpu_relax ()
+      done
+    done
+  in
+  let cs = Array.init consumers (fun _ -> Domain.spawn consumer) in
+  let ps =
+    Array.init producers (fun p -> Domain.spawn (producer (p * per_producer)))
+  in
+  Array.iter Domain.join ps;
+  Bounded_queue.close q;
+  Array.iter Domain.join cs;
+  let n = producers * per_producer in
+  check Alcotest.int "every element consumed once" n (Atomic.get consumed);
+  (* sum over p in 0..producers-1, i in 1..per: p*per + i *)
+  let expected = Stdlib.( + ) (per_producer * (per_producer + 1) / 2 * producers)
+      (per_producer * per_producer * (producers * (producers - 1) / 2))
+  in
+  check Alcotest.int "no element duplicated or lost" expected (Atomic.get sum)
+
+(* ------------------------------------------------------------------ *)
+(* TCP front-end helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring fd s !pos (len - !pos)
+  done
+
+let connect port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let send_frame fd body = write_all fd (body ^ "\n.\n")
+
+(* One reply frame: the lines before the "." terminator. *)
+let read_reply ic =
+  let rec go acc =
+    match input_line ic with
+    | "." -> List.rev acc
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let config ~workers ~queue_capacity =
+  {
+    Frontend.workers;
+    queue_capacity;
+    idle_timeout = 10.0;
+    max_frame_bytes = 4096;
+    drain_timeout = 3.0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pipelining and reply order                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pipelining_preserves_order () =
+  let registry = Telemetry.Registry.create () in
+  (* Timestamps of handler entry/exit prove two requests were in
+     flight at once. *)
+  let log = ref [] in
+  let log_lock = Mutex.create () in
+  let stamp tag =
+    Mutex.lock log_lock;
+    log := (tag, Unix.gettimeofday ()) :: !log;
+    Mutex.unlock log_lock
+  in
+  let handle frame =
+    let tag = String.trim frame in
+    stamp ("enter " ^ tag);
+    if tag = "SLOW" then Thread.delay 0.3;
+    stamp ("exit " ^ tag);
+    Printf.sprintf "OK tag=%s\n.\n" tag
+  in
+  let reject ~queue_depth:_ ~queue_capacity:_ = Alcotest.fail "unexpected reject" in
+  let server =
+    Frontend.start
+      ~config:(config ~workers:2 ~queue_capacity:8)
+      ~registry ~handle ~reject ~port:0 ()
+  in
+  Fun.protect ~finally:(fun () -> Frontend.stop server) @@ fun () ->
+  let fd = connect (Frontend.port server) in
+  let ic = Unix.in_channel_of_descr fd in
+  (* Both frames go out before any reply is read: pipelining. *)
+  send_frame fd "SLOW";
+  send_frame fd "FAST";
+  let r1 = read_reply ic in
+  let r2 = read_reply ic in
+  (* The slow request's reply still comes first — replies leave in
+     request order even when completion order inverts. *)
+  check (Alcotest.list Alcotest.string) "first reply is SLOW" [ "OK tag=SLOW" ] r1;
+  check (Alcotest.list Alcotest.string) "second reply is FAST" [ "OK tag=FAST" ] r2;
+  let at tag = List.assoc tag !log in
+  check Alcotest.bool "FAST ran while SLOW was still in flight" true
+    (at "enter FAST" < at "exit SLOW");
+  Unix.close fd
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_backpressure_reject () =
+  let registry = Telemetry.Registry.create () in
+  let gate = Atomic.make false in
+  let entered = Atomic.make 0 in
+  let rejects = Atomic.make 0 in
+  let handle frame =
+    Atomic.incr entered;
+    while not (Atomic.get gate) do
+      Thread.delay 0.005
+    done;
+    Printf.sprintf "OK tag=%s\n.\n" (String.trim frame)
+  in
+  let reject ~queue_depth ~queue_capacity =
+    Atomic.incr rejects;
+    Wire.encode_error
+      (Printf.sprintf "server saturated: admission queue full (%d/%d); retry"
+         queue_depth queue_capacity)
+  in
+  (* One worker, a one-slot queue: deterministic saturation. *)
+  let server =
+    Frontend.start
+      ~config:(config ~workers:1 ~queue_capacity:1)
+      ~registry ~handle ~reject ~port:0 ()
+  in
+  Fun.protect ~finally:(fun () -> Frontend.stop server) @@ fun () ->
+  let depth () =
+    Telemetry.Gauge.value
+      (Telemetry.Registry.gauge registry "netembed_admission_queue_depth")
+  in
+  let fd = connect (Frontend.port server) in
+  let ic = Unix.in_channel_of_descr fd in
+  (* F1 occupies the only worker... *)
+  send_frame fd "F1";
+  await "worker picked up F1" (fun () -> Atomic.get entered = 1);
+  (* ...F2 fills the only queue slot... *)
+  send_frame fd "F2";
+  await "F2 queued" (fun () -> depth () = 1.0);
+  (* ...so F3 bounces off the full queue immediately. *)
+  send_frame fd "F3";
+  await "F3 rejected" (fun () -> Atomic.get rejects = 1);
+  (* F4 is admitted once the gate opens and the pipeline drains. *)
+  send_frame fd "F4";
+  Atomic.set gate true;
+  let replies = List.init 4 (fun _ -> read_reply ic) in
+  (match replies with
+  | [ [ ok1 ]; [ ok2 ]; [ err ]; [ ok4 ] ] ->
+      check Alcotest.string "F1 served" "OK tag=F1" ok1;
+      check Alcotest.string "F2 served" "OK tag=F2" ok2;
+      check Alcotest.bool "F3's reply is the backpressure error" true
+        (String.length err >= 3
+        && String.sub err 0 3 = "ERR"
+        &&
+        let sub = "admission queue full" in
+        let n = String.length err and m = String.length sub in
+        let rec has i = i + m <= n && (String.sub err i m = sub || has (i + 1)) in
+        has 0);
+      check Alcotest.string "F4 served after the queue drained" "OK tag=F4" ok4
+  | _ -> Alcotest.fail "expected exactly four replies");
+  check Alcotest.int "exactly one reject" 1 (Atomic.get rejects);
+  Unix.close fd
+
+(* ------------------------------------------------------------------ *)
+(* Graceful stop and frame bounds                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_graceful_stop_drains () =
+  let registry = Telemetry.Registry.create () in
+  let entered = Atomic.make 0 in
+  let handle frame =
+    Atomic.incr entered;
+    Thread.delay 0.3;
+    Printf.sprintf "OK tag=%s\n.\n" (String.trim frame)
+  in
+  let reject ~queue_depth:_ ~queue_capacity:_ = Alcotest.fail "unexpected reject" in
+  let server =
+    Frontend.start
+      ~config:(config ~workers:1 ~queue_capacity:4)
+      ~registry ~handle ~reject ~port:0 ()
+  in
+  let fd = connect (Frontend.port server) in
+  let ic = Unix.in_channel_of_descr fd in
+  send_frame fd "WORK";
+  await "request in flight" (fun () -> Atomic.get entered = 1);
+  (* Stop while the request is mid-handler: the drain must finish it
+     and deliver the reply before the socket closes. *)
+  let stopper = Thread.create (fun () -> Frontend.stop server) () in
+  let reply = read_reply ic in
+  check (Alcotest.list Alcotest.string) "in-flight reply delivered"
+    [ "OK tag=WORK" ] reply;
+  Thread.join stopper;
+  (* The listener is really gone. *)
+  (match connect (Frontend.port server) with
+  | fd2 ->
+      (* A connect may momentarily succeed out of the dead listener's
+         backlog; it must at least be unserved (EOF). *)
+      let ic2 = Unix.in_channel_of_descr fd2 in
+      (try Unix.setsockopt_float fd2 Unix.SO_RCVTIMEO 1.0
+       with Unix.Unix_error _ -> ());
+      send_frame fd2 "PING";
+      (match input_line ic2 with
+      | exception _ -> ()
+      | _ -> Alcotest.fail "stopped server answered a new connection");
+      Unix.close fd2
+  | exception Unix.Unix_error _ -> ());
+  Unix.close fd
+
+let test_oversized_frame_rejected_cleanly () =
+  let registry = Telemetry.Registry.create () in
+  let handle frame = Printf.sprintf "OK tag=%s\n.\n" (String.trim frame) in
+  let reject ~queue_depth:_ ~queue_capacity:_ = Alcotest.fail "unexpected reject" in
+  let server =
+    Frontend.start
+      ~config:(config ~workers:1 ~queue_capacity:4)
+      ~registry ~handle ~reject ~port:0 ()
+  in
+  Fun.protect ~finally:(fun () -> Frontend.stop server) @@ fun () ->
+  let fd = connect (Frontend.port server) in
+  let ic = Unix.in_channel_of_descr fd in
+  (* Body far beyond the 4096-byte config bound, then a valid frame on
+     the same connection: the reader must reject the first with a clean
+     wire error, resynchronize at the terminator, and serve the
+     second. *)
+  send_frame fd (String.make 10_000 'x');
+  send_frame fd "AFTER";
+  (match read_reply ic with
+  | [ err ] ->
+      check Alcotest.string "bounded-frame error" ("ERR " ^ Wire.frame_too_large ~limit:4096) err
+  | other ->
+      Alcotest.failf "expected one ERR line, got %d lines" (List.length other));
+  check (Alcotest.list Alcotest.string) "stream resynchronized"
+    [ "OK tag=AFTER" ] (read_reply ic);
+  Unix.close fd
+
+(* ------------------------------------------------------------------ *)
+(* Metrics HTTP listener                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_healthz_survives_stalled_scraper () =
+  let registry = Telemetry.Registry.create () in
+  ignore (Telemetry.Registry.counter registry "netembed_requests_total");
+  let port = Frontend.Http.start ~timeout:0.5 ~registry ~port:0 () in
+  (* A scraper that connects and then goes silent... *)
+  let stalled = connect port in
+  Thread.delay 0.05;
+  (* ...must not block the next scrape. *)
+  let fd = connect port in
+  write_all fd "GET /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  let ic = Unix.in_channel_of_descr fd in
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0
+   with Unix.Unix_error _ -> ());
+  let status = input_line ic in
+  check Alcotest.bool "healthz answers behind a stalled scraper" true
+    (String.length status >= 15 && String.sub status 0 15 = "HTTP/1.1 200 OK");
+  let fd2 = connect port in
+  write_all fd2 "GET /metrics HTTP/1.1\r\n\r\n";
+  let ic2 = Unix.in_channel_of_descr fd2 in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf ic2 1
+     done
+   with End_of_file | Sys_error _ -> ());
+  check Alcotest.bool "metrics exposition flows" true (Buffer.length buf > 0);
+  Unix.close fd;
+  Unix.close fd2;
+  Unix.close stalled
+
+let () =
+  Alcotest.run "frontend"
+    [
+      ( "bounded queue",
+        [
+          Alcotest.test_case "fill, reject, close, drain" `Quick
+            test_queue_fill_reject_drain;
+          Alcotest.test_case "MPMC across domains" `Quick test_queue_mpmc;
+        ] );
+      ( "tcp server",
+        [
+          Alcotest.test_case "pipelining preserves reply order" `Quick
+            test_pipelining_preserves_order;
+          Alcotest.test_case "backpressure reject at saturation" `Quick
+            test_backpressure_reject;
+          Alcotest.test_case "graceful stop drains in-flight work" `Quick
+            test_graceful_stop_drains;
+          Alcotest.test_case "oversized frame rejected, stream resyncs" `Quick
+            test_oversized_frame_rejected_cleanly;
+        ] );
+      ( "metrics http",
+        [
+          Alcotest.test_case "healthz behind a stalled scraper" `Quick
+            test_healthz_survives_stalled_scraper;
+        ] );
+    ]

@@ -809,6 +809,169 @@ let test_slow_search_flag () =
           check Alcotest.bool "entry carries the phase breakdown" true
             (Array.exists (fun v -> v > 0.0) e.Service.phases))
 
+(* Oversized frames must come back as a clean wire error with the
+   stream resynchronized at the terminator — the next frame parses. *)
+let test_wire_frame_bound () =
+  let path = Filename.temp_file "netembed_wire" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  output_string oc (String.make 100 'x');
+  output_string oc "\n.\nEMBED alg=ECF mode=first\n.\nshort\n.\n";
+  close_out oc;
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  (match Wire.read_frame ~max_bytes:64 ic with
+  | Some (Error m) ->
+      check Alcotest.string "canonical message" (Wire.frame_too_large ~limit:64) m
+  | Some (Ok _) -> Alcotest.fail "oversized frame accepted"
+  | None -> Alcotest.fail "oversized frame read as EOF");
+  (match Wire.read_frame ~max_bytes:64 ic with
+  | Some (Ok body) ->
+      check Alcotest.string "stream resynchronized" "EMBED alg=ECF mode=first\n" body
+  | Some (Error m) -> Alcotest.fail m
+  | None -> Alcotest.fail "EOF after resync");
+  (match Wire.read_frame ~max_bytes:64 ic with
+  | Some (Ok body) -> check Alcotest.string "next frame intact" "short\n" body
+  | Some (Error m) -> Alcotest.fail m
+  | None -> Alcotest.fail "EOF on final frame");
+  check Alcotest.bool "stream exhausted" true (Wire.read_frame ic = None)
+
+(* A saturation reject is not a silent drop: it allocates a request id,
+   bumps the queue-reject counter, and retains an EXPLAIN-able
+   certificate — the acceptance contract of the bounded admission
+   queue. *)
+let test_backpressure_reject_explainable () =
+  let module Telemetry = Netembed_telemetry.Telemetry in
+  let registry = Telemetry.Registry.create () in
+  let svc = Service.create ~registry (Model.create (host ())) in
+  let counter name =
+    Telemetry.Counter.value (Telemetry.Registry.counter registry name)
+  in
+  let entry = Service.reject_backpressure svc ~queue_depth:64 ~queue_capacity:64 in
+  check Alcotest.string "backpressure verdict" "backpressure" entry.Service.verdict;
+  check Alcotest.int "queue-reject counter" 1
+    (counter "netembed_admission_queue_rejects_total");
+  check Alcotest.int "also a request error" 1
+    (counter "netembed_request_errors_total");
+  (* The bounced id is immediately EXPLAIN-able. *)
+  (match Service.explain svc entry.Service.id with
+  | None -> Alcotest.fail "backpressure reject not retained in the ring"
+  | Some e ->
+      check Alcotest.string "retained verdict" "backpressure" e.Service.verdict;
+      check Alcotest.int "same id" entry.Service.id e.Service.id;
+      let contains hay needle =
+        let n = String.length hay and m = String.length needle in
+        let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+        go 0
+      in
+      check Alcotest.bool "summary names the queue" true
+        (contains e.Service.summary "queue");
+      check Alcotest.bool "wire explanation renders" true
+        (contains (Wire.encode_explanation e) "backpressure"));
+  let e2 = Service.reject_backpressure svc ~queue_depth:3 ~queue_capacity:4 in
+  check Alcotest.bool "rejects get distinct ids" true
+    (e2.Service.id <> entry.Service.id);
+  check Alcotest.int "counter accumulates" 2
+    (counter "netembed_admission_queue_rejects_total")
+
+(* Four client domains hammer one service through a start barrier:
+   EMBEDs (every fifth a parse error), shared allocations freed
+   immediately, stale-revision failures tolerated.  Afterwards the
+   telemetry must balance exactly — the counters are maintained under
+   the service's state lock, so concurrency may reorder but never lose
+   increments — and the ledger must be back to zero residual use. *)
+let test_concurrent_hammer () =
+  let module Telemetry = Netembed_telemetry.Telemetry in
+  let registry = Telemetry.Registry.create () in
+  let svc = Service.create ~registry (Model.create (capacitated_host ())) in
+  let counter name =
+    Telemetry.Counter.value (Telemetry.Registry.counter registry name)
+  in
+  let domains = 4 and iters = 10 in
+  let arrived = Atomic.make 0 in
+  let barrier () =
+    Atomic.incr arrived;
+    while Atomic.get arrived < domains do
+      Domain.cpu_relax ()
+    done
+  in
+  let submits = Atomic.make 0 in
+  let parse_errors = Atomic.make 0 in
+  let allocs = Atomic.make 0 in
+  let stale = Atomic.make 0 in
+  let unexpected = Atomic.make 0 in
+  let good =
+    Request.make ~node_constraint:shared_node_constraint
+      ~query:(demanding_query ~cpu:50 ~bw:2.0) shared_constraint
+  in
+  let bad = Request.make ~query:(demanding_query ~cpu:50 ~bw:2.0) "vEdge.>>>" in
+  let worker () =
+    barrier ();
+    for i = 0 to iters - 1 do
+      if i mod 5 = 0 then begin
+        Atomic.incr submits;
+        match Service.submit svc bad with
+        | Error _ -> Atomic.incr parse_errors
+        | Ok _ -> Atomic.incr unexpected
+      end
+      else begin
+        Atomic.incr submits;
+        match Service.submit svc good with
+        | Error _ ->
+            (* Tiny demands never trip admission; any error here is a
+               bug. *)
+            Atomic.incr unexpected
+        | Ok answer -> (
+            match answer.Service.result.Engine.mappings with
+            | [] -> ()
+            | m :: _ -> (
+                match Service.allocate_shared svc answer m with
+                | Ok id ->
+                    Atomic.incr allocs;
+                    if not (Service.free svc id) then Atomic.incr unexpected
+                | Error _ ->
+                    (* A sibling committed or freed between our snapshot
+                       and our commit: the revision guard did its job. *)
+                    Atomic.incr stale))
+      end
+    done
+  in
+  let ds = Array.init domains (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join ds;
+  check Alcotest.int "no unexpected outcomes" 0 (Atomic.get unexpected);
+  check Alcotest.int "every submit counted exactly once"
+    (Atomic.get submits)
+    (counter "netembed_requests_total");
+  check Alcotest.int "every parse error counted exactly once"
+    (Atomic.get parse_errors)
+    (counter "netembed_request_errors_total");
+  (* Every well-formed ECF submit probes the filter cache exactly once;
+     hit/miss classification is racy in *which* bucket, never in the
+     sum. *)
+  check Alcotest.int "cache hits + misses = cache lookups"
+    (Atomic.get submits - Atomic.get parse_errors)
+    (counter "netembed_filter_cache_hits_total"
+    + counter "netembed_filter_cache_misses_total");
+  check Alcotest.int "every commit counted"
+    (Atomic.get allocs)
+    (counter "netembed_allocations_total");
+  check (Alcotest.float 0.0) "no allocation outlives its free" 0.0
+    (Telemetry.Gauge.value
+       (Telemetry.Registry.gauge registry "netembed_active_allocations"));
+  List.iter
+    (fun (resource, _, used, _) ->
+      check (Alcotest.float 1e-9) ("residual restored: " ^ resource) 0.0 used)
+    (Service.utilization svc);
+  (* The diagnostics ring retained the parse errors and TOP still
+     renders under the post-hammer state. *)
+  let top = Service.top svc in
+  check Alcotest.bool "ring retained failures" true
+    (List.length top.Service.worst > 0);
+  check Alcotest.bool "phase accounting accumulated" true
+    (List.exists (fun p -> p.Service.total_s > 0.0) top.Service.busiest);
+  check Alcotest.bool "at least one stale or alloc outcome" true
+    (Atomic.get allocs + Atomic.get stale > 0)
+
 let prop_wire_decode_total =
   QCheck.Test.make ~name:"wire decode is total on garbage" ~count:300
     QCheck.(string_of_size (QCheck.Gen.int_range 0 120))
@@ -839,6 +1002,10 @@ let () =
           Alcotest.test_case "allocate shared lifecycle" `Quick
             test_allocate_shared_lifecycle;
           Alcotest.test_case "admission rejection" `Quick test_admission_rejection;
+          Alcotest.test_case "backpressure reject is EXPLAIN-able" `Quick
+            test_backpressure_reject_explainable;
+          Alcotest.test_case "4-domain hammer balances telemetry" `Quick
+            test_concurrent_hammer;
         ] );
       ( "filter cache",
         [
@@ -865,6 +1032,8 @@ let () =
           Alcotest.test_case "answer roundtrip" `Quick test_wire_answer_roundtrip;
           Alcotest.test_case "errors" `Quick test_wire_errors;
           Alcotest.test_case "commands" `Quick test_wire_commands;
+          Alcotest.test_case "frame size bound + resync" `Quick
+            test_wire_frame_bound;
           QCheck_alcotest.to_alcotest prop_wire_decode_total;
         ] );
       ( "monitor",

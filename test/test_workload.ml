@@ -192,6 +192,43 @@ let test_figures_smoke () =
       Figures.fig14 ~out micro;
       Figures.fig15 ~out micro)
 
+(* Bench_io: textual surgery on one top-level key must leave every
+   other byte of the document alone. *)
+let test_bench_io_splice_extract () =
+  let module B = Netembed_workload.Bench_io in
+  let check = Alcotest.check in
+  let doc =
+    "{\n  \"benches\": [ {\"name\": \"a}b\", \"ms\": 1.5} ],\n  \"note\": \"escaped \\\" brace {\"\n}\n"
+  in
+  check (Alcotest.option Alcotest.string) "array section extracted"
+    (Some "[ {\"name\": \"a}b\", \"ms\": 1.5} ]")
+    (B.extract_section doc ~key:"benches");
+  check (Alcotest.option Alcotest.string) "scalar with tricky escapes"
+    (Some "\"escaped \\\" brace {\"")
+    (B.extract_section doc ~key:"note");
+  check (Alcotest.option Alcotest.string) "absent key" None
+    (B.extract_section doc ~key:"service_load");
+  (* Insert a fresh section, then read it back and confirm the other
+     sections survive byte-for-byte. *)
+  let v = "{\n    \"rows\": [1, 2, 3]\n  }" in
+  let doc' = B.splice_section doc ~key:"service_load" ~value:v in
+  check (Alcotest.option Alcotest.string) "inserted section readable" (Some v)
+    (B.extract_section doc' ~key:"service_load");
+  check (Alcotest.option Alcotest.string) "existing section untouched"
+    (B.extract_section doc ~key:"benches")
+    (B.extract_section doc' ~key:"benches");
+  (* Replace in place. *)
+  let doc'' = B.splice_section doc' ~key:"service_load" ~value:"[]" in
+  check (Alcotest.option Alcotest.string) "replaced in place" (Some "[]")
+    (B.extract_section doc'' ~key:"service_load");
+  check (Alcotest.option Alcotest.string) "note still intact"
+    (B.extract_section doc ~key:"note")
+    (B.extract_section doc'' ~key:"note");
+  (* Degenerate document: becomes a fresh one-key object. *)
+  let fresh = B.splice_section "" ~key:"k" ~value:"42" in
+  check (Alcotest.option Alcotest.string) "fresh doc" (Some "42")
+    (B.extract_section fresh ~key:"k")
+
 let () =
   Alcotest.run "workload"
     [
@@ -209,6 +246,11 @@ let () =
           Alcotest.test_case "make_infeasible" `Quick test_make_infeasible;
           Alcotest.test_case "clique" `Quick test_clique_case;
           Alcotest.test_case "composite" `Quick test_composite_cases;
+        ] );
+      ( "bench io",
+        [
+          Alcotest.test_case "splice/extract surgery" `Quick
+            test_bench_io_splice_extract;
         ] );
       ( "figures", [ Alcotest.test_case "smoke" `Slow test_figures_smoke ] );
     ]
