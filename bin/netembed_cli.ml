@@ -789,12 +789,122 @@ let utilization_cmd =
        ~doc:"Report per-resource ledger utilization of a hosting network")
     Term.(ret (const utilization_run $ host_file $ residual_opt))
 
+(* ------------------------------------------------------------------ *)
+(* watch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A polling terminal view over a running server's HEALTH and TOP wire
+   verbs — `top(1)` for the mapping service.  Each tick opens a fresh
+   connection (so a wedged server shows up as a connect error, not a
+   silent stall), prints the health line and the triage report, and
+   sleeps.  --once prints a single snapshot and exits; the cram tests
+   and shell scripts use it. *)
+let watch_run connect interval once =
+  let fail fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt in
+  if interval <= 0.0 then fail "watch: --interval must be positive"
+  else
+    match String.split_on_char ':' connect with
+    | [ host; port_s ] -> (
+        match int_of_string_opt port_s with
+        | None -> fail "watch: --connect expects HOST:PORT"
+        | Some port -> (
+            let resolve () =
+              try Unix.inet_addr_of_string host
+              with Failure _ -> (
+                try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+                with Not_found -> failwith ("unknown host " ^ host))
+            in
+            let ask fd frame =
+              let len = String.length frame in
+              let pos = ref 0 in
+              while !pos < len do
+                pos := !pos + Unix.write_substring fd frame !pos (len - !pos)
+              done
+            in
+            let read_frame ic =
+              let rec go acc =
+                let line = input_line ic in
+                if line = "." then List.rev acc else go (line :: acc)
+              in
+              go []
+            in
+            let drop_ok line =
+              if String.length line >= 3 && String.sub line 0 3 = "OK " then
+                String.sub line 3 (String.length line - 3)
+              else line
+            in
+            let snapshot addr =
+              let fd =
+                Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0
+              in
+              Fun.protect
+                ~finally:(fun () ->
+                  try Unix.close fd with Unix.Unix_error _ -> ())
+              @@ fun () ->
+              Unix.connect fd (Unix.ADDR_INET (addr, port));
+              let ic = Unix.in_channel_of_descr fd in
+              (* Pipelined on one connection; replies come back in
+                 order. *)
+              ask fd "HEALTH\n.\nTOP\n.\n";
+              (match read_frame ic with
+              | health :: rest ->
+                  Printf.printf "HEALTH %s\n" (drop_ok health);
+                  List.iter print_endline rest
+              | [] -> ());
+              (match read_frame ic with
+              | top :: rest ->
+                  Printf.printf "TOP %s\n" (drop_ok top);
+                  List.iter print_endline rest
+              | [] -> ());
+              flush stdout
+            in
+            try
+              let addr = resolve () in
+              if once then begin
+                snapshot addr;
+                `Ok ()
+              end
+              else
+                let rec loop () =
+                  snapshot addr;
+                  print_newline ();
+                  flush stdout;
+                  Unix.sleepf interval;
+                  loop ()
+                in
+                loop ()
+            with
+            | Unix.Unix_error (e, _, _) ->
+                fail "watch: %s:%d: %s" host port (Unix.error_message e)
+            | End_of_file -> fail "watch: server closed the connection"
+            | Failure m | Sys_error m -> fail "watch: %s" m))
+    | _ -> fail "watch: --connect expects HOST:PORT"
+
+let watch_cmd =
+  let connect =
+    Arg.(required & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT"
+           ~doc:"The running server's TCP endpoint.")
+  in
+  let interval =
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SEC"
+           ~doc:"Seconds between polls (default 2).")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ]
+           ~doc:"Print one snapshot and exit instead of polling.")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Poll a running server's HEALTH and TOP verbs: health state, SLO \
+             window inputs, busiest phases and slowest requests")
+    Term.(ret (const watch_run $ connect $ interval $ once))
+
 let main_cmd =
   let doc = "NETEMBED: a network resource mapping service" in
   Cmd.group (Cmd.info "netembed" ~doc ~version:"1.0.0")
     [
       generate_cmd; info_cmd; embed_cmd; explain_cmd; top_cmd; convert_cmd;
-      allocate_cmd; free_cmd; utilization_cmd;
+      allocate_cmd; free_cmd; utilization_cmd; watch_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -94,7 +94,38 @@ type conn_stats = {
   mutable errors : int;
   mutable latencies : float list;  (* seconds, completed requests only *)
   mutable last_reply : float;  (* wall clock of the newest reply *)
+  phase_sum_ms : (string, float) Hashtbl.t;
+      (* per-phase milliseconds summed over phased OK replies *)
+  mutable phased : int;  (* OK replies that carried a phases= token *)
 }
+
+(* Parse the [phases=<name>:<ms>,...] token off an OK header line.
+   Kept local and tolerant — the generator links only the workload
+   library, and TOP's header reuses [phases=] for a plain count (no
+   colon), which this parser simply yields nothing for. *)
+let phases_of_line line =
+  let token = " phases=" in
+  let n = String.length line and m = String.length token in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = token then Some (i + m)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> []
+  | Some start ->
+      let stop =
+        match String.index_from_opt line start ' ' with Some j -> j | None -> n
+      in
+      String.sub line start (stop - start)
+      |> String.split_on_char ','
+      |> List.filter_map (fun part ->
+             match String.split_on_char ':' part with
+             | [ name; ms ] -> (
+                 match float_of_string_opt ms with
+                 | Some v when name <> "" -> Some (name, v)
+                 | _ -> None)
+             | _ -> None)
 
 (* Replies come back in request order per connection, so matching the
    reply stream FIFO against the send-timestamp queue is exact. *)
@@ -174,7 +205,19 @@ let run_connection ~host ~port ~interval ~offset ~duration stats =
                     if String.length first >= 2 && String.sub first 0 2 = "OK"
                     then begin
                       stats.completed <- stats.completed + 1;
-                      stats.latencies <- (t1 -. t0) :: stats.latencies
+                      stats.latencies <- (t1 -. t0) :: stats.latencies;
+                      match phases_of_line first with
+                      | [] -> ()
+                      | ps ->
+                          stats.phased <- stats.phased + 1;
+                          List.iter
+                            (fun (name, ms) ->
+                              let prev =
+                                Option.value ~default:0.0
+                                  (Hashtbl.find_opt stats.phase_sum_ms name)
+                              in
+                              Hashtbl.replace stats.phase_sum_ms name (prev +. ms))
+                            ps
                     end
                     else if
                       (* The backpressure reject is load shedding, not a
@@ -244,6 +287,9 @@ type row = {
   p50_ms : float;
   p95_ms : float;
   p99_ms : float;
+  phase_mean_ms : (string * float) list;
+      (* mean per-phase ms over replies that carried phases=, slowest
+         first (queue_wait included once the server stamps it) *)
 }
 
 let percentile sorted q =
@@ -262,6 +308,8 @@ let run_trial ~host ~port ~workers ~rate ~connections ~duration =
           errors = 0;
           latencies = [];
           last_reply = t0;
+          phase_sum_ms = Hashtbl.create 16;
+          phased = 0;
         })
   in
   let interval = float_of_int connections /. rate in
@@ -285,6 +333,24 @@ let run_trial ~host ~port ~workers ~rate ~connections ~duration =
   in
   Array.sort compare latencies;
   let ms q = percentile latencies q *. 1000.0 in
+  let phase_mean_ms =
+    let sums = Hashtbl.create 16 in
+    let phased = sum (fun s -> s.phased) in
+    Array.iter
+      (fun s ->
+        Hashtbl.iter
+          (fun name v ->
+            let prev = Option.value ~default:0.0 (Hashtbl.find_opt sums name) in
+            Hashtbl.replace sums name (prev +. v))
+          s.phase_sum_ms)
+      stats;
+    if phased = 0 then []
+    else
+      Hashtbl.fold
+        (fun name v acc -> (name, v /. float_of_int phased) :: acc)
+        sums []
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
   {
     workers;
     rate;
@@ -298,21 +364,29 @@ let run_trial ~host ~port ~workers ~rate ~connections ~duration =
     p50_ms = ms 0.50;
     p95_ms = ms 0.95;
     p99_ms = ms 0.99;
+    phase_mean_ms;
   }
 
 let row_json r =
+  let phases =
+    String.concat ", "
+      (List.map
+         (fun (name, v) -> Printf.sprintf "\"%s\": %.3f" name v)
+         r.phase_mean_ms)
+  in
   Printf.sprintf
     "{\"workers\": %d, \"rate\": %.1f, \"connections\": %d, \"duration_s\": %.1f, \
      \"sent\": %d, \"completed\": %d, \"rejected\": %d, \"errors\": %d, \
-     \"sustained_rps\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}"
+     \"sustained_rps\": %.1f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, \
+     \"phase_mean_ms\": {%s}}"
     r.workers r.rate r.connections r.duration_s r.sent r.completed r.rejected
-    r.errors r.sustained_rps r.p50_ms r.p95_ms r.p99_ms
+    r.errors r.sustained_rps r.p50_ms r.p95_ms r.p99_ms phases
 
 (* ------------------------------------------------------------------ *)
 (* Spawning the server under test                                      *)
 (* ------------------------------------------------------------------ *)
 
-let spawn_server ~bin ~host_file ~workers ~queue_capacity =
+let spawn_server ~bin ~host_file ~workers ~queue_capacity ~runtime_sample =
   let r, w = Unix.pipe ~cloexec:false () in
   let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
   let pid =
@@ -320,6 +394,7 @@ let spawn_server ~bin ~host_file ~workers ~queue_capacity =
       [|
         bin; "--host"; host_file; "--tcp-port"; "0"; "--workers";
         string_of_int workers; "--queue-capacity"; string_of_int queue_capacity;
+        "--runtime-sample"; Printf.sprintf "%g" runtime_sample;
       |]
       null w Unix.stderr
   in
@@ -355,6 +430,7 @@ let () =
   let connections = ref 4 in
   let seed = ref 42 in
   let queue_capacity = ref 64 in
+  let runtime_sample = ref 1.0 in
   let json_file = ref "" in
   let strict = ref false in
   let speclist =
@@ -375,6 +451,9 @@ let () =
       ("--seed", Arg.Set_int seed, "N query-mix seed (default 42)");
       ("--queue-capacity", Arg.Set_int queue_capacity,
        "N admission queue capacity for spawned servers (default 64)");
+      ("--runtime-sample", Arg.Set_float runtime_sample,
+       "SEC GC sampler interval for spawned servers, 0 disables (default 1; \
+        the runtime-ablation knob)");
       ("--json", Arg.Set_string json_file,
        "FILE splice the rows into FILE's top-level service_load section");
       ("--strict", Arg.Set strict, " exit 1 on any protocol error (CI gate)");
@@ -411,7 +490,7 @@ let () =
         (fun workers ->
           let server =
             spawn_server ~bin:!server_bin ~host_file:!host_file ~workers
-              ~queue_capacity:!queue_capacity
+              ~queue_capacity:!queue_capacity ~runtime_sample:!runtime_sample
           in
           let _, port, _ = server in
           Fun.protect

@@ -9,7 +9,8 @@
                      [--idle-timeout SEC] [--max-frame-bytes N]
                      [--monitor-every N] [--metrics-port PORT]
                      [--flight-dump FILE] [--chrome-trace FILE]
-                     [--domains N]
+                     [--domains N] [--runtime-sample SEC]
+                     [--alloc-profile FILE] [--health-fast-window SEC]
 
    Protocol: frames as defined in Netembed_service.Wire — EMBED
    (search), ALLOC (search and commit the first mapping as a fractional
@@ -42,17 +43,31 @@
 
    With --metrics-port PORT, an HTTP listener on 127.0.0.1:PORT serves
    the telemetry registry: GET /metrics (Prometheus text exposition),
-   GET /metrics.json, GET /healthz.  It runs in its own OCaml domain
+   GET /metrics.json, GET /healthz (liveness — non-200 only once the
+   drain began) and GET /readyz (readiness — non-200 whenever the SLO
+   health machine is not Healthy).  It runs in its own OCaml domain
    with one thread per scrape and socket timeouts, so a stalled scraper
-   cannot wedge health checks. *)
+   cannot wedge health checks.
+
+   The runtime health plane: --runtime-sample SEC (default 1, 0 = off)
+   runs the GC sampler domain exporting netembed_gc_* gauges;
+   --alloc-profile FILE samples allocation sites through Gc.Memprof
+   and writes a folded-stack profile to FILE at exit (a marker line
+   when the runtime lacks Memprof); --health-fast-window SEC (default
+   10) sets the fast SLO burn-rate window.  In TCP mode the main
+   thread evaluates the health machine every 250 ms against the live
+   admission-queue depth; the state is served as the
+   netembed_health_state gauge, the HEALTH wire verb and /readyz. *)
 
 module Model = Netembed_service.Model
 module Service = Netembed_service.Service
 module Wire = Netembed_service.Wire
 module Monitor = Netembed_service.Monitor
+module Health = Netembed_service.Health
 module Frontend = Netembed_frontend.Frontend
 module Rng = Netembed_rng.Rng
 module Telemetry = Netembed_telemetry.Telemetry
+module Runtime = Netembed_telemetry.Runtime
 
 let () =
   let host_file = ref "" in
@@ -66,6 +81,9 @@ let () =
   let queue_capacity = ref 64 in
   let idle_timeout = ref 30.0 in
   let max_frame_bytes = ref Wire.default_max_frame_bytes in
+  let runtime_sample = ref 1.0 in
+  let alloc_profile = ref "" in
+  let health_fast_window = ref Health.default_config.Health.fast_window in
   let speclist =
     [
       ("--host", Arg.Set_string host_file, "FILE hosting network (GraphML), required");
@@ -92,12 +110,21 @@ let () =
        "N run exhaustive ECF requests on N domains with work stealing (default: \
         stdio 1 = sequential; TCP mode sizes from the cores the front end leaves \
         free)");
+      ("--runtime-sample", Arg.Set_float runtime_sample,
+       "SEC poll Gc.quick_stat every SEC seconds and export netembed_gc_* gauges \
+        (0 = off, default 1)");
+      ("--alloc-profile", Arg.Set_string alloc_profile,
+       "FILE sample allocation sites (Gc.Memprof) and write a folded-stack \
+        profile here at exit");
+      ("--health-fast-window", Arg.Set_float health_fast_window,
+       "SEC fast SLO burn-rate window for the health state machine (default 10)");
     ]
   in
   Arg.parse speclist (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "netembed_server --host FILE [--tcp-port PORT] [--workers N] [--queue-capacity N] \
      [--idle-timeout SEC] [--max-frame-bytes N] [--monitor-every N] [--metrics-port \
-     PORT] [--flight-dump FILE] [--chrome-trace FILE] [--domains N]";
+     PORT] [--flight-dump FILE] [--chrome-trace FILE] [--domains N] [--runtime-sample \
+     SEC] [--alloc-profile FILE] [--health-fast-window SEC]";
   if !host_file = "" then begin
     prerr_endline "netembed_server: --host is required";
     exit 2
@@ -116,12 +143,38 @@ let () =
     else 1
   in
   let model = Model.of_graphml_file !host_file in
-  let service = Service.create ~domains:search_domains model in
+  let health_config =
+    { Health.default_config with Health.fast_window = !health_fast_window }
+  in
+  let service = Service.create ~domains:search_domains ~health_config model in
+  (* Runtime health plane: GC sampler domain and (optional) allocation
+     profiler; both torn down via [finish_runtime] on every exit path. *)
+  if !runtime_sample > 0.0 then
+    Runtime.start ~registry:(Service.registry service)
+      ~interval:!runtime_sample ();
+  if !alloc_profile <> "" then Runtime.Alloc_profile.start ();
+  let finish_runtime () =
+    Runtime.stop ();
+    if !alloc_profile <> "" then begin
+      Runtime.Alloc_profile.stop ();
+      let oc = open_out !alloc_profile in
+      Runtime.Alloc_profile.dump_folded oc;
+      close_out oc
+    end
+  in
+  (* /healthz is pure liveness until the drain begins; /readyz follows
+     the SLO health machine. *)
+  let draining = Atomic.make false in
   if !metrics_port > 0 then begin
     (* A dying scrape connection must not kill the service. *)
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     ignore
       (Frontend.Http.start ~registry:(Service.registry service)
+         ~healthz:(fun () ->
+           if Atomic.get draining then (false, "draining") else (true, "ok"))
+         ~readyz:(fun () ->
+           let s = Health.state (Service.health service) in
+           (s = Health.Healthy, Health.state_name s))
          ~port:!metrics_port ())
   end;
   let monitor =
@@ -188,23 +241,35 @@ let () =
      same service.  Safe to call concurrently: Service serializes its
      own state, the dump files hide behind io_lock, and the monitor
      tick mutates the model only under the service's model lock. *)
-  let handle frame =
+  let handle ~queue_wait frame =
     let n = Atomic.fetch_and_add requests 1 + 1 in
+    (* GC counters are per-domain: each worker publishes its own
+       reading for the sampler domain to export. *)
+    Runtime.publish_minor_words ();
     (match (monitor, !monitor_every) with
     | Some mon, every when every > 0 && n mod every = 0 ->
         with_io (fun () -> Service.exclusively service (fun () -> Monitor.tick mon))
     | _ -> ());
-    match Wire.decode_command frame with
+    let cmd = Wire.decode_command frame in
+    (* Submits fold the queue wait into their own phase array (so it
+       reaches the OK header and exemplars); body-less verbs stamp it
+       straight onto the windowed series here. *)
+    (match cmd with
+    | Ok (Wire.Submit _ | Wire.Allocate _) | Error _ -> ()
+    | Ok _ ->
+        if queue_wait > 0.0 then
+          Service.record_phase service Telemetry.Phase.Queue_wait queue_wait);
+    match cmd with
     | Error e -> Wire.encode_error e
     | Ok (Wire.Submit request) -> (
-        match Service.submit ~trace service request with
+        match Service.submit ~trace ~queue_wait service request with
         | Error e -> submit_error e
         | Ok answer ->
             dump_certificate (Service.explain service answer.Service.id);
             dump_trace answer;
             timed_encode (fun () -> Wire.encode_answer answer))
     | Ok (Wire.Allocate request) -> (
-        match Service.submit ~trace service request with
+        match Service.submit ~trace ~queue_wait service request with
         | Error e -> submit_error e
         | Ok answer -> (
             dump_certificate (Service.explain service answer.Service.id);
@@ -230,6 +295,7 @@ let () =
                   completed quickly)"
                  id))
     | Ok Wire.Top -> Wire.encode_top (Service.top service)
+    | Ok Wire.Health -> Wire.encode_health (Health.report (Service.health service))
   in
   (* A saturated admission queue answers with a certificate, not a
      dropped connection: the entry is in the diagnostics ring, so the
@@ -258,10 +324,28 @@ let () =
     let request_quit _ = Atomic.set quit true in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle request_quit);
     Sys.set_signal Sys.sigint (Sys.Signal_handle request_quit);
+    (* The wait loop doubles as the health evaluator: every 250 ms the
+       machine reclassifies against the live admission-queue depth, so
+       /readyz and the netembed_health_state gauge track overload with
+       bounded staleness. *)
+    let next_eval = ref 0.0 in
     while not (Atomic.get quit) do
-      Thread.delay 0.05
+      Thread.delay 0.05;
+      let now = Unix.gettimeofday () in
+      if now >= !next_eval then begin
+        next_eval := now +. 0.25;
+        ignore
+          (Health.evaluate (Service.health service)
+             ~queue_depth:(Frontend.queue_depth server)
+             ~queue_capacity:(Frontend.queue_capacity server))
+      end
     done;
-    Frontend.stop server
+    (* Flip both probes before the drain starts so orchestrators stop
+       routing while in-flight requests finish. *)
+    Atomic.set draining true;
+    Health.set_draining (Service.health service);
+    Frontend.stop server;
+    finish_runtime ()
   end
   else begin
     let rec serve () =
@@ -271,11 +355,12 @@ let () =
           let reply =
             match frame with
             | Error msg -> Wire.encode_error msg
-            | Ok frame -> handle frame
+            | Ok frame -> handle ~queue_wait:0.0 frame
           in
           print_string reply;
           flush stdout;
           serve ()
     in
-    serve ()
+    serve ();
+    finish_runtime ()
   end

@@ -209,7 +209,12 @@ type conn = {
   mutable broken : bool;  (* a write failed; swallow the rest *)
 }
 
-type job = { conn : conn; seq : int; frame : string }
+type job = {
+  conn : conn;
+  seq : int;
+  frame : string;
+  enqueued_at : float;  (* stamped at try_push; queue_wait = pop - this *)
+}
 
 type t = {
   config : config;
@@ -221,7 +226,8 @@ type t = {
   wake_w : Unix.file_descr;
   bound_port : int;
   queue : job Bounded_queue.t;
-  handle : string -> string;
+  registry : Telemetry.Registry.t;
+  handle : queue_wait:float -> string -> string;
   reject : queue_depth:int -> queue_capacity:int -> string;
   depth_gauge : Telemetry.Gauge.t;
   conn_gauge : Telemetry.Gauge.t;
@@ -269,17 +275,31 @@ let set_depth_gauge t =
   Telemetry.Gauge.set t.depth_gauge
     (float_of_int (Bounded_queue.length t.queue))
 
-let worker t () =
+let worker t idx () =
+  let busy_gauge =
+    Telemetry.Registry.gauge t.registry
+      ~help:"Fraction of wall-clock time this worker spent handling requests"
+      ~labels:[ ("worker", string_of_int idx) ]
+      "netembed_worker_busy_fraction"
+  in
+  let started = Unix.gettimeofday () in
+  let busy = ref 0.0 in
   let rec loop () =
     match Bounded_queue.pop t.queue with
     | None -> ()
     | Some job ->
         set_depth_gauge t;
+        let t0 = Unix.gettimeofday () in
+        let queue_wait = Float.max 0.0 (t0 -. job.enqueued_at) in
         let reply =
-          try t.handle job.frame
+          try t.handle ~queue_wait job.frame
           with exn -> Wire.encode_error (Printexc.to_string exn)
         in
         write_in_order job.conn ~seq:job.seq reply;
+        let now = Unix.gettimeofday () in
+        busy := !busy +. (now -. t0);
+        let elapsed = now -. started in
+        if elapsed > 0.0 then Telemetry.Gauge.set busy_gauge (!busy /. elapsed);
         loop ()
   in
   loop ()
@@ -304,7 +324,7 @@ let reader t conn () =
           loop ()
       | Some (Ok frame) ->
           let seq = next_seq () in
-          let job = { conn; seq; frame } in
+          let job = { conn; seq; frame; enqueued_at = Unix.gettimeofday () } in
           if Bounded_queue.try_push t.queue job then begin
             set_depth_gauge t;
             loop ()
@@ -418,6 +438,7 @@ let start ?config ?(registry = Telemetry.default_registry) ~handle ~reject
       wake_w;
       bound_port;
       queue = Bounded_queue.create ~capacity:config.queue_capacity;
+      registry;
       handle;
       reject;
       depth_gauge;
@@ -431,11 +452,13 @@ let start ?config ?(registry = Telemetry.default_registry) ~handle ~reject
     }
   in
   t.worker_pool <-
-    Array.init (max 1 config.workers) (fun _ -> Domain.spawn (worker t));
+    Array.init (max 1 config.workers) (fun i -> Domain.spawn (worker t i));
   t.acceptor <- Some (Domain.spawn (acceptor t));
   t
 
 let port t = t.bound_port
+let queue_depth t = Bounded_queue.length t.queue
+let queue_capacity t = Bounded_queue.capacity t.queue
 
 let stop t =
   if Atomic.compare_and_set t.stopped false true then begin
@@ -483,7 +506,18 @@ module Http = struct
       "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
       status content_type (String.length body) body
 
-  let route registry path =
+  (* Health endpoints are callback-driven so the server can wire them
+     to its drain flag and SLO health machine; [fun () -> (ok, body)].
+     /healthz is pure liveness (non-200 only once draining); /readyz is
+     readiness (non-200 whenever the health machine is not Healthy). *)
+  let default_probe () = (true, "ok")
+
+  let probe_response (ok, body) =
+    http_response
+      (if ok then "200 OK" else "503 Service Unavailable")
+      "text/plain" (body ^ "\n")
+
+  let route ~healthz ~readyz registry path =
     match path with
     | "/metrics" ->
         http_response "200 OK" "text/plain; version=0.0.4; charset=utf-8"
@@ -491,10 +525,11 @@ module Http = struct
     | "/metrics.json" ->
         http_response "200 OK" "application/json"
           (Telemetry.Registry.to_json registry)
-    | "/healthz" -> http_response "200 OK" "text/plain" "ok\n"
+    | "/healthz" -> probe_response (healthz ())
+    | "/readyz" -> probe_response (readyz ())
     | _ -> http_response "404 Not Found" "text/plain" "not found\n"
 
-  let handle_client ~timeout registry fd =
+  let handle_client ~timeout ~healthz ~readyz registry fd =
     (try
        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
@@ -515,11 +550,12 @@ module Http = struct
          | _meth :: p :: _ -> p
          | _ -> "/"
        in
-       write_all fd (route registry path)
+       write_all fd (route ~healthz ~readyz registry path)
      with _ -> ());
     (try Unix.close fd with Unix.Unix_error _ -> ())
 
-  let start ?(timeout = 5.0) ~registry ~port () =
+  let start ?(timeout = 5.0) ?(healthz = default_probe) ?(readyz = default_probe)
+      ~registry ~port () =
     let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt sock Unix.SO_REUSEADDR true;
     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -541,7 +577,8 @@ module Http = struct
                     keeps answering. *)
                  ignore
                    (Thread.create
-                      (fun () -> handle_client ~timeout registry fd)
+                      (fun () ->
+                        handle_client ~timeout ~healthz ~readyz registry fd)
                       ());
                  loop ()
            in

@@ -102,7 +102,7 @@ type t
 val start :
   ?config:config ->
   ?registry:Netembed_telemetry.Telemetry.Registry.t ->
-  handle:(string -> string) ->
+  handle:(queue_wait:float -> string -> string) ->
   reject:(queue_depth:int -> queue_capacity:int -> string) ->
   port:int ->
   unit ->
@@ -111,17 +111,27 @@ val start :
     back with {!port}), spawn the acceptor domain and [config.workers]
     worker domains, and serve until {!stop}.
 
-    [handle frame] computes the reply for one request frame; it runs on
-    worker domains concurrently.  [reject ~queue_depth ~queue_capacity]
-    builds the immediate reply for a frame bounced off a saturated
-    admission queue; it runs on reader threads and must be cheap.
+    [handle ~queue_wait frame] computes the reply for one request
+    frame; it runs on worker domains concurrently.  [queue_wait] is the
+    seconds the frame sat in the admission queue (stamped at enqueue,
+    measured at pop) — the server records it as the [queue_wait]
+    request phase.  [reject ~queue_depth ~queue_capacity] builds the
+    immediate reply for a frame bounced off a saturated admission
+    queue; it runs on reader threads and must be cheap.
 
-    Registers [netembed_admission_queue_depth] and
-    [netembed_frontend_connections] gauges in [registry] (default
-    {!Netembed_telemetry.Telemetry.default_registry}). *)
+    Registers [netembed_admission_queue_depth],
+    [netembed_frontend_connections] and per-worker
+    [netembed_worker_busy_fraction{worker=...}] gauges in [registry]
+    (default {!Netembed_telemetry.Telemetry.default_registry}). *)
 
 val port : t -> int
 (** The actually-bound TCP port. *)
+
+val queue_depth : t -> int
+(** Requests currently waiting in the admission queue. *)
+
+val queue_capacity : t -> int
+(** The admission queue's bound ([config.queue_capacity]). *)
 
 val stop : t -> unit
 (** Graceful drain: stop accepting, let readers finish their current
@@ -130,18 +140,27 @@ val stop : t -> unit
     and join every domain.  Idempotent. *)
 
 (** Minimal HTTP listener for the telemetry exposition ([GET /metrics],
-    [/metrics.json], [/healthz]).  One thread per connection with
-    socket read/write timeouts, so a scraper that connects and then
-    stalls cannot wedge health checks behind it. *)
+    [/metrics.json], [/healthz], [/readyz]).  One thread per connection
+    with socket read/write timeouts, so a scraper that connects and
+    then stalls cannot wedge health checks behind it. *)
 module Http : sig
   val start :
     ?timeout:float ->
+    ?healthz:(unit -> bool * string) ->
+    ?readyz:(unit -> bool * string) ->
     registry:Netembed_telemetry.Telemetry.Registry.t ->
     port:int ->
     unit ->
     int
   (** Bind [127.0.0.1:port] (0 = ephemeral), serve from a dedicated
       domain, return the bound port.  [timeout] (default 5 s) bounds
-      both reading the request and writing the response per
-      connection. *)
+      both reading the request and writing the response per connection.
+
+      [healthz] and [readyz] produce [(ok, body)] for the two probe
+      endpoints — 200 with [body] when [ok], 503 otherwise.  [healthz]
+      is liveness (the server flips it only while draining, so
+      orchestrators stop routing during the shutdown window); [readyz]
+      is readiness (wired to the {!Netembed_service.Health} state
+      machine — 503 whenever the service is not [Healthy]).  Both
+      default to always-ok. *)
 end

@@ -340,6 +340,7 @@ let ws_run ?trace ~k ~timeout ~split_depth ~registry problem filter =
     in
     let acc = ref [] in
     let steals = ref 0 in
+    let backoffs = ref 0 in
     let frames_expanded = ref 0 in
     let exhausted = ref false in
     let my = deques.(i) in
@@ -410,6 +411,7 @@ let ws_run ?trace ~k ~timeout ~split_depth ~registry problem filter =
                    appear. *)
                 if failed_steals < 16 then Domain.cpu_relax ()
                 else begin
+                  incr backoffs;
                   let shift = min 4 ((failed_steals - 16) / 8) in
                   Unix.sleepf (0.0002 *. float_of_int (1 lsl shift))
                 end;
@@ -427,6 +429,26 @@ let ws_run ?trace ~k ~timeout ~split_depth ~registry problem filter =
         "netembed_steals_total"
     in
     Telemetry.Counter.add steals_c !steals;
+    (* Per-domain labeled series ride the same merge: the scheduler's
+       imbalance (who stole, who slept) survives the join instead of
+       collapsing into one total. *)
+    Telemetry.Counter.add
+      (Telemetry.Registry.counter reg
+         ~help:"Search frames stolen from sibling deques by idle domains"
+         ~labels:[ ("domain", string_of_int i) ]
+         "netembed_steals_total")
+      !steals;
+    Telemetry.Counter.add
+      (Telemetry.Registry.counter reg
+         ~help:"Sleep backoffs taken by idle domains after failed steal sweeps"
+         "netembed_steal_backoffs_total")
+      !backoffs;
+    Telemetry.Counter.add
+      (Telemetry.Registry.counter reg
+         ~help:"Sleep backoffs taken by idle domains after failed steal sweeps"
+         ~labels:[ ("domain", string_of_int i) ]
+         "netembed_steal_backoffs_total")
+      !backoffs;
     ( mappings,
       !exhausted,
       reg,

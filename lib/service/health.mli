@@ -1,0 +1,101 @@
+(** SLO burn-rate health state machine for the mapping service.
+
+    Every finished request feeds a fast and a slow pair of sliding
+    windows (p99 latency and error rate, over
+    {!Netembed_telemetry.Telemetry.Windowed}); a periodic {!evaluate}
+    tick folds those windows plus the admission-queue depth into one
+    of four states, exported as the [netembed_health_state] gauge
+    (0=healthy 1=degraded 2=saturated 3=draining), the wire [HEALTH]
+    verb and the HTTP [/readyz] probe.
+
+    Flap damping: a candidate state must win [hysteresis] consecutive
+    evaluations before it is published, and queue saturation uses a
+    high/low watermark band (enter at [queue_high], leave below
+    [queue_low]).  {!set_draining} bypasses both — shutdown must be
+    visible immediately.
+
+    Thread-safe: observations arrive from worker domains while
+    [evaluate] runs on the server's main thread and [report] answers
+    [HEALTH] frames from other workers. *)
+
+type state =
+  | Healthy  (** SLOs met *)
+  | Degraded  (** fast-window p99 or error rate over the SLO *)
+  | Saturated
+      (** admission queue nearly full, or the fast window burning
+          error budget at [fast_burn]x with slow-window corroboration
+          (backpressure rejects count as errors, so sustained shedding
+          lands here) *)
+  | Draining  (** graceful shutdown began; terminal *)
+
+val state_name : state -> string
+(** ["healthy"], ["degraded"], ["saturated"], ["draining"]. *)
+
+val state_code : state -> int
+(** The gauge encoding, 0-3 in declaration order. *)
+
+type config = {
+  latency_slo_s : float;  (** p99 latency target, seconds *)
+  error_rate_slo : float;  (** tolerated error fraction *)
+  fast_burn : float;
+      (** fast-window error burn (rate / SLO) that, with slow-window
+          corroboration, means [Saturated] *)
+  queue_high : float;  (** queue fraction entering [Saturated] *)
+  queue_low : float;  (** queue fraction below which it is left *)
+  hysteresis : int;
+      (** consecutive evaluations a candidate state must win *)
+  fast_window : float;  (** seconds; reacts to incidents *)
+  slow_window : float;  (** seconds; filters transients *)
+  slices : int;  (** ring slices per window *)
+}
+
+val default_config : config
+(** 250 ms p99 / 1% errors, fast burn 10x, queue band 0.9/0.5,
+    hysteresis 2, windows 10 s / 60 s over 5 slices. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?clock:(unit -> float) ->
+  ?registry:Netembed_telemetry.Telemetry.Registry.t ->
+  unit ->
+  t
+(** Registers the [netembed_health_state] gauge (initially 0) in
+    [registry] (default the process registry).  [clock] is injected
+    into the sliding windows for tests.
+    @raise Invalid_argument on non-positive windows, [hysteresis < 1]
+    or [queue_low > queue_high]. *)
+
+val observe_request : t -> latency_s:float -> error:bool -> unit
+(** Feed one finished request into all four windows.  Backpressure
+    rejects are observed with [error:true] and their (near-zero)
+    shed latency. *)
+
+val evaluate : t -> queue_depth:int -> queue_capacity:int -> state
+(** One tick of the state machine: classify the windows and queue,
+    apply hysteresis, publish the gauge, return the (possibly
+    unchanged) current state.  Call at a steady cadence — hysteresis
+    counts evaluations, not wall-clock. *)
+
+val state : t -> state
+(** The current state, read-only (no hysteresis advance) — what
+    [/readyz] and the [HEALTH] verb use. *)
+
+val set_draining : t -> unit
+(** Enter [Draining] immediately and latch it; subsequent
+    [evaluate]s stay there. *)
+
+type report = {
+  r_state : state;
+  fast_p99_s : float;
+  slow_p99_s : float;
+  fast_error_rate : float;
+  slow_error_rate : float;
+  queue_depth : int;  (** as of the last {!evaluate} *)
+  queue_capacity : int;
+}
+
+val report : t -> report
+(** A read-only snapshot of the machine's inputs and state — the
+    [HEALTH] verb's payload. *)

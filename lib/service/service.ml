@@ -72,6 +72,10 @@ type t = {
   phase_seconds : Telemetry.Gauge.t array;
   phase_totals : float array;
   next_id : int Atomic.t;
+  (* SLO burn-rate health machine: every finished request (and every
+     backpressure reject) feeds it; the server's periodic tick calls
+     [Health.evaluate] with the live queue depth. *)
+  health : Health.t;
   (* Bounded slow/failed-query log: a ring of the last [log_capacity]
      diagnosable requests, looked up by request id for EXPLAIN. *)
   log : entry option array;
@@ -81,7 +85,8 @@ type t = {
 let kind_label = function `Node -> "node" | `Edge -> "edge"
 
 let create ?(registry = Telemetry.default_registry) ?(slow_threshold = 0.5)
-    ?(slow_search_share = 0.9) ?(domains = 1) ?(filter_cache_capacity = 32) model =
+    ?(slow_search_share = 0.9) ?(domains = 1) ?(filter_cache_capacity = 32)
+    ?health_config model =
   let ledger = Model.ledger model in
   (* Pre-register the parallel-search steal counter so the exposition
      shows the series (at 0) before the first multi-domain request;
@@ -183,6 +188,7 @@ let create ?(registry = Telemetry.default_registry) ?(slow_threshold = 0.5)
       phase_totals = Array.make Telemetry.Phase.count 0.0;
       slow_search_share;
       next_id = Atomic.make 1;
+      health = Health.create ?config:health_config ~registry ();
       log = Array.make log_capacity None;
       logged = 0;
     }
@@ -194,6 +200,7 @@ let model t = t.model
 let registry t = t.registry
 let filter_cache t = t.filter_cache
 let domains t = t.domains
+let health t = t.health
 
 let with_lock m f =
   Mutex.lock m;
@@ -332,6 +339,9 @@ let reject_backpressure t ~queue_depth ~queue_capacity =
       Telemetry.Counter.incr t.queue_rejected;
       Telemetry.Counter.incr t.request_errors;
       log_entry_unlocked t entry);
+  (* Sheds count as errors against the SLO budget: sustained shedding
+     is exactly what should drive the health machine to Saturated. *)
+  Health.observe_request t.health ~latency_s:0.0 ~error:true;
   entry
 
 (* ------------------------------------------------------------------ *)
@@ -539,7 +549,7 @@ let submit_parallel t ?trace ~cached_filter ~(request : Request.t) problem =
     filter = Some filter;
   }
 
-let submit ?(trace = false) t (request : Request.t) =
+let submit ?(trace = false) ?(queue_wait = 0.0) t (request : Request.t) =
   let t0 = Unix.gettimeofday () in
   with_state t (fun () -> Telemetry.Counter.incr t.requests);
   let id = Atomic.fetch_and_add t.next_id 1 in
@@ -550,8 +560,12 @@ let submit ?(trace = false) t (request : Request.t) =
   let tbuf = if trace then Some (Telemetry.Trace.create ~tid:0 ()) else None in
   (* Service-side phase cells (parse / admission / cache_lookup /
      ledger_commit); the engine fills its own cells on the snapshot and
-     the two sets are folded together once a result exists. *)
+     the two sets are folded together once a result exists.  The
+     front-end's admission-queue wait is handed in ready-made: it was
+     over before this call began. *)
   let phases = Telemetry.Phase.make_timings () in
+  if queue_wait > 0.0 then
+    phases.(Telemetry.Phase.index Telemetry.Phase.Queue_wait) <- queue_wait;
   let time_phase ph f =
     let s0 = Unix.gettimeofday () in
     Fun.protect f ~finally:(fun () ->
@@ -560,13 +574,15 @@ let submit ?(trace = false) t (request : Request.t) =
   in
   let finish ~phases:ph outcome =
     let dt_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+    let error = match outcome with Error _ -> true | Ok _ -> false in
     with_state t (fun () ->
         Telemetry.Histogram.observe t.latency_us dt_us;
         Telemetry.Windowed.observe t.request_seconds.(Telemetry.Phase.count) dt_us;
         record_phases_unlocked t ph;
-        match outcome with
-        | Error _ -> Telemetry.Counter.incr t.request_errors
-        | Ok _ -> ());
+        if error then Telemetry.Counter.incr t.request_errors);
+    Health.observe_request t.health
+      ~latency_s:(float_of_int dt_us *. 1e-6)
+      ~error;
     outcome
   in
   let log_failure ?certificate verdict message =

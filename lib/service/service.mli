@@ -52,6 +52,7 @@ val create :
   ?slow_search_share:float ->
   ?domains:int ->
   ?filter_cache_capacity:int ->
+  ?health_config:Health.config ->
   Model.t ->
   t
 (** The service registers its request metrics
@@ -96,7 +97,19 @@ val create :
     requests whose search phase alone takes at least
     [slow_search_share] (default 0.9) of the request's wall-clock time
     while the request is non-trivially slow — catching search-dominated
-    requests that stay under the absolute threshold. *)
+    requests that stay under the absolute threshold.
+
+    The service also owns a {!Health} state machine (configured by
+    [health_config], default {!Health.default_config}) which registers
+    the [netembed_health_state] gauge: every finished request and every
+    backpressure reject feeds it, and the server's periodic tick drives
+    {!Health.evaluate} with the live admission-queue depth. *)
+
+val health : t -> Health.t
+(** The service's SLO burn-rate health machine — evaluate it
+    periodically with the front-end queue depth, read it for [/readyz]
+    and the [HEALTH] verb, latch it with {!Health.set_draining} when
+    shutdown begins. *)
 
 val filter_cache : t -> Filter_cache.t
 (** The service's cross-request filter cache (introspection for tests
@@ -130,7 +143,8 @@ type answer = {
           {!Netembed_telemetry.Telemetry.Trace.to_chrome_json} *)
 }
 
-val submit : ?trace:bool -> t -> Request.t -> (answer, string) result
+val submit :
+  ?trace:bool -> ?queue_wait:float -> t -> Request.t -> (answer, string) result
 (** Run the request against the current {e residual} model snapshot
     ({!Model.residual_snapshot}).  [Error] is returned for malformed
     constraint expressions, an impossible query (larger than the
@@ -148,10 +162,13 @@ val submit : ?trace:bool -> t -> Request.t -> (answer, string) result
 
     Every request is decomposed into phases (parse, admission,
     filter-cache lookup, filter build, compile, search, ledger commit)
-    fed to the windowed [netembed_request_seconds] summaries; with
-    [trace] (default false) the request additionally records
-    request-scoped spans — including per-frame spans from parallel
-    worker domains — into [answer.trace] for Chrome trace export. *)
+    fed to the windowed [netembed_request_seconds] summaries;
+    [queue_wait] (default 0), the seconds the frame already spent in
+    the front-end admission queue, is folded in as the [queue_wait]
+    phase.  With [trace] (default false) the request additionally
+    records request-scoped spans — including per-frame spans from
+    parallel worker domains — into [answer.trace] for Chrome trace
+    export. *)
 
 val record_phase : t -> Netembed_telemetry.Telemetry.Phase.t -> float -> unit
 (** Feed [seconds] into a phase's windowed summary and lifetime total —

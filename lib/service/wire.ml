@@ -173,6 +173,7 @@ type command =
   | Utilization
   | Explain of int
   | Top
+  | Health
 
 let decode_command text =
   match frame_lines text with
@@ -195,8 +196,11 @@ let decode_command text =
           | Some _ | None -> Error (Printf.sprintf "bad request id %S" id))
       | [ "EXPLAIN" ] -> Error "EXPLAIN requires a request id"
       | [ "TOP" ] -> Ok Top
+      | [ "HEALTH" ] -> Ok Health
       | _ ->
-          Error "request must start with EMBED, ALLOC, FREE, UTIL, EXPLAIN or TOP")
+          Error
+            "request must start with EMBED, ALLOC, FREE, UTIL, EXPLAIN, TOP or \
+             HEALTH")
 
 let encode_command = function
   | Submit r -> encode_embed "EMBED" r
@@ -205,6 +209,7 @@ let encode_command = function
   | Utilization -> "UTIL\n.\n"
   | Explain id -> Printf.sprintf "EXPLAIN %d\n.\n" id
   | Top -> "TOP\n.\n"
+  | Health -> "HEALTH\n.\n"
 
 (* Per-phase milliseconds as one space-free header token:
    [parse:0.012,search:48.921] — zero cells are omitted. *)
@@ -334,6 +339,17 @@ let encode_top (t : Service.top) =
     t.Service.worst;
   Buffer.add_string buf ".\n";
   Buffer.contents buf
+
+let encode_health (r : Health.report) =
+  Printf.sprintf
+    "OK state=%s code=%d fast_p99=%.3f slow_p99=%.3f fast_err=%.4f \
+     slow_err=%.4f queue=%d/%d\n.\n"
+    (Health.state_name r.Health.r_state)
+    (Health.state_code r.Health.r_state)
+    (r.Health.fast_p99_s *. 1000.0)
+    (r.Health.slow_p99_s *. 1000.0)
+    r.Health.fast_error_rate r.Health.slow_error_rate r.Health.queue_depth
+    r.Health.queue_capacity
 
 let kind_to_string = function `Node -> "node" | `Edge -> "edge"
 

@@ -108,6 +108,12 @@ type command =
   | Top
       (** [TOP]: the phase-latency triage report — busiest phases with
           sliding-window quantiles, plus the slowest retained requests *)
+  | Health
+      (** [HEALTH]: the SLO health machine's state and window inputs —
+          one
+          [OK state=<s> code=<0-3> fast_p99=<ms> slow_p99=<ms>
+          fast_err=<rate> slow_err=<rate> queue=<depth>/<capacity>]
+          line *)
 
 val decode_command : string -> (command, string) result
 val encode_command : command -> string
@@ -131,6 +137,11 @@ val encode_top : Service.top -> string
 (** The [TOP] response: one [PHASE] line per phase (busiest first, with
     window quantiles in ms) and one [SLOW] line per retained slow
     request. *)
+
+val encode_health : Health.report -> string
+(** The [HEALTH] response: state name and gauge code, fast/slow-window
+    p99 (ms) and error rates, and the queue depth as of the last
+    health evaluation. *)
 
 val encode_utilization :
   (string * [ `Node | `Edge ] * float * float) list -> string

@@ -1,0 +1,261 @@
+(* Runtime introspection for the mapping service.
+
+   Three independent pieces, all optional at runtime:
+
+   - a sampler domain that polls [Gc.quick_stat] on a configurable
+     interval and exports [netembed_gc_*] gauges into a registry —
+     allocation rates (words/s between consecutive polls), collection
+     counts, heap size and compactions;
+   - cooperative per-domain allocation publishing: any domain may call
+     {!publish_minor_words} to drop its own [Gc.minor_words] reading
+     into a per-domain cell, which the sampler exports as
+     [netembed_domain_minor_words{domain=...}] (Gc counters are
+     per-domain in multicore OCaml, so the sampler cannot read them on
+     behalf of other domains);
+   - an allocation profiler over [Gc.Memprof] that aggregates sampled
+     allocation sites and dumps folded-stack output (one
+     [frame;frame;... count] line per site, flamegraph-ready).  The
+     5.1 multicore runtime ships the Memprof interface but raises
+     [Failure] from [start]; the profiler degrades to a marker sample
+     so the dump is always present and parseable.
+
+   Concurrency: the sampler slot is process-global and mutex-guarded;
+   [start]/[stop]/[running] are idempotent and safe from any domain.
+   The per-domain cells follow the repo's single-writer/racy-reader
+   model (each domain writes only its own cell). *)
+
+let max_domains = 128
+
+(* cells.(i): last minor-words reading domain i published; live.(i)
+   marks the cell as carrying data.  Single writer per cell (the owning
+   domain), racy reader (the sampler). *)
+let alloc_cells = Array.make max_domains 0.0
+let alloc_live = Array.make max_domains false
+
+let publish_minor_words () =
+  let id = (Domain.self () :> int) in
+  if id >= 0 && id < max_domains then begin
+    alloc_cells.(id) <- Gc.minor_words ();
+    alloc_live.(id) <- true
+  end
+
+type sampler = {
+  registry : Telemetry.Registry.t;
+  interval : float;
+  lock : Mutex.t;
+  mutable stop_flag : bool;  (* guarded by [lock] *)
+  mutable thread : unit Domain.t option;
+}
+
+let slot : sampler option ref = ref None
+let slot_lock = Mutex.create ()
+let gc_help = "sampled from Gc.quick_stat by the runtime sampler domain"
+
+(* One poll: refresh every gauge, return the readings the next poll
+   rates against. *)
+let sample registry ~prev_minor ~prev_major ~prev_t =
+  let s = Gc.quick_stat () in
+  let now = Unix.gettimeofday () in
+  let g name = Telemetry.Registry.gauge registry ~help:gc_help name in
+  let dt = now -. prev_t in
+  if dt > 0.0 then begin
+    Telemetry.Gauge.set
+      (g "netembed_gc_minor_words_rate")
+      ((s.Gc.minor_words -. prev_minor) /. dt);
+    Telemetry.Gauge.set
+      (g "netembed_gc_major_words_rate")
+      ((s.Gc.major_words -. prev_major) /. dt)
+  end;
+  Telemetry.Gauge.set
+    (g "netembed_gc_minor_collections")
+    (float_of_int s.Gc.minor_collections);
+  Telemetry.Gauge.set
+    (g "netembed_gc_major_collections")
+    (float_of_int s.Gc.major_collections);
+  Telemetry.Gauge.set (g "netembed_gc_compactions")
+    (float_of_int s.Gc.compactions);
+  Telemetry.Gauge.set (g "netembed_gc_heap_words")
+    (float_of_int s.Gc.heap_words);
+  for i = 0 to max_domains - 1 do
+    if alloc_live.(i) then
+      Telemetry.Gauge.set
+        (Telemetry.Registry.gauge registry
+           ~help:"per-domain minor words, published by the domain itself"
+           ~labels:[ ("domain", string_of_int i) ]
+           "netembed_domain_minor_words")
+        alloc_cells.(i)
+  done;
+  (s.Gc.minor_words, s.Gc.major_words, now)
+
+let stopped sampler =
+  Mutex.lock sampler.lock;
+  let s = sampler.stop_flag in
+  Mutex.unlock sampler.lock;
+  s
+
+let run sampler () =
+  let rec loop prev_minor prev_major prev_t =
+    (* Chunked sleep so [stop] never waits a full interval. *)
+    let deadline = Unix.gettimeofday () +. sampler.interval in
+    let rec wait () =
+      if stopped sampler then true
+      else
+        let now = Unix.gettimeofday () in
+        if now >= deadline then false
+        else begin
+          Unix.sleepf (Float.min 0.02 (deadline -. now));
+          wait ()
+        end
+    in
+    if not (wait ()) then begin
+      let pm, pj, pt =
+        sample sampler.registry ~prev_minor ~prev_major ~prev_t
+      in
+      loop pm pj pt
+    end
+  in
+  (* Export the absolute gauges immediately so /metrics carries them
+     without waiting one full interval; rates appear from poll two. *)
+  let s = Gc.quick_stat () in
+  let pm, pj, pt =
+    sample sampler.registry ~prev_minor:s.Gc.minor_words
+      ~prev_major:s.Gc.major_words ~prev_t:(Unix.gettimeofday ())
+  in
+  loop pm pj pt
+
+let start ?(registry = Telemetry.default_registry) ?(interval = 1.0) () =
+  if interval <= 0.0 then
+    invalid_arg "Runtime.start: interval must be positive";
+  Mutex.lock slot_lock;
+  (match !slot with
+  | Some _ -> ()  (* already running: idempotent *)
+  | None ->
+      let sampler =
+        { registry; interval; lock = Mutex.create (); stop_flag = false;
+          thread = None }
+      in
+      sampler.thread <- Some (Domain.spawn (run sampler));
+      slot := Some sampler);
+  Mutex.unlock slot_lock
+
+let stop () =
+  Mutex.lock slot_lock;
+  let s = !slot in
+  slot := None;
+  Mutex.unlock slot_lock;
+  match s with
+  | None -> ()
+  | Some sampler -> (
+      Mutex.lock sampler.lock;
+      sampler.stop_flag <- true;
+      Mutex.unlock sampler.lock;
+      match sampler.thread with Some d -> Domain.join d | None -> ())
+
+let running () =
+  Mutex.lock slot_lock;
+  let r = match !slot with Some _ -> true | None -> false in
+  Mutex.unlock slot_lock;
+  r
+
+module Alloc_profile = struct
+  type status = Idle | Active | Unsupported
+
+  let lock = Mutex.create ()
+  let status = ref Idle
+  let sites : (string, int) Hashtbl.t = Hashtbl.create 64
+
+  let frames_of_callstack bt =
+    match Printexc.backtrace_slots bt with
+    | None -> [ "unknown" ]
+    | Some slots ->
+        let name slot =
+          match Printexc.Slot.name slot with
+          | Some n when n <> "" -> n
+          | _ -> (
+              match Printexc.Slot.location slot with
+              | Some l ->
+                  Printf.sprintf "%s:%d" l.Printexc.filename
+                    l.Printexc.line_number
+              | None -> "unknown")
+        in
+        (* Raw backtraces list the innermost frame first; folded stacks
+           want outermost first. *)
+        List.rev (Array.to_list (Array.map name slots))
+
+  let record (alloc : Gc.Memprof.allocation) =
+    let key =
+      String.concat ";"
+        ("netembed" :: frames_of_callstack alloc.Gc.Memprof.callstack)
+    in
+    Mutex.lock lock;
+    let prev = Option.value ~default:0 (Hashtbl.find_opt sites key) in
+    Hashtbl.replace sites key (prev + alloc.Gc.Memprof.n_samples);
+    Mutex.unlock lock;
+    None
+
+  let tracker : (unit, unit) Gc.Memprof.tracker =
+    {
+      Gc.Memprof.alloc_minor = record;
+      alloc_major = record;
+      promote = (fun _ -> None);
+      dealloc_minor = ignore;
+      dealloc_major = ignore;
+    }
+
+  let start ?(sampling_rate = 1e-3) () =
+    Mutex.lock lock;
+    let st = !status in
+    Mutex.unlock lock;
+    match st with
+    | Active | Unsupported -> ()
+    | Idle -> (
+        (* Never hold [lock] across Memprof.start: the callbacks take it
+           and fire on allocation. *)
+        try
+          Gc.Memprof.start ~sampling_rate ~callstack_size:32 tracker;
+          Mutex.lock lock;
+          status := Active;
+          Mutex.unlock lock
+        with Failure _ ->
+          (* 5.1 multicore: interface present, implementation absent. *)
+          Mutex.lock lock;
+          status := Unsupported;
+          Mutex.unlock lock)
+
+  let active () =
+    Mutex.lock lock;
+    let a = !status = Active in
+    Mutex.unlock lock;
+    a
+
+  let supported () =
+    Mutex.lock lock;
+    let s = !status <> Unsupported in
+    Mutex.unlock lock;
+    s
+
+  let stop () =
+    if active () then Gc.Memprof.stop ();
+    Mutex.lock lock;
+    if !status = Active then status := Idle;
+    Mutex.unlock lock
+
+  let reset () =
+    Mutex.lock lock;
+    Hashtbl.reset sites;
+    Mutex.unlock lock
+
+  let dump_folded oc =
+    Mutex.lock lock;
+    let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) sites [] in
+    let unsupported = !status = Unsupported in
+    Mutex.unlock lock;
+    if entries = [] then
+      output_string oc
+        (if unsupported then "netembed;runtime;memprof_unavailable 1\n"
+         else "netembed;runtime;no_samples 1\n")
+    else
+      List.iter
+        (fun (k, v) -> Printf.fprintf oc "%s %d\n" k v)
+        (List.sort (fun (a, _) (b, _) -> compare a b) entries)
+end

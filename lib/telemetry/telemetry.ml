@@ -266,7 +266,9 @@ end
 module Phase = struct
   (* The fixed decomposition of one mapping request.  Indices are the
      layout of [snapshot.phases] and of the service's per-phase
-     accumulators, so the order here is load-bearing. *)
+     accumulators, so the order here is load-bearing: new phases are
+     appended (Queue_wait sits after Encode even though it happens
+     first in wall-clock order) so existing indices never move. *)
   type t =
     | Parse
     | Admission
@@ -276,9 +278,13 @@ module Phase = struct
     | Search
     | Ledger_commit
     | Encode
+    | Queue_wait
 
   let all =
-    [| Parse; Admission; Cache_lookup; Filter_build; Compile; Search; Ledger_commit; Encode |]
+    [|
+      Parse; Admission; Cache_lookup; Filter_build; Compile; Search;
+      Ledger_commit; Encode; Queue_wait;
+    |]
 
   let count = Array.length all
 
@@ -291,6 +297,7 @@ module Phase = struct
     | Search -> 5
     | Ledger_commit -> 6
     | Encode -> 7
+    | Queue_wait -> 8
 
   let name = function
     | Parse -> "parse"
@@ -301,6 +308,7 @@ module Phase = struct
     | Search -> "search"
     | Ledger_commit -> "ledger_commit"
     | Encode -> "encode"
+    | Queue_wait -> "queue_wait"
 
   let of_index i =
     if i < 0 || i >= count then invalid_arg "Telemetry.Phase.of_index";

@@ -186,6 +186,10 @@ module Phase : sig
     | Search  (** the descent proper (sequential or work-stealing) *)
     | Ledger_commit  (** allocation commit / release bookkeeping *)
     | Encode  (** wire-frame encoding of the answer *)
+    | Queue_wait
+        (** time spent in the front-end admission queue before a worker
+            picked the request up (appended after [Encode] so earlier
+            indices stay stable; in wall-clock order it happens first) *)
 
   val all : t array
   val count : int

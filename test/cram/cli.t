@@ -136,3 +136,24 @@ are deterministic for a fixed host:
   $ grep -c '"ev":"enter"' trace.jsonl > enters; grep -c '"ev":"exit"' trace.jsonl > exits
   $ diff enters exits && grep -q '"span":"descent"' trace.jsonl && echo spans-balanced
   spans-balanced
+
+watch polls a running TCP server's HEALTH and TOP verbs; --once takes a
+single snapshot (the health line is all-zero before any embed traffic,
+and queue_wait is reported as a phase):
+
+  $ ../../bin/netembed_server.exe --host host.graphml --tcp-port 0 --workers 1 \
+  >   >server.out 2>/dev/null &
+  $ SERVER_PID=$!
+  $ for _ in $(seq 100); do grep -q LISTEN server.out 2>/dev/null && break; sleep 0.1; done
+  $ PORT=$(sed -n 's/^LISTEN port=//p' server.out | tr -d ' ')
+
+  $ ../../bin/netembed_cli.exe watch --connect 127.0.0.1:$PORT --once \
+  >   | sed -e 's|queue=[0-9]*/[0-9]*|queue=D/C|' | head -2
+  HEALTH state=healthy code=0 fast_p99=0.000 slow_p99=0.000 fast_err=0.0000 slow_err=0.0000 queue=D/C
+  TOP phases=9 worst=0 window=60
+
+  $ ../../bin/netembed_cli.exe watch --connect 127.0.0.1:$PORT --once \
+  >   | grep -c 'name=queue_wait'
+  1
+
+  $ kill $SERVER_PID && wait $SERVER_PID 2>/dev/null || true

@@ -142,7 +142,7 @@ let test_pipelining_preserves_order () =
     log := (tag, Unix.gettimeofday ()) :: !log;
     Mutex.unlock log_lock
   in
-  let handle frame =
+  let handle ~queue_wait:_ frame =
     let tag = String.trim frame in
     stamp ("enter " ^ tag);
     if tag = "SLOW" then Thread.delay 0.3;
@@ -181,7 +181,7 @@ let test_backpressure_reject () =
   let gate = Atomic.make false in
   let entered = Atomic.make 0 in
   let rejects = Atomic.make 0 in
-  let handle frame =
+  let handle ~queue_wait:_ frame =
     Atomic.incr entered;
     while not (Atomic.get gate) do
       Thread.delay 0.005
@@ -238,13 +238,75 @@ let test_backpressure_reject () =
   Unix.close fd
 
 (* ------------------------------------------------------------------ *)
+(* Queue-wait measurement                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One worker, a one-slot queue, and a gated handler: the second frame
+   must sit in the queue for the whole gated window, and the wait the
+   worker hands to [handle] must cover it. *)
+let test_queue_wait_measured () =
+  let registry = Telemetry.Registry.create () in
+  let gate = Atomic.make false in
+  let waits_lock = Mutex.create () in
+  let waits = ref [] in
+  let handle ~queue_wait frame =
+    let tag = String.trim frame in
+    Mutex.lock waits_lock;
+    waits := (tag, queue_wait) :: !waits;
+    Mutex.unlock waits_lock;
+    while not (Atomic.get gate) do
+      Thread.delay 0.005
+    done;
+    Printf.sprintf "OK tag=%s\n.\n" tag
+  in
+  let reject ~queue_depth:_ ~queue_capacity:_ = Alcotest.fail "unexpected reject" in
+  let server =
+    Frontend.start
+      ~config:(config ~workers:1 ~queue_capacity:1)
+      ~registry ~handle ~reject ~port:0 ()
+  in
+  Fun.protect ~finally:(fun () -> Frontend.stop server) @@ fun () ->
+  let seen () =
+    Mutex.lock waits_lock;
+    let n = List.length !waits in
+    Mutex.unlock waits_lock;
+    n
+  in
+  let depth () =
+    Telemetry.Gauge.value
+      (Telemetry.Registry.gauge registry "netembed_admission_queue_depth")
+  in
+  let fd = connect (Frontend.port server) in
+  let ic = Unix.in_channel_of_descr fd in
+  (* F1 goes straight to the only worker; F2 fills the one queue slot
+     and waits there while the gate is shut. *)
+  send_frame fd "F1";
+  await "F1 entered the handler" (fun () -> seen () = 1);
+  send_frame fd "F2";
+  await "F2 queued" (fun () -> depth () = 1.0);
+  Thread.delay 0.25;
+  Atomic.set gate true;
+  ignore (read_reply ic);
+  ignore (read_reply ic);
+  let wait tag =
+    Mutex.lock waits_lock;
+    let w = List.assoc tag !waits in
+    Mutex.unlock waits_lock;
+    w
+  in
+  check Alcotest.bool "F1 barely waited" true (wait "F1" < 0.2);
+  check Alcotest.bool "F2's queue wait covers the gated window" true
+    (wait "F2" >= 0.2);
+  Unix.close fd
+
+(* ------------------------------------------------------------------ *)
 (* Graceful stop and frame bounds                                      *)
 (* ------------------------------------------------------------------ *)
 
 let test_graceful_stop_drains () =
   let registry = Telemetry.Registry.create () in
   let entered = Atomic.make 0 in
-  let handle frame =
+  let handle ~queue_wait:_ frame =
     Atomic.incr entered;
     Thread.delay 0.3;
     Printf.sprintf "OK tag=%s\n.\n" (String.trim frame)
@@ -284,7 +346,9 @@ let test_graceful_stop_drains () =
 
 let test_oversized_frame_rejected_cleanly () =
   let registry = Telemetry.Registry.create () in
-  let handle frame = Printf.sprintf "OK tag=%s\n.\n" (String.trim frame) in
+  let handle ~queue_wait:_ frame =
+    Printf.sprintf "OK tag=%s\n.\n" (String.trim frame)
+  in
   let reject ~queue_depth:_ ~queue_capacity:_ = Alcotest.fail "unexpected reject" in
   let server =
     Frontend.start
@@ -343,6 +407,42 @@ let test_healthz_survives_stalled_scraper () =
   Unix.close fd2;
   Unix.close stalled
 
+(* /healthz and /readyz answer through the caller's probe callbacks:
+   200 while ok, 503 with the callback's body once flipped, with
+   /metrics unaffected. *)
+let test_probe_endpoints_follow_callbacks () =
+  let registry = Telemetry.Registry.create () in
+  ignore (Telemetry.Registry.counter registry "netembed_requests_total");
+  let ready = Atomic.make true in
+  let live = Atomic.make true in
+  let port =
+    Frontend.Http.start ~timeout:2.0 ~registry
+      ~healthz:(fun () ->
+        if Atomic.get live then (true, "ok") else (false, "draining"))
+      ~readyz:(fun () ->
+        if Atomic.get ready then (true, "healthy") else (false, "saturated"))
+      ~port:0 ()
+  in
+  let status_of path =
+    let fd = connect port in
+    write_all fd (Printf.sprintf "GET %s HTTP/1.1\r\n\r\n" path);
+    let ic = Unix.in_channel_of_descr fd in
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0
+     with Unix.Unix_error _ -> ());
+    let status = input_line ic in
+    Unix.close fd;
+    if String.length status >= 12 then String.sub status 9 3 else status
+  in
+  check Alcotest.string "ready" "200" (status_of "/readyz");
+  check Alcotest.string "live" "200" (status_of "/healthz");
+  Atomic.set ready false;
+  check Alcotest.string "not ready -> 503" "503" (status_of "/readyz");
+  check Alcotest.string "liveness unaffected by readiness" "200"
+    (status_of "/healthz");
+  Atomic.set live false;
+  check Alcotest.string "draining -> healthz 503" "503" (status_of "/healthz");
+  check Alcotest.string "metrics still served" "200" (status_of "/metrics")
+
 let () =
   Alcotest.run "frontend"
     [
@@ -358,6 +458,8 @@ let () =
             test_pipelining_preserves_order;
           Alcotest.test_case "backpressure reject at saturation" `Quick
             test_backpressure_reject;
+          Alcotest.test_case "queue wait measured under a gated one-slot queue"
+            `Quick test_queue_wait_measured;
           Alcotest.test_case "graceful stop drains in-flight work" `Quick
             test_graceful_stop_drains;
           Alcotest.test_case "oversized frame rejected, stream resyncs" `Quick
@@ -367,5 +469,7 @@ let () =
         [
           Alcotest.test_case "healthz behind a stalled scraper" `Quick
             test_healthz_survives_stalled_scraper;
+          Alcotest.test_case "probe endpoints follow their callbacks" `Quick
+            test_probe_endpoints_follow_callbacks;
         ] );
     ]

@@ -5,6 +5,7 @@ module Model = Netembed_service.Model
 module Request = Netembed_service.Request
 module Service = Netembed_service.Service
 module Wire = Netembed_service.Wire
+module Health = Netembed_service.Health
 module Engine = Netembed_core.Engine
 module Mapping = Netembed_core.Mapping
 module Rng = Netembed_rng.Rng
@@ -972,6 +973,120 @@ let test_concurrent_hammer () =
   check Alcotest.bool "at least one stale or alloc outcome" true
     (Atomic.get allocs + Atomic.get stale > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Health state machine                                                *)
+(* ------------------------------------------------------------------ *)
+
+let health_config =
+  {
+    Health.latency_slo_s = 0.1;
+    error_rate_slo = 0.01;
+    fast_burn = 10.0;
+    queue_high = 0.9;
+    queue_low = 0.5;
+    hysteresis = 2;
+    fast_window = 10.0;
+    slow_window = 60.0;
+    slices = 5;
+  }
+
+(* Readiness must flap only after [hysteresis] consecutive window
+   evaluations agree, in both directions — and recovery must come from
+   the bad samples aging out of the injected-clock windows. *)
+let test_health_hysteresis () =
+  let module Telemetry = Netembed_telemetry.Telemetry in
+  let registry = Telemetry.Registry.create () in
+  let now = ref 1000.0 in
+  let h = Health.create ~config:health_config ~clock:(fun () -> !now) ~registry () in
+  let gauge () =
+    int_of_float
+      (Telemetry.Gauge.value
+         (Telemetry.Registry.gauge registry "netembed_health_state"))
+  in
+  let eval () = Health.evaluate h ~queue_depth:0 ~queue_capacity:64 in
+  check Alcotest.bool "starts healthy" true (eval () = Health.Healthy);
+  (* Blow the latency SLO inside the fast window. *)
+  for _ = 1 to 50 do
+    Health.observe_request h ~latency_s:0.5 ~error:false
+  done;
+  check Alcotest.bool "one bad evaluation does not flip" true
+    (eval () = Health.Healthy);
+  check Alcotest.int "gauge still healthy" 0 (gauge ());
+  check Alcotest.bool "second consecutive bad evaluation flips" true
+    (eval () = Health.Degraded);
+  check Alcotest.int "gauge degraded" 1 (gauge ());
+  (* Recovery: age the bad samples out of both windows, then demand the
+     same consecutive-evaluation streak on the way back. *)
+  now := !now +. 2.0 *. health_config.Health.slow_window;
+  check Alcotest.bool "one good evaluation does not recover" true
+    (eval () = Health.Degraded);
+  check Alcotest.bool "second consecutive good evaluation recovers" true
+    (eval () = Health.Healthy);
+  check Alcotest.int "gauge healthy again" 0 (gauge ())
+
+(* Queue saturation enters at [queue_high] and leaves only below
+   [queue_low] — the band keeps a hovering queue from flapping. *)
+let test_health_queue_watermarks () =
+  let module Telemetry = Netembed_telemetry.Telemetry in
+  let registry = Telemetry.Registry.create () in
+  let h =
+    Health.create
+      ~config:{ health_config with Health.hysteresis = 1 }
+      ~clock:(fun () -> 0.0)
+      ~registry ()
+  in
+  let eval depth = Health.evaluate h ~queue_depth:depth ~queue_capacity:10 in
+  check Alcotest.bool "empty queue healthy" true (eval 0 = Health.Healthy);
+  check Alcotest.bool "9/10 saturates" true (eval 9 = Health.Saturated);
+  check Alcotest.bool "6/10 holds inside the band" true
+    (eval 6 = Health.Saturated);
+  check Alcotest.bool "4/10 leaves the band" true (eval 4 = Health.Healthy);
+  let r = Health.report h in
+  check Alcotest.int "report queue depth" 4 r.Health.queue_depth;
+  check Alcotest.int "report queue capacity" 10 r.Health.queue_capacity
+
+(* Draining bypasses hysteresis, latches, and renders on the wire. *)
+let test_health_draining_latch () =
+  let module Telemetry = Netembed_telemetry.Telemetry in
+  let registry = Telemetry.Registry.create () in
+  let h = Health.create ~config:health_config ~registry () in
+  check Alcotest.bool "healthy before drain" true
+    (Health.state h = Health.Healthy);
+  Health.set_draining h;
+  check Alcotest.bool "draining immediately" true
+    (Health.state h = Health.Draining);
+  check Alcotest.bool "evaluate cannot leave draining" true
+    (Health.evaluate h ~queue_depth:0 ~queue_capacity:10 = Health.Draining);
+  check (Alcotest.float 0.0) "gauge draining" 3.0
+    (Telemetry.Gauge.value
+       (Telemetry.Registry.gauge registry "netembed_health_state"));
+  let line = Wire.encode_health (Health.report h) in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "wire line carries the state" true
+    (contains line "state=draining");
+  check Alcotest.bool "wire line carries the code" true (contains line "code=3")
+
+(* Service.submit feeds the machine: errors (including backpressure
+   sheds) burn the error budget, successes feed latency. *)
+let test_health_fed_by_service () =
+  let module Telemetry = Netembed_telemetry.Telemetry in
+  let registry = Telemetry.Registry.create () in
+  let svc = Service.create ~registry (Model.create (host ())) in
+  let good = Request.make ~query:(path_query 5.0 15.0) standard_constraint in
+  let bad = Request.make ~query:(path_query 5.0 15.0) "vEdge.>>>" in
+  (match Service.submit svc good with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  ignore (Service.submit svc bad);
+  let r = Health.report (Service.health svc) in
+  check Alcotest.bool "latency observed" true (r.Health.fast_p99_s > 0.0);
+  check Alcotest.bool "error rate observed" true
+    (r.Health.fast_error_rate > 0.0 && r.Health.fast_error_rate < 1.0)
+
 let prop_wire_decode_total =
   QCheck.Test.make ~name:"wire decode is total on garbage" ~count:300
     QCheck.(string_of_size (QCheck.Gen.int_range 0 120))
@@ -1035,6 +1150,17 @@ let () =
           Alcotest.test_case "frame size bound + resync" `Quick
             test_wire_frame_bound;
           QCheck_alcotest.to_alcotest prop_wire_decode_total;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "hysteresis both directions" `Quick
+            test_health_hysteresis;
+          Alcotest.test_case "queue watermark band" `Quick
+            test_health_queue_watermarks;
+          Alcotest.test_case "draining latch + wire" `Quick
+            test_health_draining_latch;
+          Alcotest.test_case "fed by the service" `Quick
+            test_health_fed_by_service;
         ] );
       ( "monitor",
         [

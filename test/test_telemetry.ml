@@ -542,6 +542,93 @@ let test_backtracks_counted () =
       check Alcotest.int "stats and snapshot agree"
         st.Netembed_core.Domain_store.backtracks r.Engine.telemetry.Telemetry.backtracks
 
+(* ------------------------------------------------------------------ *)
+(* Runtime sampler                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Runtime = Netembed_telemetry.Runtime
+
+(* The sampler slot is global: double starts and double stops must be
+   no-ops, and a restart against a fresh registry (a Service restart)
+   must come up clean and publish into the new registry. *)
+let test_runtime_sampler_idempotent () =
+  let r1 = Registry.create () in
+  check Alcotest.bool "not running initially" false (Runtime.running ());
+  Runtime.start ~registry:r1 ~interval:0.01 ();
+  check Alcotest.bool "running" true (Runtime.running ());
+  (* Second start is absorbed by the live slot. *)
+  Runtime.start ~registry:r1 ~interval:0.01 ();
+  check Alcotest.bool "still one sampler" true (Runtime.running ());
+  Runtime.publish_minor_words ();
+  Thread.delay 0.08;
+  Runtime.stop ();
+  check Alcotest.bool "stopped" false (Runtime.running ());
+  Runtime.stop ();
+  check Alcotest.bool "double stop is a no-op" false (Runtime.running ());
+  let gauge reg name = Gauge.value (Registry.gauge reg name) in
+  check Alcotest.bool "heap gauge sampled" true
+    (gauge r1 "netembed_gc_heap_words" > 0.0);
+  let self = string_of_int (Domain.self () :> int) in
+  check Alcotest.bool "per-domain allocation gauge published" true
+    (Gauge.value
+       (Registry.gauge r1
+          ~labels:[ ("domain", self) ]
+          "netembed_domain_minor_words")
+    > 0.0);
+  (* Restart against a fresh registry — the Service-restart path. *)
+  let r2 = Registry.create () in
+  Runtime.start ~registry:r2 ~interval:0.01 ();
+  check Alcotest.bool "restarted" true (Runtime.running ());
+  Thread.delay 0.05;
+  Runtime.stop ();
+  check Alcotest.bool "heap gauge sampled after restart" true
+    (gauge r2 "netembed_gc_heap_words" > 0.0);
+  check Alcotest.bool "bad interval rejected" true
+    (try
+       Runtime.start ~registry:r2 ~interval:0.0 ();
+       false
+     with Invalid_argument _ -> true)
+
+(* The allocation profiler's folded dump always yields at least one
+   line — real samples when Memprof works, an explicit marker when the
+   runtime does not support it (OCaml 5.1 multicore) or when nothing
+   was sampled — so a CI artifact check can demand a non-empty file. *)
+let test_alloc_profile_dump_nonempty () =
+  Runtime.Alloc_profile.reset ();
+  Runtime.Alloc_profile.start ~sampling_rate:1e-2 ();
+  if Runtime.Alloc_profile.active () then begin
+    Sys.opaque_identity (List.init 5000 (fun i -> string_of_int i)) |> ignore;
+    Runtime.Alloc_profile.stop ()
+  end
+  else
+    check Alcotest.bool "inactive only because unsupported" false
+      (Runtime.Alloc_profile.supported ());
+  let file = Filename.temp_file "netembed_alloc" ".folded" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let oc = open_out file in
+  Runtime.Alloc_profile.dump_folded oc;
+  close_out oc;
+  let ic = open_in file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  check Alcotest.bool "at least one folded line" true (List.length !lines >= 1);
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "unparseable folded line: %s" line
+      | Some i ->
+          let count =
+            int_of_string_opt
+              (String.sub line (i + 1) (String.length line - i - 1))
+          in
+          check Alcotest.bool "folded line ends in a count" true
+            (match count with Some n -> n > 0 | None -> false))
+    !lines
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -592,5 +679,12 @@ let () =
           Alcotest.test_case "snapshot for ECF/RWB/LNS" `Quick
             test_snapshot_all_algorithms;
           Alcotest.test_case "backtracks counted" `Quick test_backtracks_counted;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "sampler start/stop idempotent across restarts"
+            `Quick test_runtime_sampler_idempotent;
+          Alcotest.test_case "alloc profile dump never empty" `Quick
+            test_alloc_profile_dump_nonempty;
         ] );
     ]
