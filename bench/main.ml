@@ -310,13 +310,20 @@ let bench_json_file = "BENCH_RESULTS.json"
 
 let write_gc_json () =
   let rows = List.rev !gc_rows in
-  (* The load generator owns the "service_load" section of the same
-     file; carry it across our rewrite so bench and loadgen can be run
-     in either order without clobbering each other. *)
-  let service_load =
+  (* Other tools own sections of the same file (the load generator
+     writes "service_load" and "runtime_ablation", the churn simulator
+     writes "online_churn"); carry them across our rewrite so the
+     tools can be run in any order without clobbering each other. *)
+  let foreign =
     match Netembed_workload.Bench_io.read_file bench_json_file with
-    | None -> None
-    | Some doc -> Netembed_workload.Bench_io.extract_section doc ~key:"service_load"
+    | None -> []
+    | Some doc ->
+        List.filter_map
+          (fun key ->
+            match Netembed_workload.Bench_io.extract_section doc ~key with
+            | None -> None
+            | Some text -> Some (key, text))
+          [ "service_load"; "runtime_ablation"; "online_churn" ]
   in
   let oc = open_out bench_json_file in
   Printf.fprintf oc "{\n  \"benches\": [\n";
@@ -352,9 +359,9 @@ let write_gc_json () =
         (if i = ns - 1 then "" else ","))
     srows;
   Printf.fprintf oc "  ]";
-  (match service_load with
-  | None -> ()
-  | Some text -> Printf.fprintf oc ",\n  \"service_load\": %s" text);
+  List.iter
+    (fun (key, text) -> Printf.fprintf oc ",\n  %S: %s" key text)
+    foreign;
   Printf.fprintf oc "\n}\n";
   close_out oc;
   Printf.printf "# Gc-aware rows written to %s\n\n" bench_json_file

@@ -347,6 +347,33 @@ let release t id =
         (aggregate charge);
       true
 
+let allocation_charge t id = Hashtbl.find_opt t.allocations id
+
+let allocation_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.allocations [] |> List.sort compare
+
+let migrate t id charge' =
+  match Hashtbl.find_opt t.allocations id with
+  | None -> invalid_arg (Printf.sprintf "Ledger.migrate: unknown allocation %d" id)
+  | Some old -> (
+      ignore (release t id);
+      match try_commit t charge' with
+      | Ok id' -> Ok id'
+      | Error _ as e -> (
+          (* Rollback: the old charge was held an instant ago, so
+             re-committing it into the capacity its release freed can
+             only fail by last-ulp noise, which the commit slack
+             absorbs.  The allocation is restored under its original
+             id, so the caller's handle stays valid. *)
+          match try_commit t old with
+          | Ok rid ->
+              Hashtbl.remove t.allocations rid;
+              Hashtbl.add t.allocations id old;
+              e
+          | Error f ->
+              invalid_arg
+                ("Ledger.migrate: rollback failed — " ^ failure_to_string f)))
+
 let lock t v =
   check_index t (Node v);
   let charge =
@@ -482,6 +509,37 @@ let sync_residual t g =
     Hashtbl.add t.allocations id !lines;
     t.external_id <- Some id
   end
+
+(* Residual-capacity dispersion of one pool: the share of free capacity
+   sitting on *partially-used* elements.  An idle pool and a perfectly
+   consolidated one both read 0 (all free capacity lies in untouched
+   whole elements); a pool whose free capacity is scattered across
+   half-full elements reads towards 1 — free capacity exists but no
+   whole-element-sized block of it does, which is exactly the state a
+   defragmentation pass undoes. *)
+let pool_fragmentation p =
+  let free_total = ref 0.0 and free_dispersed = ref 0.0 in
+  Array.iteri
+    (fun i c ->
+      if p.p_present.(i) then begin
+        let r = Float.max 0.0 (c -. p.p_used.(i)) in
+        free_total := !free_total +. r;
+        if p.p_used.(i) > 0.0 then free_dispersed := !free_dispersed +. r
+      end)
+    p.p_capacity;
+  if !free_total <= 0.0 then 0.0 else !free_dispersed /. !free_total
+
+let fragmentation t =
+  List.map
+    (fun p -> (p.p_resource, p.p_kind, pool_fragmentation p))
+    (t.node_pools @ t.edge_pools)
+
+let fragmentation_index t =
+  match t.node_pools @ t.edge_pools with
+  | [] -> 0.0
+  | pools ->
+      List.fold_left (fun acc p -> acc +. pool_fragmentation p) 0.0 pools
+      /. float_of_int (List.length pools)
 
 let utilization t =
   let summarize p =

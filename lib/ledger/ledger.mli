@@ -133,6 +133,26 @@ val release : t -> int -> bool
     released).  Affected residuals are recomputed exactly from the
     remaining allocations. *)
 
+val allocation_charge : t -> int -> charge option
+(** The demand vector held by a live allocation ([None] when the id is
+    unknown or already released) — the introspection a defragmentation
+    pass needs to credit a victim's own footprint back before
+    re-searching it. *)
+
+val allocation_ids : t -> int list
+(** The live allocation ids, ascending. *)
+
+val migrate : t -> int -> charge -> (int, failure) result
+(** [migrate t id charge'] atomically re-homes allocation [id]: its old
+    charge is released and [charge'] committed in one step, returning
+    the new allocation id.  On failure {e nothing changes}: the
+    original allocation is restored under its original id with its
+    original charge (so outstanding handles stay valid) and the failure
+    names the over-committed resource.  Because the old charge is
+    released first, a migration may land on capacity the victim itself
+    is vacating.
+    @raise Invalid_argument when [id] is not a live allocation. *)
+
 val lock : t -> Graph.node -> int
 (** The degenerate whole-node reservation: charge the {e entire
     residual} of every tracked node resource on the node (afterwards
@@ -166,3 +186,17 @@ val sync_residual : t -> Graph.t -> unit
 val utilization : t -> (string * kind * float * float) list
 (** Per tracked resource: [(name, kind, total_used, total_capacity)],
     node resources first, each list in tracking order. *)
+
+val fragmentation : t -> (string * kind * float) list
+(** Per tracked resource: the residual-capacity dispersion in [0, 1] —
+    the fraction of the resource's free capacity that sits on
+    {e partially-used} elements.  0 when every free unit lies on a
+    completely untouched element (idle network, or perfectly
+    consolidated tenants); towards 1 when the free capacity is
+    scattered across half-full elements, where no whole-element-sized
+    block of it exists.  Node resources first, tracking order. *)
+
+val fragmentation_index : t -> float
+(** The mean of {!fragmentation} over all tracked resources (0 when
+    nothing is tracked) — the scalar the online simulator's
+    defragmentation threshold watches. *)

@@ -84,6 +84,16 @@ let pareto t ~shape ~scale =
   let u = float t 1.0 in
   scale /. ((1.0 -. u) ** (1.0 /. shape))
 
+let bounded_pareto t ~shape ~scale ~cap =
+  if shape <= 0.0 then invalid_arg "Rng.bounded_pareto: shape <= 0";
+  if scale <= 0.0 || cap < scale then
+    invalid_arg "Rng.bounded_pareto: need 0 < scale <= cap";
+  (* Inverse CDF of the truncated Pareto — no probability mass piles up
+     at [cap] the way clamping {!pareto} would. *)
+  let u = float t 1.0 in
+  let ratio = (scale /. cap) ** shape in
+  scale /. ((1.0 -. (u *. (1.0 -. ratio))) ** (1.0 /. shape))
+
 let zipf t ~n ~s =
   if n <= 0 then invalid_arg "Rng.zipf: n <= 0";
   (* Inverse-CDF over the (small) support; fine for workload generation. *)

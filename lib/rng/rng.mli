@@ -40,6 +40,14 @@ val uniform : t -> lo:float -> hi:float -> float
 val exponential : t -> mean:float -> float
 val normal : t -> mean:float -> stddev:float -> float
 val pareto : t -> shape:float -> scale:float -> float
+
+val bounded_pareto : t -> shape:float -> scale:float -> cap:float -> float
+(** Truncated Pareto on [\[scale, cap\]] via the inverse CDF (no
+    probability atom at [cap], unlike clamping {!pareto}) — heavy-tailed
+    tenant holding times whose tail cannot outlive a finite simulation
+    horizon.  @raise Invalid_argument unless
+    [shape > 0 && 0 < scale <= cap]. *)
+
 val zipf : t -> n:int -> s:float -> int
 (** [zipf t ~n ~s] draws a rank in [\[1, n\]] with P(k) proportional to
     [1 / k**s]. *)

@@ -101,3 +101,16 @@ let release_charge t id =
   let ok = Ledger.release t.ledger id in
   if ok then t.rev <- t.rev + 1;
   ok
+
+let migrate_charge t id ~query mapping =
+  match Ledger.allocation_charge t.ledger id with
+  | None -> Error (Printf.sprintf "allocation %d is not live" id)
+  | Some _ -> (
+      match Ledger.charge_of_mapping t.ledger ~query mapping with
+      | Error m -> Error m
+      | Ok charge -> (
+          match Ledger.migrate t.ledger id charge with
+          | Error f -> Error (Ledger.failure_to_string f)
+          | Ok id' ->
+              t.rev <- t.rev + 1;
+              Ok id'))

@@ -77,3 +77,16 @@ val charge_mapping :
 
 val release_charge : t -> int -> bool
 (** Credit an allocation back; [false] if the id is unknown. *)
+
+val migrate_charge :
+  t ->
+  int ->
+  query:Graph.t ->
+  Netembed_core.Mapping.t ->
+  (int, string) result
+(** Atomically re-home a live allocation onto a new mapping of the same
+    query ({!Netembed_ledger.Ledger.migrate}): release + commit as one
+    step, returning the new allocation id.  On failure nothing changes
+    — the original allocation survives under its original id — and the
+    error names the over-committed resource.  Bumps the revision only
+    on success. *)

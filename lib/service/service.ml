@@ -57,6 +57,8 @@ type t = {
   allocations_rejected : Telemetry.Counter.t;
   admission_rejected : Telemetry.Counter.t;
   queue_rejected : Telemetry.Counter.t;
+  migrations : Telemetry.Counter.t;
+  migration_failures : Telemetry.Counter.t;
   active_allocations : Telemetry.Gauge.t;
   utilization_gauges : (string * [ `Node | `Edge ] * Telemetry.Gauge.t) list;
   slow_threshold : float;
@@ -149,6 +151,15 @@ let create ?(registry = Telemetry.default_registry) ?(slow_threshold = 0.5)
           ~help:"Requests rejected at the front door because the admission queue was \
                  saturated (backpressure)"
           "netembed_admission_queue_rejects_total";
+      migrations =
+        Telemetry.Registry.counter registry
+          ~help:"Allocations atomically re-homed by a defragmentation pass"
+          "netembed_migrations_total";
+      migration_failures =
+        Telemetry.Registry.counter registry
+          ~help:"Migration attempts rolled back (re-embed target over-committed); \
+                 the original allocation survives intact"
+          "netembed_migration_failures_total";
       active_allocations =
         Telemetry.Registry.gauge registry
           ~help:"Outstanding ledger allocations" "netembed_active_allocations";
@@ -862,6 +873,29 @@ let free t id =
   let ok = Model.release_charge t.model id in
   if ok then refresh_utilization t;
   ok
+
+let allocation_charge t id =
+  with_model t (fun () -> Ledger.allocation_charge (Model.ledger t.model) id)
+
+let allocation_ids t =
+  with_model t (fun () -> Ledger.allocation_ids (Model.ledger t.model))
+
+(* Migration takes no answer: it re-homes a *live* allocation, so the
+   ledger itself is the authority on staleness (an unknown or released
+   id fails), and the whole release+commit+rollback is one critical
+   section with the counters, so migrations + failures = attempts holds
+   exactly under concurrent callers. *)
+let migrate t id ~query mapping =
+  timed_ledger_commit t @@ fun () ->
+  with_model t @@ fun () ->
+  match Model.migrate_charge t.model id ~query mapping with
+  | Ok id' ->
+      Telemetry.Counter.incr t.migrations;
+      refresh_utilization t;
+      Ok id'
+  | Error m ->
+      Telemetry.Counter.incr t.migration_failures;
+      Error m
 
 let release_mapping t mapping =
   with_model t (fun () ->

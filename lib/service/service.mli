@@ -245,5 +245,27 @@ val allocate_shared :
 val free : t -> int -> bool
 (** Release a fractional allocation by id; [false] if unknown. *)
 
+val allocation_charge : t -> int -> Netembed_ledger.Ledger.charge option
+(** The demand vector held by a live fractional allocation ([None] when
+    the id is unknown or already freed) — the introspection a
+    defragmentation pass uses to credit a victim's own footprint back
+    before re-searching it ({!Netembed_ledger.Ledger.allocation_charge}). *)
+
+val allocation_ids : t -> int list
+(** Live fractional-allocation ids, ascending. *)
+
+val migrate :
+  t -> int -> query:Netembed_graph.Graph.t -> Netembed_core.Mapping.t ->
+  (int, string) result
+(** Atomically re-home live allocation [id] onto [mapping] of [query]:
+    the old charge is released and the new one committed as one ledger
+    step ({!Netembed_ledger.Ledger.migrate}), so the move may reuse
+    capacity the tenant itself vacates.  Returns the new allocation id
+    and bumps [netembed_migrations_total].  On failure {e nothing
+    changes} — the original allocation survives under its original id,
+    [netembed_migration_failures_total] is bumped, and the error names
+    the over-committed resource.  [netembed_active_allocations] is
+    unchanged either way: a migration is a move, not an admission. *)
+
 val release_mapping : t -> Netembed_core.Mapping.t -> unit
 (** Release the whole-node reservations of {!allocate}. *)

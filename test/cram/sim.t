@@ -1,0 +1,68 @@
+The online churn simulator is deterministic in the seed: a tiny
+substrate and a short horizon pin the whole summary table.
+
+  $ ../../bin/netembed_sim.exe --substrate clique --nodes 6 --horizon 60 \
+  >   --rates 1.5 --policy all --seed 7
+  online churn simulation
+    policy                admit_greedy
+    seed                  7
+    horizon               60 virtual s (rate 1.5/s)
+    arrivals              102
+    accepted              63 (61.8%)
+    rejected              39
+    retry accepts         0
+    departures            63
+    migrations            0 (0 rolled back)
+    defrag passes         0
+    revenue acceptance    61.0%
+    mean cpu utilization  26.6%
+    peak fragmentation    0.4188
+    mean fragmentation    0.1771
+    final fragmentation   0.0000
+    invariant violations  0
+  online churn simulation
+    policy                no_defrag
+    seed                  7
+    horizon               60 virtual s (rate 1.5/s)
+    arrivals              102
+    accepted              62 (60.8%)
+    rejected              40
+    retry accepts         0
+    departures            62
+    migrations            0 (0 rolled back)
+    defrag passes         0
+    revenue acceptance    62.0%
+    mean cpu utilization  27.0%
+    peak fragmentation    0.4177
+    mean fragmentation    0.1961
+    final fragmentation   0.0000
+    invariant violations  0
+  online churn simulation
+    policy                defrag_threshold
+    seed                  7
+    horizon               60 virtual s (rate 1.5/s)
+    arrivals              102
+    accepted              62 (60.8%)
+    rejected              40
+    retry accepts         2
+    departures            62
+    migrations            6 (0 rolled back)
+    defrag passes         12
+    revenue acceptance    62.4%
+    mean cpu utilization  27.3%
+    peak fragmentation    0.4203
+    mean fragmentation    0.1975
+    final fragmentation   0.0000
+    invariant violations  0
+
+The JSON section splices into a results document and survives a
+re-splice next to other sections:
+
+  $ printf '{\n  "benches": [1, 2]\n}\n' > results.json
+  $ ../../bin/netembed_sim.exe --substrate clique --nodes 6 --horizon 30 \
+  >   --rates 1.5 --policy no_defrag --seed 7 --quiet --json results.json
+  # online_churn section written to results.json
+  $ grep -c '"benches"' results.json
+  1
+  $ grep -o '"policy": "[a-z_]*"' results.json
+  "policy": "no_defrag"

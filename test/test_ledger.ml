@@ -287,6 +287,81 @@ let test_sync_and_credit () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "expected no-external-usage failure"
 
+let test_migrate () =
+  let ledger = Ledger.of_graph (host ()) in
+  let id = Result.get_ok (Ledger.try_commit ledger [ line (Ledger.Node 0) "cpuMhz" 400.0 ]) in
+  (* Success: the charge moves atomically and the old id dies. *)
+  let id' =
+    match Ledger.migrate ledger id [ line (Ledger.Node 1) "cpuMhz" 400.0 ] with
+    | Ok id' -> id'
+    | Error f -> Alcotest.fail (Ledger.failure_to_string f)
+  in
+  check exact "source vacated" 1000.0 (Ledger.residual ledger (Ledger.Node 0) "cpuMhz");
+  check exact "target charged" 600.0 (Ledger.residual ledger (Ledger.Node 1) "cpuMhz");
+  check Alcotest.int "still one allocation" 1 (Ledger.outstanding ledger);
+  check Alcotest.bool "old id dead" true (Ledger.allocation_charge ledger id = None);
+  check Alcotest.bool "release new id" true (Ledger.release ledger id');
+  assert_pristine ledger;
+  (* Unknown ids are a programming error. *)
+  match Ledger.migrate ledger 999 [] with
+  | exception Invalid_argument _ -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Invalid_argument"
+
+(* The release-then-commit order lets a move land on capacity the
+   allocation itself vacates. *)
+let test_migrate_reuses_own_capacity () =
+  let ledger = Ledger.of_graph (host ()) in
+  let victim = Result.get_ok (Ledger.try_commit ledger [ line (Ledger.Node 0) "cpuMhz" 800.0 ]) in
+  (* 900 > 200 residual, but fits once the victim's own 800 is back. *)
+  (match Ledger.migrate ledger victim [ line (Ledger.Node 0) "cpuMhz" 900.0 ] with
+  | Ok _ -> ()
+  | Error f -> Alcotest.fail (Ledger.failure_to_string f));
+  check exact "re-homed in place" 100.0 (Ledger.residual ledger (Ledger.Node 0) "cpuMhz")
+
+let test_migrate_rollback () =
+  let ledger = Ledger.of_graph (host ()) in
+  let before = [ line (Ledger.Node 0) "cpuMhz" 400.0; line (Ledger.Edge 0) "bandwidth" 30.0 ] in
+  let id = Result.get_ok (Ledger.try_commit ledger before) in
+  let bystander = Result.get_ok (Ledger.try_commit ledger [ line (Ledger.Node 2) "cpuMhz" 250.0 ]) in
+  (* The new charge over-commits: the failure must leave the victim
+     intact under its original id with its original charge, bit-exact. *)
+  (match Ledger.migrate ledger id [ line (Ledger.Node 1) "cpuMhz" 1200.0 ] with
+  | Ok _ -> Alcotest.fail "expected over-commit"
+  | Error f -> check Alcotest.string "names the resource" "cpuMhz" f.Ledger.resource);
+  check Alcotest.int "both allocations live" 2 (Ledger.outstanding ledger);
+  (match Ledger.allocation_charge ledger id with
+  | Some c -> check Alcotest.bool "charge preserved" true (c = before)
+  | None -> Alcotest.fail "victim lost its allocation");
+  check exact "victim still charged" 600.0 (Ledger.residual ledger (Ledger.Node 0) "cpuMhz");
+  check exact "victim bw still charged" 70.0 (Ledger.residual ledger (Ledger.Edge 0) "bandwidth");
+  check exact "target untouched" 1000.0 (Ledger.residual ledger (Ledger.Node 1) "cpuMhz");
+  check Alcotest.bool "release victim" true (Ledger.release ledger id);
+  check Alcotest.bool "release bystander" true (Ledger.release ledger bystander);
+  assert_pristine ledger
+
+let test_fragmentation () =
+  let ledger = Ledger.of_graph (host ()) in
+  (* Idle: all free capacity sits on untouched elements. *)
+  check exact "idle" 0.0 (Ledger.fragmentation_index ledger);
+  (* A fully-consumed node leaves no partial residue either. *)
+  let full = Result.get_ok (Ledger.try_commit ledger [ line (Ledger.Node 0) "cpuMhz" 1000.0 ]) in
+  let cpu_frag () =
+    match List.find (fun (r, k, _) -> r = "cpuMhz" && k = `Node) (Ledger.fragmentation ledger) with
+    | _, _, f -> f
+  in
+  check exact "fully used = consolidated" 0.0 (cpu_frag ());
+  (* A half-used node scatters its free half: 500 of the 3500 free MHz
+     now sits on a partially-used element. *)
+  let partial = Result.get_ok (Ledger.try_commit ledger [ line (Ledger.Node 1) "cpuMhz" 500.0 ]) in
+  check (Alcotest.float 1e-9) "dispersed share" (500.0 /. 2500.0) (cpu_frag ());
+  (* The index averages over all tracked pools (memMB and bandwidth are
+     untouched, so they contribute 0). *)
+  check (Alcotest.float 1e-9) "index is pool mean" (500.0 /. 2500.0 /. 3.0)
+    (Ledger.fragmentation_index ledger);
+  ignore (Ledger.release ledger full);
+  ignore (Ledger.release ledger partial);
+  check exact "restored" 0.0 (Ledger.fragmentation_index ledger)
+
 (* Property: any sequence of fitting commits, fully released in an
    arbitrary order, restores every residual bit-for-bit. *)
 let prop_release_restores =
@@ -324,6 +399,82 @@ let prop_release_restores =
           && Ledger.residual ledger (Ledger.Edge v) "bandwidth" = 100.0)
         [ 0; 1; 2; 3 ])
 
+(* Property (churn): any seeded sequence of commit / release / migrate
+   events — including migrations forced to fail and roll back — that
+   ends with every tenant departed restores the ledger bit-exactly:
+   residuals at full capacity, zero usage totals, zero outstanding
+   allocations.  500 traces; failed migrations occur whenever the
+   generator emits an oversized migration target, which the amount
+   range makes frequent. *)
+let prop_churn_restores =
+  let open QCheck in
+  let op =
+    triple (int_bound 5) (int_bound 3)
+      (map (fun k -> float_of_int k /. 89.0) (int_bound 40000))
+  in
+  Test.make ~name:"churn (commit/release/migrate) drains to pristine" ~count:500
+    (list_of_size (Gen.int_range 1 60) op)
+    (fun ops ->
+      let ledger = Ledger.of_graph (host ()) in
+      let live = ref [] in
+      let failed_migrations = ref 0 in
+      let charge_for v amount =
+        [
+          line (Ledger.Node v) "cpuMhz" amount;
+          line (Ledger.Edge v) "bandwidth" (amount /. 7.0);
+        ]
+      in
+      List.iter
+        (fun (kind, v, amount) ->
+          match kind with
+          | 0 | 1 | 2 -> (
+              (* arrivals may over-commit; rejected ones charge nothing *)
+              match Ledger.try_commit ledger (charge_for v amount) with
+              | Ok id -> live := (id, charge_for v amount) :: !live
+              | Error _ -> ())
+          | 3 -> (
+              (* departure of an arbitrary live tenant *)
+              match !live with
+              | [] -> ()
+              | picked ->
+                  let n = List.length picked in
+                  let id, _ = List.nth picked (v mod n) in
+                  if not (Ledger.release ledger id) then
+                    QCheck.Test.fail_report "release of live id failed";
+                  live := List.filter (fun (i, _) -> i <> id) !live)
+          | _ -> (
+              (* migration, to a possibly-impossible target *)
+              match !live with
+              | [] -> ()
+              | picked -> (
+                  let n = List.length picked in
+                  let id, old = List.nth picked (v mod n) in
+                  let charge' = charge_for ((v + 1) mod 4) amount in
+                  match Ledger.migrate ledger id charge' with
+                  | Ok id' ->
+                      live :=
+                        (id', charge')
+                        :: List.filter (fun (i, _) -> i <> id) !live
+                  | Error _ ->
+                      (* rollback: same id, same charge, still live *)
+                      incr failed_migrations;
+                      if Ledger.allocation_charge ledger id <> Some old then
+                        QCheck.Test.fail_report
+                          "failed migration did not preserve the victim")))
+        ops;
+      List.iter (fun (id, _) -> ignore (Ledger.release ledger id)) !live;
+      List.for_all
+        (fun v ->
+          Ledger.residual ledger (Ledger.Node v) "cpuMhz" = 1000.0
+          && Ledger.residual ledger (Ledger.Node v) "memMB" = 1024.0
+          && Ledger.residual ledger (Ledger.Edge v) "bandwidth" = 100.0)
+        [ 0; 1; 2; 3 ]
+      && Ledger.outstanding ledger = 0
+      && List.for_all
+           (fun (_, _, used, _) -> used = 0.0)
+           (Ledger.utilization ledger)
+      && Ledger.fragmentation_index ledger = 0.0)
+
 let () =
   Alcotest.run "ledger"
     [
@@ -334,7 +485,13 @@ let () =
           Alcotest.test_case "atomicity" `Quick test_atomicity;
           Alcotest.test_case "multi-tenant exhaustion" `Quick test_multi_tenant;
           Alcotest.test_case "charge of mapping" `Quick test_charge_of_mapping;
+          Alcotest.test_case "migrate" `Quick test_migrate;
+          Alcotest.test_case "migrate reuses own capacity" `Quick
+            test_migrate_reuses_own_capacity;
+          Alcotest.test_case "migrate rollback" `Quick test_migrate_rollback;
+          Alcotest.test_case "fragmentation" `Quick test_fragmentation;
           QCheck_alcotest.to_alcotest prop_release_restores;
+          QCheck_alcotest.to_alcotest prop_churn_restores;
         ] );
       ( "integration",
         [

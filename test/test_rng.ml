@@ -96,6 +96,31 @@ let test_pareto_support () =
       Alcotest.fail "pareto below scale"
   done
 
+let test_bounded_pareto () =
+  let rng = Rng.make 43 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.bounded_pareto rng ~shape:1.5 ~scale:2.0 ~cap:50.0 in
+    if x < 2.0 then Alcotest.fail "bounded pareto below scale";
+    if x > 50.0 then Alcotest.fail "bounded pareto above cap";
+    sum := !sum +. x
+  done;
+  (* Truncation pulls the mean below the unbounded shape/(shape-1)*scale
+     = 6.0; for cap=25*scale the truncated mean is ~4.9. *)
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool "heavy-tailed but truncated mean" true
+    (mean > 3.5 && mean < 6.0);
+  (* Degenerate bound: scale = cap collapses to a point mass. *)
+  check Alcotest.bool "point mass at scale=cap" true
+    (Rng.bounded_pareto rng ~shape:2.0 ~scale:3.0 ~cap:3.0 = 3.0);
+  (match Rng.bounded_pareto rng ~shape:0.0 ~scale:1.0 ~cap:2.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on shape 0");
+  match Rng.bounded_pareto rng ~shape:1.0 ~scale:5.0 ~cap:2.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on cap < scale"
+
 let test_zipf () =
   let rng = Rng.make 51 in
   let counts = Array.make 11 0 in
@@ -171,6 +196,7 @@ let () =
           Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
           Alcotest.test_case "normal moments" `Quick test_normal_moments;
           Alcotest.test_case "pareto support" `Quick test_pareto_support;
+          Alcotest.test_case "bounded pareto" `Quick test_bounded_pareto;
           Alcotest.test_case "zipf" `Quick test_zipf;
         ] );
       ( "collections",

@@ -337,6 +337,87 @@ let test_allocate_shared_lifecycle () =
   check (Alcotest.option (Alcotest.float 0.0)) "only tenant 2 remains"
     (Some 800.0) cpu_used
 
+(* A migration is a move, not an admission: the allocation/active
+   counters must not change on success, and a failed migration must
+   leave the victim allocation intact under its original id with no
+   partial charges leaked. *)
+let test_migrate_atomic () =
+  let module Telemetry = Netembed_telemetry.Telemetry in
+  let module Ledger = Netembed_ledger.Ledger in
+  let registry = Telemetry.Registry.create () in
+  let svc = Service.create ~registry (Model.create (capacitated_host ())) in
+  let counter name =
+    Telemetry.Counter.value (Telemetry.Registry.counter registry name)
+  in
+  let active () =
+    Telemetry.Gauge.value
+      (Telemetry.Registry.gauge registry "netembed_active_allocations")
+  in
+  let query = demanding_query ~cpu:400 ~bw:60.0 in
+  let request =
+    Request.make ~node_constraint:shared_node_constraint
+      ~mode:(Engine.At_most 8) ~query shared_constraint
+  in
+  let answer =
+    match Service.submit svc request with
+    | Ok a -> a
+    | Error m -> Alcotest.fail m
+  in
+  let m1, m2 =
+    match answer.Service.result.Engine.mappings with
+    | a :: b :: _ -> (a, b)
+    | _ -> Alcotest.fail "expected at least two candidate mappings"
+  in
+  let id =
+    match Service.allocate_shared svc answer m1 with
+    | Ok id -> id
+    | Error m -> Alcotest.fail m
+  in
+  check Alcotest.int "one admission" 1 (counter "netembed_allocations_total");
+  check (Alcotest.float 0.0) "one active" 1.0 (active ());
+  let charge_before = Service.allocation_charge svc id in
+  check Alcotest.bool "charge introspectable" true (charge_before <> None);
+  (* Success: new id, same counters, charge follows the new mapping. *)
+  let id' =
+    match Service.migrate svc id ~query m2 with
+    | Ok id' -> id'
+    | Error m -> Alcotest.fail m
+  in
+  check Alcotest.(list int) "old handle retired" [ id' ]
+    (Service.allocation_ids svc);
+  check Alcotest.int "no new admission" 1 (counter "netembed_allocations_total");
+  check (Alcotest.float 0.0) "still one active" 1.0 (active ());
+  check Alcotest.int "migration counted" 1 (counter "netembed_migrations_total");
+  (* Failure: an impossible re-embed rolls back inside the ledger. *)
+  let impossible = demanding_query ~cpu:1_000_000 ~bw:60.0 in
+  let kept = Service.allocation_charge svc id' in
+  (match Service.migrate svc id' ~query:impossible m1 with
+  | Ok _ -> Alcotest.fail "expected over-commit"
+  | Error m ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      check Alcotest.bool "names cpu" true (contains m "cpuMhz"));
+  check Alcotest.int "failure counted" 1
+    (counter "netembed_migration_failures_total");
+  check Alcotest.(list int) "victim intact" [ id' ] (Service.allocation_ids svc);
+  check Alcotest.bool "victim charge untouched" true
+    (Service.allocation_charge svc id' = kept);
+  check (Alcotest.float 0.0) "active unchanged" 1.0 (active ());
+  check Alcotest.bool "no partial charge leaked" true
+    (List.for_all
+       (fun (r, _, used, _) -> r <> "cpuMhz" || used = 800.0)
+       (Service.utilization svc));
+  (* Drain: everything restores. *)
+  check Alcotest.bool "free" true (Service.free svc id');
+  check (Alcotest.float 0.0) "none active" 0.0 (active ());
+  check Alcotest.bool "usage zero" true
+    (List.for_all (fun (_, _, used, _) -> used = 0.0) (Service.utilization svc));
+  check Alcotest.int "ledger drained" 0
+    (Ledger.outstanding (Model.ledger (Service.model svc)))
+
 let test_admission_rejection () =
   let module Telemetry = Netembed_telemetry.Telemetry in
   let registry = Telemetry.Registry.create () in
@@ -1116,6 +1197,7 @@ let () =
           Alcotest.test_case "constraint file" `Quick test_constraint_file;
           Alcotest.test_case "allocate shared lifecycle" `Quick
             test_allocate_shared_lifecycle;
+          Alcotest.test_case "migrate is atomic" `Quick test_migrate_atomic;
           Alcotest.test_case "admission rejection" `Quick test_admission_rejection;
           Alcotest.test_case "backpressure reject is EXPLAIN-able" `Quick
             test_backpressure_reject_explainable;

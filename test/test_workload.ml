@@ -229,6 +229,39 @@ let test_bench_io_splice_extract () =
   check (Alcotest.option Alcotest.string) "fresh doc" (Some "42")
     (B.extract_section fresh ~key:"k")
 
+(* The online_churn section the simulator splices must round-trip next
+   to the bench and loadgen sections without disturbing them — all
+   three owners rewrite the same file wholesale. *)
+let test_bench_io_online_churn_roundtrip () =
+  let module B = Netembed_workload.Bench_io in
+  let check = Alcotest.check in
+  let doc =
+    "{\n  \"benches\": [ {\"name\": \"ecf\", \"ms\": 1.5} ],\n\
+    \  \"service_load\": {\n    \"rows\": []\n  }\n}\n"
+  in
+  let churn =
+    "{\n    \"substrate\": \"clique-12\",\n    \"rows\": [\n      {\"policy\": \
+     \"defrag_threshold\", \"rate\": 1.8, \"acceptance_curve\": [{\"t\": 10, \
+     \"accepts\": 3}]}\n    ]\n  }"
+  in
+  let doc' = B.splice_section doc ~key:"online_churn" ~value:churn in
+  check (Alcotest.option Alcotest.string) "online_churn readable" (Some churn)
+    (B.extract_section doc' ~key:"online_churn");
+  check (Alcotest.option Alcotest.string) "benches survive"
+    (B.extract_section doc ~key:"benches")
+    (B.extract_section doc' ~key:"benches");
+  check (Alcotest.option Alcotest.string) "service_load survives"
+    (B.extract_section doc ~key:"service_load")
+    (B.extract_section doc' ~key:"service_load");
+  (* A second splice (a re-run) replaces in place and still leaves the
+     neighbours alone. *)
+  let doc'' = B.splice_section doc' ~key:"online_churn" ~value:"{}" in
+  check (Alcotest.option Alcotest.string) "replaced" (Some "{}")
+    (B.extract_section doc'' ~key:"online_churn");
+  check (Alcotest.option Alcotest.string) "benches still survive"
+    (B.extract_section doc ~key:"benches")
+    (B.extract_section doc'' ~key:"benches")
+
 let () =
   Alcotest.run "workload"
     [
@@ -251,6 +284,8 @@ let () =
         [
           Alcotest.test_case "splice/extract surgery" `Quick
             test_bench_io_splice_extract;
+          Alcotest.test_case "online_churn round-trip" `Quick
+            test_bench_io_online_churn_roundtrip;
         ] );
       ( "figures", [ Alcotest.test_case "smoke" `Slow test_figures_smoke ] );
     ]
